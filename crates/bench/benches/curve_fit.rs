@@ -1,0 +1,37 @@
+//! Microbench: power-law fitting throughput (weighted NLLS, §4.1).
+//!
+//! The iterative algorithm fits |S|·repeats curves per iteration, so fit
+//! latency bounds how often curves can be refreshed.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use st_curve::{fit_power_law, fit_power_law_with_floor, CurvePoint};
+use std::hint::black_box;
+
+fn points(k: usize, noise: f64) -> Vec<CurvePoint> {
+    (1..=k)
+        .map(|i| {
+            let x = 30.0 * i as f64;
+            let wiggle = 1.0 + noise * ((i as f64 * 1.7).sin());
+            CurvePoint::size_weighted(x, 2.5 * x.powf(-0.35) * wiggle)
+        })
+        .collect()
+}
+
+fn bench_fit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("curve_fit");
+    group.sample_size(30);
+    for k in [5usize, 10, 20] {
+        let pts = points(k, 0.1);
+        group.bench_with_input(BenchmarkId::new("power_law", k), &pts, |b, pts| {
+            b.iter(|| fit_power_law(black_box(pts)).unwrap())
+        });
+    }
+    let pts = points(10, 0.1);
+    group.bench_function("power_law_with_floor_k10", |b| {
+        b.iter(|| fit_power_law_with_floor(black_box(&pts)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fit);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Microbench: learning-curve fitting — the dedicated power-law NLLS, the
+//! generic zoo families, full-zoo model selection, and bootstrap bands.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use st_curve::{
+    bootstrap_curve, fit_best, fit_family, fit_power_law, CurveFamily, CurvePoint,
+};
+use std::hint::black_box;
+
+fn points(n: usize) -> Vec<CurvePoint> {
+    (0..n)
+        .map(|i| {
+            let x = 20.0 * (i + 1) as f64;
+            let noise = 1.0 + 0.05 * ((i as f64 * 2.1).sin());
+            CurvePoint::size_weighted(x, 2.3 * x.powf(-0.35) * noise)
+        })
+        .collect()
+}
+
+fn bench_curve_fitting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("curve_fit_zoo");
+    let pts = points(10);
+
+    group.bench_function("power_law_dedicated", |b| {
+        b.iter(|| fit_power_law(black_box(&pts)))
+    });
+    for family in [
+        CurveFamily::PowerLaw,
+        CurveFamily::Exponential,
+        CurveFamily::Janoschek,
+        CurveFamily::VaporPressure,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("family", family.name()),
+            &pts,
+            |b, pts| b.iter(|| fit_family(black_box(pts), family)),
+        );
+    }
+    group.bench_function("fit_best_all_families", |b| b.iter(|| fit_best(black_box(&pts))));
+    group.finish();
+
+    let mut group = c.benchmark_group("curve_bands");
+    group.sample_size(20);
+    group.bench_function("bootstrap_200_reps", |b| {
+        b.iter(|| bootstrap_curve(black_box(&pts), 200, 0.95, 7))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_curve_fitting);
+criterion_main!(benches);

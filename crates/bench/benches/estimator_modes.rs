@@ -1,0 +1,38 @@
+//! Microbench: amortized (§4.2) vs exhaustive (§4.1) curve estimation cost
+//! on the real training substrate — the ablation behind Table 8, at bench
+//! scale (small dataset so Criterion can sample it).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use slice_tuner::{PoolSource, SliceTuner, TunerConfig};
+use st_curve::EstimationMode;
+use st_data::{families, SlicedDataset};
+use st_models::ModelSpec;
+use std::hint::black_box;
+
+fn bench_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("estimator_modes");
+    group.sample_size(10);
+
+    let fam = families::census();
+    for (name, mode) in
+        [("amortized", EstimationMode::Amortized), ("exhaustive", EstimationMode::Exhaustive)]
+    {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let ds = SlicedDataset::generate(&fam, &[80; 4], 60, 3);
+                let mut src = PoolSource::new(fam.clone(), 3);
+                let mut cfg = TunerConfig::new(ModelSpec::softmax()).with_mode(mode);
+                cfg.train.epochs = 6;
+                cfg.fractions = vec![0.3, 0.6, 1.0];
+                cfg.repeats = 1;
+                cfg.threads = 1;
+                let tuner = SliceTuner::new(ds, &mut src, cfg);
+                black_box(tuner.estimate_curves(0))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_modes);
+criterion_main!(benches);

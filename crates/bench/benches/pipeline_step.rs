@@ -1,0 +1,56 @@
+//! Macrobench: one full Slice Tuner pipeline (estimate → optimize → acquire
+//! → retrain) on the cheapest dataset, plus the training substrate alone.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use slice_tuner::{PoolSource, SliceTuner, Strategy, TSchedule, TunerConfig};
+use st_data::{families, SlicedDataset};
+use st_models::{train_on_examples, ModelSpec, TrainConfig};
+use std::hint::black_box;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    let fam = families::census();
+
+    group.bench_function("train_census_240_examples", |b| {
+        let ds = SlicedDataset::generate(&fam, &[60; 4], 40, 1);
+        let data = ds.all_train();
+        let mut cfg = TrainConfig::default();
+        cfg.epochs = 10;
+        b.iter(|| {
+            black_box(train_on_examples(&data, fam.feature_dim, 2, &ModelSpec::softmax(), &cfg))
+        })
+    });
+
+    group.bench_function("one_shot_census_b100", |b| {
+        b.iter(|| {
+            let ds = SlicedDataset::generate(&fam, &[60; 4], 40, 2);
+            let mut src = PoolSource::new(fam.clone(), 2);
+            let mut cfg = TunerConfig::new(ModelSpec::softmax());
+            cfg.train.epochs = 8;
+            cfg.fractions = vec![0.4, 1.0];
+            cfg.repeats = 1;
+            cfg.threads = 1;
+            let mut tuner = SliceTuner::new(ds, &mut src, cfg);
+            black_box(tuner.run(Strategy::OneShot, 100.0))
+        })
+    });
+
+    group.bench_function("moderate_iteration_census_b150", |b| {
+        b.iter(|| {
+            let ds = SlicedDataset::generate(&fam, &[40, 80, 60, 100], 40, 3);
+            let mut src = PoolSource::new(fam.clone(), 3);
+            let mut cfg = TunerConfig::new(ModelSpec::softmax());
+            cfg.train.epochs = 8;
+            cfg.fractions = vec![0.4, 1.0];
+            cfg.repeats = 1;
+            cfg.threads = 1;
+            let mut tuner = SliceTuner::new(ds, &mut src, cfg);
+            black_box(tuner.run(Strategy::Iterative(TSchedule::moderate()), 150.0))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Microbench ablation: the three acquisition solvers head-to-head.
+//!
+//! DESIGN.md calls out the solver choice (first-order projected subgradient
+//! vs second-order interior point vs the λ=0 closed form). Tests prove the
+//! optima agree; this bench records what each costs as the slice count
+//! grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use st_curve::PowerLaw;
+use st_optim::{
+    budget_sensitivity, solve_barrier, solve_kkt, solve_projected, AcquisitionProblem,
+    BarrierOptions, SolverOptions,
+};
+use std::hint::black_box;
+
+fn problem(n: usize, lambda: f64) -> AcquisitionProblem {
+    let curves: Vec<PowerLaw> = (0..n)
+        .map(|i| PowerLaw::new(1.5 + (i % 7) as f64 * 0.4, 0.1 + (i % 5) as f64 * 0.15))
+        .collect();
+    let sizes: Vec<f64> = (0..n).map(|i| 100.0 + (i * 37 % 300) as f64).collect();
+    let costs: Vec<f64> = (0..n).map(|i| 1.0 + (i % 3) as f64 * 0.25).collect();
+    AcquisitionProblem::new(curves, sizes, costs, 250.0 * n as f64, lambda)
+}
+
+fn bench_solver_compare(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver_compare");
+    group.sample_size(20);
+    for n in [4usize, 10, 20, 50] {
+        let p = problem(n, 1.0);
+        group.bench_with_input(BenchmarkId::new("projected", n), &p, |b, p| {
+            b.iter(|| solve_projected(black_box(p), &SolverOptions::default()))
+        });
+        group.bench_with_input(BenchmarkId::new("barrier", n), &p, |b, p| {
+            b.iter(|| solve_barrier(black_box(p), &BarrierOptions::default()))
+        });
+        let p0 = problem(n, 0.0);
+        group.bench_with_input(BenchmarkId::new("kkt_lambda0", n), &p0, |b, p| {
+            b.iter(|| solve_kkt(black_box(p)))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("sensitivity");
+    group.sample_size(10);
+    let p = problem(10, 1.0);
+    group.bench_function("budget_sensitivity_n10", |b| {
+        b.iter(|| budget_sensitivity(black_box(&p), &BarrierOptions::default()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_solver_compare);
+criterion_main!(benches);

@@ -1,0 +1,167 @@
+//! Shared harness for the experiment binaries that regenerate every table
+//! and figure of the Slice Tuner paper (see `DESIGN.md` for the index).
+//!
+//! Each binary prints the same rows/series the paper reports. Runtime knobs
+//! come from the environment so the full suite can be scaled:
+//!
+//! - `ST_TRIALS` — trials per cell (paper: 10; default here: 3)
+//! - `ST_QUICK=1` — shrink budgets and trainings for smoke runs
+
+use slice_tuner::TunerConfig;
+use st_data::{families, DatasetFamily};
+use st_models::ModelSpec;
+
+/// One benchmark dataset wired up like the paper's Section 6.1 settings.
+pub struct FamilySetup {
+    /// The dataset family (synthetic analog).
+    pub family: DatasetFamily,
+    /// Shared-model architecture.
+    pub spec: ModelSpec,
+    /// Display name used in table rows.
+    pub label: &'static str,
+    /// Per-slice validation size (paper: 500).
+    pub validation: usize,
+    /// Initial per-slice training size (Table 3's "Original" row).
+    pub initial: usize,
+    /// Acquisition budget `B`.
+    pub budget: f64,
+}
+
+impl FamilySetup {
+    /// Fashion-MNIST analog: 10 slices, init 200, B = 6K.
+    pub fn fashion() -> Self {
+        FamilySetup {
+            family: families::fashion(),
+            spec: ModelSpec::basic(),
+            label: "Fashion-MNIST",
+            validation: 300,
+            initial: 200,
+            budget: 6000.0,
+        }
+    }
+
+    /// Mixed-MNIST analog (10 of 20 slices), init 150, B = 6K.
+    pub fn mixed() -> Self {
+        FamilySetup {
+            family: families::mixed_selected(),
+            spec: ModelSpec::basic(),
+            label: "Mixed-MNIST",
+            validation: 300,
+            initial: 150,
+            budget: 6000.0,
+        }
+    }
+
+    /// UTKFace analog: 8 slices, Table 1 costs, init 400, B = 3K.
+    pub fn faces() -> Self {
+        FamilySetup {
+            family: families::faces(),
+            spec: ModelSpec::basic(),
+            label: "UTKFace",
+            validation: 300,
+            initial: 400,
+            budget: 3000.0,
+        }
+    }
+
+    /// AdultCensus analog: 4 slices, init 150, B = 500.
+    pub fn census() -> Self {
+        FamilySetup {
+            family: families::census(),
+            spec: ModelSpec::softmax(),
+            label: "AdultCensus",
+            validation: 500,
+            initial: 150,
+            budget: 500.0,
+        }
+    }
+
+    /// All four, in the paper's table order.
+    pub fn all() -> Vec<FamilySetup> {
+        vec![Self::fashion(), Self::mixed(), Self::faces(), Self::census()]
+    }
+
+    /// The tuner configuration used for this dataset's experiments.
+    pub fn config(&self, seed: u64) -> TunerConfig {
+        let mut cfg = TunerConfig::new(self.spec.clone()).with_seed(seed);
+        if quick() {
+            cfg.train.epochs = 8;
+            cfg.fractions = vec![0.4, 0.7, 1.0];
+            cfg.repeats = 1;
+        } else {
+            cfg.train.epochs = 20;
+            cfg.fractions = vec![0.2, 0.4, 0.6, 0.8, 1.0];
+            cfg.repeats = 2;
+        }
+        cfg.max_iterations = 12;
+        cfg
+    }
+
+    /// Budget, scaled down in quick mode.
+    pub fn scaled_budget(&self) -> f64 {
+        if quick() {
+            (self.budget / 4.0).max(100.0)
+        } else {
+            self.budget
+        }
+    }
+
+    /// Equal initial sizes for every slice.
+    pub fn equal_sizes(&self) -> Vec<usize> {
+        vec![self.initial; self.family.num_slices()]
+    }
+}
+
+/// Trials per experiment cell (`ST_TRIALS`, default 3; paper uses 10).
+pub fn trials() -> usize {
+    std::env::var("ST_TRIALS").ok().and_then(|v| v.parse().ok()).unwrap_or(3)
+}
+
+/// Quick smoke mode (`ST_QUICK=1`).
+pub fn quick() -> bool {
+    std::env::var("ST_QUICK").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Prints a horizontal rule sized to the table width.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}
+
+/// Formats an integer slice as the paper's per-slice acquisition rows.
+pub fn fmt_counts(counts: &[f64]) -> String {
+    counts.iter().map(|c| format!("{:>5}", c.round() as i64)).collect::<Vec<_>>().join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn setups_cover_all_four_datasets() {
+        let all = FamilySetup::all();
+        assert_eq!(all.len(), 4);
+        assert_eq!(all[0].family.num_slices(), 10);
+        assert_eq!(all[1].family.num_slices(), 10);
+        assert_eq!(all[2].family.num_slices(), 8);
+        assert_eq!(all[3].family.num_slices(), 4);
+    }
+
+    #[test]
+    fn budgets_match_paper() {
+        assert_eq!(FamilySetup::fashion().budget, 6000.0);
+        assert_eq!(FamilySetup::mixed().budget, 6000.0);
+        assert_eq!(FamilySetup::faces().budget, 3000.0);
+        assert_eq!(FamilySetup::census().budget, 500.0);
+    }
+
+    #[test]
+    fn faces_setup_carries_table1_costs() {
+        let f = FamilySetup::faces();
+        assert_eq!(f.family.costs(), st_data::families::faces::FACE_COSTS.to_vec());
+    }
+
+    #[test]
+    fn fmt_counts_aligns() {
+        assert_eq!(fmt_counts(&[1.0, 20.0]), "    1    20");
+    }
+}

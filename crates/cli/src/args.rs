@@ -1,0 +1,112 @@
+//! Tiny dependency-free flag parser: `--key value` pairs after a
+//! subcommand.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: a subcommand plus `--key value` flags.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// The first positional argument.
+    pub command: Option<String>,
+    flags: BTreeMap<String, String>,
+}
+
+impl Args {
+    /// Parses from an iterator of arguments (excluding argv\[0\]).
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Self, String> {
+        let mut out = Args::default();
+        let mut it = args.into_iter().peekable();
+        if let Some(first) = it.peek() {
+            if !first.starts_with("--") {
+                out.command = it.next();
+            }
+        }
+        while let Some(arg) = it.next() {
+            let Some(key) = arg.strip_prefix("--") else {
+                return Err(format!("unexpected positional argument: {arg}"));
+            };
+            let value = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
+            if out.flags.insert(key.to_string(), value).is_some() {
+                return Err(format!("--{key} given twice"));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Raw string flag.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(|s| s.as_str())
+    }
+
+    /// Typed flag with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key}: cannot parse '{v}'")),
+        }
+    }
+
+    /// Comma-separated list flag.
+    pub fn get_list(&self, key: &str) -> Result<Option<Vec<usize>>, String> {
+        match self.flags.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .split(',')
+                .map(|p| p.trim().parse().map_err(|_| format!("--{key}: bad entry '{p}'")))
+                .collect::<Result<Vec<usize>, String>>()
+                .map(Some),
+        }
+    }
+
+    /// Flags the user passed that are not in `known` (typo guard).
+    pub fn unknown_flags(&self, known: &[&str]) -> Vec<String> {
+        self.flags.keys().filter(|k| !known.contains(&k.as_str())).cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(parts: &[&str]) -> Result<Args, String> {
+        Args::parse(parts.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_command_and_flags() {
+        let a = parse(&["tune", "--budget", "500", "--family", "census"]).unwrap();
+        assert_eq!(a.command.as_deref(), Some("tune"));
+        assert_eq!(a.get("family"), Some("census"));
+        assert_eq!(a.get_or("budget", 0.0_f64).unwrap(), 500.0);
+    }
+
+    #[test]
+    fn default_applies_when_flag_missing() {
+        let a = parse(&["tune"]).unwrap();
+        assert_eq!(a.get_or("seed", 7_u64).unwrap(), 7);
+    }
+
+    #[test]
+    fn list_flag_parses_commas() {
+        let a = parse(&["tune", "--sizes", "10, 20,30"]).unwrap();
+        assert_eq!(a.get_list("sizes").unwrap(), Some(vec![10, 20, 30]));
+    }
+
+    #[test]
+    fn rejects_missing_value_and_duplicates() {
+        assert!(parse(&["tune", "--budget"]).is_err());
+        assert!(parse(&["tune", "--b", "1", "--b", "2"]).is_err());
+    }
+
+    #[test]
+    fn reports_unknown_flags() {
+        let a = parse(&["tune", "--bugdet", "5"]).unwrap();
+        assert_eq!(a.unknown_flags(&["budget"]), vec!["bugdet".to_string()]);
+    }
+
+    #[test]
+    fn bad_typed_value_is_an_error() {
+        let a = parse(&["tune", "--budget", "abc"]).unwrap();
+        assert!(a.get_or("budget", 0.0_f64).is_err());
+    }
+}

@@ -1,0 +1,387 @@
+//! `slice-tuner-cli`: run Slice Tuner from the command line.
+//!
+//! ```text
+//! slice-tuner-cli tune      --family census --strategy moderate --budget 500
+//! slice-tuner-cli curves    --family fashion --size 300
+//! slice-tuner-cli autoslice --family census --examples 1200
+//! slice-tuner-cli families
+//! ```
+
+mod args;
+
+use args::Args;
+use slice_tuner::{PoolSource, SliceTuner, Strategy, TSchedule, TunerConfig};
+use st_data::{families, DatasetFamily, SlicedDataset, SlicingConfig};
+use st_models::ModelSpec;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let parsed = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match parsed.command.as_deref() {
+        Some("tune") => cmd_tune(&parsed),
+        Some("curves") => cmd_curves(&parsed),
+        Some("autoslice") => cmd_autoslice(&parsed),
+        Some("sensitivity") => cmd_sensitivity(&parsed),
+        Some("experiment") => cmd_experiment(&parsed),
+        Some("families") => cmd_families(),
+        _ => {
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "usage:\n  slice-tuner-cli tune      --family <name> [--strategy moderate] [--budget 500]\n\
+         \x20                           [--sizes 40,80,...] [--lambda 1] [--seed 42]\n\
+         \x20 slice-tuner-cli curves    --family <name> [--size 300] [--seed 42]\n\
+         \x20 slice-tuner-cli autoslice --family <name> [--examples 1200] [--max-depth 4]\n\
+         \x20 slice-tuner-cli sensitivity --family <name> [--budget 500] [--size 300]\n\
+         \x20 slice-tuner-cli experiment --family <name> [--strategies uniform,waterfilling,moderate]\n\
+         \x20                           [--budget 500] [--trials 3] [--format markdown|csv]\n\
+         \x20 slice-tuner-cli families\n\
+         families: fashion | mixed | faces | census"
+    );
+}
+
+fn family_by_name(name: &str) -> Result<DatasetFamily, String> {
+    match name {
+        "fashion" => Ok(families::fashion()),
+        "mixed" => Ok(families::mixed_selected()),
+        "faces" => Ok(families::faces()),
+        "census" => Ok(families::census()),
+        other => Err(format!("unknown family '{other}' (try: fashion, mixed, faces, census)")),
+    }
+}
+
+fn strategy_by_name(name: &str) -> Result<Strategy, String> {
+    match name {
+        "uniform" => Ok(Strategy::Uniform),
+        "waterfilling" | "water-filling" => Ok(Strategy::WaterFilling),
+        "proportional" => Ok(Strategy::Proportional),
+        "oneshot" | "one-shot" => Ok(Strategy::OneShot),
+        "conservative" => Ok(Strategy::Iterative(TSchedule::conservative())),
+        "moderate" => Ok(Strategy::Iterative(TSchedule::moderate())),
+        "aggressive" => Ok(Strategy::Iterative(TSchedule::aggressive())),
+        "bandit" => Ok(Strategy::RottingBandit(Default::default())),
+        other => Err(format!("unknown strategy '{other}'")),
+    }
+}
+
+fn spec_for(family: &DatasetFamily) -> ModelSpec {
+    if family.num_classes == 2 {
+        ModelSpec::softmax()
+    } else {
+        ModelSpec::basic()
+    }
+}
+
+fn cmd_tune(args: &Args) -> Result<(), String> {
+    let known =
+        ["family", "strategy", "budget", "sizes", "lambda", "seed", "validation", "epochs"];
+    reject_unknown(args, &known)?;
+    let family = family_by_name(args.get("family").unwrap_or("census"))?;
+    let strategy = strategy_by_name(args.get("strategy").unwrap_or("moderate"))?;
+    let budget: f64 = args.get_or("budget", 500.0)?;
+    let lambda: f64 = args.get_or("lambda", 1.0)?;
+    let seed: u64 = args.get_or("seed", 42)?;
+    let validation: usize = args.get_or("validation", 300)?;
+    let sizes = args
+        .get_list("sizes")?
+        .unwrap_or_else(|| vec![150; family.num_slices()]);
+    if sizes.len() != family.num_slices() {
+        return Err(format!(
+            "--sizes needs {} entries for family '{}'",
+            family.num_slices(),
+            family.name
+        ));
+    }
+
+    let ds = SlicedDataset::generate(&family, &sizes, validation, seed);
+    let mut pool = PoolSource::new(family.clone(), seed);
+    let mut config =
+        TunerConfig::new(spec_for(&family)).with_seed(seed).with_lambda(lambda);
+    config.train.epochs = args.get_or("epochs", config.train.epochs)?;
+    let mut tuner = SliceTuner::new(ds, &mut pool, config);
+    let result = tuner.run(strategy, budget);
+
+    println!("strategy {:<14} budget {budget}", strategy.name());
+    println!("{:<16} {:>8} {:>8} {:>8}", "slice", "initial", "acquired", "final");
+    for (i, name) in family.slice_names().iter().enumerate() {
+        println!(
+            "{name:<16} {:>8} {:>8} {:>8}",
+            sizes[i],
+            result.acquired[i],
+            tuner.dataset().train_sizes()[i]
+        );
+    }
+    println!(
+        "\nloss    {:.4} -> {:.4}\navg EER {:.4} -> {:.4}\nmax EER {:.4} -> {:.4}",
+        result.original.overall_loss,
+        result.report.overall_loss,
+        result.original.avg_eer,
+        result.report.avg_eer,
+        result.original.max_eer,
+        result.report.max_eer
+    );
+    println!(
+        "spent {:.1} in {} iterations using {} model trainings",
+        result.spent, result.iterations, result.trainings
+    );
+    Ok(())
+}
+
+fn cmd_curves(args: &Args) -> Result<(), String> {
+    reject_unknown(args, &["family", "size", "seed", "validation", "bands"])?;
+    let family = family_by_name(args.get("family").unwrap_or("census"))?;
+    let size: usize = args.get_or("size", 300)?;
+    let seed: u64 = args.get_or("seed", 42)?;
+    let validation: usize = args.get_or("validation", 300)?;
+    let bands: bool = args.get_or("bands", false)?;
+
+    let ds = SlicedDataset::generate(
+        &family,
+        &vec![size; family.num_slices()],
+        validation,
+        seed,
+    );
+    let mut pool = PoolSource::new(family.clone(), seed);
+    let config = TunerConfig::new(spec_for(&family)).with_seed(seed);
+    let tuner = SliceTuner::new(ds, &mut pool, config);
+    let detail = tuner.estimate_curves_detailed(0);
+
+    println!("learning curves at size {size} ({} trainings):", tuner.trainings());
+    for (name, est) in family.slice_names().iter().zip(&detail) {
+        match &est.fit {
+            Ok(c) => {
+                print!(
+                    "  {name:<16} y = {:.3}x^(-{:.3})   loss({size}) = {:.3}   loss({}) = {:.3}",
+                    c.b,
+                    c.a,
+                    c.eval(size as f64),
+                    size * 4,
+                    c.eval(size as f64 * 4.0)
+                );
+                if bands {
+                    match est.bands(200, 0.9, seed) {
+                        Ok(b) => {
+                            let iv = b.a_interval();
+                            print!(
+                                "   a ∈ [{:.3}, {:.3}]  rel width {:.0}%",
+                                iv.lo,
+                                iv.hi,
+                                100.0 * b.relative_width(size as f64 * 4.0)
+                            );
+                        }
+                        Err(_) => print!("   (bands unavailable)"),
+                    }
+                }
+                println!();
+            }
+            Err(e) => println!("  {name:<16} fit failed: {e}"),
+        }
+    }
+    if bands {
+        println!("\n(rel width = 90% bootstrap band around the predicted loss at 4x the");
+        println!(" current size — wide bands mean the optimizer is running on hints)");
+    }
+    Ok(())
+}
+
+fn cmd_autoslice(args: &Args) -> Result<(), String> {
+    reject_unknown(args, &["family", "examples", "max-depth", "min-size", "seed"])?;
+    let family = family_by_name(args.get("family").unwrap_or("census"))?;
+    let n: usize = args.get_or("examples", 1200)?;
+    let seed: u64 = args.get_or("seed", 42)?;
+    let cfg = SlicingConfig {
+        max_depth: args.get_or("max-depth", 4)?,
+        min_slice_size: args.get_or("min-size", 30)?,
+        ..Default::default()
+    };
+
+    // Pool the family's slices into one unsliced dataset, then rediscover
+    // structure with the Appendix A procedure.
+    let per = n / family.num_slices();
+    let ds = SlicedDataset::generate(&family, &vec![per; family.num_slices()], 0, seed);
+    let all = ds.all_train();
+    let result = st_data::auto_slice(&all, family.num_classes, &cfg);
+
+    println!(
+        "auto-sliced {} examples of '{}' into {} slices with {} splits:",
+        all.len(),
+        family.name,
+        result.num_slices,
+        result.splits.len()
+    );
+    for (i, (&size, &h)) in
+        result.slice_sizes().iter().zip(&result.slice_entropies).enumerate()
+    {
+        println!("  slice {i:<3} size {size:<6} label entropy {h:.3}");
+    }
+    Ok(())
+}
+
+fn cmd_sensitivity(args: &Args) -> Result<(), String> {
+    reject_unknown(args, &["family", "budget", "size", "lambda", "seed", "validation"])?;
+    let family = family_by_name(args.get("family").unwrap_or("census"))?;
+    let budget: f64 = args.get_or("budget", 500.0)?;
+    let size: usize = args.get_or("size", 300)?;
+    let lambda: f64 = args.get_or("lambda", 1.0)?;
+    let seed: u64 = args.get_or("seed", 42)?;
+    let validation: usize = args.get_or("validation", 300)?;
+
+    let ds = SlicedDataset::generate(
+        &family,
+        &vec![size; family.num_slices()],
+        validation,
+        seed,
+    );
+    let mut pool = PoolSource::new(family.clone(), seed);
+    let config = TunerConfig::new(spec_for(&family)).with_seed(seed).with_lambda(lambda);
+    let tuner = SliceTuner::new(ds, &mut pool, config);
+    let curves = tuner.estimate_curves(0);
+
+    let sizes: Vec<f64> =
+        tuner.dataset().train_sizes().iter().map(|&s| s as f64).collect();
+    let problem = st_optim::AcquisitionProblem::new(
+        curves,
+        sizes,
+        tuner.dataset().costs(),
+        budget,
+        lambda,
+    );
+    let report =
+        st_optim::budget_sensitivity(&problem, &st_optim::BarrierOptions::default());
+
+    println!("budget {budget}: marginal objective value {:.6}/unit", report.marginal_value);
+    println!("{:<16} {:>12} {:>14}", "slice", "allocation", "d alloc / d B");
+    for (i, name) in family.slice_names().iter().enumerate() {
+        println!(
+            "{name:<16} {:>12.1} {:>14.4}",
+            report.allocation[i], report.allocation_gradient[i]
+        );
+    }
+    let sweep = st_optim::budget_curve(
+        &problem,
+        &[budget * 0.5, budget, budget * 2.0, budget * 4.0],
+        &st_optim::BarrierOptions::default(),
+    );
+    println!("\nobjective vs budget:");
+    for (b, f) in sweep {
+        println!("  B = {b:<10.0} objective = {f:.4}");
+    }
+    Ok(())
+}
+
+fn cmd_experiment(args: &Args) -> Result<(), String> {
+    let known = [
+        "family", "strategies", "budget", "trials", "size", "lambda", "seed", "validation",
+        "epochs", "format", "threads", "config",
+    ];
+    reject_unknown(args, &known)?;
+
+    // Start from a config file when given; flags override its values.
+    let base = match args.get("config") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            slice_tuner::ExperimentSpec::parse(&text).map_err(|e| e.to_string())?
+        }
+        None => slice_tuner::ExperimentSpec::default(),
+    };
+
+    let family = family_by_name(args.get("family").unwrap_or(&base.family))?;
+    let strategies: Vec<Strategy> = match args.get("strategies") {
+        Some(list) => list
+            .split(',')
+            .map(|s| strategy_by_name(s.trim()))
+            .collect::<Result<_, _>>()?,
+        None => base.strategies.clone(),
+    };
+    let budget: f64 = args.get_or("budget", base.budget)?;
+    let trials: usize = args.get_or("trials", base.trials)?;
+    let size: usize = args.get_or("size", base.initial_size)?;
+    let lambda: f64 = args.get_or("lambda", base.lambda)?;
+    let seed: u64 = args.get_or("seed", base.seed)?;
+    let validation: usize = args.get_or("validation", base.validation_size)?;
+    let threads: usize = args.get_or("threads", 0)?;
+    let format = args.get("format").unwrap_or("markdown");
+
+    let mut config =
+        TunerConfig::new(spec_for(&family)).with_seed(seed).with_lambda(lambda);
+    let default_epochs =
+        if base.epochs > 0 { base.epochs } else { config.train.epochs };
+    config.train.epochs = args.get_or("epochs", default_epochs)?;
+
+    let sizes = vec![size; family.num_slices()];
+    let rows: Vec<slice_tuner::AggregateResult> = strategies
+        .iter()
+        .map(|&s| {
+            slice_tuner::run_trials_parallel(
+                &family, &sizes, validation, budget, s, &config, trials, threads,
+            )
+        })
+        .collect();
+
+    match format {
+        "markdown" => {
+            let title = format!(
+                "{} — B = {budget}, λ = {lambda}, init {size}/slice, {trials} trials",
+                family.name
+            );
+            print!("{}", slice_tuner::methods_markdown(&title, &rows));
+            print!(
+                "\n{}",
+                slice_tuner::acquisition_markdown(
+                    "Acquired per slice (mean)",
+                    &family.slice_names(),
+                    &sizes,
+                    &rows,
+                )
+            );
+        }
+        "csv" => print!("{}", slice_tuner::methods_csv(&rows)),
+        other => return Err(format!("unknown format '{other}' (markdown | csv)")),
+    }
+    Ok(())
+}
+
+fn cmd_families() -> Result<(), String> {
+    for fam in [families::fashion(), families::mixed(), families::faces(), families::census()] {
+        println!(
+            "{:<10} {} slices, {} classes, dim {}",
+            fam.name,
+            fam.num_slices(),
+            fam.num_classes,
+            fam.feature_dim
+        );
+        for (name, cost) in fam.slice_names().iter().zip(fam.costs()) {
+            println!("    {name:<16} cost {cost}");
+        }
+    }
+    Ok(())
+}
+
+fn reject_unknown(args: &Args, known: &[&str]) -> Result<(), String> {
+    let unknown = args.unknown_flags(known);
+    if unknown.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("unknown flags: {}", unknown.join(", ")))
+    }
+}

@@ -1,0 +1,264 @@
+//! Crowdsourcing simulator: the UTKFace / Amazon Mechanical Turk pipeline.
+//!
+//! Section 6.1 describes the real acquisition loop the paper ran: workers
+//! are paid per image to find new face photos of a requested demographic;
+//! some submissions are duplicates (workers cannot see what was already
+//! collected), some are mistakes (wrong demographic); a post-processing
+//! step filters obvious errors and removes exact duplicates; the per-slice
+//! cost is proportional to the mean seconds a task takes (Table 1).
+//!
+//! [`CrowdSimulator`] reproduces that economics: requested examples are
+//! drawn from the family's pool, a seeded fraction is marked duplicate or
+//! mislabeled, post-processing drops them, and per-task latencies are
+//! sampled around the slice's mean so Table 1 can be regenerated from the
+//! collected [`CrowdStats`].
+
+use super::AcquisitionSource;
+use rand::Rng;
+use st_data::{normal, seeded_rng, split_seed, DatasetFamily, Example, SliceId};
+
+/// Worker-behaviour knobs for the simulator.
+#[derive(Debug, Clone)]
+pub struct CrowdConfig {
+    /// Probability a submission duplicates an earlier one. The paper notes
+    /// the duplicate rate is "not as high as one may think" because workers
+    /// use many different websites.
+    pub duplicate_rate: f64,
+    /// Probability a submission shows the wrong demographic and is filtered
+    /// in post-processing.
+    pub mistake_rate: f64,
+    /// Mean seconds to finish one task, per slice (Table 1's first row).
+    pub mean_task_seconds: Vec<f64>,
+    /// Relative spread of task latencies (lognormal-ish jitter).
+    pub latency_jitter: f64,
+    /// Payment per accepted image in dollars (the paper pays 4 cents).
+    pub pay_per_image: f64,
+}
+
+impl CrowdConfig {
+    /// The UTKFace configuration: Table 1 latencies, modest duplicate and
+    /// mistake rates, 4 cents per image.
+    pub fn utkface() -> Self {
+        CrowdConfig {
+            duplicate_rate: 0.06,
+            mistake_rate: 0.08,
+            mean_task_seconds: st_data::families::faces::FACE_TASK_SECONDS.to_vec(),
+            latency_jitter: 0.25,
+            pay_per_image: 0.04,
+        }
+    }
+}
+
+/// Bookkeeping of everything the simulated crowd did.
+#[derive(Debug, Clone, Default)]
+pub struct CrowdStats {
+    /// Tasks submitted per slice (accepted + filtered).
+    pub tasks: Vec<usize>,
+    /// Accepted examples per slice.
+    pub accepted: Vec<usize>,
+    /// Submissions dropped as duplicates per slice.
+    pub duplicates: Vec<usize>,
+    /// Submissions dropped as wrong-demographic mistakes per slice.
+    pub mistakes: Vec<usize>,
+    /// Total task seconds per slice.
+    pub seconds: Vec<f64>,
+    /// Dollars paid (per accepted image).
+    pub dollars: f64,
+}
+
+impl CrowdStats {
+    fn with_slices(n: usize) -> Self {
+        CrowdStats {
+            tasks: vec![0; n],
+            accepted: vec![0; n],
+            duplicates: vec![0; n],
+            mistakes: vec![0; n],
+            seconds: vec![0.0; n],
+            dollars: 0.0,
+        }
+    }
+
+    /// Observed mean task seconds per slice.
+    pub fn mean_seconds(&self) -> Vec<f64> {
+        self.tasks
+            .iter()
+            .zip(&self.seconds)
+            .map(|(&t, &s)| if t == 0 { f64::NAN } else { s / t as f64 })
+            .collect()
+    }
+
+    /// Table 1's cost row: mean task seconds normalized by the cheapest
+    /// slice, rounded to one decimal.
+    pub fn derived_costs(&self) -> Vec<f64> {
+        let means = self.mean_seconds();
+        let min = means.iter().cloned().filter(|m| m.is_finite()).fold(f64::INFINITY, f64::min);
+        means.iter().map(|m| ((m / min) * 10.0).round() / 10.0).collect()
+    }
+}
+
+/// A seeded Mechanical Turk stand-in over a dataset family.
+#[derive(Debug, Clone)]
+pub struct CrowdSimulator {
+    family: DatasetFamily,
+    config: CrowdConfig,
+    seed: u64,
+    next_stream: Vec<u64>,
+    stats: CrowdStats,
+    /// Collection rounds completed (the paper acquired during 8 periods).
+    rounds: usize,
+}
+
+impl CrowdSimulator {
+    /// Creates a simulator.
+    ///
+    /// # Panics
+    /// Panics if the latency table length does not match the slice count or
+    /// rates are out of `[0, 1)`.
+    pub fn new(family: DatasetFamily, config: CrowdConfig, seed: u64) -> Self {
+        let n = family.num_slices();
+        assert_eq!(config.mean_task_seconds.len(), n, "latency table length mismatch");
+        assert!((0.0..1.0).contains(&config.duplicate_rate), "duplicate_rate out of range");
+        assert!((0.0..1.0).contains(&config.mistake_rate), "mistake_rate out of range");
+        CrowdSimulator {
+            config,
+            seed,
+            next_stream: vec![2; n],
+            stats: CrowdStats::with_slices(n),
+            rounds: 0,
+            family,
+        }
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CrowdStats {
+        &self.stats
+    }
+
+    /// Collection rounds performed so far.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+}
+
+impl AcquisitionSource for CrowdSimulator {
+    fn cost(&self, slice: SliceId) -> f64 {
+        // Cost ∝ mean task time, normalized by the cheapest slice — exactly
+        // how Table 1 derives C from the latency row.
+        let min =
+            self.config.mean_task_seconds.iter().cloned().fold(f64::INFINITY, f64::min);
+        let c = self.config.mean_task_seconds[slice.index()] / min;
+        (c * 10.0).round() / 10.0
+    }
+
+    fn acquire(&mut self, slice: SliceId, n: usize) -> Vec<Example> {
+        let i = slice.index();
+        self.rounds += 1;
+        let mut rng = seeded_rng(split_seed(self.seed, (i as u64) << 40 | self.rounds as u64));
+
+        let mut accepted = Vec::with_capacity(n);
+        // Keep posting tasks until n clean images are in hand (bounded so a
+        // pathological config cannot loop forever).
+        let max_tasks = n.saturating_mul(4) + 16;
+        let mut tasks = 0;
+        while accepted.len() < n && tasks < max_tasks {
+            tasks += 1;
+            // Task latency: mean scaled by positive jitter.
+            let jitter = (self.config.latency_jitter * normal(&mut rng)).exp();
+            self.stats.seconds[i] += self.config.mean_task_seconds[i] * jitter;
+
+            let roll: f64 = rng.gen();
+            if roll < self.config.duplicate_rate {
+                self.stats.duplicates[i] += 1;
+                continue; // removed by exact-duplicate dedup
+            }
+            if roll < self.config.duplicate_rate + self.config.mistake_rate {
+                self.stats.mistakes[i] += 1;
+                continue; // filtered as an obvious error
+            }
+            let stream = self.next_stream[i];
+            self.next_stream[i] += 1;
+            accepted.extend(self.family.sample_slice_seeded(slice, 1, self.seed, stream));
+        }
+        self.stats.tasks[i] += tasks;
+        self.stats.accepted[i] += accepted.len();
+        self.stats.dollars += accepted.len() as f64 * self.config.pay_per_image;
+        accepted
+    }
+
+    fn name(&self) -> &'static str {
+        "crowd"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_data::families::faces;
+
+    fn simulator(seed: u64) -> CrowdSimulator {
+        CrowdSimulator::new(faces(), CrowdConfig::utkface(), seed)
+    }
+
+    #[test]
+    fn costs_match_table1() {
+        let sim = simulator(1);
+        let expected = st_data::families::faces::FACE_COSTS;
+        for (i, &c) in expected.iter().enumerate() {
+            assert!((sim.cost(SliceId(i)) - c).abs() < 0.051, "slice {i}");
+        }
+    }
+
+    #[test]
+    fn yield_accounts_for_filtering() {
+        let mut sim = simulator(2);
+        let got = sim.acquire(SliceId(0), 200);
+        assert_eq!(got.len(), 200, "simulator keeps posting tasks until filled");
+        let st = sim.stats();
+        assert!(st.tasks[0] > 200, "filtering forces extra tasks: {}", st.tasks[0]);
+        assert!(st.duplicates[0] + st.mistakes[0] > 0);
+        assert_eq!(st.accepted[0], 200);
+    }
+
+    #[test]
+    fn observed_latencies_track_table1() {
+        let mut sim = simulator(3);
+        for i in 0..8 {
+            sim.acquire(SliceId(i), 300);
+        }
+        let means = sim.stats().mean_seconds();
+        for (i, &expected) in CrowdConfig::utkface().mean_task_seconds.iter().enumerate() {
+            // Lognormal jitter biases the mean up by exp(σ²/2) ≈ 3%.
+            assert!(
+                (means[i] / expected - 1.0).abs() < 0.12,
+                "slice {i}: {} vs {expected}",
+                means[i]
+            );
+        }
+        // Derived costs reproduce Table 1 within rounding noise.
+        let costs = sim.stats().derived_costs();
+        for (i, &c) in st_data::families::faces::FACE_COSTS.iter().enumerate() {
+            assert!((costs[i] - c).abs() <= 0.2, "slice {i}: {} vs {c}", costs[i]);
+        }
+    }
+
+    #[test]
+    fn payment_is_per_accepted_image() {
+        let mut sim = simulator(4);
+        let got = sim.acquire(SliceId(5), 50);
+        assert!((sim.stats().dollars - got.len() as f64 * 0.04).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = simulator(7);
+        let mut b = simulator(7);
+        assert_eq!(a.acquire(SliceId(1), 30), b.acquire(SliceId(1), 30));
+    }
+
+    #[test]
+    fn acquired_examples_belong_to_slice() {
+        let mut sim = simulator(8);
+        let got = sim.acquire(SliceId(3), 40);
+        assert!(got.iter().all(|e| e.slice == SliceId(3)));
+    }
+}

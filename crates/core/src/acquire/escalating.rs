@@ -1,0 +1,163 @@
+//! Scarcity-driven cost escalation.
+//!
+//! Section 2.1: "As more examples are acquired for `s`, `C(s)` may increase
+//! possibly because data becomes scarcer. However, we assume that data is
+//! acquired in batches ... and that `C(s)` is a constant for each batch."
+//! [`EscalatingSource`] implements exactly that model: the quoted cost is a
+//! step function of how much has already been delivered, constant between
+//! deliveries, and the tuner re-reads it at each Algorithm 1 iteration.
+
+use super::AcquisitionSource;
+use st_data::{Example, SliceId};
+
+/// Cost-escalation policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EscalationConfig {
+    /// Delivered examples per price step (the "batch" granularity).
+    pub step: usize,
+    /// Multiplicative cost increase per full step (e.g. 0.25 = +25%).
+    pub rate: f64,
+}
+
+impl Default for EscalationConfig {
+    fn default() -> Self {
+        EscalationConfig { step: 100, rate: 0.25 }
+    }
+}
+
+/// Wraps a source so each slice's cost grows as it is drained.
+pub struct EscalatingSource<S> {
+    inner: S,
+    config: EscalationConfig,
+    delivered: Vec<usize>,
+}
+
+impl<S: AcquisitionSource> EscalatingSource<S> {
+    /// Wraps `inner` with the given policy.
+    ///
+    /// # Panics
+    /// Panics for a non-positive step or a negative rate.
+    pub fn new(inner: S, config: EscalationConfig) -> Self {
+        assert!(config.step > 0, "step must be positive");
+        assert!(config.rate >= 0.0, "rate must be non-negative");
+        EscalatingSource { inner, config, delivered: Vec::new() }
+    }
+
+    /// Total delivered so far for `slice`.
+    pub fn delivered(&self, slice: SliceId) -> usize {
+        self.delivered.get(slice.index()).copied().unwrap_or(0)
+    }
+
+    /// The wrapped source.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: AcquisitionSource> AcquisitionSource for EscalatingSource<S> {
+    /// Current quoted price: base price times `(1 + rate)^steps_completed`.
+    /// Constant until the next delivery crosses a step boundary.
+    fn cost(&self, slice: SliceId) -> f64 {
+        let steps = (self.delivered(slice) / self.config.step) as i32;
+        self.inner.cost(slice) * (1.0 + self.config.rate).powi(steps)
+    }
+
+    fn acquire(&mut self, slice: SliceId, n: usize) -> Vec<Example> {
+        let got = self.inner.acquire(slice, n);
+        let idx = slice.index();
+        if self.delivered.len() <= idx {
+            self.delivered.resize(idx + 1, 0);
+        }
+        self.delivered[idx] += got.len();
+        got
+    }
+
+    fn name(&self) -> &'static str {
+        "escalating"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::acquire::PoolSource;
+    use st_data::families::census;
+
+    fn source(step: usize, rate: f64) -> EscalatingSource<PoolSource> {
+        EscalatingSource::new(
+            PoolSource::new(census(), 3),
+            EscalationConfig { step, rate },
+        )
+    }
+
+    #[test]
+    fn price_is_constant_within_a_step() {
+        let mut src = source(50, 0.5);
+        assert_eq!(src.cost(SliceId(0)), 1.0);
+        src.acquire(SliceId(0), 49);
+        assert_eq!(src.cost(SliceId(0)), 1.0, "still inside the first batch");
+        src.acquire(SliceId(0), 1);
+        assert_eq!(src.cost(SliceId(0)), 1.5, "one full step completed");
+    }
+
+    #[test]
+    fn price_compounds_per_step() {
+        let mut src = source(10, 0.25);
+        src.acquire(SliceId(1), 35); // 3 full steps
+        let expect = 1.0 * 1.25f64.powi(3);
+        assert!((src.cost(SliceId(1)) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slices_escalate_independently() {
+        let mut src = source(10, 1.0);
+        src.acquire(SliceId(0), 25);
+        assert_eq!(src.cost(SliceId(0)), 4.0);
+        assert_eq!(src.cost(SliceId(1)), 1.0, "untouched slice keeps base price");
+    }
+
+    #[test]
+    fn zero_rate_never_escalates() {
+        let mut src = source(10, 0.0);
+        src.acquire(SliceId(0), 500);
+        assert_eq!(src.cost(SliceId(0)), 1.0);
+    }
+
+    #[test]
+    fn successive_batches_pay_escalated_prices() {
+        use crate::{SliceTuner, Strategy, TunerConfig};
+        use st_data::SlicedDataset;
+        use st_models::ModelSpec;
+
+        // Every 20 delivered examples doubles a slice's price.
+        let fam = census();
+        let ds = SlicedDataset::generate(&fam, &[40; 4], 60, 5);
+        let mut src = EscalatingSource::new(
+            PoolSource::new(fam, 6),
+            EscalationConfig { step: 20, rate: 1.0 },
+        );
+        let mut cfg = TunerConfig::new(ModelSpec::softmax());
+        cfg.train.epochs = 8;
+        cfg.fractions = vec![0.4, 0.7, 1.0];
+        cfg.repeats = 1;
+        cfg.threads = 1;
+        let mut tuner = SliceTuner::new(ds, &mut src, cfg);
+
+        // Batch 1 at base prices: 150/4 = 37 per slice, crossing one step.
+        let first = tuner.run(Strategy::Uniform, 150.0);
+        let first_total: usize = first.acquired.iter().sum();
+        assert_eq!(first_total, 150, "unit prices: the whole budget converts to examples");
+
+        // Batch 2: the tuner re-reads prices (now 2.0 per slice after one
+        // completed step), so the same budget buys about half the data.
+        let second = tuner.run(Strategy::Uniform, 150.0);
+        let second_total: usize = second.acquired.iter().sum();
+        assert!(
+            second_total < first_total / 2 + 8,
+            "escalated batch bought {second_total} vs first {first_total}"
+        );
+        assert!(second.spent <= 150.0 + 1e-9);
+        // Dataset costs reflect the refreshed (escalated) quotes.
+        assert!(tuner.dataset().costs().iter().all(|&c| c >= 2.0));
+    }
+}

@@ -1,0 +1,144 @@
+//! Fault-injecting acquisition source for robustness testing.
+//!
+//! Real acquisition under-delivers: crowdsourcing rounds come back short,
+//! dataset searches dry up, and some slices are simply exhaustible. The
+//! paper's framework charges only for delivered examples; [`FaultySource`]
+//! wraps any source with configurable under-delivery and per-slice
+//! exhaustion so tests can assert Slice Tuner degrades gracefully instead
+//! of overspending or looping forever.
+
+use super::AcquisitionSource;
+use rand::rngs::StdRng;
+use rand::Rng;
+use st_data::{seeded_rng, Example, SliceId};
+
+/// Failure model applied on top of an inner source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultConfig {
+    /// Fraction of each request that is independently dropped (0 = reliable).
+    pub drop_rate: f64,
+    /// Hard cap on the total examples each slice can ever deliver
+    /// (`usize::MAX` = unbounded).
+    pub capacity_per_slice: usize,
+    /// Seed for the drop draws.
+    pub seed: u64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig { drop_rate: 0.0, capacity_per_slice: usize::MAX, seed: 0 }
+    }
+}
+
+/// An [`AcquisitionSource`] decorator that under-delivers.
+pub struct FaultySource<S> {
+    inner: S,
+    config: FaultConfig,
+    delivered: Vec<usize>,
+    rng: StdRng,
+}
+
+impl<S: AcquisitionSource> FaultySource<S> {
+    /// Wraps `inner` with the given failure model.
+    ///
+    /// # Panics
+    /// Panics when `drop_rate` is outside `[0, 1]`.
+    pub fn new(inner: S, config: FaultConfig) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&config.drop_rate),
+            "drop_rate must be a probability"
+        );
+        let rng = seeded_rng(config.seed);
+        FaultySource { inner, config, delivered: Vec::new(), rng }
+    }
+
+    /// Total examples delivered so far for `slice`.
+    pub fn delivered(&self, slice: SliceId) -> usize {
+        self.delivered.get(slice.index()).copied().unwrap_or(0)
+    }
+
+    /// The wrapped source.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: AcquisitionSource> AcquisitionSource for FaultySource<S> {
+    fn cost(&self, slice: SliceId) -> f64 {
+        self.inner.cost(slice)
+    }
+
+    fn acquire(&mut self, slice: SliceId, n: usize) -> Vec<Example> {
+        let idx = slice.index();
+        if self.delivered.len() <= idx {
+            self.delivered.resize(idx + 1, 0);
+        }
+        let remaining_capacity =
+            self.config.capacity_per_slice.saturating_sub(self.delivered[idx]);
+        let want = n.min(remaining_capacity);
+        let mut got = self.inner.acquire(slice, want);
+        if self.config.drop_rate > 0.0 {
+            got.retain(|_| self.rng.gen::<f64>() >= self.config.drop_rate);
+        }
+        self.delivered[idx] += got.len();
+        got
+    }
+
+    fn name(&self) -> &'static str {
+        "faulty"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::acquire::PoolSource;
+    use st_data::families::census;
+
+    fn pool() -> PoolSource {
+        PoolSource::new(census(), 7)
+    }
+
+    #[test]
+    fn zero_faults_is_transparent() {
+        let mut src = FaultySource::new(pool(), FaultConfig::default());
+        let got = src.acquire(SliceId(0), 25);
+        assert_eq!(got.len(), 25);
+        assert_eq!(src.delivered(SliceId(0)), 25);
+        assert_eq!(src.cost(SliceId(0)), 1.0);
+    }
+
+    #[test]
+    fn drop_rate_shrinks_deliveries() {
+        let cfg = FaultConfig { drop_rate: 0.5, seed: 3, ..Default::default() };
+        let mut src = FaultySource::new(pool(), cfg);
+        let got = src.acquire(SliceId(1), 400);
+        assert!(got.len() < 300, "expected heavy shrinkage, got {}", got.len());
+        assert!(got.len() > 100, "should not drop nearly everything: {}", got.len());
+    }
+
+    #[test]
+    fn capacity_exhausts_a_slice() {
+        let cfg = FaultConfig { capacity_per_slice: 30, ..Default::default() };
+        let mut src = FaultySource::new(pool(), cfg);
+        assert_eq!(src.acquire(SliceId(0), 20).len(), 20);
+        assert_eq!(src.acquire(SliceId(0), 20).len(), 10, "only 10 remain");
+        assert_eq!(src.acquire(SliceId(0), 20).len(), 0, "slice exhausted");
+        // Other slices are unaffected.
+        assert_eq!(src.acquire(SliceId(1), 20).len(), 20);
+    }
+
+    #[test]
+    fn faults_are_deterministic_per_seed() {
+        let cfg = FaultConfig { drop_rate: 0.3, seed: 11, ..Default::default() };
+        let a = FaultySource::new(pool(), cfg.clone()).acquire(SliceId(2), 100).len();
+        let b = FaultySource::new(pool(), cfg).acquire(SliceId(2), 100).len();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn rejects_invalid_drop_rate() {
+        let _ = FaultySource::new(pool(), FaultConfig { drop_rate: 1.5, ..Default::default() });
+    }
+}

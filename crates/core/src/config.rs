@@ -1,0 +1,305 @@
+//! Declarative experiment specifications.
+//!
+//! Experiments are parameterized by a handful of values (family, budget,
+//! strategies, trials, λ, …). [`ExperimentSpec`] captures them in one
+//! struct parseable from a simple `key = value` text format, so runs can be
+//! versioned next to their results instead of living in shell history:
+//!
+//! ```text
+//! # census sweep, paper trial count
+//! family     = census
+//! strategies = uniform, waterfilling, moderate
+//! budget     = 500
+//! trials     = 10
+//! lambda     = 0.1
+//! ```
+//!
+//! Lines starting with `#` and blank lines are ignored. Unknown keys are
+//! errors (typo guard). The format is deliberately not TOML/JSON — it needs
+//! no dependencies and round-trips through [`ExperimentSpec::to_text`].
+
+use crate::strategy::{BanditParams, Strategy, TSchedule};
+
+/// A complete experiment description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentSpec {
+    /// Dataset family name (`fashion` / `mixed` / `faces` / `census`).
+    pub family: String,
+    /// Strategies to compare, in report order.
+    pub strategies: Vec<Strategy>,
+    /// Acquisition budget `B`.
+    pub budget: f64,
+    /// Trials per strategy.
+    pub trials: usize,
+    /// Initial training size per slice.
+    pub initial_size: usize,
+    /// Validation size per slice.
+    pub validation_size: usize,
+    /// Fairness weight λ.
+    pub lambda: f64,
+    /// Master seed.
+    pub seed: u64,
+    /// Training epochs (0 = library default).
+    pub epochs: usize,
+}
+
+impl Default for ExperimentSpec {
+    fn default() -> Self {
+        ExperimentSpec {
+            family: "census".into(),
+            strategies: vec![
+                Strategy::Uniform,
+                Strategy::WaterFilling,
+                Strategy::Iterative(TSchedule::moderate()),
+            ],
+            budget: 500.0,
+            trials: 3,
+            initial_size: 150,
+            validation_size: 300,
+            lambda: 1.0,
+            seed: 42,
+            epochs: 0,
+        }
+    }
+}
+
+/// Errors from [`ExperimentSpec::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// A line had no `=` separator.
+    MissingEquals {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// The key is not recognized.
+    UnknownKey {
+        /// 1-based line number.
+        line: usize,
+        /// The offending key.
+        key: String,
+    },
+    /// The value failed to parse for its key.
+    BadValue {
+        /// 1-based line number.
+        line: usize,
+        /// The key whose value failed.
+        key: String,
+        /// The offending value.
+        value: String,
+    },
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::MissingEquals { line } => write!(f, "line {line}: expected key = value"),
+            SpecError::UnknownKey { line, key } => write!(f, "line {line}: unknown key {key:?}"),
+            SpecError::BadValue { line, key, value } => {
+                write!(f, "line {line}: cannot parse {value:?} for {key}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// Parses a strategy name (the same vocabulary as the CLI).
+pub fn strategy_from_name(name: &str) -> Option<Strategy> {
+    match name {
+        "uniform" => Some(Strategy::Uniform),
+        "waterfilling" | "water-filling" => Some(Strategy::WaterFilling),
+        "proportional" => Some(Strategy::Proportional),
+        "oneshot" | "one-shot" => Some(Strategy::OneShot),
+        "conservative" => Some(Strategy::Iterative(TSchedule::conservative())),
+        "moderate" => Some(Strategy::Iterative(TSchedule::moderate())),
+        "aggressive" => Some(Strategy::Iterative(TSchedule::aggressive())),
+        "bandit" => Some(Strategy::RottingBandit(BanditParams::default())),
+        _ => None,
+    }
+}
+
+/// Canonical config name of a strategy (inverse of [`strategy_from_name`]).
+pub fn strategy_to_name(s: Strategy) -> &'static str {
+    match s {
+        Strategy::Uniform => "uniform",
+        Strategy::WaterFilling => "waterfilling",
+        Strategy::Proportional => "proportional",
+        Strategy::OneShot => "oneshot",
+        Strategy::Iterative(TSchedule::Conservative) => "conservative",
+        Strategy::Iterative(TSchedule::Moderate(_)) => "moderate",
+        Strategy::Iterative(TSchedule::Aggressive(_)) => "aggressive",
+        Strategy::RottingBandit(_) => "bandit",
+    }
+}
+
+impl ExperimentSpec {
+    /// Parses the `key = value` format, starting from the defaults.
+    ///
+    /// ```
+    /// use slice_tuner::ExperimentSpec;
+    /// let spec = ExperimentSpec::parse("family = faces\nbudget = 3000\n").unwrap();
+    /// assert_eq!(spec.family, "faces");
+    /// assert_eq!(spec.budget, 3000.0);
+    /// assert_eq!(spec.trials, 3, "unspecified keys keep their defaults");
+    /// ```
+    ///
+    /// # Errors
+    /// Returns the first [`SpecError`] encountered.
+    pub fn parse(text: &str) -> Result<Self, SpecError> {
+        let mut spec = ExperimentSpec::default();
+        for (i, raw) in text.lines().enumerate() {
+            let line = i + 1;
+            let trimmed = raw.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            let (key, value) = trimmed
+                .split_once('=')
+                .ok_or(SpecError::MissingEquals { line })?;
+            let key = key.trim();
+            let value = value.trim();
+            let bad = || SpecError::BadValue {
+                line,
+                key: key.to_string(),
+                value: value.to_string(),
+            };
+            match key {
+                "family" => spec.family = value.to_string(),
+                "strategies" => {
+                    spec.strategies = value
+                        .split(',')
+                        .map(|s| strategy_from_name(s.trim()).ok_or_else(bad))
+                        .collect::<Result<_, _>>()?;
+                }
+                "budget" => spec.budget = value.parse().map_err(|_| bad())?,
+                "trials" => spec.trials = value.parse().map_err(|_| bad())?,
+                "initial_size" => spec.initial_size = value.parse().map_err(|_| bad())?,
+                "validation_size" => {
+                    spec.validation_size = value.parse().map_err(|_| bad())?
+                }
+                "lambda" => spec.lambda = value.parse().map_err(|_| bad())?,
+                "seed" => spec.seed = value.parse().map_err(|_| bad())?,
+                "epochs" => spec.epochs = value.parse().map_err(|_| bad())?,
+                other => {
+                    return Err(SpecError::UnknownKey { line, key: other.to_string() })
+                }
+            }
+        }
+        Ok(spec)
+    }
+
+    /// Serializes back to the parseable text format.
+    pub fn to_text(&self) -> String {
+        let strategies: Vec<&str> =
+            self.strategies.iter().map(|&s| strategy_to_name(s)).collect();
+        format!(
+            "family = {}\nstrategies = {}\nbudget = {}\ntrials = {}\n\
+             initial_size = {}\nvalidation_size = {}\nlambda = {}\nseed = {}\nepochs = {}\n",
+            self.family,
+            strategies.join(", "),
+            self.budget,
+            self.trials,
+            self.initial_size,
+            self.validation_size,
+            self.lambda,
+            self.seed,
+            self.epochs
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_text_yields_defaults() {
+        assert_eq!(ExperimentSpec::parse("").unwrap(), ExperimentSpec::default());
+        assert_eq!(
+            ExperimentSpec::parse("# just a comment\n\n").unwrap(),
+            ExperimentSpec::default()
+        );
+    }
+
+    #[test]
+    fn full_spec_parses() {
+        let text = "\
+            family = faces\n\
+            strategies = uniform, oneshot, aggressive\n\
+            budget = 3000\n\
+            trials = 10\n\
+            initial_size = 400\n\
+            validation_size = 500\n\
+            lambda = 0.1\n\
+            seed = 7\n\
+            epochs = 20\n";
+        let spec = ExperimentSpec::parse(text).unwrap();
+        assert_eq!(spec.family, "faces");
+        assert_eq!(
+            spec.strategies,
+            vec![
+                Strategy::Uniform,
+                Strategy::OneShot,
+                Strategy::Iterative(TSchedule::aggressive())
+            ]
+        );
+        assert_eq!(spec.budget, 3000.0);
+        assert_eq!(spec.trials, 10);
+        assert_eq!(spec.lambda, 0.1);
+        assert_eq!(spec.epochs, 20);
+    }
+
+    #[test]
+    fn round_trips_through_text() {
+        let mut spec = ExperimentSpec::default();
+        spec.family = "mixed".into();
+        spec.strategies = vec![Strategy::Proportional, Strategy::OneShot];
+        spec.budget = 6000.0;
+        let back = ExperimentSpec::parse(&spec.to_text()).unwrap();
+        assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn unknown_key_is_an_error_with_line_number() {
+        let err = ExperimentSpec::parse("family = census\nbugdet = 5\n").unwrap_err();
+        assert_eq!(err, SpecError::UnknownKey { line: 2, key: "bugdet".into() });
+    }
+
+    #[test]
+    fn bad_values_are_errors() {
+        assert!(matches!(
+            ExperimentSpec::parse("budget = lots").unwrap_err(),
+            SpecError::BadValue { line: 1, .. }
+        ));
+        assert!(matches!(
+            ExperimentSpec::parse("strategies = sideways").unwrap_err(),
+            SpecError::BadValue { line: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn missing_equals_is_an_error() {
+        assert_eq!(
+            ExperimentSpec::parse("family census").unwrap_err(),
+            SpecError::MissingEquals { line: 1 }
+        );
+    }
+
+    #[test]
+    fn every_strategy_name_round_trips() {
+        for name in [
+            "uniform",
+            "waterfilling",
+            "proportional",
+            "oneshot",
+            "conservative",
+            "moderate",
+            "aggressive",
+            "bandit",
+        ] {
+            let s = strategy_from_name(name).unwrap();
+            assert_eq!(strategy_to_name(s), name, "{name}");
+        }
+        assert!(strategy_from_name("nope").is_none());
+    }
+}

@@ -1,0 +1,162 @@
+//! Slice-influence measurement (Section 5.2, Figure 7).
+//!
+//! The paper defines the *influence* on a slice as the change of the shared
+//! model's loss on that slice as data is acquired elsewhere, and shows
+//! (Figure 7) that the magnitude of influence grows with the change of the
+//! imbalance ratio, with the sign determined by content similarity. This
+//! module reruns that experiment on any dataset family.
+
+use st_data::{DatasetFamily, SliceId, SlicedDataset};
+use st_models::{per_slice_validation_losses, train_on_examples, ModelSpec, TrainConfig};
+
+/// One measured influence point: after growing the target slice, the
+/// imbalance ratio changed by `ir_change` and each other slice's loss moved
+/// by `influence[i]`.
+#[derive(Debug, Clone)]
+pub struct InfluencePoint {
+    /// Examples added to the target slice so far.
+    pub added: usize,
+    /// `IR(now) − IR(baseline)`.
+    pub ir_change: f64,
+    /// Loss change per slice (target slice included, at its own index).
+    pub influence: Vec<f64>,
+}
+
+/// Result of an influence sweep.
+#[derive(Debug, Clone)]
+pub struct InfluenceSweep {
+    /// The grown slice.
+    pub target: SliceId,
+    /// Slice names, for plotting.
+    pub slice_names: Vec<String>,
+    /// Baseline per-slice losses before any growth.
+    pub baseline_losses: Vec<f64>,
+    /// One point per growth step.
+    pub points: Vec<InfluencePoint>,
+}
+
+/// Grows `target` in steps while every other slice stays fixed, retraining
+/// the shared model each time, mirroring Figure 7's protocol (all slices at
+/// 300, White_Male from 50, grown alone).
+///
+/// `initial_sizes` fixes the starting sizes; `steps` lists cumulative extra
+/// examples for the target (e.g. `[250, 500, 1000, 2000]`). Losses are
+/// averaged over `trials` reseeded trainings to suppress SGD noise.
+#[allow(clippy::too_many_arguments)]
+pub fn influence_sweep(
+    family: &DatasetFamily,
+    initial_sizes: &[usize],
+    target: SliceId,
+    steps: &[usize],
+    validation_size: usize,
+    spec: &ModelSpec,
+    train: &TrainConfig,
+    trials: usize,
+    seed: u64,
+) -> InfluenceSweep {
+    assert!(trials > 0, "need at least one trial");
+    let measure = |sizes: &[usize]| -> Vec<f64> {
+        let mut acc = vec![0.0; family.num_slices()];
+        for t in 0..trials {
+            let ds = SlicedDataset::generate(
+                family,
+                sizes,
+                validation_size,
+                st_data::split_seed(seed, 17 + t as u64),
+            );
+            let model = train_on_examples(
+                &ds.all_train(),
+                family.feature_dim,
+                family.num_classes,
+                spec,
+                &train.with_seed(st_data::split_seed(seed, 31 + t as u64)),
+            );
+            for (a, l) in acc.iter_mut().zip(per_slice_validation_losses(&model, &ds)) {
+                *a += l;
+            }
+        }
+        acc.iter().map(|a| a / trials as f64).collect()
+    };
+
+    let baseline_losses = measure(initial_sizes);
+    let ir0 = ir_of(initial_sizes);
+
+    let points = steps
+        .iter()
+        .map(|&added| {
+            let mut sizes = initial_sizes.to_vec();
+            sizes[target.index()] += added;
+            let losses = measure(&sizes);
+            InfluencePoint {
+                added,
+                ir_change: ir_of(&sizes) - ir0,
+                influence: losses
+                    .iter()
+                    .zip(&baseline_losses)
+                    .map(|(now, base)| now - base)
+                    .collect(),
+            }
+        })
+        .collect();
+
+    InfluenceSweep {
+        target,
+        slice_names: family.slice_names().iter().map(|s| s.to_string()).collect(),
+        baseline_losses,
+        points,
+    }
+}
+
+fn ir_of(sizes: &[usize]) -> f64 {
+    st_data::dataset::imbalance_ratio_of(sizes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_data::families::faces;
+
+    #[test]
+    fn sweep_reports_requested_steps() {
+        let fam = faces();
+        let sizes = vec![50, 100, 100, 100, 100, 100, 100, 100];
+        let mut cfg = TrainConfig::default();
+        cfg.epochs = 8;
+        let sweep = influence_sweep(
+            &fam,
+            &sizes,
+            SliceId(0),
+            &[100, 300],
+            60,
+            &ModelSpec::small(),
+            &cfg,
+            1,
+            3,
+        );
+        assert_eq!(sweep.points.len(), 2);
+        assert_eq!(sweep.points[0].added, 100);
+        assert!(sweep.points[1].ir_change > sweep.points[0].ir_change);
+        assert_eq!(sweep.points[0].influence.len(), 8);
+    }
+
+    #[test]
+    fn growing_a_slice_lowers_its_own_loss() {
+        let fam = faces();
+        let sizes = vec![40, 150, 150, 150, 150, 150, 150, 150];
+        let mut cfg = TrainConfig::default();
+        cfg.epochs = 12;
+        let sweep = influence_sweep(
+            &fam,
+            &sizes,
+            SliceId(0),
+            &[600],
+            100,
+            &ModelSpec::small(),
+            &cfg,
+            2,
+            5,
+        );
+        let own = sweep.points[0].influence[0];
+        assert!(own < 0.0, "own-slice influence must be negative, got {own}");
+    }
+}

@@ -1,0 +1,76 @@
+//! Accuracy and fairness measures (Section 2.1, Definition 1).
+
+use st_data::SlicedDataset;
+use st_models::{overall_validation_loss, per_slice_validation_losses, Mlp};
+
+/// Evaluation of one trained model against a sliced dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalReport {
+    /// `ψ(s_i, M)` per slice, in slice-id order.
+    pub per_slice_losses: Vec<f64>,
+    /// `ψ(D, M)` on the pooled validation data.
+    pub overall_loss: f64,
+    /// Average equalized error rates: `avg_i |ψ(s_i) − ψ(D)|` (Definition 1).
+    pub avg_eer: f64,
+    /// Maximum equalized error rates: `max_i |ψ(s_i) − ψ(D)|`.
+    pub max_eer: f64,
+}
+
+impl EvalReport {
+    /// Evaluates `model` on the dataset's validation slices.
+    pub fn evaluate(model: &Mlp, ds: &SlicedDataset) -> Self {
+        let per_slice_losses = per_slice_validation_losses(model, ds);
+        let overall_loss = overall_validation_loss(model, ds);
+        let avg_eer = avg_eer(&per_slice_losses, overall_loss);
+        let max_eer = max_eer(&per_slice_losses, overall_loss);
+        EvalReport { per_slice_losses, overall_loss, avg_eer, max_eer }
+    }
+}
+
+/// Definition 1: the average absolute difference between each slice's loss
+/// and the overall loss.
+pub fn avg_eer(per_slice: &[f64], overall: f64) -> f64 {
+    if per_slice.is_empty() {
+        return f64::NAN;
+    }
+    per_slice.iter().map(|l| (l - overall).abs()).sum::<f64>() / per_slice.len() as f64
+}
+
+/// The worst-case variant of Definition 1: the maximum absolute difference.
+pub fn max_eer(per_slice: &[f64], overall: f64) -> f64 {
+    per_slice.iter().map(|l| (l - overall).abs()).fold(f64::NAN, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn toy_example_from_paper_section1() {
+        // Losses 5 and 3, overall 4 ⇒ unfairness avg{|5−4|, |3−4|} = 1.
+        assert_eq!(avg_eer(&[5.0, 3.0], 4.0), 1.0);
+        assert_eq!(max_eer(&[5.0, 3.0], 4.0), 1.0);
+        // After acquisition: losses 2 and 3, overall 2.4 ⇒ 0.5.
+        assert!((avg_eer(&[2.0, 3.0], 2.4) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equal_losses_are_perfectly_fair() {
+        assert_eq!(avg_eer(&[0.7, 0.7, 0.7], 0.7), 0.0);
+        assert_eq!(max_eer(&[0.7, 0.7, 0.7], 0.7), 0.0);
+    }
+
+    #[test]
+    fn max_dominates_avg() {
+        let per = [1.0, 2.0, 10.0];
+        let overall = 3.0;
+        assert!(max_eer(&per, overall) >= avg_eer(&per, overall));
+        assert_eq!(max_eer(&per, overall), 7.0);
+    }
+
+    #[test]
+    fn empty_slices_are_nan() {
+        assert!(avg_eer(&[], 1.0).is_nan());
+        assert!(max_eer(&[], 1.0).is_nan());
+    }
+}

@@ -1,0 +1,202 @@
+//! Result formatting: markdown and CSV writers for experiment outputs.
+//!
+//! Every bench binary regenerates one of the paper's tables; this module
+//! owns the row/series formatting so the binaries print consistent,
+//! diffable output (and EXPERIMENTS.md can paste it verbatim).
+
+use crate::runner::AggregateResult;
+
+/// Renders a markdown table in the layout of the paper's Table 2 / Table 6:
+/// one row per method with loss and avg/max EER summaries.
+pub fn methods_markdown(title: &str, rows: &[AggregateResult]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("### {title}\n\n"));
+    out.push_str("| Method | Loss | Avg. EER | Max. EER | # Iters | Trainings |\n");
+    out.push_str("|---|---|---|---|---|---|\n");
+    if let Some(first) = rows.first() {
+        out.push_str(&format!(
+            "| Original | {} | {} | {} | n/a | n/a |\n",
+            first.original_loss, first.original_avg_eer, first.original_max_eer
+        ));
+    }
+    for r in rows {
+        out.push_str(&format!(
+            "| {} | {} | {} | {} | {:.1} | {:.1} |\n",
+            r.strategy.name(),
+            r.loss,
+            r.avg_eer,
+            r.max_eer,
+            r.iterations,
+            r.trainings
+        ));
+    }
+    out
+}
+
+/// Renders the per-slice acquisition table (the paper's Table 3 / Table 5
+/// layout): one row per method, one column per slice.
+pub fn acquisition_markdown(
+    title: &str,
+    slice_names: &[&str],
+    initial_sizes: &[usize],
+    rows: &[AggregateResult],
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("### {title}\n\n"));
+    out.push_str("| Method |");
+    for name in slice_names {
+        out.push_str(&format!(" {name} |"));
+    }
+    out.push_str(" # Iters |\n|---|");
+    for _ in slice_names {
+        out.push_str("---|");
+    }
+    out.push_str("---|\n| Original |");
+    for s in initial_sizes {
+        out.push_str(&format!(" {s} |"));
+    }
+    out.push_str(" n/a |\n");
+    for r in rows {
+        out.push_str(&format!("| {} |", r.strategy.name()));
+        for a in &r.acquired_mean {
+            out.push_str(&format!(" {:.0} |", a));
+        }
+        out.push_str(&format!(" {:.1} |\n", r.iterations));
+    }
+    out
+}
+
+/// CSV export of method summaries (one row per method, header included),
+/// for plotting outside the repo.
+pub fn methods_csv(rows: &[AggregateResult]) -> String {
+    let mut out = String::from(
+        "method,loss_mean,loss_std,avg_eer_mean,avg_eer_std,max_eer_mean,max_eer_std,iterations,trainings\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{}\n",
+            r.strategy.name(),
+            r.loss.mean,
+            r.loss.std,
+            r.avg_eer.mean,
+            r.avg_eer.std,
+            r.max_eer.mean,
+            r.max_eer.std,
+            r.iterations,
+            r.trainings
+        ));
+    }
+    out
+}
+
+/// Renders an (x, series...) table as markdown — the layout behind the
+/// figure reproductions (e.g. Figure 10's budget sweep).
+///
+/// # Panics
+/// Panics when a series' length differs from `xs`.
+pub fn series_markdown(
+    title: &str,
+    x_label: &str,
+    xs: &[f64],
+    series: &[(&str, Vec<f64>)],
+) -> String {
+    for (name, ys) in series {
+        assert_eq!(ys.len(), xs.len(), "series {name} length mismatch");
+    }
+    let mut out = String::new();
+    out.push_str(&format!("### {title}\n\n| {x_label} |"));
+    for (name, _) in series {
+        out.push_str(&format!(" {name} |"));
+    }
+    out.push_str("\n|---|");
+    for _ in series {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for (i, &x) in xs.iter().enumerate() {
+        out.push_str(&format!("| {x:.0} |"));
+        for (_, ys) in series {
+            out.push_str(&format!(" {:.4} |", ys[i]));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::Summary;
+    use crate::strategy::Strategy;
+
+    fn fake_row(strategy: Strategy, loss: f64) -> AggregateResult {
+        let s = |m: f64| Summary { mean: m, std: 0.01 };
+        AggregateResult {
+            strategy,
+            original_loss: s(0.5),
+            original_avg_eer: s(0.2),
+            original_max_eer: s(0.4),
+            loss: s(loss),
+            avg_eer: s(0.1),
+            max_eer: s(0.3),
+            acquired_mean: vec![10.0, 20.0],
+            iterations: 2.0,
+            trainings: 8.0,
+            trials: vec![],
+        }
+    }
+
+    #[test]
+    fn methods_table_contains_all_rows_and_header() {
+        let rows = vec![fake_row(Strategy::Uniform, 0.4), fake_row(Strategy::OneShot, 0.35)];
+        let md = methods_markdown("Table 2 — census", &rows);
+        assert!(md.contains("### Table 2 — census"));
+        assert!(md.contains("| Original | 0.500 ± 0.010 |"));
+        assert!(md.contains("| Uniform | 0.400 ± 0.010 |"));
+        assert!(md.contains("| One-shot | 0.350 ± 0.010 |"));
+        // Markdown structure: every data line has the same column count.
+        let cols: Vec<usize> = md
+            .lines()
+            .filter(|l| l.starts_with('|'))
+            .map(|l| l.matches('|').count())
+            .collect();
+        assert!(cols.windows(2).all(|w| w[0] == w[1]), "{md}");
+    }
+
+    #[test]
+    fn acquisition_table_lists_slices() {
+        let rows = vec![fake_row(Strategy::Uniform, 0.4)];
+        let md = acquisition_markdown("Table 3", &["s0", "s1"], &[100, 100], &rows);
+        assert!(md.contains("| s0 | s1 |"));
+        assert!(md.contains("| Original | 100 | 100 |"));
+        assert!(md.contains("| Uniform | 10 | 20 |"));
+    }
+
+    #[test]
+    fn csv_has_header_plus_one_line_per_method() {
+        let rows = vec![fake_row(Strategy::Uniform, 0.4), fake_row(Strategy::OneShot, 0.3)];
+        let csv = methods_csv(&rows);
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.starts_with("method,loss_mean"));
+        assert!(csv.contains("One-shot,0.3,"));
+    }
+
+    #[test]
+    fn series_table_rows_match_xs() {
+        let md = series_markdown(
+            "Figure 10",
+            "Budget",
+            &[1000.0, 2000.0],
+            &[("Uniform", vec![0.3, 0.25]), ("Moderate", vec![0.28, 0.22])],
+        );
+        assert!(md.contains("| Budget | Uniform | Moderate |"));
+        assert!(md.contains("| 1000 | 0.3000 | 0.2800 |"));
+        assert!(md.contains("| 2000 | 0.2500 | 0.2200 |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn series_length_mismatch_is_rejected() {
+        let _ = series_markdown("x", "b", &[1.0], &[("a", vec![0.1, 0.2])]);
+    }
+}

@@ -1,0 +1,280 @@
+//! Content similarity between slices and influence-direction prediction.
+//!
+//! Section 5.2: "the direction of influence depends on the similarity of
+//! data among slices" — growing a slice helps content-similar slices
+//! (shared labels, nearby features) and hurts content-opposed ones. The
+//! paper measures influence empirically (retrain and diff, [`crate::influence`]);
+//! its conclusion lists "improve our influence estimation" as future work.
+//! This module is that improvement: a *training-free* influence-direction
+//! predictor from the data itself, validated against the measured sweep in
+//! the integration tests.
+//!
+//! Similarity of slices `i, j` combines
+//! - **label agreement**: the Bhattacharyya coefficient `Σ_c √(p_i(c)·p_j(c))`
+//!   of their label distributions (1 = identical label usage), and
+//! - **feature proximity**: per-class distance between the slices' class
+//!   mean vectors, turned into a `(0, 1]` score.
+//!
+//! The signed score maps agreement above the cross-slice average to
+//! "expected to improve" (negative influence) and below-average agreement
+//! to "expected to degrade".
+
+use st_data::SlicedDataset;
+
+/// Pairwise slice similarity with prediction helpers.
+#[derive(Debug, Clone)]
+pub struct SimilarityMatrix {
+    /// Number of slices.
+    n: usize,
+    /// Row-major `n × n` similarity in `[0, 1]`, 1 on the diagonal.
+    values: Vec<f64>,
+}
+
+impl SimilarityMatrix {
+    /// Similarity between slices `i` and `j`.
+    ///
+    /// # Panics
+    /// Panics when an index is out of range.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.n && j < self.n, "slice index out of range");
+        self.values[i * self.n + j]
+    }
+
+    /// Number of slices.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the matrix covers no slices (never constructed that way).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Indices of the other slices ranked most-similar-first to `target`.
+    pub fn ranked_neighbors(&self, target: usize) -> Vec<usize> {
+        let mut others: Vec<usize> = (0..self.n).filter(|&j| j != target).collect();
+        others.sort_by(|&a, &b| {
+            self.get(target, b)
+                .partial_cmp(&self.get(target, a))
+                .expect("finite similarity")
+        });
+        others
+    }
+
+    /// Predicted *sign* of the influence on slice `other` when `grown` is
+    /// grown: negative (loss expected to drop) for similarity above the
+    /// grown slice's average to all others, positive below.
+    pub fn predicted_direction(&self, grown: usize, other: usize) -> f64 {
+        assert_ne!(grown, other, "a slice always helps itself");
+        let avg: f64 = (0..self.n)
+            .filter(|&j| j != grown)
+            .map(|j| self.get(grown, j))
+            .sum::<f64>()
+            / (self.n - 1) as f64;
+        avg - self.get(grown, other) // similar ⇒ negative (improves)
+    }
+}
+
+/// Bhattacharyya coefficient of two discrete distributions.
+fn bhattacharyya(p: &[f64], q: &[f64]) -> f64 {
+    p.iter().zip(q).map(|(a, b)| (a * b).sqrt()).sum()
+}
+
+/// Per-slice label distribution over `num_classes`.
+fn label_distribution(ds: &SlicedDataset, slice: usize) -> Vec<f64> {
+    let mut counts = vec![0.0; ds.num_classes];
+    let train = &ds.slices[slice].train;
+    for e in train {
+        counts[e.label] += 1.0;
+    }
+    let total: f64 = counts.iter().sum();
+    if total > 0.0 {
+        for c in &mut counts {
+            *c /= total;
+        }
+    }
+    counts
+}
+
+/// Mean feature vector of a slice's examples with class `label`
+/// (`None` if the slice has no such examples).
+fn class_mean(ds: &SlicedDataset, slice: usize, label: usize) -> Option<Vec<f64>> {
+    let mut mean = vec![0.0; ds.feature_dim];
+    let mut count = 0usize;
+    for e in &ds.slices[slice].train {
+        if e.label == label {
+            for (m, &v) in mean.iter_mut().zip(&e.features) {
+                *m += v;
+            }
+            count += 1;
+        }
+    }
+    if count == 0 {
+        return None;
+    }
+    for m in &mut mean {
+        *m /= count as f64;
+    }
+    Some(mean)
+}
+
+/// Average feature scale of the dataset (for normalizing distances).
+fn feature_scale(ds: &SlicedDataset) -> f64 {
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for s in &ds.slices {
+        for e in &s.train {
+            sum += e.features.iter().map(|v| v * v).sum::<f64>().sqrt();
+            count += 1;
+        }
+    }
+    if count == 0 {
+        1.0
+    } else {
+        (sum / count as f64).max(1e-9)
+    }
+}
+
+/// Computes the pairwise content-similarity matrix from the training data.
+///
+/// Similarity is `bhattacharyya(labels) · proximity(features)` where
+/// `proximity = 1 / (1 + avg shared-class mean distance / feature scale)`.
+/// Both factors are in `(0, 1]`, so the product is too; slices with
+/// disjoint label sets score 0.
+///
+/// # Panics
+/// Panics on a dataset with no slices.
+pub fn similarity_matrix(ds: &SlicedDataset) -> SimilarityMatrix {
+    let n = ds.num_slices();
+    assert!(n > 0, "need at least one slice");
+    let scale = feature_scale(ds);
+    let dists: Vec<Vec<f64>> = (0..n).map(|s| label_distribution(ds, s)).collect();
+
+    let mut values = vec![0.0; n * n];
+    for i in 0..n {
+        values[i * n + i] = 1.0;
+        for j in i + 1..n {
+            let label_sim = bhattacharyya(&dists[i], &dists[j]);
+            // Feature proximity over the classes both slices use.
+            let mut dist_sum = 0.0;
+            let mut shared = 0usize;
+            for c in 0..ds.num_classes {
+                if let (Some(mi), Some(mj)) = (class_mean(ds, i, c), class_mean(ds, j, c)) {
+                    let d: f64 = mi
+                        .iter()
+                        .zip(&mj)
+                        .map(|(a, b)| (a - b) * (a - b))
+                        .sum::<f64>()
+                        .sqrt();
+                    dist_sum += d;
+                    shared += 1;
+                }
+            }
+            let proximity = if shared == 0 {
+                0.0
+            } else {
+                1.0 / (1.0 + dist_sum / shared as f64 / scale)
+            };
+            let sim = label_sim * proximity;
+            values[i * n + j] = sim;
+            values[j * n + i] = sim;
+        }
+    }
+    SimilarityMatrix { n, values }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_data::families::{census, faces};
+    use st_data::SlicedDataset;
+
+    fn faces_ds() -> SlicedDataset {
+        SlicedDataset::generate(&faces(), &[200; 8], 0, 7)
+    }
+
+    #[test]
+    fn matrix_is_symmetric_with_unit_diagonal() {
+        let m = similarity_matrix(&faces_ds());
+        assert_eq!(m.len(), 8);
+        for i in 0..8 {
+            assert_eq!(m.get(i, i), 1.0);
+            for j in 0..8 {
+                assert_eq!(m.get(i, j), m.get(j, i));
+                assert!((0.0..=1.0).contains(&m.get(i, j)));
+            }
+        }
+    }
+
+    #[test]
+    fn same_race_slices_are_most_similar_in_faces() {
+        // Faces family: slices 0/1 = White_{Male,Female}, 2/3 = Black_…, etc.
+        // Same-race pairs share the class label (race classification), so
+        // they must dominate cross-race pairs.
+        let m = similarity_matrix(&faces_ds());
+        for race in 0..4 {
+            let (male, female) = (2 * race, 2 * race + 1);
+            let within = m.get(male, female);
+            for other in 0..8 {
+                if other / 2 != race {
+                    assert!(
+                        within > m.get(male, other),
+                        "race {race}: within {within} vs {} (slice {other})",
+                        m.get(male, other)
+                    );
+                }
+            }
+            assert_eq!(m.ranked_neighbors(male)[0], female);
+        }
+    }
+
+    #[test]
+    fn predicted_direction_flags_similar_slices_as_helped() {
+        let m = similarity_matrix(&faces_ds());
+        // Growing White_Male (0): White_Female (1) predicted to improve
+        // (negative), an opposite-race slice predicted to degrade.
+        assert!(m.predicted_direction(0, 1) < 0.0);
+        let worst = *m.ranked_neighbors(0).last().unwrap();
+        assert!(m.predicted_direction(0, worst) > 0.0);
+    }
+
+    #[test]
+    fn census_slices_share_labels_and_score_high() {
+        // All census slices predict the same binary label, so label
+        // agreement is high everywhere; similarities must all be well
+        // above zero.
+        let ds = SlicedDataset::generate(&census(), &[150; 4], 0, 9);
+        let m = similarity_matrix(&ds);
+        for i in 0..4 {
+            for j in 0..4 {
+                if i != j {
+                    assert!(m.get(i, j) > 0.2, "({i},{j}) = {}", m.get(i, j));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_slices_contribute_zero_similarity() {
+        let mut ds = faces_ds();
+        ds.slices[3].train.clear();
+        let m = similarity_matrix(&ds);
+        for j in 0..8 {
+            if j != 3 {
+                assert_eq!(m.get(3, j), 0.0, "empty slice has no content to match");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_for_a_fixed_dataset() {
+        let ds = faces_ds();
+        let a = similarity_matrix(&ds);
+        let b = similarity_matrix(&ds);
+        for i in 0..8 {
+            for j in 0..8 {
+                assert_eq!(a.get(i, j), b.get(i, j));
+            }
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Acquisition strategies: the two baselines, One-shot, and the iterative
+//! `T` schedules (Sections 2.2, 5.1, 5.2).
+
+/// How the imbalance-ratio change limit `T` grows per iteration
+/// (Section 5.2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TSchedule {
+    /// `T` stays constant: most iterations, most reliable curves.
+    Conservative,
+    /// `T += c` per iteration (paper uses `c = 1`).
+    Moderate(f64),
+    /// `T *= c` per iteration (paper uses `c = 2`).
+    Aggressive(f64),
+}
+
+impl TSchedule {
+    /// The paper's three configurations.
+    pub fn conservative() -> Self {
+        TSchedule::Conservative
+    }
+
+    /// Moderate with the paper's constant (`+1`).
+    pub fn moderate() -> Self {
+        TSchedule::Moderate(1.0)
+    }
+
+    /// Aggressive with the paper's constant (`×2`).
+    pub fn aggressive() -> Self {
+        TSchedule::Aggressive(2.0)
+    }
+
+    /// Applies one iteration's increase to `t`.
+    pub fn increase(&self, t: f64) -> f64 {
+        match *self {
+            TSchedule::Conservative => t,
+            TSchedule::Moderate(c) => t + c,
+            TSchedule::Aggressive(c) => t * c,
+        }
+    }
+
+    /// Display name matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TSchedule::Conservative => "Conservative",
+            TSchedule::Moderate(_) => "Moderate",
+            TSchedule::Aggressive(_) => "Aggressive",
+        }
+    }
+}
+
+/// Parameters of the model-free rotting-bandit baseline (an extension: the
+/// paper's Section 7 frames Slice Tuner as a specialized multi-armed bandit
+/// with rotting arms; this is the natural model-free competitor).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BanditParams {
+    /// Budget spent per pull (one arm per round).
+    pub batch: f64,
+    /// ε-greedy exploration probability.
+    pub epsilon: f64,
+}
+
+impl Default for BanditParams {
+    fn default() -> Self {
+        BanditParams { batch: 100.0, epsilon: 0.1 }
+    }
+}
+
+/// A complete data acquisition strategy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Strategy {
+    /// Baseline 1: acquire similar amounts per slice (Figure 3a).
+    Uniform,
+    /// Baseline 2: acquire so final sizes are similar (Figure 3b).
+    WaterFilling,
+    /// Baseline 3 (reference \[12\] of the paper): acquire in proportion to
+    /// the original data distribution. The paper calls this "strictly
+    /// worse" because it does not fix data bias at all; it is included so
+    /// that claim can be measured rather than assumed.
+    Proportional,
+    /// Estimate curves once, solve the convex program once, spend the whole
+    /// budget (Section 5.1).
+    OneShot,
+    /// Algorithm 1: iterate, bounding each round's imbalance-ratio change.
+    Iterative(TSchedule),
+    /// Extension: ε-greedy rotting bandit that spends one batch per round on
+    /// the arm with the best observed loss reduction per unit cost. Needs a
+    /// full retraining per pull — the inefficiency Slice Tuner's learning
+    /// curves avoid.
+    RottingBandit(BanditParams),
+}
+
+impl Strategy {
+    /// Display name matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Strategy::Uniform => "Uniform",
+            Strategy::WaterFilling => "Water filling",
+            Strategy::Proportional => "Proportional",
+            Strategy::OneShot => "One-shot",
+            Strategy::Iterative(s) => s.name(),
+            Strategy::RottingBandit(_) => "Rotting bandit",
+        }
+    }
+}
+
+/// Proportional baseline (reference \[12\]): counts proportional to the
+/// current slice sizes, spending the budget exactly:
+/// `d_i = k·s_i` with `k = B / Σ c_j s_j`.
+///
+/// All-empty slices degrade to the uniform allocation (there is no
+/// distribution to be proportional to).
+pub fn proportional_allocation(sizes: &[f64], costs: &[f64], budget: f64) -> Vec<f64> {
+    assert_eq!(sizes.len(), costs.len(), "length mismatch");
+    assert!(!sizes.is_empty(), "need at least one slice");
+    let weighted: f64 = sizes.iter().zip(costs).map(|(s, c)| s * c).sum();
+    if weighted <= 0.0 {
+        return uniform_allocation(costs, budget);
+    }
+    let k = budget / weighted;
+    sizes.iter().map(|&s| k * s).collect()
+}
+
+/// Uniform baseline: the same (cost-weighted) count per slice, spending the
+/// budget exactly: `d_i = B / Σ c_j`.
+pub fn uniform_allocation(costs: &[f64], budget: f64) -> Vec<f64> {
+    assert!(!costs.is_empty(), "need at least one slice");
+    let total: f64 = costs.iter().sum();
+    vec![budget / total; costs.len()]
+}
+
+/// Water-filling baseline: raise every slice to a common level `L*` with
+/// `Σ c_i · max(0, L* − s_i) = B` (Figure 3b), found by bisection.
+pub fn water_filling_allocation(sizes: &[f64], costs: &[f64], budget: f64) -> Vec<f64> {
+    assert_eq!(sizes.len(), costs.len(), "length mismatch");
+    assert!(!sizes.is_empty(), "need at least one slice");
+    let spend = |level: f64| -> f64 {
+        sizes.iter().zip(costs).map(|(&s, &c)| c * (level - s).max(0.0)).sum()
+    };
+    let mut lo = sizes.iter().cloned().fold(f64::INFINITY, f64::min);
+    let mut hi = sizes.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        + budget / costs.iter().cloned().fold(f64::INFINITY, f64::min).max(1e-12);
+    debug_assert!(spend(lo) <= budget && spend(hi) >= budget);
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if spend(mid) < budget {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let level = 0.5 * (lo + hi);
+    sizes.iter().map(|&s| (level - s).max(0.0)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_updates_match_paper() {
+        assert_eq!(TSchedule::conservative().increase(1.0), 1.0);
+        assert_eq!(TSchedule::moderate().increase(1.0), 2.0);
+        assert_eq!(TSchedule::moderate().increase(2.0), 3.0);
+        assert_eq!(TSchedule::aggressive().increase(1.0), 2.0);
+        assert_eq!(TSchedule::aggressive().increase(2.0), 4.0);
+    }
+
+    #[test]
+    fn uniform_spends_budget_equally() {
+        let d = uniform_allocation(&[1.0, 1.0, 1.0], 300.0);
+        assert_eq!(d, vec![100.0; 3]);
+        // Heterogeneous costs: equal counts, total = budget.
+        let d = uniform_allocation(&[1.0, 2.0], 30.0);
+        assert_eq!(d, vec![10.0, 10.0]);
+        assert!((d[0] * 1.0 + d[1] * 2.0 - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn water_filling_levels_slices() {
+        let sizes = [10.0, 40.0, 70.0];
+        let d = water_filling_allocation(&sizes, &[1.0; 3], 60.0);
+        let after: Vec<f64> = sizes.iter().zip(&d).map(|(s, x)| s + x).collect();
+        // Budget 60 fills 10→?, 40→?: level = (10+40+60)/2 = 55 < 70.
+        assert!((after[0] - 55.0).abs() < 1e-6, "{after:?}");
+        assert!((after[1] - 55.0).abs() < 1e-6);
+        assert_eq!(d[2], 0.0, "the largest slice receives nothing");
+        assert!((d.iter().sum::<f64>() - 60.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn water_filling_with_costs() {
+        let sizes = [0.0, 100.0];
+        let costs = [2.0, 1.0];
+        let d = water_filling_allocation(&sizes, &costs, 100.0);
+        // All budget goes to slice 0 (level ≤ 100): 2·d0 = 100 ⇒ d0 = 50.
+        assert!((d[0] - 50.0).abs() < 1e-6, "{d:?}");
+        assert_eq!(d[1], 0.0);
+    }
+
+    #[test]
+    fn water_filling_equal_sizes_degenerates_to_uniform() {
+        let d = water_filling_allocation(&[50.0; 4], &[1.0; 4], 100.0);
+        for &x in &d {
+            assert!((x - 25.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn strategy_names() {
+        assert_eq!(Strategy::Uniform.name(), "Uniform");
+        assert_eq!(Strategy::Proportional.name(), "Proportional");
+        assert_eq!(Strategy::Iterative(TSchedule::moderate()).name(), "Moderate");
+    }
+
+    #[test]
+    fn proportional_mirrors_the_existing_distribution() {
+        let d = proportional_allocation(&[10.0, 30.0], &[1.0, 1.0], 80.0);
+        assert_eq!(d, vec![20.0, 60.0]);
+        // Relative bias is untouched: 10/30 == 30/90.
+        assert_eq!((10.0 + d[0]) / (30.0 + d[1]), 10.0 / 30.0);
+    }
+
+    #[test]
+    fn proportional_respects_costs_on_the_budget() {
+        let d = proportional_allocation(&[10.0, 10.0], &[1.0, 3.0], 80.0);
+        assert!((d[0] * 1.0 + d[1] * 3.0 - 80.0).abs() < 1e-9);
+        assert_eq!(d[0], d[1], "equal sizes get equal counts");
+    }
+
+    #[test]
+    fn proportional_on_empty_slices_degrades_to_uniform() {
+        let d = proportional_allocation(&[0.0, 0.0], &[1.0, 1.0], 40.0);
+        assert_eq!(d, vec![20.0, 20.0]);
+    }
+}

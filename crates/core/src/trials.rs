@@ -1,0 +1,164 @@
+//! Parallel multi-trial execution.
+//!
+//! The paper reports means over 10 trials; trials are embarrassingly
+//! parallel (each builds its own dataset, source, and tuner from a derived
+//! seed). This module fans trials out over crossbeam scoped threads while
+//! keeping results in deterministic trial order — the aggregate is
+//! bit-identical to the sequential [`run_trials`](crate::runner::run_trials).
+
+use crate::acquire::PoolSource;
+use crate::runner::AggregateResult;
+use crate::strategy::Strategy;
+use crate::tuner::{RunResult, SliceTuner, TunerConfig};
+use parking_lot::Mutex;
+use st_data::{split_seed, DatasetFamily, SlicedDataset};
+
+/// Parallel version of [`run_trials`](crate::runner::run_trials): runs
+/// `trials` independent seeds across `threads` workers (0 = all cores) and
+/// aggregates identically to the sequential runner.
+///
+/// # Panics
+/// Panics when `trials == 0`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_trials_parallel(
+    family: &DatasetFamily,
+    initial_sizes: &[usize],
+    validation_size: usize,
+    budget: f64,
+    strategy: Strategy,
+    config: &TunerConfig,
+    trials: usize,
+    threads: usize,
+) -> AggregateResult {
+    assert!(trials > 0, "need at least one trial");
+    let workers = if threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        threads
+    }
+    .min(trials);
+
+    let slots: Mutex<Vec<Option<RunResult>>> = Mutex::new(vec![None; trials]);
+    let next: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let t = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if t >= trials {
+                    break;
+                }
+                let trial_seed = split_seed(config.seed, 0x7121A1 + t as u64);
+                let ds = SlicedDataset::generate(
+                    family,
+                    initial_sizes,
+                    validation_size,
+                    trial_seed,
+                );
+                let mut source =
+                    PoolSource::new(family.clone(), split_seed(trial_seed, 2));
+                // Trials already saturate the workers; keep each tuner's
+                // internal estimator single-threaded to avoid oversubscription.
+                let mut cfg = config.clone().with_seed(trial_seed);
+                cfg.threads = 1;
+                let mut tuner = SliceTuner::new(ds, &mut source, cfg);
+                let result = tuner.run(strategy, budget);
+                slots.lock()[t] = Some(result);
+            });
+        }
+    })
+    .expect("trial worker panicked");
+
+    let results: Vec<RunResult> =
+        slots.into_inner().into_iter().map(|r| r.expect("all trials ran")).collect();
+    crate::runner::aggregate(strategy, results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run_trials;
+    use st_data::families::census;
+    use st_models::ModelSpec;
+
+    fn quick_config() -> TunerConfig {
+        let mut cfg = TunerConfig::new(ModelSpec::softmax());
+        cfg.train.epochs = 8;
+        cfg.fractions = vec![0.4, 0.7, 1.0];
+        cfg.repeats = 1;
+        cfg.threads = 1;
+        cfg
+    }
+
+    #[test]
+    fn parallel_matches_sequential_exactly() {
+        let fam = census();
+        let seq =
+            run_trials(&fam, &[50; 4], 60, 100.0, Strategy::Uniform, &quick_config(), 3);
+        let par = run_trials_parallel(
+            &fam,
+            &[50; 4],
+            60,
+            100.0,
+            Strategy::Uniform,
+            &quick_config(),
+            3,
+            2,
+        );
+        assert_eq!(seq.trials.len(), par.trials.len());
+        for (s, p) in seq.trials.iter().zip(&par.trials) {
+            assert_eq!(s.acquired, p.acquired);
+            assert_eq!(s.report.overall_loss.to_bits(), p.report.overall_loss.to_bits());
+        }
+        assert_eq!(seq.loss.mean.to_bits(), par.loss.mean.to_bits());
+    }
+
+    #[test]
+    fn single_worker_still_completes_all_trials() {
+        let fam = census();
+        let agg = run_trials_parallel(
+            &fam,
+            &[40; 4],
+            50,
+            80.0,
+            Strategy::WaterFilling,
+            &quick_config(),
+            4,
+            1,
+        );
+        assert_eq!(agg.trials.len(), 4);
+        assert!(agg.loss.mean.is_finite());
+    }
+
+    #[test]
+    fn more_workers_than_trials_is_fine() {
+        let fam = census();
+        let agg = run_trials_parallel(
+            &fam,
+            &[40; 4],
+            50,
+            80.0,
+            Strategy::Uniform,
+            &quick_config(),
+            2,
+            16,
+        );
+        assert_eq!(agg.trials.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one trial")]
+    fn zero_trials_is_rejected() {
+        let fam = census();
+        let _ = run_trials_parallel(
+            &fam,
+            &[40; 4],
+            50,
+            80.0,
+            Strategy::Uniform,
+            &quick_config(),
+            0,
+            1,
+        );
+    }
+}

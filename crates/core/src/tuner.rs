@@ -1,0 +1,619 @@
+//! The Slice Tuner engine (Figure 4): learning-curve estimation plus the
+//! selective data acquisition optimizer, wired to an acquisition source.
+
+use crate::acquire::AcquisitionSource;
+use crate::metrics::EvalReport;
+use crate::strategy::{uniform_allocation, water_filling_allocation, Strategy, TSchedule};
+use st_curve::{
+    CurveEstimator, EstimationMode, FitError, MeasureRequest, PowerLaw, SliceLossMeasurement,
+};
+use st_data::dataset::imbalance_ratio_of;
+use st_data::{seeded_rng, split_seed, SliceId, SlicedDataset};
+use st_models::{log_loss, train_on_examples, Mlp, ModelSpec, TrainConfig};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Everything configurable about a Slice Tuner run.
+#[derive(Debug, Clone)]
+pub struct TunerConfig {
+    /// Shared-model architecture.
+    pub spec: ModelSpec,
+    /// Training hyperparameters (fixed once per dataset, like the paper).
+    pub train: TrainConfig,
+    /// Subset fractions for curve estimation (the paper's `K` sizes).
+    pub fractions: Vec<f64>,
+    /// Curves averaged per slice (the paper uses 5).
+    pub repeats: usize,
+    /// Amortized (Section 4.2) or exhaustive (Section 4.1) estimation.
+    pub mode: EstimationMode,
+    /// Convex-solver options.
+    pub solver: st_optim::SolverOptions,
+    /// Fairness weight λ (paper default 1).
+    pub lambda: f64,
+    /// Minimum slice size `L` enforced by Algorithm 1.
+    pub min_slice_size: usize,
+    /// Safety cap on Algorithm 1 iterations.
+    pub max_iterations: usize,
+    /// Master seed; all internal randomness derives from it.
+    pub seed: u64,
+    /// Estimator worker threads (0 = all cores).
+    pub threads: usize,
+}
+
+impl TunerConfig {
+    /// Baseline configuration around a model spec.
+    pub fn new(spec: ModelSpec) -> Self {
+        TunerConfig {
+            spec,
+            train: TrainConfig::default(),
+            fractions: vec![0.2, 0.4, 0.6, 0.8, 1.0],
+            repeats: 2,
+            mode: EstimationMode::Amortized,
+            solver: st_optim::SolverOptions::default(),
+            lambda: 1.0,
+            min_slice_size: 20,
+            max_iterations: 20,
+            seed: 0,
+            threads: 0,
+        }
+    }
+
+    /// The paper's estimation setting: `K = 10` fractions, 5 curves.
+    pub fn paper_estimation(mut self) -> Self {
+        self.fractions = (1..=10).map(|i| i as f64 / 10.0).collect();
+        self.repeats = 5;
+        self
+    }
+
+    /// Sets the fairness weight λ.
+    pub fn with_lambda(mut self, lambda: f64) -> Self {
+        self.lambda = lambda;
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the estimation mode.
+    pub fn with_mode(mut self, mode: EstimationMode) -> Self {
+        self.mode = mode;
+        self
+    }
+}
+
+/// Outcome of one strategy run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Evaluation before any acquisition ("Original" in the tables).
+    pub original: EvalReport,
+    /// Evaluation after acquisition and retraining.
+    pub report: EvalReport,
+    /// Examples acquired per slice.
+    pub acquired: Vec<usize>,
+    /// Iterations performed (1 for One-shot and the baselines).
+    pub iterations: usize,
+    /// Budget actually spent.
+    pub spent: f64,
+    /// Model trainings performed (estimation + evaluation), for Table 8.
+    pub trainings: usize,
+}
+
+/// The Slice Tuner engine bound to a working dataset and a source.
+pub struct SliceTuner<'a, S: AcquisitionSource> {
+    ds: SlicedDataset,
+    source: &'a mut S,
+    config: TunerConfig,
+    trainings: AtomicUsize,
+}
+
+impl<'a, S: AcquisitionSource> SliceTuner<'a, S> {
+    /// Binds the engine to a dataset snapshot and an acquisition source.
+    pub fn new(ds: SlicedDataset, source: &'a mut S, config: TunerConfig) -> Self {
+        SliceTuner { ds, source, config, trainings: AtomicUsize::new(0) }
+    }
+
+    /// The current working dataset.
+    pub fn dataset(&self) -> &SlicedDataset {
+        &self.ds
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &TunerConfig {
+        &self.config
+    }
+
+    /// Model trainings performed so far.
+    pub fn trainings(&self) -> usize {
+        self.trainings.load(Ordering::Relaxed)
+    }
+
+    /// Trains the shared model on all current training data and evaluates it.
+    pub fn train_and_eval(&self, stream: u64) -> (Mlp, EvalReport) {
+        let cfg = self.config.train.with_seed(split_seed(self.config.seed, 0xE0A1 ^ stream));
+        let model = train_on_examples(
+            &self.ds.all_train(),
+            self.ds.feature_dim,
+            self.ds.num_classes,
+            &self.config.spec,
+            &cfg,
+        );
+        self.trainings.fetch_add(1, Ordering::Relaxed);
+        let report = EvalReport::evaluate(&model, &self.ds);
+        (model, report)
+    }
+
+    /// Estimates one power-law learning curve per slice (Section 4).
+    ///
+    /// `stream` decorrelates successive updates (Algorithm 1 re-estimates
+    /// every iteration). Slices whose fit fails — e.g. a saturated slice
+    /// with degenerate losses — fall back to the log-mean of the successful
+    /// fits (relative comparisons still work, which is all Slice Tuner
+    /// needs), or to a mild default curve when every fit fails.
+    pub fn estimate_curves(&self, stream: u64) -> Vec<PowerLaw> {
+        let fits = self
+            .estimate_curves_detailed(stream)
+            .into_iter()
+            .map(|e| e.fit)
+            .collect();
+        resolve_fallbacks(fits)
+    }
+
+    /// [`estimate_curves`](Self::estimate_curves) keeping the evidence: raw
+    /// measured points and per-repeat fits per slice, for reliability
+    /// diagnostics (Section 6.3.4's "are my curves trustworthy?" question)
+    /// — see [`st_curve::SliceEstimate::bands`].
+    pub fn estimate_curves_detailed(&self, stream: u64) -> Vec<st_curve::SliceEstimate> {
+        let estimator = CurveEstimator {
+            fractions: self.config.fractions.clone(),
+            repeats: self.config.repeats,
+            mode: self.config.mode,
+            seed: split_seed(self.config.seed, 0xC04E ^ stream),
+            threads: self.config.threads,
+        };
+        let n = self.ds.num_slices();
+        let ds = &self.ds;
+        let spec = &self.config.spec;
+        let train_cfg = &self.config.train;
+        let counter = &self.trainings;
+
+        let measure = move |req: &MeasureRequest| -> Vec<SliceLossMeasurement> {
+            let subset = match req.target_slice {
+                None => ds.joint_train_subset_seeded(req.frac, req.seed, 0),
+                Some(s) => {
+                    let len = ds.slices[s].train.len();
+                    let k = ((len as f64 * req.frac).round() as usize).clamp(1, len.max(1));
+                    let mut rng = seeded_rng(split_seed(req.seed, 1));
+                    ds.exhaustive_train_subset(SliceId(s), k, &mut rng)
+                }
+            };
+            let model = train_on_examples(
+                &subset,
+                ds.feature_dim,
+                ds.num_classes,
+                spec,
+                &train_cfg.with_seed(split_seed(req.seed, 2)),
+            );
+            counter.fetch_add(1, Ordering::Relaxed);
+
+            let eval_slice = |s: usize| -> SliceLossMeasurement {
+                let n_in_subset =
+                    subset.iter().filter(|e| e.slice.index() == s).count();
+                let val = &ds.slices[s].validation;
+                let x = st_models::examples_to_matrix(val);
+                let y: Vec<usize> = val.iter().map(|e| e.label).collect();
+                SliceLossMeasurement { slice: s, n: n_in_subset, loss: log_loss(&model, &x, &y) }
+            };
+            match req.target_slice {
+                None => (0..n).map(eval_slice).collect(),
+                Some(s) => vec![eval_slice(s)],
+            }
+        };
+
+        estimator.estimate_detailed(n, &measure)
+    }
+
+    /// One-shot's continuous allocation: solve the convex program for the
+    /// given curves and budget (Section 5.1).
+    pub fn one_shot_allocation(&self, curves: &[PowerLaw], budget: f64) -> Vec<f64> {
+        let sizes: Vec<f64> = self.ds.train_sizes().iter().map(|&s| s as f64).collect();
+        let costs = self.ds.costs();
+        let problem = st_optim::AcquisitionProblem::new(
+            curves.to_vec(),
+            sizes,
+            costs,
+            budget,
+            self.config.lambda,
+        );
+        st_optim::solve_projected(&problem, &self.config.solver)
+    }
+
+    /// Copies the source's current per-slice costs into the working
+    /// dataset. Section 2.1 allows `C(s)` to grow as data becomes scarcer
+    /// but holds it constant within a batch; Algorithm 1 therefore re-reads
+    /// costs at the start of every iteration.
+    fn refresh_costs(&mut self) {
+        for i in 0..self.ds.num_slices() {
+            self.ds.slices[i].cost = self.source.cost(SliceId(i));
+        }
+    }
+
+    /// Runs a full strategy with the given budget and returns the outcome.
+    /// The working dataset retains everything acquired.
+    pub fn run(&mut self, strategy: Strategy, budget: f64) -> RunResult {
+        self.refresh_costs();
+        let (_, original) = self.train_and_eval(0);
+        let before_sizes = self.ds.train_sizes();
+
+        let (iterations, spent) = match strategy {
+            Strategy::Uniform => {
+                let d = uniform_allocation(&self.ds.costs(), budget);
+                (1, self.acquire_rounded(&d, budget))
+            }
+            Strategy::WaterFilling => {
+                let sizes: Vec<f64> =
+                    self.ds.train_sizes().iter().map(|&s| s as f64).collect();
+                let d = water_filling_allocation(&sizes, &self.ds.costs(), budget);
+                (1, self.acquire_rounded(&d, budget))
+            }
+            Strategy::Proportional => {
+                let sizes: Vec<f64> =
+                    self.ds.train_sizes().iter().map(|&s| s as f64).collect();
+                let d = crate::strategy::proportional_allocation(
+                    &sizes,
+                    &self.ds.costs(),
+                    budget,
+                );
+                (1, self.acquire_rounded(&d, budget))
+            }
+            Strategy::OneShot => {
+                let curves = self.estimate_curves(0);
+                let d = self.one_shot_allocation(&curves, budget);
+                (1, self.acquire_rounded(&d, budget))
+            }
+            Strategy::Iterative(schedule) => self.run_iterative(schedule, budget),
+            Strategy::RottingBandit(params) => self.run_bandit(params, budget),
+        };
+
+        let (_, report) = self.train_and_eval(1);
+        let acquired: Vec<usize> = self
+            .ds
+            .train_sizes()
+            .iter()
+            .zip(&before_sizes)
+            .map(|(now, before)| now - before)
+            .collect();
+        RunResult {
+            original,
+            report,
+            acquired,
+            iterations,
+            spent,
+            trainings: self.trainings(),
+        }
+    }
+
+    /// Algorithm 1: the iterative loop with imbalance-ratio change limits.
+    fn run_iterative(&mut self, schedule: TSchedule, budget: f64) -> (usize, f64) {
+        let mut remaining = budget;
+        let mut total_spent = 0.0;
+        let mut t = 1.0;
+
+        // Steps 3–6: ensure the minimum slice size L.
+        let l = self.config.min_slice_size;
+        let deficit: Vec<f64> = self
+            .ds
+            .train_sizes()
+            .iter()
+            .map(|&s| (l.saturating_sub(s)) as f64)
+            .collect();
+        if deficit.iter().any(|&d| d > 0.0) {
+            let spent = self.acquire_rounded(&deficit, remaining);
+            remaining -= spent;
+            total_spent += spent;
+        }
+
+        let mut ir = self.ds.imbalance_ratio();
+        let mut iterations = 0;
+
+        // Step 8: while there is budget to spend. The affordability check
+        // re-reads costs every round because `C(s)` may have escalated since
+        // the last batch (Section 2.1: costs grow as data becomes scarcer,
+        // but are constant within a batch).
+        loop {
+            self.refresh_costs();
+            let min_cost =
+                self.ds.costs().iter().cloned().fold(f64::INFINITY, f64::min);
+            if remaining < min_cost || iterations >= self.config.max_iterations {
+                break;
+            }
+            // Step 9: One-shot proposes spending the entire remaining budget.
+            let curves = self.estimate_curves(iterations as u64 + 1);
+            let mut d = self.one_shot_allocation(&curves, remaining);
+
+            // Steps 10–15: cap the imbalance-ratio change at T.
+            let sizes: Vec<f64> = self.ds.train_sizes().iter().map(|&s| s as f64).collect();
+            let proposed: Vec<f64> = sizes.iter().zip(&d).map(|(s, x)| s + x).collect();
+            let after_ir = imbalance_of(&proposed);
+            if (after_ir - ir).abs() > t {
+                let target = ir + t * (after_ir - ir).signum();
+                let ratio = st_optim::change_ratio(&sizes, &d, target);
+                for x in &mut d {
+                    *x *= ratio;
+                }
+            }
+
+            // Step 16: collect the data.
+            let spent = self.acquire_rounded(&d, remaining);
+            if spent <= 0.0 {
+                break; // nothing affordable remained
+            }
+            remaining -= spent;
+            total_spent += spent;
+            iterations += 1;
+
+            // Steps 19–20.
+            t = schedule.increase(t);
+            ir = self.ds.imbalance_ratio();
+        }
+        (iterations.max(1), total_spent)
+    }
+
+    /// The ε-greedy rotting-bandit baseline: each round spends one batch on
+    /// a single slice and observes the reward (loss reduction per unit cost)
+    /// by retraining. Model-free — no learning curves — so every pull costs
+    /// a full training, and exploration wastes budget on saturated arms.
+    fn run_bandit(&mut self, params: crate::strategy::BanditParams, budget: f64) -> (usize, f64) {
+        use rand::Rng;
+        let n = self.ds.num_slices();
+        let costs = self.ds.costs();
+        let min_cost = costs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let mut rng = seeded_rng(split_seed(self.config.seed, 0xBA4D17));
+
+        let (_, mut last) = self.train_and_eval(0x0B0);
+        // Optimistic initialization so every arm is tried early.
+        let mut reward = vec![f64::INFINITY; n];
+        let mut remaining = budget;
+        let mut total_spent = 0.0;
+        let mut pulls = 0usize;
+
+        while remaining >= min_cost && pulls < self.config.max_iterations * n {
+            let arm = if rng.gen::<f64>() < params.epsilon {
+                rng.gen_range(0..n)
+            } else {
+                // Best observed reward; ties to the lower index.
+                let mut best = 0;
+                for i in 1..n {
+                    if reward[i] > reward[best] {
+                        best = i;
+                    }
+                }
+                best
+            };
+            let want = ((params.batch / costs[arm]).floor() as usize)
+                .min((remaining / costs[arm]).floor() as usize);
+            if want == 0 {
+                break;
+            }
+            let got = self.source.acquire(SliceId(arm), want);
+            let spent = got.len() as f64 * costs[arm];
+            if got.is_empty() {
+                break;
+            }
+            self.ds.absorb(got);
+            remaining -= spent;
+            total_spent += spent;
+            pulls += 1;
+
+            let (_, now) = self.train_and_eval(0x0B1 + pulls as u64);
+            reward[arm] =
+                (last.per_slice_losses[arm] - now.per_slice_losses[arm]) / spent.max(1e-9);
+            last = now;
+        }
+        (pulls.max(1), total_spent)
+    }
+
+    /// Rounds a continuous allocation to integers within `budget`, acquires
+    /// from the source, absorbs the data, and returns the cost actually
+    /// charged (sources may under-deliver).
+    fn acquire_rounded(&mut self, d: &[f64], budget: f64) -> f64 {
+        let costs = self.ds.costs();
+        let counts = st_optim::round_to_budget(d, &costs, budget);
+        let mut spent = 0.0;
+        for (i, &n) in counts.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let got = self.source.acquire(SliceId(i), n);
+            spent += got.len() as f64 * costs[i];
+            self.ds.absorb(got);
+        }
+        spent
+    }
+}
+
+/// Imbalance ratio of fractional sizes (Algorithm 1's `GetImbalanceRatio`).
+fn imbalance_of(sizes: &[f64]) -> f64 {
+    let rounded: Vec<usize> = sizes.iter().map(|&s| s.round().max(0.0) as usize).collect();
+    imbalance_ratio_of(&rounded)
+}
+
+/// Replaces failed fits with the log-mean of the successful ones (or a mild
+/// default when nothing fits).
+fn resolve_fallbacks(fits: Vec<Result<PowerLaw, FitError>>) -> Vec<PowerLaw> {
+    let ok: Vec<PowerLaw> = fits.iter().filter_map(|f| f.as_ref().ok()).cloned().collect();
+    let fallback = if ok.is_empty() {
+        PowerLaw::new(1.0, 0.2)
+    } else {
+        PowerLaw::log_mean(&ok)
+    };
+    fits.into_iter().map(|f| f.unwrap_or(fallback)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::acquire::PoolSource;
+    use st_data::families::census;
+
+    fn quick_config() -> TunerConfig {
+        let mut cfg = TunerConfig::new(ModelSpec::softmax());
+        cfg.train.epochs = 10;
+        cfg.fractions = vec![0.3, 0.6, 1.0];
+        cfg.repeats = 1;
+        cfg.threads = 1;
+        cfg
+    }
+
+    #[test]
+    fn estimate_curves_returns_decreasing_models() {
+        let fam = census();
+        let ds = SlicedDataset::generate(&fam, &[120; 4], 120, 5);
+        let mut src = PoolSource::new(fam, 99);
+        let tuner = SliceTuner::new(ds, &mut src, quick_config());
+        let curves = tuner.estimate_curves(0);
+        assert_eq!(curves.len(), 4);
+        for c in &curves {
+            assert!(c.b > 0.0 && c.a > 0.0);
+            assert!(c.eval(100.0) >= c.eval(1000.0));
+        }
+        // Amortized: K·R trainings.
+        assert_eq!(tuner.trainings(), 3);
+    }
+
+    #[test]
+    fn uniform_run_acquires_equal_counts() {
+        let fam = census();
+        let ds = SlicedDataset::generate(&fam, &[50; 4], 80, 6);
+        let mut src = PoolSource::new(fam, 100);
+        let mut tuner = SliceTuner::new(ds, &mut src, quick_config());
+        let result = tuner.run(Strategy::Uniform, 200.0);
+        assert_eq!(result.acquired, vec![50; 4]);
+        assert_eq!(result.iterations, 1);
+        assert!((result.spent - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn proportional_preserves_relative_bias() {
+        let fam = census();
+        let ds = SlicedDataset::generate(&fam, &[20, 40, 60, 80], 60, 30);
+        let mut src = PoolSource::new(fam, 130);
+        let mut tuner = SliceTuner::new(ds, &mut src, quick_config());
+        let result = tuner.run(Strategy::Proportional, 100.0);
+        // d_i = 100 · s_i / 200 = s_i / 2.
+        assert_eq!(result.acquired, vec![10, 20, 30, 40]);
+        let finals = tuner.dataset().train_sizes();
+        // Imbalance ratio unchanged: 120/30 == 80/20.
+        assert_eq!(finals[3] as f64 / finals[0] as f64, 4.0);
+    }
+
+    #[test]
+    fn water_filling_levels_unequal_slices() {
+        let fam = census();
+        let ds = SlicedDataset::generate(&fam, &[20, 60, 100, 140], 80, 7);
+        let mut src = PoolSource::new(fam, 101);
+        let mut tuner = SliceTuner::new(ds, &mut src, quick_config());
+        let result = tuner.run(Strategy::WaterFilling, 200.0);
+        // Level = (20+60+100+200)/3 = 126.67 → fills to ~126/127 for the
+        // first three, nothing for the largest.
+        assert_eq!(result.acquired[3], 0);
+        let finals: Vec<usize> = tuner.dataset().train_sizes();
+        assert!(finals[0].abs_diff(finals[1]) <= 1, "{finals:?}");
+        assert!(finals[1].abs_diff(finals[2]) <= 1, "{finals:?}");
+    }
+
+    #[test]
+    fn one_shot_spends_entire_budget() {
+        let fam = census();
+        let ds = SlicedDataset::generate(&fam, &[60; 4], 80, 8);
+        let mut src = PoolSource::new(fam, 102);
+        let mut tuner = SliceTuner::new(ds, &mut src, quick_config());
+        let result = tuner.run(Strategy::OneShot, 120.0);
+        assert!((result.spent - 120.0).abs() <= 1.0, "spent {}", result.spent);
+        assert_eq!(result.acquired.iter().sum::<usize>(), 120);
+    }
+
+    #[test]
+    fn iterative_respects_min_slice_size() {
+        let fam = census();
+        let ds = SlicedDataset::generate(&fam, &[5, 40, 40, 40], 80, 9);
+        let mut src = PoolSource::new(fam, 103);
+        let mut cfg = quick_config();
+        cfg.min_slice_size = 15;
+        let mut tuner = SliceTuner::new(ds, &mut src, cfg);
+        let _ = tuner.run(Strategy::Iterative(TSchedule::moderate()), 100.0);
+        assert!(tuner.dataset().train_sizes().iter().all(|&s| s >= 15));
+    }
+
+    #[test]
+    fn iterative_uses_more_iterations_when_conservative() {
+        let fam = census();
+        let run = |schedule: TSchedule| -> usize {
+            let ds = SlicedDataset::generate(&fam, &[30, 30, 90, 90], 80, 10);
+            let mut src = PoolSource::new(fam.clone(), 104);
+            let mut tuner = SliceTuner::new(ds, &mut src, quick_config());
+            tuner.run(Strategy::Iterative(schedule), 400.0).iterations
+        };
+        let cons = run(TSchedule::conservative());
+        let aggr = run(TSchedule::aggressive());
+        assert!(cons >= aggr, "conservative {cons} vs aggressive {aggr}");
+    }
+
+    #[test]
+    fn iterative_never_overspends() {
+        let fam = census();
+        let ds = SlicedDataset::generate(&fam, &[40; 4], 80, 11);
+        let mut src = PoolSource::new(fam, 105);
+        let mut tuner = SliceTuner::new(ds, &mut src, quick_config());
+        let result = tuner.run(Strategy::Iterative(TSchedule::moderate()), 150.0);
+        assert!(result.spent <= 150.0 + 1e-9);
+        let acquired_cost: f64 = result.acquired.iter().map(|&n| n as f64).sum();
+        assert!((acquired_cost - result.spent).abs() < 1e-9, "unit costs");
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let fam = census();
+        let run = || {
+            let ds = SlicedDataset::generate(&fam, &[50; 4], 80, 12);
+            let mut src = PoolSource::new(fam.clone(), 106);
+            let mut tuner = SliceTuner::new(ds, &mut src, quick_config().with_seed(42));
+            tuner.run(Strategy::Iterative(TSchedule::moderate()), 120.0)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.acquired, b.acquired);
+        assert_eq!(a.report.overall_loss, b.report.overall_loss);
+    }
+
+    #[test]
+    fn bandit_spends_budget_in_batches() {
+        let fam = census();
+        let ds = SlicedDataset::generate(&fam, &[40; 4], 60, 21);
+        let mut src = PoolSource::new(fam, 121);
+        let mut tuner = SliceTuner::new(ds, &mut src, quick_config());
+        let params = crate::strategy::BanditParams { batch: 40.0, epsilon: 0.2 };
+        let result = tuner.run(Strategy::RottingBandit(params), 200.0);
+        assert!(result.spent <= 200.0 + 1e-9);
+        assert!(result.spent >= 160.0, "bandit should spend most of the budget: {}", result.spent);
+        // One pull = one batch of 40 on a single arm.
+        assert_eq!(result.iterations, 5);
+        // Model-free: one retraining per pull (plus the two evaluations).
+        assert!(result.trainings >= 5 + 2);
+    }
+
+    #[test]
+    fn fallback_curves_fill_failures() {
+        let fits = vec![
+            Ok(PowerLaw::new(2.0, 0.3)),
+            Err(FitError::NotEnoughPoints),
+            Ok(PowerLaw::new(2.0, 0.5)),
+        ];
+        let resolved = resolve_fallbacks(fits);
+        assert_eq!(resolved.len(), 3);
+        assert!((resolved[1].a - 0.4).abs() < 1e-12, "log-mean of successes");
+        let all_fail = resolve_fallbacks(vec![Err(FitError::NotEnoughPoints)]);
+        assert_eq!(all_fail[0], PowerLaw::new(1.0, 0.2));
+    }
+}

@@ -1,0 +1,84 @@
+//! Property-based tests for the core strategies and metrics.
+
+use proptest::prelude::*;
+use slice_tuner::{avg_eer, max_eer, uniform_allocation, water_filling_allocation};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn uniform_allocation_spends_budget(
+        costs in prop::collection::vec(0.5f64..3.0, 1..12),
+        budget in 0.0f64..5000.0,
+    ) {
+        let d = uniform_allocation(&costs, budget);
+        // Same count everywhere.
+        for w in d.windows(2) {
+            prop_assert!((w[0] - w[1]).abs() < 1e-9);
+        }
+        let total: f64 = d.iter().zip(&costs).map(|(x, c)| x * c).sum();
+        prop_assert!((total - budget).abs() < 1e-6 * budget.max(1.0));
+    }
+
+    #[test]
+    fn water_filling_spends_budget_and_levels(
+        sizes in prop::collection::vec(0.0f64..500.0, 2..10),
+        budget in 1.0f64..5000.0,
+    ) {
+        let costs = vec![1.0; sizes.len()];
+        let d = water_filling_allocation(&sizes, &costs, budget);
+        prop_assert!(d.iter().all(|&x| x >= 0.0));
+        let total: f64 = d.iter().sum();
+        prop_assert!((total - budget).abs() < 1e-4 * budget.max(1.0), "{total} vs {budget}");
+
+        // Every slice that received data ends at (approximately) the same
+        // level, and no untouched slice sits below that level.
+        let after: Vec<f64> = sizes.iter().zip(&d).map(|(s, x)| s + x).collect();
+        let level = after
+            .iter()
+            .zip(&d)
+            .filter(|(_, &x)| x > 1e-9)
+            .map(|(&a, _)| a)
+            .fold(f64::NAN, f64::max);
+        for (&a, &x) in after.iter().zip(&d) {
+            if x > 1e-9 {
+                prop_assert!((a - level).abs() < 1e-4 * level.max(1.0));
+            } else {
+                prop_assert!(a >= level - 1e-4 * level.max(1.0) || level.is_nan());
+            }
+        }
+    }
+
+    #[test]
+    fn water_filling_never_exceeds_larger_slices_needlessly(
+        base in 10.0f64..200.0,
+        budget in 1.0f64..100.0,
+    ) {
+        // Two slices, one twice the other; small budgets go entirely to the
+        // smaller slice.
+        let sizes = [base, base * 2.0];
+        let d = water_filling_allocation(&sizes, &[1.0, 1.0], budget.min(base));
+        prop_assert!(d[1].abs() < 1e-6, "{d:?}");
+    }
+
+    #[test]
+    fn eer_metrics_are_translation_invariant(
+        losses in prop::collection::vec(0.0f64..5.0, 1..10),
+        overall in 0.0f64..5.0,
+        shift in -2.0f64..2.0,
+    ) {
+        let shifted: Vec<f64> = losses.iter().map(|l| l + shift).collect();
+        let a1 = avg_eer(&losses, overall);
+        let a2 = avg_eer(&shifted, overall + shift);
+        prop_assert!((a1 - a2).abs() < 1e-9);
+        let m1 = max_eer(&losses, overall);
+        let m2 = max_eer(&shifted, overall + shift);
+        prop_assert!((m1 - m2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn avg_eer_bounded_by_max(losses in prop::collection::vec(0.0f64..5.0, 1..10), overall in 0.0f64..5.0) {
+        prop_assert!(avg_eer(&losses, overall) <= max_eer(&losses, overall) + 1e-12);
+        prop_assert!(avg_eer(&losses, overall) >= 0.0);
+    }
+}

@@ -1,0 +1,170 @@
+//! Bootstrap confidence bands for fitted learning curves.
+//!
+//! Section 6.3.4 of the paper studies what happens when learning curves are
+//! unreliable (small slices, noisy losses). The bands quantify that
+//! unreliability directly: resample the measured points, refit, and read
+//! percentile intervals for the parameters and for predicted losses at any
+//! horizon. Wide bands ⇒ the optimizer is running on hints, exactly the
+//! regime Table 7 exercises.
+
+use crate::fit::{fit_power_law, FitError};
+use crate::model::PowerLaw;
+use crate::points::CurvePoint;
+use st_linalg::{quantile, ConfidenceInterval, SplitMix64};
+
+/// Bootstrap distribution of power-law fits.
+#[derive(Debug, Clone)]
+pub struct CurveBands {
+    /// The fit on the original points.
+    pub point: PowerLaw,
+    /// Bootstrap replicate fits (successful ones only).
+    pub replicates: Vec<PowerLaw>,
+    /// Confidence level the intervals use.
+    pub level: f64,
+}
+
+impl CurveBands {
+    /// Confidence interval for the scale parameter `b`.
+    pub fn b_interval(&self) -> ConfidenceInterval {
+        self.param_interval(|c| c.b, self.point.b)
+    }
+
+    /// Confidence interval for the decay exponent `a`.
+    pub fn a_interval(&self) -> ConfidenceInterval {
+        self.param_interval(|c| c.a, self.point.a)
+    }
+
+    /// Confidence interval for the predicted loss at `n` examples.
+    pub fn loss_interval(&self, n: f64) -> ConfidenceInterval {
+        self.param_interval(|c| c.eval(n), self.point.eval(n))
+    }
+
+    /// Relative band width at `n`: interval width over the point prediction.
+    /// A slice whose relative width exceeds ~0.5 is in "hint" territory.
+    pub fn relative_width(&self, n: f64) -> f64 {
+        let iv = self.loss_interval(n);
+        iv.width() / self.point.eval(n).max(1e-12)
+    }
+
+    fn param_interval(&self, f: impl Fn(&PowerLaw) -> f64, point: f64) -> ConfidenceInterval {
+        let vals: Vec<f64> = self.replicates.iter().map(f).collect();
+        if vals.is_empty() {
+            return ConfidenceInterval { lo: point, point, hi: point };
+        }
+        let alpha = 1.0 - self.level;
+        ConfidenceInterval {
+            lo: quantile(&vals, alpha / 2.0),
+            point,
+            hi: quantile(&vals, 1.0 - alpha / 2.0),
+        }
+    }
+}
+
+/// Fits the curve and bootstrap bands around it.
+///
+/// Draws `reps` resamples of the points (with replacement), refits each, and
+/// keeps the successful fits as the replicate distribution. Replicates that
+/// collapse below two distinct sizes are dropped — with very few points this
+/// can thin the distribution, which itself signals unreliability.
+///
+/// # Errors
+/// Returns the underlying [`FitError`] when the original points cannot be
+/// fitted at all.
+///
+/// # Panics
+/// Panics when `reps == 0` or `level` is outside `(0, 1)`.
+pub fn bootstrap_curve(
+    points: &[CurvePoint],
+    reps: usize,
+    level: f64,
+    seed: u64,
+) -> Result<CurveBands, FitError> {
+    assert!(reps > 0, "need at least one replicate");
+    assert!(level > 0.0 && level < 1.0, "confidence level must be in (0,1)");
+    let point = fit_power_law(points)?;
+
+    let mut rng = SplitMix64::new(seed);
+    let mut replicates = Vec::with_capacity(reps);
+    let mut buf = Vec::with_capacity(points.len());
+    for _ in 0..reps {
+        buf.clear();
+        for _ in 0..points.len() {
+            buf.push(points[rng.next_index(points.len())]);
+        }
+        if let Ok(fit) = fit_power_law(&buf) {
+            replicates.push(fit);
+        }
+    }
+    Ok(CurveBands { point, replicates, level })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noisy_points(noise: f64, n_points: usize) -> Vec<CurvePoint> {
+        (0..n_points)
+            .map(|i| {
+                let x = 20.0 * (i + 1) as f64;
+                let wobble = 1.0 + noise * ((i as f64 * 2.9).sin());
+                CurvePoint::size_weighted(x, 2.0 * x.powf(-0.3) * wobble)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bands_cover_the_point_fit() {
+        let bands = bootstrap_curve(&noisy_points(0.05, 10), 200, 0.95, 7).unwrap();
+        assert!(bands.b_interval().contains(bands.point.b));
+        assert!(bands.a_interval().contains(bands.point.a));
+        let iv = bands.loss_interval(500.0);
+        assert!(iv.lo <= iv.point && iv.point <= iv.hi);
+    }
+
+    #[test]
+    fn noisier_points_produce_wider_bands() {
+        let quiet = bootstrap_curve(&noisy_points(0.02, 10), 300, 0.9, 3).unwrap();
+        let loud = bootstrap_curve(&noisy_points(0.30, 10), 300, 0.9, 3).unwrap();
+        assert!(
+            loud.relative_width(400.0) > quiet.relative_width(400.0),
+            "loud {} vs quiet {}",
+            loud.relative_width(400.0),
+            quiet.relative_width(400.0)
+        );
+    }
+
+    #[test]
+    fn exact_points_produce_tight_bands() {
+        let bands = bootstrap_curve(&noisy_points(0.0, 12), 200, 0.95, 1).unwrap();
+        assert!(bands.relative_width(300.0) < 1e-6);
+        assert!((bands.a_interval().width()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let pts = noisy_points(0.1, 8);
+        let a = bootstrap_curve(&pts, 100, 0.9, 42).unwrap();
+        let b = bootstrap_curve(&pts, 100, 0.9, 42).unwrap();
+        assert_eq!(a.replicates.len(), b.replicates.len());
+        assert_eq!(a.a_interval(), b.a_interval());
+    }
+
+    #[test]
+    fn unfittable_points_propagate_the_error() {
+        let pts = vec![CurvePoint::size_weighted(50.0, 1.0)];
+        assert!(bootstrap_curve(&pts, 50, 0.9, 1).is_err());
+    }
+
+    #[test]
+    fn replicates_survive_two_point_curves() {
+        // With only 2 distinct sizes many resamples are degenerate; the
+        // bands must still build from the survivors.
+        let pts = vec![
+            CurvePoint::size_weighted(50.0, 0.8),
+            CurvePoint::size_weighted(200.0, 0.5),
+        ];
+        let bands = bootstrap_curve(&pts, 200, 0.9, 5).unwrap();
+        assert!(!bands.replicates.is_empty());
+        assert!(bands.replicates.len() < 200, "some replicates must have collapsed");
+    }
+}

@@ -1,0 +1,467 @@
+//! The subset-sampling learning-curve estimation loop (Sections 4.1–4.2).
+//!
+//! The estimator is decoupled from any concrete model or dataset: callers
+//! provide a *measurement function* that, given a subset request, trains a
+//! model and reports the per-slice validation losses. This crate schedules
+//! the requests (exhaustively or amortized), runs them in parallel, and fits
+//! averaged power-law curves.
+
+use crate::fit::{fit_power_law, FitError};
+use crate::model::PowerLaw;
+use crate::points::CurvePoint;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// One measured loss: after training on the requested subset, the model
+/// scored `loss` on slice `slice`'s validation set, and the subset contained
+/// `n` examples of that slice.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SliceLossMeasurement {
+    /// Slice index.
+    pub slice: usize,
+    /// Number of this slice's examples in the training subset.
+    pub n: usize,
+    /// Measured validation loss on the slice.
+    pub loss: f64,
+}
+
+/// A subset-training request issued to the measurement function.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeasureRequest {
+    /// `Some(s)`: subsample only slice `s` and keep every other slice whole
+    /// (exhaustive, Section 4.1). `None`: subsample all slices jointly
+    /// (amortized, Section 4.2).
+    pub target_slice: Option<usize>,
+    /// Fraction of the affected slice(s) to keep, in `(0, 1]`.
+    pub frac: f64,
+    /// Seed for subset selection and model training.
+    pub seed: u64,
+}
+
+/// The measurement callback: train on the requested subset, evaluate, and
+/// return one [`SliceLossMeasurement`] per slice of interest.
+///
+/// Amortized requests should return a measurement for **every** slice (one
+/// training informs all curves); exhaustive requests need only return the
+/// target slice's measurement — any extras are ignored.
+pub type TrainEvalFn<'a> = dyn Fn(&MeasureRequest) -> Vec<SliceLossMeasurement> + Sync + 'a;
+
+/// Scheduling mode for curve estimation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EstimationMode {
+    /// Section 4.2: take X% of *all* slices per training; `K·R` trainings
+    /// total, independent of the slice count.
+    Amortized,
+    /// Section 4.1: subsample one slice at a time, keeping the rest whole;
+    /// `|S|·K·R` trainings.
+    Exhaustive,
+}
+
+/// Learning-curve estimator configuration.
+#[derive(Debug, Clone)]
+pub struct CurveEstimator {
+    /// Subset fractions (the paper's `K` sample sizes).
+    pub fractions: Vec<f64>,
+    /// Number of independent curves averaged per slice (the paper uses 5).
+    pub repeats: usize,
+    /// Scheduling mode.
+    pub mode: EstimationMode,
+    /// Base seed; every request derives a unique child seed.
+    pub seed: u64,
+    /// Worker threads for parallel measurement (0 = all available cores).
+    pub threads: usize,
+}
+
+impl CurveEstimator {
+    /// The paper's setting: `K = 10` subset sizes, 5 averaged curves,
+    /// amortized scheduling.
+    pub fn paper_default(seed: u64) -> Self {
+        CurveEstimator {
+            fractions: (1..=10).map(|i| i as f64 / 10.0).collect(),
+            repeats: 5,
+            mode: EstimationMode::Amortized,
+            seed,
+            threads: 0,
+        }
+    }
+
+    /// A cheaper profile for iteration-heavy experiments: `K = 5`, 2 curves.
+    pub fn fast(seed: u64) -> Self {
+        CurveEstimator {
+            fractions: vec![0.2, 0.4, 0.6, 0.8, 1.0],
+            repeats: 2,
+            mode: EstimationMode::Amortized,
+            seed,
+            threads: 0,
+        }
+    }
+
+    /// Switches the scheduling mode.
+    pub fn with_mode(mut self, mode: EstimationMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Number of model trainings one [`estimate`](Self::estimate) call costs.
+    ///
+    /// This is the quantity Table 8 compares: amortized is `K·R`; exhaustive
+    /// is `|S|·K·R`.
+    pub fn num_trainings(&self, num_slices: usize) -> usize {
+        let base = self.fractions.len() * self.repeats;
+        match self.mode {
+            EstimationMode::Amortized => base,
+            EstimationMode::Exhaustive => base * num_slices,
+        }
+    }
+
+    /// Estimates one power-law curve per slice.
+    ///
+    /// Measurements are collected in parallel, grouped per `(slice, repeat)`,
+    /// fitted independently, and averaged in log space across repeats
+    /// (`PowerLaw::log_mean`). A slice whose every repeat fails to fit
+    /// reports the error.
+    ///
+    /// # Panics
+    /// Panics if `fractions` is empty or `repeats == 0`.
+    pub fn estimate(
+        &self,
+        num_slices: usize,
+        measure: &TrainEvalFn<'_>,
+    ) -> Vec<Result<PowerLaw, FitError>> {
+        self.estimate_detailed(num_slices, measure)
+            .into_iter()
+            .map(|e| e.fit)
+            .collect()
+    }
+
+    /// [`estimate`](Self::estimate) keeping the evidence: per-repeat fits
+    /// and the raw measured points, so callers can compute reliability
+    /// diagnostics (bootstrap bands, model-zoo comparisons) without
+    /// re-running any trainings.
+    ///
+    /// # Panics
+    /// Panics if `fractions` is empty or `repeats == 0`.
+    pub fn estimate_detailed(
+        &self,
+        num_slices: usize,
+        measure: &TrainEvalFn<'_>,
+    ) -> Vec<SliceEstimate> {
+        assert!(!self.fractions.is_empty(), "need at least one subset fraction");
+        assert!(self.repeats > 0, "need at least one repeat");
+
+        let requests = self.build_requests(num_slices);
+        let results = run_parallel(&requests, measure, self.effective_threads());
+
+        // points[slice][repeat] -> Vec<CurvePoint>
+        let mut points: Vec<Vec<Vec<CurvePoint>>> =
+            vec![vec![Vec::new(); self.repeats]; num_slices];
+        for (req, measurements) in requests.iter().zip(&results) {
+            let rep = req.rep;
+            for m in measurements {
+                if m.slice >= num_slices {
+                    continue;
+                }
+                if let Some(target) = req.request.target_slice {
+                    if m.slice != target {
+                        continue; // exhaustive: only the subsampled slice moved
+                    }
+                }
+                points[m.slice][rep].push(CurvePoint::size_weighted(m.n as f64, m.loss));
+            }
+        }
+
+        points
+            .into_iter()
+            .map(|per_rep| {
+                let repeat_fits: Vec<PowerLaw> =
+                    per_rep.iter().filter_map(|pts| fit_power_law(pts).ok()).collect();
+                let fit = if repeat_fits.is_empty() {
+                    // Surface the most informative error from the first repeat.
+                    Err(per_rep
+                        .first()
+                        .map(|pts| fit_power_law(pts).unwrap_err())
+                        .unwrap_or(FitError::NotEnoughPoints))
+                } else {
+                    Ok(PowerLaw::log_mean(&repeat_fits))
+                };
+                let pooled: Vec<CurvePoint> = per_rep.into_iter().flatten().collect();
+                SliceEstimate { fit, repeat_fits, points: pooled }
+            })
+            .collect()
+    }
+
+    fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        }
+    }
+
+    fn build_requests(&self, num_slices: usize) -> Vec<TaggedRequest> {
+        let mut out = Vec::new();
+        let mut stream = 0u64;
+        for rep in 0..self.repeats {
+            for &frac in &self.fractions {
+                match self.mode {
+                    EstimationMode::Amortized => {
+                        out.push(TaggedRequest {
+                            rep,
+                            request: MeasureRequest {
+                                target_slice: None,
+                                frac,
+                                seed: child_seed(self.seed, stream),
+                            },
+                        });
+                        stream += 1;
+                    }
+                    EstimationMode::Exhaustive => {
+                        for s in 0..num_slices {
+                            out.push(TaggedRequest {
+                                rep,
+                                request: MeasureRequest {
+                                    target_slice: Some(s),
+                                    frac,
+                                    seed: child_seed(self.seed, stream),
+                                },
+                            });
+                            stream += 1;
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The full evidence behind one slice's fitted curve.
+#[derive(Debug, Clone)]
+pub struct SliceEstimate {
+    /// The log-mean of the per-repeat fits (the curve Slice Tuner uses),
+    /// or why no repeat could be fitted.
+    pub fit: Result<PowerLaw, FitError>,
+    /// The individual per-repeat fits that were averaged.
+    pub repeat_fits: Vec<PowerLaw>,
+    /// Every measured `(n, loss)` point, pooled across repeats.
+    pub points: Vec<CurvePoint>,
+}
+
+impl SliceEstimate {
+    /// Bootstrap confidence bands over the pooled points (see
+    /// [`crate::bands`]); `Err` when the points cannot be fitted at all.
+    pub fn bands(
+        &self,
+        reps: usize,
+        level: f64,
+        seed: u64,
+    ) -> Result<crate::bands::CurveBands, FitError> {
+        crate::bands::bootstrap_curve(&self.points, reps, level, seed)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct TaggedRequest {
+    rep: usize,
+    request: MeasureRequest,
+}
+
+/// SplitMix64 finalizer (kept local so the crate stays decoupled from
+/// `st-data`).
+fn child_seed(seed: u64, stream: u64) -> u64 {
+    let mut z = seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Runs every request through `measure` on a scoped thread pool, preserving
+/// request order in the result vector.
+fn run_parallel(
+    requests: &[TaggedRequest],
+    measure: &TrainEvalFn<'_>,
+    threads: usize,
+) -> Vec<Vec<SliceLossMeasurement>> {
+    let n = requests.len();
+    let results: Mutex<Vec<Option<Vec<SliceLossMeasurement>>>> = Mutex::new(vec![None; n]);
+    let next = AtomicUsize::new(0);
+    let workers = threads.max(1).min(n.max(1));
+
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let out = measure(&requests[i].request);
+                results.lock().expect("poisoned results lock")[i] = Some(out);
+            });
+        }
+    })
+    .expect("measurement worker panicked");
+
+    results
+        .into_inner()
+        .expect("poisoned results lock")
+        .into_iter()
+        .map(|r| r.expect("every request processed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A synthetic world of slices with known power laws; the measurement
+    /// function reports exact curve values (optionally noised).
+    fn synthetic_measure(
+        sizes: Vec<usize>,
+        curves: Vec<PowerLaw>,
+        noise: f64,
+    ) -> impl Fn(&MeasureRequest) -> Vec<SliceLossMeasurement> + Sync {
+        move |req: &MeasureRequest| {
+            let jitter = |seed: u64, s: usize| {
+                if noise == 0.0 {
+                    1.0
+                } else {
+                    // Deterministic pseudo-noise from the seed.
+                    let h = child_seed(seed, s as u64) as f64 / u64::MAX as f64;
+                    1.0 + noise * (2.0 * h - 1.0)
+                }
+            };
+            match req.target_slice {
+                None => (0..sizes.len())
+                    .map(|s| {
+                        let n = ((sizes[s] as f64) * req.frac).round().max(1.0) as usize;
+                        SliceLossMeasurement {
+                            slice: s,
+                            n,
+                            loss: curves[s].eval(n as f64) * jitter(req.seed, s),
+                        }
+                    })
+                    .collect(),
+                Some(s) => {
+                    let n = ((sizes[s] as f64) * req.frac).round().max(1.0) as usize;
+                    vec![SliceLossMeasurement {
+                        slice: s,
+                        n,
+                        loss: curves[s].eval(n as f64) * jitter(req.seed, s),
+                    }]
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn amortized_recovers_exact_curves() {
+        let curves = vec![PowerLaw::new(2.9, 0.2), PowerLaw::new(1.8, 0.45)];
+        let measure = synthetic_measure(vec![300, 300], curves.clone(), 0.0);
+        let est = CurveEstimator::paper_default(7);
+        let fits = est.estimate(2, &measure);
+        for (fit, truth) in fits.iter().zip(&curves) {
+            let fit = fit.as_ref().unwrap();
+            assert!((fit.b - truth.b).abs() < 0.05, "b {} vs {}", fit.b, truth.b);
+            assert!((fit.a - truth.a).abs() < 0.01, "a {} vs {}", fit.a, truth.a);
+        }
+    }
+
+    #[test]
+    fn exhaustive_recovers_exact_curves() {
+        let curves = vec![PowerLaw::new(2.0, 0.3), PowerLaw::new(3.5, 0.31)];
+        let measure = synthetic_measure(vec![200, 400], curves.clone(), 0.0);
+        let est = CurveEstimator::fast(9).with_mode(EstimationMode::Exhaustive);
+        let fits = est.estimate(2, &measure);
+        for (fit, truth) in fits.iter().zip(&curves) {
+            let fit = fit.as_ref().unwrap();
+            assert!((fit.a - truth.a).abs() < 0.02);
+        }
+    }
+
+    #[test]
+    fn noisy_measurements_still_fit_reasonably() {
+        let curves = vec![PowerLaw::new(2.5, 0.25)];
+        let measure = synthetic_measure(vec![300], curves.clone(), 0.25);
+        let est = CurveEstimator::paper_default(11);
+        let fit = est.estimate(1, &measure)[0].clone().unwrap();
+        // Relative comparison is what Slice Tuner needs; 25% noise should
+        // not move the exponent by more than ~0.1.
+        assert!((fit.a - 0.25).abs() < 0.1, "a {}", fit.a);
+    }
+
+    #[test]
+    fn training_counts_match_modes() {
+        let est = CurveEstimator::paper_default(0);
+        assert_eq!(est.num_trainings(10), 50);
+        let ex = est.with_mode(EstimationMode::Exhaustive);
+        assert_eq!(ex.num_trainings(10), 500);
+    }
+
+    #[test]
+    fn estimation_is_deterministic() {
+        let curves = vec![PowerLaw::new(2.0, 0.3), PowerLaw::new(1.1, 0.6)];
+        let measure = synthetic_measure(vec![250, 250], curves, 0.3);
+        let est = CurveEstimator::fast(5);
+        let a = est.estimate(2, &measure);
+        let b = est.estimate(2, &measure);
+        for (x, y) in a.iter().zip(&b) {
+            let (x, y) = (x.as_ref().unwrap(), y.as_ref().unwrap());
+            assert_eq!((x.b, x.a), (y.b, y.a));
+        }
+    }
+
+    #[test]
+    fn detailed_estimate_keeps_points_and_repeat_fits() {
+        let curves = vec![PowerLaw::new(2.0, 0.3)];
+        let measure = synthetic_measure(vec![300], curves, 0.1);
+        let est = CurveEstimator::fast(5);
+        let detail = est.estimate_detailed(1, &measure);
+        assert_eq!(detail.len(), 1);
+        let e = &detail[0];
+        assert!(e.fit.is_ok());
+        assert_eq!(e.repeat_fits.len(), est.repeats);
+        // fast(): 5 fractions × 2 repeats = 10 pooled points.
+        assert_eq!(e.points.len(), 10);
+        // The public `estimate` is exactly the detailed fit.
+        let plain = est.estimate(1, &measure)[0].clone().unwrap();
+        let detailed = e.fit.clone().unwrap();
+        assert_eq!((plain.b, plain.a), (detailed.b, detailed.a));
+    }
+
+    #[test]
+    fn detailed_estimate_yields_bands() {
+        let curves = vec![PowerLaw::new(2.0, 0.3)];
+        let measure = synthetic_measure(vec![300], curves, 0.2);
+        let est = CurveEstimator::fast(6);
+        let e = &est.estimate_detailed(1, &measure)[0];
+        let bands = e.bands(100, 0.9, 3).unwrap();
+        assert!(bands.a_interval().lo <= bands.a_interval().hi);
+        assert!(bands.relative_width(300.0) >= 0.0);
+    }
+
+    #[test]
+    fn degenerate_measurements_report_error() {
+        // Measurement function that always reports the same subset size.
+        let measure = |_req: &MeasureRequest| {
+            vec![SliceLossMeasurement { slice: 0, n: 100, loss: 0.5 }]
+        };
+        let est = CurveEstimator::fast(1);
+        let fits = est.estimate(1, &measure);
+        assert!(fits[0].is_err());
+    }
+
+    #[test]
+    fn single_thread_matches_parallel() {
+        let curves = vec![PowerLaw::new(2.2, 0.4), PowerLaw::new(0.9, 0.15)];
+        let measure = synthetic_measure(vec![300, 120], curves, 0.2);
+        let mut est = CurveEstimator::fast(3);
+        est.threads = 1;
+        let seq = est.estimate(2, &measure);
+        est.threads = 8;
+        let par = est.estimate(2, &measure);
+        for (a, b) in seq.iter().zip(&par) {
+            let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+            assert_eq!((a.b, a.a), (b.b, b.a));
+        }
+    }
+}

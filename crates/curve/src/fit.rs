@@ -1,0 +1,318 @@
+//! Weighted non-linear least squares fitting of power-law curves.
+//!
+//! The paper fits `y = b·x^(-a)` with a weighted non-linear least squares
+//! method (SciPy's in the original). This module reproduces that estimator:
+//!
+//! 1. **Initialization** — weighted linear regression in log-log space
+//!    (`ln y = ln b − a·ln x`), which is the exact NLLS solution under
+//!    multiplicative noise and an excellent starting point otherwise.
+//! 2. **Refinement** — Levenberg–Marquardt on the original (not log) scale,
+//!    minimizing `Σ wᵢ (b·xᵢ^(-a) − yᵢ)²`, so large-`n` points with large
+//!    weights dominate exactly as in the paper.
+
+use crate::model::{PowerLaw, PowerLawWithFloor};
+use crate::points::CurvePoint;
+use st_linalg::{gaussian_solve, Matrix};
+
+/// Why a fit could not be produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FitError {
+    /// Fewer than two distinct-x points with positive weight.
+    NotEnoughPoints,
+    /// All measured losses were non-positive after clamping.
+    DegenerateLosses,
+}
+
+impl std::fmt::Display for FitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FitError::NotEnoughPoints => write!(f, "need >= 2 distinct subset sizes to fit"),
+            FitError::DegenerateLosses => write!(f, "all losses non-positive; cannot fit"),
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+/// Smallest loss considered measurable; values below are clamped before the
+/// log transform (near-zero losses happen on saturated easy slices).
+const LOSS_FLOOR: f64 = 1e-6;
+/// Exponent bounds keeping the optimizer's curvature well behaved. Empirical
+/// decay exponents sit in [0.05, 1.0] (Hestness et al.); the bounds leave
+/// generous slack.
+const A_MIN: f64 = 1e-3;
+const A_MAX: f64 = 4.0;
+const LM_ITERS: usize = 60;
+
+/// Fits `y = b·x^(-a)` to weighted points.
+///
+/// Points with non-positive `n` or weight are ignored; losses are clamped to
+/// a small positive floor. See the module docs for the algorithm.
+pub fn fit_power_law(points: &[CurvePoint]) -> Result<PowerLaw, FitError> {
+    let pts = clean(points)?;
+
+    // --- Log-space weighted linear regression initialization. ---
+    let (mut ln_b, mut a) = log_space_init(&pts)?;
+
+    // --- Levenberg–Marquardt refinement in (ln b, a). ---
+    // Residuals r_i = b x^{-a} - y, parameters p = (ln b, a):
+    //   dr/d(ln b) = b x^{-a};  dr/da = -b ln(x) x^{-a}.
+    let mut mu = 1e-3;
+    let mut cost = nlls_cost(&pts, ln_b, a);
+    for _ in 0..LM_ITERS {
+        let b = ln_b.exp();
+        // Normal equations JᵀWJ δ = -JᵀWr.
+        let mut jtj = [[0.0_f64; 2]; 2];
+        let mut jtr = [0.0_f64; 2];
+        for p in &pts {
+            let xa = p.n.powf(-a);
+            let pred = b * xa;
+            let r = pred - p.loss;
+            let j0 = pred; // ∂r/∂ln b
+            let j1 = -pred * p.n.ln(); // ∂r/∂a
+            jtj[0][0] += p.weight * j0 * j0;
+            jtj[0][1] += p.weight * j0 * j1;
+            jtj[1][1] += p.weight * j1 * j1;
+            jtr[0] += p.weight * j0 * r;
+            jtr[1] += p.weight * j1 * r;
+        }
+        jtj[1][0] = jtj[0][1];
+
+        let damped = Matrix::from_vec(
+            2,
+            2,
+            vec![jtj[0][0] * (1.0 + mu), jtj[0][1], jtj[1][0], jtj[1][1] * (1.0 + mu)],
+        );
+        let Ok(delta) = gaussian_solve(damped, &[-jtr[0], -jtr[1]]) else {
+            break; // singular: the init is already as good as we can do
+        };
+        let cand_ln_b = ln_b + delta[0];
+        let cand_a = (a + delta[1]).clamp(A_MIN, A_MAX);
+        let cand_cost = nlls_cost(&pts, cand_ln_b, cand_a);
+        if cand_cost < cost {
+            ln_b = cand_ln_b;
+            a = cand_a;
+            let improved = cost - cand_cost;
+            cost = cand_cost;
+            mu = (mu * 0.5).max(1e-12);
+            if improved < 1e-14 * (1.0 + cost) {
+                break;
+            }
+        } else {
+            mu *= 4.0;
+            if mu > 1e8 {
+                break;
+            }
+        }
+    }
+    Ok(PowerLaw::new(ln_b.exp(), a.clamp(A_MIN, A_MAX)))
+}
+
+/// Fits `y = b·x^(-a) + c` with `c ≥ 0` by scanning a floor grid.
+///
+/// For each candidate floor `c`, the residual losses `y − c` are fitted with
+/// [`fit_power_law`]; the floor minimizing weighted squared error wins. The
+/// grid runs from 0 to just below the smallest observed loss, which is where
+/// any feasible floor must lie.
+pub fn fit_power_law_with_floor(points: &[CurvePoint]) -> Result<PowerLawWithFloor, FitError> {
+    let pts = clean(points)?;
+    let min_loss = pts.iter().map(|p| p.loss).fold(f64::INFINITY, f64::min);
+    let mut best: Option<(f64, PowerLawWithFloor)> = None;
+    const GRID: usize = 24;
+    for g in 0..GRID {
+        let c = min_loss * (g as f64 / GRID as f64) * 0.999;
+        let shifted: Vec<CurvePoint> = pts
+            .iter()
+            .map(|p| CurvePoint::weighted(p.n, (p.loss - c).max(LOSS_FLOOR), p.weight))
+            .collect();
+        let Ok(pl) = fit_power_law(&shifted) else { continue };
+        let cand = PowerLawWithFloor::new(pl.b, pl.a, c);
+        let cost: f64 = pts
+            .iter()
+            .map(|p| {
+                let r = cand.eval(p.n) - p.loss;
+                p.weight * r * r
+            })
+            .sum();
+        if best.as_ref().is_none_or(|(bc, _)| cost < *bc) {
+            best = Some((cost, cand));
+        }
+    }
+    best.map(|(_, c)| c).ok_or(FitError::NotEnoughPoints)
+}
+
+fn clean(points: &[CurvePoint]) -> Result<Vec<CurvePoint>, FitError> {
+    let pts: Vec<CurvePoint> = points
+        .iter()
+        .filter(|p| p.n >= 1.0 && p.weight > 0.0 && p.loss.is_finite())
+        .map(|p| CurvePoint::weighted(p.n, p.loss.max(LOSS_FLOOR), p.weight))
+        .collect();
+    let mut xs: Vec<u64> = pts.iter().map(|p| p.n.to_bits()).collect();
+    xs.sort_unstable();
+    xs.dedup();
+    if xs.len() < 2 {
+        return Err(FitError::NotEnoughPoints);
+    }
+    if pts.iter().all(|p| p.loss <= LOSS_FLOOR) {
+        return Err(FitError::DegenerateLosses);
+    }
+    Ok(pts)
+}
+
+fn log_space_init(pts: &[CurvePoint]) -> Result<(f64, f64), FitError> {
+    // Weighted simple regression of ln y on ln x.
+    let wsum: f64 = pts.iter().map(|p| p.weight).sum();
+    let mx = pts.iter().map(|p| p.weight * p.n.ln()).sum::<f64>() / wsum;
+    let my = pts.iter().map(|p| p.weight * p.loss.ln()).sum::<f64>() / wsum;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    for p in pts {
+        let dx = p.n.ln() - mx;
+        let dy = p.loss.ln() - my;
+        sxx += p.weight * dx * dx;
+        sxy += p.weight * dx * dy;
+    }
+    if sxx <= 0.0 {
+        return Err(FitError::NotEnoughPoints);
+    }
+    let slope = sxy / sxx; // = -a
+    let a = (-slope).clamp(A_MIN, A_MAX);
+    let ln_b = my + a * mx;
+    Ok((ln_b, a))
+}
+
+fn nlls_cost(pts: &[CurvePoint], ln_b: f64, a: f64) -> f64 {
+    let b = ln_b.exp();
+    pts.iter()
+        .map(|p| {
+            let r = b * p.n.powf(-a) - p.loss;
+            p.weight * r * r
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_curve(b: f64, a: f64, xs: &[f64]) -> Vec<CurvePoint> {
+        xs.iter().map(|&x| CurvePoint::size_weighted(x, b * x.powf(-a))).collect()
+    }
+
+    #[test]
+    fn recovers_exact_power_law() {
+        let pts = sample_curve(2.9, 0.21, &[10., 30., 60., 100., 200., 300.]);
+        let fit = fit_power_law(&pts).unwrap();
+        assert!((fit.b - 2.9).abs() < 1e-6, "b {}", fit.b);
+        assert!((fit.a - 0.21).abs() < 1e-6, "a {}", fit.a);
+    }
+
+    #[test]
+    fn recovers_under_multiplicative_noise() {
+        // Deterministic pseudo-noise; the fit should land close.
+        let xs = [20., 40., 80., 120., 180., 240., 300.];
+        let pts: Vec<CurvePoint> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| {
+                let noise = 1.0 + 0.05 * ((i as f64 * 2.3).sin());
+                CurvePoint::size_weighted(x, 1.875 * x.powf(-0.446) * noise)
+            })
+            .collect();
+        let fit = fit_power_law(&pts).unwrap();
+        assert!((fit.b - 1.875).abs() < 0.3, "b {}", fit.b);
+        assert!((fit.a - 0.446).abs() < 0.06, "a {}", fit.a);
+    }
+
+    #[test]
+    fn weights_prioritize_large_subsets() {
+        // Corrupt the smallest-x point heavily; size weighting must keep the
+        // fit anchored to the big subsets.
+        let mut pts = sample_curve(2.0, 0.3, &[10., 50., 100., 200., 400.]);
+        pts[0].loss *= 3.0;
+        let weighted_fit = fit_power_law(&pts).unwrap();
+        let equal: Vec<CurvePoint> =
+            pts.iter().map(|p| CurvePoint::weighted(p.n, p.loss, 1.0)).collect();
+        let equal_fit = fit_power_law(&equal).unwrap();
+        // Size weighting must anchor the prediction at the big subsets: the
+        // weighted fit is strictly closer to the uncorrupted truth at n=400.
+        let truth = 2.0 * 400.0_f64.powf(-0.3);
+        assert!(
+            (weighted_fit.eval(400.0) - truth).abs() < (equal_fit.eval(400.0) - truth).abs(),
+            "weighted {} equal {} truth {truth}",
+            weighted_fit.eval(400.0),
+            equal_fit.eval(400.0)
+        );
+        // The raw-scale NLLS optimum still tilts toward a 3x outlier with
+        // only five points; the bound documents how far it can drift.
+        assert!((weighted_fit.eval(400.0) - truth).abs() < 0.15);
+    }
+
+    #[test]
+    fn rejects_single_size() {
+        let pts = vec![CurvePoint::size_weighted(50.0, 1.0); 3];
+        assert_eq!(fit_power_law(&pts), Err(FitError::NotEnoughPoints));
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(fit_power_law(&[]), Err(FitError::NotEnoughPoints));
+    }
+
+    #[test]
+    fn ignores_zero_weight_and_bad_points() {
+        let mut pts = sample_curve(2.0, 0.25, &[10., 100., 300.]);
+        pts.push(CurvePoint::weighted(50.0, 99.0, 0.0)); // zero weight
+        pts.push(CurvePoint::weighted(0.0, 1.0, 5.0)); // n < 1
+        pts.push(CurvePoint::weighted(60.0, f64::NAN, 1.0)); // NaN loss
+        let fit = fit_power_law(&pts).unwrap();
+        assert!((fit.a - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clamps_tiny_losses_instead_of_failing() {
+        let pts = vec![
+            CurvePoint::size_weighted(10.0, 0.5),
+            CurvePoint::size_weighted(100.0, 0.0), // clamped to floor
+            CurvePoint::size_weighted(300.0, 0.0),
+        ];
+        let fit = fit_power_law(&pts).unwrap();
+        assert!(fit.a > 0.0);
+    }
+
+    #[test]
+    fn increasing_losses_degrade_to_minimal_exponent() {
+        // A slice whose loss grows with data (pathological); the exponent is
+        // clamped at A_MIN rather than going negative.
+        let pts = vec![
+            CurvePoint::size_weighted(10.0, 0.2),
+            CurvePoint::size_weighted(100.0, 0.4),
+            CurvePoint::size_weighted(300.0, 0.6),
+        ];
+        let fit = fit_power_law(&pts).unwrap();
+        assert!(fit.a <= 2e-3, "a {}", fit.a);
+    }
+
+    #[test]
+    fn floor_fit_recovers_floor() {
+        let xs = [10., 30., 80., 150., 300., 600., 1200.];
+        let pts: Vec<CurvePoint> =
+            xs.iter().map(|&x| CurvePoint::size_weighted(x, 2.0 * x.powf(-0.5) + 0.3)).collect();
+        let fit = fit_power_law_with_floor(&pts).unwrap();
+        assert!((fit.c - 0.3).abs() < 0.05, "c {}", fit.c);
+        assert!((fit.a - 0.5).abs() < 0.12, "a {}", fit.a);
+    }
+
+    #[test]
+    fn floor_fit_beats_plain_fit_when_floor_exists() {
+        let xs = [10., 30., 80., 150., 300., 600., 1200.];
+        let pts: Vec<CurvePoint> =
+            xs.iter().map(|&x| CurvePoint::size_weighted(x, 2.0 * x.powf(-0.5) + 0.3)).collect();
+        let plain = fit_power_law(&pts).unwrap();
+        let floored = fit_power_law_with_floor(&pts).unwrap();
+        let sse = |f: &dyn Fn(f64) -> f64| -> f64 {
+            pts.iter().map(|p| (f(p.n) - p.loss).powi(2) * p.weight).sum()
+        };
+        assert!(sse(&|n| floored.eval(n)) < sse(&|n| plain.eval(n)));
+    }
+}

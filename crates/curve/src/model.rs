@@ -1,0 +1,183 @@
+//! Parametric learning-curve models.
+
+/// The power-law learning curve `loss(n) = b · n^(-a)` with `b, a > 0`
+/// (paper Section 4.1, following Hestness et al.).
+///
+/// ```
+/// use st_curve::PowerLaw;
+/// let curve = PowerLaw::new(2.0, 0.5);
+/// assert_eq!(curve.eval(100.0), 0.2);           // 2·100^(-1/2)
+/// assert!(curve.eval(400.0) < curve.eval(100.0)); // more data, lower loss
+/// let n = curve.examples_for_loss(0.1).unwrap();
+/// assert_eq!(n, 400.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerLaw {
+    /// Scale coefficient `b`.
+    pub b: f64,
+    /// Decay exponent `a`.
+    pub a: f64,
+}
+
+impl PowerLaw {
+    /// Constructs a curve, validating positivity.
+    ///
+    /// # Panics
+    /// Panics unless `b > 0` and `a > 0`.
+    pub fn new(b: f64, a: f64) -> Self {
+        assert!(b > 0.0 && b.is_finite(), "b must be positive, got {b}");
+        assert!(a > 0.0 && a.is_finite(), "a must be positive, got {a}");
+        PowerLaw { b, a }
+    }
+
+    /// Predicted loss at `n` examples (`n` clamped to at least 1).
+    pub fn eval(&self, n: f64) -> f64 {
+        self.b * n.max(1.0).powf(-self.a)
+    }
+
+    /// Derivative `d loss / d n` at `n` (non-positive: more data never hurts
+    /// under the model).
+    pub fn slope(&self, n: f64) -> f64 {
+        -self.a * self.b * n.max(1.0).powf(-self.a - 1.0)
+    }
+
+    /// Second derivative `d² loss / d n²` at `n` (non-negative: the curve
+    /// is convex in `n`, which is what makes the acquisition program convex).
+    pub fn curvature(&self, n: f64) -> f64 {
+        self.a * (self.a + 1.0) * self.b * n.max(1.0).powf(-self.a - 2.0)
+    }
+
+    /// Examples needed to reach a target loss (inverse of [`eval`]).
+    ///
+    /// Returns `None` if `target` is non-positive.
+    ///
+    /// [`eval`]: PowerLaw::eval
+    pub fn examples_for_loss(&self, target: f64) -> Option<f64> {
+        if target <= 0.0 {
+            return None;
+        }
+        Some((self.b / target).powf(1.0 / self.a))
+    }
+
+    /// Averages curves in log space: mean of `ln b` and mean of `a`.
+    ///
+    /// This is the paper's "drawing multiple curves and averaging them":
+    /// averaging `ln loss` predictions pointwise across fitted curves is
+    /// exactly averaging their `(ln b, a)` parameters.
+    ///
+    /// # Panics
+    /// Panics on an empty slice.
+    pub fn log_mean(curves: &[PowerLaw]) -> PowerLaw {
+        assert!(!curves.is_empty(), "cannot average zero curves");
+        let n = curves.len() as f64;
+        let ln_b = curves.iter().map(|c| c.b.ln()).sum::<f64>() / n;
+        let a = curves.iter().map(|c| c.a).sum::<f64>() / n;
+        PowerLaw::new(ln_b.exp(), a)
+    }
+}
+
+/// Power law with an irreducible floor: `loss(n) = b · n^(-a) + c`.
+///
+/// The paper notes this variant fits better once the diminishing-returns
+/// region is visible, but prefers the plain power law when it is not; both
+/// are provided.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerLawWithFloor {
+    /// Scale coefficient `b`.
+    pub b: f64,
+    /// Decay exponent `a`.
+    pub a: f64,
+    /// Lower-bound loss `c ≥ 0`.
+    pub c: f64,
+}
+
+impl PowerLawWithFloor {
+    /// Constructs a curve, validating ranges.
+    ///
+    /// # Panics
+    /// Panics unless `b > 0`, `a > 0`, `c ≥ 0`.
+    pub fn new(b: f64, a: f64, c: f64) -> Self {
+        assert!(b > 0.0 && b.is_finite(), "b must be positive");
+        assert!(a > 0.0 && a.is_finite(), "a must be positive");
+        assert!(c >= 0.0 && c.is_finite(), "c must be non-negative");
+        PowerLawWithFloor { b, a, c }
+    }
+
+    /// Predicted loss at `n` examples.
+    pub fn eval(&self, n: f64) -> f64 {
+        self.b * n.max(1.0).powf(-self.a) + self.c
+    }
+
+    /// Drops the floor, keeping `(b, a)`.
+    pub fn without_floor(&self) -> PowerLaw {
+        PowerLaw::new(self.b, self.a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_decreases_monotonically() {
+        let c = PowerLaw::new(2.0, 0.5);
+        assert!(c.eval(10.0) > c.eval(100.0));
+        assert!(c.eval(100.0) > c.eval(1000.0));
+    }
+
+    #[test]
+    fn eval_matches_formula() {
+        let c = PowerLaw::new(3.0, 1.0);
+        assert!((c.eval(10.0) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eval_clamps_below_one_example() {
+        let c = PowerLaw::new(2.0, 0.5);
+        assert_eq!(c.eval(0.0), c.eval(1.0));
+        assert_eq!(c.eval(-5.0), c.eval(1.0));
+    }
+
+    #[test]
+    fn slope_is_negative_and_flattens() {
+        let c = PowerLaw::new(2.0, 0.7);
+        assert!(c.slope(10.0) < 0.0);
+        assert!(c.slope(10.0).abs() > c.slope(100.0).abs());
+    }
+
+    #[test]
+    fn examples_for_loss_inverts_eval() {
+        let c = PowerLaw::new(2.5, 0.4);
+        let n = c.examples_for_loss(0.8).unwrap();
+        assert!((c.eval(n) - 0.8).abs() < 1e-9);
+        assert!(c.examples_for_loss(0.0).is_none());
+    }
+
+    #[test]
+    fn log_mean_of_identical_curves_is_identity() {
+        let c = PowerLaw::new(1.7, 0.33);
+        let m = PowerLaw::log_mean(&[c, c, c]);
+        assert!((m.b - c.b).abs() < 1e-12);
+        assert!((m.a - c.a).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_mean_averages_exponents() {
+        let m = PowerLaw::log_mean(&[PowerLaw::new(1.0, 0.2), PowerLaw::new(1.0, 0.4)]);
+        assert!((m.a - 0.3).abs() < 1e-12);
+        assert!((m.b - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn floor_variant_approaches_c() {
+        let c = PowerLawWithFloor::new(5.0, 0.9, 0.25);
+        assert!((c.eval(1e9) - 0.25).abs() < 1e-6);
+        assert_eq!(c.without_floor(), PowerLaw::new(5.0, 0.9));
+    }
+
+    #[test]
+    #[should_panic(expected = "a must be positive")]
+    fn rejects_non_positive_exponent() {
+        let _ = PowerLaw::new(1.0, 0.0);
+    }
+}

@@ -1,0 +1,48 @@
+//! Measured (size, loss) observations.
+
+/// One measured point of a slice's learning curve: a model trained with `n`
+/// examples of the slice scored `loss` on the slice's validation set.
+///
+/// `weight` carries the fitting weight. The paper weights subsets
+/// proportionally to their sizes because losses measured on smaller subsets
+/// have higher variance (Figure 5's small-data region).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CurvePoint {
+    /// Training examples of the slice used for this measurement.
+    pub n: f64,
+    /// Measured validation loss.
+    pub loss: f64,
+    /// Non-negative fitting weight.
+    pub weight: f64,
+}
+
+impl CurvePoint {
+    /// Point with the paper's default weighting (`weight = n`).
+    pub fn size_weighted(n: f64, loss: f64) -> Self {
+        CurvePoint { n, loss, weight: n }
+    }
+
+    /// Point with an explicit weight.
+    pub fn weighted(n: f64, loss: f64, weight: f64) -> Self {
+        CurvePoint { n, loss, weight }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_weighted_uses_n_as_weight() {
+        let p = CurvePoint::size_weighted(50.0, 0.4);
+        assert_eq!(p.weight, 50.0);
+        assert_eq!(p.n, 50.0);
+        assert_eq!(p.loss, 0.4);
+    }
+
+    #[test]
+    fn weighted_sets_explicit_weight() {
+        let p = CurvePoint::weighted(10.0, 1.0, 3.0);
+        assert_eq!(p.weight, 3.0);
+    }
+}

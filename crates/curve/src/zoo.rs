@@ -1,0 +1,511 @@
+//! The parametric learning-curve model zoo.
+//!
+//! Reference \[15\] of the paper (Domhan et al., IJCAI 2015) compares 11
+//! parametric learning-curve models; the paper concludes "a power-law curve
+//! fits as well as any other curve". This module reproduces that comparison:
+//! a menu of decreasing parametric families, one generic weighted
+//! Levenberg–Marquardt fitter with numeric Jacobians, and AIC/BIC model
+//! selection, so the claim can be re-verified on our measured curves
+//! (`curve_zoo` bench).
+
+use crate::fit::FitError;
+use crate::points::CurvePoint;
+use st_linalg::{gaussian_solve, Matrix};
+
+/// Smallest loss considered measurable (shared with the power-law fitter).
+const LOSS_FLOOR: f64 = 1e-6;
+
+/// Parametric families of decreasing learning curves.
+///
+/// `x` is the training-set size, `y` the loss. Parameter meanings are listed
+/// per variant; all families are fit by weighted NLLS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CurveFamily {
+    /// `y = b·x^(-a)` — the paper's default.
+    PowerLaw,
+    /// `y = b·x^(-a) + c` — power law with an irreducible floor.
+    PowerLawFloor,
+    /// `y = a·e^(-k·x) + c` — exponential decay.
+    Exponential,
+    /// `y = a − b·ln x` — logarithmic decay (unbounded below).
+    Logarithmic,
+    /// `y = y∞ + (y₀ − y∞)·e^(−k·x^δ)` — Janoschek / stretched exponential.
+    Janoschek,
+    /// `y = (y₀·b + y∞·x^δ) / (b + x^δ)` — Morgan–Mercer–Flodin.
+    Mmf,
+    /// `y = exp(a + b/x + c·ln x)` — vapor-pressure model.
+    VaporPressure,
+    /// `y = a / (1 + (x/e^b)^c)` — log-power model.
+    LogPower,
+}
+
+impl CurveFamily {
+    /// Every family in the zoo.
+    pub const ALL: [CurveFamily; 8] = [
+        CurveFamily::PowerLaw,
+        CurveFamily::PowerLawFloor,
+        CurveFamily::Exponential,
+        CurveFamily::Logarithmic,
+        CurveFamily::Janoschek,
+        CurveFamily::Mmf,
+        CurveFamily::VaporPressure,
+        CurveFamily::LogPower,
+    ];
+
+    /// Number of free parameters.
+    pub fn num_params(&self) -> usize {
+        match self {
+            CurveFamily::PowerLaw | CurveFamily::Logarithmic => 2,
+            CurveFamily::PowerLawFloor
+            | CurveFamily::Exponential
+            | CurveFamily::VaporPressure
+            | CurveFamily::LogPower => 3,
+            CurveFamily::Janoschek | CurveFamily::Mmf => 4,
+        }
+    }
+
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CurveFamily::PowerLaw => "pow2",
+            CurveFamily::PowerLawFloor => "pow3",
+            CurveFamily::Exponential => "exp3",
+            CurveFamily::Logarithmic => "log2",
+            CurveFamily::Janoschek => "janoschek",
+            CurveFamily::Mmf => "mmf",
+            CurveFamily::VaporPressure => "vapor",
+            CurveFamily::LogPower => "logpower",
+        }
+    }
+
+    /// Evaluates the family at `x` with parameters `p`.
+    ///
+    /// # Panics
+    /// Panics when `p.len() != self.num_params()`.
+    pub fn eval(&self, p: &[f64], x: f64) -> f64 {
+        assert_eq!(p.len(), self.num_params(), "{} parameter count", self.name());
+        let x = x.max(1.0);
+        match self {
+            CurveFamily::PowerLaw => p[0] * x.powf(-p[1]),
+            CurveFamily::PowerLawFloor => p[0] * x.powf(-p[1]) + p[2],
+            CurveFamily::Exponential => p[0] * (-p[1] * x).exp() + p[2],
+            CurveFamily::Logarithmic => p[0] - p[1] * x.ln(),
+            CurveFamily::Janoschek => p[1] + (p[0] - p[1]) * (-p[2] * x.powf(p[3])).exp(),
+            CurveFamily::Mmf => {
+                let xd = x.powf(p[3]);
+                (p[0] * p[2] + p[1] * xd) / (p[2] + xd)
+            }
+            CurveFamily::VaporPressure => (p[0] + p[1] / x + p[2] * x.ln()).exp(),
+            CurveFamily::LogPower => p[0] / (1.0 + (x / p[1].exp()).powf(p[2])),
+        }
+    }
+
+    /// Clamps parameters into the family's valid region (in place).
+    fn clamp(&self, p: &mut [f64]) {
+        match self {
+            CurveFamily::PowerLaw => {
+                p[0] = p[0].max(LOSS_FLOOR);
+                p[1] = p[1].clamp(1e-3, 4.0);
+            }
+            CurveFamily::PowerLawFloor => {
+                p[0] = p[0].max(LOSS_FLOOR);
+                p[1] = p[1].clamp(1e-3, 4.0);
+                p[2] = p[2].max(0.0);
+            }
+            CurveFamily::Exponential => {
+                p[0] = p[0].max(LOSS_FLOOR);
+                p[1] = p[1].clamp(1e-9, 10.0);
+                p[2] = p[2].max(0.0);
+            }
+            CurveFamily::Logarithmic => {
+                p[1] = p[1].max(0.0);
+            }
+            CurveFamily::Janoschek => {
+                p[0] = p[0].max(LOSS_FLOOR);
+                p[1] = p[1].clamp(0.0, p[0]);
+                p[2] = p[2].clamp(1e-9, 10.0);
+                p[3] = p[3].clamp(0.05, 2.0);
+            }
+            CurveFamily::Mmf => {
+                p[0] = p[0].max(LOSS_FLOOR);
+                p[1] = p[1].clamp(0.0, p[0]);
+                p[2] = p[2].max(1e-9);
+                p[3] = p[3].clamp(0.05, 4.0);
+            }
+            CurveFamily::VaporPressure => {
+                // a, b free; c ≤ 0 keeps the curve non-increasing for large x.
+                p[2] = p[2].min(0.0);
+            }
+            CurveFamily::LogPower => {
+                p[0] = p[0].max(LOSS_FLOOR);
+                p[2] = p[2].clamp(1e-3, 6.0);
+            }
+        }
+    }
+
+    /// Heuristic initial parameters from the data envelope.
+    fn init(&self, pts: &[CurvePoint]) -> Vec<f64> {
+        let y_max = pts.iter().map(|p| p.loss).fold(f64::MIN, f64::max);
+        let y_min = pts.iter().map(|p| p.loss).fold(f64::MAX, f64::min);
+        let x_mean = pts.iter().map(|p| p.n).sum::<f64>() / pts.len() as f64;
+        let x_med = {
+            let mut xs: Vec<f64> = pts.iter().map(|p| p.n).collect();
+            xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            xs[xs.len() / 2]
+        };
+        match self {
+            CurveFamily::PowerLaw => {
+                // Log-space regression (same as the dedicated fitter's init).
+                let (ln_b, a) = loglog_init(pts);
+                vec![ln_b.exp(), a]
+            }
+            CurveFamily::PowerLawFloor => {
+                let (ln_b, a) = loglog_init(pts);
+                vec![ln_b.exp(), a, 0.5 * y_min]
+            }
+            CurveFamily::Exponential => {
+                vec![(y_max - y_min).max(LOSS_FLOOR), 1.0 / x_mean.max(1.0), 0.9 * y_min]
+            }
+            CurveFamily::Logarithmic => {
+                // Linear regression of y on ln x.
+                let n = pts.len() as f64;
+                let mx = pts.iter().map(|p| p.n.ln()).sum::<f64>() / n;
+                let my = pts.iter().map(|p| p.loss).sum::<f64>() / n;
+                let mut sxx = 0.0;
+                let mut sxy = 0.0;
+                for p in pts {
+                    sxx += (p.n.ln() - mx).powi(2);
+                    sxy += (p.n.ln() - mx) * (p.loss - my);
+                }
+                let b = if sxx > 0.0 { (-sxy / sxx).max(0.0) } else { 0.1 };
+                vec![my + b * mx, b]
+            }
+            CurveFamily::Janoschek => {
+                vec![y_max, 0.9 * y_min, 1.0 / x_mean.max(1.0).sqrt(), 0.5]
+            }
+            CurveFamily::Mmf => vec![y_max, 0.9 * y_min, x_med, 1.0],
+            CurveFamily::VaporPressure => {
+                // ln y = a + b/x + c ln x is linear — solve directly.
+                let rows = pts.len();
+                let design = Matrix::from_fn(rows, 3, |r, c| match c {
+                    0 => 1.0,
+                    1 => 1.0 / pts[r].n,
+                    _ => pts[r].n.ln(),
+                });
+                let rhs: Vec<f64> =
+                    pts.iter().map(|p| p.loss.max(LOSS_FLOOR).ln()).collect();
+                match st_linalg::least_squares(&design, &rhs) {
+                    Ok(sol) => sol,
+                    Err(_) => vec![y_max.max(LOSS_FLOOR).ln(), 0.0, -0.1],
+                }
+            }
+            CurveFamily::LogPower => vec![y_max, x_med.max(1.0).ln(), 1.0],
+        }
+    }
+}
+
+/// A fitted member of the zoo.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FittedCurve {
+    /// The parametric family.
+    pub family: CurveFamily,
+    /// Fitted parameters (`family.num_params()` of them).
+    pub params: Vec<f64>,
+    /// Weighted sum of squared residuals at the optimum.
+    pub wsse: f64,
+    /// Akaike information criterion (lower is better).
+    pub aic: f64,
+    /// Bayesian information criterion (lower is better).
+    pub bic: f64,
+}
+
+impl FittedCurve {
+    /// Predicted loss at `n` examples.
+    pub fn eval(&self, n: f64) -> f64 {
+        self.family.eval(&self.params, n)
+    }
+}
+
+fn loglog_init(pts: &[CurvePoint]) -> (f64, f64) {
+    let wsum: f64 = pts.iter().map(|p| p.weight).sum();
+    let mx = pts.iter().map(|p| p.weight * p.n.ln()).sum::<f64>() / wsum;
+    let my =
+        pts.iter().map(|p| p.weight * p.loss.max(LOSS_FLOOR).ln()).sum::<f64>() / wsum;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    for p in pts {
+        let dx = p.n.ln() - mx;
+        let dy = p.loss.max(LOSS_FLOOR).ln() - my;
+        sxx += p.weight * dx * dx;
+        sxy += p.weight * dx * dy;
+    }
+    let a = if sxx > 0.0 { (-sxy / sxx).clamp(1e-3, 4.0) } else { 0.2 };
+    (my + a * mx, a)
+}
+
+fn clean(points: &[CurvePoint]) -> Result<Vec<CurvePoint>, FitError> {
+    let pts: Vec<CurvePoint> = points
+        .iter()
+        .filter(|p| p.n >= 1.0 && p.weight > 0.0 && p.loss.is_finite())
+        .map(|p| CurvePoint::weighted(p.n, p.loss.max(LOSS_FLOOR), p.weight))
+        .collect();
+    let mut xs: Vec<u64> = pts.iter().map(|p| p.n.to_bits()).collect();
+    xs.sort_unstable();
+    xs.dedup();
+    if xs.len() < 2 {
+        return Err(FitError::NotEnoughPoints);
+    }
+    if pts.iter().all(|p| p.loss <= LOSS_FLOOR) {
+        return Err(FitError::DegenerateLosses);
+    }
+    Ok(pts)
+}
+
+fn wsse(family: CurveFamily, p: &[f64], pts: &[CurvePoint]) -> f64 {
+    pts.iter()
+        .map(|pt| {
+            let r = family.eval(p, pt.n) - pt.loss;
+            pt.weight * r * r
+        })
+        .sum()
+}
+
+/// Fits one family by weighted Levenberg–Marquardt with a forward-difference
+/// Jacobian.
+///
+/// # Errors
+/// Propagates the cleaning errors of the shared pipeline
+/// ([`FitError::NotEnoughPoints`], [`FitError::DegenerateLosses`]).
+pub fn fit_family(points: &[CurvePoint], family: CurveFamily) -> Result<FittedCurve, FitError> {
+    let pts = clean(points)?;
+    let k = family.num_params();
+    let mut p = family.init(&pts);
+    family.clamp(&mut p);
+    let mut cost = wsse(family, &p, &pts);
+    let mut mu = 1e-3;
+
+    for _ in 0..80 {
+        // Forward-difference Jacobian of residuals wrt parameters.
+        let base: Vec<f64> = pts.iter().map(|pt| family.eval(&p, pt.n)).collect();
+        let mut jac = vec![vec![0.0; k]; pts.len()];
+        for j in 0..k {
+            let h = 1e-6 * p[j].abs().max(1e-6);
+            let mut pj = p.clone();
+            pj[j] += h;
+            family.clamp(&mut pj);
+            let dh = pj[j] - p[j];
+            if dh == 0.0 {
+                continue; // pinned at a bound
+            }
+            for (i, pt) in pts.iter().enumerate() {
+                jac[i][j] = (family.eval(&pj, pt.n) - base[i]) / dh;
+            }
+        }
+
+        // Damped normal equations (JᵀWJ + μ·diag) δ = −JᵀWr.
+        let mut jtj = Matrix::zeros(k, k);
+        let mut jtr = vec![0.0; k];
+        for (i, pt) in pts.iter().enumerate() {
+            let r = base[i] - pt.loss;
+            for a in 0..k {
+                jtr[a] += pt.weight * jac[i][a] * r;
+                for b in a..k {
+                    jtj[(a, b)] += pt.weight * jac[i][a] * jac[i][b];
+                }
+            }
+        }
+        for a in 0..k {
+            for b in 0..a {
+                jtj[(a, b)] = jtj[(b, a)];
+            }
+        }
+        let damped = Matrix::from_fn(k, k, |r, c| {
+            jtj[(r, c)] + if r == c { mu * (jtj[(r, c)].abs() + 1e-12) } else { 0.0 }
+        });
+        let neg: Vec<f64> = jtr.iter().map(|v| -v).collect();
+        let Ok(delta) = gaussian_solve(damped, &neg) else { break };
+
+        let mut cand: Vec<f64> = p.iter().zip(&delta).map(|(a, d)| a + d).collect();
+        family.clamp(&mut cand);
+        let cand_cost = wsse(family, &cand, &pts);
+        if cand_cost < cost {
+            let improved = cost - cand_cost;
+            p = cand;
+            cost = cand_cost;
+            mu = (mu * 0.5).max(1e-12);
+            if improved < 1e-14 * (1.0 + cost) {
+                break;
+            }
+        } else {
+            mu *= 4.0;
+            if mu > 1e8 {
+                break;
+            }
+        }
+    }
+
+    let n = pts.len() as f64;
+    // Gaussian-likelihood information criteria on the weighted residuals.
+    let sigma2 = (cost / n).max(1e-300);
+    let aic = n * sigma2.ln() + 2.0 * k as f64;
+    let bic = n * sigma2.ln() + (k as f64) * n.ln();
+    Ok(FittedCurve { family, params: p, wsse: cost, aic, bic })
+}
+
+/// Fits every requested family and returns all results sorted by AIC
+/// (best first). Families that fail to fit are skipped.
+///
+/// # Errors
+/// Returns [`FitError::NotEnoughPoints`] when no family could be fitted.
+pub fn fit_zoo(
+    points: &[CurvePoint],
+    families: &[CurveFamily],
+) -> Result<Vec<FittedCurve>, FitError> {
+    let mut fits: Vec<FittedCurve> =
+        families.iter().filter_map(|&f| fit_family(points, f).ok()).collect();
+    if fits.is_empty() {
+        return Err(FitError::NotEnoughPoints);
+    }
+    fits.sort_by(|a, b| a.aic.partial_cmp(&b.aic).expect("finite AIC"));
+    Ok(fits)
+}
+
+/// Fits the whole zoo and returns the AIC-best curve.
+///
+/// # Errors
+/// Returns [`FitError::NotEnoughPoints`] when no family could be fitted.
+pub fn fit_best(points: &[CurvePoint]) -> Result<FittedCurve, FitError> {
+    Ok(fit_zoo(points, &CurveFamily::ALL)?.remove(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn from_fn(f: impl Fn(f64) -> f64, xs: &[f64]) -> Vec<CurvePoint> {
+        xs.iter().map(|&x| CurvePoint::size_weighted(x, f(x))).collect()
+    }
+
+    const XS: [f64; 8] = [10., 20., 40., 80., 150., 300., 600., 1200.];
+
+    #[test]
+    fn every_family_fits_its_own_generating_curve() {
+        let cases: Vec<(CurveFamily, Box<dyn Fn(f64) -> f64>)> = vec![
+            (CurveFamily::PowerLaw, Box::new(|x: f64| 2.0 * x.powf(-0.3))),
+            (CurveFamily::PowerLawFloor, Box::new(|x: f64| 2.0 * x.powf(-0.5) + 0.2)),
+            (CurveFamily::Exponential, Box::new(|x: f64| 1.5 * (-0.01 * x).exp() + 0.3)),
+            (CurveFamily::Logarithmic, Box::new(|x: f64| 3.0 - 0.3 * x.ln())),
+            (
+                CurveFamily::Janoschek,
+                Box::new(|x: f64| 0.2 + 1.3 * (-0.08 * x.powf(0.7)).exp()),
+            ),
+            (
+                CurveFamily::Mmf,
+                Box::new(|x: f64| (1.5 * 50.0 + 0.2 * x) / (50.0 + x)),
+            ),
+            (
+                CurveFamily::VaporPressure,
+                Box::new(|x: f64| (0.5 + 3.0 / x - 0.25 * x.ln()).exp()),
+            ),
+            (
+                CurveFamily::LogPower,
+                Box::new(|x: f64| 1.8 / (1.0 + (x / 100.0).powf(0.8))),
+            ),
+        ];
+        for (family, f) in cases {
+            let pts = from_fn(&f, &XS);
+            let fit = fit_family(&pts, family).unwrap();
+            // Relative prediction error within 10% at every sample point.
+            for pt in &pts {
+                let rel = (fit.eval(pt.n) - pt.loss).abs() / pt.loss.abs().max(1e-9);
+                assert!(rel < 0.10, "{}: rel err {rel:.4} at n={}", family.name(), pt.n);
+            }
+        }
+    }
+
+    #[test]
+    fn power_law_data_selects_a_power_law_shape() {
+        let pts = from_fn(|x| 2.5 * x.powf(-0.4), &XS);
+        let best = fit_best(&pts).unwrap();
+        // pow3 with c≈0, janoschek, and mmf can imitate a pure power law;
+        // what matters is the winning curve is numerically the same shape.
+        for pt in &pts {
+            let rel = (best.eval(pt.n) - pt.loss).abs() / pt.loss;
+            assert!(rel < 0.02, "winner {} off by {rel:.4}", best.family.name());
+        }
+    }
+
+    #[test]
+    fn zoo_is_sorted_by_aic() {
+        let pts = from_fn(|x| 2.0 * x.powf(-0.3) + 0.1, &XS);
+        let fits = fit_zoo(&pts, &CurveFamily::ALL).unwrap();
+        assert!(fits.len() >= 6, "most families should fit");
+        for w in fits.windows(2) {
+            assert!(w[0].aic <= w[1].aic);
+        }
+    }
+
+    #[test]
+    fn aic_penalizes_parameters_on_equal_fits() {
+        // Data exactly on a plain power law: pow3 can only match pow2's SSE,
+        // so pow2's AIC (fewer params) must not be worse when SSEs tie.
+        let pts = from_fn(|x| 1.7 * x.powf(-0.25), &XS);
+        let two = fit_family(&pts, CurveFamily::PowerLaw).unwrap();
+        let three = fit_family(&pts, CurveFamily::PowerLawFloor).unwrap();
+        if (two.wsse - three.wsse).abs() < 1e-9 {
+            assert!(two.aic < three.aic);
+        }
+    }
+
+    #[test]
+    fn bic_penalizes_harder_than_aic_for_large_n() {
+        let xs: Vec<f64> = (1..=40).map(|i| 10.0 * i as f64).collect();
+        let pts = from_fn(|x| 2.0 * x.powf(-0.3), &xs);
+        let fit = fit_family(&pts, CurveFamily::Janoschek).unwrap();
+        // BIC's per-parameter penalty ln(40) > AIC's 2.
+        assert!(fit.bic > fit.aic);
+    }
+
+    #[test]
+    fn insufficient_points_error() {
+        let pts = vec![CurvePoint::size_weighted(10.0, 1.0)];
+        assert!(matches!(fit_best(&pts), Err(FitError::NotEnoughPoints)));
+    }
+
+    #[test]
+    fn family_names_are_unique() {
+        let mut names: Vec<&str> = CurveFamily::ALL.iter().map(|f| f.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), CurveFamily::ALL.len());
+    }
+
+    #[test]
+    fn eval_clamps_x_below_one() {
+        let fit = FittedCurve {
+            family: CurveFamily::PowerLaw,
+            params: vec![2.0, 0.5],
+            wsse: 0.0,
+            aic: 0.0,
+            bic: 0.0,
+        };
+        assert_eq!(fit.eval(0.0), fit.eval(1.0));
+    }
+
+    #[test]
+    fn noisy_power_law_is_still_fit_well_by_the_winner() {
+        let pts: Vec<CurvePoint> = XS
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| {
+                let noise = 1.0 + 0.06 * ((i as f64 * 1.7).sin());
+                CurvePoint::size_weighted(x, 2.2 * x.powf(-0.35) * noise)
+            })
+            .collect();
+        let best = fit_best(&pts).unwrap();
+        for pt in &pts {
+            let rel = (best.eval(pt.n) - pt.loss).abs() / pt.loss;
+            assert!(rel < 0.12, "winner {} off by {rel:.4}", best.family.name());
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Data augmentation.
+//!
+//! Crowdsourced batches are small; the paper's pipeline crops and filters
+//! acquired images before use. This module provides the complementary
+//! standard tricks for stretching a small acquisition further: pixel-space
+//! transforms for image rows and feature jitter for tabular rows. All
+//! transforms preserve the example's label and slice.
+
+use crate::example::Example;
+use crate::rng::normal;
+use rand::Rng;
+
+/// Horizontally flips a flattened `h × w` single-channel image row.
+///
+/// # Panics
+/// Panics when `img.len() != h * w`.
+pub fn hflip(img: &[f64], h: usize, w: usize) -> Vec<f64> {
+    assert_eq!(img.len(), h * w, "image length mismatch");
+    let mut out = vec![0.0; h * w];
+    for y in 0..h {
+        for x in 0..w {
+            out[y * w + x] = img[y * w + (w - 1 - x)];
+        }
+    }
+    out
+}
+
+/// Shifts a flattened image by `(dy, dx)` pixels, zero-filling the exposed
+/// border. Positive `dy` moves content down, positive `dx` right.
+///
+/// # Panics
+/// Panics when `img.len() != h * w`.
+pub fn shift(img: &[f64], h: usize, w: usize, dy: i64, dx: i64) -> Vec<f64> {
+    assert_eq!(img.len(), h * w, "image length mismatch");
+    let mut out = vec![0.0; h * w];
+    for y in 0..h as i64 {
+        for x in 0..w as i64 {
+            let (sy, sx) = (y - dy, x - dx);
+            if sy >= 0 && sy < h as i64 && sx >= 0 && sx < w as i64 {
+                out[(y * w as i64 + x) as usize] = img[(sy * w as i64 + sx) as usize];
+            }
+        }
+    }
+    out
+}
+
+/// Adds i.i.d. Gaussian noise of standard deviation `sigma` to features.
+pub fn jitter<R: Rng + ?Sized>(features: &[f64], sigma: f64, rng: &mut R) -> Vec<f64> {
+    features.iter().map(|&v| v + sigma * normal(rng)).collect()
+}
+
+/// Augmentation policy applied per example.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AugmentConfig {
+    /// Image height (`0` disables the image-space transforms).
+    pub height: usize,
+    /// Image width.
+    pub width: usize,
+    /// Probability of a horizontal flip.
+    pub flip_prob: f64,
+    /// Maximum absolute shift in pixels (sampled uniformly per axis).
+    pub max_shift: i64,
+    /// Feature-jitter standard deviation (applies to any row).
+    pub jitter_sigma: f64,
+}
+
+impl AugmentConfig {
+    /// An image policy: flips half the time, shifts by at most one pixel.
+    pub fn image(height: usize, width: usize) -> Self {
+        AugmentConfig { height, width, flip_prob: 0.5, max_shift: 1, jitter_sigma: 0.05 }
+    }
+
+    /// A tabular policy: jitter only.
+    pub fn tabular(sigma: f64) -> Self {
+        AugmentConfig { height: 0, width: 0, flip_prob: 0.0, max_shift: 0, jitter_sigma: sigma }
+    }
+
+    /// Produces one augmented copy of `e`.
+    pub fn apply<R: Rng + ?Sized>(&self, e: &Example, rng: &mut R) -> Example {
+        let mut features = e.features.clone();
+        if self.height > 0 && features.len() == self.height * self.width {
+            if self.flip_prob > 0.0 && rng.gen::<f64>() < self.flip_prob {
+                features = hflip(&features, self.height, self.width);
+            }
+            if self.max_shift > 0 {
+                let dy = rng.gen_range(-self.max_shift..=self.max_shift);
+                let dx = rng.gen_range(-self.max_shift..=self.max_shift);
+                if dy != 0 || dx != 0 {
+                    features = shift(&features, self.height, self.width, dy, dx);
+                }
+            }
+        }
+        if self.jitter_sigma > 0.0 {
+            features = jitter(&features, self.jitter_sigma, rng);
+        }
+        Example::new(features, e.label, e.slice)
+    }
+
+    /// Expands `examples` to `factor` copies each (the original plus
+    /// `factor − 1` augmentations).
+    ///
+    /// # Panics
+    /// Panics when `factor == 0`.
+    pub fn expand<R: Rng + ?Sized>(
+        &self,
+        examples: &[Example],
+        factor: usize,
+        rng: &mut R,
+    ) -> Vec<Example> {
+        assert!(factor > 0, "expansion factor must be positive");
+        let mut out = Vec::with_capacity(examples.len() * factor);
+        for e in examples {
+            out.push(e.clone());
+            for _ in 1..factor {
+                out.push(self.apply(e, rng));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::example::SliceId;
+    use crate::rng::seeded_rng;
+
+    fn img4() -> Vec<f64> {
+        // 2×2: [1 2; 3 4]
+        vec![1.0, 2.0, 3.0, 4.0]
+    }
+
+    #[test]
+    fn hflip_mirrors_columns() {
+        assert_eq!(hflip(&img4(), 2, 2), vec![2.0, 1.0, 4.0, 3.0]);
+    }
+
+    #[test]
+    fn hflip_is_an_involution() {
+        let img: Vec<f64> = (0..12).map(|i| i as f64).collect();
+        assert_eq!(hflip(&hflip(&img, 3, 4), 3, 4), img);
+    }
+
+    #[test]
+    fn shift_moves_content_and_zero_fills() {
+        // Shift right by one: [0 1; 0 3].
+        assert_eq!(shift(&img4(), 2, 2, 0, 1), vec![0.0, 1.0, 0.0, 3.0]);
+        // Shift down by one: [0 0; 1 2].
+        assert_eq!(shift(&img4(), 2, 2, 1, 0), vec![0.0, 0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn zero_shift_is_identity() {
+        assert_eq!(shift(&img4(), 2, 2, 0, 0), img4());
+    }
+
+    #[test]
+    fn shift_off_canvas_is_all_zero() {
+        assert_eq!(shift(&img4(), 2, 2, 5, 0), vec![0.0; 4]);
+    }
+
+    #[test]
+    fn jitter_preserves_length_and_moves_values() {
+        let mut rng = seeded_rng(1);
+        let out = jitter(&[1.0; 32], 0.5, &mut rng);
+        assert_eq!(out.len(), 32);
+        assert!(out.iter().any(|&v| (v - 1.0).abs() > 1e-6));
+    }
+
+    #[test]
+    fn apply_preserves_label_and_slice() {
+        let e = Example::new(vec![0.0; 16], 3, SliceId(2));
+        let cfg = AugmentConfig::image(4, 4);
+        let mut rng = seeded_rng(2);
+        let a = cfg.apply(&e, &mut rng);
+        assert_eq!(a.label, 3);
+        assert_eq!(a.slice, SliceId(2));
+        assert_eq!(a.dim(), 16);
+    }
+
+    #[test]
+    fn expand_multiplies_count_and_keeps_originals() {
+        let ex: Vec<Example> =
+            (0..5).map(|i| Example::new(vec![i as f64; 4], 0, SliceId(0))).collect();
+        let cfg = AugmentConfig::tabular(0.1);
+        let mut rng = seeded_rng(3);
+        let big = cfg.expand(&ex, 3, &mut rng);
+        assert_eq!(big.len(), 15);
+        // Element 0, 3, 6, ... are the untouched originals.
+        for (i, orig) in ex.iter().enumerate() {
+            assert_eq!(&big[3 * i], orig);
+        }
+    }
+
+    #[test]
+    fn tabular_policy_never_runs_image_transforms() {
+        // A 16-long row with an "image-like" length must be left alone except
+        // for jitter, even though 4×4 would fit: height is 0.
+        let e = Example::new((0..16).map(|i| i as f64).collect(), 1, SliceId(0));
+        let cfg = AugmentConfig { jitter_sigma: 0.0, ..AugmentConfig::tabular(0.0) };
+        let mut rng = seeded_rng(4);
+        assert_eq!(cfg.apply(&e, &mut rng), e);
+    }
+}

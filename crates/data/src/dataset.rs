@@ -1,0 +1,328 @@
+//! Materialized train/validation data, organized by slice.
+
+use crate::example::{Example, SliceId};
+use crate::generator::DatasetFamily;
+use crate::rng::{seeded_rng, split_seed};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Train and validation examples for one slice.
+#[derive(Debug, Clone, Default)]
+pub struct SliceData {
+    /// Slice name (copied from the family for reporting).
+    pub name: String,
+    /// Acquisition cost `C(s)` of one example.
+    pub cost: f64,
+    /// Training examples (grows as data is acquired).
+    pub train: Vec<Example>,
+    /// Validation examples (fixed; the paper uses 500 per slice).
+    pub validation: Vec<Example>,
+}
+
+impl SliceData {
+    /// Current training-set size `|s_i|`.
+    pub fn train_size(&self) -> usize {
+        self.train.len()
+    }
+}
+
+/// A dataset partitioned into slices, with per-slice train/validation splits.
+///
+/// This is the object Slice Tuner operates on: strategies inspect
+/// [`SlicedDataset::train_sizes`], training consumes
+/// [`SlicedDataset::all_train`], and evaluation uses the fixed per-slice
+/// validation sets.
+#[derive(Debug, Clone)]
+pub struct SlicedDataset {
+    /// Feature dimensionality.
+    pub feature_dim: usize,
+    /// Number of classes.
+    pub num_classes: usize,
+    /// Per-slice data, indexed by [`SliceId`].
+    pub slices: Vec<SliceData>,
+}
+
+impl SlicedDataset {
+    /// Generates a dataset from `family` with the given initial train sizes
+    /// and a fixed validation size per slice.
+    ///
+    /// Streams are derived from `seed` so the result is deterministic;
+    /// validation draws never overlap the training streams.
+    ///
+    /// # Panics
+    /// Panics if `train_sizes.len()` differs from the slice count.
+    pub fn generate(
+        family: &DatasetFamily,
+        train_sizes: &[usize],
+        validation_size: usize,
+        seed: u64,
+    ) -> Self {
+        assert_eq!(
+            train_sizes.len(),
+            family.num_slices(),
+            "train_sizes length must match slice count"
+        );
+        let slices = family
+            .slices
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                let id = SliceId(i);
+                // Stream 0: initial train data. Stream 1: validation data.
+                let train = family.sample_slice_seeded(id, train_sizes[i], seed, 0);
+                let validation = family.sample_slice_seeded(id, validation_size, seed, 1);
+                SliceData { name: spec.name.clone(), cost: spec.cost, train, validation }
+            })
+            .collect();
+        Self { feature_dim: family.feature_dim, num_classes: family.num_classes, slices }
+    }
+
+    /// Builds an empty dataset shell with named slices and costs — for
+    /// callers assembling data from their own sources (e.g. after
+    /// [`auto_slice`](crate::auto_slice) rediscovers slice structure).
+    ///
+    /// # Panics
+    /// Panics when `names` and `costs` lengths differ or are empty.
+    pub fn empty<S: AsRef<str>>(
+        names: &[S],
+        costs: &[f64],
+        feature_dim: usize,
+        num_classes: usize,
+    ) -> Self {
+        assert!(!names.is_empty(), "need at least one slice");
+        assert_eq!(names.len(), costs.len(), "names/costs length mismatch");
+        let slices = names
+            .iter()
+            .zip(costs)
+            .map(|(name, &cost)| SliceData {
+                name: name.as_ref().to_string(),
+                cost,
+                train: Vec::new(),
+                validation: Vec::new(),
+            })
+            .collect();
+        Self { feature_dim, num_classes, slices }
+    }
+
+    /// Number of slices.
+    pub fn num_slices(&self) -> usize {
+        self.slices.len()
+    }
+
+    /// Current per-slice training sizes `{|s_i|}`.
+    pub fn train_sizes(&self) -> Vec<usize> {
+        self.slices.iter().map(|s| s.train_size()).collect()
+    }
+
+    /// Per-slice acquisition costs.
+    pub fn costs(&self) -> Vec<f64> {
+        self.slices.iter().map(|s| s.cost).collect()
+    }
+
+    /// Imbalance ratio `max |s_i| / min |s_i|` (Buda et al.; Section 5.2).
+    ///
+    /// Returns `f64::INFINITY` when the smallest slice is empty.
+    pub fn imbalance_ratio(&self) -> f64 {
+        imbalance_ratio_of(&self.train_sizes())
+    }
+
+    /// All training examples across slices, cloned into one buffer in slice
+    /// order. The shared model trains on this.
+    pub fn all_train(&self) -> Vec<Example> {
+        let total: usize = self.slices.iter().map(|s| s.train.len()).sum();
+        let mut out = Vec::with_capacity(total);
+        for s in &self.slices {
+            out.extend(s.train.iter().cloned());
+        }
+        out
+    }
+
+    /// All validation examples across slices.
+    pub fn all_validation(&self) -> Vec<Example> {
+        let total: usize = self.slices.iter().map(|s| s.validation.len()).sum();
+        let mut out = Vec::with_capacity(total);
+        for s in &self.slices {
+            out.extend(s.validation.iter().cloned());
+        }
+        out
+    }
+
+    /// Appends acquired examples to their slices' training sets.
+    ///
+    /// # Panics
+    /// Panics if an example's slice id is out of range.
+    pub fn absorb(&mut self, acquired: Vec<Example>) {
+        for e in acquired {
+            let idx = e.slice.index();
+            assert!(idx < self.slices.len(), "acquired example for unknown slice {idx}");
+            self.slices[idx].train.push(e);
+        }
+    }
+
+    /// Takes an X% random subset of *every* slice's training data jointly —
+    /// the amortized subset used by the efficient curve estimation of
+    /// Section 4.2. Fractions are clamped so each non-empty slice keeps at
+    /// least one example.
+    pub fn joint_train_subset<R: Rng + ?Sized>(&self, frac: f64, rng: &mut R) -> Vec<Example> {
+        assert!((0.0..=1.0).contains(&frac), "frac must be in [0,1]");
+        let mut out = Vec::new();
+        for s in &self.slices {
+            let n = s.train.len();
+            if n == 0 {
+                continue;
+            }
+            let take = ((n as f64 * frac).round() as usize).clamp(1, n);
+            let mut idx: Vec<usize> = (0..n).collect();
+            idx.shuffle(rng);
+            out.extend(idx[..take].iter().map(|&i| s.train[i].clone()));
+        }
+        out
+    }
+
+    /// Takes a random subset of size `k` from one slice's training data and
+    /// returns it together with the *full* training data of every other
+    /// slice — the exhaustive per-slice subset of Section 4.1.
+    pub fn exhaustive_train_subset<R: Rng + ?Sized>(
+        &self,
+        slice: SliceId,
+        k: usize,
+        rng: &mut R,
+    ) -> Vec<Example> {
+        let mut out = Vec::new();
+        for (i, s) in self.slices.iter().enumerate() {
+            if i == slice.index() {
+                let n = s.train.len();
+                let take = k.min(n);
+                let mut idx: Vec<usize> = (0..n).collect();
+                idx.shuffle(rng);
+                out.extend(idx[..take].iter().map(|&j| s.train[j].clone()));
+            } else {
+                out.extend(s.train.iter().cloned());
+            }
+        }
+        out
+    }
+
+    /// Deterministic helper: a seeded joint subset (stream-split from `seed`).
+    pub fn joint_train_subset_seeded(&self, frac: f64, seed: u64, stream: u64) -> Vec<Example> {
+        let mut rng = seeded_rng(split_seed(seed, stream));
+        self.joint_train_subset(frac, &mut rng)
+    }
+}
+
+/// Imbalance ratio of a size vector: `max / min`.
+///
+/// Returns 1.0 for an empty vector and `f64::INFINITY` when the minimum is
+/// zero but the maximum is not.
+pub fn imbalance_ratio_of(sizes: &[usize]) -> f64 {
+    if sizes.is_empty() {
+        return 1.0;
+    }
+    let max = *sizes.iter().max().expect("nonempty") as f64;
+    let min = *sizes.iter().min().expect("nonempty") as f64;
+    if min == 0.0 {
+        if max == 0.0 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        max / min
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{GaussianSliceModel, LabelCluster, SliceSpec};
+
+    fn family() -> DatasetFamily {
+        let mk = |label: usize, x: f64| {
+            GaussianSliceModel::new(vec![LabelCluster::new(label, 1.0, vec![x, -x], 0.2)], 0.0)
+        };
+        DatasetFamily::new(
+            "fam",
+            2,
+            3,
+            vec![
+                SliceSpec::new("a", 1.0, mk(0, 0.0)),
+                SliceSpec::new("b", 1.5, mk(1, 2.0)),
+                SliceSpec::new("c", 2.0, mk(2, -2.0)),
+            ],
+        )
+    }
+
+    #[test]
+    fn generate_respects_sizes() {
+        let ds = SlicedDataset::generate(&family(), &[10, 20, 30], 5, 7);
+        assert_eq!(ds.train_sizes(), vec![10, 20, 30]);
+        assert!(ds.slices.iter().all(|s| s.validation.len() == 5));
+        assert_eq!(ds.all_train().len(), 60);
+        assert_eq!(ds.all_validation().len(), 15);
+    }
+
+    #[test]
+    fn generate_is_deterministic() {
+        let a = SlicedDataset::generate(&family(), &[5, 5, 5], 3, 11);
+        let b = SlicedDataset::generate(&family(), &[5, 5, 5], 3, 11);
+        assert_eq!(a.all_train(), b.all_train());
+        assert_eq!(a.all_validation(), b.all_validation());
+    }
+
+    #[test]
+    fn validation_disjoint_from_train_stream() {
+        let ds = SlicedDataset::generate(&family(), &[50, 50, 50], 50, 13);
+        let train = ds.slices[0].train.clone();
+        let val = ds.slices[0].validation.clone();
+        // Exact feature collisions between independent continuous draws are
+        // measure-zero; any overlap means the streams are shared.
+        for t in &train {
+            assert!(val.iter().all(|v| v.features != t.features));
+        }
+    }
+
+    #[test]
+    fn imbalance_ratio_basics() {
+        assert_eq!(imbalance_ratio_of(&[10, 20, 30]), 3.0);
+        assert_eq!(imbalance_ratio_of(&[7, 7]), 1.0);
+        assert_eq!(imbalance_ratio_of(&[]), 1.0);
+        assert_eq!(imbalance_ratio_of(&[0, 0]), 1.0);
+        assert!(imbalance_ratio_of(&[0, 5]).is_infinite());
+    }
+
+    #[test]
+    fn absorb_grows_right_slice() {
+        let mut ds = SlicedDataset::generate(&family(), &[2, 2, 2], 2, 3);
+        let extra = vec![Example::new(vec![0.0, 0.0], 0, SliceId(1))];
+        ds.absorb(extra);
+        assert_eq!(ds.train_sizes(), vec![2, 3, 2]);
+    }
+
+    #[test]
+    fn joint_subset_scales_each_slice() {
+        let ds = SlicedDataset::generate(&family(), &[100, 50, 10], 2, 5);
+        let sub = ds.joint_train_subset_seeded(0.5, 1, 0);
+        let count = |id: usize| sub.iter().filter(|e| e.slice == SliceId(id)).count();
+        assert_eq!(count(0), 50);
+        assert_eq!(count(1), 25);
+        assert_eq!(count(2), 5);
+    }
+
+    #[test]
+    fn joint_subset_keeps_at_least_one() {
+        let ds = SlicedDataset::generate(&family(), &[3, 3, 3], 2, 5);
+        let sub = ds.joint_train_subset_seeded(0.01, 1, 0);
+        assert_eq!(sub.len(), 3, "one example per slice survives tiny fractions");
+    }
+
+    #[test]
+    fn exhaustive_subset_only_shrinks_target_slice() {
+        let ds = SlicedDataset::generate(&family(), &[40, 40, 40], 2, 5);
+        let mut rng = seeded_rng(2);
+        let sub = ds.exhaustive_train_subset(SliceId(1), 10, &mut rng);
+        let count = |id: usize| sub.iter().filter(|e| e.slice == SliceId(id)).count();
+        assert_eq!(count(0), 40);
+        assert_eq!(count(1), 10);
+        assert_eq!(count(2), 40);
+    }
+}

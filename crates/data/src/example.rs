@@ -1,0 +1,71 @@
+//! The atomic training example and slice identifier types.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a slice within a [`crate::SlicedDataset`].
+///
+/// Slices partition the dataset (Section 2.1 of the paper); the id is the
+/// index into the dataset's slice list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SliceId(pub usize);
+
+impl SliceId {
+    /// The raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl std::fmt::Display for SliceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// A single labeled training example.
+///
+/// `features` is a dense vector (the synthetic analog of an image embedding
+/// or a tabular record), `label` is the class index, and `slice` records
+/// which slice generated the example.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Example {
+    /// Dense feature vector.
+    pub features: Vec<f64>,
+    /// Class index in `0..num_classes`.
+    pub label: usize,
+    /// Generating slice.
+    pub slice: SliceId,
+}
+
+impl Example {
+    /// Convenience constructor.
+    pub fn new(features: Vec<f64>, label: usize, slice: SliceId) -> Self {
+        Self { features, label, slice }
+    }
+
+    /// Feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.features.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_id_display_and_index() {
+        let s = SliceId(3);
+        assert_eq!(s.index(), 3);
+        assert_eq!(s.to_string(), "s3");
+    }
+
+    #[test]
+    fn example_dim_matches_features() {
+        let e = Example::new(vec![1.0, 2.0], 0, SliceId(1));
+        assert_eq!(e.dim(), 2);
+        assert_eq!(e.label, 0);
+        assert_eq!(e.slice, SliceId(1));
+    }
+}

@@ -1,0 +1,99 @@
+//! AdultCensus analog: 4 race×gender slices, binary income prediction.
+//!
+//! AdultCensus is the paper's tabular benchmark: simple model (a single
+//! fully-connected layer), flat learning curves (Figure 8d fits exponents of
+//! only 0.06–0.10), low losses (~0.25), and tiny budgets (B = 300–500
+//! suffices). The analog uses strongly overlapping positive/negative
+//! clusters plus label noise so that loss bottoms out quickly — the flat
+//! curve regime where Water filling and Uniform are hard to beat but
+//! Slice Tuner still edges them out (Table 6, bottom rows).
+
+use super::random_centers;
+use crate::generator::{DatasetFamily, GaussianSliceModel, LabelCluster, SliceSpec};
+
+/// Feature dimensionality of the census family.
+pub const CENSUS_DIM: usize = 12;
+
+/// Slice names in paper order.
+pub const CENSUS_SLICES: [&str; 4] =
+    ["White_Male", "White_Female", "Black_Male", "Black_Female"];
+
+/// Fraction of `>50K` labels per slice. The real dataset is skewed: White
+/// males have a much higher positive rate than Black females; the skew is
+/// what makes per-slice error rates differ.
+pub const POSITIVE_RATE: [f64; 4] = [0.31, 0.11, 0.19, 0.06];
+
+/// Canonical census family.
+pub fn census() -> DatasetFamily {
+    census_with_seed(0xCE25_0000)
+}
+
+/// Census family with an explicit geometry seed.
+pub fn census_with_seed(seed: u64) -> DatasetFamily {
+    // A shared pair of income-class directions plus per-slice demographic
+    // offsets. Classes overlap strongly (sigma comparable to separation):
+    // that produces the flat, low-exponent learning curves of Figure 8d.
+    let class_centers = random_centers(2, CENSUS_DIM, 0.9, seed);
+    let slice_offsets = random_centers(4, CENSUS_DIM, 0.8, seed ^ 0xBEEF);
+
+    let mut slices = Vec::with_capacity(4);
+    for (i, name) in CENSUS_SLICES.iter().enumerate() {
+        let mk_center = |label: usize| -> Vec<f64> {
+            class_centers[label]
+                .iter()
+                .zip(&slice_offsets[i])
+                .map(|(c, o)| c + o)
+                .collect()
+        };
+        let p = POSITIVE_RATE[i];
+        let neg = LabelCluster::new(0, 1.0 - p, mk_center(0), 1.1);
+        let pos = LabelCluster::new(1, p, mk_center(1), 1.1);
+        let model = GaussianSliceModel::new(vec![neg, pos], 0.08);
+        slices.push(SliceSpec::new(*name, 1.0, model));
+    }
+    DatasetFamily::new("census", CENSUS_DIM, 2, slices)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::example::SliceId;
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn four_binary_slices() {
+        let fam = census();
+        assert_eq!(fam.num_slices(), 4);
+        assert_eq!(fam.num_classes, 2);
+    }
+
+    #[test]
+    fn positive_rates_follow_spec() {
+        let fam = census();
+        let mut rng = seeded_rng(17);
+        for (i, &p) in POSITIVE_RATE.iter().enumerate() {
+            let n = 4000;
+            let ex = fam.sample_slice(SliceId(i), n, &mut rng);
+            let pos = ex.iter().filter(|e| e.label == 1).count() as f64 / n as f64;
+            // Label noise perturbs the rate toward 0.5 by ~8%/2.
+            let expected = p * (1.0 - 0.08) + 0.5 * 0.08;
+            assert!((pos - expected).abs() < 0.03, "slice {i}: {pos} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn classes_overlap_strongly() {
+        let fam = census();
+        // Class-center separation must be comparable to sigma: that is the
+        // design property producing flat curves.
+        let s = &fam.slices[0].model;
+        let d: f64 = s.clusters[0]
+            .center
+            .iter()
+            .zip(&s.clusters[1].center)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        assert!(d < 3.0 * s.clusters[0].sigma, "separation {d} too large");
+    }
+}

@@ -1,0 +1,114 @@
+//! UTKFace analog: 8 race×gender slices, 4-way race classification.
+//!
+//! This family reproduces the two UTKFace-specific mechanics:
+//!
+//! - **Slice dependence** (Figure 7): slices of the same race share a class
+//!   label and nearly identical feature clusters (gender is a small offset),
+//!   so acquiring data for `White_Male` *lowers* the shared model's loss on
+//!   `White_Female` while the induced bias *raises* losses on the other
+//!   races.
+//! - **Heterogeneous acquisition cost** (Table 1): the paper's crowdsourcing
+//!   costs, proportional to the mean seconds per MTurk task, are carried
+//!   verbatim on the slice specs.
+
+use super::random_centers;
+use crate::generator::{DatasetFamily, GaussianSliceModel, LabelCluster, SliceSpec};
+
+/// Feature dimensionality of the faces family.
+pub const FACES_DIM: usize = 16;
+
+/// Slice names in paper order (W=White, B=Black, A=Asian, I=Indian).
+pub const FACE_SLICES: [&str; 8] = [
+    "White_Male",
+    "White_Female",
+    "Black_Male",
+    "Black_Female",
+    "Asian_Male",
+    "Asian_Female",
+    "Indian_Male",
+    "Indian_Female",
+];
+
+/// Mean seconds to complete one MTurk acquisition task per slice (Table 1).
+pub const FACE_TASK_SECONDS: [f64; 8] = [82.1, 81.9, 67.6, 79.3, 94.8, 77.5, 91.6, 104.6];
+
+/// Acquisition costs from Table 1, i.e. task seconds normalized by the
+/// cheapest slice (Black_Male) and rounded to one decimal.
+pub const FACE_COSTS: [f64; 8] = [1.2, 1.2, 1.0, 1.2, 1.4, 1.1, 1.4, 1.5];
+
+/// Canonical faces family.
+pub fn faces() -> DatasetFamily {
+    faces_with_seed(0xFACE_0000)
+}
+
+/// Faces family with an explicit geometry seed.
+pub fn faces_with_seed(seed: u64) -> DatasetFamily {
+    // Four race centers; genders sit a small offset apart within each race.
+    let race_centers = random_centers(4, FACES_DIM, 2.1, seed);
+    let gender_offsets = random_centers(2, FACES_DIM, 0.55, seed ^ 0xD1FF);
+    // Per-race spread: White easiest, Black hardest — Figure 8c fits
+    // White-Male (b=2.27, a=0.20) vs Black-Female (b=3.50, a=0.31).
+    let race_sigma = [1.05, 1.45, 1.25, 1.3];
+
+    let mut slices = Vec::with_capacity(8);
+    for (i, name) in FACE_SLICES.iter().enumerate() {
+        let race = i / 2;
+        let gender = i % 2;
+        let center: Vec<f64> = race_centers[race]
+            .iter()
+            .zip(&gender_offsets[gender])
+            .map(|(r, g)| r + g)
+            .collect();
+        let cluster = LabelCluster::new(race, 1.0, center, race_sigma[race]);
+        let model = GaussianSliceModel::new(vec![cluster], 0.05);
+        slices.push(SliceSpec::new(*name, FACE_COSTS[i], model));
+    }
+    DatasetFamily::new("faces", FACES_DIM, 4, slices)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_slices_four_classes_paper_costs() {
+        let fam = faces();
+        assert_eq!(fam.num_slices(), 8);
+        assert_eq!(fam.num_classes, 4);
+        assert_eq!(fam.costs(), FACE_COSTS.to_vec());
+    }
+
+    #[test]
+    fn costs_are_task_seconds_normalized() {
+        let min = FACE_TASK_SECONDS.iter().cloned().fold(f64::INFINITY, f64::min);
+        for (i, &secs) in FACE_TASK_SECONDS.iter().enumerate() {
+            let expected = (secs / min * 10.0).round() / 10.0;
+            assert!(
+                (expected - FACE_COSTS[i]).abs() < 0.11,
+                "slice {i}: {expected} vs {}",
+                FACE_COSTS[i]
+            );
+        }
+    }
+
+    #[test]
+    fn same_race_slices_share_label_and_sit_close() {
+        let fam = faces();
+        let dist = |a: usize, b: usize| {
+            let ca = &fam.slices[a].model.clusters[0].center;
+            let cb = &fam.slices[b].model.clusters[0].center;
+            ca.iter().zip(cb).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+        };
+        // Same race (WM vs WF) must be much closer than cross race (WM vs BM).
+        assert!(dist(0, 1) < dist(0, 2) * 0.6, "{} vs {}", dist(0, 1), dist(0, 2));
+        assert_eq!(fam.slices[0].model.clusters[0].label, fam.slices[1].model.clusters[0].label);
+        assert_ne!(fam.slices[0].model.clusters[0].label, fam.slices[2].model.clusters[0].label);
+    }
+
+    #[test]
+    fn white_slices_are_tightest() {
+        let fam = faces();
+        let sigma = |i: usize| fam.slices[i].model.clusters[0].sigma;
+        assert!(sigma(0) < sigma(2) && sigma(0) < sigma(4) && sigma(0) < sigma(6));
+    }
+}

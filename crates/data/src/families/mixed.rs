@@ -1,0 +1,82 @@
+//! Mixed-MNIST analog: 20 non-homogeneous slices from two sources.
+//!
+//! The paper combines Fashion-MNIST with MNIST digits to get 20 slices whose
+//! learning curves differ wildly across sources: digit curves are steep and
+//! bottom out near zero loss (Figure 8b: Digit-0 has a ≈ 0.93) while fashion
+//! curves are shallow (Sandal a ≈ 0.45). We reproduce that with a "fashion"
+//! source (closer centers, larger spread, label noise) and a "digit" source
+//! (far centers, small spread, almost no noise).
+
+use super::{huddle, random_centers};
+use crate::generator::{DatasetFamily, GaussianSliceModel, LabelCluster, SliceSpec};
+
+/// Feature dimensionality of the mixed family.
+pub const MIXED_DIM: usize = 16;
+
+/// Canonical mixed family: slices 0–9 are fashion classes, 10–19 digits.
+pub fn mixed() -> DatasetFamily {
+    mixed_with_seed(0x3313_0000)
+}
+
+/// Mixed family with an explicit geometry seed.
+pub fn mixed_with_seed(seed: u64) -> DatasetFamily {
+    // One shared geometry: 20 class centers; the fashion half is huddled.
+    let mut centers = random_centers(20, MIXED_DIM, 2.6, seed);
+    huddle(&mut centers, &[2, 4, 6], 0.7);
+    huddle(&mut centers, &[0, 3, 8], 0.4);
+
+    let mut slices = Vec::with_capacity(20);
+    for (label, center) in centers.into_iter().enumerate() {
+        let is_digit = label >= 10;
+        let (name, sigma, noise) = if is_digit {
+            (format!("Digit-{}", label - 10), 0.55, 0.005)
+        } else {
+            (format!("Fashion-{label}"), 1.25, 0.02)
+        };
+        let cluster = LabelCluster::new(label, 1.0, center, sigma);
+        let model = GaussianSliceModel::new(vec![cluster], noise);
+        slices.push(SliceSpec::new(name, 1.0, model));
+    }
+    DatasetFamily::new("mixed", MIXED_DIM, 20, slices)
+}
+
+/// The 10-of-20 selection the experiments use (Section 6.3.1 selects 10 out
+/// of the 20 Mixed-MNIST slices): five digit slices followed by five fashion
+/// slices, so the easy and hard sources are both represented.
+pub fn mixed_selected() -> DatasetFamily {
+    mixed().select_slices(&[10, 11, 12, 13, 14, 0, 2, 4, 6, 8])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_slices_two_sources() {
+        let fam = mixed();
+        assert_eq!(fam.num_slices(), 20);
+        assert_eq!(fam.slice_names()[0], "Fashion-0");
+        assert_eq!(fam.slice_names()[10], "Digit-0");
+    }
+
+    #[test]
+    fn digit_slices_are_tighter_than_fashion() {
+        let fam = mixed();
+        let sigma = |i: usize| fam.slices[i].model.clusters[0].sigma;
+        for d in 10..20 {
+            for f in 0..10 {
+                assert!(sigma(d) < sigma(f));
+            }
+        }
+    }
+
+    #[test]
+    fn selected_subset_has_ten_slices_from_both_sources() {
+        let fam = mixed_selected();
+        assert_eq!(fam.num_slices(), 10);
+        let digits = fam.slice_names().iter().filter(|n| n.starts_with("Digit")).count();
+        let fashion = fam.slice_names().iter().filter(|n| n.starts_with("Fashion")).count();
+        assert_eq!(digits, 5);
+        assert_eq!(fashion, 5);
+    }
+}

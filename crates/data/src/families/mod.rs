@@ -1,0 +1,107 @@
+//! The four synthetic dataset families, analogs of the paper's benchmarks.
+//!
+//! | Paper dataset | Our family | Slices | Classes | Character |
+//! |---|---|---|---|---|
+//! | Fashion-MNIST | [`fashion::fashion`] | 10 (= labels) | 10 | homogeneous source, three confusable classes |
+//! | Mixed-MNIST | [`mixed::mixed`] | 20 (two sources) | 20 | easy "digit" slices + hard "fashion" slices |
+//! | UTKFace | [`faces::faces`] | 8 (race × gender) | 4 (race) | same-race slices are content-similar; real costs from Table 1 |
+//! | AdultCensus | [`census::census`] | 4 (race × gender) | 2 | flat learning curves, high irreducible error |
+//!
+//! Every family is deterministic: cluster centers come from a fixed internal
+//! seed so that `fashion()` always denotes the same distribution, while the
+//! `*_with_seed` variants let tests build independent universes.
+
+pub mod census;
+pub mod faces;
+pub mod fashion;
+pub mod mixed;
+
+pub use census::census;
+pub use faces::faces;
+pub use fashion::fashion;
+pub use mixed::{mixed, mixed_selected};
+
+use crate::rng::{normal, seeded_rng};
+
+/// Draws `k` class centers uniformly on the sphere of the given radius in
+/// `dim` dimensions, deterministically from `seed`.
+pub(crate) fn random_centers(k: usize, dim: usize, radius: f64, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = seeded_rng(seed);
+    (0..k)
+        .map(|_| {
+            let mut v: Vec<f64> = (0..dim).map(|_| normal(&mut rng)).collect();
+            let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt().max(1e-12);
+            for x in &mut v {
+                *x *= radius / norm;
+            }
+            v
+        })
+        .collect()
+}
+
+/// Pulls each listed center a fraction `alpha` of the way toward the group
+/// mean, making those classes mutually confusable (higher Bayes error).
+pub(crate) fn huddle(centers: &mut [Vec<f64>], group: &[usize], alpha: f64) {
+    assert!((0.0..=1.0).contains(&alpha));
+    if group.len() < 2 {
+        return;
+    }
+    let dim = centers[0].len();
+    let mut mean = vec![0.0; dim];
+    for &g in group {
+        for (m, &x) in mean.iter_mut().zip(&centers[g]) {
+            *m += x;
+        }
+    }
+    for m in &mut mean {
+        *m /= group.len() as f64;
+    }
+    for &g in group {
+        for (c, &m) in centers[g].iter_mut().zip(&mean) {
+            *c = *c * (1.0 - alpha) + m * alpha;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_centers_have_requested_radius() {
+        let cs = random_centers(5, 8, 3.0, 42);
+        assert_eq!(cs.len(), 5);
+        for c in &cs {
+            let norm = c.iter().map(|x| x * x).sum::<f64>().sqrt();
+            assert!((norm - 3.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn random_centers_deterministic_per_seed() {
+        assert_eq!(random_centers(3, 4, 1.0, 7), random_centers(3, 4, 1.0, 7));
+        assert_ne!(random_centers(3, 4, 1.0, 7), random_centers(3, 4, 1.0, 8));
+    }
+
+    #[test]
+    fn huddle_reduces_pairwise_distance() {
+        let mut cs = random_centers(4, 6, 2.0, 1);
+        let dist = |a: &[f64], b: &[f64]| {
+            a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+        };
+        let before = dist(&cs[0], &cs[1]);
+        huddle(&mut cs, &[0, 1], 0.5);
+        let after = dist(&cs[0], &cs[1]);
+        assert!(after < before);
+        assert!((after - before * 0.5).abs() < 1e-9, "linear shrink toward mean");
+    }
+
+    #[test]
+    fn all_families_construct_and_validate() {
+        // Construction runs the DatasetFamily invariant checks.
+        assert_eq!(fashion().num_slices(), 10);
+        assert_eq!(mixed().num_slices(), 20);
+        assert_eq!(faces().num_slices(), 8);
+        assert_eq!(census().num_slices(), 4);
+    }
+}

@@ -1,0 +1,313 @@
+//! Gaussian-mixture slice generators.
+//!
+//! Each slice is modeled as a mixture over `(label, cluster)` pairs: a
+//! [`LabelCluster`] is an isotropic Gaussian blob in feature space carrying
+//! one class label. A slice samples a cluster according to its mixture
+//! weights and then samples features around the cluster center.
+//!
+//! Difficulty (and hence learning-curve steepness, Figure 8) is controlled
+//! by the cluster spread `sigma` relative to the distance between centers of
+//! different classes. Content similarity between slices (the driver of the
+//! influence effect in Figure 7) is controlled by how close two slices'
+//! cluster centers are and whether they share labels.
+
+use crate::example::{Example, SliceId};
+use crate::rng::{normal, seeded_rng, split_seed};
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One Gaussian blob with a class label.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LabelCluster {
+    /// Class label of examples drawn from this cluster.
+    pub label: usize,
+    /// Mixture weight (normalized over the slice's clusters at sample time).
+    pub weight: f64,
+    /// Cluster center in feature space.
+    pub center: Vec<f64>,
+    /// Isotropic standard deviation.
+    pub sigma: f64,
+}
+
+impl LabelCluster {
+    /// Convenience constructor.
+    pub fn new(label: usize, weight: f64, center: Vec<f64>, sigma: f64) -> Self {
+        assert!(weight > 0.0, "cluster weight must be positive");
+        assert!(sigma >= 0.0, "sigma must be non-negative");
+        Self { label, weight, center, sigma }
+    }
+}
+
+/// The generative model behind one slice.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaussianSliceModel {
+    /// Mixture components.
+    pub clusters: Vec<LabelCluster>,
+    /// Label-noise rate: with this probability a sampled example's label is
+    /// replaced by a uniformly random class. Produces the irreducible-loss
+    /// floor of the diminishing-returns region (Figure 5).
+    pub label_noise: f64,
+}
+
+impl GaussianSliceModel {
+    /// Builds a model from clusters, validating shapes.
+    ///
+    /// # Panics
+    /// Panics if `clusters` is empty, dimensions are inconsistent, or
+    /// `label_noise` is outside `[0, 1)`.
+    pub fn new(clusters: Vec<LabelCluster>, label_noise: f64) -> Self {
+        assert!(!clusters.is_empty(), "slice model needs at least one cluster");
+        let dim = clusters[0].center.len();
+        assert!(
+            clusters.iter().all(|c| c.center.len() == dim),
+            "all cluster centers must share a dimension"
+        );
+        assert!((0.0..1.0).contains(&label_noise), "label_noise must be in [0,1)");
+        Self { clusters, label_noise }
+    }
+
+    /// Feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.clusters[0].center.len()
+    }
+
+    /// Samples one example for slice `slice` with `num_classes` total classes.
+    pub fn sample<R: Rng + ?Sized>(
+        &self,
+        slice: SliceId,
+        num_classes: usize,
+        rng: &mut R,
+    ) -> Example {
+        let total: f64 = self.clusters.iter().map(|c| c.weight).sum();
+        let mut pick = rng.gen::<f64>() * total;
+        let mut chosen = &self.clusters[0];
+        for c in &self.clusters {
+            if pick < c.weight {
+                chosen = c;
+                break;
+            }
+            pick -= c.weight;
+        }
+        let features: Vec<f64> =
+            chosen.center.iter().map(|&m| m + chosen.sigma * normal(rng)).collect();
+        let label = if self.label_noise > 0.0 && rng.gen::<f64>() < self.label_noise {
+            rng.gen_range(0..num_classes)
+        } else {
+            chosen.label
+        };
+        Example::new(features, label, slice)
+    }
+}
+
+/// A named slice with an acquisition cost and its generative model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SliceSpec {
+    /// Human-readable slice name (e.g. `"White_Male"`, `"Sandal"`).
+    pub name: String,
+    /// Cost `C(s)` of acquiring one example of this slice (Section 2.1).
+    pub cost: f64,
+    /// Generative model.
+    pub model: GaussianSliceModel,
+}
+
+impl SliceSpec {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, cost: f64, model: GaussianSliceModel) -> Self {
+        assert!(cost > 0.0, "acquisition cost must be positive");
+        Self { name: name.into(), cost, model }
+    }
+}
+
+/// A complete dataset family: the synthetic analog of one of the paper's
+/// four benchmark datasets.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetFamily {
+    /// Family name (e.g. `"fashion"`).
+    pub name: String,
+    /// Feature dimensionality shared by all slices.
+    pub feature_dim: usize,
+    /// Number of classes.
+    pub num_classes: usize,
+    /// The slices, in id order.
+    pub slices: Vec<SliceSpec>,
+}
+
+impl DatasetFamily {
+    /// Builds a family, validating slice models against `feature_dim` and
+    /// `num_classes`.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch or out-of-range labels.
+    pub fn new(
+        name: impl Into<String>,
+        feature_dim: usize,
+        num_classes: usize,
+        slices: Vec<SliceSpec>,
+    ) -> Self {
+        assert!(!slices.is_empty(), "family needs at least one slice");
+        for s in &slices {
+            assert_eq!(s.model.dim(), feature_dim, "slice {} dimension mismatch", s.name);
+            assert!(
+                s.model.clusters.iter().all(|c| c.label < num_classes),
+                "slice {} has a label >= num_classes",
+                s.name
+            );
+        }
+        Self { name: name.into(), feature_dim, num_classes, slices }
+    }
+
+    /// Number of slices.
+    pub fn num_slices(&self) -> usize {
+        self.slices.len()
+    }
+
+    /// Per-slice acquisition costs, in slice-id order.
+    pub fn costs(&self) -> Vec<f64> {
+        self.slices.iter().map(|s| s.cost).collect()
+    }
+
+    /// Slice names in slice-id order.
+    pub fn slice_names(&self) -> Vec<&str> {
+        self.slices.iter().map(|s| s.name.as_str()).collect()
+    }
+
+    /// Samples `n` fresh examples for slice `slice` using the given RNG.
+    ///
+    /// # Panics
+    /// Panics if `slice` is out of range.
+    pub fn sample_slice<R: Rng + ?Sized>(
+        &self,
+        slice: SliceId,
+        n: usize,
+        rng: &mut R,
+    ) -> Vec<Example> {
+        let spec = &self.slices[slice.index()];
+        (0..n).map(|_| spec.model.sample(slice, self.num_classes, rng)).collect()
+    }
+
+    /// Samples `n` fresh examples for `slice` from a deterministic stream
+    /// derived from `(seed, slice, stream)`.
+    pub fn sample_slice_seeded(
+        &self,
+        slice: SliceId,
+        n: usize,
+        seed: u64,
+        stream: u64,
+    ) -> Vec<Example> {
+        let child = split_seed(seed, (slice.index() as u64) << 32 | stream);
+        let mut rng: StdRng = seeded_rng(child);
+        self.sample_slice(slice, n, &mut rng)
+    }
+
+    /// Restricts the family to the given slice ids (used by Mixed-MNIST
+    /// experiments that select 10 of 20 slices).
+    ///
+    /// # Panics
+    /// Panics if any index is out of range or `keep` is empty.
+    pub fn select_slices(&self, keep: &[usize]) -> DatasetFamily {
+        assert!(!keep.is_empty(), "must keep at least one slice");
+        let slices: Vec<SliceSpec> = keep
+            .iter()
+            .map(|&i| {
+                assert!(i < self.slices.len(), "slice index {i} out of range");
+                self.slices[i].clone()
+            })
+            .collect();
+        DatasetFamily::new(
+            format!("{}-subset", self.name),
+            self.feature_dim,
+            self.num_classes,
+            slices,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_family() -> DatasetFamily {
+        let c0 = LabelCluster::new(0, 1.0, vec![0.0, 0.0], 0.1);
+        let c1 = LabelCluster::new(1, 1.0, vec![3.0, 3.0], 0.1);
+        DatasetFamily::new(
+            "tiny",
+            2,
+            2,
+            vec![
+                SliceSpec::new("a", 1.0, GaussianSliceModel::new(vec![c0], 0.0)),
+                SliceSpec::new("b", 2.0, GaussianSliceModel::new(vec![c1], 0.0)),
+            ],
+        )
+    }
+
+    #[test]
+    fn sampling_respects_slice_and_label() {
+        let fam = tiny_family();
+        let mut rng = seeded_rng(1);
+        let ex = fam.sample_slice(SliceId(0), 50, &mut rng);
+        assert_eq!(ex.len(), 50);
+        assert!(ex.iter().all(|e| e.slice == SliceId(0) && e.label == 0));
+        // Features concentrate near the center.
+        let mean_x = ex.iter().map(|e| e.features[0]).sum::<f64>() / 50.0;
+        assert!(mean_x.abs() < 0.2, "mean_x {mean_x}");
+    }
+
+    #[test]
+    fn seeded_sampling_is_replayable() {
+        let fam = tiny_family();
+        let a = fam.sample_slice_seeded(SliceId(1), 10, 99, 0);
+        let b = fam.sample_slice_seeded(SliceId(1), 10, 99, 0);
+        assert_eq!(a, b);
+        let c = fam.sample_slice_seeded(SliceId(1), 10, 99, 1);
+        assert_ne!(a, c, "different streams must differ");
+    }
+
+    #[test]
+    fn label_noise_flips_some_labels() {
+        let c = LabelCluster::new(0, 1.0, vec![0.0], 1.0);
+        let model = GaussianSliceModel::new(vec![c], 0.5);
+        let mut rng = seeded_rng(3);
+        let flipped = (0..1000)
+            .map(|_| model.sample(SliceId(0), 4, &mut rng))
+            .filter(|e| e.label != 0)
+            .count();
+        // 50% noise over 4 classes flips 3/8 of labels in expectation.
+        assert!((250..500).contains(&flipped), "flipped {flipped}");
+    }
+
+    #[test]
+    fn mixture_weights_are_respected() {
+        let c0 = LabelCluster::new(0, 3.0, vec![0.0], 0.01);
+        let c1 = LabelCluster::new(1, 1.0, vec![10.0], 0.01);
+        let model = GaussianSliceModel::new(vec![c0, c1], 0.0);
+        let mut rng = seeded_rng(5);
+        let ones = (0..4000)
+            .map(|_| model.sample(SliceId(0), 2, &mut rng))
+            .filter(|e| e.label == 1)
+            .count();
+        let frac = ones as f64 / 4000.0;
+        assert!((frac - 0.25).abs() < 0.04, "frac {frac}");
+    }
+
+    #[test]
+    fn select_slices_keeps_order_and_costs() {
+        let fam = tiny_family();
+        let sub = fam.select_slices(&[1]);
+        assert_eq!(sub.num_slices(), 1);
+        assert_eq!(sub.slices[0].name, "b");
+        assert_eq!(sub.costs(), vec![2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn family_rejects_dim_mismatch() {
+        let c = LabelCluster::new(0, 1.0, vec![0.0], 0.1);
+        let _ = DatasetFamily::new(
+            "bad",
+            2,
+            1,
+            vec![SliceSpec::new("a", 1.0, GaussianSliceModel::new(vec![c], 0.0))],
+        );
+    }
+}

@@ -1,0 +1,222 @@
+//! CSV-style persistence for example sets.
+//!
+//! Slice Tuner's crowdsourcing pipeline stores acquired batches between
+//! collection rounds (the paper used S3 + manual post-processing); this
+//! module provides the equivalent local capability without new
+//! dependencies. Format: one example per line,
+//! `label,slice,f0,f1,...` with full-precision floats.
+
+use crate::example::{Example, SliceId};
+
+/// Errors from [`read_examples`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum CsvError {
+    /// A line had fewer than the two required columns.
+    TooFewColumns {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// Label or slice id failed to parse as an unsigned integer.
+    BadIndex {
+        /// 1-based line number.
+        line: usize,
+        /// The offending token.
+        token: String,
+    },
+    /// A feature failed to parse as a float.
+    BadFloat {
+        /// 1-based line number.
+        line: usize,
+        /// The offending token.
+        token: String,
+    },
+    /// Rows disagree on feature dimensionality.
+    InconsistentDim {
+        /// 1-based line number.
+        line: usize,
+        /// Dimensionality of the first row.
+        expected: usize,
+        /// Dimensionality found on this row.
+        found: usize,
+    },
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::TooFewColumns { line } => {
+                write!(f, "line {line}: need at least label and slice columns")
+            }
+            CsvError::BadIndex { line, token } => {
+                write!(f, "line {line}: cannot parse index {token:?}")
+            }
+            CsvError::BadFloat { line, token } => {
+                write!(f, "line {line}: cannot parse float {token:?}")
+            }
+            CsvError::InconsistentDim { line, expected, found } => {
+                write!(f, "line {line}: {found} features, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Serializes examples to the CSV format. Floats use the shortest
+/// round-trippable decimal representation Rust produces by default.
+pub fn write_examples(examples: &[Example]) -> String {
+    let mut out = String::new();
+    for e in examples {
+        out.push_str(&format!("{},{}", e.label, e.slice.index()));
+        for v in &e.features {
+            out.push_str(&format!(",{v}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses the CSV format back into examples. Blank lines are skipped.
+///
+/// # Errors
+/// Returns the first [`CsvError`] encountered.
+pub fn read_examples(text: &str) -> Result<Vec<Example>, CsvError> {
+    let mut out = Vec::new();
+    let mut dim: Option<usize> = None;
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        if raw.trim().is_empty() {
+            continue;
+        }
+        let mut parts = raw.split(',');
+        let label_tok = parts.next().unwrap_or("");
+        let slice_tok = parts.next().ok_or(CsvError::TooFewColumns { line })?;
+        let label: usize = label_tok
+            .trim()
+            .parse()
+            .map_err(|_| CsvError::BadIndex { line, token: label_tok.to_string() })?;
+        let slice: usize = slice_tok
+            .trim()
+            .parse()
+            .map_err(|_| CsvError::BadIndex { line, token: slice_tok.to_string() })?;
+        let features: Result<Vec<f64>, CsvError> = parts
+            .map(|t| {
+                t.trim()
+                    .parse::<f64>()
+                    .map_err(|_| CsvError::BadFloat { line, token: t.to_string() })
+            })
+            .collect();
+        let features = features?;
+        match dim {
+            None => dim = Some(features.len()),
+            Some(d) if d != features.len() => {
+                return Err(CsvError::InconsistentDim {
+                    line,
+                    expected: d,
+                    found: features.len(),
+                })
+            }
+            _ => {}
+        }
+        out.push(Example::new(features, label, SliceId(slice)));
+    }
+    Ok(out)
+}
+
+/// Writes examples to a file.
+///
+/// # Errors
+/// Propagates I/O errors.
+pub fn save_examples(path: &std::path::Path, examples: &[Example]) -> std::io::Result<()> {
+    std::fs::write(path, write_examples(examples))
+}
+
+/// Reads examples from a file.
+///
+/// # Errors
+/// Propagates I/O errors; parse failures surface as
+/// [`std::io::ErrorKind::InvalidData`].
+pub fn load_examples(path: &std::path::Path) -> std::io::Result<Vec<Example>> {
+    let text = std::fs::read_to_string(path)?;
+    read_examples(&text)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Example> {
+        vec![
+            Example::new(vec![1.5, -2.25, 0.1], 0, SliceId(0)),
+            Example::new(vec![0.0, 1e-12, 3.0e8], 4, SliceId(2)),
+        ]
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let ex = sample();
+        let back = read_examples(&write_examples(&ex)).unwrap();
+        assert_eq!(ex, back);
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let text = format!("\n{}\n\n", write_examples(&sample()));
+        assert_eq!(read_examples(&text).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn empty_input_is_empty_output() {
+        assert_eq!(read_examples("").unwrap(), vec![]);
+        assert_eq!(write_examples(&[]), "");
+    }
+
+    #[test]
+    fn detects_missing_slice_column() {
+        assert_eq!(read_examples("3\n"), Err(CsvError::TooFewColumns { line: 1 }));
+    }
+
+    #[test]
+    fn detects_bad_label() {
+        assert!(matches!(
+            read_examples("x,0,1.0\n"),
+            Err(CsvError::BadIndex { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn detects_bad_float_with_line_number() {
+        let text = "0,0,1.0\n1,1,oops\n";
+        assert!(matches!(
+            read_examples(text),
+            Err(CsvError::BadFloat { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn detects_inconsistent_dimensions() {
+        let text = "0,0,1.0,2.0\n1,1,3.0\n";
+        assert_eq!(
+            read_examples(text),
+            Err(CsvError::InconsistentDim { line: 2, expected: 2, found: 1 })
+        );
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("st_data_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("examples.csv");
+        let ex = sample();
+        save_examples(&path, &ex).unwrap();
+        assert_eq!(load_examples(&path).unwrap(), ex);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn zero_feature_examples_round_trip() {
+        let ex = vec![Example::new(vec![], 1, SliceId(3))];
+        assert_eq!(read_examples(&write_examples(&ex)).unwrap(), ex);
+    }
+}

@@ -1,0 +1,46 @@
+//! Initial-size vectors used by the experiments.
+
+/// Equal initial sizes (the paper's default setting, Tables 2–3).
+pub fn equal_sizes(n: usize, size: usize) -> Vec<usize> {
+    vec![size; n]
+}
+
+/// Decaying initial sizes matching the "exponential distribution" setting of
+/// Appendix C (Tables 10–11).
+///
+/// The paper's vectors (e.g. `400, 282, 230, 200, 178, …` for base 400)
+/// follow `base / sqrt(rank + 1)` to within rounding, so that is the formula
+/// used here. `decaying_sizes(10, 400)` reproduces the Fashion-MNIST row of
+/// Table 11 up to ±1 from rounding.
+pub fn decaying_sizes(n: usize, base: usize) -> Vec<usize> {
+    (0..n).map(|i| ((base as f64) / ((i + 1) as f64).sqrt()).round() as usize).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_sizes_all_equal() {
+        assert_eq!(equal_sizes(3, 7), vec![7, 7, 7]);
+    }
+
+    #[test]
+    fn decaying_matches_paper_table11_fashion_row() {
+        let sizes = decaying_sizes(10, 400);
+        let paper = [400, 282, 230, 200, 178, 163, 151, 141, 133, 126];
+        for (ours, theirs) in sizes.iter().zip(paper.iter()) {
+            assert!(
+                (*ours as i64 - *theirs as i64).abs() <= 2,
+                "ours {ours} vs paper {theirs}"
+            );
+        }
+    }
+
+    #[test]
+    fn decaying_is_monotone_nonincreasing() {
+        let sizes = decaying_sizes(8, 600);
+        assert!(sizes.windows(2).all(|w| w[0] >= w[1]));
+        assert_eq!(sizes[0], 600);
+    }
+}

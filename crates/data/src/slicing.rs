@@ -1,0 +1,331 @@
+//! Automatic data slicing (Appendix A).
+//!
+//! Slice Tuner assumes slices are given, but Appendix A sketches how to
+//! find them automatically: find the *largest slices that are still
+//! unbiased*, by recursively splitting biased slices on feature values with
+//! a decision-tree-style procedure, using an entropy-based bias measure and
+//! stopping once slices are homogeneous enough (or too small / too deep).
+//!
+//! A slice is considered unbiased when acquiring any example belonging to
+//! it has a similar effect on the model as any other — operationalized here
+//! (as in the appendix) via the label entropy of the slice: a slice whose
+//! examples overwhelmingly share a label behaves uniformly under
+//! acquisition.
+
+use crate::example::{Example, SliceId};
+
+/// Configuration for [`auto_slice`].
+#[derive(Debug, Clone)]
+pub struct SlicingConfig {
+    /// Maximum tree depth (bounds the number of slices at `2^max_depth`).
+    pub max_depth: usize,
+    /// Do not produce slices smaller than this — the appendix warns that
+    /// too-small slices make learning curves unreliable.
+    pub min_slice_size: usize,
+    /// Stop splitting once a slice's label entropy (nats) falls to or below
+    /// this threshold (0 = perfectly homogeneous).
+    pub entropy_threshold: f64,
+}
+
+impl Default for SlicingConfig {
+    fn default() -> Self {
+        SlicingConfig { max_depth: 4, min_slice_size: 30, entropy_threshold: 0.3 }
+    }
+}
+
+/// One split node of the fitted slicing tree (for explaining the slices).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SplitNode {
+    /// Feature index split on.
+    pub feature: usize,
+    /// Threshold: `x[feature] <= threshold` goes left.
+    pub threshold: f64,
+    /// Depth of the split (root = 0).
+    pub depth: usize,
+}
+
+/// Result of automatic slicing.
+#[derive(Debug, Clone)]
+pub struct SlicingResult {
+    /// New slice index per input example (0-based, dense).
+    pub assignments: Vec<usize>,
+    /// Number of slices produced.
+    pub num_slices: usize,
+    /// The splits applied, in discovery order.
+    pub splits: Vec<SplitNode>,
+    /// Label entropy of each produced slice.
+    pub slice_entropies: Vec<f64>,
+}
+
+impl SlicingResult {
+    /// Rewrites the examples' [`SliceId`]s according to the assignment.
+    pub fn relabel(&self, examples: &[Example]) -> Vec<Example> {
+        assert_eq!(examples.len(), self.assignments.len(), "assignment length mismatch");
+        examples
+            .iter()
+            .zip(&self.assignments)
+            .map(|(e, &s)| Example::new(e.features.clone(), e.label, SliceId(s)))
+            .collect()
+    }
+
+    /// Size of each produced slice.
+    pub fn slice_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.num_slices];
+        for &a in &self.assignments {
+            sizes[a] += 1;
+        }
+        sizes
+    }
+}
+
+/// Shannon entropy (nats) of the label distribution of `idx`.
+fn label_entropy(examples: &[Example], idx: &[usize], num_classes: usize) -> f64 {
+    if idx.is_empty() {
+        return 0.0;
+    }
+    let mut counts = vec![0usize; num_classes];
+    for &i in idx {
+        counts[examples[i].label] += 1;
+    }
+    let n = idx.len() as f64;
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / n;
+            -p * p.ln()
+        })
+        .sum()
+}
+
+/// Entropy (nats) of a class-count histogram over `n` examples.
+fn counts_entropy(counts: &[usize], n: f64) -> f64 {
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / n;
+            -p * p.ln()
+        })
+        .sum()
+}
+
+/// Finds the feature/threshold split of `idx` with the best entropy gain,
+/// honoring the minimum slice size. Returns `(feature, threshold, gain)`.
+///
+/// Uses the exact decision-tree sweep: sort by feature value and evaluate the
+/// midpoint between every pair of adjacent distinct values, maintaining class
+/// counts incrementally, so the class boundary is always a candidate.
+fn best_split(
+    examples: &[Example],
+    idx: &[usize],
+    num_classes: usize,
+    cfg: &SlicingConfig,
+) -> Option<(usize, f64, f64)> {
+    let dim = examples[idx[0]].dim();
+    let n = idx.len();
+    let parent_h = label_entropy(examples, idx, num_classes);
+    let mut best: Option<(usize, f64, f64)> = None;
+
+    for f in 0..dim {
+        let mut order: Vec<usize> = idx.to_vec();
+        order.sort_by(|&a, &b| {
+            examples[a].features[f]
+                .partial_cmp(&examples[b].features[f])
+                .expect("finite features")
+        });
+        let mut left_counts = vec![0usize; num_classes];
+        let mut right_counts = vec![0usize; num_classes];
+        for &i in &order {
+            right_counts[examples[i].label] += 1;
+        }
+        // After moving `k+1` examples to the left, a split is legal between
+        // positions k and k+1 when the feature values differ there.
+        for k in 0..n - 1 {
+            let i = order[k];
+            left_counts[examples[i].label] += 1;
+            right_counts[examples[i].label] -= 1;
+            let left_n = k + 1;
+            let right_n = n - left_n;
+            if left_n < cfg.min_slice_size || right_n < cfg.min_slice_size {
+                continue;
+            }
+            let lo = examples[order[k]].features[f];
+            let hi = examples[order[k + 1]].features[f];
+            if lo == hi {
+                continue; // cannot separate equal values
+            }
+            let child_h = counts_entropy(&left_counts, left_n as f64) * left_n as f64
+                / n as f64
+                + counts_entropy(&right_counts, right_n as f64) * right_n as f64 / n as f64;
+            let gain = parent_h - child_h;
+            if gain > 1e-9 && best.as_ref().is_none_or(|&(_, _, g)| gain > g) {
+                best = Some((f, 0.5 * (lo + hi), gain));
+            }
+        }
+    }
+    best
+}
+
+/// Recursively splits the dataset into the largest unbiased slices
+/// (Appendix A's decision-tree procedure).
+///
+/// # Panics
+/// Panics on an empty dataset or labels outside `0..num_classes`.
+pub fn auto_slice(
+    examples: &[Example],
+    num_classes: usize,
+    cfg: &SlicingConfig,
+) -> SlicingResult {
+    assert!(!examples.is_empty(), "cannot slice an empty dataset");
+    assert!(
+        examples.iter().all(|e| e.label < num_classes),
+        "label out of range for num_classes"
+    );
+
+    let mut assignments = vec![usize::MAX; examples.len()];
+    let mut splits = Vec::new();
+    let mut slice_entropies = Vec::new();
+    let mut next_slice = 0usize;
+
+    // Explicit work stack of (node indices, depth).
+    let mut stack: Vec<(Vec<usize>, usize)> = vec![((0..examples.len()).collect(), 0)];
+    while let Some((idx, depth)) = stack.pop() {
+        let h = label_entropy(examples, &idx, num_classes);
+        let splittable = depth < cfg.max_depth
+            && h > cfg.entropy_threshold
+            && idx.len() >= 2 * cfg.min_slice_size;
+        let split = if splittable {
+            best_split(examples, &idx, num_classes, cfg)
+        } else {
+            None
+        };
+        match split {
+            Some((feature, threshold, _gain)) => {
+                splits.push(SplitNode { feature, threshold, depth });
+                let (left, right): (Vec<usize>, Vec<usize>) =
+                    idx.iter().partition(|&&i| examples[i].features[feature] <= threshold);
+                stack.push((right, depth + 1));
+                stack.push((left, depth + 1));
+            }
+            None => {
+                for &i in &idx {
+                    assignments[i] = next_slice;
+                }
+                slice_entropies.push(h);
+                next_slice += 1;
+            }
+        }
+    }
+
+    debug_assert!(assignments.iter().all(|&a| a != usize::MAX));
+    SlicingResult { assignments, num_slices: next_slice, splits, slice_entropies }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::{normal, seeded_rng};
+
+    /// Two well-separated label clusters along feature 0.
+    fn two_blobs(n_per: usize, seed: u64) -> Vec<Example> {
+        let mut rng = seeded_rng(seed);
+        let mut out = Vec::new();
+        for (label, center) in [(0usize, -3.0f64), (1, 3.0)] {
+            for _ in 0..n_per {
+                let x = vec![center + 0.3 * normal(&mut rng), normal(&mut rng)];
+                out.push(Example::new(x, label, SliceId(0)));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn splits_two_clusters_into_two_slices() {
+        let ex = two_blobs(100, 1);
+        let res = auto_slice(&ex, 2, &SlicingConfig::default());
+        assert_eq!(res.num_slices, 2, "splits {:?}", res.splits);
+        assert_eq!(res.splits.len(), 1);
+        assert_eq!(res.splits[0].feature, 0, "must split on the separating feature");
+        // Each slice is (nearly) label-pure.
+        assert!(res.slice_entropies.iter().all(|&h| h < 0.1), "{:?}", res.slice_entropies);
+        let sizes = res.slice_sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), 200);
+        assert!(sizes.iter().all(|&s| s >= 90), "{sizes:?}");
+    }
+
+    #[test]
+    fn homogeneous_data_stays_one_slice() {
+        let mut rng = seeded_rng(2);
+        let ex: Vec<Example> = (0..120)
+            .map(|_| Example::new(vec![normal(&mut rng), normal(&mut rng)], 0, SliceId(0)))
+            .collect();
+        let res = auto_slice(&ex, 2, &SlicingConfig::default());
+        assert_eq!(res.num_slices, 1);
+        assert!(res.splits.is_empty());
+        assert_eq!(res.slice_entropies, vec![0.0]);
+    }
+
+    #[test]
+    fn min_slice_size_is_respected() {
+        let ex = two_blobs(25, 3); // 50 examples, min size 30 ⇒ no legal split
+        let cfg = SlicingConfig { min_slice_size: 30, ..Default::default() };
+        let res = auto_slice(&ex, 2, &cfg);
+        assert_eq!(res.num_slices, 1, "split would create slices below the minimum");
+    }
+
+    #[test]
+    fn max_depth_bounds_slice_count() {
+        // Four clusters in a grid, but depth 1 allows only one split.
+        let mut rng = seeded_rng(4);
+        let mut ex = Vec::new();
+        for (label, (cx, cy)) in
+            [(0usize, (-3.0, -3.0)), (1, (3.0, -3.0)), (2, (-3.0, 3.0)), (3, (3.0, 3.0))]
+        {
+            for _ in 0..60 {
+                ex.push(Example::new(
+                    vec![cx + 0.3 * normal(&mut rng), cy + 0.3 * normal(&mut rng)],
+                    label,
+                    SliceId(0),
+                ));
+            }
+        }
+        let deep = auto_slice(&ex, 4, &SlicingConfig::default());
+        assert_eq!(deep.num_slices, 4, "{:?}", deep.slice_sizes());
+        let shallow =
+            auto_slice(&ex, 4, &SlicingConfig { max_depth: 1, ..Default::default() });
+        assert_eq!(shallow.num_slices, 2);
+    }
+
+    #[test]
+    fn relabel_rewrites_slice_ids() {
+        let ex = two_blobs(60, 5);
+        let res = auto_slice(&ex, 2, &SlicingConfig::default());
+        let relabeled = res.relabel(&ex);
+        for (e, &a) in relabeled.iter().zip(&res.assignments) {
+            assert_eq!(e.slice, SliceId(a));
+        }
+        // Features and labels untouched.
+        assert_eq!(relabeled[0].features, ex[0].features);
+        assert_eq!(relabeled[0].label, ex[0].label);
+    }
+
+    #[test]
+    fn slicing_is_deterministic() {
+        let ex = two_blobs(80, 6);
+        let a = auto_slice(&ex, 2, &SlicingConfig::default());
+        let b = auto_slice(&ex, 2, &SlicingConfig::default());
+        assert_eq!(a.assignments, b.assignments);
+        assert_eq!(a.splits, b.splits);
+    }
+
+    #[test]
+    fn entropy_of_balanced_labels_is_ln2() {
+        let ex: Vec<Example> = (0..100)
+            .map(|i| Example::new(vec![0.0], i % 2, SliceId(0)))
+            .collect();
+        let idx: Vec<usize> = (0..100).collect();
+        let h = label_entropy(&ex, &idx, 2);
+        assert!((h - (2.0f64).ln()).abs() < 1e-12);
+    }
+}

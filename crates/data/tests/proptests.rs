@@ -1,0 +1,195 @@
+//! Property-based tests for the dataset substrate.
+
+use proptest::prelude::*;
+use st_data::dataset::imbalance_ratio_of;
+use st_data::{
+    DatasetFamily, GaussianSliceModel, LabelCluster, SliceSpec, SlicedDataset,
+};
+
+fn arb_family() -> impl Strategy<Value = DatasetFamily> {
+    (2usize..5, 2usize..4).prop_map(|(n_slices, dim)| {
+        let slices = (0..n_slices)
+            .map(|i| {
+                let center: Vec<f64> = (0..dim).map(|d| (i * dim + d) as f64 * 0.5).collect();
+                let cluster = LabelCluster::new(i % 2, 1.0, center, 0.5 + i as f64 * 0.1);
+                SliceSpec::new(
+                    format!("s{i}"),
+                    1.0 + i as f64 * 0.25,
+                    GaussianSliceModel::new(vec![cluster], 0.05),
+                )
+            })
+            .collect();
+        DatasetFamily::new("prop", dim, 2, slices)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn generation_sizes_always_honored(
+        fam in arb_family(),
+        sizes_seed in 0u64..1000,
+        val in 1usize..20,
+    ) {
+        let sizes: Vec<usize> =
+            (0..fam.num_slices()).map(|i| 1 + ((sizes_seed as usize + i * 7) % 40)).collect();
+        let ds = SlicedDataset::generate(&fam, &sizes, val, sizes_seed);
+        prop_assert_eq!(ds.train_sizes(), sizes);
+        prop_assert!(ds.slices.iter().all(|s| s.validation.len() == val));
+    }
+
+    #[test]
+    fn generation_is_pure(fam in arb_family(), seed in 0u64..500) {
+        let sizes = vec![10; fam.num_slices()];
+        let a = SlicedDataset::generate(&fam, &sizes, 5, seed);
+        let b = SlicedDataset::generate(&fam, &sizes, 5, seed);
+        prop_assert_eq!(a.all_train(), b.all_train());
+    }
+
+    #[test]
+    fn imbalance_ratio_at_least_one(sizes in prop::collection::vec(1usize..1000, 1..10)) {
+        let ir = imbalance_ratio_of(&sizes);
+        prop_assert!(ir >= 1.0);
+        // Scaling all sizes leaves the ratio unchanged.
+        let doubled: Vec<usize> = sizes.iter().map(|s| s * 2).collect();
+        prop_assert!((imbalance_ratio_of(&doubled) - ir).abs() < 1e-9);
+    }
+
+    #[test]
+    fn joint_subset_is_per_slice_proportional(
+        fam in arb_family(),
+        frac in 0.1f64..1.0,
+        seed in 0u64..200,
+    ) {
+        let sizes = vec![50; fam.num_slices()];
+        let ds = SlicedDataset::generate(&fam, &sizes, 5, seed);
+        let sub = ds.joint_train_subset_seeded(frac, seed, 3);
+        for i in 0..fam.num_slices() {
+            let k = sub.iter().filter(|e| e.slice.index() == i).count();
+            let expected = (50.0 * frac).round() as usize;
+            prop_assert!(k == expected.clamp(1, 50), "slice {i}: {k} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn absorb_preserves_total_count(
+        fam in arb_family(),
+        extra in 1usize..30,
+        seed in 0u64..200,
+    ) {
+        let sizes = vec![8; fam.num_slices()];
+        let mut ds = SlicedDataset::generate(&fam, &sizes, 4, seed);
+        let before = ds.all_train().len();
+        let fresh = fam.sample_slice_seeded(st_data::SliceId(0), extra, seed, 99);
+        ds.absorb(fresh);
+        prop_assert_eq!(ds.all_train().len(), before + extra);
+        prop_assert_eq!(ds.train_sizes()[0], 8 + extra);
+    }
+
+    #[test]
+    fn sampled_features_are_finite(fam in arb_family(), seed in 0u64..200) {
+        let ex = fam.sample_slice_seeded(st_data::SliceId(0), 50, seed, 0);
+        prop_assert!(ex.iter().all(|e| e.features.iter().all(|f| f.is_finite())));
+        prop_assert!(ex.iter().all(|e| e.label < fam.num_classes));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn csv_round_trip_is_lossless(
+        rows in prop::collection::vec(
+            (prop::collection::vec(-1e6f64..1e6, 3..=3), 0usize..5, 0usize..8),
+            0..12,
+        ),
+    ) {
+        let ex: Vec<st_data::Example> = rows
+            .into_iter()
+            .map(|(f, l, s)| st_data::Example::new(f, l, st_data::SliceId(s)))
+            .collect();
+        let back = st_data::read_examples(&st_data::write_examples(&ex)).unwrap();
+        prop_assert_eq!(ex, back);
+    }
+
+    #[test]
+    fn hflip_is_involutive_and_shift_composes(
+        img in prop::collection::vec(-2.0f64..2.0, 24..=24),
+        dy in -2i64..=2,
+        dx in -2i64..=2,
+    ) {
+        // 4x6 image.
+        let twice = st_data::augment::hflip(&st_data::augment::hflip(&img, 4, 6), 4, 6);
+        prop_assert_eq!(&twice, &img);
+        // Shifting there and back only loses what fell off the canvas:
+        // surviving pixels match the original.
+        let there = st_data::augment::shift(&img, 4, 6, dy, dx);
+        let back = st_data::augment::shift(&there, 4, 6, -dy, -dx);
+        for y in 0..4i64 {
+            for x in 0..6i64 {
+                let survived = y + dy >= 0 && y + dy < 4 && x + dx >= 0 && x + dx < 6;
+                if survived {
+                    prop_assert_eq!(back[(y * 6 + x) as usize], img[(y * 6 + x) as usize]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stratified_split_partitions_exactly(
+        n in 4usize..60,
+        frac in 0.0f64..1.0,
+        seed in 0u64..100,
+    ) {
+        let ex: Vec<st_data::Example> = (0..n)
+            .map(|i| st_data::Example::new(vec![i as f64], i % 3, st_data::SliceId(0)))
+            .collect();
+        let mut rng = st_data::seeded_rng(seed);
+        let (train, val) = st_data::stratified_split(&ex, frac, &mut rng);
+        prop_assert_eq!(train.len() + val.len(), n);
+        // No example lost or duplicated.
+        let mut ids: Vec<i64> = train.iter().chain(&val).map(|e| e.features[0] as i64).collect();
+        ids.sort_unstable();
+        let expect: Vec<i64> = (0..n as i64).collect();
+        prop_assert_eq!(ids, expect);
+    }
+
+    #[test]
+    fn k_fold_held_out_sets_partition(
+        n in 6usize..40,
+        k in 2usize..6,
+        seed in 0u64..100,
+    ) {
+        prop_assume!(k <= n);
+        let ex: Vec<st_data::Example> = (0..n)
+            .map(|i| st_data::Example::new(vec![i as f64], 0, st_data::SliceId(0)))
+            .collect();
+        let mut rng = st_data::seeded_rng(seed);
+        let folds = st_data::k_fold(&ex, k, &mut rng);
+        let mut ids: Vec<i64> = folds
+            .iter()
+            .flat_map(|f| f.held_out.iter().map(|e| e.features[0] as i64))
+            .collect();
+        ids.sort_unstable();
+        let expect: Vec<i64> = (0..n as i64).collect();
+        prop_assert_eq!(ids, expect);
+    }
+
+    #[test]
+    fn image_samples_have_fixed_shape_and_finite_pixels(
+        slice in 0usize..10,
+        n in 1usize..20,
+        seed in 0u64..50,
+    ) {
+        let fam = st_data::image_fashion();
+        let mut rng = st_data::seeded_rng(seed);
+        let ex = fam.sample_slice(st_data::SliceId(slice), n, &mut rng);
+        prop_assert_eq!(ex.len(), n);
+        for e in &ex {
+            prop_assert_eq!(e.dim(), 64);
+            prop_assert!(e.features.iter().all(|v| v.is_finite()));
+            prop_assert!(e.label < 10);
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! Householder QR factorization and linear least squares.
+//!
+//! The curve model zoo fits multi-parameter models whose Gauss–Newton /
+//! Levenberg–Marquardt steps need an overdetermined solve `min ‖J·x − r‖₂`.
+//! Normal equations (`JᵀJ x = Jᵀr`) square the condition number; Householder
+//! QR solves the same problem stably and is still tiny for our shapes
+//! (tens of rows, 2–4 columns).
+
+use crate::matrix::Matrix;
+use crate::solve::SolveError;
+
+/// Compact Householder QR factorization of a `m × n` matrix with `m ≥ n`.
+///
+/// Stores `R` in the upper triangle and the Householder vectors below the
+/// diagonal (LAPACK-style), with the scalar `tau` factors kept separately.
+#[derive(Debug, Clone)]
+pub struct QrFactorization {
+    qr: Matrix,
+    tau: Vec<f64>,
+}
+
+impl QrFactorization {
+    /// Factors `a` (consumed). Requires `rows ≥ cols` and a non-empty shape.
+    ///
+    /// # Errors
+    /// Returns [`SolveError::Singular`] when a diagonal of `R` collapses to
+    /// (numerical) zero, i.e. the columns are linearly dependent.
+    pub fn new(mut a: Matrix) -> Result<Self, SolveError> {
+        let m = a.rows();
+        let n = a.cols();
+        assert!(m >= n && n > 0, "QR needs rows >= cols > 0, got {m}x{n}");
+        let mut tau = vec![0.0; n];
+
+        // Scale for the relative rank test: the largest column norm.
+        let scale = (0..n)
+            .map(|j| (0..m).map(|i| a[(i, j)] * a[(i, j)]).sum::<f64>().sqrt())
+            .fold(0.0, f64::max);
+
+        for k in 0..n {
+            // Norm of the k-th column below (and including) the diagonal.
+            let mut norm2 = 0.0;
+            for i in k..m {
+                norm2 += a[(i, k)] * a[(i, k)];
+            }
+            let norm = norm2.sqrt();
+            if norm <= scale * 1e-12 {
+                return Err(SolveError::Singular { pivot: k });
+            }
+            let alpha = if a[(k, k)] >= 0.0 { -norm } else { norm };
+            // v = x - alpha * e1, normalized so v[0] = 1.
+            let v0 = a[(k, k)] - alpha;
+            tau[k] = -v0 / alpha; // = 2 / (vᵀv) * v0² scaling under v0-normalization
+            for i in k + 1..m {
+                a[(i, k)] /= v0;
+            }
+            a[(k, k)] = alpha;
+
+            // Apply the reflector to the remaining columns.
+            for j in k + 1..n {
+                let mut dot = a[(k, j)];
+                for i in k + 1..m {
+                    dot += a[(i, k)] * a[(i, j)];
+                }
+                let t = tau[k] * dot;
+                a[(k, j)] -= t;
+                for i in k + 1..m {
+                    let vik = a[(i, k)];
+                    a[(i, j)] -= t * vik;
+                }
+            }
+        }
+        Ok(QrFactorization { qr: a, tau })
+    }
+
+    /// Number of rows of the factored matrix.
+    pub fn rows(&self) -> usize {
+        self.qr.rows()
+    }
+
+    /// Number of columns of the factored matrix.
+    pub fn cols(&self) -> usize {
+        self.qr.cols()
+    }
+
+    /// Applies `Qᵀ` to `b` in place (`b` keeps length `m`).
+    fn apply_qt(&self, b: &mut [f64]) {
+        let m = self.rows();
+        let n = self.cols();
+        assert_eq!(b.len(), m, "rhs length mismatch");
+        for k in 0..n {
+            let mut dot = b[k];
+            for i in k + 1..m {
+                dot += self.qr[(i, k)] * b[i];
+            }
+            let t = self.tau[k] * dot;
+            b[k] -= t;
+            for i in k + 1..m {
+                b[i] -= t * self.qr[(i, k)];
+            }
+        }
+    }
+
+    /// Solves the least-squares problem `min ‖A·x − b‖₂`.
+    ///
+    /// # Errors
+    /// Returns [`SolveError::Singular`] for a rank-deficient `R`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, SolveError> {
+        let n = self.cols();
+        let mut rhs = b.to_vec();
+        self.apply_qt(&mut rhs);
+        // Back-substitute R x = (Qᵀ b)[..n].
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = rhs[i];
+            for j in i + 1..n {
+                s -= self.qr[(i, j)] * x[j];
+            }
+            let d = self.qr[(i, i)];
+            if d.abs() < 1e-300 {
+                return Err(SolveError::Singular { pivot: i });
+            }
+            x[i] = s / d;
+        }
+        Ok(x)
+    }
+
+    /// The `R` factor (upper-triangular `n × n`).
+    pub fn r(&self) -> Matrix {
+        let n = self.cols();
+        Matrix::from_fn(n, n, |r, c| if c >= r { self.qr[(r, c)] } else { 0.0 })
+    }
+}
+
+/// One-call linear least squares `argmin_x ‖A·x − b‖₂` via Householder QR.
+///
+/// # Errors
+/// Returns [`SolveError::Singular`] for rank-deficient `A`.
+///
+/// # Panics
+/// Panics when `b.len() != A.rows()` or `A.rows() < A.cols()`.
+pub fn least_squares(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, SolveError> {
+    QrFactorization::new(a.clone())?.solve(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(xs: &[f64], ys: &[f64], tol: f64) {
+        assert_eq!(xs.len(), ys.len());
+        for (x, y) in xs.iter().zip(ys) {
+            assert!((x - y).abs() < tol, "{xs:?} vs {ys:?}");
+        }
+    }
+
+    #[test]
+    fn solves_square_system_exactly() {
+        let a = Matrix::from_vec(2, 2, vec![2.0, 1.0, 1.0, 3.0]);
+        let x = least_squares(&a, &[5.0, 10.0]).unwrap();
+        assert_close(&x, &[1.0, 3.0], 1e-12);
+    }
+
+    #[test]
+    fn overdetermined_consistent_system_recovers_solution() {
+        // y = 2 + 3 t sampled at 5 points, design [1, t].
+        let ts = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let a = Matrix::from_fn(5, 2, |r, c| if c == 0 { 1.0 } else { ts[r] });
+        let b: Vec<f64> = ts.iter().map(|t| 2.0 + 3.0 * t).collect();
+        let x = least_squares(&a, &b).unwrap();
+        assert_close(&x, &[2.0, 3.0], 1e-10);
+    }
+
+    #[test]
+    fn least_squares_minimizes_residual() {
+        // Inconsistent system: the solution must satisfy the normal equations.
+        let a = Matrix::from_vec(3, 2, vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0]);
+        let b = [1.0, 1.0, 0.0];
+        let x = least_squares(&a, &b).unwrap();
+        // Normal equations: AᵀA x = Aᵀ b → [[2,1],[1,2]] x = [1,1] → x = [1/3, 1/3].
+        assert_close(&x, &[1.0 / 3.0, 1.0 / 3.0], 1e-12);
+    }
+
+    #[test]
+    fn r_factor_is_upper_triangular_with_correct_gram() {
+        let a = Matrix::from_fn(6, 3, |r, c| ((r * 3 + c) as f64 * 0.37).sin() + 0.1);
+        let f = QrFactorization::new(a.clone()).unwrap();
+        let r = f.r();
+        for i in 0..3 {
+            for j in 0..i {
+                assert_eq!(r[(i, j)], 0.0);
+            }
+        }
+        // RᵀR must equal AᵀA (Q is orthogonal).
+        let rtr = r.transpose().matmul(&r);
+        let ata = a.transpose().matmul(&a);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((rtr[(i, j)] - ata[(i, j)]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn singular_matrix_is_rejected() {
+        // Second column is 2x the first.
+        let a = Matrix::from_vec(3, 2, vec![1.0, 2.0, 2.0, 4.0, 3.0, 6.0]);
+        assert!(matches!(
+            least_squares(&a, &[1.0, 2.0, 3.0]),
+            Err(SolveError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_column_is_rejected() {
+        let a = Matrix::from_vec(2, 2, vec![0.0, 1.0, 0.0, 2.0]);
+        assert!(QrFactorization::new(a).is_err());
+    }
+
+    #[test]
+    fn matches_gaussian_solver_on_random_square_systems() {
+        for seed in 0..5u64 {
+            let mut rng = crate::resample::SplitMix64::new(seed + 1);
+            let a = Matrix::from_fn(4, 4, |_, _| rng.next_f64() * 2.0 - 1.0);
+            let b: Vec<f64> = (0..4).map(|i| (i as f64 - 1.5) * 0.8).collect();
+            let qr = least_squares(&a, &b).unwrap();
+            let ge = crate::solve::gaussian_solve(a, &b).unwrap();
+            assert_close(&qr, &ge, 1e-8);
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! Bootstrap resampling and rank statistics.
+//!
+//! Used by the curve fitter to put confidence bands around fitted power-law
+//! parameters (Section 6.3.4 studies how Slice Tuner behaves when curves are
+//! noisy — the bands quantify exactly that noise), and by the experiment
+//! harness to compare methods across trials.
+//!
+//! `st-linalg` stays dependency-free, so resampling uses a small embedded
+//! SplitMix64 generator seeded by the caller; results are reproducible by
+//! construction.
+
+use crate::stats::quantile;
+
+/// Minimal deterministic PRNG (SplitMix64). Not cryptographic; statistical
+/// quality is ample for bootstrap index draws.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seeds the generator.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 high bits → uniform double in [0, 1).
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform index in `[0, n)`.
+    ///
+    /// # Panics
+    /// Panics when `n == 0`.
+    pub fn next_index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "next_index of empty range");
+        // Rejection-free modulo is fine: n ≪ 2^64 so bias is negligible for
+        // bootstrap purposes.
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// A two-sided bootstrap percentile confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Lower bound.
+    pub lo: f64,
+    /// Point estimate (the statistic on the original sample).
+    pub point: f64,
+    /// Upper bound.
+    pub hi: f64,
+}
+
+impl ConfidenceInterval {
+    /// Width of the interval.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Whether `x` falls inside the interval (inclusive).
+    pub fn contains(&self, x: f64) -> bool {
+        x >= self.lo && x <= self.hi
+    }
+}
+
+/// Percentile-bootstrap confidence interval for an arbitrary statistic.
+///
+/// Draws `reps` resamples (with replacement) of `xs`, applies `statistic`
+/// to each, and reads the `(α/2, 1−α/2)` percentiles. `level` is the
+/// confidence level, e.g. `0.95`.
+///
+/// # Panics
+/// Panics for empty input, `reps == 0`, or `level` outside `(0, 1)`.
+pub fn bootstrap_ci(
+    xs: &[f64],
+    reps: usize,
+    level: f64,
+    seed: u64,
+    statistic: impl Fn(&[f64]) -> f64,
+) -> ConfidenceInterval {
+    assert!(!xs.is_empty(), "bootstrap of empty sample");
+    assert!(reps > 0, "bootstrap needs at least one replicate");
+    assert!(level > 0.0 && level < 1.0, "confidence level must be in (0,1)");
+
+    let mut rng = SplitMix64::new(seed);
+    let mut stats = Vec::with_capacity(reps);
+    let mut buf = vec![0.0; xs.len()];
+    for _ in 0..reps {
+        for slot in buf.iter_mut() {
+            *slot = xs[rng.next_index(xs.len())];
+        }
+        stats.push(statistic(&buf));
+    }
+    let alpha = 1.0 - level;
+    ConfidenceInterval {
+        lo: quantile(&stats, alpha / 2.0),
+        point: statistic(xs),
+        hi: quantile(&stats, 1.0 - alpha / 2.0),
+    }
+}
+
+/// Pearson linear correlation coefficient; `NaN` if either side is constant
+/// or the slices are shorter than 2.
+///
+/// # Panics
+/// Panics when the lengths differ.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "pearson length mismatch");
+    let n = xs.len();
+    if n < 2 {
+        return f64::NAN;
+    }
+    let mx = crate::stats::mean(xs);
+    let my = crate::stats::mean(ys);
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        let dx = x - mx;
+        let dy = y - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return f64::NAN;
+    }
+    sxy / (sxx * syy).sqrt()
+}
+
+/// Mid-ranks of `xs` (average rank for ties), 1-based like textbooks.
+fn ranks(xs: &[f64]) -> Vec<f64> {
+    let n = xs.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("NaN in rank input"));
+    let mut out = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && xs[order[j + 1]] == xs[order[i]] {
+            j += 1;
+        }
+        // Tie block [i, j]: everyone gets the average rank.
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for k in i..=j {
+            out[order[k]] = avg;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Spearman rank correlation (Pearson on mid-ranks).
+///
+/// The Slice Tuner optimizer only needs the *relative* ordering of slice
+/// cost-benefits, so rank agreement between estimated and true curves is the
+/// right reliability measure (Section 6.3.4).
+///
+/// # Panics
+/// Panics when the lengths differ.
+pub fn spearman(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "spearman length mismatch");
+    pearson(&ranks(xs), &ranks(ys))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::mean;
+
+    #[test]
+    fn splitmix_is_deterministic_and_uniformish() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut rng = SplitMix64::new(7);
+        let draws: Vec<f64> = (0..10_000).map(|_| rng.next_f64()).collect();
+        let m = mean(&draws);
+        assert!((m - 0.5).abs() < 0.02, "mean of U(0,1) draws was {m}");
+        assert!(draws.iter().all(|&x| (0.0..1.0).contains(&x)));
+    }
+
+    #[test]
+    fn next_index_stays_in_range() {
+        let mut rng = SplitMix64::new(3);
+        for _ in 0..1000 {
+            assert!(rng.next_index(7) < 7);
+        }
+    }
+
+    #[test]
+    fn bootstrap_ci_covers_the_point_estimate() {
+        let xs: Vec<f64> = (0..50).map(|i| (i as f64 * 0.77).sin() + 2.0).collect();
+        let ci = bootstrap_ci(&xs, 500, 0.95, 11, mean);
+        assert!(ci.lo <= ci.point && ci.point <= ci.hi, "{ci:?}");
+        assert!(ci.contains(ci.point));
+        assert!(ci.width() > 0.0);
+    }
+
+    #[test]
+    fn bootstrap_ci_narrows_with_sample_size() {
+        let small: Vec<f64> = (0..10).map(|i| (i as f64 * 1.3).sin()).collect();
+        let big: Vec<f64> = (0..1000).map(|i| (i as f64 * 1.3).sin()).collect();
+        let ci_small = bootstrap_ci(&small, 300, 0.95, 5, mean);
+        let ci_big = bootstrap_ci(&big, 300, 0.95, 5, mean);
+        assert!(ci_big.width() < ci_small.width());
+    }
+
+    #[test]
+    fn bootstrap_of_constant_sample_is_degenerate() {
+        let ci = bootstrap_ci(&[3.0; 20], 100, 0.9, 1, mean);
+        assert_eq!(ci.lo, 3.0);
+        assert_eq!(ci.hi, 3.0);
+        assert_eq!(ci.point, 3.0);
+    }
+
+    #[test]
+    fn pearson_detects_perfect_linearity() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = ys.iter().map(|y| -y).collect();
+        assert!((pearson(&xs, &neg) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_of_constant_is_nan() {
+        assert!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]).is_nan());
+    }
+
+    #[test]
+    fn spearman_is_invariant_to_monotone_transforms() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys: Vec<f64> = xs.iter().map(|x: &f64| x.exp()).collect(); // monotone, nonlinear
+        assert!((spearman(&xs, &ys) - 1.0).abs() < 1e-12);
+        // Pearson is < 1 for the same data (nonlinear).
+        assert!(pearson(&xs, &ys) < 1.0);
+    }
+
+    #[test]
+    fn spearman_handles_ties_with_midranks() {
+        let r = ranks(&[2.0, 1.0, 2.0]);
+        assert_eq!(r, vec![2.5, 1.0, 2.5]);
+    }
+
+    #[test]
+    fn spearman_of_reversed_order_is_minus_one() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [9.0, 7.0, 5.0, 1.0];
+        assert!((spearman(&xs, &ys) + 1.0).abs() < 1e-12);
+    }
+}

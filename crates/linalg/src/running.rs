@@ -1,0 +1,207 @@
+//! Streaming (Welford) statistics.
+//!
+//! The experiment harness aggregates losses and EERs over ≥10 trials; the
+//! Welford update avoids the catastrophic cancellation of the naïve
+//! `E[x²] − E[x]²` formula when losses agree to several digits.
+
+/// Numerically-stable running mean / variance / extrema accumulator.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunningStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        RunningStats { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Folds one observation in.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Folds every observation of `xs` in.
+    pub fn extend(&mut self, xs: &[f64]) {
+        for &x in xs {
+            self.push(x);
+        }
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Running mean; `NaN` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance; `NaN` when empty.
+    pub fn variance(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Sample (Bessel-corrected) variance; `NaN` with fewer than 2 points.
+    pub fn sample_variance(&self) -> f64 {
+        if self.n < 2 {
+            f64::NAN
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Sample standard deviation.
+    pub fn sample_std_dev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Standard error of the mean (`s / √n`); `NaN` with fewer than 2 points.
+    pub fn standard_error(&self) -> f64 {
+        self.sample_std_dev() / (self.n as f64).sqrt()
+    }
+
+    /// Smallest observation; `+∞` when empty.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation; `−∞` when empty.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator (parallel aggregation), exactly as if all
+    /// of its observations had been pushed here.
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{mean, variance};
+
+    #[test]
+    fn matches_batch_statistics() {
+        let xs = [0.3, 0.31, 0.29, 0.305, 0.295, 0.33];
+        let mut rs = RunningStats::new();
+        rs.extend(&xs);
+        assert_eq!(rs.count(), 6);
+        assert!((rs.mean() - mean(&xs)).abs() < 1e-15);
+        assert!((rs.variance() - variance(&xs)).abs() < 1e-15);
+        assert_eq!(rs.min(), 0.29);
+        assert_eq!(rs.max(), 0.33);
+    }
+
+    #[test]
+    fn empty_is_nan() {
+        let rs = RunningStats::new();
+        assert!(rs.mean().is_nan());
+        assert!(rs.variance().is_nan());
+        assert_eq!(rs.count(), 0);
+    }
+
+    #[test]
+    fn single_point_has_zero_variance_but_nan_sample_variance() {
+        let mut rs = RunningStats::new();
+        rs.push(4.2);
+        assert_eq!(rs.mean(), 4.2);
+        assert_eq!(rs.variance(), 0.0);
+        assert!(rs.sample_variance().is_nan());
+    }
+
+    #[test]
+    fn stable_under_large_offsets() {
+        // Values clustered at 1e9 + small noise: naive E[x²]−E[x]² fails here.
+        let xs: Vec<f64> = (0..100).map(|i| 1e9 + (i % 7) as f64 * 0.01).collect();
+        let mut rs = RunningStats::new();
+        rs.extend(&xs);
+        let shifted: Vec<f64> = xs.iter().map(|x| x - 1e9).collect();
+        assert!((rs.variance() - variance(&shifted)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [10.0, 20.0];
+        let mut all = RunningStats::new();
+        all.extend(&xs);
+        all.extend(&ys);
+
+        let mut a = RunningStats::new();
+        a.extend(&xs);
+        let mut b = RunningStats::new();
+        b.extend(&ys);
+        a.merge(&b);
+
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-12);
+        assert!((a.variance() - all.variance()).abs() < 1e-12);
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = RunningStats::new();
+        a.extend(&[5.0, 6.0]);
+        let before = a;
+        a.merge(&RunningStats::new());
+        assert_eq!(a, before);
+
+        let mut empty = RunningStats::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn standard_error_shrinks_with_n() {
+        let mut small = RunningStats::new();
+        small.extend(&[1.0, 2.0, 3.0, 4.0]);
+        let mut big = RunningStats::new();
+        for _ in 0..25 {
+            big.extend(&[1.0, 2.0, 3.0, 4.0]);
+        }
+        assert!(big.standard_error() < small.standard_error());
+    }
+}

@@ -1,0 +1,101 @@
+//! Descriptive statistics used by the experiment harness and curve fitter.
+
+/// Arithmetic mean; `NaN` for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Weighted mean `Σ w_i x_i / Σ w_i`; `NaN` when the weights sum to zero.
+///
+/// # Panics
+/// Panics if the lengths differ.
+pub fn weighted_mean(xs: &[f64], ws: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ws.len(), "weighted_mean length mismatch");
+    let wsum: f64 = ws.iter().sum();
+    if wsum == 0.0 {
+        return f64::NAN;
+    }
+    xs.iter().zip(ws).map(|(x, w)| x * w).sum::<f64>() / wsum
+}
+
+/// Population variance; `NaN` for an empty slice.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Linear-interpolation quantile for `q` in `[0, 1]`.
+///
+/// # Panics
+/// Panics for an empty slice or `q` outside `[0, 1]`.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    assert!(!xs.is_empty(), "quantile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "quantile q out of range");
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_constant_is_constant() {
+        assert_eq!(mean(&[2.0, 2.0, 2.0]), 2.0);
+    }
+
+    #[test]
+    fn mean_of_empty_is_nan() {
+        assert!(mean(&[]).is_nan());
+    }
+
+    #[test]
+    fn weighted_mean_with_equal_weights_is_mean() {
+        let xs = [1.0, 2.0, 6.0];
+        assert!((weighted_mean(&xs, &[1.0; 3]) - mean(&xs)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_mean_respects_weights() {
+        assert_eq!(weighted_mean(&[0.0, 10.0], &[3.0, 1.0]), 2.5);
+    }
+
+    #[test]
+    fn variance_of_symmetric_pair() {
+        assert_eq!(variance(&[-1.0, 1.0]), 1.0);
+        assert_eq!(std_dev(&[-2.0, 2.0]), 2.0);
+    }
+
+    #[test]
+    fn quantile_endpoints_and_median() {
+        let xs = [3.0, 1.0, 2.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 0.5), 2.0);
+        assert_eq!(quantile(&xs, 1.0), 3.0);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        assert_eq!(quantile(&[0.0, 10.0], 0.25), 2.5);
+    }
+}

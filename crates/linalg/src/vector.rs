@@ -1,0 +1,116 @@
+//! Free functions on `&[f64]` vectors.
+
+/// Dot product of two equally-sized slices.
+///
+/// # Panics
+/// Panics if the lengths differ.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// `y += alpha * x`, in place.
+///
+/// # Panics
+/// Panics if the lengths differ.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Elementwise difference `a - b` as a new vector.
+///
+/// # Panics
+/// Panics if the lengths differ.
+pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "sub length mismatch");
+    a.iter().zip(b).map(|(x, y)| x - y).collect()
+}
+
+/// In-place scalar multiplication.
+#[inline]
+pub fn scale_in_place(v: &mut [f64], alpha: f64) {
+    for x in v {
+        *x *= alpha;
+    }
+}
+
+/// Euclidean norm.
+pub fn l2_norm(v: &[f64]) -> f64 {
+    v.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+/// Maximum absolute entry (0 for an empty slice).
+pub fn linf_norm(v: &[f64]) -> f64 {
+    v.iter().fold(0.0_f64, |m, &x| m.max(x.abs()))
+}
+
+/// Index of the maximum entry; ties break toward the smaller index.
+///
+/// # Panics
+/// Panics on an empty slice.
+pub fn argmax(v: &[f64]) -> usize {
+    assert!(!v.is_empty(), "argmax of empty slice");
+    let mut best = 0;
+    for (i, &x) in v.iter().enumerate().skip(1) {
+        if x > v[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_orthogonal_is_zero() {
+        assert_eq!(dot(&[1., 0.], &[0., 5.]), 0.0);
+    }
+
+    #[test]
+    fn dot_known_value() {
+        assert_eq!(dot(&[1., 2., 3.], &[4., 5., 6.]), 32.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dot length mismatch")]
+    fn dot_rejects_mismatched_lengths() {
+        let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, -1.0], &mut y);
+        assert_eq!(y, vec![7.0, -1.0]);
+    }
+
+    #[test]
+    fn sub_elementwise() {
+        assert_eq!(sub(&[3., 2.], &[1., 5.]), vec![2., -3.]);
+    }
+
+    #[test]
+    fn norms_agree_on_axis_vector() {
+        let v = [0.0, -3.0, 0.0];
+        assert_eq!(l2_norm(&v), 3.0);
+        assert_eq!(linf_norm(&v), 3.0);
+    }
+
+    #[test]
+    fn argmax_breaks_ties_low() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0]), 1);
+        assert_eq!(argmax(&[-2.0]), 0);
+    }
+
+    #[test]
+    fn linf_of_empty_is_zero() {
+        assert_eq!(linf_norm(&[]), 0.0);
+    }
+}

@@ -1,0 +1,203 @@
+//! Property-based tests for the linear algebra kernels.
+
+use proptest::prelude::*;
+use st_linalg::{
+    cholesky_solve, dot, gaussian_solve, l2_norm, log_sum_exp, mean, quantile, sigmoid,
+    softmax_in_place, sub, variance, Matrix,
+};
+
+fn finite_vec(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e3..1e3_f64, len)
+}
+
+fn square_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-10.0..10.0_f64, n * n).prop_map(move |d| Matrix::from_vec(n, n, d))
+}
+
+proptest! {
+    #[test]
+    fn dot_is_commutative(a in finite_vec(8), b in finite_vec(8)) {
+        prop_assert!((dot(&a, &b) - dot(&b, &a)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dot_is_linear_in_first_arg(a in finite_vec(6), b in finite_vec(6), alpha in -5.0..5.0_f64) {
+        let scaled: Vec<f64> = a.iter().map(|x| alpha * x).collect();
+        prop_assert!((dot(&scaled, &b) - alpha * dot(&a, &b)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn cauchy_schwarz(a in finite_vec(5), b in finite_vec(5)) {
+        prop_assert!(dot(&a, &b).abs() <= l2_norm(&a) * l2_norm(&b) + 1e-6);
+    }
+
+    #[test]
+    fn matmul_is_associative(a in square_matrix(3), b in square_matrix(3), c in square_matrix(3)) {
+        let ab_c = a.matmul(&b).matmul(&c);
+        let a_bc = a.matmul(&b.matmul(&c));
+        for i in 0..3 {
+            for j in 0..3 {
+                prop_assert!((ab_c[(i, j)] - a_bc[(i, j)]).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_reverses_product(a in square_matrix(3), b in square_matrix(3)) {
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        for i in 0..3 {
+            for j in 0..3 {
+                prop_assert!((lhs[(i, j)] - rhs[(i, j)]).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn gaussian_solution_satisfies_system(a in square_matrix(4), b in finite_vec(4)) {
+        if let Ok(x) = gaussian_solve(a.clone(), &b) {
+            let r = sub(&a.matvec(&x), &b);
+            // Residual scaled by solution magnitude: ill-conditioned random
+            // matrices can legitimately amplify error.
+            let scale = 1.0 + l2_norm(&x) * a.frobenius_norm();
+            prop_assert!(l2_norm(&r) / scale < 1e-6);
+        }
+    }
+
+    #[test]
+    fn cholesky_agrees_with_gaussian(m in square_matrix(3), b in finite_vec(3)) {
+        // Build an SPD matrix A = M Mᵀ + I.
+        let mut a = m.matmul(&m.transpose());
+        for i in 0..3 {
+            a[(i, i)] += 1.0;
+        }
+        let xc = cholesky_solve(&a, &b).expect("SPD by construction");
+        let xg = gaussian_solve(a.clone(), &b).expect("nonsingular by construction");
+        for (c, g) in xc.iter().zip(&xg) {
+            prop_assert!((c - g).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_is_a_distribution(mut v in finite_vec(6)) {
+        softmax_in_place(&mut v);
+        prop_assert!((v.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(v.iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    #[test]
+    fn softmax_shift_invariant(v in finite_vec(5), shift in -100.0..100.0_f64) {
+        let mut a = v.clone();
+        let mut b: Vec<f64> = v.iter().map(|x| x + shift).collect();
+        softmax_in_place(&mut a);
+        softmax_in_place(&mut b);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn log_sum_exp_bounds(v in finite_vec(5)) {
+        let m = v.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+        let lse = log_sum_exp(&v);
+        prop_assert!(lse >= m - 1e-12);
+        prop_assert!(lse <= m + (v.len() as f64).ln() + 1e-12);
+    }
+
+    #[test]
+    fn sigmoid_in_unit_interval(x in -1e6..1e6_f64) {
+        let s = sigmoid(x);
+        prop_assert!((0.0..=1.0).contains(&s));
+    }
+
+    #[test]
+    fn mean_between_min_and_max(v in finite_vec(7)) {
+        let m = mean(&v);
+        let lo = v.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
+    }
+
+    #[test]
+    fn variance_nonnegative(v in finite_vec(7)) {
+        prop_assert!(variance(&v) >= -1e-9);
+    }
+
+    #[test]
+    fn quantile_monotone(v in finite_vec(9), q1 in 0.0..1.0_f64, q2 in 0.0..1.0_f64) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(quantile(&v, lo) <= quantile(&v, hi) + 1e-12);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn qr_least_squares_satisfies_normal_equations(
+        entries in prop::collection::vec(-3.0f64..3.0, 12..=12),
+        rhs in prop::collection::vec(-5.0f64..5.0, 6..=6),
+    ) {
+        // 6x2 design with an intercept column: always full rank.
+        let a = Matrix::from_fn(6, 2, |r, c| if c == 0 { 1.0 } else { entries[r] });
+        if let Ok(x) = st_linalg::least_squares(&a, &rhs) {
+            // AᵀA x = Aᵀ b within tolerance.
+            let at = a.transpose();
+            let ata = at.matmul(&a);
+            let atb: Vec<f64> = (0..2)
+                .map(|i| at.row(i).iter().zip(&rhs).map(|(p, q)| p * q).sum())
+                .collect();
+            for i in 0..2 {
+                let lhs: f64 = (0..2).map(|j| ata[(i, j)] * x[j]).sum();
+                prop_assert!((lhs - atb[i]).abs() < 1e-6, "row {i}: {lhs} vs {}", atb[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn running_stats_merge_is_order_invariant(
+        xs in prop::collection::vec(-100.0f64..100.0, 1..20),
+        ys in prop::collection::vec(-100.0f64..100.0, 1..20),
+    ) {
+        let mut ab = st_linalg::RunningStats::new();
+        ab.extend(&xs);
+        let mut b = st_linalg::RunningStats::new();
+        b.extend(&ys);
+        ab.merge(&b);
+
+        let mut ba = st_linalg::RunningStats::new();
+        ba.extend(&ys);
+        let mut a2 = st_linalg::RunningStats::new();
+        a2.extend(&xs);
+        ba.merge(&a2);
+
+        prop_assert!((ab.mean() - ba.mean()).abs() < 1e-9);
+        prop_assert!((ab.variance() - ba.variance()).abs() < 1e-9);
+        prop_assert_eq!(ab.count(), ba.count());
+    }
+
+    #[test]
+    fn spearman_is_bounded_and_symmetric(
+        xs in prop::collection::vec(-10.0f64..10.0, 3..15),
+        shift in -5.0f64..5.0,
+    ) {
+        let ys: Vec<f64> = xs.iter().rev().map(|v| v + shift).collect();
+        let r = st_linalg::spearman(&xs, &ys);
+        if r.is_finite() {
+            prop_assert!((-1.0 - 1e-12..=1.0 + 1e-12).contains(&r));
+            let r2 = st_linalg::spearman(&ys, &xs);
+            prop_assert!((r - r2).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn bootstrap_interval_ordering_holds(
+        xs in prop::collection::vec(0.0f64..10.0, 2..30),
+        seed in 0u64..1000,
+    ) {
+        let ci = st_linalg::bootstrap_ci(&xs, 100, 0.9, seed, st_linalg::mean);
+        prop_assert!(ci.lo <= ci.hi);
+        // The point estimate is the statistic on the original sample.
+        prop_assert!((ci.point - st_linalg::mean(&xs)).abs() < 1e-12);
+    }
+}

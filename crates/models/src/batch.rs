@@ -1,0 +1,49 @@
+//! Conversion between example lists and dense batches.
+
+use st_data::Example;
+use st_linalg::Matrix;
+
+/// Stacks example features into an `n × d` matrix.
+///
+/// # Panics
+/// Panics if examples disagree on dimensionality.
+pub fn examples_to_matrix(examples: &[Example]) -> Matrix {
+    if examples.is_empty() {
+        return Matrix::zeros(0, 0);
+    }
+    let d = examples[0].dim();
+    Matrix::from_fn(examples.len(), d, |r, c| {
+        debug_assert_eq!(examples[r].dim(), d, "inconsistent feature dims");
+        examples[r].features[c]
+    })
+}
+
+/// Extracts the label vector.
+pub fn labels_of(examples: &[Example]) -> Vec<usize> {
+    examples.iter().map(|e| e.label).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_data::SliceId;
+
+    #[test]
+    fn matrix_layout_matches_examples() {
+        let ex = vec![
+            Example::new(vec![1.0, 2.0], 0, SliceId(0)),
+            Example::new(vec![3.0, 4.0], 1, SliceId(1)),
+        ];
+        let m = examples_to_matrix(&ex);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 2);
+        assert_eq!(m[(1, 0)], 3.0);
+        assert_eq!(labels_of(&ex), vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_batch_is_empty_matrix() {
+        let m = examples_to_matrix(&[]);
+        assert_eq!((m.rows(), m.cols()), (0, 0));
+    }
+}

@@ -1,0 +1,477 @@
+//! A small convolutional network — the native analog of the paper's "basic
+//! CNNs with 2–3 hidden layers".
+//!
+//! The main experiments use MLPs because Slice Tuner only reads per-slice
+//! losses, but the CNN path exists to validate that substitution: the
+//! `cnn_compare` bench shows the method ranking (Moderate > baselines) is
+//! unchanged when the shared model is an actual convolution over the
+//! synthetic image families.
+//!
+//! Architecture: `conv 3×3 (valid) → ReLU → maxpool 2×2 → flatten → dense
+//! softmax`. Batches are row-major [`Matrix`] values whose rows are
+//! flattened `channels × height × width` images, so the rest of the stack
+//! (loss functions, estimators) is unchanged.
+
+use crate::classifier::Classifier;
+use crate::network::Layer;
+use crate::optimizer::{OptimizerKind, OptimizerState};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use st_data::rng::normal;
+use st_data::seeded_rng;
+use st_linalg::{softmax_in_place, Matrix};
+
+/// Shape of one input image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ImageShape {
+    /// Input channels.
+    pub channels: usize,
+    /// Image height in pixels.
+    pub height: usize,
+    /// Image width in pixels.
+    pub width: usize,
+}
+
+impl ImageShape {
+    /// Flattened length of one image.
+    pub fn flat_len(&self) -> usize {
+        self.channels * self.height * self.width
+    }
+}
+
+/// Convolution kernel bank: `out_ch × in_ch × k × k` weights plus one bias
+/// per output channel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvKernels {
+    /// Flat weights indexed `[o][i][ky][kx]`.
+    pub w: Vec<f64>,
+    /// Per-output-channel bias.
+    pub b: Vec<f64>,
+    /// Output channels.
+    pub out_ch: usize,
+    /// Input channels.
+    pub in_ch: usize,
+    /// Kernel side length.
+    pub k: usize,
+}
+
+impl ConvKernels {
+    /// He-initialized kernels.
+    pub fn he_init(out_ch: usize, in_ch: usize, k: usize, rng: &mut StdRng) -> Self {
+        let fan_in = in_ch * k * k;
+        let scale = (2.0 / fan_in.max(1) as f64).sqrt();
+        let w = (0..out_ch * fan_in).map(|_| scale * normal(rng)).collect();
+        ConvKernels { w, b: vec![0.0; out_ch], out_ch, in_ch, k }
+    }
+
+    #[inline]
+    fn w_at(&self, o: usize, i: usize, ky: usize, kx: usize) -> f64 {
+        self.w[((o * self.in_ch + i) * self.k + ky) * self.k + kx]
+    }
+}
+
+/// The convolutional classifier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvNet {
+    /// Input image shape.
+    pub shape: ImageShape,
+    /// The single convolution block.
+    pub conv: ConvKernels,
+    /// Dense softmax head on the flattened pooled features.
+    pub head: Layer,
+}
+
+/// Hyperparameters for [`ConvNet::train`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvTrainConfig {
+    /// Output channels of the conv block.
+    pub filters: usize,
+    /// Kernel side length (3 reproduces the paper's 3×3 kernels).
+    pub kernel: usize,
+    /// Passes over the data.
+    pub epochs: usize,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Learning rate (constant; these nets train for few epochs).
+    pub lr: f64,
+    /// Update rule.
+    pub optimizer: OptimizerKind,
+    /// Seed for init and shuffling.
+    pub seed: u64,
+}
+
+impl Default for ConvTrainConfig {
+    fn default() -> Self {
+        ConvTrainConfig {
+            filters: 8,
+            kernel: 3,
+            epochs: 15,
+            batch_size: 32,
+            lr: 0.05,
+            optimizer: OptimizerKind::default_momentum(),
+            seed: 0,
+        }
+    }
+}
+
+/// Intermediate tensors of one forward pass (per batch).
+struct Trace {
+    /// Post-ReLU conv activations, `n × (out_ch · ch · cw)`.
+    relu: Matrix,
+    /// Pooled features, `n × (out_ch · ph · pw)`.
+    pooled: Matrix,
+    /// Flat index (into the relu row) of each pooled maximum.
+    argmax: Vec<usize>,
+}
+
+impl ConvNet {
+    /// Builds a seeded, He-initialized network.
+    ///
+    /// # Panics
+    /// Panics when the convolution or pooling would not fit the image
+    /// (needs `height, width ≥ kernel` and pooled dims ≥ 1).
+    pub fn new(
+        shape: ImageShape,
+        filters: usize,
+        kernel: usize,
+        num_classes: usize,
+        rng: &mut StdRng,
+    ) -> Self {
+        assert!(shape.height >= kernel && shape.width >= kernel, "kernel larger than image");
+        let (ch, cw) = (shape.height - kernel + 1, shape.width - kernel + 1);
+        let (ph, pw) = (ch / 2, cw / 2);
+        assert!(ph >= 1 && pw >= 1, "image too small to pool");
+        let conv = ConvKernels::he_init(filters, shape.channels, kernel, rng);
+        let head = Layer::he_init(filters * ph * pw, num_classes, rng);
+        ConvNet { shape, conv, head }
+    }
+
+    /// Conv output spatial dims (valid padding).
+    fn conv_dims(&self) -> (usize, usize) {
+        (self.shape.height - self.conv.k + 1, self.shape.width - self.conv.k + 1)
+    }
+
+    /// Pooled spatial dims (2×2, stride 2, floor).
+    fn pool_dims(&self) -> (usize, usize) {
+        let (ch, cw) = self.conv_dims();
+        (ch / 2, cw / 2)
+    }
+
+    /// Total trainable parameter count.
+    pub fn num_params(&self) -> usize {
+        self.conv.w.len()
+            + self.conv.b.len()
+            + self.head.w.rows() * self.head.w.cols()
+            + self.head.b.len()
+    }
+
+    /// Forward pass keeping the intermediates backprop needs.
+    fn forward_trace(&self, x: &Matrix) -> (Trace, Matrix) {
+        let n = x.rows();
+        let (ch, cw) = self.conv_dims();
+        let (ph, pw) = self.pool_dims();
+        let s = &self.shape;
+        let k = self.conv.k;
+        let mut relu = Matrix::zeros(n, self.conv.out_ch * ch * cw);
+        let mut pooled = Matrix::zeros(n, self.conv.out_ch * ph * pw);
+        let mut argmax = vec![0usize; n * self.conv.out_ch * ph * pw];
+
+        for ex in 0..n {
+            let img = x.row(ex);
+            let relu_row = relu.row_mut(ex);
+            for o in 0..self.conv.out_ch {
+                for y in 0..ch {
+                    for xx in 0..cw {
+                        let mut acc = self.conv.b[o];
+                        for i in 0..s.channels {
+                            let plane = &img[i * s.height * s.width..];
+                            for ky in 0..k {
+                                let row = &plane[(y + ky) * s.width + xx..];
+                                for kx in 0..k {
+                                    acc += self.conv.w_at(o, i, ky, kx) * row[kx];
+                                }
+                            }
+                        }
+                        relu_row[(o * ch + y) * cw + xx] = acc.max(0.0);
+                    }
+                }
+            }
+            // 2×2 max pool with argmax bookkeeping.
+            let pooled_row = pooled.row_mut(ex);
+            for o in 0..self.conv.out_ch {
+                for py in 0..ph {
+                    for px in 0..pw {
+                        let mut best = f64::NEG_INFINITY;
+                        let mut best_idx = 0usize;
+                        for dy in 0..2 {
+                            for dx in 0..2 {
+                                let idx = (o * ch + 2 * py + dy) * cw + 2 * px + dx;
+                                if relu_row[idx] > best {
+                                    best = relu_row[idx];
+                                    best_idx = idx;
+                                }
+                            }
+                        }
+                        let p_idx = (o * ph + py) * pw + px;
+                        pooled_row[p_idx] = best;
+                        argmax[ex * self.conv.out_ch * ph * pw + p_idx] = best_idx;
+                    }
+                }
+            }
+        }
+        let logits = self.head.forward(&pooled);
+        (Trace { relu, pooled, argmax }, logits)
+    }
+
+    /// Batch logits.
+    pub fn logits(&self, x: &Matrix) -> Matrix {
+        self.forward_trace(x).1
+    }
+
+    /// Trains a `ConvNet` on flattened-image rows. Deterministic in
+    /// `(x, y, shape, config)`.
+    ///
+    /// # Panics
+    /// Panics on shape/label mismatches.
+    pub fn train(
+        x: &Matrix,
+        y: &[usize],
+        shape: ImageShape,
+        num_classes: usize,
+        config: &ConvTrainConfig,
+    ) -> ConvNet {
+        assert_eq!(x.rows(), y.len(), "feature/label count mismatch");
+        assert_eq!(x.cols(), shape.flat_len(), "row length does not match image shape");
+        assert!(y.iter().all(|&l| l < num_classes), "label out of range");
+
+        let mut rng = seeded_rng(config.seed);
+        let mut net = ConvNet::new(shape, config.filters, config.kernel, num_classes, &mut rng);
+        let n = x.rows();
+        if n == 0 {
+            return net;
+        }
+        let lens = [
+            net.conv.w.len(),
+            net.conv.b.len(),
+            net.head.w.rows() * net.head.w.cols(),
+            net.head.b.len(),
+        ];
+        let mut opt = OptimizerState::new(config.optimizer, &lens);
+        let mut order: Vec<usize> = (0..n).collect();
+
+        for _epoch in 0..config.epochs {
+            order.shuffle(&mut rng);
+            for chunk in order.chunks(config.batch_size.max(1)) {
+                let bx =
+                    Matrix::from_fn(chunk.len(), x.cols(), |r, c| x[(chunk[r], c)]);
+                let by: Vec<usize> = chunk.iter().map(|&i| y[i]).collect();
+                opt.next_step();
+                net.step(&bx, &by, config.lr, &mut opt);
+            }
+        }
+        net
+    }
+
+    /// One optimizer step on a minibatch.
+    fn step(&mut self, bx: &Matrix, by: &[usize], lr: f64, opt: &mut OptimizerState) {
+        let m = bx.rows();
+        let (trace, logits) = self.forward_trace(bx);
+        let (ch, cw) = self.conv_dims();
+        let (ph, pw) = self.pool_dims();
+        let s = self.shape;
+        let k = self.conv.k;
+
+        // Softmax cross-entropy gradient.
+        let mut dz = logits;
+        for r in 0..m {
+            let row = dz.row_mut(r);
+            softmax_in_place(row);
+            row[by[r]] -= 1.0;
+            for v in row.iter_mut() {
+                *v /= m as f64;
+            }
+        }
+
+        // Dense head gradients.
+        let grad_w = trace.pooled.transpose().matmul(&dz);
+        let mut grad_b = vec![0.0; dz.cols()];
+        for r in 0..dz.rows() {
+            for (g, &v) in grad_b.iter_mut().zip(dz.row(r)) {
+                *g += v;
+            }
+        }
+        // Gradient wrt pooled features, before updating the head.
+        let dpooled = dz.matmul(&self.head.w.transpose());
+
+        // Route through the max pool and the ReLU into conv-space gradients.
+        let mut dconv = Matrix::zeros(m, self.conv.out_ch * ch * cw);
+        for ex in 0..m {
+            let drow = dpooled.row(ex);
+            let dconv_row = dconv.row_mut(ex);
+            for p_idx in 0..self.conv.out_ch * ph * pw {
+                let src = trace.argmax[ex * self.conv.out_ch * ph * pw + p_idx];
+                // ReLU: the stored activation is post-ReLU; zero activations
+                // pass no gradient.
+                if trace.relu[(ex, src)] > 0.0 {
+                    dconv_row[src] += drow[p_idx];
+                }
+            }
+        }
+
+        // Kernel gradients.
+        let mut gw = vec![0.0; self.conv.w.len()];
+        let mut gb = vec![0.0; self.conv.out_ch];
+        for ex in 0..m {
+            let img = bx.row(ex);
+            let drow = dconv.row(ex);
+            for o in 0..self.conv.out_ch {
+                for y in 0..ch {
+                    for xx in 0..cw {
+                        let g = drow[(o * ch + y) * cw + xx];
+                        if g == 0.0 {
+                            continue;
+                        }
+                        gb[o] += g;
+                        for i in 0..s.channels {
+                            let plane = &img[i * s.height * s.width..];
+                            for ky in 0..k {
+                                let row = &plane[(y + ky) * s.width + xx..];
+                                for kx in 0..k {
+                                    gw[((o * self.conv.in_ch + i) * k + ky) * k + kx] +=
+                                        g * row[kx];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        opt.update(0, &mut self.conv.w, &gw, lr, 0.0);
+        opt.update(1, &mut self.conv.b, &gb, lr, 0.0);
+        opt.update(2, self.head.w.as_mut_slice(), grad_w.as_slice(), lr, 0.0);
+        opt.update(3, &mut self.head.b, &grad_b, lr, 0.0);
+    }
+}
+
+impl Classifier for ConvNet {
+    fn predict_proba(&self, x: &Matrix) -> Matrix {
+        let mut logits = self.logits(x);
+        for r in 0..logits.rows() {
+            softmax_in_place(logits.row_mut(r));
+        }
+        logits
+    }
+
+    fn num_classes(&self) -> usize {
+        self.head.fan_out()
+    }
+
+    fn input_dim(&self) -> usize {
+        self.shape.flat_len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::{accuracy_of, log_loss_of};
+
+    const SHAPE: ImageShape = ImageShape { channels: 1, height: 8, width: 8 };
+
+    /// Class 0: bright vertical bar; class 1: bright horizontal bar.
+    fn bars(n_per: usize, seed: u64) -> (Matrix, Vec<usize>) {
+        let mut rng = seeded_rng(seed);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for label in [0usize, 1] {
+            for _ in 0..n_per {
+                let mut img = vec![0.0; SHAPE.flat_len()];
+                for v in img.iter_mut() {
+                    *v = 0.1 * normal(&mut rng);
+                }
+                let pos = 2 + (rng.next_u32() as usize) % 4;
+                for t in 0..8 {
+                    let idx = if label == 0 { t * 8 + pos } else { pos * 8 + t };
+                    img[idx] += 1.0;
+                }
+                rows.extend_from_slice(&img);
+                labels.push(label);
+            }
+        }
+        (Matrix::from_vec(labels.len(), SHAPE.flat_len(), rows), labels)
+    }
+
+    use rand::RngCore;
+
+    #[test]
+    fn shapes_and_param_count() {
+        let mut rng = seeded_rng(1);
+        let net = ConvNet::new(SHAPE, 4, 3, 2, &mut rng);
+        // conv out 6×6, pooled 3×3 → head input 4·9 = 36.
+        assert_eq!(net.conv_dims(), (6, 6));
+        assert_eq!(net.pool_dims(), (3, 3));
+        assert_eq!(net.head.fan_in(), 36);
+        assert_eq!(net.num_params(), 4 * 9 + 4 + 36 * 2 + 2);
+    }
+
+    #[test]
+    fn forward_produces_distributions() {
+        let mut rng = seeded_rng(2);
+        let net = ConvNet::new(SHAPE, 3, 3, 4, &mut rng);
+        let (x, _) = bars(3, 3);
+        let p = net.predict_proba(&x);
+        assert_eq!((p.rows(), p.cols()), (6, 4));
+        for r in 0..p.rows() {
+            let s: f64 = p.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn learns_oriented_bars() {
+        let (x, y) = bars(40, 4);
+        let cfg = ConvTrainConfig { epochs: 12, ..Default::default() };
+        let net = ConvNet::train(&x, &y, SHAPE, 2, &cfg);
+        let acc = accuracy_of(&net, &x, &y);
+        assert!(acc > 0.95, "train accuracy {acc}");
+        // Generalizes to a fresh sample of the same distribution.
+        let (tx, ty) = bars(40, 5);
+        assert!(accuracy_of(&net, &tx, &ty) > 0.9);
+        assert!(log_loss_of(&net, &tx, &ty) < 0.35);
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let (x, y) = bars(10, 6);
+        let cfg = ConvTrainConfig { epochs: 3, ..Default::default() };
+        let a = ConvNet::train(&x, &y, SHAPE, 2, &cfg);
+        let b = ConvNet::train(&x, &y, SHAPE, 2, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn conv_beats_untrained_baseline() {
+        let (x, y) = bars(30, 7);
+        let cfg = ConvTrainConfig { epochs: 10, ..Default::default() };
+        let trained = ConvNet::train(&x, &y, SHAPE, 2, &cfg);
+        let mut rng = seeded_rng(cfg.seed);
+        let init = ConvNet::new(SHAPE, cfg.filters, cfg.kernel, 2, &mut rng);
+        assert!(log_loss_of(&trained, &x, &y) < 0.5 * log_loss_of(&init, &x, &y));
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel larger than image")]
+    fn rejects_oversized_kernel() {
+        let mut rng = seeded_rng(8);
+        let tiny = ImageShape { channels: 1, height: 2, width: 2 };
+        let _ = ConvNet::new(tiny, 2, 3, 2, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "row length does not match image shape")]
+    fn rejects_wrong_row_length() {
+        let x = Matrix::zeros(1, 10);
+        let _ = ConvNet::train(&x, &[0], SHAPE, 2, &ConvTrainConfig::default());
+    }
+}

@@ -1,0 +1,200 @@
+//! Plain-text model serialization.
+//!
+//! A tiny line-oriented format (`mlp-v1`) so trained models can be saved,
+//! diffed, and reloaded without adding binary-format dependencies:
+//!
+//! ```text
+//! mlp-v1 <num_layers>
+//! layer <fan_in> <fan_out>
+//! <w row 0: fan_out hex-f64 words> ...
+//! b <fan_out hex words>
+//! ```
+//!
+//! Floats are serialized as hexadecimal bit patterns so round-trips are
+//! exact (decimal formatting would drop bits and break replay equality).
+
+use crate::network::{Layer, Mlp};
+use st_linalg::Matrix;
+
+/// Errors from [`read_mlp`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelIoError {
+    /// First line is not an `mlp-v1` header.
+    BadHeader,
+    /// A structural line (counts, `layer`, `b`) was malformed.
+    BadStructure(String),
+    /// A float token could not be parsed.
+    BadNumber(String),
+    /// Fewer lines/tokens than the header promised.
+    Truncated,
+}
+
+impl std::fmt::Display for ModelIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelIoError::BadHeader => write!(f, "missing or invalid mlp-v1 header"),
+            ModelIoError::BadStructure(s) => write!(f, "malformed structure line: {s}"),
+            ModelIoError::BadNumber(s) => write!(f, "unparseable float token: {s}"),
+            ModelIoError::Truncated => write!(f, "input ended before the declared layers"),
+        }
+    }
+}
+
+impl std::error::Error for ModelIoError {}
+
+fn write_floats(out: &mut String, xs: &[f64]) {
+    for (i, x) in xs.iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(&format!("{:016x}", x.to_bits()));
+    }
+    out.push('\n');
+}
+
+fn parse_floats(line: &str, expect: usize) -> Result<Vec<f64>, ModelIoError> {
+    let vals: Result<Vec<f64>, _> = line
+        .split_whitespace()
+        .map(|t| u64::from_str_radix(t, 16).map(f64::from_bits))
+        .collect();
+    let vals = vals.map_err(|_| ModelIoError::BadNumber(line.to_string()))?;
+    if vals.len() != expect {
+        return Err(ModelIoError::BadStructure(format!(
+            "expected {expect} floats, got {}",
+            vals.len()
+        )));
+    }
+    Ok(vals)
+}
+
+/// Serializes an [`Mlp`] to the `mlp-v1` text format.
+pub fn write_mlp(net: &Mlp) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("mlp-v1 {}\n", net.layers.len()));
+    for layer in &net.layers {
+        out.push_str(&format!("layer {} {}\n", layer.fan_in(), layer.fan_out()));
+        for r in 0..layer.w.rows() {
+            write_floats(&mut out, layer.w.row(r));
+        }
+        out.push_str("b ");
+        write_floats(&mut out, &layer.b);
+    }
+    out
+}
+
+/// Parses an `mlp-v1` document back into a network.
+///
+/// # Errors
+/// Returns a [`ModelIoError`] describing the first malformed line.
+pub fn read_mlp(text: &str) -> Result<Mlp, ModelIoError> {
+    let mut lines = text.lines();
+    let header = lines.next().ok_or(ModelIoError::BadHeader)?;
+    let mut hp = header.split_whitespace();
+    if hp.next() != Some("mlp-v1") {
+        return Err(ModelIoError::BadHeader);
+    }
+    let num_layers: usize = hp
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| ModelIoError::BadStructure(header.to_string()))?;
+
+    let mut layers = Vec::with_capacity(num_layers);
+    for _ in 0..num_layers {
+        let decl = lines.next().ok_or(ModelIoError::Truncated)?;
+        let mut dp = decl.split_whitespace();
+        if dp.next() != Some("layer") {
+            return Err(ModelIoError::BadStructure(decl.to_string()));
+        }
+        let fan_in: usize = dp
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| ModelIoError::BadStructure(decl.to_string()))?;
+        let fan_out: usize = dp
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| ModelIoError::BadStructure(decl.to_string()))?;
+
+        let mut w = Matrix::zeros(fan_in, fan_out);
+        for r in 0..fan_in {
+            let line = lines.next().ok_or(ModelIoError::Truncated)?;
+            let vals = parse_floats(line, fan_out)?;
+            w.row_mut(r).copy_from_slice(&vals);
+        }
+        let bline = lines.next().ok_or(ModelIoError::Truncated)?;
+        let rest = bline
+            .strip_prefix("b ")
+            .ok_or_else(|| ModelIoError::BadStructure(bline.to_string()))?;
+        let b = parse_floats(rest, fan_out)?;
+        layers.push(Layer { w, b });
+    }
+    Ok(Mlp { layers })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ModelSpec, TrainConfig};
+    use st_data::seeded_rng;
+
+    #[test]
+    fn round_trip_is_bit_exact() {
+        let mut rng = seeded_rng(1);
+        let net = Mlp::new(5, &[7, 3], 4, &mut rng);
+        let text = write_mlp(&net);
+        let back = read_mlp(&text).unwrap();
+        assert_eq!(net, back);
+    }
+
+    #[test]
+    fn round_trip_of_trained_model_preserves_predictions() {
+        let x = Matrix::from_fn(30, 2, |r, c| ((r + c) as f64 * 0.7).sin());
+        let y: Vec<usize> = (0..30).map(|i| i % 2).collect();
+        let net = crate::train(&x, &y, 2, 2, &ModelSpec::small(), &TrainConfig::default());
+        let back = read_mlp(&write_mlp(&net)).unwrap();
+        assert_eq!(net.predict(&x), back.predict(&x));
+        assert_eq!(
+            crate::log_loss(&net, &x, &y).to_bits(),
+            crate::log_loss(&back, &x, &y).to_bits(),
+            "losses must agree to the last bit"
+        );
+    }
+
+    #[test]
+    fn special_values_survive() {
+        let mut rng = seeded_rng(2);
+        let mut net = Mlp::new(2, &[], 2, &mut rng);
+        net.layers[0].w[(0, 0)] = f64::MIN_POSITIVE;
+        net.layers[0].w[(0, 1)] = -0.0;
+        net.layers[0].b[0] = 1e308;
+        let back = read_mlp(&write_mlp(&net)).unwrap();
+        assert_eq!(net, back);
+        assert_eq!(back.layers[0].w[(0, 1)].to_bits(), (-0.0f64).to_bits());
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        assert_eq!(read_mlp(""), Err(ModelIoError::BadHeader));
+        assert_eq!(read_mlp("mlp-v2 1\n"), Err(ModelIoError::BadHeader));
+    }
+
+    #[test]
+    fn rejects_truncated_document() {
+        let mut rng = seeded_rng(3);
+        let net = Mlp::new(3, &[4], 2, &mut rng);
+        let text = write_mlp(&net);
+        let cut: String = text.lines().take(3).collect::<Vec<_>>().join("\n");
+        assert_eq!(read_mlp(&cut), Err(ModelIoError::Truncated));
+    }
+
+    #[test]
+    fn rejects_garbage_floats() {
+        let doc = "mlp-v1 1\nlayer 1 1\nzzzz\nb 0000000000000000\n";
+        assert!(matches!(read_mlp(doc), Err(ModelIoError::BadNumber(_))));
+    }
+
+    #[test]
+    fn rejects_wrong_width_rows() {
+        let doc = "mlp-v1 1\nlayer 1 2\n0000000000000000\nb 0000000000000000 0000000000000000\n";
+        assert!(matches!(read_mlp(doc), Err(ModelIoError::BadStructure(_))));
+    }
+}

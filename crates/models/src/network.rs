@@ -1,0 +1,206 @@
+//! The multi-layer perceptron.
+
+use st_data::rng::normal;
+use rand::rngs::StdRng;
+use st_linalg::{softmax_in_place, Matrix};
+
+/// One fully-connected layer: `out = in · W + b`.
+///
+/// `w` is stored `fan_in × fan_out` so a row-major batch `X (n × fan_in)`
+/// multiplies directly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Layer {
+    /// Weight matrix, `fan_in × fan_out`.
+    pub w: Matrix,
+    /// Bias vector, length `fan_out`.
+    pub b: Vec<f64>,
+}
+
+impl Layer {
+    /// He-initialized layer (`N(0, 2/fan_in)` weights, zero bias).
+    pub fn he_init(fan_in: usize, fan_out: usize, rng: &mut StdRng) -> Self {
+        let scale = (2.0 / fan_in.max(1) as f64).sqrt();
+        let w = Matrix::from_fn(fan_in, fan_out, |_, _| scale * normal(rng));
+        Layer { w, b: vec![0.0; fan_out] }
+    }
+
+    /// Output dimensionality.
+    pub fn fan_out(&self) -> usize {
+        self.w.cols()
+    }
+
+    /// Input dimensionality.
+    pub fn fan_in(&self) -> usize {
+        self.w.rows()
+    }
+
+    /// Affine forward pass for a batch: `X·W + b`.
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        let mut out = x.matmul(&self.w);
+        for r in 0..out.rows() {
+            let row = out.row_mut(r);
+            for (o, &b) in row.iter_mut().zip(&self.b) {
+                *o += b;
+            }
+        }
+        out
+    }
+}
+
+/// A ReLU multi-layer perceptron with a softmax output head.
+///
+/// With no hidden layers this is exactly multinomial logistic (softmax)
+/// regression — the model the paper uses for AdultCensus. With one or two
+/// hidden layers it plays the role of the paper's "basic CNNs"; see
+/// [`crate::ModelSpec::deep`] for the ResNet-18 stand-in.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mlp {
+    /// Layers, input first. The last layer produces logits.
+    pub layers: Vec<Layer>,
+}
+
+impl Mlp {
+    /// Builds a seeded, He-initialized network.
+    ///
+    /// # Panics
+    /// Panics if `input_dim` or `num_classes` is zero.
+    pub fn new(input_dim: usize, hidden: &[usize], num_classes: usize, rng: &mut StdRng) -> Self {
+        assert!(input_dim > 0, "input_dim must be positive");
+        assert!(num_classes > 0, "num_classes must be positive");
+        let mut dims = Vec::with_capacity(hidden.len() + 2);
+        dims.push(input_dim);
+        dims.extend_from_slice(hidden);
+        dims.push(num_classes);
+        let layers =
+            dims.windows(2).map(|d| Layer::he_init(d[0], d[1], rng)).collect::<Vec<_>>();
+        Mlp { layers }
+    }
+
+    /// Number of output classes.
+    pub fn num_classes(&self) -> usize {
+        self.layers.last().expect("at least one layer").fan_out()
+    }
+
+    /// Expected input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.layers.first().expect("at least one layer").fan_in()
+    }
+
+    /// Total trainable parameter count.
+    pub fn num_params(&self) -> usize {
+        self.layers.iter().map(|l| l.w.rows() * l.w.cols() + l.b.len()).sum()
+    }
+
+    /// Forward pass retaining every post-activation (used by backprop).
+    ///
+    /// Returns `(activations, logits)`: `activations[0]` is the input, and
+    /// `activations[i]` the ReLU output of hidden layer `i`.
+    pub fn forward_trace(&self, x: &Matrix) -> (Vec<Matrix>, Matrix) {
+        let mut activations = Vec::with_capacity(self.layers.len());
+        activations.push(x.clone());
+        let mut cur = x.clone();
+        for (i, layer) in self.layers.iter().enumerate() {
+            let mut z = layer.forward(&cur);
+            let is_last = i + 1 == self.layers.len();
+            if !is_last {
+                for v in z.as_mut_slice() {
+                    if *v < 0.0 {
+                        *v = 0.0;
+                    }
+                }
+                activations.push(z.clone());
+            }
+            cur = z;
+        }
+        (activations, cur)
+    }
+
+    /// Batch logits.
+    pub fn logits(&self, x: &Matrix) -> Matrix {
+        self.forward_trace(x).1
+    }
+
+    /// Batch class probabilities: each row of the result sums to one.
+    pub fn predict_proba(&self, x: &Matrix) -> Matrix {
+        let mut logits = self.logits(x);
+        for r in 0..logits.rows() {
+            softmax_in_place(logits.row_mut(r));
+        }
+        logits
+    }
+
+    /// Class predictions (argmax of probabilities).
+    pub fn predict(&self, x: &Matrix) -> Vec<usize> {
+        let logits = self.logits(x);
+        (0..logits.rows()).map(|r| st_linalg::argmax(logits.row(r))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_data::seeded_rng;
+
+    #[test]
+    fn shapes_of_constructed_network() {
+        let mut rng = seeded_rng(1);
+        let net = Mlp::new(4, &[8, 6], 3, &mut rng);
+        assert_eq!(net.layers.len(), 3);
+        assert_eq!(net.input_dim(), 4);
+        assert_eq!(net.num_classes(), 3);
+        assert_eq!(net.num_params(), 4 * 8 + 8 + 8 * 6 + 6 + 6 * 3 + 3);
+    }
+
+    #[test]
+    fn no_hidden_layers_is_linear_model() {
+        let mut rng = seeded_rng(2);
+        let net = Mlp::new(3, &[], 2, &mut rng);
+        assert_eq!(net.layers.len(), 1);
+        // Logits must be affine: f(2x) - f(0) = 2(f(x) - f(0)).
+        let x0 = Matrix::zeros(1, 3);
+        let x1 = Matrix::from_vec(1, 3, vec![1.0, -0.5, 2.0]);
+        let x2 = Matrix::from_vec(1, 3, vec![2.0, -1.0, 4.0]);
+        let f0 = net.logits(&x0);
+        let f1 = net.logits(&x1);
+        let f2 = net.logits(&x2);
+        for j in 0..2 {
+            let lhs = f2[(0, j)] - f0[(0, j)];
+            let rhs = 2.0 * (f1[(0, j)] - f0[(0, j)]);
+            assert!((lhs - rhs).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn predict_proba_rows_are_distributions() {
+        let mut rng = seeded_rng(3);
+        let net = Mlp::new(5, &[7], 4, &mut rng);
+        let x = Matrix::from_fn(6, 5, |r, c| (r * 5 + c) as f64 / 10.0 - 1.0);
+        let p = net.predict_proba(&x);
+        for r in 0..6 {
+            let s: f64 = p.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+            assert!(p.row(r).iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn seeded_init_is_reproducible() {
+        let a = Mlp::new(4, &[5], 3, &mut seeded_rng(7));
+        let b = Mlp::new(4, &[5], 3, &mut seeded_rng(7));
+        assert_eq!(a, b);
+        let c = Mlp::new(4, &[5], 3, &mut seeded_rng(8));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn relu_trace_is_nonnegative() {
+        let mut rng = seeded_rng(9);
+        let net = Mlp::new(4, &[6, 6], 2, &mut rng);
+        let x = Matrix::from_fn(3, 4, |r, c| (r as f64 - 1.0) * (c as f64 + 0.5));
+        let (acts, _) = net.forward_trace(&x);
+        assert_eq!(acts.len(), 3); // input + two hidden activations
+        for a in &acts[1..] {
+            assert!(a.as_slice().iter().all(|&v| v >= 0.0));
+        }
+    }
+}

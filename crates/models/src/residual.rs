@@ -1,0 +1,416 @@
+//! A residual MLP — the closer ResNet-18 analog for Appendix B.
+//!
+//! Appendix B's point is that an overly complex model raises absolute
+//! losses on modest data while leaving the *method ranking* unchanged. The
+//! main experiments use [`crate::ModelSpec::deep`] (a plain oversized MLP);
+//! this module adds genuine residual blocks — `h ← ReLU(h + W₂·ReLU(W₁·h))`
+//! with identity skip connections — so the architecture family actually
+//! matches ResNet's, and the `residual_compare` bin can check that the
+//! per-slice loss structure is architecture-independent.
+
+use crate::classifier::Classifier;
+use crate::network::Layer;
+use crate::optimizer::{OptimizerKind, OptimizerState};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use st_data::seeded_rng;
+use st_linalg::{softmax_in_place, Matrix};
+
+/// One residual block: two width-preserving dense layers with an identity
+/// skip, post-activation (`out = ReLU(x + W₂·ReLU(W₁·x + b₁) + b₂)`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResidualBlock {
+    /// First dense layer (width × width).
+    pub l1: Layer,
+    /// Second dense layer (width × width).
+    pub l2: Layer,
+}
+
+impl ResidualBlock {
+    /// He-initializes the inner layer and zero-initializes the outer one,
+    /// so every block starts as the identity map — the standard trick that
+    /// keeps deep residual stacks stable at initialization (the analog of
+    /// zero-init'ing the last batch-norm scale in ResNets).
+    fn he_init(width: usize, rng: &mut StdRng) -> Self {
+        let l1 = Layer::he_init(width, width, rng);
+        let mut l2 = Layer::he_init(width, width, rng);
+        l2.w.scale(0.0);
+        ResidualBlock { l1, l2 }
+    }
+}
+
+/// Intermediates of one block's forward pass (for backprop).
+struct BlockTrace {
+    /// Block input `x`.
+    input: Matrix,
+    /// Post-ReLU inner activation `ReLU(W₁x + b₁)`.
+    hidden: Matrix,
+    /// Block output `ReLU(x + W₂·hidden + b₂)`.
+    output: Matrix,
+}
+
+/// A residual classifier: input projection → `depth` residual blocks →
+/// softmax head.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResidualMlp {
+    /// Projection from the input dimension to the trunk width.
+    pub stem: Layer,
+    /// The residual trunk.
+    pub blocks: Vec<ResidualBlock>,
+    /// Softmax head.
+    pub head: Layer,
+}
+
+/// Hyperparameters for [`ResidualMlp::train`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResidualTrainConfig {
+    /// Trunk width.
+    pub width: usize,
+    /// Number of residual blocks.
+    pub depth: usize,
+    /// Passes over the data.
+    pub epochs: usize,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Learning rate.
+    pub lr: f64,
+    /// Update rule.
+    pub optimizer: OptimizerKind,
+    /// Seed for init and shuffling.
+    pub seed: u64,
+}
+
+impl Default for ResidualTrainConfig {
+    fn default() -> Self {
+        ResidualTrainConfig {
+            width: 32,
+            depth: 4,
+            epochs: 20,
+            batch_size: 32,
+            lr: 0.05,
+            optimizer: OptimizerKind::default_momentum(),
+            seed: 0,
+        }
+    }
+}
+
+fn relu_in_place(m: &mut Matrix) {
+    for v in m.as_mut_slice() {
+        if *v < 0.0 {
+            *v = 0.0;
+        }
+    }
+}
+
+impl ResidualMlp {
+    /// Builds a seeded, He-initialized network.
+    ///
+    /// # Panics
+    /// Panics when any dimension is zero.
+    pub fn new(
+        input_dim: usize,
+        width: usize,
+        depth: usize,
+        num_classes: usize,
+        rng: &mut StdRng,
+    ) -> Self {
+        assert!(input_dim > 0 && width > 0 && num_classes > 0, "dimensions must be positive");
+        ResidualMlp {
+            stem: Layer::he_init(input_dim, width, rng),
+            blocks: (0..depth).map(|_| ResidualBlock::he_init(width, rng)).collect(),
+            head: Layer::he_init(width, num_classes, rng),
+        }
+    }
+
+    /// Total trainable parameter count.
+    pub fn num_params(&self) -> usize {
+        let layer = |l: &Layer| l.w.rows() * l.w.cols() + l.b.len();
+        layer(&self.stem)
+            + self.blocks.iter().map(|b| layer(&b.l1) + layer(&b.l2)).sum::<usize>()
+            + layer(&self.head)
+    }
+
+    /// Forward pass keeping per-block intermediates.
+    fn forward_trace(&self, x: &Matrix) -> (Matrix, Vec<BlockTrace>, Matrix) {
+        let mut cur = self.stem.forward(x);
+        relu_in_place(&mut cur);
+        let stem_out = cur.clone();
+        let mut traces = Vec::with_capacity(self.blocks.len());
+        for block in &self.blocks {
+            let mut hidden = block.l1.forward(&cur);
+            relu_in_place(&mut hidden);
+            let mut out = block.l2.forward(&hidden);
+            out.add_assign(&cur);
+            relu_in_place(&mut out);
+            traces.push(BlockTrace { input: cur, hidden: hidden.clone(), output: out.clone() });
+            cur = out;
+        }
+        let logits = self.head.forward(&cur);
+        (stem_out, traces, logits)
+    }
+
+    /// Batch logits.
+    pub fn logits(&self, x: &Matrix) -> Matrix {
+        self.forward_trace(x).2
+    }
+
+    /// Trains a residual classifier. Deterministic in `(x, y, config)`.
+    ///
+    /// # Panics
+    /// Panics on shape/label mismatches.
+    pub fn train(
+        x: &Matrix,
+        y: &[usize],
+        input_dim: usize,
+        num_classes: usize,
+        config: &ResidualTrainConfig,
+    ) -> ResidualMlp {
+        assert_eq!(x.rows(), y.len(), "feature/label count mismatch");
+        assert!(y.iter().all(|&l| l < num_classes), "label out of range");
+
+        let mut rng = seeded_rng(config.seed);
+        let mut net =
+            ResidualMlp::new(input_dim, config.width, config.depth, num_classes, &mut rng);
+        let n = x.rows();
+        if n == 0 {
+            return net;
+        }
+
+        // Slot layout: stem w/b, then per block l1 w/b + l2 w/b, then head.
+        let layer_lens = |l: &Layer| [l.w.rows() * l.w.cols(), l.b.len()];
+        let mut lens: Vec<usize> = layer_lens(&net.stem).to_vec();
+        for b in &net.blocks {
+            lens.extend(layer_lens(&b.l1));
+            lens.extend(layer_lens(&b.l2));
+        }
+        lens.extend(layer_lens(&net.head));
+        let mut opt = OptimizerState::new(config.optimizer, &lens);
+
+        let mut order: Vec<usize> = (0..n).collect();
+        for _epoch in 0..config.epochs {
+            order.shuffle(&mut rng);
+            for chunk in order.chunks(config.batch_size.max(1)) {
+                let bx = Matrix::from_fn(chunk.len(), input_dim, |r, c| x[(chunk[r], c)]);
+                let by: Vec<usize> = chunk.iter().map(|&i| y[i]).collect();
+                opt.next_step();
+                net.step(&bx, &by, config.lr, &mut opt);
+            }
+        }
+        net
+    }
+
+    /// One optimizer step on a minibatch.
+    fn step(&mut self, bx: &Matrix, by: &[usize], lr: f64, opt: &mut OptimizerState) {
+        let m = bx.rows();
+        let (stem_out, traces, logits) = self.forward_trace(bx);
+
+        // Softmax cross-entropy gradient.
+        let mut dz = logits;
+        for r in 0..m {
+            let row = dz.row_mut(r);
+            softmax_in_place(row);
+            row[by[r]] -= 1.0;
+            for v in row.iter_mut() {
+                *v /= m as f64;
+            }
+        }
+
+        // Gradients of (w, b) for a dense layer given input and dout.
+        let grads = |input: &Matrix, dout: &Matrix| -> (Matrix, Vec<f64>) {
+            let gw = input.transpose().matmul(dout);
+            let mut gb = vec![0.0; dout.cols()];
+            for r in 0..dout.rows() {
+                for (g, &v) in gb.iter_mut().zip(dout.row(r)) {
+                    *g += v;
+                }
+            }
+            (gw, gb)
+        };
+        // Applies the ReLU mask of `act` (post-activation) to `d` in place.
+        let mask = |d: &mut Matrix, act: &Matrix| {
+            for (v, &a) in d.as_mut_slice().iter_mut().zip(act.as_slice()) {
+                if a <= 0.0 {
+                    *v = 0.0;
+                }
+            }
+        };
+
+        // Head.
+        let trunk_out = traces.last().map(|t| &t.output).unwrap_or(&stem_out);
+        let (head_gw, head_gb) = grads(trunk_out, &dz);
+        let mut dcur = dz.matmul(&self.head.w.transpose());
+
+        // Blocks, last first. Per block (post-activation residual):
+        //   out = ReLU(x + W₂·h + b₂),  h = ReLU(W₁·x + b₁)
+        //   d(pre-out) = dout ⊙ [out > 0]
+        //   dW₂ = hᵀ·d(pre-out); dh = d(pre-out)·W₂ᵀ ⊙ [h > 0]
+        //   dW₁ = xᵀ·dh; dx = dh·W₁ᵀ + d(pre-out)   (identity skip)
+        let mut block_grads: Vec<(Matrix, Vec<f64>, Matrix, Vec<f64>)> =
+            Vec::with_capacity(self.blocks.len());
+        for (bi, trace) in traces.iter().enumerate().rev() {
+            mask(&mut dcur, &trace.output);
+            let dpre = dcur; // gradient at the pre-ReLU sum
+            let (g2w, g2b) = grads(&trace.hidden, &dpre);
+            let mut dh = dpre.matmul(&self.blocks[bi].l2.w.transpose());
+            mask(&mut dh, &trace.hidden);
+            let (g1w, g1b) = grads(&trace.input, &dh);
+            let mut dx = dh.matmul(&self.blocks[bi].l1.w.transpose());
+            dx.add_assign(&dpre); // the skip path
+            block_grads.push((g1w, g1b, g2w, g2b));
+            dcur = dx;
+        }
+        block_grads.reverse();
+
+        // Stem.
+        mask(&mut dcur, &stem_out);
+        let (stem_gw, stem_gb) = grads(bx, &dcur);
+
+        // Apply updates in the slot order used at allocation.
+        let mut slot = 0;
+        let mut upd = |params: &mut [f64], grads: &[f64], opt: &mut OptimizerState| {
+            opt.update(slot, params, grads, lr, 0.0);
+            slot += 1;
+        };
+        upd(self.stem.w.as_mut_slice(), stem_gw.as_slice(), opt);
+        upd(&mut self.stem.b, &stem_gb, opt);
+        for (b, (g1w, g1b, g2w, g2b)) in self.blocks.iter_mut().zip(&block_grads) {
+            upd(b.l1.w.as_mut_slice(), g1w.as_slice(), opt);
+            upd(&mut b.l1.b, g1b, opt);
+            upd(b.l2.w.as_mut_slice(), g2w.as_slice(), opt);
+            upd(&mut b.l2.b, g2b, opt);
+        }
+        upd(self.head.w.as_mut_slice(), head_gw.as_slice(), opt);
+        upd(&mut self.head.b, &head_gb, opt);
+    }
+}
+
+impl Classifier for ResidualMlp {
+    fn predict_proba(&self, x: &Matrix) -> Matrix {
+        let mut logits = self.logits(x);
+        for r in 0..logits.rows() {
+            softmax_in_place(logits.row_mut(r));
+        }
+        logits
+    }
+
+    fn num_classes(&self) -> usize {
+        self.head.fan_out()
+    }
+
+    fn input_dim(&self) -> usize {
+        self.stem.fan_in()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::{accuracy_of, log_loss_of};
+    use st_data::normal;
+
+    fn blobs(n_per: usize, centers: &[(f64, f64)], seed: u64) -> (Matrix, Vec<usize>) {
+        let mut rng = seeded_rng(seed);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for (label, &(cx, cy)) in centers.iter().enumerate() {
+            for _ in 0..n_per {
+                rows.push(cx + 0.3 * normal(&mut rng));
+                rows.push(cy + 0.3 * normal(&mut rng));
+                labels.push(label);
+            }
+        }
+        (Matrix::from_vec(labels.len(), 2, rows), labels)
+    }
+
+    #[test]
+    fn shapes_and_param_count() {
+        let mut rng = seeded_rng(1);
+        let net = ResidualMlp::new(4, 8, 3, 5, &mut rng);
+        assert_eq!(net.input_dim(), 4);
+        assert_eq!(net.num_classes(), 5);
+        assert_eq!(net.blocks.len(), 3);
+        // stem 4·8+8, 3 blocks of 2·(8·8+8), head 8·5+5.
+        assert_eq!(net.num_params(), (32 + 8) + 3 * 2 * (64 + 8) + (40 + 5));
+    }
+
+    #[test]
+    fn forward_produces_distributions() {
+        let mut rng = seeded_rng(2);
+        let net = ResidualMlp::new(3, 6, 2, 4, &mut rng);
+        let x = Matrix::from_fn(5, 3, |r, c| (r as f64 - 2.0) * (c as f64 + 0.3));
+        let p = net.predict_proba(&x);
+        for r in 0..5 {
+            let s: f64 = p.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn learns_separable_blobs() {
+        let (x, y) = blobs(60, &[(-2.0, 0.0), (2.0, 0.0), (0.0, 2.0)], 3);
+        let cfg = ResidualTrainConfig { epochs: 30, ..Default::default() };
+        let net = ResidualMlp::train(&x, &y, 2, 3, &cfg);
+        let acc = accuracy_of(&net, &x, &y);
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn learns_xor_which_needs_depth() {
+        let mut rng = seeded_rng(4);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..100 {
+            for (cx, cy, l) in [(-1.0, -1.0, 0), (1.0, 1.0, 0), (-1.0, 1.0, 1), (1.0, -1.0, 1)] {
+                rows.push(cx + 0.15 * normal(&mut rng));
+                rows.push(cy + 0.15 * normal(&mut rng));
+                labels.push(l);
+            }
+        }
+        let x = Matrix::from_vec(labels.len(), 2, rows);
+        let cfg = ResidualTrainConfig { epochs: 40, width: 16, depth: 2, ..Default::default() };
+        let net = ResidualMlp::train(&x, &labels, 2, 2, &cfg);
+        assert!(log_loss_of(&net, &x, &labels) < 0.2);
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let (x, y) = blobs(20, &[(-1.5, 0.0), (1.5, 0.0)], 5);
+        let cfg = ResidualTrainConfig { epochs: 5, ..Default::default() };
+        let a = ResidualMlp::train(&x, &y, 2, 2, &cfg);
+        let b = ResidualMlp::train(&x, &y, 2, 2, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn deeper_trunk_still_trains_thanks_to_skips() {
+        // 8 blocks of width 16 — a plain 17-layer MLP at this width would
+        // struggle; residual skips keep gradients flowing. Deeper trunks
+        // need a gentler step (heavy-ball at lr 0.05 oscillates at depth 8).
+        let (x, y) = blobs(60, &[(-2.0, 0.0), (2.0, 0.0)], 6);
+        let cfg = ResidualTrainConfig {
+            epochs: 40,
+            width: 16,
+            depth: 8,
+            lr: 0.02,
+            ..Default::default()
+        };
+        let net = ResidualMlp::train(&x, &y, 2, 2, &cfg);
+        assert!(log_loss_of(&net, &x, &y) < 0.2, "loss {}", log_loss_of(&net, &x, &y));
+    }
+
+    #[test]
+    fn zero_depth_degenerates_to_one_hidden_layer() {
+        let (x, y) = blobs(40, &[(-2.0, 0.0), (2.0, 0.0)], 7);
+        let cfg = ResidualTrainConfig { epochs: 20, depth: 0, ..Default::default() };
+        let net = ResidualMlp::train(&x, &y, 2, 2, &cfg);
+        assert!(net.blocks.is_empty());
+        assert!(accuracy_of(&net, &x, &y) > 0.95);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn rejects_bad_labels() {
+        let x = Matrix::zeros(1, 2);
+        let _ = ResidualMlp::train(&x, &[9], 2, 2, &ResidualTrainConfig::default());
+    }
+}

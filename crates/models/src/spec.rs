@@ -1,0 +1,91 @@
+//! Model architecture specifications.
+
+use serde_like::SpecRepr;
+
+/// Architecture of the shared model trained on the sliced dataset.
+///
+/// Mirrors the paper's model menu: softmax regression for AdultCensus, a
+/// small MLP standing in for the "basic CNNs with 2–3 hidden layers" used on
+/// the image datasets, and an oversized network standing in for ResNet-18
+/// (Appendix B shows the method ranking is architecture-independent; the
+/// oversized model merely raises absolute losses).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelSpec {
+    /// Hidden-layer widths, input side first. Empty = softmax regression.
+    pub hidden: Vec<usize>,
+    /// Display name for reports.
+    pub name: &'static str,
+}
+
+impl ModelSpec {
+    /// Plain softmax (multinomial logistic) regression: the AdultCensus
+    /// model ("fully connected network with no hidden layers").
+    pub fn softmax() -> Self {
+        ModelSpec { hidden: vec![], name: "softmax" }
+    }
+
+    /// The image-dataset stand-in: two modest hidden layers.
+    pub fn basic() -> Self {
+        ModelSpec { hidden: vec![32, 16], name: "basic" }
+    }
+
+    /// One-hidden-layer variant (the paper's smallest CNN).
+    pub fn small() -> Self {
+        ModelSpec { hidden: vec![24], name: "small" }
+    }
+
+    /// The ResNet-18 stand-in: deliberately overparameterized for the data
+    /// sizes in play, reproducing Appendix B's higher absolute losses.
+    pub fn deep() -> Self {
+        ModelSpec { hidden: vec![128, 128, 64, 64], name: "deep" }
+    }
+
+    /// Serialized compact representation, e.g. `"mlp[32,16]"`.
+    pub fn repr(&self) -> String {
+        SpecRepr(&self.hidden).to_string()
+    }
+}
+
+mod serde_like {
+    /// Tiny display helper so `repr()` has one obvious format.
+    pub(super) struct SpecRepr<'a>(pub &'a [usize]);
+
+    impl std::fmt::Display for SpecRepr<'_> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            if self.0.is_empty() {
+                return write!(f, "softmax");
+            }
+            write!(f, "mlp[")?;
+            for (i, h) in self.0.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{h}")?;
+            }
+            write!(f, "]")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_spec_has_no_hidden_layers() {
+        assert!(ModelSpec::softmax().hidden.is_empty());
+        assert_eq!(ModelSpec::softmax().repr(), "softmax");
+    }
+
+    #[test]
+    fn deep_is_larger_than_basic() {
+        let deep: usize = ModelSpec::deep().hidden.iter().sum();
+        let basic: usize = ModelSpec::basic().hidden.iter().sum();
+        assert!(deep > 4 * basic);
+    }
+
+    #[test]
+    fn repr_formats_hidden_layers() {
+        assert_eq!(ModelSpec::basic().repr(), "mlp[32,16]");
+    }
+}

@@ -1,0 +1,456 @@
+//! Minibatch training with pluggable update rules, dropout, and optional
+//! early stopping.
+//!
+//! The paper fixes hyperparameters once per dataset by grid search and never
+//! changes them afterwards "for consistent model training"; experiments here
+//! do the same — each dataset harness owns one [`TrainConfig`], and every
+//! run is a deterministic function of `(data, spec, config)`.
+
+use crate::batch::{examples_to_matrix, labels_of};
+use crate::network::Mlp;
+use crate::optimizer::{LrSchedule, OptimizerKind, OptimizerState};
+use crate::spec::ModelSpec;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use st_data::{seeded_rng, Example};
+use st_linalg::{softmax_in_place, Matrix};
+
+/// Hyperparameters for one training run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainConfig {
+    /// Number of passes over the training data.
+    pub epochs: usize,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Base learning rate (scheduled per epoch by `schedule`).
+    pub lr: f64,
+    /// L2 weight-decay coefficient.
+    pub l2: f64,
+    /// Parameter update rule.
+    pub optimizer: OptimizerKind,
+    /// Learning-rate schedule.
+    pub schedule: LrSchedule,
+    /// Dropout probability on hidden activations (0 disables).
+    pub dropout: f64,
+    /// Seed for parameter init, minibatch shuffling, and dropout masks.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 30,
+            batch_size: 32,
+            lr: 0.12,
+            l2: 1e-4,
+            optimizer: OptimizerKind::default_momentum(),
+            schedule: LrSchedule::Exponential { gamma: 0.97 },
+            dropout: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+impl TrainConfig {
+    /// Returns a copy with a different seed (per-trial reseeding).
+    pub fn with_seed(&self, seed: u64) -> Self {
+        TrainConfig { seed, ..self.clone() }
+    }
+
+    /// Returns a copy with a different update rule.
+    pub fn with_optimizer(&self, optimizer: OptimizerKind) -> Self {
+        TrainConfig { optimizer, ..self.clone() }
+    }
+
+    /// Returns a copy with dropout enabled at probability `p`.
+    ///
+    /// # Panics
+    /// Panics unless `0 ≤ p < 1`.
+    pub fn with_dropout(&self, p: f64) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout must be in [0, 1)");
+        TrainConfig { dropout: p, ..self.clone() }
+    }
+}
+
+/// Outcome of [`train_validated`]: the chosen model plus stopping metadata.
+#[derive(Debug, Clone)]
+pub struct TrainOutcome {
+    /// The best model found (by validation loss when early stopping is on,
+    /// otherwise the final model).
+    pub model: Mlp,
+    /// Epochs actually executed.
+    pub epochs_run: usize,
+    /// Validation loss of the returned model (`NaN` without validation).
+    pub best_val_loss: f64,
+}
+
+/// Trains a network of architecture `spec` on a dense batch.
+///
+/// `x` is `n × input_dim`, `y` holds class indices below `num_classes`.
+/// The run is a deterministic function of `(x, y, spec, config)`.
+///
+/// # Panics
+/// Panics if `y.len() != x.rows()` or a label is out of range.
+pub fn train(
+    x: &Matrix,
+    y: &[usize],
+    input_dim: usize,
+    num_classes: usize,
+    spec: &ModelSpec,
+    config: &TrainConfig,
+) -> Mlp {
+    train_validated(x, y, None, input_dim, num_classes, spec, config, None).model
+}
+
+/// [`train`] with an optional validation set and early-stopping patience.
+///
+/// When `validation = Some((vx, vy))` and `patience = Some(p)`, training
+/// stops after `p` consecutive epochs without improving the validation loss
+/// and returns the best model seen. Without patience the validation set is
+/// only used to report `best_val_loss`.
+///
+/// # Panics
+/// Panics on shape/label mismatches (see [`train`]).
+#[allow(clippy::too_many_arguments)]
+pub fn train_validated(
+    x: &Matrix,
+    y: &[usize],
+    validation: Option<(&Matrix, &[usize])>,
+    input_dim: usize,
+    num_classes: usize,
+    spec: &ModelSpec,
+    config: &TrainConfig,
+    patience: Option<usize>,
+) -> TrainOutcome {
+    assert_eq!(x.rows(), y.len(), "feature/label count mismatch");
+    assert!(y.iter().all(|&l| l < num_classes), "label out of range");
+
+    let mut rng = seeded_rng(config.seed);
+    let mut net = Mlp::new(input_dim, &spec.hidden, num_classes, &mut rng);
+    let n = x.rows();
+    if n == 0 {
+        return TrainOutcome { model: net, epochs_run: 0, best_val_loss: f64::NAN };
+    }
+
+    // One optimizer slot per tensor: w then b per layer.
+    let lens: Vec<usize> = net
+        .layers
+        .iter()
+        .flat_map(|l| [l.w.rows() * l.w.cols(), l.b.len()])
+        .collect();
+    let mut opt = OptimizerState::new(config.optimizer, &lens);
+
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut best: Option<(f64, Mlp)> = None;
+    let mut since_best = 0usize;
+    let mut epochs_run = 0usize;
+
+    for epoch in 0..config.epochs {
+        let lr = config.schedule.lr_at(config.lr, epoch);
+        order.shuffle(&mut rng);
+        for chunk in order.chunks(config.batch_size.max(1)) {
+            let bx = Matrix::from_fn(chunk.len(), input_dim, |r, c| x[(chunk[r], c)]);
+            let by: Vec<usize> = chunk.iter().map(|&i| y[i]).collect();
+            opt.next_step();
+            descent_step(&mut net, &bx, &by, lr, config, &mut opt, &mut rng);
+        }
+        epochs_run = epoch + 1;
+
+        if let Some((vx, vy)) = validation {
+            let val = crate::loss::log_loss(&net, vx, vy);
+            let improved = best.as_ref().is_none_or(|(b, _)| val < *b);
+            if improved {
+                best = Some((val, net.clone()));
+                since_best = 0;
+            } else {
+                since_best += 1;
+                if patience.is_some_and(|p| since_best >= p) {
+                    break;
+                }
+            }
+        }
+    }
+
+    match best {
+        Some((loss, model)) if patience.is_some() => {
+            TrainOutcome { model, epochs_run, best_val_loss: loss }
+        }
+        Some((loss, _)) => TrainOutcome { model: net, epochs_run, best_val_loss: loss },
+        None => TrainOutcome { model: net, epochs_run, best_val_loss: f64::NAN },
+    }
+}
+
+/// Forward pass with inverted dropout on hidden activations.
+///
+/// Returns `(activations, logits, masks)`: `activations[0]` is the input and
+/// `activations[i]` (i ≥ 1) the *post-dropout* hidden activation feeding
+/// layer `i`; `masks[i-1]` holds the multiplicative dropout factors (0 or
+/// `1/keep`) for that activation, empty when dropout is off.
+fn forward_train(
+    net: &Mlp,
+    x: &Matrix,
+    dropout: f64,
+    rng: &mut StdRng,
+) -> (Vec<Matrix>, Matrix, Vec<Vec<f64>>) {
+    let mut activations = Vec::with_capacity(net.layers.len());
+    let mut masks = Vec::new();
+    activations.push(x.clone());
+    let mut cur = x.clone();
+    for (i, layer) in net.layers.iter().enumerate() {
+        let mut z = layer.forward(&cur);
+        let is_last = i + 1 == net.layers.len();
+        if !is_last {
+            for v in z.as_mut_slice() {
+                if *v < 0.0 {
+                    *v = 0.0;
+                }
+            }
+            if dropout > 0.0 {
+                let keep = 1.0 - dropout;
+                let mut mask = Vec::with_capacity(z.as_slice().len());
+                for v in z.as_mut_slice() {
+                    let factor = if rng.gen::<f64>() < keep { 1.0 / keep } else { 0.0 };
+                    *v *= factor;
+                    mask.push(factor);
+                }
+                masks.push(mask);
+            } else {
+                masks.push(Vec::new());
+            }
+            activations.push(z.clone());
+        }
+        cur = z;
+    }
+    (activations, cur, masks)
+}
+
+/// One optimizer step on a minibatch (backprop + per-tensor update).
+fn descent_step(
+    net: &mut Mlp,
+    bx: &Matrix,
+    by: &[usize],
+    lr: f64,
+    config: &TrainConfig,
+    opt: &mut OptimizerState,
+    rng: &mut StdRng,
+) {
+    let m = bx.rows();
+    let (activations, logits, masks) = forward_train(net, bx, config.dropout, rng);
+
+    // Softmax cross-entropy gradient on logits: (p - onehot) / m.
+    let mut dz = logits;
+    for r in 0..m {
+        let row = dz.row_mut(r);
+        softmax_in_place(row);
+        row[by[r]] -= 1.0;
+        for v in row.iter_mut() {
+            *v /= m as f64;
+        }
+    }
+
+    // Backward pass, output layer first.
+    for li in (0..net.layers.len()).rev() {
+        let a_in = &activations[li];
+        // grad_w = a_inᵀ · dz ; grad_b = column sums of dz.
+        let grad_w = a_in.transpose().matmul(&dz);
+        let mut grad_b = vec![0.0; dz.cols()];
+        for r in 0..dz.rows() {
+            for (g, &v) in grad_b.iter_mut().zip(dz.row(r)) {
+                *g += v;
+            }
+        }
+
+        // Propagate before mutating this layer's weights.
+        if li > 0 {
+            let mut da = dz.matmul(&net.layers[li].w.transpose());
+            // ReLU mask from the stored post-activation (dropped units have
+            // zero activation, so the same test covers both), plus the
+            // inverted-dropout scale factors.
+            let act = &activations[li];
+            let mask = &masks[li - 1];
+            for (idx, (v, &a)) in
+                da.as_mut_slice().iter_mut().zip(act.as_slice()).enumerate()
+            {
+                if a <= 0.0 {
+                    *v = 0.0;
+                } else if !mask.is_empty() {
+                    *v *= mask[idx];
+                }
+            }
+            dz = da;
+        }
+
+        let layer = &mut net.layers[li];
+        opt.update(2 * li, layer.w.as_mut_slice(), grad_w.as_slice(), lr, config.l2);
+        opt.update(2 * li + 1, &mut layer.b, &grad_b, lr, 0.0);
+    }
+}
+
+/// Convenience wrapper: trains directly on a list of [`Example`]s.
+///
+/// Returns the freshly-initialized network untouched when `examples` is
+/// empty (the caller decides what an untrained model means).
+pub fn train_on_examples(
+    examples: &[Example],
+    input_dim: usize,
+    num_classes: usize,
+    spec: &ModelSpec,
+    config: &TrainConfig,
+) -> Mlp {
+    if examples.is_empty() {
+        let mut rng = seeded_rng(config.seed);
+        return Mlp::new(input_dim, &spec.hidden, num_classes, &mut rng);
+    }
+    let x = examples_to_matrix(examples);
+    let y = labels_of(examples);
+    train(&x, &y, input_dim, num_classes, spec, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::log_loss;
+
+    fn blobs(n_per: usize, centers: &[(f64, f64)], seed: u64) -> (Matrix, Vec<usize>) {
+        let mut rng = seeded_rng(seed);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for (label, &(cx, cy)) in centers.iter().enumerate() {
+            for _ in 0..n_per {
+                rows.push(cx + 0.3 * st_data::normal(&mut rng));
+                rows.push(cy + 0.3 * st_data::normal(&mut rng));
+                labels.push(label);
+            }
+        }
+        (Matrix::from_vec(labels.len(), 2, rows), labels)
+    }
+
+    #[test]
+    fn softmax_learns_linearly_separable_blobs() {
+        let (x, y) = blobs(60, &[(-2.0, 0.0), (2.0, 0.0)], 1);
+        let net = train(&x, &y, 2, 2, &ModelSpec::softmax(), &TrainConfig::default());
+        let loss = log_loss(&net, &x, &y);
+        assert!(loss < 0.1, "loss {loss}");
+    }
+
+    #[test]
+    fn mlp_learns_xor_but_softmax_cannot() {
+        // XOR corners.
+        let (x, y) = {
+            let mut rows = Vec::new();
+            let mut labels = Vec::new();
+            let mut rng = seeded_rng(2);
+            for _ in 0..80 {
+                for (cx, cy, l) in
+                    [(-1.0, -1.0, 0), (1.0, 1.0, 0), (-1.0, 1.0, 1), (1.0, -1.0, 1)]
+                {
+                    rows.push(cx + 0.15 * st_data::normal(&mut rng));
+                    rows.push(cy + 0.15 * st_data::normal(&mut rng));
+                    labels.push(l);
+                }
+            }
+            (Matrix::from_vec(labels.len(), 2, rows), labels)
+        };
+        let cfg = TrainConfig { epochs: 60, lr: 0.2, ..TrainConfig::default() };
+        let mlp = train(&x, &y, 2, 2, &ModelSpec::small(), &cfg);
+        let linear = train(&x, &y, 2, 2, &ModelSpec::softmax(), &cfg);
+        let mlp_loss = log_loss(&mlp, &x, &y);
+        let linear_loss = log_loss(&linear, &x, &y);
+        assert!(mlp_loss < 0.15, "mlp loss {mlp_loss}");
+        assert!(linear_loss > 0.6, "linear loss {linear_loss} should stay near ln 2");
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let (x, y) = blobs(30, &[(-1.0, 1.0), (1.0, -1.0), (0.0, 2.0)], 3);
+        let cfg = TrainConfig::default().with_seed(11);
+        let a = train(&x, &y, 2, 3, &ModelSpec::small(), &cfg);
+        let b = train(&x, &y, 2, 3, &ModelSpec::small(), &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dropout_training_is_deterministic_and_still_learns() {
+        let (x, y) = blobs(60, &[(-2.0, 0.0), (2.0, 0.0)], 13);
+        let cfg = TrainConfig::default().with_dropout(0.3).with_seed(5);
+        let a = train(&x, &y, 2, 2, &ModelSpec::small(), &cfg);
+        let b = train(&x, &y, 2, 2, &ModelSpec::small(), &cfg);
+        assert_eq!(a, b, "dropout masks must derive from the seed");
+        assert!(log_loss(&a, &x, &y) < 0.3, "dropout net should still learn");
+    }
+
+    #[test]
+    fn adam_learns_the_same_task() {
+        let (x, y) = blobs(60, &[(-2.0, 0.0), (2.0, 0.0)], 17);
+        let cfg = TrainConfig {
+            lr: 0.01,
+            optimizer: OptimizerKind::default_adam(),
+            schedule: LrSchedule::Constant,
+            ..TrainConfig::default()
+        };
+        let net = train(&x, &y, 2, 2, &ModelSpec::small(), &cfg);
+        assert!(log_loss(&net, &x, &y) < 0.1);
+    }
+
+    #[test]
+    fn training_beats_initialization() {
+        let (x, y) = blobs(50, &[(-1.5, 0.0), (1.5, 0.0), (0.0, 1.5)], 4);
+        let cfg = TrainConfig::default();
+        let trained = train(&x, &y, 2, 3, &ModelSpec::small(), &cfg);
+        let mut rng = seeded_rng(cfg.seed);
+        let init = Mlp::new(2, &ModelSpec::small().hidden, 3, &mut rng);
+        assert!(log_loss(&trained, &x, &y) < log_loss(&init, &x, &y) * 0.5);
+    }
+
+    #[test]
+    fn early_stopping_halts_before_epoch_budget() {
+        let (x, y) = blobs(40, &[(-3.0, 0.0), (3.0, 0.0)], 6);
+        let (vx, vy) = blobs(40, &[(-3.0, 0.0), (3.0, 0.0)], 7);
+        let cfg = TrainConfig { epochs: 200, ..TrainConfig::default() };
+        let out = train_validated(
+            &x,
+            &y,
+            Some((&vx, &vy)),
+            2,
+            2,
+            &ModelSpec::softmax(),
+            &cfg,
+            Some(5),
+        );
+        assert!(out.epochs_run < 200, "should stop early, ran {}", out.epochs_run);
+        assert!(out.best_val_loss < 0.1);
+        // Returned model must realize the reported validation loss.
+        assert!((log_loss(&out.model, &vx, &vy) - out.best_val_loss).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_without_patience_reports_loss_but_runs_full() {
+        let (x, y) = blobs(30, &[(-2.0, 0.0), (2.0, 0.0)], 8);
+        let cfg = TrainConfig { epochs: 12, ..TrainConfig::default() };
+        let out =
+            train_validated(&x, &y, Some((&x, &y)), 2, 2, &ModelSpec::softmax(), &cfg, None);
+        assert_eq!(out.epochs_run, 12);
+        assert!(out.best_val_loss.is_finite());
+    }
+
+    #[test]
+    fn empty_training_set_returns_init() {
+        let net = train_on_examples(&[], 4, 3, &ModelSpec::softmax(), &TrainConfig::default());
+        assert_eq!(net.input_dim(), 4);
+        assert_eq!(net.num_classes(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn rejects_out_of_range_labels() {
+        let x = Matrix::zeros(1, 2);
+        let _ = train(&x, &[5], 2, 2, &ModelSpec::softmax(), &TrainConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "dropout must be in [0, 1)")]
+    fn rejects_dropout_of_one() {
+        let _ = TrainConfig::default().with_dropout(1.0);
+    }
+}

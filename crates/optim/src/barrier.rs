@@ -1,0 +1,287 @@
+//! Log-barrier interior-point solver for the acquisition program.
+//!
+//! An independent second solver for the same convex program as
+//! [`solve_projected`](crate::solve_projected): Newton's method on the
+//! equality-constrained barrier subproblem
+//!
+//! ```text
+//! min  f_β(d) − μ Σ ln d_i    s.t.  Σ C_i d_i = B
+//! ```
+//!
+//! where `f_β` smooths the unfairness penalty's `max(0, u)` with the
+//! softplus `ln(1 + e^{βu})/β` so second derivatives exist. The objective is
+//! separable, so each Newton KKT system solves in `O(n)` via the Schur
+//! complement of the single budget constraint.
+//!
+//! The paper uses "any off-the-shelf convex optimization solver"; having two
+//! of a different lineage (first-order projected subgradient vs second-order
+//! interior point) lets tests assert they agree, which is the strongest
+//! correctness check available for an optimizer.
+
+use crate::problem::AcquisitionProblem;
+
+/// Options for [`solve_barrier`].
+#[derive(Debug, Clone)]
+pub struct BarrierOptions {
+    /// Softplus sharpness β for the penalty kink (larger = closer to max).
+    pub beta: f64,
+    /// Initial barrier weight μ₀ (scaled internally by `B/n`).
+    pub mu0: f64,
+    /// Multiplicative μ reduction per outer iteration.
+    pub mu_shrink: f64,
+    /// Stop once μ falls below this.
+    pub mu_min: f64,
+    /// Newton steps per μ value.
+    pub newton_steps: usize,
+}
+
+impl Default for BarrierOptions {
+    fn default() -> Self {
+        BarrierOptions { beta: 64.0, mu0: 1.0, mu_shrink: 0.25, mu_min: 1e-9, newton_steps: 30 }
+    }
+}
+
+/// Numerically-stable logistic sigmoid.
+fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Gradient and Hessian diagonal of the smoothed objective at `d`.
+fn smoothed_derivatives(p: &AcquisitionProblem, d: &[f64], beta: f64) -> (Vec<f64>, Vec<f64>) {
+    let a_const = p.avg_loss();
+    let n = p.n();
+    let mut grad = vec![0.0; n];
+    let mut hess = vec![0.0; n];
+    for i in 0..n {
+        let x = p.sizes[i] + d[i];
+        let l = p.curves[i].eval(x);
+        let l1 = p.curves[i].slope(x);
+        let l2 = p.curves[i].curvature(x);
+        let u = l / a_const - 1.0;
+        let s = sigmoid(beta * u);
+        // f = l + λ softplus_β(u); u' = l'/A, u'' = l''/A.
+        grad[i] = l1 + p.lambda * s * l1 / a_const;
+        hess[i] = l2
+            + p.lambda
+                * (beta * s * (1.0 - s) * (l1 / a_const).powi(2) + s * l2 / a_const);
+    }
+    (grad, hess)
+}
+
+/// Solves the acquisition program by a log-barrier interior-point method.
+///
+/// Returns the continuous allocation `d ≥ 0` with `Σ C_i d_i = B`. A zero
+/// budget returns all zeros.
+pub fn solve_barrier(p: &AcquisitionProblem, opts: &BarrierOptions) -> Vec<f64> {
+    let n = p.n();
+    if p.budget <= 0.0 {
+        return vec![0.0; n];
+    }
+
+    // Strictly-interior feasible start: equal spend per slice.
+    let mut d: Vec<f64> = p.costs.iter().map(|&c| p.budget / (n as f64 * c)).collect();
+    let scale = p.budget / n as f64;
+    let mut mu = opts.mu0 * scale;
+
+    while mu > opts.mu_min * scale {
+        for _ in 0..opts.newton_steps {
+            let (mut grad, mut hess) = smoothed_derivatives(p, &d, opts.beta);
+            for i in 0..n {
+                grad[i] -= mu / d[i];
+                hess[i] += mu / (d[i] * d[i]);
+                // The smoothed objective is convex but floating point can
+                // produce ~0 curvature on saturated slices.
+                hess[i] = hess[i].max(1e-18);
+            }
+            // KKT system for the equality constraint cᵀd = B:
+            //   [H  c][δ]   [-g]
+            //   [cᵀ 0][ν] = [ 0 ]   (we are already on the hyperplane)
+            // With diagonal H: δ = -H⁻¹(g + ν c), ν = -(cᵀH⁻¹g)/(cᵀH⁻¹c).
+            let mut chg = 0.0; // cᵀ H⁻¹ g
+            let mut chc = 0.0; // cᵀ H⁻¹ c
+            for i in 0..n {
+                chg += p.costs[i] * grad[i] / hess[i];
+                chc += p.costs[i] * p.costs[i] / hess[i];
+            }
+            let nu = -chg / chc;
+            let delta: Vec<f64> =
+                (0..n).map(|i| -(grad[i] + nu * p.costs[i]) / hess[i]).collect();
+
+            // Backtracking line search keeping d strictly positive.
+            let mut t: f64 = 1.0;
+            for i in 0..n {
+                if delta[i] < 0.0 {
+                    t = t.min(-0.95 * d[i] / delta[i]);
+                }
+            }
+            let obj = |d: &[f64]| -> f64 {
+                let mut v = p.objective(d);
+                for &x in d {
+                    v -= mu * x.max(1e-300).ln();
+                }
+                v
+            };
+            let f0 = obj(&d);
+            let mut accepted = false;
+            while t > 1e-12 {
+                let cand: Vec<f64> =
+                    d.iter().zip(&delta).map(|(x, dx)| x + t * dx).collect();
+                if cand.iter().all(|&x| x > 0.0) && obj(&cand) <= f0 {
+                    d = cand;
+                    accepted = true;
+                    break;
+                }
+                t *= 0.5;
+            }
+            if !accepted {
+                break; // Newton stalled at this μ; shrink the barrier
+            }
+            let newton_decrement: f64 =
+                delta.iter().zip(&hess).map(|(dx, h)| dx * dx * h).sum();
+            if newton_decrement < 1e-16 {
+                break;
+            }
+        }
+        mu *= opts.mu_shrink;
+    }
+
+    // Clean tiny barrier residue and restore exact feasibility.
+    for x in &mut d {
+        if *x < 1e-9 {
+            *x = 0.0;
+        }
+    }
+    let spent = p.total_cost(&d);
+    if spent > 0.0 {
+        let r = p.budget / spent;
+        for x in &mut d {
+            *x *= r;
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::{solve_kkt, solve_projected, SolverOptions};
+    use st_curve::PowerLaw;
+
+    fn problem(lambda: f64) -> AcquisitionProblem {
+        AcquisitionProblem::new(
+            vec![
+                PowerLaw::new(5.0, 0.5),
+                PowerLaw::new(3.0, 0.1),
+                PowerLaw::new(4.0, 0.3),
+            ],
+            vec![100.0, 150.0, 80.0],
+            vec![1.0, 1.2, 1.5],
+            300.0,
+            lambda,
+        )
+    }
+
+    #[test]
+    fn solution_is_feasible() {
+        for lambda in [0.0, 0.1, 1.0, 10.0] {
+            let p = problem(lambda);
+            let d = solve_barrier(&p, &BarrierOptions::default());
+            assert!(p.is_feasible(&d, 1e-6), "λ={lambda}: {d:?}");
+        }
+    }
+
+    #[test]
+    fn agrees_with_kkt_at_lambda_zero() {
+        let p = problem(0.0);
+        let barrier = solve_barrier(&p, &BarrierOptions::default());
+        let kkt = solve_kkt(&p);
+        for i in 0..p.n() {
+            assert!(
+                (barrier[i] - kkt[i]).abs() < 2.0,
+                "slice {i}: barrier {} vs kkt {}",
+                barrier[i],
+                kkt[i]
+            );
+        }
+        // Objectives must agree much more tightly than the iterates.
+        assert!((p.objective(&barrier) - p.objective(&kkt)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn agrees_with_projected_subgradient_for_positive_lambda() {
+        for lambda in [0.1, 1.0, 10.0] {
+            let p = problem(lambda);
+            let barrier = solve_barrier(&p, &BarrierOptions::default());
+            let projected = solve_projected(&p, &SolverOptions::default());
+            let ob = p.objective(&barrier);
+            let op = p.objective(&projected);
+            // Two independent solvers: neither may be meaningfully better.
+            assert!(
+                (ob - op).abs() < 5e-3 * op.abs().max(1.0),
+                "λ={lambda}: barrier {ob} vs projected {op}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_budget_returns_zero() {
+        let mut p = problem(1.0);
+        p.budget = 0.0;
+        assert_eq!(solve_barrier(&p, &BarrierOptions::default()), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn flat_slice_gets_less_than_steep_slice() {
+        // Same size, same cost, same *current loss* (b chosen to equalize at
+        // n = 100); slice 0 decays much faster, so its marginal benefit is
+        // larger and it must receive more budget.
+        let b0 = 100.0_f64.powf(0.6);
+        let b1 = 100.0_f64.powf(0.05);
+        let p = AcquisitionProblem::new(
+            vec![PowerLaw::new(b0, 0.6), PowerLaw::new(b1, 0.05)],
+            vec![100.0, 100.0],
+            vec![1.0, 1.0],
+            200.0,
+            0.0,
+        );
+        let d = solve_barrier(&p, &BarrierOptions::default());
+        assert!(d[0] > d[1], "steep slice should receive more: {d:?}");
+    }
+
+    #[test]
+    fn beats_uniform_allocation() {
+        let p = problem(1.0);
+        let d = solve_barrier(&p, &BarrierOptions::default());
+        let per = p.budget / p.costs.iter().sum::<f64>();
+        let uniform = vec![per; 3];
+        assert!(p.objective(&d) <= p.objective(&uniform) + 1e-9);
+    }
+
+    #[test]
+    fn respects_cost_asymmetry() {
+        // Identical curves and sizes, very different costs: the expensive
+        // slice must receive fewer examples.
+        let p = AcquisitionProblem::new(
+            vec![PowerLaw::new(4.0, 0.4), PowerLaw::new(4.0, 0.4)],
+            vec![50.0, 50.0],
+            vec![1.0, 5.0],
+            120.0,
+            0.0,
+        );
+        let d = solve_barrier(&p, &BarrierOptions::default());
+        assert!(d[0] > d[1], "{d:?}");
+    }
+
+    #[test]
+    fn solver_is_deterministic() {
+        let p = problem(1.0);
+        let a = solve_barrier(&p, &BarrierOptions::default());
+        let b = solve_barrier(&p, &BarrierOptions::default());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,105 @@
+//! Algorithm 1's `GetChangeRatio`: scale back an acquisition so the
+//! imbalance-ratio change stays within the iteration limit `T`.
+
+/// Imbalance ratio of a (possibly fractional) size vector.
+fn imbalance(sizes: &[f64]) -> f64 {
+    let max = sizes.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let min = sizes.iter().cloned().fold(f64::INFINITY, f64::min);
+    if min <= 0.0 {
+        if max <= 0.0 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        max / min
+    }
+}
+
+/// Finds the scale `x ∈ [0, 1]` such that the imbalance ratio of
+/// `sizes + x·add` equals `target_ratio` (Algorithm 1, step 13).
+///
+/// The caller invokes this when applying the full acquisition (`x = 1`)
+/// would move the imbalance ratio past the limit; the returned `x` is the
+/// largest scale that keeps the ratio at the target. Solved by bisection on
+/// the deviation `|IR(x) − IR(0)|`, which starts below the limit at `x = 0`
+/// and exceeds it at `x = 1`.
+///
+/// Returns `1.0` when even the full acquisition stays within the target
+/// (nothing to scale back).
+///
+/// # Panics
+/// Panics on length mismatch or empty input.
+pub fn change_ratio(sizes: &[f64], add: &[f64], target_ratio: f64) -> f64 {
+    assert_eq!(sizes.len(), add.len(), "length mismatch");
+    assert!(!sizes.is_empty(), "need at least one slice");
+
+    let ir0 = imbalance(sizes);
+    let dev = |x: f64| -> f64 {
+        let s: Vec<f64> = sizes.iter().zip(add).map(|(&s, &a)| s + x * a).collect();
+        (imbalance(&s) - ir0).abs()
+    };
+    let limit = (target_ratio - ir0).abs();
+    if dev(1.0) <= limit {
+        return 1.0;
+    }
+
+    let (mut lo, mut hi) = (0.0_f64, 1.0_f64);
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if dev(mid) <= limit {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_worked_example() {
+        // Section 5.2: sizes [10, 10], proposal [10, 40], T = 1 ⇒ target
+        // ratio 2; solution x = 0.5 (sizes become [15, 30]).
+        let x = change_ratio(&[10.0, 10.0], &[10.0, 40.0], 2.0);
+        assert!((x - 0.5).abs() < 1e-6, "x = {x}");
+        let after = [(10.0 + 10.0 * x), (10.0 + 40.0 * x)];
+        assert!((imbalance(&after) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn full_scale_when_within_limit() {
+        let x = change_ratio(&[100.0, 100.0], &[10.0, 20.0], 2.0);
+        assert_eq!(x, 1.0);
+    }
+
+    #[test]
+    fn decreasing_ratio_direction() {
+        // Acquisition that *reduces* imbalance past the limit: sizes [10,40]
+        // (IR 4), proposal adds 90 to the small slice only; at x=1 IR = 0.4→
+        // ratio max/min = 100/40 = 2.5, change |2.5-4| = 1.5 > T=1 ⇒ target 3.
+        let x = change_ratio(&[10.0, 40.0], &[90.0, 0.0], 3.0);
+        let after = [10.0 + 90.0 * x, 40.0];
+        assert!((imbalance(&after) - 3.0).abs() < 1e-4, "x={x} after={after:?}");
+    }
+
+    #[test]
+    fn result_respects_limit() {
+        let sizes = [50.0, 120.0, 200.0, 80.0];
+        let add = [500.0, 0.0, 300.0, 20.0];
+        let ir0 = imbalance(&sizes);
+        let target = ir0 + 1.0;
+        let x = change_ratio(&sizes, &add, target);
+        let after: Vec<f64> = sizes.iter().zip(&add).map(|(&s, &a)| s + x * a).collect();
+        assert!((imbalance(&after) - ir0).abs() <= 1.0 + 1e-6);
+        assert!(x > 0.0 && x < 1.0);
+    }
+
+    #[test]
+    fn zero_add_is_full_scale() {
+        assert_eq!(change_ratio(&[10.0, 20.0], &[0.0, 0.0], 3.0), 1.0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Euclidean projection onto the budget polytope.
+//!
+//! The feasible set of the acquisition program is the weighted simplex
+//! `{d : d ≥ 0, Σ c_i d_i = B}`. The projected-subgradient solver needs the
+//! Euclidean projection onto it, which has the closed form
+//! `d_i = max(0, y_i − θ c_i)` for the unique multiplier `θ` satisfying the
+//! budget; `θ` is found by bisection on the monotone residual.
+
+/// Projects `y` onto `{d ≥ 0, Σ c_i d_i = budget}`.
+///
+/// # Panics
+/// Panics on length mismatch, non-positive costs, or negative budget.
+pub fn project_weighted_simplex(y: &[f64], costs: &[f64], budget: f64) -> Vec<f64> {
+    assert_eq!(y.len(), costs.len(), "length mismatch");
+    assert!(costs.iter().all(|&c| c > 0.0), "costs must be positive");
+    assert!(budget >= 0.0, "budget must be non-negative");
+    if y.is_empty() {
+        return Vec::new();
+    }
+
+    // g(θ) = Σ c_i max(0, y_i − θ c_i) is continuous, non-increasing,
+    // piecewise linear. We need g(θ*) = budget.
+    let g = |theta: f64| -> f64 {
+        y.iter().zip(costs).map(|(&yi, &ci)| ci * (yi - theta * ci).max(0.0)).sum()
+    };
+
+    // Lower bound: with every coordinate active, g is linear:
+    // g_lin(θ) = Σ c_i y_i − θ Σ c_i², and g ≥ g_lin pointwise, so the
+    // linear solution is a valid lower bracket.
+    let cy: f64 = y.iter().zip(costs).map(|(&yi, &ci)| ci * yi).sum();
+    let cc: f64 = costs.iter().map(|&c| c * c).sum();
+    let mut lo = (cy - budget) / cc;
+    // Upper bound: θ ≥ max(y_i / c_i) zeroes every coordinate, g = 0 ≤ B.
+    let mut hi = y
+        .iter()
+        .zip(costs)
+        .map(|(&yi, &ci)| yi / ci)
+        .fold(f64::NEG_INFINITY, f64::max)
+        .max(lo);
+
+    debug_assert!(g(lo) >= budget - 1e-9 * budget.max(1.0));
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if g(mid) > budget {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if hi - lo < 1e-14 * (1.0 + hi.abs()) {
+            break;
+        }
+    }
+    let theta = 0.5 * (lo + hi);
+    y.iter().zip(costs).map(|(&yi, &ci)| (yi - theta * ci).max(0.0)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn total(d: &[f64], c: &[f64]) -> f64 {
+        d.iter().zip(c).map(|(x, w)| x * w).sum()
+    }
+
+    #[test]
+    fn feasible_point_is_fixed() {
+        let c = vec![1.0, 1.0];
+        let y = vec![30.0, 70.0];
+        let d = project_weighted_simplex(&y, &c, 100.0);
+        assert!((d[0] - 30.0).abs() < 1e-9);
+        assert!((d[1] - 70.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn projection_is_feasible() {
+        let c = vec![1.0, 2.0, 0.5];
+        let y = vec![10.0, -5.0, 40.0];
+        let d = project_weighted_simplex(&y, &c, 25.0);
+        assert!(d.iter().all(|&x| x >= 0.0));
+        assert!((total(&d, &c) - 25.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn unit_costs_match_standard_simplex() {
+        // Classic example: project (1.5, 0.5) onto sum = 1 simplex → (1, 0).
+        let d = project_weighted_simplex(&[1.5, 0.5], &[1.0, 1.0], 1.0);
+        assert!((d[0] - 1.0).abs() < 1e-9, "{d:?}");
+        assert!(d[1].abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_input_clamps_to_zero() {
+        let d = project_weighted_simplex(&[-10.0, -10.0], &[1.0, 1.0], 6.0);
+        assert!((d[0] - 3.0).abs() < 1e-8);
+        assert!((d[1] - 3.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn projection_minimizes_distance() {
+        // Compare against a dense grid search on 2 slices.
+        let c = vec![1.0, 3.0];
+        let y = vec![4.0, 1.0];
+        let b = 9.0;
+        let p = project_weighted_simplex(&y, &c, b);
+        let dist =
+            |d: &[f64]| (d[0] - y[0]).powi(2) + (d[1] - y[1]).powi(2);
+        let best_grid = (0..=9000)
+            .map(|i| {
+                let d0 = i as f64 / 1000.0;
+                let d1 = (b - d0 * c[0]) / c[1];
+                if d1 < 0.0 {
+                    f64::INFINITY
+                } else {
+                    dist(&[d0, d1])
+                }
+            })
+            .fold(f64::INFINITY, f64::min);
+        assert!(dist(&p) <= best_grid + 1e-4, "proj {} grid {}", dist(&p), best_grid);
+    }
+
+    #[test]
+    fn zero_budget_gives_zero_vector() {
+        let d = project_weighted_simplex(&[5.0, 5.0], &[1.0, 1.0], 0.0);
+        assert!(d.iter().all(|&x| x.abs() < 1e-9));
+    }
+
+    #[test]
+    fn heterogeneous_costs_shift_allocation() {
+        // Equal desires, but slice 1 is 3x as expensive: the projection
+        // penalizes it harder (θ c_i subtraction grows with c_i).
+        let d = project_weighted_simplex(&[10.0, 10.0], &[1.0, 3.0], 10.0);
+        assert!(d[0] > d[1]);
+        assert!((total(&d, &[1.0, 3.0]) - 10.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(project_weighted_simplex(&[], &[], 0.0).is_empty());
+    }
+}

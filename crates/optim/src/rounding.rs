@@ -1,0 +1,82 @@
+//! Integer rounding of continuous allocations under the budget.
+
+/// Rounds a continuous allocation down to whole examples, then greedily
+/// spends the leftover budget on the largest fractional remainders (ties
+/// toward cheaper slices), never exceeding `budget`.
+///
+/// # Panics
+/// Panics on length mismatch or non-positive costs.
+pub fn round_to_budget(d: &[f64], costs: &[f64], budget: f64) -> Vec<usize> {
+    assert_eq!(d.len(), costs.len(), "length mismatch");
+    assert!(costs.iter().all(|&c| c > 0.0), "costs must be positive");
+
+    let mut out: Vec<usize> = d.iter().map(|&x| x.max(0.0).floor() as usize).collect();
+    let mut spent: f64 = out.iter().zip(costs).map(|(&n, &c)| n as f64 * c).sum();
+
+    // Largest-remainder greedy top-up.
+    let mut order: Vec<usize> = (0..d.len()).collect();
+    order.sort_by(|&i, &j| {
+        let fi = d[i].max(0.0).fract();
+        let fj = d[j].max(0.0).fract();
+        fj.partial_cmp(&fi).unwrap().then_with(|| costs[i].partial_cmp(&costs[j]).unwrap())
+    });
+    for &i in &order {
+        if d[i].max(0.0).fract() > 0.0 && spent + costs[i] <= budget + 1e-9 {
+            out[i] += 1;
+            spent += costs[i];
+        }
+    }
+    out
+}
+
+/// Total cost of an integer allocation.
+pub fn cost_of(counts: &[usize], costs: &[f64]) -> f64 {
+    counts.iter().zip(costs).map(|(&n, &c)| n as f64 * c).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_integers_pass_through() {
+        let d = round_to_budget(&[10.0, 20.0], &[1.0, 1.0], 30.0);
+        assert_eq!(d, vec![10, 20]);
+    }
+
+    #[test]
+    fn never_exceeds_budget() {
+        let d = round_to_budget(&[10.7, 20.9, 5.4], &[1.0, 1.5, 2.0], 10.7 + 1.5 * 20.9 + 2.0 * 5.4);
+        let total = cost_of(&d, &[1.0, 1.5, 2.0]);
+        assert!(total <= 10.7 + 1.5 * 20.9 + 2.0 * 5.4 + 1e-9, "spent {total}");
+    }
+
+    #[test]
+    fn tops_up_largest_remainder_first() {
+        // Budget 8.5 lets exactly one extra unit through; 0.9 beats 0.2.
+        let d = round_to_budget(&[3.2, 4.9], &[1.0, 1.0], 8.5);
+        assert_eq!(d, vec![3, 5]);
+        // Budget 9 fits both top-ups.
+        let d = round_to_budget(&[3.2, 4.9], &[1.0, 1.0], 9.0);
+        assert_eq!(d, vec![4, 5]);
+    }
+
+    #[test]
+    fn negative_amounts_clamp_to_zero() {
+        let d = round_to_budget(&[-5.0, 4.0], &[1.0, 1.0], 4.0);
+        assert_eq!(d, vec![0, 4]);
+    }
+
+    #[test]
+    fn fractional_costs_respected() {
+        // Remainders both 0.5; cheaper slice (index 1) gets the top-up when
+        // the budget only fits one.
+        let d = round_to_budget(&[2.5, 2.5], &[2.0, 1.0], 2.0 * 2.0 + 1.0 * 2.0 + 1.0);
+        assert_eq!(d, vec![2, 3]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(round_to_budget(&[], &[], 5.0).is_empty());
+    }
+}

@@ -1,0 +1,205 @@
+//! Property-based tests for the acquisition optimizer.
+
+use proptest::prelude::*;
+use st_curve::PowerLaw;
+use st_optim::{
+    change_ratio, project_weighted_simplex, round_to_budget, solve_kkt, solve_projected,
+    AcquisitionProblem, SolverOptions,
+};
+
+fn arb_problem(lambda: f64) -> impl Strategy<Value = AcquisitionProblem> {
+    (2usize..6).prop_flat_map(move |n| {
+        (
+            prop::collection::vec((0.3f64..5.0, 0.05f64..1.0), n..=n),
+            prop::collection::vec(20.0f64..400.0, n..=n),
+            prop::collection::vec(0.5f64..2.0, n..=n),
+            50.0f64..2000.0,
+        )
+            .prop_map(move |(ba, sizes, costs, budget)| {
+                let curves = ba.into_iter().map(|(b, a)| PowerLaw::new(b, a)).collect();
+                AcquisitionProblem::new(curves, sizes, costs, budget, lambda)
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn projection_always_feasible(
+        y in prop::collection::vec(-100.0f64..100.0, 1..8),
+        budget in 0.0f64..500.0,
+    ) {
+        let costs: Vec<f64> = (0..y.len()).map(|i| 0.5 + (i % 3) as f64 * 0.5).collect();
+        let d = project_weighted_simplex(&y, &costs, budget);
+        prop_assert!(d.iter().all(|&x| x >= 0.0));
+        let total: f64 = d.iter().zip(&costs).map(|(x, c)| x * c).sum();
+        prop_assert!((total - budget).abs() < 1e-6 * budget.max(1.0), "{total} vs {budget}");
+    }
+
+    #[test]
+    fn projection_is_idempotent(
+        y in prop::collection::vec(-50.0f64..50.0, 2..6),
+        budget in 1.0f64..200.0,
+    ) {
+        let costs = vec![1.0; y.len()];
+        let once = project_weighted_simplex(&y, &costs, budget);
+        let twice = project_weighted_simplex(&once, &costs, budget);
+        for (a, b) in once.iter().zip(&twice) {
+            prop_assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn projected_solver_feasible_and_no_worse_than_uniform(p in arb_problem(1.0)) {
+        let d = solve_projected(&p, &SolverOptions::default());
+        prop_assert!(p.is_feasible(&d, 1e-5), "{d:?}");
+        let per = p.budget / p.costs.iter().sum::<f64>();
+        let uniform = vec![per; p.n()];
+        prop_assert!(p.objective(&d) <= p.objective(&uniform) + 1e-7);
+    }
+
+    #[test]
+    fn kkt_and_projected_agree_at_lambda_zero(p in arb_problem(0.0)) {
+        let kkt = solve_kkt(&p);
+        let pg = solve_projected(&p, &SolverOptions::default());
+        prop_assert!(p.is_feasible(&kkt, 1e-5));
+        let (ok, op) = (p.objective(&kkt), p.objective(&pg));
+        // Both convex solvers must land on the same optimum value.
+        prop_assert!((ok - op).abs() <= 5e-3 * ok.max(1e-9), "kkt {ok} vs pg {op}");
+        // And the KKT solution is never beaten (it is closed-form optimal).
+        prop_assert!(ok <= op + 5e-3 * ok.max(1e-9));
+    }
+
+    #[test]
+    fn more_budget_never_hurts(p in arb_problem(0.0)) {
+        let small = solve_kkt(&p);
+        let mut bigger = p.clone();
+        bigger.budget *= 2.0;
+        let large = solve_kkt(&bigger);
+        prop_assert!(bigger.objective(&large) <= p.objective(&small) + 1e-9);
+    }
+
+    #[test]
+    fn rounding_stays_within_budget(
+        d in prop::collection::vec(0.0f64..300.0, 1..8),
+        extra in 0.0f64..10.0,
+    ) {
+        let costs: Vec<f64> = (0..d.len()).map(|i| 1.0 + (i % 4) as f64 * 0.25).collect();
+        let budget: f64 = d.iter().zip(&costs).map(|(x, c)| x * c).sum::<f64>() + extra;
+        let counts = round_to_budget(&d, &costs, budget);
+        let spent: f64 = counts.iter().zip(&costs).map(|(&n, &c)| n as f64 * c).sum();
+        prop_assert!(spent <= budget + 1e-6);
+        // Never rounds down by more than one whole example per slice.
+        for (&n, &x) in counts.iter().zip(&d) {
+            prop_assert!(n as f64 >= x.floor());
+            prop_assert!(n as f64 <= x.ceil());
+        }
+    }
+
+    #[test]
+    fn change_ratio_keeps_limit(
+        sizes in prop::collection::vec(10.0f64..300.0, 2..6),
+        adds_seed in 0u64..1000,
+        t in 0.2f64..3.0,
+    ) {
+        let add: Vec<f64> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, _)| ((adds_seed as usize + i * 131) % 500) as f64)
+            .collect();
+        let ir = |s: &[f64]| {
+            s.iter().cloned().fold(f64::MIN, f64::max) / s.iter().cloned().fold(f64::MAX, f64::min)
+        };
+        let ir0 = ir(&sizes);
+        let after_full: Vec<f64> = sizes.iter().zip(&add).map(|(s, a)| s + a).collect();
+        let target = ir0 + t * (ir(&after_full) - ir0).signum();
+        let x = change_ratio(&sizes, &add, target);
+        prop_assert!((0.0..=1.0).contains(&x));
+        let after: Vec<f64> = sizes.iter().zip(&add).map(|(s, a)| s + x * a).collect();
+        prop_assert!((ir(&after) - ir0).abs() <= t + 1e-4, "x={x}");
+    }
+
+    #[test]
+    fn objective_monotone_in_lambda(p in arb_problem(0.0), lambda in 0.1f64..5.0) {
+        // With any fixed allocation, the objective grows with λ whenever a
+        // slice sits above average (penalty ≥ 0 pointwise).
+        let per = p.budget / p.costs.iter().sum::<f64>();
+        let d = vec![per; p.n()];
+        let with = AcquisitionProblem { lambda, ..p.clone() };
+        prop_assert!(with.objective(&d) >= p.objective(&d) - 1e-12);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn barrier_solver_feasible_and_agrees_with_projected(p in arb_problem(1.0)) {
+        let bar = st_optim::solve_barrier(&p, &st_optim::BarrierOptions::default());
+        prop_assert!(p.is_feasible(&bar, 1e-5), "{bar:?}");
+        let proj = solve_projected(&p, &SolverOptions::default());
+        let (fb, fp) = (p.objective(&bar), p.objective(&proj));
+        // Independent solvers: neither may be meaningfully better.
+        prop_assert!((fb - fp).abs() <= 1e-2 * fb.abs().max(1.0), "barrier {fb} vs proj {fp}");
+    }
+
+    #[test]
+    fn barrier_matches_kkt_closed_form_at_lambda_zero(p in arb_problem(0.0)) {
+        let bar = st_optim::solve_barrier(&p, &st_optim::BarrierOptions::default());
+        let kkt = solve_kkt(&p);
+        let (fb, fk) = (p.objective(&bar), p.objective(&kkt));
+        prop_assert!(fb <= fk + 5e-3 * fk.max(1e-9), "barrier {fb} worse than kkt {fk}");
+        prop_assert!(fk <= fb + 5e-3 * fb.max(1e-9), "kkt {fk} worse than barrier {fb}");
+    }
+
+    #[test]
+    fn sensitivity_marginal_value_is_nonpositive(p in arb_problem(1.0)) {
+        let rep = st_optim::budget_sensitivity(&p, &st_optim::BarrierOptions::default());
+        prop_assert!(rep.marginal_value <= 1e-9, "extra budget cannot hurt: {}", rep.marginal_value);
+        prop_assert_eq!(rep.allocation.len(), p.n());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn overlap_identity_matches_partition_solver(p in arb_problem(1.0)) {
+        let ov = st_optim::OverlapProblem::from_partition(&p);
+        let d_ov = st_optim::solve_overlap(&ov, &SolverOptions::default());
+        let d_p = solve_projected(&p, &SolverOptions::default());
+        let (fo, fp) = (p.objective(&d_ov), p.objective(&d_p));
+        prop_assert!((fo - fp).abs() <= 1e-4 * fp.abs().max(1.0), "{fo} vs {fp}");
+    }
+
+    #[test]
+    fn overlap_solution_feasible_and_beats_uniform(
+        p in arb_problem(1.0),
+        share in 0usize..3,
+    ) {
+        // Random overlap: add one shared atom that belongs to every slice.
+        let n = p.n();
+        let m = n + 1;
+        let mut membership: Vec<Vec<bool>> =
+            (0..n).map(|i| (0..m).map(|j| j == i).collect()).collect();
+        for row in membership.iter_mut() {
+            row[n] = true; // the shared atom
+        }
+        let mut atom_costs = p.costs.clone();
+        atom_costs.push(0.8 + share as f64 * 0.6);
+        let ov = st_optim::OverlapProblem::new(
+            p.curves.clone(),
+            p.sizes.clone(),
+            membership,
+            atom_costs.clone(),
+            p.budget,
+            p.lambda,
+        );
+        let d = st_optim::solve_overlap(&ov, &SolverOptions::default());
+        prop_assert!(ov.is_feasible(&d, 1e-5), "{d:?}");
+        let per = ov.budget / atom_costs.iter().sum::<f64>();
+        let uniform = vec![per; m];
+        prop_assert!(ov.objective(&d) <= ov.objective(&uniform) + 1e-7);
+    }
+}

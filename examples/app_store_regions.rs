@@ -1,0 +1,88 @@
+//! The paper's motivating scenario (Figure 1): an online app store with
+//! customer slices per region, where American data is abundant and the other
+//! regions are under-represented.
+//!
+//! ```sh
+//! cargo run --release --example app_store_regions
+//! ```
+//!
+//! Builds a five-region dataset with a heavily skewed size distribution,
+//! then compares what each strategy does with the same budget — showing
+//! that Slice Tuner acquires (possibly different) amounts only where they
+//! help, instead of "more American data".
+
+use slice_tuner::{PoolSource, SliceTuner, Strategy, TSchedule, TunerConfig};
+use st_data::{
+    DatasetFamily, GaussianSliceModel, LabelCluster, SliceSpec, SlicedDataset,
+};
+use st_models::ModelSpec;
+
+/// Builds the Figure 1 world: five regional slices, binary purchase label,
+/// regions differ in both difficulty and starting size.
+fn app_store_family() -> DatasetFamily {
+    let dim = 12;
+    let regions: [(&str, f64); 5] = [
+        ("America", 0.9),      // abundant, easy
+        ("Europe", 1.1),
+        ("APAC", 1.25),
+        ("Africa", 1.4),       // scarce, hard
+        ("Middle-East", 1.3),
+    ];
+    let centers = |seed: u64| -> Vec<Vec<f64>> {
+        // Two class directions per region, offset per region.
+        let mut rng = st_data::seeded_rng(seed);
+        (0..12).map(|_| (0..dim).map(|_| st_data::normal(&mut rng)).collect()).collect()
+    };
+    let base = centers(0xA99);
+    let slices = regions
+        .iter()
+        .enumerate()
+        .map(|(i, (name, sigma))| {
+            let mk = |label: usize| -> Vec<f64> {
+                base[label].iter().zip(&base[2 + i]).map(|(c, o)| c + 0.8 * o).collect()
+            };
+            let neg = LabelCluster::new(0, 0.6, mk(0), *sigma);
+            let pos = LabelCluster::new(1, 0.4, mk(1), *sigma);
+            SliceSpec::new(*name, 1.0, GaussianSliceModel::new(vec![neg, pos], 0.04))
+        })
+        .collect();
+    DatasetFamily::new("app-store", dim, 2, slices)
+}
+
+fn main() {
+    let family = app_store_family();
+    // Figure 1's skew: America dwarfs everyone else.
+    let initial_sizes = [1200, 300, 220, 90, 140];
+    let budget = 1000.0;
+    println!("regions: {:?}", family.slice_names());
+    println!("initial sizes: {initial_sizes:?}  budget: {budget}\n");
+
+    for strategy in [
+        Strategy::Uniform,
+        Strategy::WaterFilling,
+        Strategy::Iterative(TSchedule::moderate()),
+    ] {
+        let dataset = SlicedDataset::generate(&family, &initial_sizes, 300, 7);
+        let mut pool = PoolSource::new(family.clone(), 7);
+        let config = TunerConfig::new(ModelSpec::softmax()).with_seed(7);
+        let mut tuner = SliceTuner::new(dataset, &mut pool, config);
+        let result = tuner.run(strategy, budget);
+
+        println!("== {} ==", strategy.name());
+        for (name, &got) in family.slice_names().iter().zip(&result.acquired) {
+            println!("  {name:<12} +{got}");
+        }
+        println!(
+            "  loss {:.4} -> {:.4}   avg EER {:.4} -> {:.4}\n",
+            result.original.overall_loss,
+            result.report.overall_loss,
+            result.original.avg_eer,
+            result.report.avg_eer
+        );
+    }
+    println!(
+        "Note how the baselines either dump budget on America (Uniform) or \n\
+         blindly level sizes (Water filling), while Slice Tuner routes data \n\
+         to the regions whose learning curves say it pays off."
+    );
+}

@@ -1,0 +1,49 @@
+//! Quickstart: tune a four-slice dataset with one budget.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Generates the AdultCensus-analog dataset (four demographic slices with
+//! unequal starting sizes), runs the Moderate iterative strategy with a
+//! budget of 500, and prints where the budget went and how loss/unfairness
+//! moved.
+
+use slice_tuner::{PoolSource, SliceTuner, Strategy, TSchedule, TunerConfig};
+use st_data::{families, SlicedDataset};
+use st_models::ModelSpec;
+
+fn main() {
+    // 1. A sliced dataset: four census slices with biased initial sizes.
+    let family = families::census();
+    let initial_sizes = [40, 160, 80, 200];
+    let dataset = SlicedDataset::generate(&family, &initial_sizes, 300, 42);
+    println!("slices: {:?}", family.slice_names());
+    println!("initial sizes: {initial_sizes:?}");
+
+    // 2. An acquisition source (here: the family's generative pool).
+    let mut pool = PoolSource::new(family.clone(), 42);
+
+    // 3. Configure and run Slice Tuner.
+    let config = TunerConfig::new(ModelSpec::softmax()).with_seed(42);
+    let mut tuner = SliceTuner::new(dataset, &mut pool, config);
+    let budget = 500.0;
+    let result = tuner.run(Strategy::Iterative(TSchedule::moderate()), budget);
+
+    // 4. Inspect the outcome.
+    println!("\nbudget {budget} spent {:.0} over {} iterations", result.spent, result.iterations);
+    for (name, (&acquired, &size)) in family
+        .slice_names()
+        .iter()
+        .zip(result.acquired.iter().zip(&tuner.dataset().train_sizes()))
+    {
+        println!("  {name:<14} +{acquired:<5} (now {size})");
+    }
+    println!(
+        "\nloss     {:.4} -> {:.4}",
+        result.original.overall_loss, result.report.overall_loss
+    );
+    println!("avg EER  {:.4} -> {:.4}", result.original.avg_eer, result.report.avg_eer);
+    println!("max EER  {:.4} -> {:.4}", result.original.max_eer, result.report.max_eer);
+    println!("model trainings used: {}", result.trainings);
+}

@@ -1,0 +1,99 @@
+//! End-to-end integration: dataset generation → curve estimation →
+//! optimization → acquisition → retraining, across all four families.
+
+use slice_tuner::{EvalReport, PoolSource, SliceTuner, Strategy, TSchedule, TunerConfig};
+use st_curve::EstimationMode;
+use st_data::{families, SlicedDataset};
+use st_models::ModelSpec;
+
+fn quick_config(spec: ModelSpec) -> TunerConfig {
+    let mut cfg = TunerConfig::new(spec);
+    cfg.train.epochs = 12;
+    cfg.fractions = vec![0.3, 0.6, 1.0];
+    cfg.repeats = 1;
+    cfg.threads = 1;
+    cfg
+}
+
+#[test]
+fn full_pipeline_on_census() {
+    let fam = families::census();
+    let ds = SlicedDataset::generate(&fam, &[60; 4], 100, 11);
+    let mut src = PoolSource::new(fam, 11);
+    let mut tuner = SliceTuner::new(ds, &mut src, quick_config(ModelSpec::softmax()));
+    let result = tuner.run(Strategy::Iterative(TSchedule::moderate()), 300.0);
+
+    assert!(result.spent > 0.0 && result.spent <= 300.0);
+    assert_eq!(result.acquired.iter().sum::<usize>(), result.spent as usize);
+    assert!(result.report.overall_loss.is_finite());
+    assert!(result.report.avg_eer <= result.report.max_eer);
+    // With a real budget, loss should improve vs. the original model.
+    assert!(
+        result.report.overall_loss < result.original.overall_loss + 0.02,
+        "loss {} vs original {}",
+        result.report.overall_loss,
+        result.original.overall_loss
+    );
+}
+
+#[test]
+fn full_pipeline_on_fashion_one_shot() {
+    let fam = families::fashion();
+    let ds = SlicedDataset::generate(&fam, &[80; 10], 80, 13);
+    let mut src = PoolSource::new(fam, 13);
+    let mut cfg = quick_config(ModelSpec::small());
+    cfg.train.epochs = 10;
+    let mut tuner = SliceTuner::new(ds, &mut src, cfg);
+    let result = tuner.run(Strategy::OneShot, 500.0);
+
+    assert_eq!(result.iterations, 1);
+    assert!((result.spent - 500.0).abs() <= 1.0);
+    // The optimizer must differentiate slices: at least one gets much more
+    // than the uniform share (50) and at least one much less.
+    let max = *result.acquired.iter().max().unwrap();
+    let min = *result.acquired.iter().min().unwrap();
+    assert!(max > 75, "max share {max}");
+    assert!(min < 35, "min share {min}");
+}
+
+#[test]
+fn exhaustive_estimation_mode_works_end_to_end() {
+    let fam = families::census();
+    let ds = SlicedDataset::generate(&fam, &[50; 4], 60, 17);
+    let mut src = PoolSource::new(fam, 17);
+    let mut cfg = quick_config(ModelSpec::softmax());
+    cfg = cfg.with_mode(EstimationMode::Exhaustive);
+    cfg.train.epochs = 6;
+    let mut tuner = SliceTuner::new(ds, &mut src, cfg);
+    let result = tuner.run(Strategy::OneShot, 100.0);
+    // Exhaustive: |S|·K·R estimation trainings + 2 evaluation trainings.
+    assert_eq!(result.trainings, 4 * 3 + 2);
+}
+
+#[test]
+fn faces_with_heterogeneous_costs_respects_budget() {
+    let fam = families::faces();
+    let ds = SlicedDataset::generate(&fam, &[100; 8], 80, 19);
+    let costs = ds.costs();
+    let mut src = PoolSource::new(fam, 19);
+    let mut tuner = SliceTuner::new(ds, &mut src, quick_config(ModelSpec::small()));
+    let result = tuner.run(Strategy::Iterative(TSchedule::aggressive()), 400.0);
+    let charged: f64 =
+        result.acquired.iter().zip(&costs).map(|(&n, &c)| n as f64 * c).sum();
+    assert!((charged - result.spent).abs() < 1e-9);
+    assert!(result.spent <= 400.0 + 1e-9);
+}
+
+#[test]
+fn eval_report_is_consistent_with_itself() {
+    let fam = families::mixed().select_slices(&[10, 11, 0, 2]);
+    let ds = SlicedDataset::generate(&fam, &[70; 4], 90, 23);
+    let mut src = PoolSource::new(fam, 23);
+    let tuner = SliceTuner::new(ds, &mut src, quick_config(ModelSpec::small()));
+    let (model, report) = tuner.train_and_eval(0);
+    let recomputed = EvalReport::evaluate(&model, tuner.dataset());
+    assert_eq!(report, recomputed);
+    // avg EER is definitionally ≤ max EER and ≥ 0.
+    assert!(report.avg_eer >= 0.0);
+    assert!(report.avg_eer <= report.max_eer + 1e-12);
+}

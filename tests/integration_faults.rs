@@ -1,0 +1,98 @@
+//! Integration: Slice Tuner under unreliable acquisition sources.
+//!
+//! Real acquisition under-delivers (short crowdsourcing rounds, exhausted
+//! catalogs). The framework's contract is: never charge for undelivered
+//! examples, never overspend the budget, and terminate. These tests wrap
+//! the pool in [`FaultySource`] and assert the contract end to end.
+
+use slice_tuner::{
+    FaultConfig, FaultySource, PoolSource, SliceTuner, Strategy, TSchedule, TunerConfig,
+};
+use st_data::{families, SliceId, SlicedDataset};
+use st_models::ModelSpec;
+
+fn quick_config() -> TunerConfig {
+    let mut cfg = TunerConfig::new(ModelSpec::softmax());
+    cfg.train.epochs = 8;
+    cfg.fractions = vec![0.4, 0.7, 1.0];
+    cfg.repeats = 1;
+    cfg.threads = 1;
+    cfg
+}
+
+#[test]
+fn under_delivery_is_not_charged() {
+    let fam = families::census();
+    let ds = SlicedDataset::generate(&fam, &[60; 4], 60, 1);
+    let inner = PoolSource::new(fam, 2);
+    let mut src = FaultySource::new(
+        inner,
+        FaultConfig { drop_rate: 0.4, seed: 3, ..Default::default() },
+    );
+    let mut tuner = SliceTuner::new(ds, &mut src, quick_config());
+    let result = tuner.run(Strategy::Uniform, 200.0);
+
+    // 40% of deliveries are dropped; spending must track deliveries exactly
+    // (unit costs ⇒ spent == total acquired).
+    let total_acquired: usize = result.acquired.iter().sum();
+    assert!((result.spent - total_acquired as f64).abs() < 1e-9);
+    assert!(result.spent < 200.0, "under-delivery must reduce spend: {}", result.spent);
+    assert!(total_acquired > 50, "should still deliver a majority");
+}
+
+#[test]
+fn exhausted_slice_does_not_hang_the_iterative_loop() {
+    let fam = families::census();
+    let ds = SlicedDataset::generate(&fam, &[30, 60, 60, 60], 60, 4);
+    let inner = PoolSource::new(fam, 5);
+    // Slice capacity 25: the smallest slice (which the optimizer will chase)
+    // dries up almost immediately.
+    let mut src = FaultySource::new(
+        inner,
+        FaultConfig { capacity_per_slice: 25, ..Default::default() },
+    );
+    let mut cfg = quick_config();
+    cfg.max_iterations = 10;
+    let mut tuner = SliceTuner::new(ds, &mut src, cfg);
+    let result = tuner.run(Strategy::Iterative(TSchedule::moderate()), 500.0);
+
+    for (i, &a) in result.acquired.iter().enumerate() {
+        assert!(a <= 25, "slice {i} exceeded the capacity: {a}");
+    }
+    assert!(result.spent <= 100.0 + 1e-9, "4 slices x 25 cap bounds the spend");
+    assert!(result.iterations <= 10);
+}
+
+#[test]
+fn totally_dead_source_terminates_with_zero_spend() {
+    let fam = families::census();
+    let ds = SlicedDataset::generate(&fam, &[50; 4], 60, 6);
+    let inner = PoolSource::new(fam, 7);
+    let mut src = FaultySource::new(
+        inner,
+        FaultConfig { capacity_per_slice: 0, ..Default::default() },
+    );
+    let mut tuner = SliceTuner::new(ds, &mut src, quick_config());
+    let result = tuner.run(Strategy::Iterative(TSchedule::aggressive()), 300.0);
+    assert_eq!(result.spent, 0.0);
+    assert!(result.acquired.iter().all(|&a| a == 0));
+    // The model is still trained and evaluated on the unchanged data.
+    assert!(result.report.overall_loss.is_finite());
+}
+
+#[test]
+fn faulty_source_composes_with_one_shot() {
+    let fam = families::census();
+    let ds = SlicedDataset::generate(&fam, &[50; 4], 60, 8);
+    let inner = PoolSource::new(fam, 9);
+    let mut src = FaultySource::new(
+        inner,
+        FaultConfig { drop_rate: 0.25, seed: 10, capacity_per_slice: 80 },
+    );
+    let mut tuner = SliceTuner::new(ds, &mut src, quick_config());
+    let result = tuner.run(Strategy::OneShot, 400.0);
+    assert!(result.spent <= 400.0 + 1e-9);
+    for i in 0..4 {
+        assert!(src.delivered(SliceId(i)) <= 80);
+    }
+}

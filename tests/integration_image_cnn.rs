@@ -1,0 +1,116 @@
+//! Integration: the convolutional path over the synthetic image family.
+//!
+//! Validates the model substitution end to end: the image patterns are
+//! learnable by the real CNN, per-slice losses behave like learning curves
+//! (more data ⇒ lower loss), and augmentation stretches small acquisitions.
+
+use st_curve::{fit_power_law, CurvePoint};
+use st_data::{image_fashion, seeded_rng, AugmentConfig, Example, SliceId};
+use st_models::{
+    accuracy_of, examples_to_matrix, labels_of, log_loss_of, ConvNet, ConvTrainConfig,
+    ImageShape,
+};
+
+const SHAPE: ImageShape = ImageShape { channels: 1, height: 8, width: 8 };
+
+fn sample_all(per_slice: usize, seed: u64) -> Vec<Example> {
+    let fam = image_fashion();
+    let mut rng = seeded_rng(seed);
+    let mut out = Vec::new();
+    for s in 0..fam.num_slices() {
+        out.extend(fam.sample_slice(SliceId(s), per_slice, &mut rng));
+    }
+    out
+}
+
+#[test]
+fn cnn_learns_the_image_family_well_above_chance() {
+    let train = sample_all(80, 1);
+    let val = sample_all(40, 2);
+    let cfg = ConvTrainConfig { epochs: 12, filters: 6, ..Default::default() };
+    let net = ConvNet::train(
+        &examples_to_matrix(&train),
+        &labels_of(&train),
+        SHAPE,
+        10,
+        &cfg,
+    );
+    let acc = accuracy_of(&net, &examples_to_matrix(&val), &labels_of(&val));
+    assert!(acc > 0.5, "10-way accuracy {acc} should beat chance (0.1) widely");
+}
+
+#[test]
+fn per_slice_losses_decrease_with_data_and_fit_power_laws() {
+    let fam = image_fashion();
+    let val = sample_all(60, 3);
+    let mut points: Vec<Vec<CurvePoint>> = vec![Vec::new(); fam.num_slices()];
+
+    for &n in &[25usize, 50, 100, 200] {
+        let train = sample_all(n, 4);
+        let cfg = ConvTrainConfig { epochs: 10, filters: 6, ..Default::default() };
+        let net = ConvNet::train(
+            &examples_to_matrix(&train),
+            &labels_of(&train),
+            SHAPE,
+            10,
+            &cfg,
+        );
+        for s in 0..fam.num_slices() {
+            let slice_val: Vec<Example> =
+                val.iter().filter(|e| e.slice == SliceId(s)).cloned().collect();
+            let loss = log_loss_of(
+                &net,
+                &examples_to_matrix(&slice_val),
+                &labels_of(&slice_val),
+            );
+            points[s].push(CurvePoint::size_weighted(n as f64, loss));
+        }
+    }
+
+    // Every slice must admit a power-law fit with a positive decay exponent,
+    // and most slices must strictly improve from the smallest to the largest
+    // training size (training noise can break monotonicity on a few).
+    let mut improved = 0;
+    for pts in &points {
+        let fit = fit_power_law(pts).expect("fit");
+        assert!(fit.a > 0.0 && fit.b > 0.0);
+        if pts.last().unwrap().loss < pts.first().unwrap().loss {
+            improved += 1;
+        }
+    }
+    assert!(improved >= 7, "only {improved}/10 slices improved with 8x data");
+}
+
+#[test]
+fn augmentation_expands_batches_and_helps_a_starved_model() {
+    let small = sample_all(12, 5);
+    let val = sample_all(40, 6);
+    let vx = examples_to_matrix(&val);
+    let vy = labels_of(&val);
+    let cfg = ConvTrainConfig { epochs: 10, filters: 6, ..Default::default() };
+
+    let bare = ConvNet::train(&examples_to_matrix(&small), &labels_of(&small), SHAPE, 10, &cfg);
+
+    let policy = AugmentConfig::image(8, 8);
+    let mut rng = seeded_rng(7);
+    let expanded = policy.expand(&small, 4, &mut rng);
+    assert_eq!(expanded.len(), small.len() * 4);
+    let augd =
+        ConvNet::train(&examples_to_matrix(&expanded), &labels_of(&expanded), SHAPE, 10, &cfg);
+
+    let bare_acc = accuracy_of(&bare, &vx, &vy);
+    let aug_acc = accuracy_of(&augd, &vx, &vy);
+    // Augmentation must not hurt; usually it helps a 12-per-class model.
+    assert!(
+        aug_acc >= bare_acc - 0.05,
+        "augmented {aug_acc} vs bare {bare_acc}"
+    );
+}
+
+#[test]
+fn image_rows_round_trip_through_csv() {
+    let ex = sample_all(3, 8);
+    let text = st_data::write_examples(&ex);
+    let back = st_data::read_examples(&text).unwrap();
+    assert_eq!(ex, back);
+}

@@ -1,0 +1,83 @@
+//! Integration: the training-free influence-direction predictor vs the
+//! measured influence sweep (Figure 7's protocol).
+//!
+//! The paper hypothesizes that the *direction* of cross-slice influence
+//! follows content similarity; `slice_tuner::similarity` predicts that
+//! direction from the data alone. Here we grow one slice, measure the real
+//! loss changes by retraining, and check the predictor got the most
+//! important call right: which slice benefits.
+
+use slice_tuner::{influence_sweep, similarity_matrix};
+use st_data::{families, SliceId, SlicedDataset};
+use st_models::{ModelSpec, TrainConfig};
+
+#[test]
+fn predictor_identifies_the_helped_slice_in_the_faces_sweep() {
+    let fam = families::faces();
+    // Figure 7's protocol scaled down: everyone at 150, White_Male from 40.
+    let mut sizes = vec![150usize; 8];
+    sizes[0] = 40;
+
+    let mut cfg = TrainConfig::default();
+    cfg.epochs = 12;
+    let sweep = influence_sweep(
+        &fam,
+        &sizes,
+        SliceId(0),
+        &[800],
+        120,
+        &ModelSpec::small(),
+        &cfg,
+        3,
+        11,
+    );
+    let influence = &sweep.points[0].influence;
+
+    let ds = SlicedDataset::generate(&fam, &sizes, 0, 11);
+    let sim = similarity_matrix(&ds);
+
+    // The most-similar neighbor of White_Male must be White_Female...
+    let best = sim.ranked_neighbors(0)[0];
+    assert_eq!(best, 1, "White_Female should be the top neighbor");
+    // ...and the measured influence on it must be the smallest (most
+    // negative) among all non-target slices — it benefits the most.
+    let min_other = (1..8)
+        .min_by(|&a, &b| influence[a].partial_cmp(&influence[b]).unwrap())
+        .unwrap();
+    assert_eq!(
+        min_other, best,
+        "measured influences {influence:?} should single out slice {best}"
+    );
+    // The predictor also marks it as helped (negative direction).
+    assert!(sim.predicted_direction(0, best) < 0.0);
+}
+
+#[test]
+fn predicted_directions_correlate_with_measured_influence() {
+    let fam = families::faces();
+    let mut sizes = vec![150usize; 8];
+    sizes[0] = 40;
+
+    let mut cfg = TrainConfig::default();
+    cfg.epochs = 12;
+    let sweep = influence_sweep(
+        &fam,
+        &sizes,
+        SliceId(0),
+        &[800],
+        120,
+        &ModelSpec::small(),
+        &cfg,
+        3,
+        13,
+    );
+    let ds = SlicedDataset::generate(&fam, &sizes, 0, 13);
+    let sim = similarity_matrix(&ds);
+
+    let measured: Vec<f64> = (1..8).map(|j| sweep.points[0].influence[j]).collect();
+    let predicted: Vec<f64> = (1..8).map(|j| sim.predicted_direction(0, j)).collect();
+    let rho = st_linalg::spearman(&predicted, &measured);
+    // A training-free predictor cannot be perfect, but it must carry real
+    // signal: positive rank correlation with the retrain-and-diff truth.
+    assert!(rho > 0.0, "Spearman ρ = {rho}; predicted {predicted:?} measured {measured:?}");
+}
