@@ -2,9 +2,7 @@
 //! generic zoo families, full-zoo model selection, and bootstrap bands.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use st_curve::{
-    bootstrap_curve, fit_best, fit_family, fit_power_law, CurveFamily, CurvePoint,
-};
+use st_curve::{bootstrap_curve, fit_best, fit_family, fit_power_law, CurveFamily, CurvePoint};
 use std::hint::black_box;
 
 fn points(n: usize) -> Vec<CurvePoint> {
@@ -30,13 +28,13 @@ fn bench_curve_fitting(c: &mut Criterion) {
         CurveFamily::Janoschek,
         CurveFamily::VaporPressure,
     ] {
-        group.bench_with_input(
-            BenchmarkId::new("family", family.name()),
-            &pts,
-            |b, pts| b.iter(|| fit_family(black_box(pts), family)),
-        );
+        group.bench_with_input(BenchmarkId::new("family", family.name()), &pts, |b, pts| {
+            b.iter(|| fit_family(black_box(pts), family))
+        });
     }
-    group.bench_function("fit_best_all_families", |b| b.iter(|| fit_best(black_box(&pts))));
+    group.bench_function("fit_best_all_families", |b| {
+        b.iter(|| fit_best(black_box(&pts)))
+    });
     group.finish();
 
     let mut group = c.benchmark_group("curve_bands");

@@ -14,9 +14,10 @@ fn bench_modes(c: &mut Criterion) {
     group.sample_size(10);
 
     let fam = families::census();
-    for (name, mode) in
-        [("amortized", EstimationMode::Amortized), ("exhaustive", EstimationMode::Exhaustive)]
-    {
+    for (name, mode) in [
+        ("amortized", EstimationMode::Amortized),
+        ("exhaustive", EstimationMode::Exhaustive),
+    ] {
         group.bench_function(name, |b| {
             b.iter(|| {
                 let ds = SlicedDataset::generate(&fam, &[80; 4], 60, 3);

@@ -4,11 +4,11 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use st_data::{image_fashion, seeded_rng, SliceId};
+use st_linalg::Matrix;
 use st_models::{
     examples_to_matrix, labels_of, train, ConvNet, ConvTrainConfig, ImageShape, ModelSpec,
     TrainConfig,
 };
-use st_linalg::Matrix;
 use std::hint::black_box;
 
 fn image_batch(per_slice: usize) -> (Matrix, Vec<usize>) {
@@ -27,18 +27,34 @@ fn bench_models(c: &mut Criterion) {
 
     for per_slice in [20usize, 50] {
         let (x, y) = image_batch(per_slice);
-        let mlp_cfg = TrainConfig { epochs: 5, ..TrainConfig::default() };
+        let mlp_cfg = TrainConfig {
+            epochs: 5,
+            ..TrainConfig::default()
+        };
         group.bench_with_input(BenchmarkId::new("mlp_basic", per_slice), &(), |b, _| {
             b.iter(|| {
-                train(black_box(&x), black_box(&y), 64, 10, &ModelSpec::basic(), &mlp_cfg)
+                train(
+                    black_box(&x),
+                    black_box(&y),
+                    64,
+                    10,
+                    &ModelSpec::basic(),
+                    &mlp_cfg,
+                )
             })
         });
-        let conv_cfg = ConvTrainConfig { epochs: 5, filters: 4, ..Default::default() };
-        let shape = ImageShape { channels: 1, height: 8, width: 8 };
+        let conv_cfg = ConvTrainConfig {
+            epochs: 5,
+            filters: 4,
+            ..Default::default()
+        };
+        let shape = ImageShape {
+            channels: 1,
+            height: 8,
+            width: 8,
+        };
         group.bench_with_input(BenchmarkId::new("convnet", per_slice), &(), |b, _| {
-            b.iter(|| {
-                ConvNet::train(black_box(&x), black_box(&y), shape, 10, &conv_cfg)
-            })
+            b.iter(|| ConvNet::train(black_box(&x), black_box(&y), shape, 10, &conv_cfg))
         });
     }
     group.finish();

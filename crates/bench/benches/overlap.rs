@@ -7,9 +7,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use st_curve::PowerLaw;
-use st_optim::{
-    solve_overlap, solve_projected, AcquisitionProblem, OverlapProblem, SolverOptions,
-};
+use st_optim::{solve_overlap, solve_projected, AcquisitionProblem, OverlapProblem, SolverOptions};
 use std::hint::black_box;
 
 /// `n` overlapping slices over `n·(n−1)/2 + n` atoms: one exclusive atom
@@ -40,7 +38,10 @@ fn bench_overlap(c: &mut Criterion) {
     for n in [4usize, 8, 12] {
         let ov = pairwise_overlap(n);
         group.bench_with_input(
-            BenchmarkId::new("pairwise_overlap", format!("{n}slices_{}atoms", ov.num_atoms())),
+            BenchmarkId::new(
+                "pairwise_overlap",
+                format!("{n}slices_{}atoms", ov.num_atoms()),
+            ),
             &ov,
             |b, ov| b.iter(|| solve_overlap(black_box(ov), &SolverOptions::default())),
         );

@@ -15,10 +15,18 @@ fn bench_pipeline(c: &mut Criterion) {
     group.bench_function("train_census_240_examples", |b| {
         let ds = SlicedDataset::generate(&fam, &[60; 4], 40, 1);
         let data = ds.all_train();
-        let mut cfg = TrainConfig::default();
-        cfg.epochs = 10;
+        let cfg = TrainConfig {
+            epochs: 10,
+            ..Default::default()
+        };
         b.iter(|| {
-            black_box(train_on_examples(&data, fam.feature_dim, 2, &ModelSpec::softmax(), &cfg))
+            black_box(train_on_examples(
+                &data,
+                fam.feature_dim,
+                2,
+                &ModelSpec::softmax(),
+                &cfg,
+            ))
         })
     });
 

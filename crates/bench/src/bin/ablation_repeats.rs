@@ -19,7 +19,10 @@ fn main() {
         "Ablation: curve-averaging count R (fashion, init {}, {} streams)\n",
         setup.initial, streams
     );
-    println!("{:<4} {:>22} {:>22} {:>12}", "R", "mean std(a) per slice", "worst std(a)", "trainings");
+    println!(
+        "{:<4} {:>22} {:>22} {:>12}",
+        "R", "mean std(a) per slice", "worst std(a)", "trainings"
+    );
     rule(66);
 
     for repeats in [1usize, 2, 5] {
@@ -28,12 +31,8 @@ fn main() {
         let mut trainings = 0usize;
 
         for stream in 0..streams {
-            let ds = SlicedDataset::generate(
-                &setup.family,
-                &setup.equal_sizes(),
-                setup.validation,
-                42,
-            );
+            let ds =
+                SlicedDataset::generate(&setup.family, &setup.equal_sizes(), setup.validation, 42);
             let mut src = PoolSource::new(setup.family.clone(), 42);
             let mut cfg = setup.config(7);
             cfg.repeats = repeats;
@@ -48,7 +47,10 @@ fn main() {
         let stds: Vec<f64> = per_slice_stats.iter().map(|s| s.std_dev()).collect();
         let mean_std = st_linalg::mean(&stds);
         let worst = stds.iter().cloned().fold(0.0, f64::max);
-        println!("{:<4} {:>22.4} {:>22.4} {:>12}", repeats, mean_std, worst, trainings);
+        println!(
+            "{:<4} {:>22.4} {:>22.4} {:>12}",
+            repeats, mean_std, worst, trainings
+        );
     }
 
     println!();
@@ -58,19 +60,21 @@ fn main() {
     // Downstream check: does R actually change what One-shot does?
     println!("\nDownstream allocations (One-shot, same seed, varying R):");
     for repeats in [1usize, 5] {
-        let ds = SlicedDataset::generate(
-            &setup.family,
-            &setup.equal_sizes(),
-            setup.validation,
-            42,
-        );
+        let ds = SlicedDataset::generate(&setup.family, &setup.equal_sizes(), setup.validation, 42);
         let mut src = PoolSource::new(setup.family.clone(), 42);
         let mut cfg = setup.config(7);
         cfg.repeats = repeats;
         let mut tuner = SliceTuner::new(ds, &mut src, cfg);
         let result = tuner.run(Strategy::OneShot, setup.scaled_budget());
-        println!("  R = {repeats}: {}", st_bench::fmt_counts(
-            &result.acquired.iter().map(|&a| a as f64).collect::<Vec<_>>(),
-        ));
+        println!(
+            "  R = {repeats}: {}",
+            st_bench::fmt_counts(
+                &result
+                    .acquired
+                    .iter()
+                    .map(|&a| a as f64)
+                    .collect::<Vec<_>>(),
+            )
+        );
     }
 }

@@ -6,8 +6,8 @@
 //! whole allocation. Expected shape: comparable or better loss for Slice
 //! Tuner, clearly better unfairness, far fewer trainings per unit budget.
 
-use slice_tuner::{run_trials, BanditParams, Strategy, TSchedule};
-use st_bench::{rule, trials, FamilySetup};
+use slice_tuner::{BanditParams, Strategy, TSchedule};
+use st_bench::{rule, run_cell, trials, FamilySetup};
 
 fn main() {
     let setup = FamilySetup::census();
@@ -15,7 +15,9 @@ fn main() {
     let budget = if st_bench::quick() { 200.0 } else { 500.0 };
     let trials = trials();
 
-    println!("Extension: Moderate vs rotting bandit (census analog, B = {budget}, {trials} trials)\n");
+    println!(
+        "Extension: Moderate vs rotting bandit (census analog, B = {budget}, {trials} trials)\n"
+    );
     println!(
         "{:<16} {:>8} {:>10} {:>10} {:>11}",
         "Method", "Loss", "Avg EER", "Max EER", "Trainings"
@@ -23,10 +25,22 @@ fn main() {
     rule(60);
     for (name, strategy) in [
         ("Moderate", Strategy::Iterative(TSchedule::moderate())),
-        ("Bandit ε=0.1", Strategy::RottingBandit(BanditParams { batch: 50.0, epsilon: 0.1 })),
-        ("Bandit ε=0.3", Strategy::RottingBandit(BanditParams { batch: 50.0, epsilon: 0.3 })),
+        (
+            "Bandit ε=0.1",
+            Strategy::RottingBandit(BanditParams {
+                batch: 50.0,
+                epsilon: 0.1,
+            }),
+        ),
+        (
+            "Bandit ε=0.3",
+            Strategy::RottingBandit(BanditParams {
+                batch: 50.0,
+                epsilon: 0.3,
+            }),
+        ),
     ] {
-        let agg = run_trials(
+        let agg = run_cell(
             &setup.family,
             &sizes,
             setup.validation,

@@ -19,11 +19,19 @@ use st_models::{
     ModelSpec, TrainConfig,
 };
 
-const SHAPE: ImageShape = ImageShape { channels: 1, height: 8, width: 8 };
+const SHAPE: ImageShape = ImageShape {
+    channels: 1,
+    height: 8,
+    width: 8,
+};
 
 fn main() {
     let fam = image_fashion();
-    let sizes = if st_bench::quick() { vec![30usize, 60, 120] } else { vec![30, 60, 120, 240] };
+    let sizes = if st_bench::quick() {
+        vec![30usize, 60, 120]
+    } else {
+        vec![30, 60, 120, 240]
+    };
     let val_per_slice = 120;
     let mut rng = seeded_rng(5);
 
@@ -51,8 +59,11 @@ fn main() {
             let x = examples_to_matrix(&train_set);
             let y = labels_of(&train_set);
 
-            let mlp_cfg =
-                TrainConfig { epochs: 15, seed: rep as u64, ..TrainConfig::default() };
+            let mlp_cfg = TrainConfig {
+                epochs: 15,
+                seed: rep as u64,
+                ..TrainConfig::default()
+            };
             let mlp = train(
                 &x,
                 &y,
@@ -127,14 +138,21 @@ fn main() {
         SHAPE.flat_len(),
         fam.num_classes,
         &ModelSpec::basic(),
-        &TrainConfig { epochs: 15, ..TrainConfig::default() },
+        &TrainConfig {
+            epochs: 15,
+            ..TrainConfig::default()
+        },
     );
     let cnn = ConvNet::train(
         &x,
         &y,
         SHAPE,
         fam.num_classes,
-        &ConvTrainConfig { epochs: 15, filters: 6, ..Default::default() },
+        &ConvTrainConfig {
+            epochs: 15,
+            filters: 6,
+            ..Default::default()
+        },
     );
     let vx = examples_to_matrix(&validation.concat());
     let vy: Vec<usize> = validation.concat().iter().map(|e| e.label).collect();

@@ -1,8 +1,8 @@
 //! Figure 10: loss and avg-EER versus budget on Mixed-MNIST, comparing
 //! Moderate against Uniform and Water filling (basic setting).
 
-use slice_tuner::{run_trials, Strategy, TSchedule};
-use st_bench::{rule, trials, FamilySetup};
+use slice_tuner::{Strategy, TSchedule};
+use st_bench::{rule, run_cell, trials, FamilySetup};
 
 fn main() {
     let setup = FamilySetup::mixed();
@@ -20,11 +20,14 @@ fn main() {
     let trials = trials();
 
     println!("Figure 10: budget sweep on Mixed-MNIST ({trials} trials)\n");
-    println!("{:<16} {:>8} {:>10} {:>10}", "Method", "Budget", "Loss", "Avg EER");
+    println!(
+        "{:<16} {:>8} {:>10} {:>10}",
+        "Method", "Budget", "Loss", "Avg EER"
+    );
     rule(48);
     for (name, strategy) in &methods {
         for &b in &budgets {
-            let agg = run_trials(
+            let agg = run_cell(
                 &setup.family,
                 &sizes,
                 setup.validation,
@@ -33,7 +36,10 @@ fn main() {
                 &setup.config(4).with_lambda(1.0),
                 trials,
             );
-            println!("{name:<16} {b:>8.0} {:>10.3} {:>10.3}", agg.loss.mean, agg.avg_eer.mean);
+            println!(
+                "{name:<16} {b:>8.0} {:>10.3} {:>10.3}",
+                agg.loss.mean, agg.avg_eer.mean
+            );
         }
         rule(48);
     }

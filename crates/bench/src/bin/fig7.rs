@@ -17,12 +17,17 @@ fn main() {
     // grows alone.
     let mut sizes = vec![300; 8];
     sizes[0] = 50;
-    let steps: Vec<usize> =
-        if quick() { vec![250, 950] } else { vec![250, 550, 950, 1450, 2050, 2950] };
+    let steps: Vec<usize> = if quick() {
+        vec![250, 950]
+    } else {
+        vec![250, 550, 950, 1450, 2050, 2950]
+    };
     let trials = if quick() { 1 } else { st_bench::trials() };
 
-    let mut train = TrainConfig::default();
-    train.epochs = if quick() { 8 } else { 20 };
+    let train = TrainConfig {
+        epochs: if quick() { 8 } else { 20 },
+        ..Default::default()
+    };
 
     let sweep = influence_sweep(
         &family,

@@ -7,8 +7,8 @@
 
 use slice_tuner::{PoolSource, SliceTuner};
 use st_bench::FamilySetup;
-use st_data::SlicedDataset;
 use st_curve::PowerLaw;
+use st_data::SlicedDataset;
 
 fn main() {
     let setup = FamilySetup::fashion();
@@ -48,5 +48,7 @@ fn main() {
             (c.eval(probe) - reference.eval(probe)).abs()
         );
     }
-    println!("\n(paper: curves fitted on smaller slices deviate more — motivates iterative updates)");
+    println!(
+        "\n(paper: curves fitted on smaller slices deviate more — motivates iterative updates)"
+    );
 }

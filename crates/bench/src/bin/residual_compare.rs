@@ -15,8 +15,8 @@ use st_bench::{rule, FamilySetup};
 use st_data::SlicedDataset;
 use st_linalg::spearman;
 use st_models::{
-    examples_to_matrix, labels_of, log_loss_of, train_on_examples, ModelSpec,
-    ResidualMlp, ResidualTrainConfig, TrainConfig,
+    examples_to_matrix, labels_of, log_loss_of, train_on_examples, ModelSpec, ResidualMlp,
+    ResidualTrainConfig, TrainConfig,
 };
 
 fn main() {
@@ -65,7 +65,10 @@ fn main() {
         rows.push((name.clone(), params, acc));
     }
 
-    println!("{:<26} {:>10} {:>10} {:>10}", "architecture", "params", "mean loss", "max loss");
+    println!(
+        "{:<26} {:>10} {:>10} {:>10}",
+        "architecture", "params", "mean loss", "max loss"
+    );
     rule(60);
     for (name, params, losses) in &rows {
         let mean = st_linalg::mean(losses);
@@ -86,9 +89,12 @@ fn main() {
 }
 
 fn per_slice_mlp(ds: &SlicedDataset, spec: &ModelSpec, seed: u64) -> Vec<f64> {
-    let cfg = TrainConfig { epochs: 20, seed, ..TrainConfig::default() };
-    let model =
-        train_on_examples(&ds.all_train(), ds.feature_dim, ds.num_classes, spec, &cfg);
+    let cfg = TrainConfig {
+        epochs: 20,
+        seed,
+        ..TrainConfig::default()
+    };
+    let model = train_on_examples(&ds.all_train(), ds.feature_dim, ds.num_classes, spec, &cfg);
     st_models::per_slice_validation_losses(&model, ds)
 }
 
@@ -112,7 +118,11 @@ fn per_slice_residual(ds: &SlicedDataset, seed: u64) -> Vec<f64> {
     ds.slices
         .iter()
         .map(|s| {
-            log_loss_of(&model, &examples_to_matrix(&s.validation), &labels_of(&s.validation))
+            log_loss_of(
+                &model,
+                &examples_to_matrix(&s.validation),
+                &labels_of(&s.validation),
+            )
         })
         .collect()
 }
@@ -130,6 +140,12 @@ fn param_count(spec: &ModelSpec, setup: &FamilySetup) -> usize {
 
 fn residual_params(setup: &FamilySetup) -> usize {
     let mut rng = st_data::seeded_rng(0);
-    ResidualMlp::new(setup.family.feature_dim, 48, 6, setup.family.num_classes, &mut rng)
-        .num_params()
+    ResidualMlp::new(
+        setup.family.feature_dim,
+        48,
+        6,
+        setup.family.num_classes,
+        &mut rng,
+    )
+    .num_params()
 }

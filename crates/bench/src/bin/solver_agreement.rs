@@ -10,15 +10,12 @@
 use st_curve::PowerLaw;
 use st_linalg::SplitMix64;
 use st_optim::{
-    solve_barrier, solve_kkt, solve_projected, AcquisitionProblem, BarrierOptions,
-    SolverOptions,
+    solve_barrier, solve_kkt, solve_projected, AcquisitionProblem, BarrierOptions, SolverOptions,
 };
 
 fn random_problem(rng: &mut SplitMix64, n: usize, lambda: f64) -> AcquisitionProblem {
     let curves: Vec<PowerLaw> = (0..n)
-        .map(|_| {
-            PowerLaw::new(0.5 + 4.0 * rng.next_f64(), 0.05 + 0.8 * rng.next_f64())
-        })
+        .map(|_| PowerLaw::new(0.5 + 4.0 * rng.next_f64(), 0.05 + 0.8 * rng.next_f64()))
         .collect();
     let sizes: Vec<f64> = (0..n).map(|_| 30.0 + 400.0 * rng.next_f64()).collect();
     let costs: Vec<f64> = (0..n).map(|_| 0.5 + 2.0 * rng.next_f64()).collect();
@@ -53,7 +50,11 @@ fn main() {
                     worst_kb = worst_kb.max((fk - fb).abs() / fb.abs().max(1e-9));
                 }
             }
-            let kb = if lambda == 0.0 { format!("{worst_kb:.2e}") } else { "n/a".into() };
+            let kb = if lambda == 0.0 {
+                format!("{worst_kb:.2e}")
+            } else {
+                "n/a".into()
+            };
             println!("{:<8} {:<8} {:>22.2e} {:>22}", n, lambda, worst_pb, kb);
         }
     }

@@ -19,8 +19,7 @@ fn main() {
 
     println!("Table 1: collection costs of UTKFace slices");
     println!("(observed over {per_slice} accepted images per slice)\n");
-    let header: Vec<String> =
-        family.slice_names().iter().map(|n| shorten(n)).collect();
+    let header: Vec<String> = family.slice_names().iter().map(|n| shorten(n)).collect();
     println!("{:<14} {}", "", header.join("  "));
     rule(14 + header.len() * 6);
     let means = sim.stats().mean_seconds();
@@ -31,11 +30,15 @@ fn main() {
     println!("{:<14} {}", "Cost C", row.join(" "));
 
     println!("\npaper reference:");
-    let row: Vec<String> =
-        families::faces::FACE_TASK_SECONDS.iter().map(|m| format!("{m:>5.1}")).collect();
+    let row: Vec<String> = families::faces::FACE_TASK_SECONDS
+        .iter()
+        .map(|m| format!("{m:>5.1}"))
+        .collect();
     println!("{:<14} {}", "Avg. time (s)", row.join(" "));
-    let row: Vec<String> =
-        families::faces::FACE_COSTS.iter().map(|c| format!("{c:>5.1}")).collect();
+    let row: Vec<String> = families::faces::FACE_COSTS
+        .iter()
+        .map(|c| format!("{c:>5.1}"))
+        .collect();
     println!("{:<14} {}", "Cost C", row.join(" "));
 
     let st = sim.stats();
@@ -50,5 +53,8 @@ fn main() {
 
 fn shorten(name: &str) -> String {
     // White_Male -> W_M, matching the paper's header.
-    name.split('_').map(|p| &p[..1]).collect::<Vec<_>>().join("_")
+    name.split('_')
+        .map(|p| &p[..1])
+        .collect::<Vec<_>>()
+        .join("_")
 }

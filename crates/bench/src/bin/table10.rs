@@ -2,8 +2,8 @@
 //! sizes follow the paper's decaying ("exponential") distribution instead of
 //! being equal.
 
-use slice_tuner::{run_trials, Strategy, TSchedule};
-use st_bench::{fmt_counts, rule, trials, FamilySetup};
+use slice_tuner::{Strategy, TSchedule};
+use st_bench::{fmt_counts, rule, run_cell, trials, FamilySetup};
 use st_data::decaying_sizes;
 
 fn main() {
@@ -11,12 +11,18 @@ fn main() {
         ("One-shot", Strategy::OneShot),
         ("Aggressive", Strategy::Iterative(TSchedule::aggressive())),
         ("Moderate", Strategy::Iterative(TSchedule::moderate())),
-        ("Conservative", Strategy::Iterative(TSchedule::conservative())),
+        (
+            "Conservative",
+            Strategy::Iterative(TSchedule::conservative()),
+        ),
     ];
     let trials = trials();
 
     println!("Table 10: methods with decaying initial slice sizes ({trials} trials)");
-    println!("{:<14} {:<14} {:>8} {:>10} {:>10}", "Dataset", "Method", "Loss", "Avg EER", "Max EER");
+    println!(
+        "{:<14} {:<14} {:>8} {:>10} {:>10}",
+        "Dataset", "Method", "Loss", "Avg EER", "Max EER"
+    );
     rule(60);
 
     let mut table11: Vec<(String, Vec<usize>, Vec<(String, Vec<f64>, f64)>)> = Vec::new();
@@ -32,7 +38,7 @@ fn main() {
         let sizes = decaying_sizes(setup.family.num_slices(), base);
         let budget = setup.scaled_budget();
 
-        let orig = run_trials(
+        let orig = run_cell(
             &setup.family,
             &sizes,
             setup.validation,
@@ -51,7 +57,7 @@ fn main() {
         );
         let mut rows = Vec::new();
         for (name, strategy) in &methods {
-            let agg = run_trials(
+            let agg = run_cell(
                 &setup.family,
                 &sizes,
                 setup.validation,

@@ -2,21 +2,30 @@
 //! (loss, avg/max EER) plus the per-slice acquisition counts and iteration
 //! counts behind them.
 
-use slice_tuner::{run_trials, Strategy, TSchedule};
-use st_bench::{fmt_counts, rule, trials, FamilySetup};
+use slice_tuner::{Strategy, TSchedule};
+use st_bench::{fmt_counts, rule, run_cell, trials, FamilySetup};
 
 fn main() {
     let methods = [
         ("Original", None),
         ("One-shot", Some(Strategy::OneShot)),
-        ("Aggressive", Some(Strategy::Iterative(TSchedule::aggressive()))),
+        (
+            "Aggressive",
+            Some(Strategy::Iterative(TSchedule::aggressive())),
+        ),
         ("Moderate", Some(Strategy::Iterative(TSchedule::moderate()))),
-        ("Conservative", Some(Strategy::Iterative(TSchedule::conservative()))),
+        (
+            "Conservative",
+            Some(Strategy::Iterative(TSchedule::conservative())),
+        ),
     ];
     let trials = trials();
 
     println!("Table 2: Slice Tuner methods comparison ({trials} trials)");
-    println!("{:<14} {:<14} {:>8} {:>10} {:>10}", "Dataset", "Method", "Loss", "Avg EER", "Max EER");
+    println!(
+        "{:<14} {:<14} {:>8} {:>10} {:>10}",
+        "Dataset", "Method", "Loss", "Avg EER", "Max EER"
+    );
     rule(60);
 
     let mut table3: Vec<(String, Vec<(String, Vec<f64>, f64)>)> = Vec::new();
@@ -29,7 +38,7 @@ fn main() {
             match strategy {
                 None => {
                     // "Original": evaluate with zero budget via any strategy.
-                    let agg = run_trials(
+                    let agg = run_cell(
                         &setup.family,
                         &sizes,
                         setup.validation,
@@ -40,12 +49,15 @@ fn main() {
                     );
                     println!(
                         "{:<14} {:<14} {:>8.3} {:>10.3} {:>10.3}",
-                        setup.label, name, agg.original_loss.mean, agg.original_avg_eer.mean,
+                        setup.label,
+                        name,
+                        agg.original_loss.mean,
+                        agg.original_avg_eer.mean,
                         agg.original_max_eer.mean
                     );
                 }
                 Some(s) => {
-                    let agg = run_trials(
+                    let agg = run_cell(
                         &setup.family,
                         &sizes,
                         setup.validation,

@@ -1,15 +1,18 @@
 //! Tables 4 and 5: the λ accuracy–fairness tradeoff with the Moderate
 //! method, and the per-slice acquisitions behind the Fashion-MNIST rows.
 
-use slice_tuner::{run_trials, Strategy, TSchedule};
-use st_bench::{fmt_counts, rule, trials, FamilySetup};
+use slice_tuner::{Strategy, TSchedule};
+use st_bench::{fmt_counts, rule, run_cell, trials, FamilySetup};
 
 fn main() {
     let lambdas = [0.0, 0.1, 1.0, 10.0];
     let trials = trials();
 
     println!("Table 4: Moderate with varying λ ({trials} trials)");
-    println!("{:<14} {:>6} {:>8} {:>10} {:>10}", "Dataset", "λ", "Loss", "Avg EER", "Max EER");
+    println!(
+        "{:<14} {:>6} {:>8} {:>10} {:>10}",
+        "Dataset", "λ", "Loss", "Avg EER", "Max EER"
+    );
     rule(52);
 
     let mut table5: Vec<(f64, Vec<f64>)> = Vec::new();
@@ -18,7 +21,7 @@ fn main() {
         let budget = setup.scaled_budget();
         for &lambda in &lambdas {
             let cfg = setup.config(2).with_lambda(lambda);
-            let agg = run_trials(
+            let agg = run_cell(
                 &setup.family,
                 &sizes,
                 setup.validation,

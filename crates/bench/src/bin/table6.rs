@@ -2,12 +2,15 @@
 //! three initial-size settings (Basic / Bad for Uniform / Bad for Water
 //! filling), with λ = 0.1 like the paper.
 
-use slice_tuner::{run_trials, Setting, Strategy, TSchedule};
-use st_bench::{rule, trials, FamilySetup};
+use slice_tuner::{Setting, Strategy, TSchedule};
+use st_bench::{rule, run_cell, trials, FamilySetup};
 
 fn main() {
-    let settings =
-        [Setting::Basic, Setting::BadForUniform, Setting::BadForWaterFilling];
+    let settings = [
+        Setting::Basic,
+        Setting::BadForUniform,
+        Setting::BadForWaterFilling,
+    ];
     let methods = [
         ("Uni", Strategy::Uniform),
         ("WF", Strategy::WaterFilling),
@@ -18,8 +21,16 @@ fn main() {
     println!("Table 6: Moderate vs baselines under three settings (λ = 0.1, {trials} trials)\n");
     for setup in FamilySetup::all() {
         // Paper: B = 3K for image datasets, 300 for AdultCensus.
-        let budget = if setup.label == "AdultCensus" { 300.0 } else { 3000.0 };
-        let budget = if st_bench::quick() { budget / 4.0 } else { budget };
+        let budget = if setup.label == "AdultCensus" {
+            300.0
+        } else {
+            3000.0
+        };
+        let budget = if st_bench::quick() {
+            budget / 4.0
+        } else {
+            budget
+        };
         println!("== {} (B = {budget}) ==", setup.label);
         println!(
             "{:<24} {:<5} {:>16} {:>16} {:>9}",
@@ -30,7 +41,7 @@ fn main() {
             let sizes = setting.initial_sizes(&setup.family, setup.initial, 6);
             for (name, strategy) in &methods {
                 let cfg = setup.config(3).with_lambda(0.1);
-                let agg = run_trials(
+                let agg = run_cell(
                     &setup.family,
                     &sizes,
                     setup.validation,

@@ -4,8 +4,8 @@
 //! are noisy (Figure 11), yet Slice Tuner still beats the baselines
 //! because it only needs the curves' *relative* ordering.
 
-use slice_tuner::{run_trials, PoolSource, SliceTuner, Strategy, TSchedule};
-use st_bench::{rule, trials, FamilySetup};
+use slice_tuner::{PoolSource, SliceTuner, Strategy, TSchedule};
+use st_bench::{rule, run_cell, trials, FamilySetup};
 use st_data::SlicedDataset;
 
 fn main() {
@@ -23,11 +23,17 @@ fn main() {
     println!("Figure 11: noisy learning curves at slice size {init}");
     for s in [4usize, 7] {
         let name = setup.family.slice_names()[s];
-        println!("  slice {name:<12} y = {:.3}x^(-{:.3})", curves[s].b, curves[s].a);
+        println!(
+            "  slice {name:<12} y = {:.3}x^(-{:.3})",
+            curves[s].b, curves[s].a
+        );
     }
 
     println!("\nTable 7: loss and unfairness with small slices (init {init}, B = {budget}, {trials} trials)");
-    println!("{:<14} {:>8} {:>10} {:>10}", "Method", "Loss", "Avg EER", "Max EER");
+    println!(
+        "{:<14} {:>8} {:>10} {:>10}",
+        "Method", "Loss", "Avg EER", "Max EER"
+    );
     rule(46);
     let methods = [
         ("Uniform", Strategy::Uniform),
@@ -36,7 +42,7 @@ fn main() {
     ];
     let mut cfg = setup.config(5);
     cfg.min_slice_size = init;
-    let orig = run_trials(
+    let orig = run_cell(
         &setup.family,
         &sizes,
         setup.validation,
@@ -50,7 +56,7 @@ fn main() {
         "Original", orig.original_loss.mean, orig.original_avg_eer.mean, orig.original_max_eer.mean
     );
     for (name, strategy) in &methods {
-        let agg = run_trials(
+        let agg = run_cell(
             &setup.family,
             &sizes,
             setup.validation,

@@ -2,8 +2,8 @@
 //! curve generation — wall-clock runtime and resulting loss/unfairness for
 //! the Moderate method on Fashion-MNIST.
 
-use slice_tuner::{run_trials, Strategy, TSchedule};
-use st_bench::{rule, trials, FamilySetup};
+use slice_tuner::{Strategy, TSchedule};
+use st_bench::{rule, run_cell, trials, FamilySetup};
 use st_curve::EstimationMode;
 use std::time::Instant;
 
@@ -23,14 +23,15 @@ fn main() {
     );
     rule(80);
     for (init, budget) in cells {
-        for (name, mode) in
-            [("Exhaustive", EstimationMode::Exhaustive), ("Slice Tuner", EstimationMode::Amortized)]
-        {
+        for (name, mode) in [
+            ("Exhaustive", EstimationMode::Exhaustive),
+            ("Slice Tuner", EstimationMode::Amortized),
+        ] {
             let cfg = setup.config(8).with_mode(mode);
             let start = Instant::now();
-            let agg = run_trials(
+            let agg = run_cell(
                 &setup.family,
-                &vec![init; 10],
+                &[init; 10],
                 setup.validation,
                 budget,
                 Strategy::Iterative(TSchedule::moderate()),

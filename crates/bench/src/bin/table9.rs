@@ -2,8 +2,8 @@
 //! model on Fashion-MNIST. Absolute losses rise (the model is too big for
 //! the data), but the method ranking is unchanged.
 
-use slice_tuner::{run_trials, Strategy, TSchedule};
-use st_bench::{rule, trials, FamilySetup};
+use slice_tuner::{Strategy, TSchedule};
+use st_bench::{rule, run_cell, trials, FamilySetup};
 use st_models::ModelSpec;
 
 fn main() {
@@ -17,13 +17,16 @@ fn main() {
         "Table 9: overparameterized model ({}) on Fashion-MNIST (init {init}, B = {budget}, {trials} trials)\n",
         setup.spec.repr()
     );
-    println!("{:<14} {:>8} {:>10} {:>10}", "Method", "Loss", "Avg EER", "Max EER");
+    println!(
+        "{:<14} {:>8} {:>10} {:>10}",
+        "Method", "Loss", "Avg EER", "Max EER"
+    );
     rule(46);
 
     let cfg = setup.config(9);
-    let orig = run_trials(
+    let orig = run_cell(
         &setup.family,
-        &vec![init; 10],
+        &[init; 10],
         setup.validation,
         0.0,
         Strategy::Uniform,
@@ -39,9 +42,9 @@ fn main() {
         ("Water filling", Strategy::WaterFilling),
         ("Moderate", Strategy::Iterative(TSchedule::moderate())),
     ] {
-        let agg = run_trials(
+        let agg = run_cell(
             &setup.family,
-            &vec![init; 10],
+            &[init; 10],
             setup.validation,
             budget,
             strategy,

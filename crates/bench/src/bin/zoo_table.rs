@@ -25,12 +25,7 @@ fn main() {
 
         // Measure curve points exactly as the estimator does, but keep the
         // raw (n, loss) pairs so every family sees identical data.
-        let ds = SlicedDataset::generate(
-            &setup.family,
-            &setup.equal_sizes(),
-            setup.validation,
-            11,
-        );
+        let ds = SlicedDataset::generate(&setup.family, &setup.equal_sizes(), setup.validation, 11);
         let mut src = PoolSource::new(setup.family.clone(), 11);
         let mut cfg = setup.config(11);
         cfg.fractions = vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
@@ -45,8 +40,7 @@ fn main() {
         for (k, &frac) in cfg.fractions.iter().enumerate() {
             for r in 0..cfg.repeats {
                 let ds = tuner.dataset();
-                let subset =
-                    ds.joint_train_subset_seeded(frac, (k * 31 + r) as u64 + 1, 0);
+                let subset = ds.joint_train_subset_seeded(frac, (k * 31 + r) as u64 + 1, 0);
                 let model = st_models::train_on_examples(
                     &subset,
                     ds.feature_dim,
@@ -56,10 +50,15 @@ fn main() {
                 );
                 for s in 0..n_slices {
                     let n_in = subset.iter().filter(|e| e.slice.index() == s).count();
-                    let loss =
-                        st_models::log_loss_of(&model, &st_models::examples_to_matrix(
-                            &ds.slices[s].validation,
-                        ), &ds.slices[s].validation.iter().map(|e| e.label).collect::<Vec<_>>());
+                    let loss = st_models::log_loss_of(
+                        &model,
+                        &st_models::examples_to_matrix(&ds.slices[s].validation),
+                        &ds.slices[s]
+                            .validation
+                            .iter()
+                            .map(|e| e.label)
+                            .collect::<Vec<_>>(),
+                    );
                     points[s].push(CurvePoint::size_weighted(n_in as f64, loss));
                 }
             }
@@ -83,20 +82,21 @@ fn main() {
             if rank <= 2 {
                 power_in_top2 += 1;
             }
-            println!("{:<10} {:>12} {:>14}", setup.family.slices[s].name, winner, rank);
+            println!(
+                "{:<10} {:>12} {:>14}",
+                setup.family.slices[s].name, winner, rank
+            );
         }
         println!();
     }
 
     println!("Winner counts across {total} slices:");
     let mut rows: Vec<_> = wins.into_iter().collect();
-    rows.sort_by(|a, b| b.1.cmp(&a.1));
+    rows.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
     for (name, n) in rows {
         println!("  {name:<10} {n}");
     }
-    println!(
-        "\nPower law (pow2/pow3) in the AIC top-2 on {power_in_top2}/{total} slices"
-    );
+    println!("\nPower law (pow2/pow3) in the AIC top-2 on {power_in_top2}/{total} slices");
     println!("(paper claim: the power law fits as well as any other curve — expect a");
     println!(" large top-2 fraction, not necessarily outright wins on every slice)");
 }

@@ -6,10 +6,19 @@
 //!
 //! - `ST_TRIALS` — trials per cell (paper: 10; default here: 3)
 //! - `ST_QUICK=1` — shrink budgets and trainings for smoke runs
+//! - `ST_JOBS` — worker threads for the parallel trial executor
+//!   (default 0 = all cores)
+//!
+//! Every binary routes its repeated-trial cells through [`run_cell`], which
+//! fans trials out over `ST_JOBS` workers and shares one process-wide
+//! curve-estimation cache — sweeps that re-estimate identical `(dataset,
+//! seed)` curves (λ sweeps, schedule comparisons) reuse the fits instead of
+//! retraining, without changing a single output bit.
 
-use slice_tuner::TunerConfig;
+use slice_tuner::{AggregateResult, CurveCache, Strategy, TunerConfig};
 use st_data::{families, DatasetFamily};
 use st_models::ModelSpec;
+use std::sync::{Arc, OnceLock};
 
 /// One benchmark dataset wired up like the paper's Section 6.1 settings.
 pub struct FamilySetup {
@@ -78,7 +87,12 @@ impl FamilySetup {
 
     /// All four, in the paper's table order.
     pub fn all() -> Vec<FamilySetup> {
-        vec![Self::fashion(), Self::mixed(), Self::faces(), Self::census()]
+        vec![
+            Self::fashion(),
+            Self::mixed(),
+            Self::faces(),
+            Self::census(),
+        ]
     }
 
     /// The tuner configuration used for this dataset's experiments.
@@ -114,7 +128,59 @@ impl FamilySetup {
 
 /// Trials per experiment cell (`ST_TRIALS`, default 3; paper uses 10).
 pub fn trials() -> usize {
-    std::env::var("ST_TRIALS").ok().and_then(|v| v.parse().ok()).unwrap_or(3)
+    std::env::var("ST_TRIALS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3)
+}
+
+/// Worker threads for the parallel trial executor (`ST_JOBS`, default 0 =
+/// all available cores).
+pub fn jobs() -> usize {
+    std::env::var("ST_JOBS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+/// The process-wide curve-estimation cache shared by every [`run_cell`].
+///
+/// Keys include the dataset content fingerprint and the derived estimator
+/// seed, so sharing across unrelated cells is always sound: a hit is
+/// bit-identical to recomputation. Reported training counts reflect
+/// trainings actually performed — a cached estimation costs zero.
+pub fn shared_cache() -> Arc<CurveCache> {
+    static CACHE: OnceLock<Arc<CurveCache>> = OnceLock::new();
+    Arc::clone(CACHE.get_or_init(CurveCache::shared))
+}
+
+/// Runs one repeated-trial experiment cell through the parallel executor
+/// ([`slice_tuner::run_trials_parallel`]) with the bench-wide [`jobs`]
+/// setting and the [`shared_cache`]. Drop-in replacement for the
+/// sequential `slice_tuner::run_trials` with identical aggregates.
+pub fn run_cell(
+    family: &DatasetFamily,
+    initial_sizes: &[usize],
+    validation_size: usize,
+    budget: f64,
+    strategy: Strategy,
+    config: &TunerConfig,
+    trials: usize,
+) -> AggregateResult {
+    let config = match &config.cache {
+        Some(_) => config.clone(),
+        None => config.clone().with_cache(shared_cache()),
+    };
+    slice_tuner::run_trials_parallel(
+        family,
+        initial_sizes,
+        validation_size,
+        budget,
+        strategy,
+        &config,
+        trials,
+        jobs(),
+    )
 }
 
 /// Quick smoke mode (`ST_QUICK=1`).
@@ -129,7 +195,11 @@ pub fn rule(width: usize) {
 
 /// Formats an integer slice as the paper's per-slice acquisition rows.
 pub fn fmt_counts(counts: &[f64]) -> String {
-    counts.iter().map(|c| format!("{:>5}", c.round() as i64)).collect::<Vec<_>>().join(" ")
+    counts
+        .iter()
+        .map(|c| format!("{:>5}", c.round() as i64))
+        .collect::<Vec<_>>()
+        .join(" ")
 }
 
 #[cfg(test)]
@@ -157,7 +227,10 @@ mod tests {
     #[test]
     fn faces_setup_carries_table1_costs() {
         let f = FamilySetup::faces();
-        assert_eq!(f.family.costs(), st_data::families::faces::FACE_COSTS.to_vec());
+        assert_eq!(
+            f.family.costs(),
+            st_data::families::faces::FACE_COSTS.to_vec()
+        );
     }
 
     #[test]

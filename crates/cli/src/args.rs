@@ -42,7 +42,9 @@ impl Args {
     pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
         match self.flags.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("--{key}: cannot parse '{v}'")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key}: cannot parse '{v}'")),
         }
     }
 
@@ -52,7 +54,11 @@ impl Args {
             None => Ok(None),
             Some(v) => v
                 .split(',')
-                .map(|p| p.trim().parse().map_err(|_| format!("--{key}: bad entry '{p}'")))
+                .map(|p| {
+                    p.trim()
+                        .parse()
+                        .map_err(|_| format!("--{key}: bad entry '{p}'"))
+                })
                 .collect::<Result<Vec<usize>, String>>()
                 .map(Some),
         }
@@ -60,7 +66,11 @@ impl Args {
 
     /// Flags the user passed that are not in `known` (typo guard).
     pub fn unknown_flags(&self, known: &[&str]) -> Vec<String> {
-        self.flags.keys().filter(|k| !known.contains(&k.as_str())).cloned().collect()
+        self.flags
+            .keys()
+            .filter(|k| !known.contains(&k.as_str()))
+            .cloned()
+            .collect()
     }
 }
 

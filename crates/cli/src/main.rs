@@ -53,7 +53,8 @@ fn usage() {
          \x20 slice-tuner-cli autoslice --family <name> [--examples 1200] [--max-depth 4]\n\
          \x20 slice-tuner-cli sensitivity --family <name> [--budget 500] [--size 300]\n\
          \x20 slice-tuner-cli experiment --family <name> [--strategies uniform,waterfilling,moderate]\n\
-         \x20                           [--budget 500] [--trials 3] [--format markdown|csv]\n\
+         \x20                           [--budget 500] [--trials 3] [--jobs N] [--cache true|false]\n\
+         \x20                           [--format markdown|csv]\n\
          \x20 slice-tuner-cli families\n\
          families: fashion | mixed | faces | census"
     );
@@ -65,7 +66,9 @@ fn family_by_name(name: &str) -> Result<DatasetFamily, String> {
         "mixed" => Ok(families::mixed_selected()),
         "faces" => Ok(families::faces()),
         "census" => Ok(families::census()),
-        other => Err(format!("unknown family '{other}' (try: fashion, mixed, faces, census)")),
+        other => Err(format!(
+            "unknown family '{other}' (try: fashion, mixed, faces, census)"
+        )),
     }
 }
 
@@ -92,8 +95,16 @@ fn spec_for(family: &DatasetFamily) -> ModelSpec {
 }
 
 fn cmd_tune(args: &Args) -> Result<(), String> {
-    let known =
-        ["family", "strategy", "budget", "sizes", "lambda", "seed", "validation", "epochs"];
+    let known = [
+        "family",
+        "strategy",
+        "budget",
+        "sizes",
+        "lambda",
+        "seed",
+        "validation",
+        "epochs",
+    ];
     reject_unknown(args, &known)?;
     let family = family_by_name(args.get("family").unwrap_or("census"))?;
     let strategy = strategy_by_name(args.get("strategy").unwrap_or("moderate"))?;
@@ -114,14 +125,18 @@ fn cmd_tune(args: &Args) -> Result<(), String> {
 
     let ds = SlicedDataset::generate(&family, &sizes, validation, seed);
     let mut pool = PoolSource::new(family.clone(), seed);
-    let mut config =
-        TunerConfig::new(spec_for(&family)).with_seed(seed).with_lambda(lambda);
+    let mut config = TunerConfig::new(spec_for(&family))
+        .with_seed(seed)
+        .with_lambda(lambda);
     config.train.epochs = args.get_or("epochs", config.train.epochs)?;
     let mut tuner = SliceTuner::new(ds, &mut pool, config);
     let result = tuner.run(strategy, budget);
 
     println!("strategy {:<14} budget {budget}", strategy.name());
-    println!("{:<16} {:>8} {:>8} {:>8}", "slice", "initial", "acquired", "final");
+    println!(
+        "{:<16} {:>8} {:>8} {:>8}",
+        "slice", "initial", "acquired", "final"
+    );
     for (i, name) in family.slice_names().iter().enumerate() {
         println!(
             "{name:<16} {:>8} {:>8} {:>8}",
@@ -154,18 +169,16 @@ fn cmd_curves(args: &Args) -> Result<(), String> {
     let validation: usize = args.get_or("validation", 300)?;
     let bands: bool = args.get_or("bands", false)?;
 
-    let ds = SlicedDataset::generate(
-        &family,
-        &vec![size; family.num_slices()],
-        validation,
-        seed,
-    );
+    let ds = SlicedDataset::generate(&family, &vec![size; family.num_slices()], validation, seed);
     let mut pool = PoolSource::new(family.clone(), seed);
     let config = TunerConfig::new(spec_for(&family)).with_seed(seed);
     let tuner = SliceTuner::new(ds, &mut pool, config);
     let detail = tuner.estimate_curves_detailed(0);
 
-    println!("learning curves at size {size} ({} trainings):", tuner.trainings());
+    println!(
+        "learning curves at size {size} ({} trainings):",
+        tuner.trainings()
+    );
     for (name, est) in family.slice_names().iter().zip(&detail) {
         match &est.fit {
             Ok(c) => {
@@ -204,7 +217,10 @@ fn cmd_curves(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_autoslice(args: &Args) -> Result<(), String> {
-    reject_unknown(args, &["family", "examples", "max-depth", "min-size", "seed"])?;
+    reject_unknown(
+        args,
+        &["family", "examples", "max-depth", "min-size", "seed"],
+    )?;
     let family = family_by_name(args.get("family").unwrap_or("census"))?;
     let n: usize = args.get_or("examples", 1200)?;
     let seed: u64 = args.get_or("seed", 42)?;
@@ -228,8 +244,11 @@ fn cmd_autoslice(args: &Args) -> Result<(), String> {
         result.num_slices,
         result.splits.len()
     );
-    for (i, (&size, &h)) in
-        result.slice_sizes().iter().zip(&result.slice_entropies).enumerate()
+    for (i, (&size, &h)) in result
+        .slice_sizes()
+        .iter()
+        .zip(&result.slice_entropies)
+        .enumerate()
     {
         println!("  slice {i:<3} size {size:<6} label entropy {h:.3}");
     }
@@ -237,7 +256,10 @@ fn cmd_autoslice(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_sensitivity(args: &Args) -> Result<(), String> {
-    reject_unknown(args, &["family", "budget", "size", "lambda", "seed", "validation"])?;
+    reject_unknown(
+        args,
+        &["family", "budget", "size", "lambda", "seed", "validation"],
+    )?;
     let family = family_by_name(args.get("family").unwrap_or("census"))?;
     let budget: f64 = args.get_or("budget", 500.0)?;
     let size: usize = args.get_or("size", 300)?;
@@ -245,31 +267,32 @@ fn cmd_sensitivity(args: &Args) -> Result<(), String> {
     let seed: u64 = args.get_or("seed", 42)?;
     let validation: usize = args.get_or("validation", 300)?;
 
-    let ds = SlicedDataset::generate(
-        &family,
-        &vec![size; family.num_slices()],
-        validation,
-        seed,
-    );
+    let ds = SlicedDataset::generate(&family, &vec![size; family.num_slices()], validation, seed);
     let mut pool = PoolSource::new(family.clone(), seed);
-    let config = TunerConfig::new(spec_for(&family)).with_seed(seed).with_lambda(lambda);
+    let config = TunerConfig::new(spec_for(&family))
+        .with_seed(seed)
+        .with_lambda(lambda);
     let tuner = SliceTuner::new(ds, &mut pool, config);
     let curves = tuner.estimate_curves(0);
 
-    let sizes: Vec<f64> =
-        tuner.dataset().train_sizes().iter().map(|&s| s as f64).collect();
-    let problem = st_optim::AcquisitionProblem::new(
-        curves,
-        sizes,
-        tuner.dataset().costs(),
-        budget,
-        lambda,
-    );
-    let report =
-        st_optim::budget_sensitivity(&problem, &st_optim::BarrierOptions::default());
+    let sizes: Vec<f64> = tuner
+        .dataset()
+        .train_sizes()
+        .iter()
+        .map(|&s| s as f64)
+        .collect();
+    let problem =
+        st_optim::AcquisitionProblem::new(curves, sizes, tuner.dataset().costs(), budget, lambda);
+    let report = st_optim::budget_sensitivity(&problem, &st_optim::BarrierOptions::default());
 
-    println!("budget {budget}: marginal objective value {:.6}/unit", report.marginal_value);
-    println!("{:<16} {:>12} {:>14}", "slice", "allocation", "d alloc / d B");
+    println!(
+        "budget {budget}: marginal objective value {:.6}/unit",
+        report.marginal_value
+    );
+    println!(
+        "{:<16} {:>12} {:>14}",
+        "slice", "allocation", "d alloc / d B"
+    );
     for (i, name) in family.slice_names().iter().enumerate() {
         println!(
             "{name:<16} {:>12.1} {:>14.4}",
@@ -290,16 +313,28 @@ fn cmd_sensitivity(args: &Args) -> Result<(), String> {
 
 fn cmd_experiment(args: &Args) -> Result<(), String> {
     let known = [
-        "family", "strategies", "budget", "trials", "size", "lambda", "seed", "validation",
-        "epochs", "format", "threads", "config",
+        "family",
+        "strategies",
+        "budget",
+        "trials",
+        "size",
+        "lambda",
+        "seed",
+        "validation",
+        "epochs",
+        "format",
+        "jobs",
+        "threads",
+        "cache",
+        "config",
     ];
     reject_unknown(args, &known)?;
 
     // Start from a config file when given; flags override its values.
     let base = match args.get("config") {
         Some(path) => {
-            let text = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
             slice_tuner::ExperimentSpec::parse(&text).map_err(|e| e.to_string())?
         }
         None => slice_tuner::ExperimentSpec::default(),
@@ -315,25 +350,46 @@ fn cmd_experiment(args: &Args) -> Result<(), String> {
     };
     let budget: f64 = args.get_or("budget", base.budget)?;
     let trials: usize = args.get_or("trials", base.trials)?;
+    if trials == 0 {
+        return Err("--trials must be at least 1".into());
+    }
     let size: usize = args.get_or("size", base.initial_size)?;
     let lambda: f64 = args.get_or("lambda", base.lambda)?;
     let seed: u64 = args.get_or("seed", base.seed)?;
     let validation: usize = args.get_or("validation", base.validation_size)?;
-    let threads: usize = args.get_or("threads", 0)?;
+    // `--jobs N` is the canonical worker-count flag (0 = all cores);
+    // `--threads` is kept as an alias for older invocations.
+    let jobs: usize = args.get_or("jobs", args.get_or("threads", 0)?)?;
     let format = args.get("format").unwrap_or("markdown");
 
-    let mut config =
-        TunerConfig::new(spec_for(&family)).with_seed(seed).with_lambda(lambda);
-    let default_epochs =
-        if base.epochs > 0 { base.epochs } else { config.train.epochs };
+    let mut config = TunerConfig::new(spec_for(&family))
+        .with_seed(seed)
+        .with_lambda(lambda);
+    let default_epochs = if base.epochs > 0 {
+        base.epochs
+    } else {
+        config.train.epochs
+    };
     config.train.epochs = args.get_or("epochs", default_epochs)?;
+    // One curve cache for the whole experiment (`--cache false` to disable):
+    // strategies that estimate identical (dataset, seed) curves — e.g. the
+    // three iterative schedules on the same trial — share the fits instead
+    // of retraining. Metrics are unaffected; the Trainings column then
+    // counts work actually performed, so later strategies report lower
+    // numbers than they would standalone (a footnote flags this).
+    let use_cache: bool = args.get_or("cache", true)?;
+    let cache = use_cache.then(slice_tuner::CurveCache::shared);
+    let config = match &cache {
+        Some(c) => config.with_cache(std::sync::Arc::clone(c)),
+        None => config,
+    };
 
     let sizes = vec![size; family.num_slices()];
     let rows: Vec<slice_tuner::AggregateResult> = strategies
         .iter()
         .map(|&s| {
             slice_tuner::run_trials_parallel(
-                &family, &sizes, validation, budget, s, &config, trials, threads,
+                &family, &sizes, validation, budget, s, &config, trials, jobs,
             )
         })
         .collect();
@@ -354,15 +410,44 @@ fn cmd_experiment(args: &Args) -> Result<(), String> {
                     &rows,
                 )
             );
+            if let Some(c) = &cache {
+                if c.hits() > 0 {
+                    println!(
+                        "\n(curve cache: {} hits, {} misses — Trainings counts work actually \
+                         performed, so strategies listed later reuse earlier fits; pass \
+                         --cache false for strict standalone per-method costs)",
+                        c.hits(),
+                        c.misses()
+                    );
+                }
+            }
         }
-        "csv" => print!("{}", slice_tuner::methods_csv(&rows)),
+        "csv" => {
+            print!("{}", slice_tuner::methods_csv(&rows));
+            // Keep stdout machine-parseable; the cache caveat goes to stderr.
+            if let Some(c) = &cache {
+                if c.hits() > 0 {
+                    eprintln!(
+                        "note: curve cache shared across strategies ({} hits) — trainings \
+                         column counts work actually performed; pass --cache false for \
+                         strict standalone per-method costs",
+                        c.hits()
+                    );
+                }
+            }
+        }
         other => return Err(format!("unknown format '{other}' (markdown | csv)")),
     }
     Ok(())
 }
 
 fn cmd_families() -> Result<(), String> {
-    for fam in [families::fashion(), families::mixed(), families::faces(), families::census()] {
+    for fam in [
+        families::fashion(),
+        families::mixed(),
+        families::faces(),
+        families::census(),
+    ] {
         println!(
             "{:<10} {} slices, {} classes, dim {}",
             fam.name,

@@ -91,8 +91,15 @@ impl CrowdStats {
     /// slice, rounded to one decimal.
     pub fn derived_costs(&self) -> Vec<f64> {
         let means = self.mean_seconds();
-        let min = means.iter().cloned().filter(|m| m.is_finite()).fold(f64::INFINITY, f64::min);
-        means.iter().map(|m| ((m / min) * 10.0).round() / 10.0).collect()
+        let min = means
+            .iter()
+            .cloned()
+            .filter(|m| m.is_finite())
+            .fold(f64::INFINITY, f64::min);
+        means
+            .iter()
+            .map(|m| ((m / min) * 10.0).round() / 10.0)
+            .collect()
     }
 }
 
@@ -116,9 +123,19 @@ impl CrowdSimulator {
     /// rates are out of `[0, 1)`.
     pub fn new(family: DatasetFamily, config: CrowdConfig, seed: u64) -> Self {
         let n = family.num_slices();
-        assert_eq!(config.mean_task_seconds.len(), n, "latency table length mismatch");
-        assert!((0.0..1.0).contains(&config.duplicate_rate), "duplicate_rate out of range");
-        assert!((0.0..1.0).contains(&config.mistake_rate), "mistake_rate out of range");
+        assert_eq!(
+            config.mean_task_seconds.len(),
+            n,
+            "latency table length mismatch"
+        );
+        assert!(
+            (0.0..1.0).contains(&config.duplicate_rate),
+            "duplicate_rate out of range"
+        );
+        assert!(
+            (0.0..1.0).contains(&config.mistake_rate),
+            "mistake_rate out of range"
+        );
         CrowdSimulator {
             config,
             seed,
@@ -144,8 +161,12 @@ impl AcquisitionSource for CrowdSimulator {
     fn cost(&self, slice: SliceId) -> f64 {
         // Cost ∝ mean task time, normalized by the cheapest slice — exactly
         // how Table 1 derives C from the latency row.
-        let min =
-            self.config.mean_task_seconds.iter().cloned().fold(f64::INFINITY, f64::min);
+        let min = self
+            .config
+            .mean_task_seconds
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
         let c = self.config.mean_task_seconds[slice.index()] / min;
         (c * 10.0).round() / 10.0
     }
@@ -214,7 +235,11 @@ mod tests {
         let got = sim.acquire(SliceId(0), 200);
         assert_eq!(got.len(), 200, "simulator keeps posting tasks until filled");
         let st = sim.stats();
-        assert!(st.tasks[0] > 200, "filtering forces extra tasks: {}", st.tasks[0]);
+        assert!(
+            st.tasks[0] > 200,
+            "filtering forces extra tasks: {}",
+            st.tasks[0]
+        );
         assert!(st.duplicates[0] + st.mistakes[0] > 0);
         assert_eq!(st.accepted[0], 200);
     }
@@ -237,7 +262,11 @@ mod tests {
         // Derived costs reproduce Table 1 within rounding noise.
         let costs = sim.stats().derived_costs();
         for (i, &c) in st_data::families::faces::FACE_COSTS.iter().enumerate() {
-            assert!((costs[i] - c).abs() <= 0.2, "slice {i}: {} vs {c}", costs[i]);
+            assert!(
+                (costs[i] - c).abs() <= 0.2,
+                "slice {i}: {} vs {c}",
+                costs[i]
+            );
         }
     }
 

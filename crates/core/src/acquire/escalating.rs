@@ -21,7 +21,10 @@ pub struct EscalationConfig {
 
 impl Default for EscalationConfig {
     fn default() -> Self {
-        EscalationConfig { step: 100, rate: 0.25 }
+        EscalationConfig {
+            step: 100,
+            rate: 0.25,
+        }
     }
 }
 
@@ -40,7 +43,11 @@ impl<S: AcquisitionSource> EscalatingSource<S> {
     pub fn new(inner: S, config: EscalationConfig) -> Self {
         assert!(config.step > 0, "step must be positive");
         assert!(config.rate >= 0.0, "rate must be non-negative");
-        EscalatingSource { inner, config, delivered: Vec::new() }
+        EscalatingSource {
+            inner,
+            config,
+            delivered: Vec::new(),
+        }
     }
 
     /// Total delivered so far for `slice`.
@@ -113,7 +120,11 @@ mod tests {
         let mut src = source(10, 1.0);
         src.acquire(SliceId(0), 25);
         assert_eq!(src.cost(SliceId(0)), 4.0);
-        assert_eq!(src.cost(SliceId(1)), 1.0, "untouched slice keeps base price");
+        assert_eq!(
+            src.cost(SliceId(1)),
+            1.0,
+            "untouched slice keeps base price"
+        );
     }
 
     #[test]
@@ -134,7 +145,10 @@ mod tests {
         let ds = SlicedDataset::generate(&fam, &[40; 4], 60, 5);
         let mut src = EscalatingSource::new(
             PoolSource::new(fam, 6),
-            EscalationConfig { step: 20, rate: 1.0 },
+            EscalationConfig {
+                step: 20,
+                rate: 1.0,
+            },
         );
         let mut cfg = TunerConfig::new(ModelSpec::softmax());
         cfg.train.epochs = 8;
@@ -146,7 +160,10 @@ mod tests {
         // Batch 1 at base prices: 150/4 = 37 per slice, crossing one step.
         let first = tuner.run(Strategy::Uniform, 150.0);
         let first_total: usize = first.acquired.iter().sum();
-        assert_eq!(first_total, 150, "unit prices: the whole budget converts to examples");
+        assert_eq!(
+            first_total, 150,
+            "unit prices: the whole budget converts to examples"
+        );
 
         // Batch 2: the tuner re-reads prices (now 2.0 per slice after one
         // completed step), so the same budget buys about half the data.

@@ -26,7 +26,11 @@ pub struct FaultConfig {
 
 impl Default for FaultConfig {
     fn default() -> Self {
-        FaultConfig { drop_rate: 0.0, capacity_per_slice: usize::MAX, seed: 0 }
+        FaultConfig {
+            drop_rate: 0.0,
+            capacity_per_slice: usize::MAX,
+            seed: 0,
+        }
     }
 }
 
@@ -49,7 +53,12 @@ impl<S: AcquisitionSource> FaultySource<S> {
             "drop_rate must be a probability"
         );
         let rng = seeded_rng(config.seed);
-        FaultySource { inner, config, delivered: Vec::new(), rng }
+        FaultySource {
+            inner,
+            config,
+            delivered: Vec::new(),
+            rng,
+        }
     }
 
     /// Total examples delivered so far for `slice`.
@@ -73,8 +82,10 @@ impl<S: AcquisitionSource> AcquisitionSource for FaultySource<S> {
         if self.delivered.len() <= idx {
             self.delivered.resize(idx + 1, 0);
         }
-        let remaining_capacity =
-            self.config.capacity_per_slice.saturating_sub(self.delivered[idx]);
+        let remaining_capacity = self
+            .config
+            .capacity_per_slice
+            .saturating_sub(self.delivered[idx]);
         let want = n.min(remaining_capacity);
         let mut got = self.inner.acquire(slice, want);
         if self.config.drop_rate > 0.0 {
@@ -110,16 +121,31 @@ mod tests {
 
     #[test]
     fn drop_rate_shrinks_deliveries() {
-        let cfg = FaultConfig { drop_rate: 0.5, seed: 3, ..Default::default() };
+        let cfg = FaultConfig {
+            drop_rate: 0.5,
+            seed: 3,
+            ..Default::default()
+        };
         let mut src = FaultySource::new(pool(), cfg);
         let got = src.acquire(SliceId(1), 400);
-        assert!(got.len() < 300, "expected heavy shrinkage, got {}", got.len());
-        assert!(got.len() > 100, "should not drop nearly everything: {}", got.len());
+        assert!(
+            got.len() < 300,
+            "expected heavy shrinkage, got {}",
+            got.len()
+        );
+        assert!(
+            got.len() > 100,
+            "should not drop nearly everything: {}",
+            got.len()
+        );
     }
 
     #[test]
     fn capacity_exhausts_a_slice() {
-        let cfg = FaultConfig { capacity_per_slice: 30, ..Default::default() };
+        let cfg = FaultConfig {
+            capacity_per_slice: 30,
+            ..Default::default()
+        };
         let mut src = FaultySource::new(pool(), cfg);
         assert_eq!(src.acquire(SliceId(0), 20).len(), 20);
         assert_eq!(src.acquire(SliceId(0), 20).len(), 10, "only 10 remain");
@@ -130,15 +156,29 @@ mod tests {
 
     #[test]
     fn faults_are_deterministic_per_seed() {
-        let cfg = FaultConfig { drop_rate: 0.3, seed: 11, ..Default::default() };
-        let a = FaultySource::new(pool(), cfg.clone()).acquire(SliceId(2), 100).len();
-        let b = FaultySource::new(pool(), cfg).acquire(SliceId(2), 100).len();
+        let cfg = FaultConfig {
+            drop_rate: 0.3,
+            seed: 11,
+            ..Default::default()
+        };
+        let a = FaultySource::new(pool(), cfg.clone())
+            .acquire(SliceId(2), 100)
+            .len();
+        let b = FaultySource::new(pool(), cfg)
+            .acquire(SliceId(2), 100)
+            .len();
         assert_eq!(a, b);
     }
 
     #[test]
     #[should_panic(expected = "probability")]
     fn rejects_invalid_drop_rate() {
-        let _ = FaultySource::new(pool(), FaultConfig { drop_rate: 1.5, ..Default::default() });
+        let _ = FaultySource::new(
+            pool(),
+            FaultConfig {
+                drop_rate: 1.5,
+                ..Default::default()
+            },
+        );
     }
 }

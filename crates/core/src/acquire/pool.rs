@@ -25,7 +25,12 @@ impl PoolSource {
     /// Creates a pool over `family`, seeded independently of the dataset.
     pub fn new(family: DatasetFamily, seed: u64) -> Self {
         let n = family.num_slices();
-        PoolSource { family, seed, next_stream: vec![2; n], drawn: vec![0; n] }
+        PoolSource {
+            family,
+            seed,
+            next_stream: vec![2; n],
+            drawn: vec![0; n],
+        }
     }
 
     /// Examples drawn so far per slice.
@@ -91,7 +96,10 @@ mod tests {
         let fresh = src.acquire(SliceId(0), 20);
         for f in &fresh {
             assert!(ds.slices[0].train.iter().all(|t| t.features != f.features));
-            assert!(ds.slices[0].validation.iter().all(|v| v.features != f.features));
+            assert!(ds.slices[0]
+                .validation
+                .iter()
+                .all(|v| v.features != f.features));
         }
     }
 }

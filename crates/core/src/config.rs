@@ -174,14 +174,15 @@ impl ExperimentSpec {
                 "budget" => spec.budget = value.parse().map_err(|_| bad())?,
                 "trials" => spec.trials = value.parse().map_err(|_| bad())?,
                 "initial_size" => spec.initial_size = value.parse().map_err(|_| bad())?,
-                "validation_size" => {
-                    spec.validation_size = value.parse().map_err(|_| bad())?
-                }
+                "validation_size" => spec.validation_size = value.parse().map_err(|_| bad())?,
                 "lambda" => spec.lambda = value.parse().map_err(|_| bad())?,
                 "seed" => spec.seed = value.parse().map_err(|_| bad())?,
                 "epochs" => spec.epochs = value.parse().map_err(|_| bad())?,
                 other => {
-                    return Err(SpecError::UnknownKey { line, key: other.to_string() })
+                    return Err(SpecError::UnknownKey {
+                        line,
+                        key: other.to_string(),
+                    })
                 }
             }
         }
@@ -190,8 +191,11 @@ impl ExperimentSpec {
 
     /// Serializes back to the parseable text format.
     pub fn to_text(&self) -> String {
-        let strategies: Vec<&str> =
-            self.strategies.iter().map(|&s| strategy_to_name(s)).collect();
+        let strategies: Vec<&str> = self
+            .strategies
+            .iter()
+            .map(|&s| strategy_to_name(s))
+            .collect();
         format!(
             "family = {}\nstrategies = {}\nbudget = {}\ntrials = {}\n\
              initial_size = {}\nvalidation_size = {}\nlambda = {}\nseed = {}\nepochs = {}\n",
@@ -214,7 +218,10 @@ mod tests {
 
     #[test]
     fn empty_text_yields_defaults() {
-        assert_eq!(ExperimentSpec::parse("").unwrap(), ExperimentSpec::default());
+        assert_eq!(
+            ExperimentSpec::parse("").unwrap(),
+            ExperimentSpec::default()
+        );
         assert_eq!(
             ExperimentSpec::parse("# just a comment\n\n").unwrap(),
             ExperimentSpec::default()
@@ -251,10 +258,12 @@ mod tests {
 
     #[test]
     fn round_trips_through_text() {
-        let mut spec = ExperimentSpec::default();
-        spec.family = "mixed".into();
-        spec.strategies = vec![Strategy::Proportional, Strategy::OneShot];
-        spec.budget = 6000.0;
+        let spec = ExperimentSpec {
+            family: "mixed".into(),
+            strategies: vec![Strategy::Proportional, Strategy::OneShot],
+            budget: 6000.0,
+            ..Default::default()
+        };
         let back = ExperimentSpec::parse(&spec.to_text()).unwrap();
         assert_eq!(spec, back);
     }
@@ -262,7 +271,13 @@ mod tests {
     #[test]
     fn unknown_key_is_an_error_with_line_number() {
         let err = ExperimentSpec::parse("family = census\nbugdet = 5\n").unwrap_err();
-        assert_eq!(err, SpecError::UnknownKey { line: 2, key: "bugdet".into() });
+        assert_eq!(
+            err,
+            SpecError::UnknownKey {
+                line: 2,
+                key: "bugdet".into()
+            }
+        );
     }
 
     #[test]

@@ -120,8 +120,10 @@ mod tests {
     fn sweep_reports_requested_steps() {
         let fam = faces();
         let sizes = vec![50, 100, 100, 100, 100, 100, 100, 100];
-        let mut cfg = TrainConfig::default();
-        cfg.epochs = 8;
+        let cfg = TrainConfig {
+            epochs: 8,
+            ..Default::default()
+        };
         let sweep = influence_sweep(
             &fam,
             &sizes,
@@ -143,8 +145,10 @@ mod tests {
     fn growing_a_slice_lowers_its_own_loss() {
         let fam = faces();
         let sizes = vec![40, 150, 150, 150, 150, 150, 150, 150];
-        let mut cfg = TrainConfig::default();
-        cfg.epochs = 12;
+        let cfg = TrainConfig {
+            epochs: 12,
+            ..Default::default()
+        };
         let sweep = influence_sweep(
             &fam,
             &sizes,

@@ -42,8 +42,13 @@
 //!   crowdsourcing (Amazon Mechanical Turk) simulator.
 //! - [`influence`] — the slice-influence sweep behind Figure 7.
 //! - [`runner`] — multi-trial experiment harness with the Table 6 settings.
+//! - [`trials`] — the parallel trial executor (`--jobs N`), bit-identical
+//!   to the sequential runner at any worker count.
+//! - [`cache`] — shared memoization of repeated curve estimations, keyed
+//!   on dataset content + seed so hits equal recomputation exactly.
 
 pub mod acquire;
+pub mod cache;
 pub mod config;
 pub mod influence;
 pub mod metrics;
@@ -55,9 +60,10 @@ pub mod trials;
 pub mod tuner;
 
 pub use acquire::{
-    AcquisitionSource, CrowdConfig, CrowdSimulator, CrowdStats, EscalatingSource,
-    EscalationConfig, FaultConfig, FaultySource, PoolSource,
+    AcquisitionSource, CrowdConfig, CrowdSimulator, CrowdStats, EscalatingSource, EscalationConfig,
+    FaultConfig, FaultySource, PoolSource,
 };
+pub use cache::{CurveCache, CurveKey};
 pub use config::{strategy_from_name, strategy_to_name, ExperimentSpec, SpecError};
 pub use influence::{influence_sweep, InfluencePoint, InfluenceSweep};
 pub use metrics::{avg_eer, max_eer, EvalReport};
@@ -65,8 +71,8 @@ pub use report::{acquisition_markdown, methods_csv, methods_markdown, series_mar
 pub use runner::{run_trials, AggregateResult, Setting, Summary};
 pub use similarity::{similarity_matrix, SimilarityMatrix};
 pub use strategy::{
-    proportional_allocation, uniform_allocation, water_filling_allocation, BanditParams,
-    Strategy, TSchedule,
+    proportional_allocation, uniform_allocation, water_filling_allocation, BanditParams, Strategy,
+    TSchedule,
 };
 pub use trials::run_trials_parallel;
 pub use tuner::{RunResult, SliceTuner, TunerConfig};

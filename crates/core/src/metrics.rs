@@ -23,7 +23,12 @@ impl EvalReport {
         let overall_loss = overall_validation_loss(model, ds);
         let avg_eer = avg_eer(&per_slice_losses, overall_loss);
         let max_eer = max_eer(&per_slice_losses, overall_loss);
-        EvalReport { per_slice_losses, overall_loss, avg_eer, max_eer }
+        EvalReport {
+            per_slice_losses,
+            overall_loss,
+            avg_eer,
+            max_eer,
+        }
     }
 }
 
@@ -38,7 +43,10 @@ pub fn avg_eer(per_slice: &[f64], overall: f64) -> f64 {
 
 /// The worst-case variant of Definition 1: the maximum absolute difference.
 pub fn max_eer(per_slice: &[f64], overall: f64) -> f64 {
-    per_slice.iter().map(|l| (l - overall).abs()).fold(f64::NAN, f64::max)
+    per_slice
+        .iter()
+        .map(|l| (l - overall).abs())
+        .fold(f64::NAN, f64::max)
 }
 
 #[cfg(test)]

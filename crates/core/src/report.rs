@@ -148,7 +148,10 @@ mod tests {
 
     #[test]
     fn methods_table_contains_all_rows_and_header() {
-        let rows = vec![fake_row(Strategy::Uniform, 0.4), fake_row(Strategy::OneShot, 0.35)];
+        let rows = vec![
+            fake_row(Strategy::Uniform, 0.4),
+            fake_row(Strategy::OneShot, 0.35),
+        ];
         let md = methods_markdown("Table 2 — census", &rows);
         assert!(md.contains("### Table 2 — census"));
         assert!(md.contains("| Original | 0.500 ± 0.010 |"));
@@ -174,7 +177,10 @@ mod tests {
 
     #[test]
     fn csv_has_header_plus_one_line_per_method() {
-        let rows = vec![fake_row(Strategy::Uniform, 0.4), fake_row(Strategy::OneShot, 0.3)];
+        let rows = vec![
+            fake_row(Strategy::Uniform, 0.4),
+            fake_row(Strategy::OneShot, 0.3),
+        ];
         let csv = methods_csv(&rows);
         assert_eq!(csv.lines().count(), 3);
         assert!(csv.starts_with("method,loss_mean"));

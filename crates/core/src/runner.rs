@@ -69,7 +69,10 @@ impl Setting {
 /// Ranks slices easiest (lowest probe loss) first.
 fn probe_loss_order(family: &DatasetFamily, base: usize, seed: u64) -> Vec<usize> {
     let ds = SlicedDataset::generate(family, &vec![base; family.num_slices()], 200, seed);
-    let cfg = st_models::TrainConfig { seed: split_seed(seed, 1), ..Default::default() };
+    let cfg = st_models::TrainConfig {
+        seed: split_seed(seed, 1),
+        ..Default::default()
+    };
     let model = train_on_examples(
         &ds.all_train(),
         family.feature_dim,
@@ -95,7 +98,10 @@ pub struct Summary {
 impl Summary {
     /// Summarizes samples.
     pub fn of(xs: &[f64]) -> Self {
-        Summary { mean: st_linalg::mean(xs), std: st_linalg::std_dev(xs) }
+        Summary {
+            mean: st_linalg::mean(xs),
+            std: st_linalg::std_dev(xs),
+        }
     }
 }
 
@@ -132,8 +138,77 @@ pub struct AggregateResult {
     pub trials: Vec<RunResult>,
 }
 
+impl AggregateResult {
+    /// True when every aggregated metric and per-trial outcome matches
+    /// `other` bit-for-bit.
+    ///
+    /// This is the comparison behind the workspace's determinism
+    /// regressions (sequential vs parallel executor, cached vs uncached,
+    /// `--jobs 1` vs `--jobs N`). `trainings` is deliberately excluded:
+    /// curve-cache hits legitimately reduce training counts without
+    /// affecting any result.
+    pub fn bits_identical_to(&self, other: &Self) -> bool {
+        let summary_eq = |a: &Summary, b: &Summary| {
+            a.mean.to_bits() == b.mean.to_bits() && a.std.to_bits() == b.std.to_bits()
+        };
+        let vec_bits_eq = |a: &[f64], b: &[f64]| {
+            a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+        };
+        let report_eq = |a: &crate::metrics::EvalReport, b: &crate::metrics::EvalReport| {
+            a.overall_loss.to_bits() == b.overall_loss.to_bits()
+                && a.avg_eer.to_bits() == b.avg_eer.to_bits()
+                && a.max_eer.to_bits() == b.max_eer.to_bits()
+                && vec_bits_eq(&a.per_slice_losses, &b.per_slice_losses)
+        };
+        self.trials.len() == other.trials.len()
+            && self.trials.iter().zip(&other.trials).all(|(x, y)| {
+                x.acquired == y.acquired
+                    && x.iterations == y.iterations
+                    && x.spent.to_bits() == y.spent.to_bits()
+                    && report_eq(&x.original, &y.original)
+                    && report_eq(&x.report, &y.report)
+            })
+            && summary_eq(&self.original_loss, &other.original_loss)
+            && summary_eq(&self.original_avg_eer, &other.original_avg_eer)
+            && summary_eq(&self.original_max_eer, &other.original_max_eer)
+            && summary_eq(&self.loss, &other.loss)
+            && summary_eq(&self.avg_eer, &other.avg_eer)
+            && summary_eq(&self.max_eer, &other.max_eer)
+            && vec_bits_eq(&self.acquired_mean, &other.acquired_mean)
+            && self.iterations.to_bits() == other.iterations.to_bits()
+    }
+}
+
+/// Runs one trial of an experiment: builds a fresh dataset, pool source,
+/// and tuner from the seed derived for trial `t`, and runs the strategy.
+///
+/// This is the unit of work both the sequential [`run_trials`] and the
+/// parallel [`run_trials_parallel`](crate::trials::run_trials_parallel)
+/// executor dispatch, so the two aggregate bit-identically by construction:
+/// every per-trial value is a function of `(inputs, t)` alone, never of
+/// which thread ran it or in what order.
+pub(crate) fn run_single_trial(
+    family: &DatasetFamily,
+    initial_sizes: &[usize],
+    validation_size: usize,
+    budget: f64,
+    strategy: Strategy,
+    config: &TunerConfig,
+    t: usize,
+) -> RunResult {
+    let trial_seed = split_seed(config.seed, 0x7121A1 + t as u64);
+    let ds = SlicedDataset::generate(family, initial_sizes, validation_size, trial_seed);
+    let mut source = PoolSource::new(family.clone(), split_seed(trial_seed, 2));
+    let mut tuner = SliceTuner::new(ds, &mut source, config.clone().with_seed(trial_seed));
+    tuner.run(strategy, budget)
+}
+
 /// Runs `strategy` for `trials` independent seeds on fresh datasets and
 /// aggregates the outcomes — the paper reports means over 10 trials.
+///
+/// Sequential; see
+/// [`run_trials_parallel`](crate::trials::run_trials_parallel) for the
+/// multi-threaded executor with identical output.
 pub fn run_trials(
     family: &DatasetFamily,
     initial_sizes: &[usize],
@@ -146,26 +221,25 @@ pub fn run_trials(
     assert!(trials > 0, "need at least one trial");
     let results: Vec<RunResult> = (0..trials)
         .map(|t| {
-            let trial_seed = split_seed(config.seed, 0x7121A1 + t as u64);
-            let ds = SlicedDataset::generate(family, initial_sizes, validation_size, trial_seed);
-            let mut source = PoolSource::new(family.clone(), split_seed(trial_seed, 2));
-            let mut tuner =
-                SliceTuner::new(ds, &mut source, config.clone().with_seed(trial_seed));
-            tuner.run(strategy, budget)
+            run_single_trial(
+                family,
+                initial_sizes,
+                validation_size,
+                budget,
+                strategy,
+                config,
+                t,
+            )
         })
         .collect();
     aggregate(strategy, results)
 }
 
 pub(crate) fn aggregate(strategy: Strategy, results: Vec<RunResult>) -> AggregateResult {
-    let collect = |f: &dyn Fn(&RunResult) -> f64| -> Vec<f64> {
-        results.iter().map(f).collect()
-    };
+    let collect = |f: &dyn Fn(&RunResult) -> f64| -> Vec<f64> { results.iter().map(f).collect() };
     let n_slices = results[0].acquired.len();
     let acquired_mean: Vec<f64> = (0..n_slices)
-        .map(|i| {
-            results.iter().map(|r| r.acquired[i] as f64).sum::<f64>() / results.len() as f64
-        })
+        .map(|i| results.iter().map(|r| r.acquired[i] as f64).sum::<f64>() / results.len() as f64)
         .collect();
     AggregateResult {
         strategy,
@@ -207,8 +281,11 @@ mod tests {
     fn pathological_settings_shape_sizes() {
         let fam = census();
         let bad_uni = Setting::BadForUniform.initial_sizes(&fam, 100, 1);
-        assert!(bad_uni.iter().filter(|&&s| s == 300).count() >= 2, "{bad_uni:?}");
-        assert!(bad_uni.iter().any(|&s| s == 100));
+        assert!(
+            bad_uni.iter().filter(|&&s| s == 300).count() >= 2,
+            "{bad_uni:?}"
+        );
+        assert!(bad_uni.contains(&100));
 
         let bad_wf = Setting::BadForWaterFilling.initial_sizes(&fam, 100, 1);
         assert!(bad_wf.contains(&300), "{bad_wf:?}");

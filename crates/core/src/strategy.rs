@@ -61,7 +61,10 @@ pub struct BanditParams {
 
 impl Default for BanditParams {
     fn default() -> Self {
-        BanditParams { batch: 100.0, epsilon: 0.1 }
+        BanditParams {
+            batch: 100.0,
+            epsilon: 0.1,
+        }
     }
 }
 
@@ -134,11 +137,20 @@ pub fn water_filling_allocation(sizes: &[f64], costs: &[f64], budget: f64) -> Ve
     assert_eq!(sizes.len(), costs.len(), "length mismatch");
     assert!(!sizes.is_empty(), "need at least one slice");
     let spend = |level: f64| -> f64 {
-        sizes.iter().zip(costs).map(|(&s, &c)| c * (level - s).max(0.0)).sum()
+        sizes
+            .iter()
+            .zip(costs)
+            .map(|(&s, &c)| c * (level - s).max(0.0))
+            .sum()
     };
     let mut lo = sizes.iter().cloned().fold(f64::INFINITY, f64::min);
     let mut hi = sizes.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
-        + budget / costs.iter().cloned().fold(f64::INFINITY, f64::min).max(1e-12);
+        + budget
+            / costs
+                .iter()
+                .cloned()
+                .fold(f64::INFINITY, f64::min)
+                .max(1e-12);
     debug_assert!(spend(lo) <= budget && spend(hi) >= budget);
     for _ in 0..200 {
         let mid = 0.5 * (lo + hi);
@@ -209,7 +221,10 @@ mod tests {
     fn strategy_names() {
         assert_eq!(Strategy::Uniform.name(), "Uniform");
         assert_eq!(Strategy::Proportional.name(), "Proportional");
-        assert_eq!(Strategy::Iterative(TSchedule::moderate()).name(), "Moderate");
+        assert_eq!(
+            Strategy::Iterative(TSchedule::moderate()).name(),
+            "Moderate"
+        );
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! selective data acquisition optimizer, wired to an acquisition source.
 
 use crate::acquire::AcquisitionSource;
+use crate::cache::{CurveCache, CurveKey};
 use crate::metrics::EvalReport;
 use crate::strategy::{uniform_allocation, water_filling_allocation, Strategy, TSchedule};
 use st_curve::{
@@ -37,6 +38,11 @@ pub struct TunerConfig {
     pub seed: u64,
     /// Estimator worker threads (0 = all cores).
     pub threads: usize,
+    /// Optional shared memo table for curve estimations. Keys include the
+    /// dataset's content fingerprint and the derived estimator seed, so a
+    /// hit is bit-identical to recomputation; share one cache across every
+    /// strategy/trial of an experiment (see [`crate::cache`]).
+    pub cache: Option<std::sync::Arc<CurveCache>>,
 }
 
 impl TunerConfig {
@@ -54,6 +60,7 @@ impl TunerConfig {
             max_iterations: 20,
             seed: 0,
             threads: 0,
+            cache: None,
         }
     }
 
@@ -79,6 +86,12 @@ impl TunerConfig {
     /// Sets the estimation mode.
     pub fn with_mode(mut self, mode: EstimationMode) -> Self {
         self.mode = mode;
+        self
+    }
+
+    /// Attaches a shared curve-estimation cache.
+    pub fn with_cache(mut self, cache: std::sync::Arc<CurveCache>) -> Self {
+        self.cache = Some(cache);
         self
     }
 }
@@ -111,7 +124,12 @@ pub struct SliceTuner<'a, S: AcquisitionSource> {
 impl<'a, S: AcquisitionSource> SliceTuner<'a, S> {
     /// Binds the engine to a dataset snapshot and an acquisition source.
     pub fn new(ds: SlicedDataset, source: &'a mut S, config: TunerConfig) -> Self {
-        SliceTuner { ds, source, config, trainings: AtomicUsize::new(0) }
+        SliceTuner {
+            ds,
+            source,
+            config,
+            trainings: AtomicUsize::new(0),
+        }
     }
 
     /// The current working dataset.
@@ -131,7 +149,10 @@ impl<'a, S: AcquisitionSource> SliceTuner<'a, S> {
 
     /// Trains the shared model on all current training data and evaluates it.
     pub fn train_and_eval(&self, stream: u64) -> (Mlp, EvalReport) {
-        let cfg = self.config.train.with_seed(split_seed(self.config.seed, 0xE0A1 ^ stream));
+        let cfg = self
+            .config
+            .train
+            .with_seed(split_seed(self.config.seed, 0xE0A1 ^ stream));
         let model = train_on_examples(
             &self.ds.all_train(),
             self.ds.feature_dim,
@@ -172,6 +193,25 @@ impl<'a, S: AcquisitionSource> SliceTuner<'a, S> {
             seed: split_seed(self.config.seed, 0xC04E ^ stream),
             threads: self.config.threads,
         };
+        match &self.config.cache {
+            None => self.run_estimator(&estimator),
+            Some(cache) => {
+                let key = CurveKey::new(
+                    self.ds.fingerprint(),
+                    crate::cache::model_fingerprint(&self.config.spec, &self.config.train),
+                    estimator.seed,
+                    &estimator.fractions,
+                    estimator.repeats,
+                    estimator.mode,
+                );
+                let cached = cache.get_or_compute(key, || self.run_estimator(&estimator));
+                cached.as_ref().clone()
+            }
+        }
+    }
+
+    /// Executes one full (uncached) estimation with the given schedule.
+    fn run_estimator(&self, estimator: &CurveEstimator) -> Vec<st_curve::SliceEstimate> {
         let n = self.ds.num_slices();
         let ds = &self.ds;
         let spec = &self.config.spec;
@@ -198,12 +238,15 @@ impl<'a, S: AcquisitionSource> SliceTuner<'a, S> {
             counter.fetch_add(1, Ordering::Relaxed);
 
             let eval_slice = |s: usize| -> SliceLossMeasurement {
-                let n_in_subset =
-                    subset.iter().filter(|e| e.slice.index() == s).count();
+                let n_in_subset = subset.iter().filter(|e| e.slice.index() == s).count();
                 let val = &ds.slices[s].validation;
                 let x = st_models::examples_to_matrix(val);
                 let y: Vec<usize> = val.iter().map(|e| e.label).collect();
-                SliceLossMeasurement { slice: s, n: n_in_subset, loss: log_loss(&model, &x, &y) }
+                SliceLossMeasurement {
+                    slice: s,
+                    n: n_in_subset,
+                    loss: log_loss(&model, &x, &y),
+                }
             };
             match req.target_slice {
                 None => (0..n).map(eval_slice).collect(),
@@ -252,19 +295,13 @@ impl<'a, S: AcquisitionSource> SliceTuner<'a, S> {
                 (1, self.acquire_rounded(&d, budget))
             }
             Strategy::WaterFilling => {
-                let sizes: Vec<f64> =
-                    self.ds.train_sizes().iter().map(|&s| s as f64).collect();
+                let sizes: Vec<f64> = self.ds.train_sizes().iter().map(|&s| s as f64).collect();
                 let d = water_filling_allocation(&sizes, &self.ds.costs(), budget);
                 (1, self.acquire_rounded(&d, budget))
             }
             Strategy::Proportional => {
-                let sizes: Vec<f64> =
-                    self.ds.train_sizes().iter().map(|&s| s as f64).collect();
-                let d = crate::strategy::proportional_allocation(
-                    &sizes,
-                    &self.ds.costs(),
-                    budget,
-                );
+                let sizes: Vec<f64> = self.ds.train_sizes().iter().map(|&s| s as f64).collect();
+                let d = crate::strategy::proportional_allocation(&sizes, &self.ds.costs(), budget);
                 (1, self.acquire_rounded(&d, budget))
             }
             Strategy::OneShot => {
@@ -323,8 +360,12 @@ impl<'a, S: AcquisitionSource> SliceTuner<'a, S> {
         // but are constant within a batch).
         loop {
             self.refresh_costs();
-            let min_cost =
-                self.ds.costs().iter().cloned().fold(f64::INFINITY, f64::min);
+            let min_cost = self
+                .ds
+                .costs()
+                .iter()
+                .cloned()
+                .fold(f64::INFINITY, f64::min);
             if remaining < min_cost || iterations >= self.config.max_iterations {
                 break;
             }
@@ -442,7 +483,11 @@ fn imbalance_of(sizes: &[f64]) -> f64 {
 /// Replaces failed fits with the log-mean of the successful ones (or a mild
 /// default when nothing fits).
 fn resolve_fallbacks(fits: Vec<Result<PowerLaw, FitError>>) -> Vec<PowerLaw> {
-    let ok: Vec<PowerLaw> = fits.iter().filter_map(|f| f.as_ref().ok()).cloned().collect();
+    let ok: Vec<PowerLaw> = fits
+        .iter()
+        .filter_map(|f| f.as_ref().ok())
+        .cloned()
+        .collect();
     let fallback = if ok.is_empty() {
         PowerLaw::new(1.0, 0.2)
     } else {
@@ -530,7 +575,11 @@ mod tests {
         let mut src = PoolSource::new(fam, 102);
         let mut tuner = SliceTuner::new(ds, &mut src, quick_config());
         let result = tuner.run(Strategy::OneShot, 120.0);
-        assert!((result.spent - 120.0).abs() <= 1.0, "spent {}", result.spent);
+        assert!(
+            (result.spent - 120.0).abs() <= 1.0,
+            "spent {}",
+            result.spent
+        );
         assert_eq!(result.acquired.iter().sum::<usize>(), 120);
     }
 
@@ -593,10 +642,17 @@ mod tests {
         let ds = SlicedDataset::generate(&fam, &[40; 4], 60, 21);
         let mut src = PoolSource::new(fam, 121);
         let mut tuner = SliceTuner::new(ds, &mut src, quick_config());
-        let params = crate::strategy::BanditParams { batch: 40.0, epsilon: 0.2 };
+        let params = crate::strategy::BanditParams {
+            batch: 40.0,
+            epsilon: 0.2,
+        };
         let result = tuner.run(Strategy::RottingBandit(params), 200.0);
         assert!(result.spent <= 200.0 + 1e-9);
-        assert!(result.spent >= 160.0, "bandit should spend most of the budget: {}", result.spent);
+        assert!(
+            result.spent >= 160.0,
+            "bandit should spend most of the budget: {}",
+            result.spent
+        );
         // One pull = one batch of 40 on a single arm.
         assert_eq!(result.iterations, 5);
         // Model-free: one retraining per pull (plus the two evaluations).

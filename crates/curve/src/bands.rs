@@ -49,7 +49,11 @@ impl CurveBands {
     fn param_interval(&self, f: impl Fn(&PowerLaw) -> f64, point: f64) -> ConfidenceInterval {
         let vals: Vec<f64> = self.replicates.iter().map(f).collect();
         if vals.is_empty() {
-            return ConfidenceInterval { lo: point, point, hi: point };
+            return ConfidenceInterval {
+                lo: point,
+                point,
+                hi: point,
+            };
         }
         let alpha = 1.0 - self.level;
         ConfidenceInterval {
@@ -80,7 +84,10 @@ pub fn bootstrap_curve(
     seed: u64,
 ) -> Result<CurveBands, FitError> {
     assert!(reps > 0, "need at least one replicate");
-    assert!(level > 0.0 && level < 1.0, "confidence level must be in (0,1)");
+    assert!(
+        level > 0.0 && level < 1.0,
+        "confidence level must be in (0,1)"
+    );
     let point = fit_power_law(points)?;
 
     let mut rng = SplitMix64::new(seed);
@@ -95,7 +102,11 @@ pub fn bootstrap_curve(
             replicates.push(fit);
         }
     }
-    Ok(CurveBands { point, replicates, level })
+    Ok(CurveBands {
+        point,
+        replicates,
+        level,
+    })
 }
 
 #[cfg(test)]
@@ -165,6 +176,9 @@ mod tests {
         ];
         let bands = bootstrap_curve(&pts, 200, 0.9, 5).unwrap();
         assert!(!bands.replicates.is_empty());
-        assert!(bands.replicates.len() < 200, "some replicates must have collapsed");
+        assert!(
+            bands.replicates.len() < 200,
+            "some replicates must have collapsed"
+        );
     }
 }

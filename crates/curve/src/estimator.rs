@@ -146,7 +146,10 @@ impl CurveEstimator {
         num_slices: usize,
         measure: &TrainEvalFn<'_>,
     ) -> Vec<SliceEstimate> {
-        assert!(!self.fractions.is_empty(), "need at least one subset fraction");
+        assert!(
+            !self.fractions.is_empty(),
+            "need at least one subset fraction"
+        );
         assert!(self.repeats > 0, "need at least one repeat");
 
         let requests = self.build_requests(num_slices);
@@ -173,8 +176,10 @@ impl CurveEstimator {
         points
             .into_iter()
             .map(|per_rep| {
-                let repeat_fits: Vec<PowerLaw> =
-                    per_rep.iter().filter_map(|pts| fit_power_law(pts).ok()).collect();
+                let repeat_fits: Vec<PowerLaw> = per_rep
+                    .iter()
+                    .filter_map(|pts| fit_power_law(pts).ok())
+                    .collect();
                 let fit = if repeat_fits.is_empty() {
                     // Surface the most informative error from the first repeat.
                     Err(per_rep
@@ -185,7 +190,11 @@ impl CurveEstimator {
                     Ok(PowerLaw::log_mean(&repeat_fits))
                 };
                 let pooled: Vec<CurvePoint> = per_rep.into_iter().flatten().collect();
-                SliceEstimate { fit, repeat_fits, points: pooled }
+                SliceEstimate {
+                    fit,
+                    repeat_fits,
+                    points: pooled,
+                }
             })
             .collect()
     }
@@ -194,7 +203,9 @@ impl CurveEstimator {
         if self.threads > 0 {
             self.threads
         } else {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
         }
     }
 
@@ -443,7 +454,11 @@ mod tests {
     fn degenerate_measurements_report_error() {
         // Measurement function that always reports the same subset size.
         let measure = |_req: &MeasureRequest| {
-            vec![SliceLossMeasurement { slice: 0, n: 100, loss: 0.5 }]
+            vec![SliceLossMeasurement {
+                slice: 0,
+                n: 100,
+                loss: 0.5,
+            }]
         };
         let est = CurveEstimator::fast(1);
         let fits = est.estimate(1, &measure);

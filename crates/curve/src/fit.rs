@@ -81,7 +81,12 @@ pub fn fit_power_law(points: &[CurvePoint]) -> Result<PowerLaw, FitError> {
         let damped = Matrix::from_vec(
             2,
             2,
-            vec![jtj[0][0] * (1.0 + mu), jtj[0][1], jtj[1][0], jtj[1][1] * (1.0 + mu)],
+            vec![
+                jtj[0][0] * (1.0 + mu),
+                jtj[0][1],
+                jtj[1][0],
+                jtj[1][1] * (1.0 + mu),
+            ],
         );
         let Ok(delta) = gaussian_solve(damped, &[-jtr[0], -jtr[1]]) else {
             break; // singular: the init is already as good as we can do
@@ -125,7 +130,9 @@ pub fn fit_power_law_with_floor(points: &[CurvePoint]) -> Result<PowerLawWithFlo
             .iter()
             .map(|p| CurvePoint::weighted(p.n, (p.loss - c).max(LOSS_FLOOR), p.weight))
             .collect();
-        let Ok(pl) = fit_power_law(&shifted) else { continue };
+        let Ok(pl) = fit_power_law(&shifted) else {
+            continue;
+        };
         let cand = PowerLawWithFloor::new(pl.b, pl.a, c);
         let cost: f64 = pts
             .iter()
@@ -196,7 +203,9 @@ mod tests {
     use super::*;
 
     fn sample_curve(b: f64, a: f64, xs: &[f64]) -> Vec<CurvePoint> {
-        xs.iter().map(|&x| CurvePoint::size_weighted(x, b * x.powf(-a))).collect()
+        xs.iter()
+            .map(|&x| CurvePoint::size_weighted(x, b * x.powf(-a)))
+            .collect()
     }
 
     #[test]
@@ -231,8 +240,10 @@ mod tests {
         let mut pts = sample_curve(2.0, 0.3, &[10., 50., 100., 200., 400.]);
         pts[0].loss *= 3.0;
         let weighted_fit = fit_power_law(&pts).unwrap();
-        let equal: Vec<CurvePoint> =
-            pts.iter().map(|p| CurvePoint::weighted(p.n, p.loss, 1.0)).collect();
+        let equal: Vec<CurvePoint> = pts
+            .iter()
+            .map(|p| CurvePoint::weighted(p.n, p.loss, 1.0))
+            .collect();
         let equal_fit = fit_power_law(&equal).unwrap();
         // Size weighting must anchor the prediction at the big subsets: the
         // weighted fit is strictly closer to the uncorrupted truth at n=400.
@@ -296,8 +307,10 @@ mod tests {
     #[test]
     fn floor_fit_recovers_floor() {
         let xs = [10., 30., 80., 150., 300., 600., 1200.];
-        let pts: Vec<CurvePoint> =
-            xs.iter().map(|&x| CurvePoint::size_weighted(x, 2.0 * x.powf(-0.5) + 0.3)).collect();
+        let pts: Vec<CurvePoint> = xs
+            .iter()
+            .map(|&x| CurvePoint::size_weighted(x, 2.0 * x.powf(-0.5) + 0.3))
+            .collect();
         let fit = fit_power_law_with_floor(&pts).unwrap();
         assert!((fit.c - 0.3).abs() < 0.05, "c {}", fit.c);
         assert!((fit.a - 0.5).abs() < 0.12, "a {}", fit.a);
@@ -306,12 +319,16 @@ mod tests {
     #[test]
     fn floor_fit_beats_plain_fit_when_floor_exists() {
         let xs = [10., 30., 80., 150., 300., 600., 1200.];
-        let pts: Vec<CurvePoint> =
-            xs.iter().map(|&x| CurvePoint::size_weighted(x, 2.0 * x.powf(-0.5) + 0.3)).collect();
+        let pts: Vec<CurvePoint> = xs
+            .iter()
+            .map(|&x| CurvePoint::size_weighted(x, 2.0 * x.powf(-0.5) + 0.3))
+            .collect();
         let plain = fit_power_law(&pts).unwrap();
         let floored = fit_power_law_with_floor(&pts).unwrap();
         let sse = |f: &dyn Fn(f64) -> f64| -> f64 {
-            pts.iter().map(|p| (f(p.n) - p.loss).powi(2) * p.weight).sum()
+            pts.iter()
+                .map(|p| (f(p.n) - p.loss).powi(2) * p.weight)
+                .sum()
         };
         assert!(sse(&|n| floored.eval(n)) < sse(&|n| plain.eval(n)));
     }

@@ -83,7 +83,12 @@ impl CurveFamily {
     /// # Panics
     /// Panics when `p.len() != self.num_params()`.
     pub fn eval(&self, p: &[f64], x: f64) -> f64 {
-        assert_eq!(p.len(), self.num_params(), "{} parameter count", self.name());
+        assert_eq!(
+            p.len(),
+            self.num_params(),
+            "{} parameter count",
+            self.name()
+        );
         let x = x.max(1.0);
         match self {
             CurveFamily::PowerLaw => p[0] * x.powf(-p[1]),
@@ -164,7 +169,11 @@ impl CurveFamily {
                 vec![ln_b.exp(), a, 0.5 * y_min]
             }
             CurveFamily::Exponential => {
-                vec![(y_max - y_min).max(LOSS_FLOOR), 1.0 / x_mean.max(1.0), 0.9 * y_min]
+                vec![
+                    (y_max - y_min).max(LOSS_FLOOR),
+                    1.0 / x_mean.max(1.0),
+                    0.9 * y_min,
+                ]
             }
             CurveFamily::Logarithmic => {
                 // Linear regression of y on ln x.
@@ -177,7 +186,11 @@ impl CurveFamily {
                     sxx += (p.n.ln() - mx).powi(2);
                     sxy += (p.n.ln() - mx) * (p.loss - my);
                 }
-                let b = if sxx > 0.0 { (-sxy / sxx).max(0.0) } else { 0.1 };
+                let b = if sxx > 0.0 {
+                    (-sxy / sxx).max(0.0)
+                } else {
+                    0.1
+                };
                 vec![my + b * mx, b]
             }
             CurveFamily::Janoschek => {
@@ -192,8 +205,7 @@ impl CurveFamily {
                     1 => 1.0 / pts[r].n,
                     _ => pts[r].n.ln(),
                 });
-                let rhs: Vec<f64> =
-                    pts.iter().map(|p| p.loss.max(LOSS_FLOOR).ln()).collect();
+                let rhs: Vec<f64> = pts.iter().map(|p| p.loss.max(LOSS_FLOOR).ln()).collect();
                 match st_linalg::least_squares(&design, &rhs) {
                     Ok(sol) => sol,
                     Err(_) => vec![y_max.max(LOSS_FLOOR).ln(), 0.0, -0.1],
@@ -229,8 +241,11 @@ impl FittedCurve {
 fn loglog_init(pts: &[CurvePoint]) -> (f64, f64) {
     let wsum: f64 = pts.iter().map(|p| p.weight).sum();
     let mx = pts.iter().map(|p| p.weight * p.n.ln()).sum::<f64>() / wsum;
-    let my =
-        pts.iter().map(|p| p.weight * p.loss.max(LOSS_FLOOR).ln()).sum::<f64>() / wsum;
+    let my = pts
+        .iter()
+        .map(|p| p.weight * p.loss.max(LOSS_FLOOR).ln())
+        .sum::<f64>()
+        / wsum;
     let mut sxx = 0.0;
     let mut sxy = 0.0;
     for p in pts {
@@ -239,7 +254,11 @@ fn loglog_init(pts: &[CurvePoint]) -> (f64, f64) {
         sxx += p.weight * dx * dx;
         sxy += p.weight * dx * dy;
     }
-    let a = if sxx > 0.0 { (-sxy / sxx).clamp(1e-3, 4.0) } else { 0.2 };
+    let a = if sxx > 0.0 {
+        (-sxy / sxx).clamp(1e-3, 4.0)
+    } else {
+        0.2
+    };
     (my + a * mx, a)
 }
 
@@ -320,10 +339,17 @@ pub fn fit_family(points: &[CurvePoint], family: CurveFamily) -> Result<FittedCu
             }
         }
         let damped = Matrix::from_fn(k, k, |r, c| {
-            jtj[(r, c)] + if r == c { mu * (jtj[(r, c)].abs() + 1e-12) } else { 0.0 }
+            jtj[(r, c)]
+                + if r == c {
+                    mu * (jtj[(r, c)].abs() + 1e-12)
+                } else {
+                    0.0
+                }
         });
         let neg: Vec<f64> = jtr.iter().map(|v| -v).collect();
-        let Ok(delta) = gaussian_solve(damped, &neg) else { break };
+        let Ok(delta) = gaussian_solve(damped, &neg) else {
+            break;
+        };
 
         let mut cand: Vec<f64> = p.iter().zip(&delta).map(|(a, d)| a + d).collect();
         family.clamp(&mut cand);
@@ -349,7 +375,13 @@ pub fn fit_family(points: &[CurvePoint], family: CurveFamily) -> Result<FittedCu
     let sigma2 = (cost / n).max(1e-300);
     let aic = n * sigma2.ln() + 2.0 * k as f64;
     let bic = n * sigma2.ln() + (k as f64) * n.ln();
-    Ok(FittedCurve { family, params: p, wsse: cost, aic, bic })
+    Ok(FittedCurve {
+        family,
+        params: p,
+        wsse: cost,
+        aic,
+        bic,
+    })
 }
 
 /// Fits every requested family and returns all results sorted by AIC
@@ -361,8 +393,10 @@ pub fn fit_zoo(
     points: &[CurvePoint],
     families: &[CurveFamily],
 ) -> Result<Vec<FittedCurve>, FitError> {
-    let mut fits: Vec<FittedCurve> =
-        families.iter().filter_map(|&f| fit_family(points, f).ok()).collect();
+    let mut fits: Vec<FittedCurve> = families
+        .iter()
+        .filter_map(|&f| fit_family(points, f).ok())
+        .collect();
     if fits.is_empty() {
         return Err(FitError::NotEnoughPoints);
     }
@@ -383,7 +417,9 @@ mod tests {
     use super::*;
 
     fn from_fn(f: impl Fn(f64) -> f64, xs: &[f64]) -> Vec<CurvePoint> {
-        xs.iter().map(|&x| CurvePoint::size_weighted(x, f(x))).collect()
+        xs.iter()
+            .map(|&x| CurvePoint::size_weighted(x, f(x)))
+            .collect()
     }
 
     const XS: [f64; 8] = [10., 20., 40., 80., 150., 300., 600., 1200.];
@@ -392,9 +428,18 @@ mod tests {
     fn every_family_fits_its_own_generating_curve() {
         let cases: Vec<(CurveFamily, Box<dyn Fn(f64) -> f64>)> = vec![
             (CurveFamily::PowerLaw, Box::new(|x: f64| 2.0 * x.powf(-0.3))),
-            (CurveFamily::PowerLawFloor, Box::new(|x: f64| 2.0 * x.powf(-0.5) + 0.2)),
-            (CurveFamily::Exponential, Box::new(|x: f64| 1.5 * (-0.01 * x).exp() + 0.3)),
-            (CurveFamily::Logarithmic, Box::new(|x: f64| 3.0 - 0.3 * x.ln())),
+            (
+                CurveFamily::PowerLawFloor,
+                Box::new(|x: f64| 2.0 * x.powf(-0.5) + 0.2),
+            ),
+            (
+                CurveFamily::Exponential,
+                Box::new(|x: f64| 1.5 * (-0.01 * x).exp() + 0.3),
+            ),
+            (
+                CurveFamily::Logarithmic,
+                Box::new(|x: f64| 3.0 - 0.3 * x.ln()),
+            ),
             (
                 CurveFamily::Janoschek,
                 Box::new(|x: f64| 0.2 + 1.3 * (-0.08 * x.powf(0.7)).exp()),
@@ -418,7 +463,12 @@ mod tests {
             // Relative prediction error within 10% at every sample point.
             for pt in &pts {
                 let rel = (fit.eval(pt.n) - pt.loss).abs() / pt.loss.abs().max(1e-9);
-                assert!(rel < 0.10, "{}: rel err {rel:.4} at n={}", family.name(), pt.n);
+                assert!(
+                    rel < 0.10,
+                    "{}: rel err {rel:.4} at n={}",
+                    family.name(),
+                    pt.n
+                );
             }
         }
     }

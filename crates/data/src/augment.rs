@@ -67,12 +67,24 @@ pub struct AugmentConfig {
 impl AugmentConfig {
     /// An image policy: flips half the time, shifts by at most one pixel.
     pub fn image(height: usize, width: usize) -> Self {
-        AugmentConfig { height, width, flip_prob: 0.5, max_shift: 1, jitter_sigma: 0.05 }
+        AugmentConfig {
+            height,
+            width,
+            flip_prob: 0.5,
+            max_shift: 1,
+            jitter_sigma: 0.05,
+        }
     }
 
     /// A tabular policy: jitter only.
     pub fn tabular(sigma: f64) -> Self {
-        AugmentConfig { height: 0, width: 0, flip_prob: 0.0, max_shift: 0, jitter_sigma: sigma }
+        AugmentConfig {
+            height: 0,
+            width: 0,
+            flip_prob: 0.0,
+            max_shift: 0,
+            jitter_sigma: sigma,
+        }
     }
 
     /// Produces one augmented copy of `e`.
@@ -180,8 +192,9 @@ mod tests {
 
     #[test]
     fn expand_multiplies_count_and_keeps_originals() {
-        let ex: Vec<Example> =
-            (0..5).map(|i| Example::new(vec![i as f64; 4], 0, SliceId(0))).collect();
+        let ex: Vec<Example> = (0..5)
+            .map(|i| Example::new(vec![i as f64; 4], 0, SliceId(0)))
+            .collect();
         let cfg = AugmentConfig::tabular(0.1);
         let mut rng = seeded_rng(3);
         let big = cfg.expand(&ex, 3, &mut rng);
@@ -197,7 +210,10 @@ mod tests {
         // A 16-long row with an "image-like" length must be left alone except
         // for jitter, even though 4×4 would fit: height is 0.
         let e = Example::new((0..16).map(|i| i as f64).collect(), 1, SliceId(0));
-        let cfg = AugmentConfig { jitter_sigma: 0.0, ..AugmentConfig::tabular(0.0) };
+        let cfg = AugmentConfig {
+            jitter_sigma: 0.0,
+            ..AugmentConfig::tabular(0.0)
+        };
         let mut rng = seeded_rng(4);
         assert_eq!(cfg.apply(&e, &mut rng), e);
     }

@@ -71,10 +71,19 @@ impl SlicedDataset {
                 // Stream 0: initial train data. Stream 1: validation data.
                 let train = family.sample_slice_seeded(id, train_sizes[i], seed, 0);
                 let validation = family.sample_slice_seeded(id, validation_size, seed, 1);
-                SliceData { name: spec.name.clone(), cost: spec.cost, train, validation }
+                SliceData {
+                    name: spec.name.clone(),
+                    cost: spec.cost,
+                    train,
+                    validation,
+                }
             })
             .collect();
-        Self { feature_dim: family.feature_dim, num_classes: family.num_classes, slices }
+        Self {
+            feature_dim: family.feature_dim,
+            num_classes: family.num_classes,
+            slices,
+        }
     }
 
     /// Builds an empty dataset shell with named slices and costs — for
@@ -101,7 +110,11 @@ impl SlicedDataset {
                 validation: Vec::new(),
             })
             .collect();
-        Self { feature_dim, num_classes, slices }
+        Self {
+            feature_dim,
+            num_classes,
+            slices,
+        }
     }
 
     /// Number of slices.
@@ -124,6 +137,39 @@ impl SlicedDataset {
     /// Returns `f64::INFINITY` when the smallest slice is empty.
     pub fn imbalance_ratio(&self) -> f64 {
         imbalance_ratio_of(&self.train_sizes())
+    }
+
+    /// Order-sensitive content hash over every training and validation
+    /// example (bit-exact features, labels, slice ids) plus the shape.
+    ///
+    /// Two datasets with equal fingerprints produce identical training
+    /// subsets, models, and losses for the same seeds, which is what lets
+    /// curve-estimation caches key on `(fingerprint, seed)` without risking
+    /// collisions between same-sized datasets with different content.
+    pub fn fingerprint(&self) -> u64 {
+        // FNV-1a over little-endian words; cheap relative to one training.
+        const OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01B3;
+        let mut h = OFFSET;
+        let mut mix = |word: u64| {
+            for byte in word.to_le_bytes() {
+                h = (h ^ byte as u64).wrapping_mul(PRIME);
+            }
+        };
+        mix(self.feature_dim as u64);
+        mix(self.num_classes as u64);
+        for slice in &self.slices {
+            mix(slice.train.len() as u64);
+            mix(slice.validation.len() as u64);
+            for e in slice.train.iter().chain(&slice.validation) {
+                mix(e.label as u64);
+                mix(e.slice.0 as u64);
+                for &f in &e.features {
+                    mix(f.to_bits());
+                }
+            }
+        }
+        h
     }
 
     /// All training examples across slices, cloned into one buffer in slice
@@ -154,7 +200,10 @@ impl SlicedDataset {
     pub fn absorb(&mut self, acquired: Vec<Example>) {
         for e in acquired {
             let idx = e.slice.index();
-            assert!(idx < self.slices.len(), "acquired example for unknown slice {idx}");
+            assert!(
+                idx < self.slices.len(),
+                "acquired example for unknown slice {idx}"
+            );
             self.slices[idx].train.push(e);
         }
     }
@@ -312,7 +361,11 @@ mod tests {
     fn joint_subset_keeps_at_least_one() {
         let ds = SlicedDataset::generate(&family(), &[3, 3, 3], 2, 5);
         let sub = ds.joint_train_subset_seeded(0.01, 1, 0);
-        assert_eq!(sub.len(), 3, "one example per slice survives tiny fractions");
+        assert_eq!(
+            sub.len(),
+            3,
+            "one example per slice survives tiny fractions"
+        );
     }
 
     #[test]
@@ -324,5 +377,38 @@ mod tests {
         assert_eq!(count(0), 40);
         assert_eq!(count(1), 10);
         assert_eq!(count(2), 40);
+    }
+
+    #[test]
+    fn fingerprint_is_deterministic_and_content_sensitive() {
+        let a = SlicedDataset::generate(&family(), &[20, 20, 20], 5, 7);
+        let b = SlicedDataset::generate(&family(), &[20, 20, 20], 5, 7);
+        assert_eq!(
+            a.fingerprint(),
+            b.fingerprint(),
+            "same generation, same hash"
+        );
+
+        // Same shape, different seed: the content differs, so must the hash.
+        let c = SlicedDataset::generate(&family(), &[20, 20, 20], 5, 8);
+        assert_eq!(a.train_sizes(), c.train_sizes());
+        assert_ne!(
+            a.fingerprint(),
+            c.fingerprint(),
+            "content must be hashed, not shape"
+        );
+    }
+
+    #[test]
+    fn fingerprint_tracks_acquisition() {
+        let fam = family();
+        let mut ds = SlicedDataset::generate(&fam, &[10, 10, 10], 5, 9);
+        let before = ds.fingerprint();
+        ds.absorb(fam.sample_slice_seeded(SliceId(0), 4, 9, 42));
+        assert_ne!(
+            before,
+            ds.fingerprint(),
+            "absorbed data must change the hash"
+        );
     }
 }

@@ -41,7 +41,11 @@ pub struct Example {
 impl Example {
     /// Convenience constructor.
     pub fn new(features: Vec<f64>, label: usize, slice: SliceId) -> Self {
-        Self { features, label, slice }
+        Self {
+            features,
+            label,
+            slice,
+        }
     }
 
     /// Feature dimensionality.

@@ -15,8 +15,7 @@ use crate::generator::{DatasetFamily, GaussianSliceModel, LabelCluster, SliceSpe
 pub const CENSUS_DIM: usize = 12;
 
 /// Slice names in paper order.
-pub const CENSUS_SLICES: [&str; 4] =
-    ["White_Male", "White_Female", "Black_Male", "Black_Female"];
+pub const CENSUS_SLICES: [&str; 4] = ["White_Male", "White_Female", "Black_Male", "Black_Female"];
 
 /// Fraction of `>50K` labels per slice. The real dataset is skewed: White
 /// males have a much higher positive rate than Black females; the skew is
@@ -77,7 +76,10 @@ mod tests {
             let pos = ex.iter().filter(|e| e.label == 1).count() as f64 / n as f64;
             // Label noise perturbs the rate toward 0.5 by ~8%/2.
             let expected = p * (1.0 - 0.08) + 0.5 * 0.08;
-            assert!((pos - expected).abs() < 0.03, "slice {i}: {pos} vs {expected}");
+            assert!(
+                (pos - expected).abs() < 0.03,
+                "slice {i}: {pos} vs {expected}"
+            );
         }
     }
 

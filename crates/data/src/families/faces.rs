@@ -80,7 +80,10 @@ mod tests {
 
     #[test]
     fn costs_are_task_seconds_normalized() {
-        let min = FACE_TASK_SECONDS.iter().cloned().fold(f64::INFINITY, f64::min);
+        let min = FACE_TASK_SECONDS
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
         for (i, &secs) in FACE_TASK_SECONDS.iter().enumerate() {
             let expected = (secs / min * 10.0).round() / 10.0;
             assert!(
@@ -97,12 +100,27 @@ mod tests {
         let dist = |a: usize, b: usize| {
             let ca = &fam.slices[a].model.clusters[0].center;
             let cb = &fam.slices[b].model.clusters[0].center;
-            ca.iter().zip(cb).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+            ca.iter()
+                .zip(cb)
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f64>()
+                .sqrt()
         };
         // Same race (WM vs WF) must be much closer than cross race (WM vs BM).
-        assert!(dist(0, 1) < dist(0, 2) * 0.6, "{} vs {}", dist(0, 1), dist(0, 2));
-        assert_eq!(fam.slices[0].model.clusters[0].label, fam.slices[1].model.clusters[0].label);
-        assert_ne!(fam.slices[0].model.clusters[0].label, fam.slices[2].model.clusters[0].label);
+        assert!(
+            dist(0, 1) < dist(0, 2) * 0.6,
+            "{} vs {}",
+            dist(0, 1),
+            dist(0, 2)
+        );
+        assert_eq!(
+            fam.slices[0].model.clusters[0].label,
+            fam.slices[1].model.clusters[0].label
+        );
+        assert_ne!(
+            fam.slices[0].model.clusters[0].label,
+            fam.slices[2].model.clusters[0].label
+        );
     }
 
     #[test]

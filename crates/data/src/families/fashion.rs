@@ -16,7 +16,15 @@ pub const FASHION_DIM: usize = 16;
 
 /// Class/slice names, mirroring Fashion-MNIST's label set.
 pub const FASHION_NAMES: [&str; 10] = [
-    "T-shirt", "Trouser", "Pullover", "Dress", "Coat", "Sandal", "Shirt", "Sneaker", "Bag",
+    "T-shirt",
+    "Trouser",
+    "Pullover",
+    "Dress",
+    "Coat",
+    "Sandal",
+    "Shirt",
+    "Sneaker",
+    "Bag",
     "Ankle-boot",
 ];
 
@@ -83,7 +91,11 @@ mod tests {
         let fam = fashion();
         let center = |i: usize| &fam.slices[i].model.clusters[0].center;
         let dist = |a: &Vec<f64>, b: &Vec<f64>| {
-            a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+            a.iter()
+                .zip(b)
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f64>()
+                .sqrt()
         };
         let d_confusable = dist(center(2), center(6));
         let d_separated = dist(center(1), center(8));

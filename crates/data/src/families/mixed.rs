@@ -74,8 +74,16 @@ mod tests {
     fn selected_subset_has_ten_slices_from_both_sources() {
         let fam = mixed_selected();
         assert_eq!(fam.num_slices(), 10);
-        let digits = fam.slice_names().iter().filter(|n| n.starts_with("Digit")).count();
-        let fashion = fam.slice_names().iter().filter(|n| n.starts_with("Fashion")).count();
+        let digits = fam
+            .slice_names()
+            .iter()
+            .filter(|n| n.starts_with("Digit"))
+            .count();
+        let fashion = fam
+            .slice_names()
+            .iter()
+            .filter(|n| n.starts_with("Fashion"))
+            .count();
         assert_eq!(digits, 5);
         assert_eq!(fashion, 5);
     }

@@ -87,13 +87,20 @@ mod tests {
     fn huddle_reduces_pairwise_distance() {
         let mut cs = random_centers(4, 6, 2.0, 1);
         let dist = |a: &[f64], b: &[f64]| {
-            a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+            a.iter()
+                .zip(b)
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f64>()
+                .sqrt()
         };
         let before = dist(&cs[0], &cs[1]);
         huddle(&mut cs, &[0, 1], 0.5);
         let after = dist(&cs[0], &cs[1]);
         assert!(after < before);
-        assert!((after - before * 0.5).abs() < 1e-9, "linear shrink toward mean");
+        assert!(
+            (after - before * 0.5).abs() < 1e-9,
+            "linear shrink toward mean"
+        );
     }
 
     #[test]

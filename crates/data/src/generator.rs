@@ -35,7 +35,12 @@ impl LabelCluster {
     pub fn new(label: usize, weight: f64, center: Vec<f64>, sigma: f64) -> Self {
         assert!(weight > 0.0, "cluster weight must be positive");
         assert!(sigma >= 0.0, "sigma must be non-negative");
-        Self { label, weight, center, sigma }
+        Self {
+            label,
+            weight,
+            center,
+            sigma,
+        }
     }
 }
 
@@ -57,14 +62,23 @@ impl GaussianSliceModel {
     /// Panics if `clusters` is empty, dimensions are inconsistent, or
     /// `label_noise` is outside `[0, 1)`.
     pub fn new(clusters: Vec<LabelCluster>, label_noise: f64) -> Self {
-        assert!(!clusters.is_empty(), "slice model needs at least one cluster");
+        assert!(
+            !clusters.is_empty(),
+            "slice model needs at least one cluster"
+        );
         let dim = clusters[0].center.len();
         assert!(
             clusters.iter().all(|c| c.center.len() == dim),
             "all cluster centers must share a dimension"
         );
-        assert!((0.0..1.0).contains(&label_noise), "label_noise must be in [0,1)");
-        Self { clusters, label_noise }
+        assert!(
+            (0.0..1.0).contains(&label_noise),
+            "label_noise must be in [0,1)"
+        );
+        Self {
+            clusters,
+            label_noise,
+        }
     }
 
     /// Feature dimensionality.
@@ -89,8 +103,11 @@ impl GaussianSliceModel {
             }
             pick -= c.weight;
         }
-        let features: Vec<f64> =
-            chosen.center.iter().map(|&m| m + chosen.sigma * normal(rng)).collect();
+        let features: Vec<f64> = chosen
+            .center
+            .iter()
+            .map(|&m| m + chosen.sigma * normal(rng))
+            .collect();
         let label = if self.label_noise > 0.0 && rng.gen::<f64>() < self.label_noise {
             rng.gen_range(0..num_classes)
         } else {
@@ -115,7 +132,11 @@ impl SliceSpec {
     /// Convenience constructor.
     pub fn new(name: impl Into<String>, cost: f64, model: GaussianSliceModel) -> Self {
         assert!(cost > 0.0, "acquisition cost must be positive");
-        Self { name: name.into(), cost, model }
+        Self {
+            name: name.into(),
+            cost,
+            model,
+        }
     }
 }
 
@@ -147,14 +168,24 @@ impl DatasetFamily {
     ) -> Self {
         assert!(!slices.is_empty(), "family needs at least one slice");
         for s in &slices {
-            assert_eq!(s.model.dim(), feature_dim, "slice {} dimension mismatch", s.name);
+            assert_eq!(
+                s.model.dim(),
+                feature_dim,
+                "slice {} dimension mismatch",
+                s.name
+            );
             assert!(
                 s.model.clusters.iter().all(|c| c.label < num_classes),
                 "slice {} has a label >= num_classes",
                 s.name
             );
         }
-        Self { name: name.into(), feature_dim, num_classes, slices }
+        Self {
+            name: name.into(),
+            feature_dim,
+            num_classes,
+            slices,
+        }
     }
 
     /// Number of slices.
@@ -183,7 +214,9 @@ impl DatasetFamily {
         rng: &mut R,
     ) -> Vec<Example> {
         let spec = &self.slices[slice.index()];
-        (0..n).map(|_| spec.model.sample(slice, self.num_classes, rng)).collect()
+        (0..n)
+            .map(|_| spec.model.sample(slice, self.num_classes, rng))
+            .collect()
     }
 
     /// Samples `n` fresh examples for `slice` from a deterministic stream
@@ -307,7 +340,11 @@ mod tests {
             "bad",
             2,
             1,
-            vec![SliceSpec::new("a", 1.0, GaussianSliceModel::new(vec![c], 0.0))],
+            vec![SliceSpec::new(
+                "a",
+                1.0,
+                GaussianSliceModel::new(vec![c], 0.0),
+            )],
         );
     }
 }

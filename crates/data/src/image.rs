@@ -203,7 +203,10 @@ impl ImageFamily {
         num_classes: usize,
         slices: Vec<ImageSliceSpec>,
     ) -> Self {
-        assert!(num_classes <= Pattern::ALL.len(), "at most 10 pattern classes");
+        assert!(
+            num_classes <= Pattern::ALL.len(),
+            "at most 10 pattern classes"
+        );
         assert!(!slices.is_empty(), "family needs at least one slice");
         for s in &slices {
             assert!(!s.labels.is_empty(), "slice {} has no labels", s.name);
@@ -213,7 +216,13 @@ impl ImageFamily {
                 s.name
             );
         }
-        ImageFamily { name: name.into(), height, width, num_classes, slices }
+        ImageFamily {
+            name: name.into(),
+            height,
+            width,
+            num_classes,
+            slices,
+        }
     }
 
     /// Flattened feature dimensionality.
@@ -251,12 +260,11 @@ impl ImageFamily {
                         *v += spec.noise * normal(rng);
                     }
                 }
-                let out_label =
-                    if spec.label_noise > 0.0 && rng.gen::<f64>() < spec.label_noise {
-                        rng.gen_range(0..self.num_classes)
-                    } else {
-                        label
-                    };
+                let out_label = if spec.label_noise > 0.0 && rng.gen::<f64>() < spec.label_noise {
+                    rng.gen_range(0..self.num_classes)
+                } else {
+                    label
+                };
                 Example::new(img, out_label, slice)
             })
             .collect()
@@ -291,7 +299,10 @@ mod tests {
             let img = p.render(8, 8, &mut rng);
             assert_eq!(img.len(), 64);
             assert!(img.iter().any(|&v| v > 0.0), "{p:?} rendered all-zero");
-            assert!(img.iter().all(|&v| (0.0..=1.0).contains(&v)), "{p:?} out of range");
+            assert!(
+                img.iter().all(|&v| (0.0..=1.0).contains(&v)),
+                "{p:?} out of range"
+            );
         }
     }
 

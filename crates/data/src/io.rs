@@ -53,7 +53,11 @@ impl std::fmt::Display for CsvError {
             CsvError::BadFloat { line, token } => {
                 write!(f, "line {line}: cannot parse float {token:?}")
             }
-            CsvError::InconsistentDim { line, expected, found } => {
+            CsvError::InconsistentDim {
+                line,
+                expected,
+                found,
+            } => {
                 write!(f, "line {line}: {found} features, expected {expected}")
             }
         }
@@ -91,19 +95,20 @@ pub fn read_examples(text: &str) -> Result<Vec<Example>, CsvError> {
         let mut parts = raw.split(',');
         let label_tok = parts.next().unwrap_or("");
         let slice_tok = parts.next().ok_or(CsvError::TooFewColumns { line })?;
-        let label: usize = label_tok
-            .trim()
-            .parse()
-            .map_err(|_| CsvError::BadIndex { line, token: label_tok.to_string() })?;
-        let slice: usize = slice_tok
-            .trim()
-            .parse()
-            .map_err(|_| CsvError::BadIndex { line, token: slice_tok.to_string() })?;
+        let label: usize = label_tok.trim().parse().map_err(|_| CsvError::BadIndex {
+            line,
+            token: label_tok.to_string(),
+        })?;
+        let slice: usize = slice_tok.trim().parse().map_err(|_| CsvError::BadIndex {
+            line,
+            token: slice_tok.to_string(),
+        })?;
         let features: Result<Vec<f64>, CsvError> = parts
             .map(|t| {
-                t.trim()
-                    .parse::<f64>()
-                    .map_err(|_| CsvError::BadFloat { line, token: t.to_string() })
+                t.trim().parse::<f64>().map_err(|_| CsvError::BadFloat {
+                    line,
+                    token: t.to_string(),
+                })
             })
             .collect();
         let features = features?;
@@ -174,7 +179,10 @@ mod tests {
 
     #[test]
     fn detects_missing_slice_column() {
-        assert_eq!(read_examples("3\n"), Err(CsvError::TooFewColumns { line: 1 }));
+        assert_eq!(
+            read_examples("3\n"),
+            Err(CsvError::TooFewColumns { line: 1 })
+        );
     }
 
     #[test]
@@ -199,7 +207,11 @@ mod tests {
         let text = "0,0,1.0,2.0\n1,1,3.0\n";
         assert_eq!(
             read_examples(text),
-            Err(CsvError::InconsistentDim { line: 2, expected: 2, found: 1 })
+            Err(CsvError::InconsistentDim {
+                line: 2,
+                expected: 2,
+                found: 1
+            })
         );
     }
 

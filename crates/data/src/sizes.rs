@@ -13,7 +13,9 @@ pub fn equal_sizes(n: usize, size: usize) -> Vec<usize> {
 /// used here. `decaying_sizes(10, 400)` reproduces the Fashion-MNIST row of
 /// Table 11 up to ±1 from rounding.
 pub fn decaying_sizes(n: usize, base: usize) -> Vec<usize> {
-    (0..n).map(|i| ((base as f64) / ((i + 1) as f64).sqrt()).round() as usize).collect()
+    (0..n)
+        .map(|i| ((base as f64) / ((i + 1) as f64).sqrt()).round() as usize)
+        .collect()
 }
 
 #[cfg(test)]

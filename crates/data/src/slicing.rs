@@ -29,7 +29,11 @@ pub struct SlicingConfig {
 
 impl Default for SlicingConfig {
     fn default() -> Self {
-        SlicingConfig { max_depth: 4, min_slice_size: 30, entropy_threshold: 0.3 }
+        SlicingConfig {
+            max_depth: 4,
+            min_slice_size: 30,
+            entropy_threshold: 0.3,
+        }
     }
 }
 
@@ -60,7 +64,11 @@ pub struct SlicingResult {
 impl SlicingResult {
     /// Rewrites the examples' [`SliceId`]s according to the assignment.
     pub fn relabel(&self, examples: &[Example]) -> Vec<Example> {
-        assert_eq!(examples.len(), self.assignments.len(), "assignment length mismatch");
+        assert_eq!(
+            examples.len(),
+            self.assignments.len(),
+            "assignment length mismatch"
+        );
         examples
             .iter()
             .zip(&self.assignments)
@@ -155,8 +163,7 @@ fn best_split(
             if lo == hi {
                 continue; // cannot separate equal values
             }
-            let child_h = counts_entropy(&left_counts, left_n as f64) * left_n as f64
-                / n as f64
+            let child_h = counts_entropy(&left_counts, left_n as f64) * left_n as f64 / n as f64
                 + counts_entropy(&right_counts, right_n as f64) * right_n as f64 / n as f64;
             let gain = parent_h - child_h;
             if gain > 1e-9 && best.as_ref().is_none_or(|&(_, _, g)| gain > g) {
@@ -172,11 +179,7 @@ fn best_split(
 ///
 /// # Panics
 /// Panics on an empty dataset or labels outside `0..num_classes`.
-pub fn auto_slice(
-    examples: &[Example],
-    num_classes: usize,
-    cfg: &SlicingConfig,
-) -> SlicingResult {
+pub fn auto_slice(examples: &[Example], num_classes: usize, cfg: &SlicingConfig) -> SlicingResult {
     assert!(!examples.is_empty(), "cannot slice an empty dataset");
     assert!(
         examples.iter().all(|e| e.label < num_classes),
@@ -202,9 +205,14 @@ pub fn auto_slice(
         };
         match split {
             Some((feature, threshold, _gain)) => {
-                splits.push(SplitNode { feature, threshold, depth });
-                let (left, right): (Vec<usize>, Vec<usize>) =
-                    idx.iter().partition(|&&i| examples[i].features[feature] <= threshold);
+                splits.push(SplitNode {
+                    feature,
+                    threshold,
+                    depth,
+                });
+                let (left, right): (Vec<usize>, Vec<usize>) = idx
+                    .iter()
+                    .partition(|&&i| examples[i].features[feature] <= threshold);
                 stack.push((right, depth + 1));
                 stack.push((left, depth + 1));
             }
@@ -219,7 +227,12 @@ pub fn auto_slice(
     }
 
     debug_assert!(assignments.iter().all(|&a| a != usize::MAX));
-    SlicingResult { assignments, num_slices: next_slice, splits, slice_entropies }
+    SlicingResult {
+        assignments,
+        num_slices: next_slice,
+        splits,
+        slice_entropies,
+    }
 }
 
 #[cfg(test)]
@@ -246,9 +259,16 @@ mod tests {
         let res = auto_slice(&ex, 2, &SlicingConfig::default());
         assert_eq!(res.num_slices, 2, "splits {:?}", res.splits);
         assert_eq!(res.splits.len(), 1);
-        assert_eq!(res.splits[0].feature, 0, "must split on the separating feature");
+        assert_eq!(
+            res.splits[0].feature, 0,
+            "must split on the separating feature"
+        );
         // Each slice is (nearly) label-pure.
-        assert!(res.slice_entropies.iter().all(|&h| h < 0.1), "{:?}", res.slice_entropies);
+        assert!(
+            res.slice_entropies.iter().all(|&h| h < 0.1),
+            "{:?}",
+            res.slice_entropies
+        );
         let sizes = res.slice_sizes();
         assert_eq!(sizes.iter().sum::<usize>(), 200);
         assert!(sizes.iter().all(|&s| s >= 90), "{sizes:?}");
@@ -269,9 +289,15 @@ mod tests {
     #[test]
     fn min_slice_size_is_respected() {
         let ex = two_blobs(25, 3); // 50 examples, min size 30 ⇒ no legal split
-        let cfg = SlicingConfig { min_slice_size: 30, ..Default::default() };
+        let cfg = SlicingConfig {
+            min_slice_size: 30,
+            ..Default::default()
+        };
         let res = auto_slice(&ex, 2, &cfg);
-        assert_eq!(res.num_slices, 1, "split would create slices below the minimum");
+        assert_eq!(
+            res.num_slices, 1,
+            "split would create slices below the minimum"
+        );
     }
 
     #[test]
@@ -279,9 +305,12 @@ mod tests {
         // Four clusters in a grid, but depth 1 allows only one split.
         let mut rng = seeded_rng(4);
         let mut ex = Vec::new();
-        for (label, (cx, cy)) in
-            [(0usize, (-3.0, -3.0)), (1, (3.0, -3.0)), (2, (-3.0, 3.0)), (3, (3.0, 3.0))]
-        {
+        for (label, (cx, cy)) in [
+            (0usize, (-3.0, -3.0)),
+            (1, (3.0, -3.0)),
+            (2, (-3.0, 3.0)),
+            (3, (3.0, 3.0)),
+        ] {
             for _ in 0..60 {
                 ex.push(Example::new(
                     vec![cx + 0.3 * normal(&mut rng), cy + 0.3 * normal(&mut rng)],
@@ -292,8 +321,14 @@ mod tests {
         }
         let deep = auto_slice(&ex, 4, &SlicingConfig::default());
         assert_eq!(deep.num_slices, 4, "{:?}", deep.slice_sizes());
-        let shallow =
-            auto_slice(&ex, 4, &SlicingConfig { max_depth: 1, ..Default::default() });
+        let shallow = auto_slice(
+            &ex,
+            4,
+            &SlicingConfig {
+                max_depth: 1,
+                ..Default::default()
+            },
+        );
         assert_eq!(shallow.num_slices, 2);
     }
 

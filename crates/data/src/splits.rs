@@ -22,7 +22,10 @@ pub fn stratified_split<R: Rng + ?Sized>(
     val_fraction: f64,
     rng: &mut R,
 ) -> (Vec<Example>, Vec<Example>) {
-    assert!((0.0..=1.0).contains(&val_fraction), "val_fraction out of range");
+    assert!(
+        (0.0..=1.0).contains(&val_fraction),
+        "val_fraction out of range"
+    );
     // BTreeMap for deterministic label iteration order.
     let mut by_label: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
     for (i, e) in examples.iter().enumerate() {

@@ -2,9 +2,7 @@
 
 use proptest::prelude::*;
 use st_data::dataset::imbalance_ratio_of;
-use st_data::{
-    DatasetFamily, GaussianSliceModel, LabelCluster, SliceSpec, SlicedDataset,
-};
+use st_data::{DatasetFamily, GaussianSliceModel, LabelCluster, SliceSpec, SlicedDataset};
 
 fn arb_family() -> impl Strategy<Value = DatasetFamily> {
     (2usize..5, 2usize..4).prop_map(|(n_slices, dim)| {

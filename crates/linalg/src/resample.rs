@@ -91,7 +91,10 @@ pub fn bootstrap_ci(
 ) -> ConfidenceInterval {
     assert!(!xs.is_empty(), "bootstrap of empty sample");
     assert!(reps > 0, "bootstrap needs at least one replicate");
-    assert!(level > 0.0 && level < 1.0, "confidence level must be in (0,1)");
+    assert!(
+        level > 0.0 && level < 1.0,
+        "confidence level must be in (0,1)"
+    );
 
     let mut rng = SplitMix64::new(seed);
     let mut stats = Vec::with_capacity(reps);

@@ -17,7 +17,13 @@ pub struct RunningStats {
 impl RunningStats {
     /// An empty accumulator.
     pub fn new() -> Self {
-        RunningStats { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        RunningStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Folds one observation in.

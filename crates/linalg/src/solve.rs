@@ -176,7 +176,10 @@ mod tests {
     #[test]
     fn gaussian_reports_singular() {
         let a = Matrix::from_vec(2, 2, vec![1., 2., 2., 4.]);
-        assert!(matches!(gaussian_solve(a, &[1., 2.]), Err(SolveError::Singular { .. })));
+        assert!(matches!(
+            gaussian_solve(a, &[1., 2.]),
+            Err(SolveError::Singular { .. })
+        ));
     }
 
     #[test]

@@ -128,8 +128,14 @@ mod tests {
             labels.push(usize::from(i % 2 == 1));
         }
         let x = Matrix::from_vec(100, 2, rows);
-        let net =
-            crate::train(&x, &labels, 2, 2, &ModelSpec::softmax(), &TrainConfig::default());
+        let net = crate::train(
+            &x,
+            &labels,
+            2,
+            2,
+            &ModelSpec::softmax(),
+            &TrainConfig::default(),
+        );
         assert!(accuracy_of(&net, &x, &labels) > 0.95);
         assert!(log_loss_of(&net, &x, &labels) < 0.15);
     }

@@ -61,7 +61,13 @@ impl ConvKernels {
         let fan_in = in_ch * k * k;
         let scale = (2.0 / fan_in.max(1) as f64).sqrt();
         let w = (0..out_ch * fan_in).map(|_| scale * normal(rng)).collect();
-        ConvKernels { w, b: vec![0.0; out_ch], out_ch, in_ch, k }
+        ConvKernels {
+            w,
+            b: vec![0.0; out_ch],
+            out_ch,
+            in_ch,
+            k,
+        }
     }
 
     #[inline]
@@ -137,7 +143,10 @@ impl ConvNet {
         num_classes: usize,
         rng: &mut StdRng,
     ) -> Self {
-        assert!(shape.height >= kernel && shape.width >= kernel, "kernel larger than image");
+        assert!(
+            shape.height >= kernel && shape.width >= kernel,
+            "kernel larger than image"
+        );
         let (ch, cw) = (shape.height - kernel + 1, shape.width - kernel + 1);
         let (ph, pw) = (ch / 2, cw / 2);
         assert!(ph >= 1 && pw >= 1, "image too small to pool");
@@ -148,7 +157,10 @@ impl ConvNet {
 
     /// Conv output spatial dims (valid padding).
     fn conv_dims(&self) -> (usize, usize) {
-        (self.shape.height - self.conv.k + 1, self.shape.width - self.conv.k + 1)
+        (
+            self.shape.height - self.conv.k + 1,
+            self.shape.width - self.conv.k + 1,
+        )
     }
 
     /// Pooled spatial dims (2×2, stride 2, floor).
@@ -220,7 +232,14 @@ impl ConvNet {
             }
         }
         let logits = self.head.forward(&pooled);
-        (Trace { relu, pooled, argmax }, logits)
+        (
+            Trace {
+                relu,
+                pooled,
+                argmax,
+            },
+            logits,
+        )
     }
 
     /// Batch logits.
@@ -241,7 +260,11 @@ impl ConvNet {
         config: &ConvTrainConfig,
     ) -> ConvNet {
         assert_eq!(x.rows(), y.len(), "feature/label count mismatch");
-        assert_eq!(x.cols(), shape.flat_len(), "row length does not match image shape");
+        assert_eq!(
+            x.cols(),
+            shape.flat_len(),
+            "row length does not match image shape"
+        );
         assert!(y.iter().all(|&l| l < num_classes), "label out of range");
 
         let mut rng = seeded_rng(config.seed);
@@ -262,8 +285,7 @@ impl ConvNet {
         for _epoch in 0..config.epochs {
             order.shuffle(&mut rng);
             for chunk in order.chunks(config.batch_size.max(1)) {
-                let bx =
-                    Matrix::from_fn(chunk.len(), x.cols(), |r, c| x[(chunk[r], c)]);
+                let bx = Matrix::from_fn(chunk.len(), x.cols(), |r, c| x[(chunk[r], c)]);
                 let by: Vec<usize> = chunk.iter().map(|&i| y[i]).collect();
                 opt.next_step();
                 net.step(&bx, &by, config.lr, &mut opt);
@@ -377,7 +399,11 @@ mod tests {
     use super::*;
     use crate::classifier::{accuracy_of, log_loss_of};
 
-    const SHAPE: ImageShape = ImageShape { channels: 1, height: 8, width: 8 };
+    const SHAPE: ImageShape = ImageShape {
+        channels: 1,
+        height: 8,
+        width: 8,
+    };
 
     /// Class 0: bright vertical bar; class 1: bright horizontal bar.
     fn bars(n_per: usize, seed: u64) -> (Matrix, Vec<usize>) {
@@ -399,7 +425,10 @@ mod tests {
                 labels.push(label);
             }
         }
-        (Matrix::from_vec(labels.len(), SHAPE.flat_len(), rows), labels)
+        (
+            Matrix::from_vec(labels.len(), SHAPE.flat_len(), rows),
+            labels,
+        )
     }
 
     use rand::RngCore;
@@ -431,7 +460,10 @@ mod tests {
     #[test]
     fn learns_oriented_bars() {
         let (x, y) = bars(40, 4);
-        let cfg = ConvTrainConfig { epochs: 12, ..Default::default() };
+        let cfg = ConvTrainConfig {
+            epochs: 12,
+            ..Default::default()
+        };
         let net = ConvNet::train(&x, &y, SHAPE, 2, &cfg);
         let acc = accuracy_of(&net, &x, &y);
         assert!(acc > 0.95, "train accuracy {acc}");
@@ -444,7 +476,10 @@ mod tests {
     #[test]
     fn training_is_deterministic() {
         let (x, y) = bars(10, 6);
-        let cfg = ConvTrainConfig { epochs: 3, ..Default::default() };
+        let cfg = ConvTrainConfig {
+            epochs: 3,
+            ..Default::default()
+        };
         let a = ConvNet::train(&x, &y, SHAPE, 2, &cfg);
         let b = ConvNet::train(&x, &y, SHAPE, 2, &cfg);
         assert_eq!(a, b);
@@ -453,7 +488,10 @@ mod tests {
     #[test]
     fn conv_beats_untrained_baseline() {
         let (x, y) = bars(30, 7);
-        let cfg = ConvTrainConfig { epochs: 10, ..Default::default() };
+        let cfg = ConvTrainConfig {
+            epochs: 10,
+            ..Default::default()
+        };
         let trained = ConvNet::train(&x, &y, SHAPE, 2, &cfg);
         let mut rng = seeded_rng(cfg.seed);
         let init = ConvNet::new(SHAPE, cfg.filters, cfg.kernel, 2, &mut rng);
@@ -464,7 +502,11 @@ mod tests {
     #[should_panic(expected = "kernel larger than image")]
     fn rejects_oversized_kernel() {
         let mut rng = seeded_rng(8);
-        let tiny = ImageShape { channels: 1, height: 2, width: 2 };
+        let tiny = ImageShape {
+            channels: 1,
+            height: 2,
+            width: 2,
+        };
         let _ = ConvNet::new(tiny, 2, 3, 2, &mut rng);
     }
 

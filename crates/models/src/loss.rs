@@ -46,7 +46,10 @@ pub fn accuracy(model: &Mlp, x: &Matrix, y: &[usize]) -> f64 {
 
 /// Per-slice validation losses `ψ(s_i, M)`, in slice-id order.
 pub fn per_slice_validation_losses(model: &Mlp, ds: &SlicedDataset) -> Vec<f64> {
-    ds.slices.iter().map(|s| log_loss_on(model, &s.validation)).collect()
+    ds.slices
+        .iter()
+        .map(|s| log_loss_on(model, &s.validation))
+        .collect()
 }
 
 /// Loss on the pooled validation set: the paper's `ψ(D, M)`.
@@ -192,7 +195,10 @@ mod tests {
         // The fashion family deliberately contains a near-unresolvable
         // confusable trio, so Bayes accuracy is well below 1; the trained
         // model must still beat chance (0.1) by a wide margin.
-        assert!(acc > 0.40, "accuracy {acc} too low for 10-way with 80/slice");
+        assert!(
+            acc > 0.40,
+            "accuracy {acc} too low for 10-way with 80/slice"
+        );
         let _ = SliceId(0); // silence unused import lint in some cfgs
     }
 }

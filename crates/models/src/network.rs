@@ -1,7 +1,7 @@
 //! The multi-layer perceptron.
 
-use st_data::rng::normal;
 use rand::rngs::StdRng;
+use st_data::rng::normal;
 use st_linalg::{softmax_in_place, Matrix};
 
 /// One fully-connected layer: `out = in · W + b`.
@@ -21,7 +21,10 @@ impl Layer {
     pub fn he_init(fan_in: usize, fan_out: usize, rng: &mut StdRng) -> Self {
         let scale = (2.0 / fan_in.max(1) as f64).sqrt();
         let w = Matrix::from_fn(fan_in, fan_out, |_, _| scale * normal(rng));
-        Layer { w, b: vec![0.0; fan_out] }
+        Layer {
+            w,
+            b: vec![0.0; fan_out],
+        }
     }
 
     /// Output dimensionality.
@@ -71,8 +74,10 @@ impl Mlp {
         dims.push(input_dim);
         dims.extend_from_slice(hidden);
         dims.push(num_classes);
-        let layers =
-            dims.windows(2).map(|d| Layer::he_init(d[0], d[1], rng)).collect::<Vec<_>>();
+        let layers = dims
+            .windows(2)
+            .map(|d| Layer::he_init(d[0], d[1], rng))
+            .collect::<Vec<_>>();
         Mlp { layers }
     }
 
@@ -88,7 +93,10 @@ impl Mlp {
 
     /// Total trainable parameter count.
     pub fn num_params(&self) -> usize {
-        self.layers.iter().map(|l| l.w.rows() * l.w.cols() + l.b.len()).sum()
+        self.layers
+            .iter()
+            .map(|l| l.w.rows() * l.w.cols() + l.b.len())
+            .sum()
     }
 
     /// Forward pass retaining every post-activation (used by backprop).
@@ -132,7 +140,9 @@ impl Mlp {
     /// Class predictions (argmax of probabilities).
     pub fn predict(&self, x: &Matrix) -> Vec<usize> {
         let logits = self.logits(x);
-        (0..logits.rows()).map(|r| st_linalg::argmax(logits.row(r))).collect()
+        (0..logits.rows())
+            .map(|r| st_linalg::argmax(logits.row(r)))
+            .collect()
     }
 }
 

@@ -38,9 +38,7 @@ impl LrSchedule {
         match *self {
             LrSchedule::Constant => base,
             LrSchedule::Exponential { gamma } => base * gamma.powi(epoch as i32),
-            LrSchedule::Step { every, gamma } => {
-                base * gamma.powi((epoch / every.max(1)) as i32)
-            }
+            LrSchedule::Step { every, gamma } => base * gamma.powi((epoch / every.max(1)) as i32),
             LrSchedule::Cosine { total, min_frac } => {
                 let total = total.max(1);
                 let t = (epoch.min(total) as f64) / total as f64;
@@ -85,7 +83,11 @@ impl OptimizerKind {
 
     /// Standard Adam constants.
     pub fn default_adam() -> Self {
-        OptimizerKind::Adam { beta1: 0.9, beta2: 0.999, eps: 1e-8 }
+        OptimizerKind::Adam {
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+        }
     }
 }
 
@@ -167,9 +169,7 @@ impl OptimizerState {
                 let t = self.t.max(1) as i32;
                 let bc1 = 1.0 - beta1.powi(t);
                 let bc2 = 1.0 - beta2.powi(t);
-                for (((p, &g), m), v) in
-                    params.iter_mut().zip(grads).zip(&mut s.m).zip(&mut s.v)
-                {
+                for (((p, &g), m), v) in params.iter_mut().zip(grads).zip(&mut s.m).zip(&mut s.v) {
                     let g = g + l2 * *p;
                     *m = beta1 * *m + (1.0 - beta1) * g;
                     *v = beta2 * *v + (1.0 - beta2) * g * g;
@@ -179,9 +179,7 @@ impl OptimizerState {
                 }
             }
             OptimizerKind::AdaGrad { eps } => {
-                for (((p, &g), _m), v) in
-                    params.iter_mut().zip(grads).zip(&mut s.m).zip(&mut s.v)
-                {
+                for (((p, &g), _m), v) in params.iter_mut().zip(grads).zip(&mut s.m).zip(&mut s.v) {
                     let g = g + l2 * *p;
                     *v += g * g;
                     *p -= lr * g / (v.sqrt() + eps);
@@ -230,7 +228,10 @@ mod tests {
     fn momentum_accelerates_over_sgd() {
         let sgd = descend(OptimizerKind::Sgd, 0.02, 50);
         let mom = descend(OptimizerKind::default_momentum(), 0.02, 50);
-        assert!((mom - 3.0).abs() < (sgd - 3.0).abs(), "sgd {sgd}, momentum {mom}");
+        assert!(
+            (mom - 3.0).abs() < (sgd - 3.0).abs(),
+            "sgd {sgd}, momentum {mom}"
+        );
     }
 
     #[test]
@@ -292,7 +293,10 @@ mod tests {
 
     #[test]
     fn step_schedule_is_piecewise_constant() {
-        let s = LrSchedule::Step { every: 10, gamma: 0.1 };
+        let s = LrSchedule::Step {
+            every: 10,
+            gamma: 0.1,
+        };
         assert_eq!(s.lr_at(1.0, 9), 1.0);
         assert!((s.lr_at(1.0, 10) - 0.1).abs() < 1e-15);
         assert!((s.lr_at(1.0, 25) - 0.01).abs() < 1e-15);
@@ -300,10 +304,16 @@ mod tests {
 
     #[test]
     fn cosine_schedule_hits_endpoints_and_decreases() {
-        let s = LrSchedule::Cosine { total: 100, min_frac: 0.01 };
+        let s = LrSchedule::Cosine {
+            total: 100,
+            min_frac: 0.01,
+        };
         assert!((s.lr_at(1.0, 0) - 1.0).abs() < 1e-12);
         assert!((s.lr_at(1.0, 100) - 0.01).abs() < 1e-12);
-        assert!((s.lr_at(1.0, 200) - 0.01).abs() < 1e-12, "clamped past total");
+        assert!(
+            (s.lr_at(1.0, 200) - 0.01).abs() < 1e-12,
+            "clamped past total"
+        );
         let mid = s.lr_at(1.0, 50);
         assert!(mid < 1.0 && mid > 0.01);
     }

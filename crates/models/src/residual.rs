@@ -114,10 +114,15 @@ impl ResidualMlp {
         num_classes: usize,
         rng: &mut StdRng,
     ) -> Self {
-        assert!(input_dim > 0 && width > 0 && num_classes > 0, "dimensions must be positive");
+        assert!(
+            input_dim > 0 && width > 0 && num_classes > 0,
+            "dimensions must be positive"
+        );
         ResidualMlp {
             stem: Layer::he_init(input_dim, width, rng),
-            blocks: (0..depth).map(|_| ResidualBlock::he_init(width, rng)).collect(),
+            blocks: (0..depth)
+                .map(|_| ResidualBlock::he_init(width, rng))
+                .collect(),
             head: Layer::he_init(width, num_classes, rng),
         }
     }
@@ -126,7 +131,11 @@ impl ResidualMlp {
     pub fn num_params(&self) -> usize {
         let layer = |l: &Layer| l.w.rows() * l.w.cols() + l.b.len();
         layer(&self.stem)
-            + self.blocks.iter().map(|b| layer(&b.l1) + layer(&b.l2)).sum::<usize>()
+            + self
+                .blocks
+                .iter()
+                .map(|b| layer(&b.l1) + layer(&b.l2))
+                .sum::<usize>()
             + layer(&self.head)
     }
 
@@ -142,7 +151,11 @@ impl ResidualMlp {
             let mut out = block.l2.forward(&hidden);
             out.add_assign(&cur);
             relu_in_place(&mut out);
-            traces.push(BlockTrace { input: cur, hidden: hidden.clone(), output: out.clone() });
+            traces.push(BlockTrace {
+                input: cur,
+                hidden: hidden.clone(),
+                output: out.clone(),
+            });
             cur = out;
         }
         let logits = self.head.forward(&cur);
@@ -348,7 +361,10 @@ mod tests {
     #[test]
     fn learns_separable_blobs() {
         let (x, y) = blobs(60, &[(-2.0, 0.0), (2.0, 0.0), (0.0, 2.0)], 3);
-        let cfg = ResidualTrainConfig { epochs: 30, ..Default::default() };
+        let cfg = ResidualTrainConfig {
+            epochs: 30,
+            ..Default::default()
+        };
         let net = ResidualMlp::train(&x, &y, 2, 3, &cfg);
         let acc = accuracy_of(&net, &x, &y);
         assert!(acc > 0.95, "accuracy {acc}");
@@ -360,14 +376,24 @@ mod tests {
         let mut rows = Vec::new();
         let mut labels = Vec::new();
         for _ in 0..100 {
-            for (cx, cy, l) in [(-1.0, -1.0, 0), (1.0, 1.0, 0), (-1.0, 1.0, 1), (1.0, -1.0, 1)] {
+            for (cx, cy, l) in [
+                (-1.0, -1.0, 0),
+                (1.0, 1.0, 0),
+                (-1.0, 1.0, 1),
+                (1.0, -1.0, 1),
+            ] {
                 rows.push(cx + 0.15 * normal(&mut rng));
                 rows.push(cy + 0.15 * normal(&mut rng));
                 labels.push(l);
             }
         }
         let x = Matrix::from_vec(labels.len(), 2, rows);
-        let cfg = ResidualTrainConfig { epochs: 40, width: 16, depth: 2, ..Default::default() };
+        let cfg = ResidualTrainConfig {
+            epochs: 40,
+            width: 16,
+            depth: 2,
+            ..Default::default()
+        };
         let net = ResidualMlp::train(&x, &labels, 2, 2, &cfg);
         assert!(log_loss_of(&net, &x, &labels) < 0.2);
     }
@@ -375,7 +401,10 @@ mod tests {
     #[test]
     fn training_is_deterministic() {
         let (x, y) = blobs(20, &[(-1.5, 0.0), (1.5, 0.0)], 5);
-        let cfg = ResidualTrainConfig { epochs: 5, ..Default::default() };
+        let cfg = ResidualTrainConfig {
+            epochs: 5,
+            ..Default::default()
+        };
         let a = ResidualMlp::train(&x, &y, 2, 2, &cfg);
         let b = ResidualMlp::train(&x, &y, 2, 2, &cfg);
         assert_eq!(a, b);
@@ -395,13 +424,21 @@ mod tests {
             ..Default::default()
         };
         let net = ResidualMlp::train(&x, &y, 2, 2, &cfg);
-        assert!(log_loss_of(&net, &x, &y) < 0.2, "loss {}", log_loss_of(&net, &x, &y));
+        assert!(
+            log_loss_of(&net, &x, &y) < 0.2,
+            "loss {}",
+            log_loss_of(&net, &x, &y)
+        );
     }
 
     #[test]
     fn zero_depth_degenerates_to_one_hidden_layer() {
         let (x, y) = blobs(40, &[(-2.0, 0.0), (2.0, 0.0)], 7);
-        let cfg = ResidualTrainConfig { epochs: 20, depth: 0, ..Default::default() };
+        let cfg = ResidualTrainConfig {
+            epochs: 20,
+            depth: 0,
+            ..Default::default()
+        };
         let net = ResidualMlp::train(&x, &y, 2, 2, &cfg);
         assert!(net.blocks.is_empty());
         assert!(accuracy_of(&net, &x, &y) > 0.95);

@@ -21,23 +21,35 @@ impl ModelSpec {
     /// Plain softmax (multinomial logistic) regression: the AdultCensus
     /// model ("fully connected network with no hidden layers").
     pub fn softmax() -> Self {
-        ModelSpec { hidden: vec![], name: "softmax" }
+        ModelSpec {
+            hidden: vec![],
+            name: "softmax",
+        }
     }
 
     /// The image-dataset stand-in: two modest hidden layers.
     pub fn basic() -> Self {
-        ModelSpec { hidden: vec![32, 16], name: "basic" }
+        ModelSpec {
+            hidden: vec![32, 16],
+            name: "basic",
+        }
     }
 
     /// One-hidden-layer variant (the paper's smallest CNN).
     pub fn small() -> Self {
-        ModelSpec { hidden: vec![24], name: "small" }
+        ModelSpec {
+            hidden: vec![24],
+            name: "small",
+        }
     }
 
     /// The ResNet-18 stand-in: deliberately overparameterized for the data
     /// sizes in play, reproducing Appendix B's higher absolute losses.
     pub fn deep() -> Self {
-        ModelSpec { hidden: vec![128, 128, 64, 64], name: "deep" }
+        ModelSpec {
+            hidden: vec![128, 128, 64, 64],
+            name: "deep",
+        }
     }
 
     /// Serialized compact representation, e.g. `"mlp[32,16]"`.

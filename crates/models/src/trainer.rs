@@ -55,12 +55,18 @@ impl Default for TrainConfig {
 impl TrainConfig {
     /// Returns a copy with a different seed (per-trial reseeding).
     pub fn with_seed(&self, seed: u64) -> Self {
-        TrainConfig { seed, ..self.clone() }
+        TrainConfig {
+            seed,
+            ..self.clone()
+        }
     }
 
     /// Returns a copy with a different update rule.
     pub fn with_optimizer(&self, optimizer: OptimizerKind) -> Self {
-        TrainConfig { optimizer, ..self.clone() }
+        TrainConfig {
+            optimizer,
+            ..self.clone()
+        }
     }
 
     /// Returns a copy with dropout enabled at probability `p`.
@@ -69,7 +75,10 @@ impl TrainConfig {
     /// Panics unless `0 ≤ p < 1`.
     pub fn with_dropout(&self, p: f64) -> Self {
         assert!((0.0..1.0).contains(&p), "dropout must be in [0, 1)");
-        TrainConfig { dropout: p, ..self.clone() }
+        TrainConfig {
+            dropout: p,
+            ..self.clone()
+        }
     }
 }
 
@@ -103,10 +112,16 @@ pub fn train(
     train_validated(x, y, None, input_dim, num_classes, spec, config, None).model
 }
 
+/// Relative margin an epoch must beat the best validation loss by to count
+/// as an improvement for early stopping (the `min_delta` of other
+/// frameworks, expressed relatively so it is loss-scale-free).
+const MIN_RELATIVE_IMPROVEMENT: f64 = 1e-3;
+
 /// [`train`] with an optional validation set and early-stopping patience.
 ///
 /// When `validation = Some((vx, vy))` and `patience = Some(p)`, training
 /// stops after `p` consecutive epochs without improving the validation loss
+/// by at least 0.1% relative ([`MIN_RELATIVE_IMPROVEMENT`])
 /// and returns the best model seen. Without patience the validation set is
 /// only used to report `best_val_loss`.
 ///
@@ -130,7 +145,11 @@ pub fn train_validated(
     let mut net = Mlp::new(input_dim, &spec.hidden, num_classes, &mut rng);
     let n = x.rows();
     if n == 0 {
-        return TrainOutcome { model: net, epochs_run: 0, best_val_loss: f64::NAN };
+        return TrainOutcome {
+            model: net,
+            epochs_run: 0,
+            best_val_loss: f64::NAN,
+        };
     }
 
     // One optimizer slot per tensor: w then b per layer.
@@ -159,7 +178,13 @@ pub fn train_validated(
 
         if let Some((vx, vy)) = validation {
             let val = crate::loss::log_loss(&net, vx, vy);
-            let improved = best.as_ref().is_none_or(|(b, _)| val < *b);
+            // An epoch only counts as an improvement when it beats the best
+            // loss by a relative margin. Without the margin, smoothly
+            // decaying learning rates produce ever-smaller but strictly
+            // positive improvements on easy data, and patience never fires.
+            let improved = best
+                .as_ref()
+                .is_none_or(|(b, _)| val < *b - b.abs() * MIN_RELATIVE_IMPROVEMENT);
             if improved {
                 best = Some((val, net.clone()));
                 since_best = 0;
@@ -173,11 +198,21 @@ pub fn train_validated(
     }
 
     match best {
-        Some((loss, model)) if patience.is_some() => {
-            TrainOutcome { model, epochs_run, best_val_loss: loss }
-        }
-        Some((loss, _)) => TrainOutcome { model: net, epochs_run, best_val_loss: loss },
-        None => TrainOutcome { model: net, epochs_run, best_val_loss: f64::NAN },
+        Some((loss, model)) if patience.is_some() => TrainOutcome {
+            model,
+            epochs_run,
+            best_val_loss: loss,
+        },
+        Some((loss, _)) => TrainOutcome {
+            model: net,
+            epochs_run,
+            best_val_loss: loss,
+        },
+        None => TrainOutcome {
+            model: net,
+            epochs_run,
+            best_val_loss: f64::NAN,
+        },
     }
 }
 
@@ -210,7 +245,11 @@ fn forward_train(
                 let keep = 1.0 - dropout;
                 let mut mask = Vec::with_capacity(z.as_slice().len());
                 for v in z.as_mut_slice() {
-                    let factor = if rng.gen::<f64>() < keep { 1.0 / keep } else { 0.0 };
+                    let factor = if rng.gen::<f64>() < keep {
+                        1.0 / keep
+                    } else {
+                        0.0
+                    };
                     *v *= factor;
                     mask.push(factor);
                 }
@@ -269,9 +308,7 @@ fn descent_step(
             // inverted-dropout scale factors.
             let act = &activations[li];
             let mask = &masks[li - 1];
-            for (idx, (v, &a)) in
-                da.as_mut_slice().iter_mut().zip(act.as_slice()).enumerate()
-            {
+            for (idx, (v, &a)) in da.as_mut_slice().iter_mut().zip(act.as_slice()).enumerate() {
                 if a <= 0.0 {
                     *v = 0.0;
                 } else if !mask.is_empty() {
@@ -282,7 +319,13 @@ fn descent_step(
         }
 
         let layer = &mut net.layers[li];
-        opt.update(2 * li, layer.w.as_mut_slice(), grad_w.as_slice(), lr, config.l2);
+        opt.update(
+            2 * li,
+            layer.w.as_mut_slice(),
+            grad_w.as_slice(),
+            lr,
+            config.l2,
+        );
         opt.update(2 * li + 1, &mut layer.b, &grad_b, lr, 0.0);
     }
 }
@@ -342,9 +385,12 @@ mod tests {
             let mut labels = Vec::new();
             let mut rng = seeded_rng(2);
             for _ in 0..80 {
-                for (cx, cy, l) in
-                    [(-1.0, -1.0, 0), (1.0, 1.0, 0), (-1.0, 1.0, 1), (1.0, -1.0, 1)]
-                {
+                for (cx, cy, l) in [
+                    (-1.0, -1.0, 0),
+                    (1.0, 1.0, 0),
+                    (-1.0, 1.0, 1),
+                    (1.0, -1.0, 1),
+                ] {
                     rows.push(cx + 0.15 * st_data::normal(&mut rng));
                     rows.push(cy + 0.15 * st_data::normal(&mut rng));
                     labels.push(l);
@@ -352,13 +398,20 @@ mod tests {
             }
             (Matrix::from_vec(labels.len(), 2, rows), labels)
         };
-        let cfg = TrainConfig { epochs: 60, lr: 0.2, ..TrainConfig::default() };
+        let cfg = TrainConfig {
+            epochs: 60,
+            lr: 0.2,
+            ..TrainConfig::default()
+        };
         let mlp = train(&x, &y, 2, 2, &ModelSpec::small(), &cfg);
         let linear = train(&x, &y, 2, 2, &ModelSpec::softmax(), &cfg);
         let mlp_loss = log_loss(&mlp, &x, &y);
         let linear_loss = log_loss(&linear, &x, &y);
         assert!(mlp_loss < 0.15, "mlp loss {mlp_loss}");
-        assert!(linear_loss > 0.6, "linear loss {linear_loss} should stay near ln 2");
+        assert!(
+            linear_loss > 0.6,
+            "linear loss {linear_loss} should stay near ln 2"
+        );
     }
 
     #[test]
@@ -407,7 +460,10 @@ mod tests {
     fn early_stopping_halts_before_epoch_budget() {
         let (x, y) = blobs(40, &[(-3.0, 0.0), (3.0, 0.0)], 6);
         let (vx, vy) = blobs(40, &[(-3.0, 0.0), (3.0, 0.0)], 7);
-        let cfg = TrainConfig { epochs: 200, ..TrainConfig::default() };
+        let cfg = TrainConfig {
+            epochs: 200,
+            ..TrainConfig::default()
+        };
         let out = train_validated(
             &x,
             &y,
@@ -418,7 +474,11 @@ mod tests {
             &cfg,
             Some(5),
         );
-        assert!(out.epochs_run < 200, "should stop early, ran {}", out.epochs_run);
+        assert!(
+            out.epochs_run < 200,
+            "should stop early, ran {}",
+            out.epochs_run
+        );
         assert!(out.best_val_loss < 0.1);
         // Returned model must realize the reported validation loss.
         assert!((log_loss(&out.model, &vx, &vy) - out.best_val_loss).abs() < 1e-12);
@@ -427,9 +487,20 @@ mod tests {
     #[test]
     fn validation_without_patience_reports_loss_but_runs_full() {
         let (x, y) = blobs(30, &[(-2.0, 0.0), (2.0, 0.0)], 8);
-        let cfg = TrainConfig { epochs: 12, ..TrainConfig::default() };
-        let out =
-            train_validated(&x, &y, Some((&x, &y)), 2, 2, &ModelSpec::softmax(), &cfg, None);
+        let cfg = TrainConfig {
+            epochs: 12,
+            ..TrainConfig::default()
+        };
+        let out = train_validated(
+            &x,
+            &y,
+            Some((&x, &y)),
+            2,
+            2,
+            &ModelSpec::softmax(),
+            &cfg,
+            None,
+        );
         assert_eq!(out.epochs_run, 12);
         assert!(out.best_val_loss.is_finite());
     }
@@ -445,7 +516,14 @@ mod tests {
     #[should_panic(expected = "label out of range")]
     fn rejects_out_of_range_labels() {
         let x = Matrix::zeros(1, 2);
-        let _ = train(&x, &[5], 2, 2, &ModelSpec::softmax(), &TrainConfig::default());
+        let _ = train(
+            &x,
+            &[5],
+            2,
+            2,
+            &ModelSpec::softmax(),
+            &TrainConfig::default(),
+        );
     }
 
     #[test]

@@ -37,7 +37,13 @@ pub struct BarrierOptions {
 
 impl Default for BarrierOptions {
     fn default() -> Self {
-        BarrierOptions { beta: 64.0, mu0: 1.0, mu_shrink: 0.25, mu_min: 1e-9, newton_steps: 30 }
+        BarrierOptions {
+            beta: 64.0,
+            mu0: 1.0,
+            mu_shrink: 0.25,
+            mu_min: 1e-9,
+            newton_steps: 30,
+        }
     }
 }
 
@@ -66,9 +72,8 @@ fn smoothed_derivatives(p: &AcquisitionProblem, d: &[f64], beta: f64) -> (Vec<f6
         let s = sigmoid(beta * u);
         // f = l + λ softplus_β(u); u' = l'/A, u'' = l''/A.
         grad[i] = l1 + p.lambda * s * l1 / a_const;
-        hess[i] = l2
-            + p.lambda
-                * (beta * s * (1.0 - s) * (l1 / a_const).powi(2) + s * l2 / a_const);
+        hess[i] =
+            l2 + p.lambda * (beta * s * (1.0 - s) * (l1 / a_const).powi(2) + s * l2 / a_const);
     }
     (grad, hess)
 }
@@ -109,8 +114,9 @@ pub fn solve_barrier(p: &AcquisitionProblem, opts: &BarrierOptions) -> Vec<f64> 
                 chc += p.costs[i] * p.costs[i] / hess[i];
             }
             let nu = -chg / chc;
-            let delta: Vec<f64> =
-                (0..n).map(|i| -(grad[i] + nu * p.costs[i]) / hess[i]).collect();
+            let delta: Vec<f64> = (0..n)
+                .map(|i| -(grad[i] + nu * p.costs[i]) / hess[i])
+                .collect();
 
             // Backtracking line search keeping d strictly positive.
             let mut t: f64 = 1.0;
@@ -129,8 +135,7 @@ pub fn solve_barrier(p: &AcquisitionProblem, opts: &BarrierOptions) -> Vec<f64> 
             let f0 = obj(&d);
             let mut accepted = false;
             while t > 1e-12 {
-                let cand: Vec<f64> =
-                    d.iter().zip(&delta).map(|(x, dx)| x + t * dx).collect();
+                let cand: Vec<f64> = d.iter().zip(&delta).map(|(x, dx)| x + t * dx).collect();
                 if cand.iter().all(|&x| x > 0.0) && obj(&cand) <= f0 {
                     d = cand;
                     accepted = true;
@@ -141,8 +146,7 @@ pub fn solve_barrier(p: &AcquisitionProblem, opts: &BarrierOptions) -> Vec<f64> 
             if !accepted {
                 break; // Newton stalled at this μ; shrink the barrier
             }
-            let newton_decrement: f64 =
-                delta.iter().zip(&hess).map(|(dx, h)| dx * dx * h).sum();
+            let newton_decrement: f64 = delta.iter().zip(&hess).map(|(dx, h)| dx * dx * h).sum();
             if newton_decrement < 1e-16 {
                 break;
             }

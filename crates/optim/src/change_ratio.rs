@@ -83,7 +83,10 @@ mod tests {
         // ratio max/min = 100/40 = 2.5, change |2.5-4| = 1.5 > T=1 ⇒ target 3.
         let x = change_ratio(&[10.0, 40.0], &[90.0, 0.0], 3.0);
         let after = [10.0 + 90.0 * x, 40.0];
-        assert!((imbalance(&after) - 3.0).abs() < 1e-4, "x={x} after={after:?}");
+        assert!(
+            (imbalance(&after) - 3.0).abs() < 1e-4,
+            "x={x} after={after:?}"
+        );
     }
 
     #[test]

@@ -66,7 +66,11 @@ impl OverlapProblem {
         assert!(n > 0, "need at least one slice");
         assert!(m > 0, "need at least one atom");
         assert_eq!(slice_sizes.len(), n, "slice_sizes length mismatch");
-        assert_eq!(membership.len(), n, "membership rows must equal slice count");
+        assert_eq!(
+            membership.len(),
+            n,
+            "membership rows must equal slice count"
+        );
         assert!(
             membership.iter().all(|row| row.len() == m),
             "membership columns must equal atom count"
@@ -77,20 +81,31 @@ impl OverlapProblem {
                 "atom {j} belongs to no slice — drop it from the problem"
             );
         }
-        assert!(slice_sizes.iter().all(|&s| s >= 0.0), "sizes must be non-negative");
-        assert!(atom_costs.iter().all(|&c| c > 0.0), "costs must be positive");
+        assert!(
+            slice_sizes.iter().all(|&s| s >= 0.0),
+            "sizes must be non-negative"
+        );
+        assert!(
+            atom_costs.iter().all(|&c| c > 0.0),
+            "costs must be positive"
+        );
         assert!(budget >= 0.0, "budget must be non-negative");
         assert!(lambda >= 0.0, "lambda must be non-negative");
-        OverlapProblem { curves, slice_sizes, membership, atom_costs, budget, lambda }
+        OverlapProblem {
+            curves,
+            slice_sizes,
+            membership,
+            atom_costs,
+            budget,
+            lambda,
+        }
     }
 
     /// Builds the partition (non-overlapping) special case from a standard
     /// [`AcquisitionProblem`]: one atom per slice, identity membership.
     pub fn from_partition(p: &AcquisitionProblem) -> Self {
         let n = p.n();
-        let membership = (0..n)
-            .map(|i| (0..n).map(|j| i == j).collect())
-            .collect();
+        let membership = (0..n).map(|i| (0..n).map(|j| i == j).collect()).collect();
         OverlapProblem::new(
             p.curves.clone(),
             p.sizes.clone(),
@@ -236,7 +251,11 @@ mod tests {
     use crate::solver::solve_projected;
 
     fn curves3() -> Vec<PowerLaw> {
-        vec![PowerLaw::new(5.0, 0.5), PowerLaw::new(3.0, 0.2), PowerLaw::new(4.0, 0.35)]
+        vec![
+            PowerLaw::new(5.0, 0.5),
+            PowerLaw::new(3.0, 0.2),
+            PowerLaw::new(4.0, 0.35),
+        ]
     }
 
     /// Two overlapping slices (rows) over three atoms (columns):
@@ -348,7 +367,10 @@ mod tests {
             10.0,
         );
         let d = solve_overlap(&p, &SolverOptions::default());
-        assert!(d[0] > d[2], "lossy slice's exclusive atom should win: {d:?}");
+        assert!(
+            d[0] > d[2],
+            "lossy slice's exclusive atom should win: {d:?}"
+        );
     }
 
     #[test]

@@ -60,11 +60,20 @@ impl AcquisitionProblem {
         assert!(n > 0, "need at least one slice");
         assert_eq!(sizes.len(), n, "sizes length mismatch");
         assert_eq!(costs.len(), n, "costs length mismatch");
-        assert!(sizes.iter().all(|&s| s >= 0.0), "sizes must be non-negative");
+        assert!(
+            sizes.iter().all(|&s| s >= 0.0),
+            "sizes must be non-negative"
+        );
         assert!(costs.iter().all(|&c| c > 0.0), "costs must be positive");
         assert!(budget >= 0.0, "budget must be non-negative");
         assert!(lambda >= 0.0, "lambda must be non-negative");
-        AcquisitionProblem { curves, sizes, costs, budget, lambda }
+        AcquisitionProblem {
+            curves,
+            sizes,
+            costs,
+            budget,
+            lambda,
+        }
     }
 
     /// Number of slices.
@@ -74,7 +83,11 @@ impl AcquisitionProblem {
 
     /// Current per-slice losses (curve value at the current size).
     pub fn current_losses(&self) -> Vec<f64> {
-        self.curves.iter().zip(&self.sizes).map(|(c, &s)| c.eval(s)).collect()
+        self.curves
+            .iter()
+            .zip(&self.sizes)
+            .map(|(c, &s)| c.eval(s))
+            .collect()
     }
 
     /// The constant `A`: average of the current per-slice losses.
@@ -168,7 +181,10 @@ mod tests {
     fn subgradient_is_negative() {
         let p = two_slice();
         let g = p.subgradient(&[10.0, 10.0]);
-        assert!(g.iter().all(|&x| x < 0.0), "more data always reduces the objective");
+        assert!(
+            g.iter().all(|&x| x < 0.0),
+            "more data always reduces the objective"
+        );
     }
 
     #[test]

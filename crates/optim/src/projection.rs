@@ -21,7 +21,10 @@ pub fn project_weighted_simplex(y: &[f64], costs: &[f64], budget: f64) -> Vec<f6
     // g(θ) = Σ c_i max(0, y_i − θ c_i) is continuous, non-increasing,
     // piecewise linear. We need g(θ*) = budget.
     let g = |theta: f64| -> f64 {
-        y.iter().zip(costs).map(|(&yi, &ci)| ci * (yi - theta * ci).max(0.0)).sum()
+        y.iter()
+            .zip(costs)
+            .map(|(&yi, &ci)| ci * (yi - theta * ci).max(0.0))
+            .sum()
     };
 
     // Lower bound: with every coordinate active, g is linear:
@@ -51,7 +54,10 @@ pub fn project_weighted_simplex(y: &[f64], costs: &[f64], budget: f64) -> Vec<f6
         }
     }
     let theta = 0.5 * (lo + hi);
-    y.iter().zip(costs).map(|(&yi, &ci)| (yi - theta * ci).max(0.0)).collect()
+    y.iter()
+        .zip(costs)
+        .map(|(&yi, &ci)| (yi - theta * ci).max(0.0))
+        .collect()
 }
 
 #[cfg(test)]
@@ -102,8 +108,7 @@ mod tests {
         let y = vec![4.0, 1.0];
         let b = 9.0;
         let p = project_weighted_simplex(&y, &c, b);
-        let dist =
-            |d: &[f64]| (d[0] - y[0]).powi(2) + (d[1] - y[1]).powi(2);
+        let dist = |d: &[f64]| (d[0] - y[0]).powi(2) + (d[1] - y[1]).powi(2);
         let best_grid = (0..=9000)
             .map(|i| {
                 let d0 = i as f64 / 1000.0;
@@ -115,7 +120,12 @@ mod tests {
                 }
             })
             .fold(f64::INFINITY, f64::min);
-        assert!(dist(&p) <= best_grid + 1e-4, "proj {} grid {}", dist(&p), best_grid);
+        assert!(
+            dist(&p) <= best_grid + 1e-4,
+            "proj {} grid {}",
+            dist(&p),
+            best_grid
+        );
     }
 
     #[test]

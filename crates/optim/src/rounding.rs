@@ -18,7 +18,9 @@ pub fn round_to_budget(d: &[f64], costs: &[f64], budget: f64) -> Vec<usize> {
     order.sort_by(|&i, &j| {
         let fi = d[i].max(0.0).fract();
         let fj = d[j].max(0.0).fract();
-        fj.partial_cmp(&fi).unwrap().then_with(|| costs[i].partial_cmp(&costs[j]).unwrap())
+        fj.partial_cmp(&fi)
+            .unwrap()
+            .then_with(|| costs[i].partial_cmp(&costs[j]).unwrap())
     });
     for &i in &order {
         if d[i].max(0.0).fract() > 0.0 && spent + costs[i] <= budget + 1e-9 {
@@ -46,9 +48,16 @@ mod tests {
 
     #[test]
     fn never_exceeds_budget() {
-        let d = round_to_budget(&[10.7, 20.9, 5.4], &[1.0, 1.5, 2.0], 10.7 + 1.5 * 20.9 + 2.0 * 5.4);
+        let d = round_to_budget(
+            &[10.7, 20.9, 5.4],
+            &[1.0, 1.5, 2.0],
+            10.7 + 1.5 * 20.9 + 2.0 * 5.4,
+        );
         let total = cost_of(&d, &[1.0, 1.5, 2.0]);
-        assert!(total <= 10.7 + 1.5 * 20.9 + 2.0 * 5.4 + 1e-9, "spent {total}");
+        assert!(
+            total <= 10.7 + 1.5 * 20.9 + 2.0 * 5.4 + 1e-9,
+            "spent {total}"
+        );
     }
 
     #[test]

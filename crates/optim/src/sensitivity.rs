@@ -53,8 +53,7 @@ pub fn budget_sensitivity(p: &AcquisitionProblem, opts: &BarrierOptions) -> Sens
     // depends on curves/sizes/λ, so this is well-defined.
     let f1 = p.objective(&d1);
 
-    let allocation_gradient: Vec<f64> =
-        d0.iter().zip(&d1).map(|(a, b)| (b - a) / h).collect();
+    let allocation_gradient: Vec<f64> = d0.iter().zip(&d1).map(|(a, b)| (b - a) / h).collect();
     SensitivityReport {
         allocation: d0,
         marginal_value: (f1 - f0) / h,
@@ -91,7 +90,11 @@ mod tests {
 
     fn problem() -> AcquisitionProblem {
         AcquisitionProblem::new(
-            vec![PowerLaw::new(5.0, 0.5), PowerLaw::new(3.0, 0.2), PowerLaw::new(4.0, 0.35)],
+            vec![
+                PowerLaw::new(5.0, 0.5),
+                PowerLaw::new(3.0, 0.2),
+                PowerLaw::new(4.0, 0.35),
+            ],
             vec![100.0, 200.0, 120.0],
             vec![1.0, 1.3, 0.9],
             400.0,
@@ -102,16 +105,26 @@ mod tests {
     #[test]
     fn marginal_value_is_negative() {
         let rep = budget_sensitivity(&problem(), &BarrierOptions::default());
-        assert!(rep.marginal_value < 0.0, "extra budget must lower the objective");
+        assert!(
+            rep.marginal_value < 0.0,
+            "extra budget must lower the objective"
+        );
     }
 
     #[test]
     fn allocation_gradient_spends_the_extra_budget() {
         let p = problem();
         let rep = budget_sensitivity(&p, &BarrierOptions::default());
-        let spent: f64 =
-            rep.allocation_gradient.iter().zip(&p.costs).map(|(g, c)| g * c).sum();
-        assert!((spent - 1.0).abs() < 0.05, "cost-weighted gradient sums to {spent}");
+        let spent: f64 = rep
+            .allocation_gradient
+            .iter()
+            .zip(&p.costs)
+            .map(|(g, c)| g * c)
+            .sum();
+        assert!(
+            (spent - 1.0).abs() < 0.05,
+            "cost-weighted gradient sums to {spent}"
+        );
     }
 
     #[test]
@@ -128,22 +141,33 @@ mod tests {
         // overestimates the improvement; both must be negative and same
         // order of magnitude.
         assert!(actual < 0.0 && predicted < 0.0);
-        assert!(predicted <= actual * 0.5, "predicted {predicted}, actual {actual}");
-        assert!(predicted >= actual * 3.0, "predicted {predicted}, actual {actual}");
+        assert!(
+            predicted <= actual * 0.5,
+            "predicted {predicted}, actual {actual}"
+        );
+        assert!(
+            predicted >= actual * 3.0,
+            "predicted {predicted}, actual {actual}"
+        );
     }
 
     #[test]
     fn diminishing_returns_across_budgets() {
         let p = problem();
-        let curve =
-            budget_curve(&p, &[100.0, 200.0, 400.0, 800.0, 1600.0], &BarrierOptions::default());
+        let curve = budget_curve(
+            &p,
+            &[100.0, 200.0, 400.0, 800.0, 1600.0],
+            &BarrierOptions::default(),
+        );
         // Objective decreases with budget...
         for w in curve.windows(2) {
             assert!(w[1].1 < w[0].1, "{curve:?}");
         }
         // ...and the *per-unit* improvement shrinks (convexity in B).
-        let rates: Vec<f64> =
-            curve.windows(2).map(|w| (w[0].1 - w[1].1) / (w[1].0 - w[0].0)).collect();
+        let rates: Vec<f64> = curve
+            .windows(2)
+            .map(|w| (w[0].1 - w[1].1) / (w[1].0 - w[0].0))
+            .collect();
         for r in rates.windows(2) {
             assert!(r[1] < r[0], "per-unit returns should diminish: {rates:?}");
         }

@@ -17,7 +17,11 @@ pub struct SolverOptions {
 
 impl Default for SolverOptions {
     fn default() -> Self {
-        SolverOptions { max_iters: 4000, step_scale: 0.5, tol: 1e-10 }
+        SolverOptions {
+            max_iters: 4000,
+            step_scale: 0.5,
+            tol: 1e-10,
+        }
     }
 }
 
@@ -36,7 +40,11 @@ pub fn solve_projected(problem: &AcquisitionProblem, opts: &SolverOptions) -> Ve
     // Start from the even-cost allocation (Uniform baseline): feasible and
     // unbiased.
     let cost_sum: f64 = problem.costs.iter().sum();
-    let mut d: Vec<f64> = problem.costs.iter().map(|_| problem.budget / cost_sum).collect();
+    let mut d: Vec<f64> = problem
+        .costs
+        .iter()
+        .map(|_| problem.budget / cost_sum)
+        .collect();
     // `budget/cost_sum` per slice costs exactly `budget` in total.
 
     let mut best = d.clone();
@@ -192,12 +200,19 @@ mod tests {
             .zip(&p.costs)
             .map(|(((c, &s), &di), &cost)| -c.slope(s + di) / cost)
             .collect();
-        let active: Vec<f64> =
-            marginal.iter().zip(&d).filter(|(_, &di)| di > 1e-6).map(|(&m, _)| m).collect();
+        let active: Vec<f64> = marginal
+            .iter()
+            .zip(&d)
+            .filter(|(_, &di)| di > 1e-6)
+            .map(|(&m, _)| m)
+            .collect();
         assert!(active.len() >= 2, "expected several funded slices: {d:?}");
         let theta = active[0];
         for &m in &active {
-            assert!((m - theta).abs() < 1e-6 * theta, "marginals differ: {marginal:?}");
+            assert!(
+                (m - theta).abs() < 1e-6 * theta,
+                "marginals differ: {marginal:?}"
+            );
         }
         for (&m, &di) in marginal.iter().zip(&d) {
             if di <= 1e-6 {
@@ -222,7 +237,10 @@ mod tests {
         // Slice 0 has the highest current loss (5·100^-0.5 = 0.5 vs
         // 3·200^-0.1 ≈ 1.77 — recompute: slice 1 actually has the highest).
         let p0 = problem(0.0);
-        let p10 = AcquisitionProblem { lambda: 50.0, ..p0.clone() };
+        let p10 = AcquisitionProblem {
+            lambda: 50.0,
+            ..p0.clone()
+        };
         let d0 = solve_projected(&p0, &SolverOptions::default());
         let d10 = solve_projected(&p10, &SolverOptions::default());
         let losses = p0.current_losses();
@@ -249,7 +267,9 @@ mod tests {
     fn zero_budget_returns_zero() {
         let mut p = problem(1.0);
         p.budget = 0.0;
-        assert!(solve_projected(&p, &SolverOptions::default()).iter().all(|&x| x == 0.0));
+        assert!(solve_projected(&p, &SolverOptions::default())
+            .iter()
+            .all(|&x| x == 0.0));
         p.lambda = 0.0;
         assert!(solve_kkt(&p).iter().all(|&x| x == 0.0));
     }

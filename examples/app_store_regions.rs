@@ -12,9 +12,7 @@
 //! help, instead of "more American data".
 
 use slice_tuner::{PoolSource, SliceTuner, Strategy, TSchedule, TunerConfig};
-use st_data::{
-    DatasetFamily, GaussianSliceModel, LabelCluster, SliceSpec, SlicedDataset,
-};
+use st_data::{DatasetFamily, GaussianSliceModel, LabelCluster, SliceSpec, SlicedDataset};
 use st_models::ModelSpec;
 
 /// Builds the Figure 1 world: five regional slices, binary purchase label,
@@ -22,16 +20,18 @@ use st_models::ModelSpec;
 fn app_store_family() -> DatasetFamily {
     let dim = 12;
     let regions: [(&str, f64); 5] = [
-        ("America", 0.9),      // abundant, easy
+        ("America", 0.9), // abundant, easy
         ("Europe", 1.1),
         ("APAC", 1.25),
-        ("Africa", 1.4),       // scarce, hard
+        ("Africa", 1.4), // scarce, hard
         ("Middle-East", 1.3),
     ];
     let centers = |seed: u64| -> Vec<Vec<f64>> {
         // Two class directions per region, offset per region.
         let mut rng = st_data::seeded_rng(seed);
-        (0..12).map(|_| (0..dim).map(|_| st_data::normal(&mut rng)).collect()).collect()
+        (0..12)
+            .map(|_| (0..dim).map(|_| st_data::normal(&mut rng)).collect())
+            .collect()
     };
     let base = centers(0xA99);
     let slices = regions
@@ -39,7 +39,11 @@ fn app_store_family() -> DatasetFamily {
         .enumerate()
         .map(|(i, (name, sigma))| {
             let mk = |label: usize| -> Vec<f64> {
-                base[label].iter().zip(&base[2 + i]).map(|(c, o)| c + 0.8 * o).collect()
+                base[label]
+                    .iter()
+                    .zip(&base[2 + i])
+                    .map(|(c, o)| c + 0.8 * o)
+                    .collect()
             };
             let neg = LabelCluster::new(0, 0.6, mk(0), *sigma);
             let pos = LabelCluster::new(1, 0.4, mk(1), *sigma);

@@ -30,15 +30,22 @@ fn main() {
     println!("pooled {} examples with no slice structure", all.len());
 
     // Appendix A: recursively split while label entropy is high.
-    let cfg = SlicingConfig { max_depth: 3, min_slice_size: 60, ..Default::default() };
+    let cfg = SlicingConfig {
+        max_depth: 3,
+        min_slice_size: 60,
+        ..Default::default()
+    };
     let result = auto_slice(&all, family.num_classes, &cfg);
     println!(
         "auto-slicing found {} slices using {} splits:",
         result.num_slices,
         result.splits.len()
     );
-    for (i, (&size, &h)) in
-        result.slice_sizes().iter().zip(&result.slice_entropies).enumerate()
+    for (i, (&size, &h)) in result
+        .slice_sizes()
+        .iter()
+        .zip(&result.slice_entropies)
+        .enumerate()
     {
         println!("  slice {i}: {size} examples, label entropy {h:.3}");
     }
@@ -47,14 +54,19 @@ fn main() {
     let relabeled = result.relabel(&all);
     let mut rng = seeded_rng(5);
     let mut ds = SlicedDataset::empty(
-        &(0..result.num_slices).map(|i| format!("auto_{i}")).collect::<Vec<_>>(),
+        &(0..result.num_slices)
+            .map(|i| format!("auto_{i}"))
+            .collect::<Vec<_>>(),
         &vec![1.0; result.num_slices],
         family.feature_dim,
         family.num_classes,
     );
     for s in 0..result.num_slices {
-        let members: Vec<Example> =
-            relabeled.iter().filter(|e| e.slice.index() == s).cloned().collect();
+        let members: Vec<Example> = relabeled
+            .iter()
+            .filter(|e| e.slice.index() == s)
+            .cloned()
+            .collect();
         let (train, val) = stratified_split(&members, 0.3, &mut rng);
         ds.slices[s].train = train;
         ds.slices[s].validation = val;
@@ -64,7 +76,10 @@ fn main() {
     // their closest generating slice by majority vote of the assignment.
     // (For simplicity this example reuses the pool keyed by discovered id
     // modulo the family's slice count.)
-    let mut pool = RemappedPool { inner: PoolSource::new(family.clone(), 11), k: family.num_slices() };
+    let mut pool = RemappedPool {
+        inner: PoolSource::new(family.clone(), 11),
+        k: family.num_slices(),
+    };
 
     let mut config = TunerConfig::new(ModelSpec::softmax()).with_seed(11);
     config.min_slice_size = 30;

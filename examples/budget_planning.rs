@@ -22,26 +22,34 @@ fn main() {
     let config = TunerConfig::new(ModelSpec::basic()).with_seed(21);
     let tuner = SliceTuner::new(dataset, &mut pool, config);
 
-    println!("estimating learning curves ({} slices)...", family.num_slices());
+    println!(
+        "estimating learning curves ({} slices)...",
+        family.num_slices()
+    );
     let curves = tuner.estimate_curves(0);
     for (name, c) in family.slice_names().iter().zip(&curves) {
         println!("  {name:<14} y = {:.3}·x^(-{:.3})", c.b, c.a);
     }
 
-    let sizes: Vec<f64> = tuner.dataset().train_sizes().iter().map(|&s| s as f64).collect();
-    let problem = AcquisitionProblem::new(
-        curves,
-        sizes,
-        tuner.dataset().costs(),
-        3000.0,
-        1.0,
-    );
+    let sizes: Vec<f64> = tuner
+        .dataset()
+        .train_sizes()
+        .iter()
+        .map(|&s| s as f64)
+        .collect();
+    let problem = AcquisitionProblem::new(curves, sizes, tuner.dataset().costs(), 3000.0, 1.0);
 
     // Where would the next unit of budget go at B = 3000?
     let report = budget_sensitivity(&problem, &BarrierOptions::default());
     println!("\nat B = 3000:");
-    println!("  marginal objective value: {:.6} per budget unit", report.marginal_value);
-    println!("  {:<14} {:>12} {:>14}", "slice", "allocation", "next-unit share");
+    println!(
+        "  marginal objective value: {:.6} per budget unit",
+        report.marginal_value
+    );
+    println!(
+        "  {:<14} {:>12} {:>14}",
+        "slice", "allocation", "next-unit share"
+    );
     for (i, name) in family.slice_names().iter().enumerate() {
         println!(
             "  {name:<14} {:>12.0} {:>14.3}",

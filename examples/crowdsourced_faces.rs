@@ -28,7 +28,10 @@ fn main() {
     let budget = 1500.0;
     let result = tuner.run(Strategy::Iterative(TSchedule::moderate()), budget);
 
-    println!("\nbudget {budget} -> spent {:.1} in {} iterations", result.spent, result.iterations);
+    println!(
+        "\nbudget {budget} -> spent {:.1} in {} iterations",
+        result.spent, result.iterations
+    );
     println!("\nslice            acquired");
     for (name, &got) in family.slice_names().iter().zip(&result.acquired) {
         println!("  {name:<15} +{got}");

@@ -27,7 +27,12 @@ impl VendorCatalog {
     fn new(family: DatasetFamily, prices: Vec<f64>, stock: Vec<usize>, seed: u64) -> Self {
         assert_eq!(prices.len(), family.num_slices());
         assert_eq!(stock.len(), family.num_slices());
-        VendorCatalog { family, prices, stock, rng: seeded_rng(seed) }
+        VendorCatalog {
+            family,
+            prices,
+            stock,
+            rng: seeded_rng(seed),
+        }
     }
 }
 
@@ -71,7 +76,10 @@ fn main() {
     let result = tuner.run(Strategy::Iterative(TSchedule::moderate()), budget);
 
     println!("vendor catalog with prices {prices:?} and stock {stock:?}\n");
-    println!("{:<14} {:>8} {:>10} {:>12}", "slice", "price", "acquired", "stock left");
+    println!(
+        "{:<14} {:>8} {:>10} {:>12}",
+        "slice", "price", "acquired", "stock left"
+    );
     for i in 0..n {
         println!(
             "{:<14} {:>8.1} {:>10} {:>12}",

@@ -16,7 +16,10 @@ fn main() {
     let trials = 3;
 
     println!("census analog, sizes {initial_sizes:?}, budget {budget}, {trials} trials\n");
-    println!("{:>6}  {:>14}  {:>14}  {:>14}", "λ", "loss", "avg EER", "max EER");
+    println!(
+        "{:>6}  {:>14}  {:>14}  {:>14}",
+        "λ", "loss", "avg EER", "max EER"
+    );
     for lambda in [0.0, 0.1, 1.0, 10.0] {
         let config = TunerConfig::new(ModelSpec::softmax())
             .with_seed(99)

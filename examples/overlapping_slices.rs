@@ -17,7 +17,12 @@ use st_optim::{solve_overlap, OverlapProblem, SolverOptions};
 
 fn main() {
     // Monitored (overlapping) slices and their fitted learning curves.
-    let slices = ["region=Europe", "region=APAC", "gender=Female", "gender=Male"];
+    let slices = [
+        "region=Europe",
+        "region=APAC",
+        "gender=Female",
+        "gender=Male",
+    ];
     let curves = vec![
         PowerLaw::new(4.0, 0.35), // Europe: moderately steep
         PowerLaw::new(6.0, 0.45), // APAC: underserved, steep curve
@@ -31,10 +36,10 @@ fn main() {
     let atoms = ["EU·F", "EU·M", "AP·F", "AP·M"];
     // membership[slice][atom]
     let membership = vec![
-        vec![true, true, false, false],  // Europe
-        vec![false, false, true, true],  // APAC
-        vec![true, false, true, false],  // Female
-        vec![false, true, false, true],  // Male
+        vec![true, true, false, false], // Europe
+        vec![false, false, true, true], // APAC
+        vec![true, false, true, false], // Female
+        vec![false, true, false, true], // Male
     ];
     // APAC examples are harder to source (cf. Table 1's cost spread).
     let atom_costs = vec![1.0, 1.0, 1.4, 1.3];
@@ -49,7 +54,10 @@ fn main() {
         1.0,
     );
 
-    println!("current per-slice losses (avg A = {:.3}):", problem.avg_loss());
+    println!(
+        "current per-slice losses (avg A = {:.3}):",
+        problem.avg_loss()
+    );
     for (name, (c, &s)) in slices.iter().zip(curves.iter().zip(&slice_sizes)) {
         println!("  {name:<16} loss {:.3}  (n = {s})", c.eval(s));
     }
@@ -57,7 +65,11 @@ fn main() {
     let d = solve_overlap(&problem, &SolverOptions::default());
     println!("\nbudget {budget} allocated per atom:");
     for ((name, &x), &c) in atoms.iter().zip(&d).zip(&atom_costs) {
-        println!("  {name:<6} {:>7.0} examples  (cost {c}/ea → {:.0} spent)", x, x * c);
+        println!(
+            "  {name:<6} {:>7.0} examples  (cost {c}/ea → {:.0} spent)",
+            x,
+            x * c
+        );
     }
 
     let after = problem.slice_sizes_after(&d);
@@ -73,7 +85,7 @@ fn main() {
     }
     println!(
         "\nobjective {:.4} → {:.4} (shared atoms let one purchase serve two slices)",
-        problem.objective(&vec![0.0; 4]),
+        problem.objective(&[0.0; 4]),
         problem.objective(&d)
     );
     assert!(problem.is_feasible(&d, 1e-6));

@@ -31,7 +31,10 @@ fn main() {
     let result = tuner.run(Strategy::Iterative(TSchedule::moderate()), budget);
 
     // 4. Inspect the outcome.
-    println!("\nbudget {budget} spent {:.0} over {} iterations", result.spent, result.iterations);
+    println!(
+        "\nbudget {budget} spent {:.0} over {} iterations",
+        result.spent, result.iterations
+    );
     for (name, (&acquired, &size)) in family
         .slice_names()
         .iter()
@@ -43,7 +46,13 @@ fn main() {
         "\nloss     {:.4} -> {:.4}",
         result.original.overall_loss, result.report.overall_loss
     );
-    println!("avg EER  {:.4} -> {:.4}", result.original.avg_eer, result.report.avg_eer);
-    println!("max EER  {:.4} -> {:.4}", result.original.max_eer, result.report.max_eer);
+    println!(
+        "avg EER  {:.4} -> {:.4}",
+        result.original.avg_eer, result.report.avg_eer
+    );
+    println!(
+        "max EER  {:.4} -> {:.4}",
+        result.original.max_eer, result.report.max_eer
+    );
     println!("model trainings used: {}", result.trainings);
 }

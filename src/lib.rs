@@ -1,0 +1,15 @@
+//! Root crate of the Slice Tuner reproduction workspace.
+//!
+//! This crate intentionally contains no code: it exists so the
+//! repository-level integration tests (`tests/integration_*.rs`) and the
+//! runnable examples (`examples/*.rs`) have a Cargo target to hang off.
+//! The functionality lives in the workspace crates:
+//!
+//! - [`st_linalg`](../st_linalg) — dense linear algebra kernels
+//! - [`st_data`](../st_data) — seeded sliced-dataset generator families
+//! - [`st_curve`](../st_curve) — power-law learning-curve estimation
+//! - [`st_models`](../st_models) — from-scratch trainable classifiers
+//! - [`st_optim`](../st_optim) — the convex acquisition optimizer
+//! - [`slice_tuner`](../slice_tuner) — the engine, strategies, and runner
+//! - `st_bench` — paper table/figure regeneration binaries
+//! - `st_cli` — the `slice-tuner-cli` command line interface

@@ -96,7 +96,15 @@ fn proportional_keeps_bias_while_moderate_reduces_unfairness() {
     config.threads = 1;
     let sizes = [30usize, 120, 120, 120];
 
-    let prop = run_trials(&family, &sizes, 100, 300.0, Strategy::Proportional, &config, 3);
+    let prop = run_trials(
+        &family,
+        &sizes,
+        100,
+        300.0,
+        Strategy::Proportional,
+        &config,
+        3,
+    );
     let moderate = run_trials(
         &family,
         &sizes,
@@ -111,13 +119,19 @@ fn proportional_keeps_bias_while_moderate_reduces_unfairness() {
     // final imbalance ratio stays at 4 (the paper's reason for calling it
     // "strictly worse" — it cannot fix data bias).
     let final_ir = |t: &slice_tuner::RunResult| {
-        let finals: Vec<f64> =
-            sizes.iter().zip(&t.acquired).map(|(&s, &a)| (s + a) as f64).collect();
+        let finals: Vec<f64> = sizes
+            .iter()
+            .zip(&t.acquired)
+            .map(|(&s, &a)| (s + a) as f64)
+            .collect();
         finals.iter().cloned().fold(f64::MIN, f64::max)
             / finals.iter().cloned().fold(f64::MAX, f64::min)
     };
     let acq = &prop.trials[0].acquired;
-    assert!(acq[1] > 3 * acq[0], "{acq:?} should mirror the original bias");
+    assert!(
+        acq[1] > 3 * acq[0],
+        "{acq:?} should mirror the original bias"
+    );
     assert!(
         (final_ir(&prop.trials[0]) - 4.0).abs() < 0.2,
         "proportional preserves IR = 4: {}",
@@ -126,8 +140,9 @@ fn proportional_keeps_bias_while_moderate_reduces_unfairness() {
     // Moderate's allocation is driven by the learning curves, not by the
     // existing distribution: its per-slice shares must not track size.
     let m_acq = &moderate.trials[0].acquired;
-    let tracks_size = m_acq[1] > 3 * m_acq[0]
-        && m_acq[2] > 3 * m_acq[0]
-        && m_acq[3] > 3 * m_acq[0];
-    assert!(!tracks_size, "moderate should not mirror the bias: {m_acq:?}");
+    let tracks_size = m_acq[1] > 3 * m_acq[0] && m_acq[2] > 3 * m_acq[0] && m_acq[3] > 3 * m_acq[0];
+    assert!(
+        !tracks_size,
+        "moderate should not mirror the bias: {m_acq:?}"
+    );
 }

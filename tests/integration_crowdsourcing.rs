@@ -95,5 +95,8 @@ fn collection_rounds_are_tracked() {
     }
     assert_eq!(src.rounds(), 8, "one collection round per acquire call");
     let dollars = src.stats().dollars;
-    assert!((dollars - 80.0 * 0.04).abs() < 1e-9, "4 cents per accepted image: {dollars}");
+    assert!(
+        (dollars - 80.0 * 0.04).abs() < 1e-9,
+        "4 cents per accepted image: {dollars}"
+    );
 }

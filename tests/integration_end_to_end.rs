@@ -78,8 +78,12 @@ fn faces_with_heterogeneous_costs_respects_budget() {
     let mut src = PoolSource::new(fam, 19);
     let mut tuner = SliceTuner::new(ds, &mut src, quick_config(ModelSpec::small()));
     let result = tuner.run(Strategy::Iterative(TSchedule::aggressive()), 400.0);
-    let charged: f64 =
-        result.acquired.iter().zip(&costs).map(|(&n, &c)| n as f64 * c).sum();
+    let charged: f64 = result
+        .acquired
+        .iter()
+        .zip(&costs)
+        .map(|(&n, &c)| n as f64 * c)
+        .sum();
     assert!((charged - result.spent).abs() < 1e-9);
     assert!(result.spent <= 400.0 + 1e-9);
 }

@@ -27,7 +27,11 @@ fn under_delivery_is_not_charged() {
     let inner = PoolSource::new(fam, 2);
     let mut src = FaultySource::new(
         inner,
-        FaultConfig { drop_rate: 0.4, seed: 3, ..Default::default() },
+        FaultConfig {
+            drop_rate: 0.4,
+            seed: 3,
+            ..Default::default()
+        },
     );
     let mut tuner = SliceTuner::new(ds, &mut src, quick_config());
     let result = tuner.run(Strategy::Uniform, 200.0);
@@ -36,7 +40,11 @@ fn under_delivery_is_not_charged() {
     // (unit costs ⇒ spent == total acquired).
     let total_acquired: usize = result.acquired.iter().sum();
     assert!((result.spent - total_acquired as f64).abs() < 1e-9);
-    assert!(result.spent < 200.0, "under-delivery must reduce spend: {}", result.spent);
+    assert!(
+        result.spent < 200.0,
+        "under-delivery must reduce spend: {}",
+        result.spent
+    );
     assert!(total_acquired > 50, "should still deliver a majority");
 }
 
@@ -49,7 +57,10 @@ fn exhausted_slice_does_not_hang_the_iterative_loop() {
     // dries up almost immediately.
     let mut src = FaultySource::new(
         inner,
-        FaultConfig { capacity_per_slice: 25, ..Default::default() },
+        FaultConfig {
+            capacity_per_slice: 25,
+            ..Default::default()
+        },
     );
     let mut cfg = quick_config();
     cfg.max_iterations = 10;
@@ -59,7 +70,10 @@ fn exhausted_slice_does_not_hang_the_iterative_loop() {
     for (i, &a) in result.acquired.iter().enumerate() {
         assert!(a <= 25, "slice {i} exceeded the capacity: {a}");
     }
-    assert!(result.spent <= 100.0 + 1e-9, "4 slices x 25 cap bounds the spend");
+    assert!(
+        result.spent <= 100.0 + 1e-9,
+        "4 slices x 25 cap bounds the spend"
+    );
     assert!(result.iterations <= 10);
 }
 
@@ -70,7 +84,10 @@ fn totally_dead_source_terminates_with_zero_spend() {
     let inner = PoolSource::new(fam, 7);
     let mut src = FaultySource::new(
         inner,
-        FaultConfig { capacity_per_slice: 0, ..Default::default() },
+        FaultConfig {
+            capacity_per_slice: 0,
+            ..Default::default()
+        },
     );
     let mut tuner = SliceTuner::new(ds, &mut src, quick_config());
     let result = tuner.run(Strategy::Iterative(TSchedule::aggressive()), 300.0);
@@ -87,7 +104,11 @@ fn faulty_source_composes_with_one_shot() {
     let inner = PoolSource::new(fam, 9);
     let mut src = FaultySource::new(
         inner,
-        FaultConfig { drop_rate: 0.25, seed: 10, capacity_per_slice: 80 },
+        FaultConfig {
+            drop_rate: 0.25,
+            seed: 10,
+            capacity_per_slice: 80,
+        },
     );
     let mut tuner = SliceTuner::new(ds, &mut src, quick_config());
     let result = tuner.run(Strategy::OneShot, 400.0);

@@ -7,11 +7,14 @@
 use st_curve::{fit_power_law, CurvePoint};
 use st_data::{image_fashion, seeded_rng, AugmentConfig, Example, SliceId};
 use st_models::{
-    accuracy_of, examples_to_matrix, labels_of, log_loss_of, ConvNet, ConvTrainConfig,
-    ImageShape,
+    accuracy_of, examples_to_matrix, labels_of, log_loss_of, ConvNet, ConvTrainConfig, ImageShape,
 };
 
-const SHAPE: ImageShape = ImageShape { channels: 1, height: 8, width: 8 };
+const SHAPE: ImageShape = ImageShape {
+    channels: 1,
+    height: 8,
+    width: 8,
+};
 
 fn sample_all(per_slice: usize, seed: u64) -> Vec<Example> {
     let fam = image_fashion();
@@ -27,7 +30,11 @@ fn sample_all(per_slice: usize, seed: u64) -> Vec<Example> {
 fn cnn_learns_the_image_family_well_above_chance() {
     let train = sample_all(80, 1);
     let val = sample_all(40, 2);
-    let cfg = ConvTrainConfig { epochs: 12, filters: 6, ..Default::default() };
+    let cfg = ConvTrainConfig {
+        epochs: 12,
+        filters: 6,
+        ..Default::default()
+    };
     let net = ConvNet::train(
         &examples_to_matrix(&train),
         &labels_of(&train),
@@ -36,7 +43,10 @@ fn cnn_learns_the_image_family_well_above_chance() {
         &cfg,
     );
     let acc = accuracy_of(&net, &examples_to_matrix(&val), &labels_of(&val));
-    assert!(acc > 0.5, "10-way accuracy {acc} should beat chance (0.1) widely");
+    assert!(
+        acc > 0.5,
+        "10-way accuracy {acc} should beat chance (0.1) widely"
+    );
 }
 
 #[test]
@@ -47,7 +57,11 @@ fn per_slice_losses_decrease_with_data_and_fit_power_laws() {
 
     for &n in &[25usize, 50, 100, 200] {
         let train = sample_all(n, 4);
-        let cfg = ConvTrainConfig { epochs: 10, filters: 6, ..Default::default() };
+        let cfg = ConvTrainConfig {
+            epochs: 10,
+            filters: 6,
+            ..Default::default()
+        };
         let net = ConvNet::train(
             &examples_to_matrix(&train),
             &labels_of(&train),
@@ -56,8 +70,11 @@ fn per_slice_losses_decrease_with_data_and_fit_power_laws() {
             &cfg,
         );
         for s in 0..fam.num_slices() {
-            let slice_val: Vec<Example> =
-                val.iter().filter(|e| e.slice == SliceId(s)).cloned().collect();
+            let slice_val: Vec<Example> = val
+                .iter()
+                .filter(|e| e.slice == SliceId(s))
+                .cloned()
+                .collect();
             let loss = log_loss_of(
                 &net,
                 &examples_to_matrix(&slice_val),
@@ -78,7 +95,10 @@ fn per_slice_losses_decrease_with_data_and_fit_power_laws() {
             improved += 1;
         }
     }
-    assert!(improved >= 7, "only {improved}/10 slices improved with 8x data");
+    assert!(
+        improved >= 7,
+        "only {improved}/10 slices improved with 8x data"
+    );
 }
 
 #[test]
@@ -87,16 +107,31 @@ fn augmentation_expands_batches_and_helps_a_starved_model() {
     let val = sample_all(40, 6);
     let vx = examples_to_matrix(&val);
     let vy = labels_of(&val);
-    let cfg = ConvTrainConfig { epochs: 10, filters: 6, ..Default::default() };
+    let cfg = ConvTrainConfig {
+        epochs: 10,
+        filters: 6,
+        ..Default::default()
+    };
 
-    let bare = ConvNet::train(&examples_to_matrix(&small), &labels_of(&small), SHAPE, 10, &cfg);
+    let bare = ConvNet::train(
+        &examples_to_matrix(&small),
+        &labels_of(&small),
+        SHAPE,
+        10,
+        &cfg,
+    );
 
     let policy = AugmentConfig::image(8, 8);
     let mut rng = seeded_rng(7);
     let expanded = policy.expand(&small, 4, &mut rng);
     assert_eq!(expanded.len(), small.len() * 4);
-    let augd =
-        ConvNet::train(&examples_to_matrix(&expanded), &labels_of(&expanded), SHAPE, 10, &cfg);
+    let augd = ConvNet::train(
+        &examples_to_matrix(&expanded),
+        &labels_of(&expanded),
+        SHAPE,
+        10,
+        &cfg,
+    );
 
     let bare_acc = accuracy_of(&bare, &vx, &vy);
     let aug_acc = accuracy_of(&augd, &vx, &vy);

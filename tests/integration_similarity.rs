@@ -18,8 +18,10 @@ fn predictor_identifies_the_helped_slice_in_the_faces_sweep() {
     let mut sizes = vec![150usize; 8];
     sizes[0] = 40;
 
-    let mut cfg = TrainConfig::default();
-    cfg.epochs = 12;
+    let cfg = TrainConfig {
+        epochs: 12,
+        ..Default::default()
+    };
     let sweep = influence_sweep(
         &fam,
         &sizes,
@@ -58,8 +60,10 @@ fn predicted_directions_correlate_with_measured_influence() {
     let mut sizes = vec![150usize; 8];
     sizes[0] = 40;
 
-    let mut cfg = TrainConfig::default();
-    cfg.epochs = 12;
+    let cfg = TrainConfig {
+        epochs: 12,
+        ..Default::default()
+    };
     let sweep = influence_sweep(
         &fam,
         &sizes,
@@ -79,5 +83,8 @@ fn predicted_directions_correlate_with_measured_influence() {
     let rho = st_linalg::spearman(&predicted, &measured);
     // A training-free predictor cannot be perfect, but it must carry real
     // signal: positive rank correlation with the retrain-and-diff truth.
-    assert!(rho > 0.0, "Spearman ρ = {rho}; predicted {predicted:?} measured {measured:?}");
+    assert!(
+        rho > 0.0,
+        "Spearman ρ = {rho}; predicted {predicted:?} measured {measured:?}"
+    );
 }

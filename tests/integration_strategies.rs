@@ -110,8 +110,7 @@ fn water_filling_ignores_large_high_loss_slice() {
         1,
     );
     assert_eq!(
-        agg.trials[0].acquired[largest],
-        0,
+        agg.trials[0].acquired[largest], 0,
         "water filling must not feed the already-largest slice"
     );
 }

@@ -1,0 +1,80 @@
+//! Offline stand-in for `crossbeam::scope`, built on `std::thread::scope`
+//! (stable since Rust 1.63). See `vendor/README.md` for why this exists.
+//!
+//! API parity notes:
+//! - `scope` returns `Ok(r)` like crossbeam. A panicking child thread
+//!   propagates the panic out of `scope` (std semantics) instead of
+//!   surfacing as `Err`; every call site in this workspace immediately
+//!   `expect`s the result, so the observable behavior — abort with the
+//!   panic payload — is the same.
+//! - `Scope::spawn` passes the scope handle to the closure, as crossbeam
+//!   does, so nested spawns work.
+
+/// Error type of a failed scope (kept for signature compatibility).
+pub type ScopeError = Box<dyn std::any::Any + Send + 'static>;
+
+/// A handle for spawning scoped threads.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives the scope handle so it
+    /// can spawn further threads.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let handle = Scope { inner: self.inner };
+        self.inner.spawn(move || f(&handle))
+    }
+}
+
+/// Creates a scope in which threads borrowing from the environment can be
+/// spawned; all are joined before `scope` returns.
+pub fn scope<'env, F, R>(f: F) -> Result<R, ScopeError>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_environment() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn nested_spawn_through_handle() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            s.spawn(|inner| {
+                inner.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn scope_returns_closure_value() {
+        assert_eq!(scope(|_| 42).unwrap(), 42);
+    }
+}

@@ -1,0 +1,148 @@
+//! Offline stand-in for the subset of `proptest` this workspace uses.
+//!
+//! The container has no crates.io access, so the workspace vendors a
+//! minimal property-testing framework that is source-compatible with the
+//! `proptest!` suites in `crates/*/tests/proptests.rs` (see
+//! `vendor/README.md`):
+//!
+//! - [`strategy::Strategy`] with `prop_map` / `prop_flat_map`, implemented
+//!   for numeric ranges (`0.3f64..5.0`, `0u64..1000`, `2usize..=6`, …) and
+//!   for tuples of strategies;
+//! - [`collection::vec`] building `Vec` strategies from an element strategy
+//!   and a size (fixed, `lo..hi`, or `lo..=hi`);
+//! - the [`proptest!`] macro plus `prop_assert!`, `prop_assert_eq!`,
+//!   `prop_assert_ne!`, and `prop_assume!`;
+//! - [`test_runner::ProptestConfig`] with `with_cases`.
+//!
+//! **Pinned seeds.** Unlike upstream proptest (which seeds from OS entropy
+//! by default), every run here derives its RNG from a fixed master seed, the
+//! test's name, and the case index — so CI failures are reproducible by
+//! construction. Set `PROPTEST_SEED=<u64>` to explore a different stream;
+//! a failure report prints the seed that replays it.
+//!
+//! **No shrinking.** Failing inputs are reported as generated. The suites
+//! in this workspace use small, bounded inputs where shrinking matters
+//! little.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// What `use proptest::prelude::*` is expected to bring into scope.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Alias for the crate root, so `prop::collection::vec(..)` works.
+    pub use crate as prop;
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs `body` for `config.cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_body {
+    (($cfg:expr); $($(#[$meta:meta])* fn $name:ident ($($pat:pat_param in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                for __case in 0..__config.cases {
+                    let __case_seed = $crate::test_runner::derive_case_seed(
+                        __config.seed,
+                        stringify!($name),
+                        __case,
+                    );
+                    let mut __rng = $crate::test_runner::TestRng::new(__case_seed);
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)*
+                    let __outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| -> () { $body })
+                    );
+                    if let ::std::result::Result::Err(payload) = __outcome {
+                        eprintln!(
+                            "proptest {}: case {}/{} failed (master seed {}; \
+                             rerun with PROPTEST_SEED={} to replay)",
+                            stringify!($name),
+                            __case + 1,
+                            __config.cases,
+                            __config.seed,
+                            __config.seed,
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a property, failing the current case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            panic!("prop_assert!({}) failed", stringify!($cond));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            panic!($($fmt)+);
+        }
+    };
+}
+
+/// Asserts equality of two values.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if !(*l == *r) {
+            panic!("prop_assert_eq! failed: {:?} != {:?}", l, r);
+        }
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if !(*l == *r) {
+            panic!($($fmt)+);
+        }
+    }};
+}
+
+/// Asserts inequality of two values.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if *l == *r {
+            panic!("prop_assert_ne! failed: both sides are {:?}", l);
+        }
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if *l == *r {
+            panic!($($fmt)+);
+        }
+    }};
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return;
+        }
+    };
+}

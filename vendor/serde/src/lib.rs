@@ -1,0 +1,17 @@
+//! Offline stand-in for the subset of `serde` this workspace uses.
+//!
+//! The repository builds in a container with no crates.io access, so
+//! external dependencies are vendored as minimal API-compatible crates
+//! (see `vendor/README.md`). The workspace only derives `Serialize` /
+//! `Deserialize` as forward-looking markers — nothing serializes through
+//! serde at runtime — so the traits are empty and the derives emit no code.
+//! Swapping this for real serde is a one-line change in the workspace
+//! manifest and requires no source edits.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker counterpart of `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker counterpart of `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

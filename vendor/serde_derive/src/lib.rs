@@ -1,0 +1,21 @@
+//! No-op `Serialize` / `Deserialize` derives for the offline serde
+//! stand-in (see `vendor/README.md`).
+//!
+//! The workspace only *tags* types with these derives; nothing serializes
+//! through serde at runtime (all I/O goes through `st_data::io`'s
+//! hand-rolled CSV codec). Emitting no code keeps the derives valid on any
+//! type while costing nothing.
+
+use proc_macro::TokenStream;
+
+/// Accepts and discards a `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts and discards a `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
