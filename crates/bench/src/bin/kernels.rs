@@ -1,0 +1,206 @@
+//! Microbenchmark of the pluggable compute-kernel layer: naive vs blocked
+//! backends on the dense shapes the trainers actually hit, with a
+//! bit-identity cross-check on every timed shape.
+//!
+//! ```text
+//! cargo run --release -p st_bench --bin kernels
+//! ```
+//!
+//! The acceptance bar this guards: the blocked kernel at ≥ 2x the naive
+//! kernel on 256×256 dense matmul, with outputs bit-identical. Set
+//! `ST_QUICK=1` for a faster sweep (fewer repetitions, same checks).
+
+use st_bench::rule;
+use st_linalg::{BlockedKernel, GemmBackend, NaiveKernel};
+use std::time::Instant;
+
+/// Deterministic dense test data (SplitMix64 stream).
+fn fill(len: usize, seed: u64) -> Vec<f64> {
+    let mut rng = st_linalg::SplitMix64::new(seed);
+    (0..len).map(|_| rng.next_f64() * 2.0 - 1.0).collect()
+}
+
+fn assert_bits_identical(op: &str, a: &[f64], b: &[f64]) {
+    assert_eq!(a.len(), b.len(), "{op}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert!(
+            x.to_bits() == y.to_bits(),
+            "{op}: outputs differ at {i}: {x} vs {y}"
+        );
+    }
+}
+
+/// Times `body` over `reps` runs and returns the best wall-clock seconds
+/// (best-of is robust to scheduler noise on shared runners).
+fn best_secs(reps: usize, mut body: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        body();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+struct OpReport {
+    label: String,
+    naive: f64,
+    blocked: f64,
+    flops: f64,
+}
+
+impl OpReport {
+    fn speedup(&self) -> f64 {
+        self.naive / self.blocked
+    }
+}
+
+fn main() {
+    let quick = std::env::var("ST_QUICK").is_ok();
+    let reps = if quick { 3 } else { 7 };
+    let mut reports: Vec<OpReport> = Vec::new();
+
+    println!("Compute-kernel microbench — naive vs blocked (best of {reps})");
+    println!(
+        "active process kernel: {} (ST_KERNEL; both backends timed explicitly below)\n",
+        st_linalg::kernel_kind().name()
+    );
+    println!(
+        "{:<22} {:>11} {:>11} {:>9} {:>10}",
+        "op", "naive", "blocked", "speedup", "blk GF/s"
+    );
+    rule(66);
+
+    // Square GEMM sweep, the acceptance shape last.
+    for &n in &[64usize, 128, 256] {
+        let a = fill(n * n, 0xA0 + n as u64);
+        let b = fill(n * n, 0xB0 + n as u64);
+        let mut out_n = vec![0.0; n * n];
+        let mut out_b = vec![0.0; n * n];
+        let inner = if quick { 1 } else { 2 };
+        let naive = best_secs(reps, || {
+            for _ in 0..inner {
+                out_n.fill(0.0);
+                NaiveKernel.gemm(n, n, n, &a, &b, &mut out_n);
+            }
+        }) / inner as f64;
+        let blocked = best_secs(reps, || {
+            for _ in 0..inner {
+                out_b.fill(0.0);
+                BlockedKernel.gemm(n, n, n, &a, &b, &mut out_b);
+            }
+        }) / inner as f64;
+        assert_bits_identical("gemm", &out_n, &out_b);
+        reports.push(OpReport {
+            label: format!("matmul {n}x{n}"),
+            naive,
+            blocked,
+            flops: 2.0 * (n * n * n) as f64,
+        });
+    }
+
+    // The training shapes: tall-skinny batch times small weight panels.
+    {
+        let (m, k, n) = (512usize, 784, 64);
+        let a = fill(m * k, 1);
+        let w = fill(k * n, 2);
+        let mut out_n = vec![0.0; m * n];
+        let mut out_b = vec![0.0; m * n];
+        let naive = best_secs(reps, || {
+            out_n.fill(0.0);
+            NaiveKernel.gemm(m, k, n, &a, &w, &mut out_n);
+        });
+        let blocked = best_secs(reps, || {
+            out_b.fill(0.0);
+            BlockedKernel.gemm(m, k, n, &a, &w, &mut out_b);
+        });
+        assert_bits_identical("gemm batch", &out_n, &out_b);
+        reports.push(OpReport {
+            label: format!("batch fwd {m}x{k}x{n}"),
+            naive,
+            blocked,
+            flops: 2.0 * (m * k * n) as f64,
+        });
+
+        // Gradient shape Xᵀ·dZ.
+        let dz = fill(m * n, 3);
+        let mut g_n = vec![0.0; k * n];
+        let mut g_b = vec![0.0; k * n];
+        let naive = best_secs(reps, || {
+            g_n.fill(0.0);
+            NaiveKernel.gemm_tn(m, k, n, &a, &dz, &mut g_n);
+        });
+        let blocked = best_secs(reps, || {
+            g_b.fill(0.0);
+            BlockedKernel.gemm_tn(m, k, n, &a, &dz, &mut g_b);
+        });
+        assert_bits_identical("gemm_tn", &g_n, &g_b);
+        reports.push(OpReport {
+            label: format!("grad tn {m}x{k}x{n}"),
+            naive,
+            blocked,
+            flops: 2.0 * (m * k * n) as f64,
+        });
+
+        // Backprop shape dZ·Wᵀ.
+        let mut d_n = vec![0.0; m * k];
+        let mut d_b = vec![0.0; m * k];
+        let naive = best_secs(reps, || {
+            d_n.fill(0.0);
+            NaiveKernel.gemm_nt(m, n, k, &dz, &w, &mut d_n);
+        });
+        let blocked = best_secs(reps, || {
+            d_b.fill(0.0);
+            BlockedKernel.gemm_nt(m, n, k, &dz, &w, &mut d_b);
+        });
+        assert_bits_identical("gemm_nt", &d_n, &d_b);
+        reports.push(OpReport {
+            label: format!("bwd nt {m}x{n}x{k}"),
+            naive,
+            blocked,
+            flops: 2.0 * (m * k * n) as f64,
+        });
+    }
+
+    // Transpose (the blocked swap vs the column-strided walk).
+    {
+        let (r, c) = (1024usize, 768);
+        let a = fill(r * c, 4);
+        let mut t_n = vec![0.0; r * c];
+        let mut t_b = vec![0.0; r * c];
+        let naive = best_secs(reps, || NaiveKernel.transpose(r, c, &a, &mut t_n));
+        let blocked = best_secs(reps, || BlockedKernel.transpose(r, c, &a, &mut t_b));
+        assert_bits_identical("transpose", &t_n, &t_b);
+        reports.push(OpReport {
+            label: format!("transpose {r}x{c}"),
+            naive,
+            blocked,
+            flops: (r * c) as f64, // element moves, not FLOPs; GF/s column ≈ Gmoves/s
+        });
+    }
+
+    let mut gate = None;
+    for rep in &reports {
+        let gfs = rep.flops / rep.blocked / 1e9;
+        println!(
+            "{:<22} {:>10.3}ms {:>10.3}ms {:>8.2}x {:>10.2}",
+            rep.label,
+            rep.naive * 1e3,
+            rep.blocked * 1e3,
+            rep.speedup(),
+            gfs
+        );
+        if rep.label == "matmul 256x256" {
+            gate = Some(rep.speedup());
+        }
+    }
+    let gate = gate.expect("256x256 matmul must be timed");
+    println!(
+        "\nall outputs bit-identical across backends; 256x256 matmul speedup {gate:.2}x \
+         (target >= 2x)"
+    );
+    assert!(
+        gate >= 2.0,
+        "blocked kernel must be >= 2x naive on 256x256 matmul, got {gate:.2}x"
+    );
+}

@@ -24,6 +24,17 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // `--kernel` must be fixed before the first dense operation; it is a
+    // global flag valid on every compute command.
+    if let Some(name) = parsed.get("kernel") {
+        match select_kernel(name) {
+            Ok(()) => {}
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     let result = match parsed.command.as_deref() {
         Some("tune") => cmd_tune(&parsed),
         Some("curves") => cmd_curves(&parsed),
@@ -56,8 +67,21 @@ fn usage() {
          \x20                           [--budget 500] [--trials 3] [--jobs N] [--cache true|false]\n\
          \x20                           [--format markdown|csv]\n\
          \x20 slice-tuner-cli families\n\
-         families: fashion | mixed | faces | census"
+         families: fashion | mixed | faces | census\n\
+         global: --kernel naive|blocked (compute backend; default blocked, also ST_KERNEL)"
     );
+}
+
+/// Applies `--kernel <naive|blocked>` via `st_linalg::set_kernel`.
+fn select_kernel(name: &str) -> Result<(), String> {
+    let kind = st_linalg::KernelKind::from_name(name)
+        .ok_or_else(|| format!("unknown kernel '{name}' (naive | blocked)"))?;
+    st_linalg::set_kernel(kind).map_err(|active| {
+        format!(
+            "compute kernel already fixed to '{}' (ST_KERNEL in the environment?)",
+            active.name()
+        )
+    })
 }
 
 fn family_by_name(name: &str) -> Result<DatasetFamily, String> {
@@ -104,6 +128,7 @@ fn cmd_tune(args: &Args) -> Result<(), String> {
         "seed",
         "validation",
         "epochs",
+        "kernel",
     ];
     reject_unknown(args, &known)?;
     let family = family_by_name(args.get("family").unwrap_or("census"))?;
@@ -162,7 +187,10 @@ fn cmd_tune(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_curves(args: &Args) -> Result<(), String> {
-    reject_unknown(args, &["family", "size", "seed", "validation", "bands"])?;
+    reject_unknown(
+        args,
+        &["family", "size", "seed", "validation", "bands", "kernel"],
+    )?;
     let family = family_by_name(args.get("family").unwrap_or("census"))?;
     let size: usize = args.get_or("size", 300)?;
     let seed: u64 = args.get_or("seed", 42)?;
@@ -219,7 +247,14 @@ fn cmd_curves(args: &Args) -> Result<(), String> {
 fn cmd_autoslice(args: &Args) -> Result<(), String> {
     reject_unknown(
         args,
-        &["family", "examples", "max-depth", "min-size", "seed"],
+        &[
+            "family",
+            "examples",
+            "max-depth",
+            "min-size",
+            "seed",
+            "kernel",
+        ],
     )?;
     let family = family_by_name(args.get("family").unwrap_or("census"))?;
     let n: usize = args.get_or("examples", 1200)?;
@@ -258,7 +293,15 @@ fn cmd_autoslice(args: &Args) -> Result<(), String> {
 fn cmd_sensitivity(args: &Args) -> Result<(), String> {
     reject_unknown(
         args,
-        &["family", "budget", "size", "lambda", "seed", "validation"],
+        &[
+            "family",
+            "budget",
+            "size",
+            "lambda",
+            "seed",
+            "validation",
+            "kernel",
+        ],
     )?;
     let family = family_by_name(args.get("family").unwrap_or("census"))?;
     let budget: f64 = args.get_or("budget", 500.0)?;
@@ -327,6 +370,7 @@ fn cmd_experiment(args: &Args) -> Result<(), String> {
         "threads",
         "cache",
         "config",
+        "kernel",
     ];
     reject_unknown(args, &known)?;
 

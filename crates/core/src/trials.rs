@@ -12,6 +12,15 @@
 //! config it is shared by all workers; distinct trials derive distinct
 //! seeds, so their cache keys are disjoint and the cache cannot couple
 //! trials to each other.
+//!
+//! **Intra-trial parallelism.** When `--jobs` grants more workers than
+//! there are trials, the surplus is handed *inside* each trial: every
+//! tuner's curve-estimation batch fans its independent (slice, budget)
+//! model fits across [`intra_trial_threads`] scoped workers (the same
+//! executor `st_curve::CurveEstimator` already uses). Estimator results
+//! land in request-indexed slots and every seed derives from `split_seed`
+//! alone, so aggregates stay bit-identical at any `--jobs` count — the
+//! regression tests below pin that.
 
 use crate::runner::{aggregate, run_single_trial, AggregateResult};
 use crate::strategy::Strategy;
@@ -37,23 +46,25 @@ pub fn run_trials_parallel(
     jobs: usize,
 ) -> AggregateResult {
     assert!(trials > 0, "need at least one trial");
-    let workers = if jobs == 0 {
+    let total_workers = if jobs == 0 {
         std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
     } else {
         jobs
-    }
-    .min(trials);
+    };
+    let workers = total_workers.min(trials);
 
-    // Trials already saturate the workers; keep each tuner's internal
-    // estimator single-threaded to avoid oversubscription. With a single
-    // worker the config passes through untouched, so `jobs = 1` behaves
-    // exactly like the sequential runner down to its thread usage.
+    // Workers beyond the trial count are not wasted: each trial's
+    // estimator gets an equal share of the surplus for its own fan-out
+    // (estimation is bit-identical at any thread count, so this is free
+    // determinism-wise). With exactly one worker the config passes
+    // through untouched, so `jobs = 1` behaves exactly like the
+    // sequential runner down to its thread usage.
     let limited;
-    let config = if workers > 1 {
+    let config = if workers > 1 || total_workers > trials {
         limited = TunerConfig {
-            threads: 1,
+            threads: intra_trial_threads(total_workers, trials),
             ..config.clone()
         };
         &limited
@@ -92,6 +103,17 @@ pub fn run_trials_parallel(
         .map(|r| r.expect("all trials ran"))
         .collect();
     aggregate(strategy, results)
+}
+
+/// Estimator threads each trial receives when `workers` total workers
+/// serve `trials` trials: the even share of the surplus, never below one.
+///
+/// With `workers <= trials` every trial runs a single-threaded estimator
+/// (the trial fan-out already saturates the executor); with more workers
+/// than trials the spare capacity moves inside the trials, e.g. 8 workers
+/// over 2 trials give each trial a 4-way estimator batch.
+pub fn intra_trial_threads(workers: usize, trials: usize) -> usize {
+    (workers / trials.max(1)).max(1)
 }
 
 #[cfg(test)]
@@ -209,6 +231,64 @@ mod tests {
         // trial; the second sweep hits all three).
         assert_eq!(cache.misses(), 3);
         assert!(cache.hits() >= 3, "hits {}", cache.hits());
+    }
+
+    /// The intra-trial regression the ISSUE asks for: with more workers
+    /// than trials the surplus fans the estimator batches out *inside*
+    /// each trial, and the aggregates must still match the sequential
+    /// runner bit-for-bit.
+    #[test]
+    fn intra_trial_parallel_estimation_matches_sequential_bits() {
+        let fam = census();
+        // `threads: 0` would normally mean "all cores"; the executor
+        // overrides it to the per-trial share, so this exercises the
+        // surplus-distribution path explicitly.
+        let mut cfg = quick_config();
+        cfg.threads = 0;
+        let seq = run_trials(
+            &fam,
+            &[40; 4],
+            50,
+            120.0,
+            Strategy::Iterative(crate::strategy::TSchedule::moderate()),
+            &quick_config(),
+            2,
+        );
+        // 8 workers over 2 trials -> 4 estimator threads inside each.
+        let par = run_trials_parallel(
+            &fam,
+            &[40; 4],
+            50,
+            120.0,
+            Strategy::Iterative(crate::strategy::TSchedule::moderate()),
+            &cfg,
+            2,
+            8,
+        );
+        assert_bit_identical(&seq, &par);
+        // Single trial with many workers: everything goes intra-trial.
+        let one_seq = run_trials(
+            &fam,
+            &[40; 4],
+            50,
+            80.0,
+            Strategy::OneShot,
+            &quick_config(),
+            1,
+        );
+        let one_par = run_trials_parallel(&fam, &[40; 4], 50, 80.0, Strategy::OneShot, &cfg, 1, 8);
+        assert_bit_identical(&one_seq, &one_par);
+    }
+
+    #[test]
+    fn intra_trial_thread_shares() {
+        assert_eq!(intra_trial_threads(1, 4), 1);
+        assert_eq!(intra_trial_threads(4, 4), 1);
+        assert_eq!(intra_trial_threads(8, 4), 2);
+        assert_eq!(intra_trial_threads(8, 2), 4);
+        assert_eq!(intra_trial_threads(8, 1), 8);
+        assert_eq!(intra_trial_threads(7, 3), 2);
+        assert_eq!(intra_trial_threads(3, 0), 3, "degenerate trial count");
     }
 
     #[test]

@@ -1,0 +1,834 @@
+//! The pluggable compute-kernel layer.
+//!
+//! Every dense product in the workspace — batch forward/backward passes in
+//! `st-models`, the QR factorization behind the curve fitter, the trial
+//! executor's evaluation matmuls — bottoms out in the handful of primitives
+//! defined by [`GemmBackend`]. This module owns that trait, a transparent
+//! reference implementation ([`NaiveKernel`]), and a cache-blocked,
+//! register-tiled implementation ([`BlockedKernel`]) that is the default.
+//!
+//! **Bit-identical accumulation.** Slice Tuner's determinism story (trial
+//! aggregates independent of `--jobs`, memoized curve estimations, pinned
+//! proptest seeds) requires that swapping kernels never changes a single
+//! output bit. Both kernels therefore accumulate every output element in
+//! strictly ascending `k` order — blocking only re-tiles the *interleaving*
+//! across output elements, never the per-element summation chain. The
+//! proptest suite in `crates/linalg/tests/proptests.rs` asserts exact
+//! (`to_bits`) equality across rectangular and degenerate shapes, and CI
+//! runs the whole workspace under both `ST_KERNEL` values.
+//!
+//! **Selection.** The active kernel is process-global and fixed on first
+//! use: `ST_KERNEL=naive|blocked` in the environment, or
+//! [`set_kernel`] before any dense operation (the CLI's `--kernel` flag).
+//! A future SIMD or sharded backend plugs in by implementing
+//! [`GemmBackend`] and extending [`KernelKind`]; see `docs/kernels.md`.
+
+use std::sync::OnceLock;
+
+/// Panel width of the packed GEMM micro-kernel: output columns are packed
+/// four at a time, interleaved per `k` step, so the inner loop reads one
+/// contiguous 4-lane group per multiply (vectorizes as broadcast·panel).
+const PW: usize = 4;
+/// Byte budget for the set of `B` panels kept hot between reuses; panels
+/// are processed in blocks of roughly this size so they stay in L2 while
+/// every row of `A` streams over them.
+const PANEL_BLOCK_BYTES: usize = 128 * 1024;
+/// Below this many `A` rows the packing pass costs more than it saves and
+/// the register-tiled axpy path is used instead.
+const PACK_MIN_ROWS: usize = 5;
+/// `k`-tile of the axpy fallback path.
+const KC: usize = 64;
+/// `j`-tile of the axpy fallback path.
+const NC: usize = 512;
+/// Tile side of the blocked transpose swap.
+const TB: usize = 32;
+
+/// The dense compute primitives every backend must provide.
+///
+/// All matrices are row-major `f64` slices with explicit dimensions; `out`
+/// buffers are **accumulated into** (callers zero them for a plain
+/// product), except [`transpose`](Self::transpose) and
+/// [`matvec`](Self::matvec) which assign.
+///
+/// Implementations must accumulate each output element in ascending-`k`
+/// order so all backends produce bit-identical results (see module docs).
+pub trait GemmBackend: Send + Sync {
+    /// Human-readable backend name (for logs and the `kernels` bench).
+    fn name(&self) -> &'static str;
+
+    /// `out += a · b` with `a: m×k`, `b: k×n`, `out: m×n`.
+    fn gemm(&self, m: usize, k: usize, n: usize, a: &[f64], b: &[f64], out: &mut [f64]);
+
+    /// `out += a · bᵀ` with `a: m×k`, `bt: n×k` (row-major), `out: m×n`.
+    ///
+    /// This is the backward-pass shape `dZ · Wᵀ` without materializing the
+    /// transpose: row `j` of `bt` is exactly column `j` of `btᵀ`.
+    fn gemm_nt(&self, m: usize, k: usize, n: usize, a: &[f64], bt: &[f64], out: &mut [f64]);
+
+    /// `out += aᵀ · b` with `a: m×k`, `b: m×n`, `out: k×n`.
+    ///
+    /// This is the gradient shape `Xᵀ · dZ` without materializing the
+    /// transpose; both operands are streamed row-major.
+    fn gemm_tn(&self, m: usize, k: usize, n: usize, a: &[f64], b: &[f64], out: &mut [f64]);
+
+    /// `out[r] = dot(a.row(r), v)` with `a: rows×cols`.
+    fn matvec(&self, rows: usize, cols: usize, a: &[f64], v: &[f64], out: &mut [f64]);
+
+    /// `out[c] += Σ_r v[r] · a[r][c]` with `a: rows×cols` (i.e. `aᵀ · v`).
+    fn matvec_t(&self, rows: usize, cols: usize, a: &[f64], v: &[f64], out: &mut [f64]);
+
+    /// `out = aᵀ` with `a: rows×cols`, `out: cols×rows`.
+    fn transpose(&self, rows: usize, cols: usize, a: &[f64], out: &mut [f64]);
+}
+
+/// The straight-line reference backend: textbook `ikj` loops, no blocking,
+/// no branches. Every other backend is tested against this one bit-for-bit.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NaiveKernel;
+
+impl GemmBackend for NaiveKernel {
+    fn name(&self) -> &'static str {
+        "naive"
+    }
+
+    fn gemm(&self, m: usize, k: usize, n: usize, a: &[f64], b: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(a.len(), m * k);
+        debug_assert_eq!(b.len(), k * n);
+        debug_assert_eq!(out.len(), m * n);
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (p, &aip) in a_row.iter().enumerate() {
+                let b_row = &b[p * n..(p + 1) * n];
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += aip * bv;
+                }
+            }
+        }
+    }
+
+    fn gemm_nt(&self, m: usize, k: usize, n: usize, a: &[f64], bt: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(a.len(), m * k);
+        debug_assert_eq!(bt.len(), n * k);
+        debug_assert_eq!(out.len(), m * n);
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let bt_row = &bt[j * k..(j + 1) * k];
+                let mut acc = *o;
+                for (&x, &y) in a_row.iter().zip(bt_row) {
+                    acc += x * y;
+                }
+                *o = acc;
+            }
+        }
+    }
+
+    fn gemm_tn(&self, m: usize, k: usize, n: usize, a: &[f64], b: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(a.len(), m * k);
+        debug_assert_eq!(b.len(), m * n);
+        debug_assert_eq!(out.len(), k * n);
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            let b_row = &b[i * n..(i + 1) * n];
+            for (p, &aip) in a_row.iter().enumerate() {
+                let out_row = &mut out[p * n..(p + 1) * n];
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += aip * bv;
+                }
+            }
+        }
+    }
+
+    fn matvec(&self, rows: usize, cols: usize, a: &[f64], v: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(a.len(), rows * cols);
+        debug_assert_eq!(v.len(), cols);
+        debug_assert_eq!(out.len(), rows);
+        for (r, o) in out.iter_mut().enumerate() {
+            let row = &a[r * cols..(r + 1) * cols];
+            let mut acc = 0.0;
+            for (&x, &y) in row.iter().zip(v) {
+                acc += x * y;
+            }
+            *o = acc;
+        }
+    }
+
+    fn matvec_t(&self, rows: usize, cols: usize, a: &[f64], v: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(a.len(), rows * cols);
+        debug_assert_eq!(v.len(), rows);
+        debug_assert_eq!(out.len(), cols);
+        for (r, &vr) in v.iter().enumerate() {
+            let row = &a[r * cols..(r + 1) * cols];
+            for (o, &x) in out.iter_mut().zip(row) {
+                *o += vr * x;
+            }
+        }
+    }
+
+    fn transpose(&self, rows: usize, cols: usize, a: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(a.len(), rows * cols);
+        debug_assert_eq!(out.len(), rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                out[c * rows + r] = a[r * cols + c];
+            }
+        }
+    }
+}
+
+/// The cache-blocked, register-tiled backend (the default).
+///
+/// `gemm` tiles the output columns ([`NC`]) and the reduction dimension
+/// ([`KC`]) so a `KC × NC` panel of `B` stays cache-resident, processes
+/// [`MR`] rows of `A` per panel pass, and micro-tiles the reduction four
+/// `k` steps at a time — each output element is loaded into a register
+/// once per 4 products instead of once per product. The adds inside a
+/// micro-tile are issued in ascending `k` order, so results are
+/// bit-identical to [`NaiveKernel`] (asserted by proptests).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct BlockedKernel;
+
+impl BlockedKernel {
+    /// Packs `B` (`k×n` row-major) into `PW`-wide interleaved column
+    /// panels: panel `q` holds columns `PW·q ..` with layout
+    /// `panel[step·PW + lane] = b[step][PW·q + lane]`, so the micro-kernel
+    /// reads one contiguous lane group per reduction step. The final panel
+    /// may be narrower than `PW`; every panel occupies `k·PW` slots so
+    /// panel addressing stays uniform.
+    fn pack_panels(k: usize, n: usize, b: &[f64]) -> Vec<f64> {
+        let panels = n.div_ceil(PW);
+        let mut packed = vec![0.0; panels * k * PW];
+        for q in 0..panels {
+            let j0 = q * PW;
+            let w = PW.min(n - j0);
+            let dst = &mut packed[q * k * PW..(q + 1) * k * PW];
+            for step in 0..k {
+                let src = &b[step * n + j0..step * n + j0 + w];
+                dst[step * PW..step * PW + w].copy_from_slice(src);
+            }
+        }
+        packed
+    }
+
+    /// Packs `Bᵀ` given `bt` (`n×k` row-major, i.e. row `j` of `bt` is
+    /// column `j` of the logical `B`). Same layout as [`Self::pack_panels`].
+    fn pack_panels_t(k: usize, n: usize, bt: &[f64]) -> Vec<f64> {
+        let panels = n.div_ceil(PW);
+        let mut packed = vec![0.0; panels * k * PW];
+        for q in 0..panels {
+            let j0 = q * PW;
+            let w = PW.min(n - j0);
+            let dst = &mut packed[q * k * PW..(q + 1) * k * PW];
+            for lane in 0..w {
+                let src = &bt[(j0 + lane) * k..(j0 + lane + 1) * k];
+                for (step, &x) in src.iter().enumerate() {
+                    dst[step * PW + lane] = x;
+                }
+            }
+        }
+        packed
+    }
+
+    /// The packed dot core: `out += a · B` with `B` pre-packed into
+    /// panels. Every output element is accumulated in one register across
+    /// the whole reduction (ascending `k`, bit-identical to naive) and
+    /// written exactly once; panels are walked in cache-sized blocks so
+    /// they stay in L2 while all rows of `A` stream over them.
+    /// Dispatches the packed core to the widest vector unit the CPU
+    /// offers. The AVX copy is the *same* Rust body compiled with 256-bit
+    /// lanes enabled — per-lane accumulation chains are untouched (and
+    /// Rust never contracts mul+add into FMA), so both copies are
+    /// bit-identical; only throughput changes.
+    fn packed_gemm(m: usize, k: usize, n: usize, a: &[f64], packed: &[f64], out: &mut [f64]) {
+        #[cfg(target_arch = "x86_64")]
+        if std::arch::is_x86_feature_detected!("avx") {
+            // SAFETY: the `avx` target feature was just detected at runtime.
+            unsafe { Self::packed_gemm_avx(m, k, n, a, packed, out) };
+            return;
+        }
+        Self::packed_gemm_body(m, k, n, a, packed, out);
+    }
+
+    /// AVX-compiled instantiation of [`Self::packed_gemm_body`].
+    ///
+    /// # Safety
+    /// The caller must ensure the CPU supports AVX.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx")]
+    unsafe fn packed_gemm_avx(
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f64],
+        packed: &[f64],
+        out: &mut [f64],
+    ) {
+        Self::packed_gemm_body(m, k, n, a, packed, out);
+    }
+
+    #[inline(always)]
+    fn packed_gemm_body(m: usize, k: usize, n: usize, a: &[f64], packed: &[f64], out: &mut [f64]) {
+        let panels = n.div_ceil(PW);
+        let panel_len = k * PW;
+        let block = (PANEL_BLOCK_BYTES / (panel_len * 8)).max(1);
+        for qb in (0..panels).step_by(block) {
+            let qe = (qb + block).min(panels);
+            // Row pairs share every panel load (the 2×2 micro-tile keeps
+            // 16 accumulator lanes live); odd trailing rows take the
+            // single-row kernel.
+            let mut i = 0;
+            while i + 2 <= m {
+                let (head, tail) = out.split_at_mut((i + 1) * n);
+                Self::row_pair_block(
+                    k,
+                    n,
+                    qb,
+                    qe,
+                    &a[i * k..(i + 1) * k],
+                    &a[(i + 1) * k..(i + 2) * k],
+                    packed,
+                    &mut head[i * n..],
+                    &mut tail[..n],
+                );
+                i += 2;
+            }
+            if i < m {
+                Self::row_block(
+                    k,
+                    n,
+                    qb,
+                    qe,
+                    &a[i * k..(i + 1) * k],
+                    packed,
+                    &mut out[i * n..(i + 1) * n],
+                );
+            }
+        }
+    }
+
+    /// One output row over the panel block `qb..qe` (single-row kernel).
+    #[inline(always)]
+    fn row_block(
+        k: usize,
+        n: usize,
+        qb: usize,
+        qe: usize,
+        a_row: &[f64],
+        packed: &[f64],
+        out_row: &mut [f64],
+    ) {
+        let panel_len = k * PW;
+        let mut q = qb;
+        // Pairs of full panels: two 4-lane accumulator groups (8
+        // independent chains) hide add latency; lane loads are contiguous
+        // `[f64; PW]` groups, so the loop maps onto SIMD broadcast·panel.
+        while q + 2 <= qe && (q + 2) * PW <= n {
+            let p0 = &packed[q * panel_len..(q + 1) * panel_len];
+            let p1 = &packed[(q + 1) * panel_len..(q + 2) * panel_len];
+            let o = &mut out_row[q * PW..(q + 2) * PW];
+            let mut acc0: [f64; PW] = o[..PW].try_into().expect("lane group");
+            let mut acc1: [f64; PW] = o[PW..].try_into().expect("lane group");
+            for ((&x, g0), g1) in a_row
+                .iter()
+                .zip(p0.chunks_exact(PW))
+                .zip(p1.chunks_exact(PW))
+            {
+                for l in 0..PW {
+                    acc0[l] += x * g0[l];
+                }
+                for l in 0..PW {
+                    acc1[l] += x * g1[l];
+                }
+            }
+            o[..PW].copy_from_slice(&acc0);
+            o[PW..].copy_from_slice(&acc1);
+            q += 2;
+        }
+        // Lone full panel.
+        if q < qe && (q + 1) * PW <= n {
+            let p0 = &packed[q * panel_len..(q + 1) * panel_len];
+            let o = &mut out_row[q * PW..(q + 1) * PW];
+            let mut acc: [f64; PW] = o[..].try_into().expect("lane group");
+            for (&x, g) in a_row.iter().zip(p0.chunks_exact(PW)) {
+                for l in 0..PW {
+                    acc[l] += x * g[l];
+                }
+            }
+            o.copy_from_slice(&acc);
+            q += 1;
+        }
+        // Narrow tail panel (n % PW columns).
+        if q < qe {
+            let w = n - q * PW;
+            let p0 = &packed[q * panel_len..(q + 1) * panel_len];
+            let o = &mut out_row[q * PW..q * PW + w];
+            for (lane, ov) in o.iter_mut().enumerate() {
+                let mut acc = *ov;
+                for (step, &x) in a_row.iter().enumerate() {
+                    acc += x * p0[step * PW + lane];
+                }
+                *ov = acc;
+            }
+        }
+    }
+
+    /// Two output rows over the panel block `qb..qe`: the 2-row × 2-panel
+    /// micro-tile loads each packed lane group once for both rows,
+    /// halving panel traffic. Leftover panels fall back to the single-row
+    /// kernel per row.
+    #[allow(clippy::too_many_arguments)]
+    #[inline(always)]
+    fn row_pair_block(
+        k: usize,
+        n: usize,
+        qb: usize,
+        qe: usize,
+        a0: &[f64],
+        a1: &[f64],
+        packed: &[f64],
+        out0: &mut [f64],
+        out1: &mut [f64],
+    ) {
+        let panel_len = k * PW;
+        let mut q = qb;
+        while q + 2 <= qe && (q + 2) * PW <= n {
+            let p0 = &packed[q * panel_len..(q + 1) * panel_len];
+            let p1 = &packed[(q + 1) * panel_len..(q + 2) * panel_len];
+            let o0 = &mut out0[q * PW..(q + 2) * PW];
+            let o1 = &mut out1[q * PW..(q + 2) * PW];
+            let mut r0p0: [f64; PW] = o0[..PW].try_into().expect("lane group");
+            let mut r0p1: [f64; PW] = o0[PW..].try_into().expect("lane group");
+            let mut r1p0: [f64; PW] = o1[..PW].try_into().expect("lane group");
+            let mut r1p1: [f64; PW] = o1[PW..].try_into().expect("lane group");
+            for (((&x0, &x1), g0), g1) in a0
+                .iter()
+                .zip(a1)
+                .zip(p0.chunks_exact(PW))
+                .zip(p1.chunks_exact(PW))
+            {
+                for l in 0..PW {
+                    r0p0[l] += x0 * g0[l];
+                }
+                for l in 0..PW {
+                    r0p1[l] += x0 * g1[l];
+                }
+                for l in 0..PW {
+                    r1p0[l] += x1 * g0[l];
+                }
+                for l in 0..PW {
+                    r1p1[l] += x1 * g1[l];
+                }
+            }
+            o0[..PW].copy_from_slice(&r0p0);
+            o0[PW..].copy_from_slice(&r0p1);
+            o1[..PW].copy_from_slice(&r1p0);
+            o1[PW..].copy_from_slice(&r1p1);
+            q += 2;
+        }
+        if q < qe {
+            Self::row_block(k, n, q, qe, a0, packed, out0);
+            Self::row_block(k, n, q, qe, a1, packed, out1);
+        }
+    }
+
+    /// Register-tiled axpy fallback for row counts too small to amortize
+    /// packing: tiles `k` ([`KC`]) and the output columns ([`NC`]), and
+    /// micro-tiles the reduction four steps at a time so each output
+    /// element is loaded once per 4 products. Adds stay in ascending `k`
+    /// order.
+    fn axpy_gemm(m: usize, k: usize, n: usize, a: &[f64], b: &[f64], out: &mut [f64]) {
+        for jc in (0..n).step_by(NC) {
+            let w = NC.min(n - jc);
+            for kc in (0..k).step_by(KC) {
+                let kw = KC.min(k - kc);
+                for i in 0..m {
+                    let out_row = &mut out[i * n + jc..i * n + jc + w];
+                    let a_seg = &a[i * k + kc..i * k + kc + kw];
+                    let mut p = 0;
+                    while p + 4 <= kw {
+                        let (x0, x1, x2, x3) = (a_seg[p], a_seg[p + 1], a_seg[p + 2], a_seg[p + 3]);
+                        let b0 = &b[(kc + p) * n + jc..(kc + p) * n + jc + w];
+                        let b1 = &b[(kc + p + 1) * n + jc..(kc + p + 1) * n + jc + w];
+                        let b2 = &b[(kc + p + 2) * n + jc..(kc + p + 2) * n + jc + w];
+                        let b3 = &b[(kc + p + 3) * n + jc..(kc + p + 3) * n + jc + w];
+                        for j in 0..w {
+                            let mut o = out_row[j];
+                            o += x0 * b0[j];
+                            o += x1 * b1[j];
+                            o += x2 * b2[j];
+                            o += x3 * b3[j];
+                            out_row[j] = o;
+                        }
+                        p += 4;
+                    }
+                    while p < kw {
+                        let x = a_seg[p];
+                        let brow = &b[(kc + p) * n + jc..(kc + p) * n + jc + w];
+                        for (o, &bv) in out_row.iter_mut().zip(brow) {
+                            *o += x * bv;
+                        }
+                        p += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl GemmBackend for BlockedKernel {
+    fn name(&self) -> &'static str {
+        "blocked"
+    }
+
+    fn gemm(&self, m: usize, k: usize, n: usize, a: &[f64], b: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(a.len(), m * k);
+        debug_assert_eq!(b.len(), k * n);
+        debug_assert_eq!(out.len(), m * n);
+        if m == 0 || k == 0 || n == 0 {
+            return;
+        }
+        if m < PACK_MIN_ROWS {
+            Self::axpy_gemm(m, k, n, a, b, out);
+            return;
+        }
+        let packed = Self::pack_panels(k, n, b);
+        Self::packed_gemm(m, k, n, a, &packed, out);
+    }
+
+    fn gemm_nt(&self, m: usize, k: usize, n: usize, a: &[f64], bt: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(a.len(), m * k);
+        debug_assert_eq!(bt.len(), n * k);
+        debug_assert_eq!(out.len(), m * n);
+        if m == 0 || k == 0 || n == 0 {
+            return;
+        }
+        // Rows of `bt` are already the columns of the logical B, so the
+        // panel packer reads them contiguously — no transpose pass needed.
+        let packed = Self::pack_panels_t(k, n, bt);
+        Self::packed_gemm(m, k, n, a, &packed, out);
+    }
+
+    fn gemm_tn(&self, m: usize, k: usize, n: usize, a: &[f64], b: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(a.len(), m * k);
+        debug_assert_eq!(b.len(), m * n);
+        debug_assert_eq!(out.len(), k * n);
+        if m == 0 || k == 0 || n == 0 {
+            return;
+        }
+        // Process the samples in row blocks: transpose each block of `a`
+        // (short strides, TLB-friendly), pack the matching `b` rows, and
+        // let the packed core *accumulate* the block's k×n contribution.
+        // Blocks ascend in `i` and the core reduces each block in
+        // ascending `i`, so bits match the naive rank-1 formulation.
+        const IB: usize = 128;
+        let mut at_block = vec![0.0; k * IB.min(m)];
+        for ib in (0..m).step_by(IB) {
+            let h = IB.min(m - ib);
+            self.transpose(h, k, &a[ib * k..(ib + h) * k], &mut at_block[..k * h]);
+            let packed = Self::pack_panels(h, n, &b[ib * n..(ib + h) * n]);
+            Self::packed_gemm(k, h, n, &at_block[..k * h], &packed, out);
+        }
+    }
+
+    fn matvec(&self, rows: usize, cols: usize, a: &[f64], v: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(a.len(), rows * cols);
+        debug_assert_eq!(v.len(), cols);
+        debug_assert_eq!(out.len(), rows);
+        // Row pairs share the streamed v loads; per-row accumulation stays
+        // ascending-k, so bits match the naive dot.
+        let mut r = 0;
+        while r + 2 <= rows {
+            let row0 = &a[r * cols..(r + 1) * cols];
+            let row1 = &a[(r + 1) * cols..(r + 2) * cols];
+            let mut acc0 = 0.0;
+            let mut acc1 = 0.0;
+            for (p, &vv) in v.iter().enumerate() {
+                acc0 += row0[p] * vv;
+                acc1 += row1[p] * vv;
+            }
+            out[r] = acc0;
+            out[r + 1] = acc1;
+            r += 2;
+        }
+        if r < rows {
+            let row = &a[r * cols..(r + 1) * cols];
+            let mut acc = 0.0;
+            for (&x, &y) in row.iter().zip(v) {
+                acc += x * y;
+            }
+            out[r] = acc;
+        }
+    }
+
+    fn matvec_t(&self, rows: usize, cols: usize, a: &[f64], v: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(a.len(), rows * cols);
+        debug_assert_eq!(v.len(), rows);
+        debug_assert_eq!(out.len(), cols);
+        let mut r = 0;
+        while r + 2 <= rows {
+            let (v0, v1) = (v[r], v[r + 1]);
+            let row0 = &a[r * cols..(r + 1) * cols];
+            let row1 = &a[(r + 1) * cols..(r + 2) * cols];
+            for (c, o) in out.iter_mut().enumerate() {
+                let mut acc = *o;
+                acc += v0 * row0[c];
+                acc += v1 * row1[c];
+                *o = acc;
+            }
+            r += 2;
+        }
+        if r < rows {
+            let vr = v[r];
+            let row = &a[r * cols..(r + 1) * cols];
+            for (o, &x) in out.iter_mut().zip(row) {
+                *o += vr * x;
+            }
+        }
+    }
+
+    fn transpose(&self, rows: usize, cols: usize, a: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(a.len(), rows * cols);
+        debug_assert_eq!(out.len(), rows * cols);
+        // Blocked swap: both the strided reads and the strided writes stay
+        // inside a TB×TB tile that fits L1, instead of walking a whole
+        // column per output row.
+        for rb in (0..rows).step_by(TB) {
+            let rh = TB.min(rows - rb);
+            for cb in (0..cols).step_by(TB) {
+                let cw = TB.min(cols - cb);
+                for r in rb..rb + rh {
+                    let row = &a[r * cols + cb..r * cols + cb + cw];
+                    for (dc, &x) in row.iter().enumerate() {
+                        out[(cb + dc) * rows + r] = x;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Which [`GemmBackend`] a process uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelKind {
+    /// The straight-line reference kernel.
+    Naive,
+    /// The cache-blocked kernel (default).
+    Blocked,
+}
+
+impl KernelKind {
+    /// Parses a kernel name as accepted by `ST_KERNEL` and `--kernel`.
+    pub fn from_name(name: &str) -> Option<KernelKind> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "naive" => Some(KernelKind::Naive),
+            "blocked" => Some(KernelKind::Blocked),
+            _ => None,
+        }
+    }
+
+    /// The canonical name.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelKind::Naive => "naive",
+            KernelKind::Blocked => "blocked",
+        }
+    }
+
+    /// A static reference to the backend of this kind.
+    pub fn backend(self) -> &'static dyn GemmBackend {
+        match self {
+            KernelKind::Naive => &NaiveKernel,
+            KernelKind::Blocked => &BlockedKernel,
+        }
+    }
+}
+
+static ACTIVE_KERNEL: OnceLock<KernelKind> = OnceLock::new();
+
+fn kind_from_env() -> KernelKind {
+    match std::env::var("ST_KERNEL") {
+        Ok(v) => KernelKind::from_name(&v).unwrap_or_else(|| {
+            eprintln!("warning: unknown ST_KERNEL '{v}', using blocked (naive | blocked)");
+            KernelKind::Blocked
+        }),
+        Err(_) => KernelKind::Blocked,
+    }
+}
+
+/// The process-wide kernel kind, fixed on first use (`ST_KERNEL`, default
+/// blocked).
+pub fn kernel_kind() -> KernelKind {
+    *ACTIVE_KERNEL.get_or_init(kind_from_env)
+}
+
+/// The active backend every [`crate::Matrix`] operation dispatches to.
+pub fn kernel() -> &'static dyn GemmBackend {
+    kernel_kind().backend()
+}
+
+/// Fixes the process-wide kernel before first use (the CLI's `--kernel`).
+///
+/// # Errors
+/// Returns the already-active kind when a *different* kernel was selected
+/// earlier (by `ST_KERNEL`, a prior call, or first use); selecting the
+/// active kind again is a no-op `Ok`.
+pub fn set_kernel(kind: KernelKind) -> Result<(), KernelKind> {
+    let active = *ACTIVE_KERNEL.get_or_init(|| kind);
+    if active == kind {
+        Ok(())
+    } else {
+        Err(active)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill(len: usize, seed: u64) -> Vec<f64> {
+        let mut rng = crate::resample::SplitMix64::new(seed);
+        (0..len).map(|_| rng.next_f64() * 4.0 - 2.0).collect()
+    }
+
+    fn assert_bits_eq(a: &[f64], b: &[f64]) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "index {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn blocked_gemm_matches_naive_bitwise() {
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (2, 3, 4),
+            (7, 5, 3),
+            (17, 13, 11),
+            (64, 64, 64),
+            (65, 67, 66),
+            (130, 70, 150),
+        ] {
+            let a = fill(m * k, 1 + m as u64);
+            let b = fill(k * n, 2 + n as u64);
+            let mut on = vec![0.0; m * n];
+            let mut ob = vec![0.0; m * n];
+            NaiveKernel.gemm(m, k, n, &a, &b, &mut on);
+            BlockedKernel.gemm(m, k, n, &a, &b, &mut ob);
+            assert_bits_eq(&on, &ob);
+        }
+    }
+
+    #[test]
+    fn blocked_nt_tn_match_naive_bitwise() {
+        let (m, k, n) = (19, 23, 17);
+        let a = fill(m * k, 3);
+        let bt = fill(n * k, 4);
+        let b = fill(m * n, 5);
+        let mut x = vec![0.0; m * n];
+        let mut y = vec![0.0; m * n];
+        NaiveKernel.gemm_nt(m, k, n, &a, &bt, &mut x);
+        BlockedKernel.gemm_nt(m, k, n, &a, &bt, &mut y);
+        assert_bits_eq(&x, &y);
+        let mut u = vec![0.0; k * n];
+        let mut v = vec![0.0; k * n];
+        NaiveKernel.gemm_tn(m, k, n, &a, &b, &mut u);
+        BlockedKernel.gemm_tn(m, k, n, &a, &b, &mut v);
+        assert_bits_eq(&u, &v);
+    }
+
+    #[test]
+    fn gemm_tn_equals_explicit_transpose_product() {
+        let (m, k, n) = (9, 4, 6);
+        let a = fill(m * k, 6);
+        let b = fill(m * n, 7);
+        let mut at = vec![0.0; m * k];
+        NaiveKernel.transpose(m, k, &a, &mut at);
+        let mut want = vec![0.0; k * n];
+        NaiveKernel.gemm(k, m, n, &at, &b, &mut want);
+        let mut got = vec![0.0; k * n];
+        NaiveKernel.gemm_tn(m, k, n, &a, &b, &mut got);
+        assert_bits_eq(&want, &got);
+    }
+
+    #[test]
+    fn gemm_nt_equals_explicit_transpose_product() {
+        let (m, k, n) = (8, 5, 7);
+        let a = fill(m * k, 8);
+        let bt = fill(n * k, 9);
+        let mut b = vec![0.0; n * k];
+        NaiveKernel.transpose(n, k, &bt, &mut b);
+        let mut want = vec![0.0; m * n];
+        NaiveKernel.gemm(m, k, n, &a, &b, &mut want);
+        let mut got = vec![0.0; m * n];
+        NaiveKernel.gemm_nt(m, k, n, &a, &bt, &mut got);
+        assert_bits_eq(&want, &got);
+    }
+
+    #[test]
+    fn vector_ops_match_bitwise() {
+        let (rows, cols) = (21, 15);
+        let a = fill(rows * cols, 10);
+        let v = fill(cols, 11);
+        let w = fill(rows, 12);
+        let mut x = vec![0.0; rows];
+        let mut y = vec![0.0; rows];
+        NaiveKernel.matvec(rows, cols, &a, &v, &mut x);
+        BlockedKernel.matvec(rows, cols, &a, &v, &mut y);
+        assert_bits_eq(&x, &y);
+        let mut s = vec![0.0; cols];
+        let mut t = vec![0.0; cols];
+        NaiveKernel.matvec_t(rows, cols, &a, &w, &mut s);
+        BlockedKernel.matvec_t(rows, cols, &a, &w, &mut t);
+        assert_bits_eq(&s, &t);
+    }
+
+    #[test]
+    fn transposes_match_and_invert() {
+        let (rows, cols) = (37, 41);
+        let a = fill(rows * cols, 13);
+        let mut x = vec![0.0; rows * cols];
+        let mut y = vec![0.0; rows * cols];
+        NaiveKernel.transpose(rows, cols, &a, &mut x);
+        BlockedKernel.transpose(rows, cols, &a, &mut y);
+        assert_bits_eq(&x, &y);
+        let mut back = vec![0.0; rows * cols];
+        BlockedKernel.transpose(cols, rows, &y, &mut back);
+        assert_bits_eq(&a, &back);
+    }
+
+    #[test]
+    fn empty_shapes_are_noops() {
+        let mut out: Vec<f64> = Vec::new();
+        BlockedKernel.gemm(0, 3, 0, &[], &fill(0, 1), &mut out);
+        NaiveKernel.gemm(0, 0, 0, &[], &[], &mut out);
+        let mut o2 = vec![0.0; 4];
+        // 0-row gemm_tn leaves the accumulator untouched.
+        BlockedKernel.gemm_tn(0, 2, 2, &[], &[], &mut o2);
+        assert!(o2.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn kind_parsing_round_trips() {
+        assert_eq!(KernelKind::from_name("naive"), Some(KernelKind::Naive));
+        assert_eq!(
+            KernelKind::from_name(" Blocked "),
+            Some(KernelKind::Blocked)
+        );
+        assert_eq!(KernelKind::from_name("simd"), None);
+        assert_eq!(KernelKind::Blocked.name(), "blocked");
+        assert_eq!(KernelKind::Naive.backend().name(), "naive");
+    }
+
+    #[test]
+    fn set_kernel_is_idempotent_and_sticky() {
+        let active = kernel_kind();
+        assert!(set_kernel(active).is_ok(), "re-selecting active is a no-op");
+        let other = match active {
+            KernelKind::Naive => KernelKind::Blocked,
+            KernelKind::Blocked => KernelKind::Naive,
+        };
+        assert_eq!(set_kernel(other), Err(active));
+    }
+}

@@ -10,7 +10,13 @@
 //! Everything operates on `f64`. Matrices are row-major [`Matrix`] values;
 //! vectors are plain `&[f64]` slices so callers can use `Vec<f64>` or matrix
 //! rows interchangeably.
+//!
+//! Dense products dispatch through the pluggable compute-kernel layer in
+//! [`kernel`]: `ST_KERNEL=naive|blocked` (or [`set_kernel`]) selects the
+//! backend, and all backends are bit-identical by construction — see
+//! `docs/kernels.md`.
 
+pub mod kernel;
 pub mod matrix;
 pub mod qr;
 pub mod resample;
@@ -20,6 +26,9 @@ pub mod special;
 pub mod stats;
 pub mod vector;
 
+pub use kernel::{
+    kernel, kernel_kind, set_kernel, BlockedKernel, GemmBackend, KernelKind, NaiveKernel,
+};
 pub use matrix::Matrix;
 pub use qr::{least_squares, QrFactorization};
 pub use resample::{bootstrap_ci, pearson, spearman, ConfidenceInterval, SplitMix64};

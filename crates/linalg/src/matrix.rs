@@ -1,5 +1,11 @@
 //! Row-major dense matrix.
+//!
+//! Every dense product dispatches to the process-wide compute kernel
+//! ([`crate::kernel`]), so swapping `ST_KERNEL=naive|blocked` changes the
+//! execution schedule of all downstream math without changing a single
+//! output bit.
 
+use crate::kernel::kernel;
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
@@ -104,7 +110,9 @@ impl Matrix {
 
     /// Matrix transpose.
     pub fn transpose(&self) -> Matrix {
-        Matrix::from_fn(self.cols, self.rows, |r, c| self[(c, r)])
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        kernel().transpose(self.rows, self.cols, &self.data, &mut out.data);
+        out
     }
 
     /// Matrix product `self * rhs`.
@@ -118,7 +126,84 @@ impl Matrix {
             self.rows, self.cols, rhs.rows, rhs.cols
         );
         let mut out = Matrix::zeros(self.rows, rhs.cols);
-        // ikj loop order: stream over rhs rows for cache locality.
+        kernel().gemm(
+            self.rows,
+            self.cols,
+            rhs.cols,
+            &self.data,
+            &rhs.data,
+            &mut out.data,
+        );
+        out
+    }
+
+    /// Matrix product `self * rhsᵀ` without materializing the transpose.
+    ///
+    /// This is the backward-pass shape `dZ · Wᵀ`: row `j` of `rhs` serves
+    /// directly as column `j` of `rhsᵀ`, so both operands stream row-major.
+    ///
+    /// # Panics
+    /// Panics if `self.cols() != rhs.cols()`.
+    pub fn matmul_nt(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.cols,
+            "matmul_nt shape mismatch: {}x{} * ({}x{})ᵀ",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        kernel().gemm_nt(
+            self.rows,
+            self.cols,
+            rhs.rows,
+            &self.data,
+            &rhs.data,
+            &mut out.data,
+        );
+        out
+    }
+
+    /// Matrix product `selfᵀ * rhs` without materializing the transpose.
+    ///
+    /// This is the gradient shape `Xᵀ · dZ`; both operands are streamed
+    /// row-major as a sequence of rank-1 updates.
+    ///
+    /// # Panics
+    /// Panics if `self.rows() != rhs.rows()`.
+    pub fn matmul_tn(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows, rhs.rows,
+            "matmul_tn shape mismatch: ({}x{})ᵀ * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.cols, rhs.cols);
+        kernel().gemm_tn(
+            self.rows,
+            self.cols,
+            rhs.cols,
+            &self.data,
+            &rhs.data,
+            &mut out.data,
+        );
+        out
+    }
+
+    /// Sparse-aware matrix product: skips zero entries of `self`.
+    ///
+    /// The dense [`matmul`](Self::matmul) path deliberately has no zero
+    /// test — on dense data the branch mispredicts and costs more than the
+    /// skipped multiply. Use this variant when `self` is known to be
+    /// mostly zeros (e.g. one-hot/masked designs); the result may differ
+    /// from `matmul` only in the sign of negative zeros.
+    ///
+    /// # Panics
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn matmul_sparse(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul_sparse shape mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
         for i in 0..self.rows {
             for k in 0..self.cols {
                 let a = self[(i, k)];
@@ -141,9 +226,9 @@ impl Matrix {
     /// Panics if `v.len() != self.cols()`.
     pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(v.len(), self.cols, "matvec shape mismatch");
-        (0..self.rows)
-            .map(|r| crate::vector::dot(self.row(r), v))
-            .collect()
+        let mut out = vec![0.0; self.rows];
+        kernel().matvec(self.rows, self.cols, &self.data, v, &mut out);
+        out
     }
 
     /// Transposed matrix-vector product `selfᵀ * v`.
@@ -153,15 +238,49 @@ impl Matrix {
     pub fn matvec_t(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(v.len(), self.rows, "matvec_t shape mismatch");
         let mut out = vec![0.0; self.cols];
-        for (r, &vr) in v.iter().enumerate() {
-            if vr == 0.0 {
-                continue;
-            }
-            for (o, &a) in out.iter_mut().zip(self.row(r)) {
-                *o += vr * a;
+        kernel().matvec_t(self.rows, self.cols, &self.data, v, &mut out);
+        out
+    }
+
+    /// Per-column sums (the bias-gradient reduction of a batch).
+    ///
+    /// Accumulated directly in ascending row order — the same bits as a
+    /// `matvec_t` against a ones vector, without allocating one in the
+    /// per-minibatch gradient hot path.
+    pub fn col_sums(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.cols];
+        for row in self.data.chunks_exact(self.cols.max(1)) {
+            for (o, &x) in out.iter_mut().zip(row) {
+                *o += x;
             }
         }
         out
+    }
+
+    /// Copies the listed rows into a new matrix (minibatch gathering).
+    ///
+    /// # Panics
+    /// Panics if any index is out of range.
+    pub fn gather_rows(&self, indices: &[usize]) -> Matrix {
+        let mut data = Vec::with_capacity(indices.len() * self.cols);
+        for &i in indices {
+            assert!(i < self.rows, "gather_rows: row {i} out of {}", self.rows);
+            data.extend_from_slice(self.row(i));
+        }
+        Matrix::from_vec(indices.len(), self.cols, data)
+    }
+
+    /// Adds `bias` to every row (the broadcast `+ b` of an affine layer).
+    ///
+    /// # Panics
+    /// Panics if `bias.len() != self.cols()`.
+    pub fn add_bias_rows(&mut self, bias: &[f64]) {
+        assert_eq!(bias.len(), self.cols, "bias length mismatch");
+        for r in 0..self.rows {
+            for (o, &b) in self.row_mut(r).iter_mut().zip(bias) {
+                *o += b;
+            }
+        }
     }
 
     /// Elementwise in-place addition `self += rhs`.
@@ -325,6 +444,54 @@ mod tests {
     fn frobenius_norm_of_unit_rows() {
         let m = Matrix::from_vec(2, 2, vec![3., 0., 0., 4.]);
         assert!((m.frobenius_norm() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let a = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Matrix::from_vec(4, 3, (0..12).map(|i| i as f64 * 0.5 - 2.0).collect());
+        assert_eq!(a.matmul_nt(&b), a.matmul(&b.transpose()));
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit_transpose() {
+        let a = Matrix::from_vec(3, 2, vec![1., -2., 3., 4., -5., 6.]);
+        let b = Matrix::from_vec(3, 4, (0..12).map(|i| (i as f64).sin()).collect());
+        assert_eq!(a.matmul_tn(&b), a.transpose().matmul(&b));
+    }
+
+    #[test]
+    fn matmul_sparse_agrees_with_dense() {
+        let a = Matrix::from_vec(2, 3, vec![0., 2., 0., 4., 0., 6.]);
+        let b = Matrix::from_vec(3, 2, vec![7., 8., 9., 10., 11., 12.]);
+        assert_eq!(a.matmul_sparse(&b), a.matmul(&b));
+    }
+
+    #[test]
+    fn col_sums_reduce_rows() {
+        let m = Matrix::from_vec(3, 2, vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(m.col_sums(), vec![9., 12.]);
+    }
+
+    #[test]
+    fn gather_rows_copies_in_order() {
+        let m = Matrix::from_vec(3, 2, vec![1., 2., 3., 4., 5., 6.]);
+        let g = m.gather_rows(&[2, 0, 2]);
+        assert_eq!(g, Matrix::from_vec(3, 2, vec![5., 6., 1., 2., 5., 6.]));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn gather_rows_rejects_bad_index() {
+        let m = Matrix::zeros(2, 2);
+        let _ = m.gather_rows(&[3]);
+    }
+
+    #[test]
+    fn add_bias_rows_broadcasts() {
+        let mut m = Matrix::zeros(2, 3);
+        m.add_bias_rows(&[1.0, 2.0, 3.0]);
+        assert_eq!(m, Matrix::from_vec(2, 3, vec![1., 2., 3., 1., 2., 3.]));
     }
 
     #[test]

@@ -5,6 +5,12 @@
 //! Normal equations (`JᵀJ x = Jᵀr`) square the condition number; Householder
 //! QR solves the same problem stably and is still tiny for our shapes
 //! (tens of rows, 2–4 columns).
+//!
+//! The factorization is organized as *row sweeps* over the row-major
+//! buffer (matvec_t-style dot accumulation plus a rank-1 update), the same
+//! access pattern the kernel layer uses — a column-walking formulation
+//! would stride by `cols` on every element. Per-column accumulation still
+//! runs in ascending row order, so the restructuring is bit-preserving.
 
 use crate::matrix::Matrix;
 use crate::solve::SolveError;
@@ -31,11 +37,19 @@ impl QrFactorization {
         assert!(m >= n && n > 0, "QR needs rows >= cols > 0, got {m}x{n}");
         let mut tau = vec![0.0; n];
 
-        // Scale for the relative rank test: the largest column norm.
-        let scale = (0..n)
-            .map(|j| (0..m).map(|i| a[(i, j)] * a[(i, j)]).sum::<f64>().sqrt())
-            .fold(0.0, f64::max);
+        // Scale for the relative rank test: the largest column norm,
+        // accumulated in one row-major sweep (per-column order is still
+        // ascending rows, as in the column-walking formulation).
+        let mut norms2 = vec![0.0; n];
+        for i in 0..m {
+            for (s, &x) in norms2.iter_mut().zip(a.row(i)) {
+                *s += x * x;
+            }
+        }
+        let scale = norms2.iter().map(|s| s.sqrt()).fold(0.0, f64::max);
 
+        // Reusable buffer for the reflector dots against trailing columns.
+        let mut dots = vec![0.0; n];
         for k in 0..n {
             // Norm of the k-th column below (and including) the diagonal.
             let mut norm2 = 0.0;
@@ -55,17 +69,32 @@ impl QrFactorization {
             }
             a[(k, k)] = alpha;
 
-            // Apply the reflector to the remaining columns.
-            for j in k + 1..n {
-                let mut dot = a[(k, j)];
-                for i in k + 1..m {
-                    dot += a[(i, k)] * a[(i, j)];
+            // Apply the reflector to the trailing columns in two row
+            // sweeps: dots[j] = Σ_i v_i·a[i][j] (matvec_t shape), then the
+            // rank-1 update a[i][j] -= (tau·dots[j])·v_i.
+            let width = n - (k + 1);
+            if width == 0 {
+                continue;
+            }
+            let t = &mut dots[k + 1..n];
+            t.copy_from_slice(&a.row(k)[k + 1..n]);
+            for i in k + 1..m {
+                let vik = a[(i, k)];
+                for (d, &x) in t.iter_mut().zip(&a.row(i)[k + 1..n]) {
+                    *d += vik * x;
                 }
-                let t = tau[k] * dot;
-                a[(k, j)] -= t;
-                for i in k + 1..m {
-                    let vik = a[(i, k)];
-                    a[(i, j)] -= t * vik;
+            }
+            for d in t.iter_mut() {
+                *d *= tau[k];
+            }
+            let t = &dots[k + 1..n];
+            for (o, &tv) in a.row_mut(k)[k + 1..n].iter_mut().zip(t) {
+                *o -= tv;
+            }
+            for i in k + 1..m {
+                let vik = a[(i, k)];
+                for (o, &tv) in a.row_mut(i)[k + 1..n].iter_mut().zip(t) {
+                    *o -= tv * vik;
                 }
             }
         }

@@ -68,15 +68,20 @@ pub fn gaussian_solve(mut a: Matrix, b: &[f64]) -> Result<Vec<f64>, SolveError> 
             x.swap(col, pivot_row);
         }
         let inv = 1.0 / a[(col, col)];
-        for r in col + 1..n {
-            let factor = a[(r, col)] * inv;
+        // Eliminate below the pivot with contiguous row-slice axpys: split
+        // the buffer so the pivot row (head) and the target rows (tail) can
+        // be borrowed simultaneously.
+        let (head, tail) = a.as_mut_slice().split_at_mut((col + 1) * n);
+        let pivot_row = &head[col * n + col + 1..(col + 1) * n];
+        for (off, row) in tail.chunks_exact_mut(n).enumerate() {
+            let r = col + 1 + off;
+            let factor = row[col] * inv;
             if factor == 0.0 {
                 continue;
             }
-            a[(r, col)] = 0.0;
-            for c in col + 1..n {
-                let v = a[(col, c)];
-                a[(r, c)] -= factor * v;
+            row[col] = 0.0;
+            for (o, &v) in row[col + 1..].iter_mut().zip(pivot_row) {
+                *o -= factor * v;
             }
             x[r] -= factor * x[col];
         }
@@ -100,13 +105,15 @@ pub fn cholesky_solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, SolveError> {
     if a.cols() != n || b.len() != n {
         return Err(SolveError::ShapeMismatch);
     }
-    // Factor.
+    // Factor. The inner reduction streams two row prefixes of `L`
+    // (row-major contiguous) instead of walking strided columns; the
+    // subtraction order over `k` is unchanged.
     let mut l = Matrix::zeros(n, n);
     for i in 0..n {
         for j in 0..=i {
             let mut sum = a[(i, j)];
-            for k in 0..j {
-                sum -= l[(i, k)] * l[(j, k)];
+            for (&x, &y) in l.row(i)[..j].iter().zip(&l.row(j)[..j]) {
+                sum -= x * y;
             }
             if i == j {
                 if sum <= PIVOT_TOL {

@@ -3,7 +3,7 @@
 use proptest::prelude::*;
 use st_linalg::{
     cholesky_solve, dot, gaussian_solve, l2_norm, log_sum_exp, mean, quantile, sigmoid,
-    softmax_in_place, sub, variance, Matrix,
+    softmax_in_place, sub, variance, BlockedKernel, GemmBackend, Matrix, NaiveKernel,
 };
 
 fn finite_vec(len: usize) -> impl Strategy<Value = Vec<f64>> {
@@ -199,5 +199,139 @@ proptest! {
         prop_assert!(ci.lo <= ci.hi);
         // The point estimate is the statistic on the original sample.
         prop_assert!((ci.point - st_linalg::mean(&xs)).abs() < 1e-12);
+    }
+}
+
+/// Deterministic dense buffer for the kernel-equivalence suite.
+fn kernel_data(len: usize, seed: u64) -> Vec<f64> {
+    let mut rng = st_linalg::SplitMix64::new(seed ^ 0xD15E);
+    (0..len).map(|_| rng.next_f64() * 6.0 - 3.0).collect()
+}
+
+fn assert_bits_equal(op: &str, a: &[f64], b: &[f64]) {
+    assert_eq!(a.len(), b.len(), "{op}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert!(
+            x.to_bits() == y.to_bits(),
+            "{op}: bit divergence at {i}: {x:?} vs {y:?}"
+        );
+    }
+}
+
+/// Runs every backend op on one `(m, k, n)` shape and asserts bitwise
+/// equality between the naive and blocked kernels.
+fn check_kernel_equivalence(m: usize, k: usize, n: usize, seed: u64) {
+    let a = kernel_data(m * k, seed);
+    let b = kernel_data(k * n, seed.wrapping_add(1));
+    let bt = kernel_data(n * k, seed.wrapping_add(2));
+    let c = kernel_data(m * n, seed.wrapping_add(3));
+    let v = kernel_data(k, seed.wrapping_add(4));
+    let w = kernel_data(m, seed.wrapping_add(5));
+
+    let mut x = vec![0.0; m * n];
+    let mut y = vec![0.0; m * n];
+    NaiveKernel.gemm(m, k, n, &a, &b, &mut x);
+    BlockedKernel.gemm(m, k, n, &a, &b, &mut y);
+    assert_bits_equal("gemm", &x, &y);
+
+    x.fill(0.0);
+    y.fill(0.0);
+    NaiveKernel.gemm_nt(m, k, n, &a, &bt, &mut x);
+    BlockedKernel.gemm_nt(m, k, n, &a, &bt, &mut y);
+    assert_bits_equal("gemm_nt", &x, &y);
+
+    let mut u = vec![0.0; k * n];
+    let mut z = vec![0.0; k * n];
+    NaiveKernel.gemm_tn(m, k, n, &a, &c, &mut u);
+    BlockedKernel.gemm_tn(m, k, n, &a, &c, &mut z);
+    assert_bits_equal("gemm_tn", &u, &z);
+
+    let mut mv_n = vec![0.0; m];
+    let mut mv_b = vec![0.0; m];
+    NaiveKernel.matvec(m, k, &a, &v, &mut mv_n);
+    BlockedKernel.matvec(m, k, &a, &v, &mut mv_b);
+    assert_bits_equal("matvec", &mv_n, &mv_b);
+
+    let mut mt_n = vec![0.0; k];
+    let mut mt_b = vec![0.0; k];
+    NaiveKernel.matvec_t(m, k, &a, &w, &mut mt_n);
+    BlockedKernel.matvec_t(m, k, &a, &w, &mut mt_b);
+    assert_bits_equal("matvec_t", &mt_n, &mt_b);
+
+    let mut t_n = vec![0.0; m * k];
+    let mut t_b = vec![0.0; m * k];
+    NaiveKernel.transpose(m, k, &a, &mut t_n);
+    BlockedKernel.transpose(m, k, &a, &mut t_b);
+    assert_bits_equal("transpose", &t_n, &t_b);
+}
+
+/// The fixed shape gallery the ISSUE calls out: degenerate (empty, 1×1),
+/// prime, and just-past-blocking-boundary dimensions.
+#[test]
+fn kernels_bit_identical_on_degenerate_and_prime_shapes() {
+    for &(m, k, n) in &[
+        (0, 3, 4),
+        (3, 0, 4),
+        (3, 4, 0),
+        (0, 0, 0),
+        (1, 1, 1),
+        (1, 7, 1),
+        (2, 3, 5),
+        (7, 11, 13),
+        (31, 37, 41),
+        (61, 67, 71),
+        (1, 64, 129),
+        (5, 1, 9),
+        (8, 8, 8),
+        (65, 2, 3),
+    ] {
+        check_kernel_equivalence(m, k, n, 7 + (m * 131 + k * 17 + n) as u64);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Blocked vs naive bit-identity on random rectangular shapes,
+    /// including empty dimensions (the ranges start at 0).
+    #[test]
+    fn kernels_bit_identical_on_random_shapes(
+        m in 0usize..24,
+        k in 0usize..24,
+        n in 0usize..24,
+        seed in 0u64..100_000,
+    ) {
+        check_kernel_equivalence(m, k, n, seed);
+    }
+
+    /// The Matrix layer dispatches every product through the process-wide
+    /// kernel; whatever backend is active must agree with the reference
+    /// backend bit-for-bit.
+    #[test]
+    fn matrix_ops_match_reference_kernel(
+        m in 1usize..16,
+        k in 1usize..16,
+        n in 1usize..16,
+        seed in 0u64..100_000,
+    ) {
+        let a = Matrix::from_vec(m, k, kernel_data(m * k, seed));
+        let b = Matrix::from_vec(k, n, kernel_data(k * n, seed ^ 1));
+        let product = a.matmul(&b);
+        let mut reference = vec![0.0; m * n];
+        NaiveKernel.gemm(m, k, n, a.as_slice(), b.as_slice(), &mut reference);
+        assert_bits_equal("Matrix::matmul", product.as_slice(), &reference);
+
+        let bt = Matrix::from_vec(n, k, kernel_data(n * k, seed ^ 2));
+        assert_bits_equal(
+            "Matrix::matmul_nt",
+            a.matmul_nt(&bt).as_slice(),
+            a.matmul(&bt.transpose()).as_slice(),
+        );
+        let c = Matrix::from_vec(m, n, kernel_data(m * n, seed ^ 3));
+        assert_bits_equal(
+            "Matrix::matmul_tn",
+            a.matmul_tn(&c).as_slice(),
+            a.transpose().matmul(&c).as_slice(),
+        );
     }
 }

@@ -69,11 +69,6 @@ impl ConvKernels {
             k,
         }
     }
-
-    #[inline]
-    fn w_at(&self, o: usize, i: usize, ky: usize, kx: usize) -> f64 {
-        self.w[((o * self.in_ch + i) * self.k + ky) * self.k + kx]
-    }
 }
 
 /// The convolutional classifier.
@@ -122,6 +117,10 @@ impl Default for ConvTrainConfig {
 
 /// Intermediate tensors of one forward pass (per batch).
 struct Trace {
+    /// The im2col patch matrix, `(n · ch · cw) × (in_ch · k · k)`: one row
+    /// per output position, reused by the backward pass as the GEMM
+    /// operand for kernel gradients.
+    cols: Matrix,
     /// Post-ReLU conv activations, `n × (out_ch · ch · cw)`.
     relu: Matrix,
     /// Pooled features, `n × (out_ch · ph · pw)`.
@@ -177,34 +176,76 @@ impl ConvNet {
             + self.head.b.len()
     }
 
+    /// Lowers a batch of flattened images to the im2col patch matrix: one
+    /// row per output position `(ex, y, x)` holding the receptive field in
+    /// `(in_ch, ky, kx)` order — exactly the layout of one kernel row in
+    /// [`ConvKernels::w`], so convolution becomes `cols · Wᵀ`.
+    fn im2col(&self, x: &Matrix) -> Matrix {
+        let n = x.rows();
+        let (ch, cw) = self.conv_dims();
+        let s = &self.shape;
+        let k = self.conv.k;
+        let patch = self.conv.in_ch * k * k;
+        let mut cols = Matrix::zeros(n * ch * cw, patch);
+        for ex in 0..n {
+            let img = x.row(ex);
+            for y in 0..ch {
+                for xx in 0..cw {
+                    let dst = cols.row_mut((ex * ch + y) * cw + xx);
+                    let mut w_off = 0;
+                    for i in 0..s.channels {
+                        let plane = &img[i * s.height * s.width..];
+                        for ky in 0..k {
+                            let src = &plane[(y + ky) * s.width + xx..(y + ky) * s.width + xx + k];
+                            dst[w_off..w_off + k].copy_from_slice(src);
+                            w_off += k;
+                        }
+                    }
+                }
+            }
+        }
+        cols
+    }
+
     /// Forward pass keeping the intermediates backprop needs.
+    ///
+    /// The convolution itself is one batched GEMM over the im2col matrix:
+    /// the output accumulator is seeded with the bias and then reduced in
+    /// `(in_ch, ky, kx)` order, matching the nested-loop formulation
+    /// bit-for-bit.
     fn forward_trace(&self, x: &Matrix) -> (Trace, Matrix) {
         let n = x.rows();
         let (ch, cw) = self.conv_dims();
         let (ph, pw) = self.pool_dims();
-        let s = &self.shape;
         let k = self.conv.k;
+        let patch = self.conv.in_ch * k * k;
+        let positions = n * ch * cw;
+        let cols = self.im2col(x);
+
+        // conv_out[pos][o] = b[o] + cols.row(pos) · w.row(o).
+        let mut conv_out = Matrix::zeros(positions, self.conv.out_ch);
+        conv_out.add_bias_rows(&self.conv.b);
+        st_linalg::kernel().gemm_nt(
+            positions,
+            patch,
+            self.conv.out_ch,
+            cols.as_slice(),
+            &self.conv.w,
+            conv_out.as_mut_slice(),
+        );
+
+        // Scatter position-major GEMM output into the per-example
+        // `(o, y, x)` activation layout, applying the ReLU.
         let mut relu = Matrix::zeros(n, self.conv.out_ch * ch * cw);
         let mut pooled = Matrix::zeros(n, self.conv.out_ch * ph * pw);
         let mut argmax = vec![0usize; n * self.conv.out_ch * ph * pw];
-
         for ex in 0..n {
-            let img = x.row(ex);
             let relu_row = relu.row_mut(ex);
-            for o in 0..self.conv.out_ch {
-                for y in 0..ch {
-                    for xx in 0..cw {
-                        let mut acc = self.conv.b[o];
-                        for i in 0..s.channels {
-                            let plane = &img[i * s.height * s.width..];
-                            for ky in 0..k {
-                                let row = &plane[(y + ky) * s.width + xx..];
-                                for kx in 0..k {
-                                    acc += self.conv.w_at(o, i, ky, kx) * row[kx];
-                                }
-                            }
-                        }
-                        relu_row[(o * ch + y) * cw + xx] = acc.max(0.0);
+            for y in 0..ch {
+                for xx in 0..cw {
+                    let src = conv_out.row((ex * ch + y) * cw + xx);
+                    for (o, &v) in src.iter().enumerate() {
+                        relu_row[(o * ch + y) * cw + xx] = v.max(0.0);
                     }
                 }
             }
@@ -234,6 +275,7 @@ impl ConvNet {
         let logits = self.head.forward(&pooled);
         (
             Trace {
+                cols,
                 relu,
                 pooled,
                 argmax,
@@ -285,7 +327,7 @@ impl ConvNet {
         for _epoch in 0..config.epochs {
             order.shuffle(&mut rng);
             for chunk in order.chunks(config.batch_size.max(1)) {
-                let bx = Matrix::from_fn(chunk.len(), x.cols(), |r, c| x[(chunk[r], c)]);
+                let bx = x.gather_rows(chunk);
                 let by: Vec<usize> = chunk.iter().map(|&i| y[i]).collect();
                 opt.next_step();
                 net.step(&bx, &by, config.lr, &mut opt);
@@ -300,8 +342,6 @@ impl ConvNet {
         let (trace, logits) = self.forward_trace(bx);
         let (ch, cw) = self.conv_dims();
         let (ph, pw) = self.pool_dims();
-        let s = self.shape;
-        let k = self.conv.k;
 
         // Softmax cross-entropy gradient.
         let mut dz = logits;
@@ -314,16 +354,11 @@ impl ConvNet {
             }
         }
 
-        // Dense head gradients.
-        let grad_w = trace.pooled.transpose().matmul(&dz);
-        let mut grad_b = vec![0.0; dz.cols()];
-        for r in 0..dz.rows() {
-            for (g, &v) in grad_b.iter_mut().zip(dz.row(r)) {
-                *g += v;
-            }
-        }
+        // Dense head gradients, via the transpose-free GEMM shapes.
+        let grad_w = trace.pooled.matmul_tn(&dz);
+        let grad_b = dz.col_sums();
         // Gradient wrt pooled features, before updating the head.
-        let dpooled = dz.matmul(&self.head.w.transpose());
+        let dpooled = dz.matmul_nt(&self.head.w);
 
         // Route through the max pool and the ReLU into conv-space gradients.
         let mut dconv = Matrix::zeros(m, self.conv.out_ch * ch * cw);
@@ -340,36 +375,28 @@ impl ConvNet {
             }
         }
 
-        // Kernel gradients.
-        let mut gw = vec![0.0; self.conv.w.len()];
-        let mut gb = vec![0.0; self.conv.out_ch];
+        // Kernel gradients: regroup the conv-space gradients to the
+        // position-major layout of the im2col matrix, then one batched
+        // `Dᵀ · cols` GEMM yields all kernel rows at once (`gw[o] =
+        // Σ_pos D[pos][o] · cols[pos]`), and the bias gradient is the
+        // column sum of `D` — both reduce positions in ascending order,
+        // exactly like the nested-loop formulation.
+        let positions = m * ch * cw;
+        let mut d = Matrix::zeros(positions, self.conv.out_ch);
         for ex in 0..m {
-            let img = bx.row(ex);
             let drow = dconv.row(ex);
             for o in 0..self.conv.out_ch {
                 for y in 0..ch {
                     for xx in 0..cw {
-                        let g = drow[(o * ch + y) * cw + xx];
-                        if g == 0.0 {
-                            continue;
-                        }
-                        gb[o] += g;
-                        for i in 0..s.channels {
-                            let plane = &img[i * s.height * s.width..];
-                            for ky in 0..k {
-                                let row = &plane[(y + ky) * s.width + xx..];
-                                for kx in 0..k {
-                                    gw[((o * self.conv.in_ch + i) * k + ky) * k + kx] +=
-                                        g * row[kx];
-                                }
-                            }
-                        }
+                        d[((ex * ch + y) * cw + xx, o)] = drow[(o * ch + y) * cw + xx];
                     }
                 }
             }
         }
+        let gw = d.matmul_tn(&trace.cols);
+        let gb = d.col_sums();
 
-        opt.update(0, &mut self.conv.w, &gw, lr, 0.0);
+        opt.update(0, &mut self.conv.w, gw.as_slice(), lr, 0.0);
         opt.update(1, &mut self.conv.b, &gb, lr, 0.0);
         opt.update(2, self.head.w.as_mut_slice(), grad_w.as_slice(), lr, 0.0);
         opt.update(3, &mut self.head.b, &grad_b, lr, 0.0);

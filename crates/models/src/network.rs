@@ -40,12 +40,7 @@ impl Layer {
     /// Affine forward pass for a batch: `X·W + b`.
     pub fn forward(&self, x: &Matrix) -> Matrix {
         let mut out = x.matmul(&self.w);
-        for r in 0..out.rows() {
-            let row = out.row_mut(r);
-            for (o, &b) in row.iter_mut().zip(&self.b) {
-                *o += b;
-            }
-        }
+        out.add_bias_rows(&self.b);
         out
     }
 }

@@ -203,7 +203,7 @@ impl ResidualMlp {
         for _epoch in 0..config.epochs {
             order.shuffle(&mut rng);
             for chunk in order.chunks(config.batch_size.max(1)) {
-                let bx = Matrix::from_fn(chunk.len(), input_dim, |r, c| x[(chunk[r], c)]);
+                let bx = x.gather_rows(chunk);
                 let by: Vec<usize> = chunk.iter().map(|&i| y[i]).collect();
                 opt.next_step();
                 net.step(&bx, &by, config.lr, &mut opt);
@@ -228,16 +228,10 @@ impl ResidualMlp {
             }
         }
 
-        // Gradients of (w, b) for a dense layer given input and dout.
+        // Gradients of (w, b) for a dense layer given input and dout,
+        // via the transpose-free batched GEMM shapes.
         let grads = |input: &Matrix, dout: &Matrix| -> (Matrix, Vec<f64>) {
-            let gw = input.transpose().matmul(dout);
-            let mut gb = vec![0.0; dout.cols()];
-            for r in 0..dout.rows() {
-                for (g, &v) in gb.iter_mut().zip(dout.row(r)) {
-                    *g += v;
-                }
-            }
-            (gw, gb)
+            (input.matmul_tn(dout), dout.col_sums())
         };
         // Applies the ReLU mask of `act` (post-activation) to `d` in place.
         let mask = |d: &mut Matrix, act: &Matrix| {
@@ -251,7 +245,7 @@ impl ResidualMlp {
         // Head.
         let trunk_out = traces.last().map(|t| &t.output).unwrap_or(&stem_out);
         let (head_gw, head_gb) = grads(trunk_out, &dz);
-        let mut dcur = dz.matmul(&self.head.w.transpose());
+        let mut dcur = dz.matmul_nt(&self.head.w);
 
         // Blocks, last first. Per block (post-activation residual):
         //   out = ReLU(x + W₂·h + b₂),  h = ReLU(W₁·x + b₁)
@@ -264,10 +258,10 @@ impl ResidualMlp {
             mask(&mut dcur, &trace.output);
             let dpre = dcur; // gradient at the pre-ReLU sum
             let (g2w, g2b) = grads(&trace.hidden, &dpre);
-            let mut dh = dpre.matmul(&self.blocks[bi].l2.w.transpose());
+            let mut dh = dpre.matmul_nt(&self.blocks[bi].l2.w);
             mask(&mut dh, &trace.hidden);
             let (g1w, g1b) = grads(&trace.input, &dh);
-            let mut dx = dh.matmul(&self.blocks[bi].l1.w.transpose());
+            let mut dx = dh.matmul_nt(&self.blocks[bi].l1.w);
             dx.add_assign(&dpre); // the skip path
             block_grads.push((g1w, g1b, g2w, g2b));
             dcur = dx;

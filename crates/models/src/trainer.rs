@@ -169,7 +169,7 @@ pub fn train_validated(
         let lr = config.schedule.lr_at(config.lr, epoch);
         order.shuffle(&mut rng);
         for chunk in order.chunks(config.batch_size.max(1)) {
-            let bx = Matrix::from_fn(chunk.len(), input_dim, |r, c| x[(chunk[r], c)]);
+            let bx = x.gather_rows(chunk);
             let by: Vec<usize> = chunk.iter().map(|&i| y[i]).collect();
             opt.next_step();
             descent_step(&mut net, &bx, &by, lr, config, &mut opt, &mut rng);
@@ -288,21 +288,18 @@ fn descent_step(
         }
     }
 
-    // Backward pass, output layer first.
+    // Backward pass, output layer first. Both gradient products use the
+    // transpose-free GEMM shapes (`Xᵀ·dZ`, `dZ·Wᵀ`) so the whole batch
+    // goes through the compute kernel without materializing transposes.
     for li in (0..net.layers.len()).rev() {
         let a_in = &activations[li];
         // grad_w = a_inᵀ · dz ; grad_b = column sums of dz.
-        let grad_w = a_in.transpose().matmul(&dz);
-        let mut grad_b = vec![0.0; dz.cols()];
-        for r in 0..dz.rows() {
-            for (g, &v) in grad_b.iter_mut().zip(dz.row(r)) {
-                *g += v;
-            }
-        }
+        let grad_w = a_in.matmul_tn(&dz);
+        let grad_b = dz.col_sums();
 
         // Propagate before mutating this layer's weights.
         if li > 0 {
-            let mut da = dz.matmul(&net.layers[li].w.transpose());
+            let mut da = dz.matmul_nt(&net.layers[li].w);
             // ReLU mask from the stored post-activation (dropped units have
             // zero activation, so the same test covers both), plus the
             // inverted-dropout scale factors.

@@ -59,11 +59,40 @@ pub struct VecStrategy<S> {
     size: SizeRange,
 }
 
-impl<S: Strategy> Strategy for VecStrategy<S> {
+impl<S: Strategy> Strategy for VecStrategy<S>
+where
+    S::Value: Clone,
+{
     type Value = Vec<S::Value>;
     fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
         let len = self.size.pick(rng);
         (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+
+    /// Halving-shrink: first try shorter vectors (half the surplus over
+    /// the minimum length, then one element less), then simplify one
+    /// element at a time using the element strategy's most aggressive
+    /// candidate.
+    fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let mut out = Vec::new();
+        let len = value.len();
+        if len > self.size.lo {
+            let half = self.size.lo + (len - self.size.lo) / 2;
+            if half < len {
+                out.push(value[..half].to_vec());
+            }
+            if len - 1 != half {
+                out.push(value[..len - 1].to_vec());
+            }
+        }
+        for (i, v) in value.iter().enumerate() {
+            for simpler in self.element.shrink(v) {
+                let mut candidate = value.clone();
+                candidate[i] = simpler;
+                out.push(candidate);
+            }
+        }
+        out
     }
 }
 
@@ -88,5 +117,23 @@ mod tests {
         let mut rng = TestRng::new(8);
         let v = vec(5i32..=5, 100usize).generate(&mut rng);
         assert!(v.iter().all(|&x| x == 5));
+    }
+
+    #[test]
+    fn shrink_respects_minimum_length() {
+        let s = vec(0u32..10, 2..=8);
+        let candidates = s.shrink(&std::vec::Vec::from([7, 7, 7, 7, 7, 7]));
+        assert!(candidates.iter().all(|c| c.len() >= 2));
+        // Halving the surplus over the minimum: 6 -> 4, then 6 -> 5.
+        assert!(candidates.contains(&std::vec::Vec::from([7, 7, 7, 7])));
+        assert!(candidates.contains(&std::vec::Vec::from([7, 7, 7, 7, 7])));
+        // Element-wise simplification keeps the length.
+        assert!(candidates.iter().any(|c| c.len() == 6 && c.contains(&0)));
+        // Fixed-size vectors only shrink elementwise.
+        let fixed = vec(0u32..10, 3usize);
+        assert!(fixed
+            .shrink(&std::vec::Vec::from([1, 2, 3]))
+            .iter()
+            .all(|c| c.len() == 3));
     }
 }

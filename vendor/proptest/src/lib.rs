@@ -20,9 +20,13 @@
 //! construction. Set `PROPTEST_SEED=<u64>` to explore a different stream;
 //! a failure report prints the seed that replays it.
 //!
-//! **No shrinking.** Failing inputs are reported as generated. The suites
-//! in this workspace use small, bounded inputs where shrinking matters
-//! little.
+//! **Halving shrink.** A failing case is minimized before it is reported:
+//! the runner asks each strategy for simpler candidates (range start,
+//! halfway point, one step down; shorter vectors and simpler elements;
+//! one tuple component at a time) and keeps the candidates that still
+//! fail, so the final panic comes from a locally-minimal input. Mapped
+//! strategies (`prop_map` / `prop_flat_map`) cannot invert their closures
+//! and are reported as generated.
 
 pub mod collection;
 pub mod strategy;
@@ -40,6 +44,12 @@ pub mod prelude {
 
 /// Defines property tests: each `fn name(arg in strategy, ...) { body }`
 /// becomes a `#[test]` that runs `body` for `config.cases` generated inputs.
+///
+/// Strategy expressions are evaluated together (as one tuple strategy)
+/// before any argument binds, so one argument's strategy cannot reference
+/// an earlier argument (`b in 0..a` does not compile). Use
+/// `prop_flat_map` for dependent generation, as upstream proptest
+/// recommends.
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
@@ -59,30 +69,21 @@ macro_rules! __proptest_body {
             $(#[$meta])*
             fn $name() {
                 let __config: $crate::test_runner::ProptestConfig = $cfg;
-                for __case in 0..__config.cases {
-                    let __case_seed = $crate::test_runner::derive_case_seed(
-                        __config.seed,
-                        stringify!($name),
-                        __case,
-                    );
-                    let mut __rng = $crate::test_runner::TestRng::new(__case_seed);
-                    $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)*
-                    let __outcome = ::std::panic::catch_unwind(
-                        ::std::panic::AssertUnwindSafe(|| -> () { $body })
-                    );
-                    if let ::std::result::Result::Err(payload) = __outcome {
-                        eprintln!(
-                            "proptest {}: case {}/{} failed (master seed {}; \
-                             rerun with PROPTEST_SEED={} to replay)",
-                            stringify!($name),
-                            __case + 1,
-                            __config.cases,
-                            __config.seed,
-                            __config.seed,
-                        );
-                        ::std::panic::resume_unwind(payload);
-                    }
-                }
+                // The tuple of strategies is itself a strategy: generation
+                // draws components in declaration order (the same stream
+                // the per-variable formulation used), and shrinking
+                // simplifies one component at a time.
+                let __strategy = ($(($strat),)*);
+                $crate::test_runner::run_proptest(
+                    &__config,
+                    stringify!($name),
+                    &__strategy,
+                    |__vals| {
+                        #[allow(unused_variables, unused_mut)]
+                        let ($($pat,)*) = ::std::clone::Clone::clone(__vals);
+                        $body
+                    },
+                );
             }
         )*
     };

@@ -5,14 +5,26 @@ use std::ops::{Range, RangeInclusive};
 
 /// A recipe for generating values of some type.
 ///
-/// Unlike upstream proptest there is no value tree and no shrinking: a
-/// strategy is just a deterministic function of the RNG state.
+/// Unlike upstream proptest there is no value tree: a strategy is a
+/// deterministic function of the RNG state, plus an optional *halving
+/// shrinker* — given a failing value, [`shrink`](Strategy::shrink)
+/// proposes simpler candidates (range start, halfway point, one step
+/// down), and the runner keeps the candidates that still fail until no
+/// candidate does. Mapped strategies cannot invert their closures and
+/// fall back to the default (no shrinking).
 pub trait Strategy {
     /// The type of the generated values.
     type Value;
 
     /// Generates one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Proposes simpler candidates for a failing value, most aggressive
+    /// first. An empty vector means the value is already minimal (or the
+    /// strategy cannot shrink).
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
 
     /// Maps generated values through `f`.
     fn prop_map<O, F>(self, f: F) -> Map<Self, F>
@@ -39,6 +51,9 @@ impl<S: Strategy + ?Sized> Strategy for &S {
     type Value = S::Value;
     fn generate(&self, rng: &mut TestRng) -> Self::Value {
         (**self).generate(rng)
+    }
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        (**self).shrink(value)
     }
 }
 
@@ -79,6 +94,29 @@ impl<T: Clone> Strategy for Just<T> {
     }
 }
 
+/// Halving-shrink candidates for an integer above a lower bound: the
+/// bound itself, then a geometric ladder approaching the value
+/// (`v − d/2, v − d/4, …, v − 1`). The runner adopts the first failing
+/// candidate per round, so wherever the failure boundary lies — even
+/// just below `v` — some rung lands past it within `log₂(d)` probes and
+/// the next round restarts from a smaller value: convergence is
+/// O(log²), never a `−1` linear crawl.
+fn shrink_int(lo: i128, v: i128) -> Vec<i128> {
+    if v == lo {
+        return Vec::new();
+    }
+    let mut out = vec![lo];
+    let mut step = (v - lo) / 2;
+    while step > 0 {
+        let candidate = v - step;
+        if candidate != lo && out.last() != Some(&candidate) {
+            out.push(candidate);
+        }
+        step /= 2;
+    }
+    out
+}
+
 macro_rules! int_range_strategy {
     ($($t:ty),*) => {$(
         impl Strategy for Range<$t> {
@@ -88,6 +126,12 @@ macro_rules! int_range_strategy {
                 let span = (self.end as i128 - self.start as i128) as u128;
                 let draw = (rng.next_u64() as u128) % span;
                 (self.start as i128 + draw as i128) as $t
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_int(self.start as i128, *value as i128)
+                    .into_iter()
+                    .map(|v| v as $t)
+                    .collect()
             }
         }
         impl Strategy for RangeInclusive<$t> {
@@ -99,17 +143,47 @@ macro_rules! int_range_strategy {
                 let draw = (rng.next_u64() as u128) % span;
                 (lo as i128 + draw as i128) as $t
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_int(*self.start() as i128, *value as i128)
+                    .into_iter()
+                    .map(|v| v as $t)
+                    .collect()
+            }
         }
     )*};
 }
 
 int_range_strategy!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
 
+/// Halving-shrink candidates for a float above a lower bound: the bound,
+/// then a geometric ladder approaching the value (see [`shrink_int`];
+/// the ladder is capped at 20 rungs, which brings the gap below one
+/// millionth of the original distance).
+fn shrink_f64(lo: f64, v: f64) -> Vec<f64> {
+    // NaN (incomparable) is treated as unshrinkable, like v <= lo.
+    if v.partial_cmp(&lo) != Some(std::cmp::Ordering::Greater) {
+        return Vec::new();
+    }
+    let mut out = vec![lo];
+    let mut step = (v - lo) / 2.0;
+    for _ in 0..20 {
+        let candidate = v - step;
+        if candidate > lo && candidate < v && out.last() != Some(&candidate) {
+            out.push(candidate);
+        }
+        step /= 2.0;
+    }
+    out
+}
+
 impl Strategy for Range<f64> {
     type Value = f64;
     fn generate(&self, rng: &mut TestRng) -> f64 {
         assert!(self.start < self.end, "empty strategy range");
         self.start + rng.unit_f64() * (self.end - self.start)
+    }
+    fn shrink(&self, value: &f64) -> Vec<f64> {
+        shrink_f64(self.start, *value)
     }
 }
 
@@ -120,27 +194,239 @@ impl Strategy for RangeInclusive<f64> {
         assert!(lo <= hi, "empty strategy range");
         lo + rng.unit_f64() * (hi - lo)
     }
+    fn shrink(&self, value: &f64) -> Vec<f64> {
+        shrink_f64(*self.start(), *value)
+    }
 }
 
-macro_rules! tuple_strategy {
-    ($($name:ident),+) => {
-        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
-            type Value = ($($name::Value,)+);
-            #[allow(non_snake_case)]
-            fn generate(&self, rng: &mut TestRng) -> Self::Value {
-                let ($($name,)+) = self;
-                ($($name.generate(rng),)+)
-            }
+// Every tuple arity (1–6, matching what `proptest!` accepts) shrinks
+// componentwise: one component simplified per candidate, the rest
+// cloned. The `proptest!` runner clones generated values anyway, so the
+// `Clone` bounds cost nothing in practice. Explicit impls: a macro
+// cannot splice "candidate at position i, clones elsewhere" without
+// ill-typed branches.
+impl<A: Strategy> Strategy for (A,)
+where
+    A::Value: Clone,
+{
+    type Value = (A::Value,);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng),)
+    }
+    fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
+        self.0.shrink(&v.0).into_iter().map(|a| (a,)).collect()
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B)
+where
+    A::Value: Clone,
+    B::Value: Clone,
+{
+    type Value = (A::Value, B::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+    fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
+        let mut out = Vec::new();
+        for a in self.0.shrink(&v.0) {
+            out.push((a, v.1.clone()));
         }
-    };
+        for b in self.1.shrink(&v.1) {
+            out.push((v.0.clone(), b));
+        }
+        out
+    }
 }
 
-tuple_strategy!(A);
-tuple_strategy!(A, B);
-tuple_strategy!(A, B, C);
-tuple_strategy!(A, B, C, D);
-tuple_strategy!(A, B, C, D, E);
-tuple_strategy!(A, B, C, D, E, G);
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C)
+where
+    A::Value: Clone,
+    B::Value: Clone,
+    C::Value: Clone,
+{
+    type Value = (A::Value, B::Value, C::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+        )
+    }
+    fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
+        let mut out = Vec::new();
+        for a in self.0.shrink(&v.0) {
+            out.push((a, v.1.clone(), v.2.clone()));
+        }
+        for b in self.1.shrink(&v.1) {
+            out.push((v.0.clone(), b, v.2.clone()));
+        }
+        for c in self.2.shrink(&v.2) {
+            out.push((v.0.clone(), v.1.clone(), c));
+        }
+        out
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D)
+where
+    A::Value: Clone,
+    B::Value: Clone,
+    C::Value: Clone,
+    D::Value: Clone,
+{
+    type Value = (A::Value, B::Value, C::Value, D::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+            self.3.generate(rng),
+        )
+    }
+    fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
+        let mut out = Vec::new();
+        for a in self.0.shrink(&v.0) {
+            out.push((a, v.1.clone(), v.2.clone(), v.3.clone()));
+        }
+        for b in self.1.shrink(&v.1) {
+            out.push((v.0.clone(), b, v.2.clone(), v.3.clone()));
+        }
+        for c in self.2.shrink(&v.2) {
+            out.push((v.0.clone(), v.1.clone(), c, v.3.clone()));
+        }
+        for d in self.3.shrink(&v.3) {
+            out.push((v.0.clone(), v.1.clone(), v.2.clone(), d));
+        }
+        out
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy, E: Strategy> Strategy for (A, B, C, D, E)
+where
+    A::Value: Clone,
+    B::Value: Clone,
+    C::Value: Clone,
+    D::Value: Clone,
+    E::Value: Clone,
+{
+    type Value = (A::Value, B::Value, C::Value, D::Value, E::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+            self.3.generate(rng),
+            self.4.generate(rng),
+        )
+    }
+    fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
+        let mut out = Vec::new();
+        for a in self.0.shrink(&v.0) {
+            out.push((a, v.1.clone(), v.2.clone(), v.3.clone(), v.4.clone()));
+        }
+        for b in self.1.shrink(&v.1) {
+            out.push((v.0.clone(), b, v.2.clone(), v.3.clone(), v.4.clone()));
+        }
+        for c in self.2.shrink(&v.2) {
+            out.push((v.0.clone(), v.1.clone(), c, v.3.clone(), v.4.clone()));
+        }
+        for d in self.3.shrink(&v.3) {
+            out.push((v.0.clone(), v.1.clone(), v.2.clone(), d, v.4.clone()));
+        }
+        for e in self.4.shrink(&v.4) {
+            out.push((v.0.clone(), v.1.clone(), v.2.clone(), v.3.clone(), e));
+        }
+        out
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy, E: Strategy, G: Strategy> Strategy
+    for (A, B, C, D, E, G)
+where
+    A::Value: Clone,
+    B::Value: Clone,
+    C::Value: Clone,
+    D::Value: Clone,
+    E::Value: Clone,
+    G::Value: Clone,
+{
+    type Value = (A::Value, B::Value, C::Value, D::Value, E::Value, G::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+            self.3.generate(rng),
+            self.4.generate(rng),
+            self.5.generate(rng),
+        )
+    }
+    fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
+        let mut out = Vec::new();
+        for a in self.0.shrink(&v.0) {
+            out.push((
+                a,
+                v.1.clone(),
+                v.2.clone(),
+                v.3.clone(),
+                v.4.clone(),
+                v.5.clone(),
+            ));
+        }
+        for b in self.1.shrink(&v.1) {
+            out.push((
+                v.0.clone(),
+                b,
+                v.2.clone(),
+                v.3.clone(),
+                v.4.clone(),
+                v.5.clone(),
+            ));
+        }
+        for c in self.2.shrink(&v.2) {
+            out.push((
+                v.0.clone(),
+                v.1.clone(),
+                c,
+                v.3.clone(),
+                v.4.clone(),
+                v.5.clone(),
+            ));
+        }
+        for d in self.3.shrink(&v.3) {
+            out.push((
+                v.0.clone(),
+                v.1.clone(),
+                v.2.clone(),
+                d,
+                v.4.clone(),
+                v.5.clone(),
+            ));
+        }
+        for e in self.4.shrink(&v.4) {
+            out.push((
+                v.0.clone(),
+                v.1.clone(),
+                v.2.clone(),
+                v.3.clone(),
+                e,
+                v.5.clone(),
+            ));
+        }
+        for g in self.5.shrink(&v.5) {
+            out.push((
+                v.0.clone(),
+                v.1.clone(),
+                v.2.clone(),
+                v.3.clone(),
+                v.4.clone(),
+                g,
+            ));
+        }
+        out
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -185,5 +471,71 @@ mod tests {
         assert!(a < 5);
         assert!((0.0..1.0).contains(&b));
         assert_eq!(c, 1);
+    }
+
+    #[test]
+    fn int_shrink_ladders_toward_the_value() {
+        let s = 10u64..1000;
+        assert_eq!(s.shrink(&10), Vec::<u64>::new(), "start is minimal");
+        let c = s.shrink(&100);
+        // Bound first, then the geometric ladder up to v − 1.
+        assert_eq!(c, vec![10, 55, 78, 89, 95, 98, 99]);
+        let signed = -5i64..=5;
+        assert_eq!(signed.shrink(&-5), Vec::<i64>::new());
+        assert_eq!(signed.shrink(&5), vec![-5, 0, 3, 4]);
+    }
+
+    #[test]
+    fn int_shrink_reaches_boundaries_above_the_midpoint() {
+        // A failure boundary just below the value must be reachable in one
+        // round (the v − 1 rung), and one far above the midpoint within a
+        // handful of rungs — no linear crawl.
+        let s = 0u64..1000;
+        let c = s.shrink(&950);
+        assert_eq!(*c.last().unwrap(), 949);
+        assert!(c.iter().any(|&x| (700..950).contains(&x)));
+        assert!(c.len() <= 11, "ladder is logarithmic, got {}", c.len());
+    }
+
+    #[test]
+    fn float_shrink_ladders_toward_the_value() {
+        let s = 1.0f64..8.0;
+        assert!(s.shrink(&1.0).is_empty());
+        let c = s.shrink(&5.0);
+        assert_eq!(c[0], 1.0);
+        assert_eq!(c[1], 3.0);
+        assert_eq!(c[2], 4.0);
+        assert!(c.len() <= 21);
+        assert!(c.windows(2).all(|w| w[0] < w[1]), "strictly ascending");
+    }
+
+    #[test]
+    fn tuple_shrink_moves_one_component_at_a_time() {
+        let s = (0u64..10, 0u64..10);
+        let c = s.shrink(&(4, 6));
+        assert!(c.contains(&(0, 6)), "first component to its minimum");
+        assert!(c.contains(&(4, 0)), "second component to its minimum");
+        assert!(c.iter().all(|&(a, b)| a == 4 || b == 6), "one at a time");
+    }
+
+    #[test]
+    fn four_tuple_shrink_moves_one_component_at_a_time() {
+        let s = (0u64..10, 0u64..10, 0u64..10, 0u64..10);
+        let c = s.shrink(&(4, 6, 2, 9));
+        assert!(c.contains(&(0, 6, 2, 9)));
+        assert!(c.contains(&(4, 6, 2, 0)));
+        assert!(c
+            .iter()
+            .all(|&(a, b, x, y)| [a != 4, b != 6, x != 2, y != 9]
+                .iter()
+                .filter(|&&moved| moved)
+                .count()
+                == 1));
+    }
+
+    #[test]
+    fn mapped_strategies_do_not_shrink() {
+        let s = (1usize..100).prop_map(|x| x * 2);
+        assert!(s.shrink(&42).is_empty());
     }
 }

@@ -1,4 +1,151 @@
-//! Run configuration and the deterministic test RNG.
+//! Run configuration, the deterministic test RNG, and the shrink driver.
+
+use crate::strategy::Strategy;
+use std::any::Any;
+use std::cell::Cell;
+use std::sync::Once;
+
+/// Upper bound on candidate evaluations during one shrink search, so a
+/// pathological strategy cannot loop a failing test forever.
+const MAX_SHRINK_ATTEMPTS: usize = 512;
+
+/// The panic message carried by a payload, for reporting the minimized
+/// case (panics carry `&str` or `String` unless `panic_any` was used).
+fn payload_message(payload: &(dyn Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "<non-string panic payload>"
+    }
+}
+
+/// Drives one `proptest!` property: generates `config.cases` inputs from
+/// `strategy`, runs `runner` on each, and on the first failure minimizes
+/// the input with [`shrink_failure`] before re-raising the panic.
+///
+/// Exists as a generic function (rather than macro-expanded inline) so
+/// the runner closure's argument type is fixed by the signature — the
+/// macro can then pass `|vals| { ... }` without annotating the tuple
+/// type it cannot name.
+pub fn run_proptest<S: Strategy, F: Fn(&S::Value)>(
+    config: &ProptestConfig,
+    name: &str,
+    strategy: &S,
+    runner: F,
+) {
+    for case in 0..config.cases {
+        let case_seed = derive_case_seed(config.seed, name, case);
+        let mut rng = TestRng::new(case_seed);
+        let vals = strategy.generate(&mut rng);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| runner(&vals)));
+        if let Err(payload) = outcome {
+            let (payload, steps) = shrink_failure(strategy, vals, payload, &runner);
+            // `resume_unwind` does not re-run the panic hook, so the
+            // minimized case's message is reported here (the hook already
+            // printed the *original* case's message above).
+            eprintln!(
+                "proptest {name}: case {}/{} failed; minimized by {steps} halving-shrink \
+                 step(s) to: {} (master seed {}; rerun with PROPTEST_SEED={} to replay)",
+                case + 1,
+                config.cases,
+                payload_message(payload.as_ref()),
+                config.seed,
+                config.seed,
+            );
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+thread_local! {
+    /// Shrink searches in flight *on this thread* (panic output is
+    /// silenced while non-zero). Panic hooks run on the panicking
+    /// thread, and the shrink loop re-runs the test body on its own
+    /// thread, so a thread-local flag scopes the silencing exactly:
+    /// a genuine panic in a concurrently-running test on another thread
+    /// still prints its message and location.
+    static SUPPRESSED: Cell<usize> = const { Cell::new(0) };
+}
+
+static INSTALL_WRAPPER: Once = Once::new();
+
+/// Installs (once per process) a delegating panic hook that stays silent
+/// on threads with a shrink search in flight. Take-and-restore around
+/// the search would race between concurrently failing tests and could
+/// leave a silent hook installed forever; the install-once wrapper with
+/// thread-local gating is immune to both.
+fn install_quiet_wrapper() {
+    INSTALL_WRAPPER.call_once(|| {
+        let original = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if SUPPRESSED.with(|c| c.get()) == 0 {
+                original(info);
+            }
+        }));
+    });
+}
+
+/// Decrements the suppression counter even if the search itself unwinds.
+struct SuppressGuard;
+
+impl SuppressGuard {
+    fn new() -> Self {
+        install_quiet_wrapper();
+        SUPPRESSED.with(|c| c.set(c.get() + 1));
+        SuppressGuard
+    }
+}
+
+impl Drop for SuppressGuard {
+    fn drop(&mut self) {
+        SUPPRESSED.with(|c| c.set(c.get() - 1));
+    }
+}
+
+/// Minimizes a failing input by halving-shrink: repeatedly asks the
+/// strategy for simpler candidates and adopts the first one that still
+/// makes `runner` panic, until no candidate fails (a local minimum) or
+/// the attempt budget runs out. Returns the panic payload of the
+/// minimized case and the number of successful shrink steps.
+///
+/// Panic-hook output is suppressed for the duration of the search —
+/// every failing candidate panics by design, and dozens of
+/// "thread panicked at …" lines would bury the minimized report.
+///
+/// Used by the [`proptest!`](crate::proptest) macro; exposed for tests.
+pub fn shrink_failure<S: Strategy, F: Fn(&S::Value)>(
+    strategy: &S,
+    mut current: S::Value,
+    mut payload: Box<dyn Any + Send>,
+    runner: &F,
+) -> (Box<dyn Any + Send>, usize) {
+    let _quiet = SuppressGuard::new();
+    let mut steps = 0;
+    let mut attempts = 0;
+    loop {
+        let mut progressed = false;
+        for candidate in strategy.shrink(&current) {
+            if attempts >= MAX_SHRINK_ATTEMPTS {
+                break;
+            }
+            attempts += 1;
+            let outcome =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| runner(&candidate)));
+            if let Err(p) = outcome {
+                current = candidate;
+                payload = p;
+                steps += 1;
+                progressed = true;
+                break;
+            }
+        }
+        if !progressed || attempts >= MAX_SHRINK_ATTEMPTS {
+            return (payload, steps);
+        }
+    }
+}
 
 /// Configuration for one `proptest!` block.
 #[derive(Debug, Clone, PartialEq, Eq)]
