@@ -25,15 +25,36 @@ fn main() -> ExitCode {
         }
     };
     // `--kernel` must be fixed before the first dense operation; it is a
-    // global flag valid on every compute command.
+    // global flag valid on every compute command, as is the opt-in for
+    // non-deterministic backends.
+    let allow_nondeterministic = match parsed.get_or("allow-nondeterministic-kernel", false) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     if let Some(name) = parsed.get("kernel") {
-        match select_kernel(name) {
+        match select_kernel(name, allow_nondeterministic) {
             Ok(()) => {}
             Err(e) => {
                 eprintln!("error: {e}");
                 return ExitCode::FAILURE;
             }
         }
+    }
+    // The opt-in must also cover kernels selected via ST_KERNEL in the
+    // environment, not just the flag — every command computes under the
+    // process kernel, so the refusal happens here, once, for all of them.
+    let active = st_linalg::kernel_kind();
+    if !active.bit_deterministic() && !allow_nondeterministic {
+        eprintln!(
+            "error: kernel '{}' (ST_KERNEL) is not bit-deterministic; pass \
+             --allow-nondeterministic-kernel true to waive reproducibility, or pick one of: {}",
+            active.name(),
+            st_linalg::kernel_names()
+        );
+        return ExitCode::FAILURE;
     }
     let result = match parsed.command.as_deref() {
         Some("tune") => cmd_tune(&parsed),
@@ -68,14 +89,33 @@ fn usage() {
          \x20                           [--format markdown|csv]\n\
          \x20 slice-tuner-cli families\n\
          families: fashion | mixed | faces | census\n\
-         global: --kernel naive|blocked (compute backend; default blocked, also ST_KERNEL)"
+         global: --kernel naive|blocked|simd|sharded|fast (compute backend; default blocked,\n\
+         \x20        also ST_KERNEL; 'fast' additionally needs --allow-nondeterministic-kernel\n\
+         \x20        true because it waives bit-reproducibility)"
     );
 }
 
-/// Applies `--kernel <naive|blocked>` via `st_linalg::set_kernel`.
-fn select_kernel(name: &str) -> Result<(), String> {
-    let kind = st_linalg::KernelKind::from_name(name)
-        .ok_or_else(|| format!("unknown kernel '{name}' (naive | blocked)"))?;
+/// Applies the global `--kernel` flag via `st_linalg::set_kernel`.
+///
+/// Unknown names list every valid backend; the non-deterministic `fast`
+/// backend additionally requires `--allow-nondeterministic-kernel true`,
+/// because it waives the bit-identity contract the trial runner (and every
+/// determinism regression gate) relies on.
+fn select_kernel(name: &str, allow_nondeterministic: bool) -> Result<(), String> {
+    let kind = st_linalg::KernelKind::from_name(name).ok_or_else(|| {
+        format!(
+            "unknown kernel '{name}' (valid kernels: {})",
+            st_linalg::kernel_names()
+        )
+    })?;
+    if !kind.bit_deterministic() && !allow_nondeterministic {
+        return Err(format!(
+            "kernel '{name}' is not bit-deterministic; pass \
+             --allow-nondeterministic-kernel true to waive reproducibility, \
+             or pick one of: {}",
+            st_linalg::kernel_names()
+        ));
+    }
     st_linalg::set_kernel(kind).map_err(|active| {
         format!(
             "compute kernel already fixed to '{}' (ST_KERNEL in the environment?)",
@@ -129,6 +169,7 @@ fn cmd_tune(args: &Args) -> Result<(), String> {
         "validation",
         "epochs",
         "kernel",
+        "allow-nondeterministic-kernel",
     ];
     reject_unknown(args, &known)?;
     let family = family_by_name(args.get("family").unwrap_or("census"))?;
@@ -153,6 +194,7 @@ fn cmd_tune(args: &Args) -> Result<(), String> {
     let mut config = TunerConfig::new(spec_for(&family))
         .with_seed(seed)
         .with_lambda(lambda);
+    config.allow_nondeterministic_kernel = args.get_or("allow-nondeterministic-kernel", false)?;
     config.train.epochs = args.get_or("epochs", config.train.epochs)?;
     let mut tuner = SliceTuner::new(ds, &mut pool, config);
     let result = tuner.run(strategy, budget);
@@ -189,7 +231,15 @@ fn cmd_tune(args: &Args) -> Result<(), String> {
 fn cmd_curves(args: &Args) -> Result<(), String> {
     reject_unknown(
         args,
-        &["family", "size", "seed", "validation", "bands", "kernel"],
+        &[
+            "family",
+            "size",
+            "seed",
+            "validation",
+            "bands",
+            "kernel",
+            "allow-nondeterministic-kernel",
+        ],
     )?;
     let family = family_by_name(args.get("family").unwrap_or("census"))?;
     let size: usize = args.get_or("size", 300)?;
@@ -254,6 +304,7 @@ fn cmd_autoslice(args: &Args) -> Result<(), String> {
             "min-size",
             "seed",
             "kernel",
+            "allow-nondeterministic-kernel",
         ],
     )?;
     let family = family_by_name(args.get("family").unwrap_or("census"))?;
@@ -301,6 +352,7 @@ fn cmd_sensitivity(args: &Args) -> Result<(), String> {
             "seed",
             "validation",
             "kernel",
+            "allow-nondeterministic-kernel",
         ],
     )?;
     let family = family_by_name(args.get("family").unwrap_or("census"))?;
@@ -371,6 +423,7 @@ fn cmd_experiment(args: &Args) -> Result<(), String> {
         "cache",
         "config",
         "kernel",
+        "allow-nondeterministic-kernel",
     ];
     reject_unknown(args, &known)?;
 
@@ -409,6 +462,7 @@ fn cmd_experiment(args: &Args) -> Result<(), String> {
     let mut config = TunerConfig::new(spec_for(&family))
         .with_seed(seed)
         .with_lambda(lambda);
+    config.allow_nondeterministic_kernel = args.get_or("allow-nondeterministic-kernel", false)?;
     let default_epochs = if base.epochs > 0 {
         base.epochs
     } else {

@@ -74,5 +74,7 @@ pub use strategy::{
     proportional_allocation, uniform_allocation, water_filling_allocation, BanditParams, Strategy,
     TSchedule,
 };
-pub use trials::run_trials_parallel;
+pub use trials::{
+    ensure_deterministic_kernel, plan_thread_budget, run_trials_parallel, ThreadBudget,
+};
 pub use tuner::{RunResult, SliceTuner, TunerConfig};

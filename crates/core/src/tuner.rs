@@ -43,6 +43,13 @@ pub struct TunerConfig {
     /// hit is bit-identical to recomputation; share one cache across every
     /// strategy/trial of an experiment (see [`crate::cache`]).
     pub cache: Option<std::sync::Arc<CurveCache>>,
+    /// Waives the bit-determinism contract for the compute kernel: the
+    /// trial runner refuses to run under a non-deterministic backend
+    /// (`ST_KERNEL=fast`) unless this is set (the CLI's
+    /// `--allow-nondeterministic-kernel`). Off by default — `fast` trades
+    /// reproducible bits for speed, and every determinism regression gate
+    /// in the workspace assumes bit-identical kernels.
+    pub allow_nondeterministic_kernel: bool,
 }
 
 impl TunerConfig {
@@ -61,6 +68,7 @@ impl TunerConfig {
             seed: 0,
             threads: 0,
             cache: None,
+            allow_nondeterministic_kernel: false,
         }
     }
 
@@ -94,6 +102,12 @@ impl TunerConfig {
         self.cache = Some(cache);
         self
     }
+
+    /// Opts this run into non-deterministic compute kernels (`fast`).
+    pub fn allowing_nondeterministic_kernel(mut self) -> Self {
+        self.allow_nondeterministic_kernel = true;
+        self
+    }
 }
 
 /// Outcome of one strategy run.
@@ -123,7 +137,20 @@ pub struct SliceTuner<'a, S: AcquisitionSource> {
 
 impl<'a, S: AcquisitionSource> SliceTuner<'a, S> {
     /// Binds the engine to a dataset snapshot and an acquisition source.
-    pub fn new(ds: SlicedDataset, source: &'a mut S, config: TunerConfig) -> Self {
+    ///
+    /// Every tuner path — the CLI's direct commands, the sequential trial
+    /// runner, and each worker of the parallel executor — funnels through
+    /// here, so this is where the estimator fan-out is reconciled with the
+    /// compute kernel: under the `sharded` kernel each dense product
+    /// already fans out to `kernel_threads()` workers, and running the
+    /// estimator batches multi-threaded on top would oversubscribe
+    /// (`threads × kernel_threads` runnable threads). The kernel layer
+    /// keeps the whole budget in that case; estimator threading is
+    /// bit-invariant, so results are unchanged.
+    pub fn new(ds: SlicedDataset, source: &'a mut S, mut config: TunerConfig) -> Self {
+        if st_linalg::kernel_kind() == st_linalg::KernelKind::Sharded {
+            config.threads = 1;
+        }
         SliceTuner {
             ds,
             source,

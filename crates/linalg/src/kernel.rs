@@ -23,6 +23,7 @@
 //! A future SIMD or sharded backend plugs in by implementing
 //! [`GemmBackend`] and extending [`KernelKind`]; see `docs/kernels.md`.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
 /// Panel width of the packed GEMM micro-kernel: output columns are packed
@@ -42,6 +43,21 @@ const KC: usize = 64;
 const NC: usize = 512;
 /// Tile side of the blocked transpose swap.
 const TB: usize = 32;
+/// Panel width of the SIMD kernels: eight output columns per packed group
+/// (one 512-bit vector, or two 256-bit vectors).
+const SPW: usize = 8;
+/// Panel-block byte budget of the SIMD kernels. Larger than
+/// [`PANEL_BLOCK_BYTES`]: the explicit micro-kernels stream `A` once per
+/// block, so on the bigger L2 of AVX-512-era cores a wider resident set
+/// trades a little cache pressure for fewer passes over `A`.
+const SIMD_PANEL_BLOCK_BYTES: usize = 512 * 1024;
+/// Sample-row tile of the `gemm_tn` block loops (shared by the blocked and
+/// SIMD backends).
+const IB: usize = 128;
+/// Scalar multiply count below which [`ShardedKernel`] runs on the calling
+/// thread: spawning workers costs tens of microseconds, which only pays
+/// off once the product itself is at least that expensive.
+const SHARD_MIN_WORK: usize = 1 << 20;
 
 /// The dense compute primitives every backend must provide.
 ///
@@ -522,7 +538,6 @@ impl GemmBackend for BlockedKernel {
         // let the packed core *accumulate* the block's k×n contribution.
         // Blocks ascend in `i` and the core reduces each block in
         // ascending `i`, so bits match the naive rank-1 formulation.
-        const IB: usize = 128;
         let mut at_block = vec![0.0; k * IB.min(m)];
         for ib in (0..m).step_by(IB) {
             let h = IB.min(m - ib);
@@ -609,6 +624,1086 @@ impl GemmBackend for BlockedKernel {
     }
 }
 
+/// Vector-width cap for the [`SimdKernel`] dispatch (`ST_SIMD_FORCE`):
+/// `avx2` → 256, `scalar` → 0, anything else / unset → unlimited. Read
+/// once; used by CI to exercise every instantiation on one host.
+#[cfg(target_arch = "x86_64")]
+fn simd_width_cap() -> u32 {
+    static CAP: OnceLock<u32> = OnceLock::new();
+    *CAP.get_or_init(|| match std::env::var("ST_SIMD_FORCE").as_deref() {
+        Ok("avx2") => 256,
+        Ok("scalar") => 0,
+        Ok(other) => {
+            // A silent typo here would let CI green-light a path it never
+            // ran; warn like unknown ST_KERNEL values do.
+            eprintln!("warning: unknown ST_SIMD_FORCE '{other}', using full width (avx2 | scalar)");
+            u32::MAX
+        }
+        Err(_) => u32::MAX,
+    })
+}
+
+/// The explicit-SIMD backend: AVX2 intrinsics with an AVX-512 path where
+/// the CPU offers one, selected at runtime.
+///
+/// The vector lanes map to **distinct output columns** — eight at a time,
+/// packed like [`BlockedKernel`]'s panels but [`SPW`]-wide — and every
+/// output element keeps its own ascending-`k` multiply/add chain (no FMA
+/// contraction, no horizontal reductions). The scalar fallback mirrors the
+/// lane arithmetic exactly, so `simd` is bit-identical to [`NaiveKernel`]
+/// on every target; only throughput differs between the AVX2, AVX-512, and
+/// scalar instantiations.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SimdKernel;
+
+impl SimdKernel {
+    /// Packs `B` (`k×n` row-major) into [`SPW`]-wide interleaved column
+    /// panels: `panel[step·SPW + lane] = b[step][SPW·q + lane]`, the same
+    /// layout as [`BlockedKernel::pack_panels`] at double the width so one
+    /// reduction step feeds a full 512-bit vector (or two 256-bit ones).
+    fn pack_panels8(k: usize, n: usize, b: &[f64]) -> Vec<f64> {
+        let panels = n.div_ceil(SPW);
+        let mut packed = vec![0.0; panels * k * SPW];
+        for q in 0..panels {
+            let j0 = q * SPW;
+            let w = SPW.min(n - j0);
+            let dst = &mut packed[q * k * SPW..(q + 1) * k * SPW];
+            if w == SPW {
+                // Const-length group copies compile to straight vector
+                // moves instead of per-step memcpy calls.
+                for step in 0..k {
+                    let src: &[f64; SPW] = b[step * n + j0..step * n + j0 + SPW]
+                        .try_into()
+                        .expect("group");
+                    dst[step * SPW..(step + 1) * SPW].copy_from_slice(src);
+                }
+            } else {
+                for step in 0..k {
+                    let src = &b[step * n + j0..step * n + j0 + w];
+                    dst[step * SPW..step * SPW + w].copy_from_slice(src);
+                }
+            }
+        }
+        packed
+    }
+
+    /// Packs `Bᵀ` given `bt` (`n×k` row-major); layout of
+    /// [`Self::pack_panels8`].
+    fn pack_panels8_t(k: usize, n: usize, bt: &[f64]) -> Vec<f64> {
+        let panels = n.div_ceil(SPW);
+        let mut packed = vec![0.0; panels * k * SPW];
+        for q in 0..panels {
+            let j0 = q * SPW;
+            let w = SPW.min(n - j0);
+            let dst = &mut packed[q * k * SPW..(q + 1) * k * SPW];
+            for lane in 0..w {
+                let src = &bt[(j0 + lane) * k..(j0 + lane + 1) * k];
+                for (step, &x) in src.iter().enumerate() {
+                    dst[step * SPW + lane] = x;
+                }
+            }
+        }
+        packed
+    }
+
+    /// `out += a · B` with `B` pre-packed into [`SPW`]-wide panels.
+    /// Dispatches to the widest vector unit detected; all three
+    /// instantiations accumulate each output element in ascending `k`
+    /// order in one register chain, so their bits agree.
+    ///
+    /// `ST_SIMD_FORCE=avx2|scalar` caps the dispatch below the detected
+    /// width (never above it) so the narrower instantiations can be
+    /// exercised — and their bit-identity CI-tested — on a wider host.
+    fn packed_gemm(m: usize, k: usize, n: usize, a: &[f64], packed: &[f64], out: &mut [f64]) {
+        #[cfg(target_arch = "x86_64")]
+        {
+            let cap = simd_width_cap();
+            if cap >= 512 && std::arch::is_x86_feature_detected!("avx512f") {
+                // SAFETY: avx512f was just detected at runtime.
+                unsafe { Self::packed_gemm_avx512(m, k, n, a, packed, out) };
+                return;
+            }
+            if cap >= 256 && std::arch::is_x86_feature_detected!("avx2") {
+                // SAFETY: avx2 was just detected at runtime.
+                unsafe { Self::packed_gemm_avx2(m, k, n, a, packed, out) };
+                return;
+            }
+        }
+        Self::packed_gemm_scalar(m, k, n, a, packed, out);
+    }
+
+    /// Scalar mirror of the vector paths: same panel walk, same per-element
+    /// ascending-`k` chains, lane loops written out by hand.
+    fn packed_gemm_scalar(
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f64],
+        packed: &[f64],
+        out: &mut [f64],
+    ) {
+        let panels = n.div_ceil(SPW);
+        let panel_len = k * SPW;
+        let block = (SIMD_PANEL_BLOCK_BYTES / (panel_len * 8).max(1)).max(1);
+        for qb in (0..panels).step_by(block) {
+            let qe = (qb + block).min(panels);
+            for i in 0..m {
+                let a_row = &a[i * k..(i + 1) * k];
+                for q in qb..qe {
+                    let j0 = q * SPW;
+                    let w = SPW.min(n - j0);
+                    let panel = &packed[q * panel_len..(q + 1) * panel_len];
+                    Self::panel_row_scalar(w, a_row, panel, &mut out[i * n + j0..i * n + j0 + w]);
+                }
+            }
+        }
+    }
+
+    /// One output row × one panel, scalar: the shared tail/fallback body.
+    /// `w` live lanes, each accumulated across the whole reduction in
+    /// ascending `k` order and stored once.
+    #[inline(always)]
+    fn panel_row_scalar(w: usize, a_row: &[f64], panel: &[f64], out_seg: &mut [f64]) {
+        let mut acc = [0.0; SPW];
+        acc[..w].copy_from_slice(out_seg);
+        for (p, &x) in a_row.iter().enumerate() {
+            let g = &panel[p * SPW..p * SPW + SPW];
+            for l in 0..w {
+                acc[l] += x * g[l];
+            }
+        }
+        out_seg.copy_from_slice(&acc[..w]);
+    }
+
+    /// AVX2 instantiation: 4 rows × 8 columns per micro-tile (eight 256-bit
+    /// accumulators), remainder rows one at a time, narrow tail panels via
+    /// the scalar body.
+    ///
+    /// # Safety
+    /// The caller must ensure the CPU supports AVX2.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn packed_gemm_avx2(
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f64],
+        packed: &[f64],
+        out: &mut [f64],
+    ) {
+        let panels = n.div_ceil(SPW);
+        let panel_len = k * SPW;
+        let block = (SIMD_PANEL_BLOCK_BYTES / (panel_len * 8).max(1)).max(1);
+        for qb in (0..panels).step_by(block) {
+            let qe = (qb + block).min(panels);
+            let mut i = 0;
+            while i + 4 <= m {
+                for q in qb..qe {
+                    let j0 = q * SPW;
+                    let panel = &packed[q * panel_len..(q + 1) * panel_len];
+                    if n - j0 >= SPW {
+                        Self::mk4x8_avx2(
+                            k,
+                            a.as_ptr().add(i * k),
+                            k,
+                            panel.as_ptr(),
+                            out.as_mut_ptr().add(i * n + j0),
+                            n,
+                        );
+                    } else {
+                        for r in i..i + 4 {
+                            let w = n - j0;
+                            Self::panel_row_scalar(
+                                w,
+                                &a[r * k..(r + 1) * k],
+                                panel,
+                                &mut out[r * n + j0..r * n + j0 + w],
+                            );
+                        }
+                    }
+                }
+                i += 4;
+            }
+            while i < m {
+                for q in qb..qe {
+                    let j0 = q * SPW;
+                    let panel = &packed[q * panel_len..(q + 1) * panel_len];
+                    if n - j0 >= SPW {
+                        Self::mk1x8_avx2(
+                            k,
+                            a.as_ptr().add(i * k),
+                            panel.as_ptr(),
+                            out.as_mut_ptr().add(i * n + j0),
+                        );
+                    } else {
+                        let w = n - j0;
+                        Self::panel_row_scalar(
+                            w,
+                            &a[i * k..(i + 1) * k],
+                            panel,
+                            &mut out[i * n + j0..i * n + j0 + w],
+                        );
+                    }
+                }
+                i += 1;
+            }
+        }
+    }
+
+    /// 4-row × 8-column AVX2 micro-kernel over one full panel: eight
+    /// independent accumulator vectors (one per row × half-panel), each
+    /// lane one output element, loads/stores exactly once.
+    ///
+    /// # Safety
+    /// Requires AVX2; `a` must have 4 rows of stride `lda` and length `k`,
+    /// `panel` `k×SPW` packed values, `out` 4 rows of stride `ldo` with 8
+    /// valid columns.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn mk4x8_avx2(
+        k: usize,
+        a: *const f64,
+        lda: usize,
+        panel: *const f64,
+        out: *mut f64,
+        ldo: usize,
+    ) {
+        use std::arch::x86_64::*;
+        let mut acc00 = _mm256_loadu_pd(out);
+        let mut acc01 = _mm256_loadu_pd(out.add(4));
+        let mut acc10 = _mm256_loadu_pd(out.add(ldo));
+        let mut acc11 = _mm256_loadu_pd(out.add(ldo + 4));
+        let mut acc20 = _mm256_loadu_pd(out.add(2 * ldo));
+        let mut acc21 = _mm256_loadu_pd(out.add(2 * ldo + 4));
+        let mut acc30 = _mm256_loadu_pd(out.add(3 * ldo));
+        let mut acc31 = _mm256_loadu_pd(out.add(3 * ldo + 4));
+        for p in 0..k {
+            let b0 = _mm256_loadu_pd(panel.add(p * SPW));
+            let b1 = _mm256_loadu_pd(panel.add(p * SPW + 4));
+            let a0 = _mm256_set1_pd(*a.add(p));
+            acc00 = _mm256_add_pd(acc00, _mm256_mul_pd(a0, b0));
+            acc01 = _mm256_add_pd(acc01, _mm256_mul_pd(a0, b1));
+            let a1 = _mm256_set1_pd(*a.add(lda + p));
+            acc10 = _mm256_add_pd(acc10, _mm256_mul_pd(a1, b0));
+            acc11 = _mm256_add_pd(acc11, _mm256_mul_pd(a1, b1));
+            let a2 = _mm256_set1_pd(*a.add(2 * lda + p));
+            acc20 = _mm256_add_pd(acc20, _mm256_mul_pd(a2, b0));
+            acc21 = _mm256_add_pd(acc21, _mm256_mul_pd(a2, b1));
+            let a3 = _mm256_set1_pd(*a.add(3 * lda + p));
+            acc30 = _mm256_add_pd(acc30, _mm256_mul_pd(a3, b0));
+            acc31 = _mm256_add_pd(acc31, _mm256_mul_pd(a3, b1));
+        }
+        _mm256_storeu_pd(out, acc00);
+        _mm256_storeu_pd(out.add(4), acc01);
+        _mm256_storeu_pd(out.add(ldo), acc10);
+        _mm256_storeu_pd(out.add(ldo + 4), acc11);
+        _mm256_storeu_pd(out.add(2 * ldo), acc20);
+        _mm256_storeu_pd(out.add(2 * ldo + 4), acc21);
+        _mm256_storeu_pd(out.add(3 * ldo), acc30);
+        _mm256_storeu_pd(out.add(3 * ldo + 4), acc31);
+    }
+
+    /// Single-row AVX2 micro-kernel over one full panel.
+    ///
+    /// # Safety
+    /// Requires AVX2; `a` length `k`, `panel` `k×SPW`, `out` 8 valid
+    /// columns.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn mk1x8_avx2(k: usize, a: *const f64, panel: *const f64, out: *mut f64) {
+        use std::arch::x86_64::*;
+        let mut acc0 = _mm256_loadu_pd(out);
+        let mut acc1 = _mm256_loadu_pd(out.add(4));
+        for p in 0..k {
+            let av = _mm256_set1_pd(*a.add(p));
+            let b0 = _mm256_loadu_pd(panel.add(p * SPW));
+            let b1 = _mm256_loadu_pd(panel.add(p * SPW + 4));
+            acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(av, b0));
+            acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(av, b1));
+        }
+        _mm256_storeu_pd(out, acc0);
+        _mm256_storeu_pd(out.add(4), acc1);
+    }
+
+    /// AVX-512 instantiation: a full panel is exactly one 512-bit vector,
+    /// so the main micro-tile is 8 rows × 3 panels (24 zmm accumulators),
+    /// with pair/single tiles for edges and remainder rows one at a time.
+    ///
+    /// # Safety
+    /// The caller must ensure the CPU supports AVX-512F.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx512f")]
+    unsafe fn packed_gemm_avx512(
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f64],
+        packed: &[f64],
+        out: &mut [f64],
+    ) {
+        let panels = n.div_ceil(SPW);
+        let panel_len = k * SPW;
+        // Round the L2 block down to a multiple of three panels so a full
+        // block decomposes into the main (8×24) tiles only; narrower
+        // tiles amortize the `A` broadcasts over less arithmetic and are
+        // kept for the edges.
+        let block = {
+            let fit = (SIMD_PANEL_BLOCK_BYTES / (panel_len * 8).max(1)).max(3);
+            (fit / 3) * 3
+        };
+        for qb in (0..panels).step_by(block) {
+            let qe = (qb + block).min(panels);
+            let mut i = 0;
+            while i + 8 <= m {
+                // Panel triples first (8 rows × 3 panels = 24 zmm
+                // accumulators, each broadcast of `A` feeding three
+                // vectors), then a pair and singles for the edges.
+                let mut q = qb;
+                while q + 3 <= qe && (q + 3) * SPW <= n {
+                    Self::mk_avx512::<8, 3>(
+                        k,
+                        a.as_ptr().add(i * k),
+                        1,
+                        k,
+                        packed.as_ptr().add(q * panel_len),
+                        panel_len,
+                        out.as_mut_ptr().add(i * n + q * SPW),
+                        n,
+                    );
+                    q += 3;
+                }
+                if q + 2 <= qe && (q + 2) * SPW <= n {
+                    Self::mk_avx512::<8, 2>(
+                        k,
+                        a.as_ptr().add(i * k),
+                        1,
+                        k,
+                        packed.as_ptr().add(q * panel_len),
+                        panel_len,
+                        out.as_mut_ptr().add(i * n + q * SPW),
+                        n,
+                    );
+                    q += 2;
+                }
+                while q < qe {
+                    let j0 = q * SPW;
+                    let panel = &packed[q * panel_len..(q + 1) * panel_len];
+                    if n - j0 >= SPW {
+                        Self::mk_avx512::<8, 1>(
+                            k,
+                            a.as_ptr().add(i * k),
+                            1,
+                            k,
+                            panel.as_ptr(),
+                            panel_len,
+                            out.as_mut_ptr().add(i * n + j0),
+                            n,
+                        );
+                    } else {
+                        for r in i..i + 8 {
+                            let w = n - j0;
+                            Self::panel_row_scalar(
+                                w,
+                                &a[r * k..(r + 1) * k],
+                                panel,
+                                &mut out[r * n + j0..r * n + j0 + w],
+                            );
+                        }
+                    }
+                    q += 1;
+                }
+                i += 8;
+            }
+            while i < m {
+                for q in qb..qe {
+                    let j0 = q * SPW;
+                    let panel = &packed[q * panel_len..(q + 1) * panel_len];
+                    if n - j0 >= SPW {
+                        Self::mk_avx512::<1, 1>(
+                            k,
+                            a.as_ptr().add(i * k),
+                            1,
+                            k,
+                            panel.as_ptr(),
+                            panel_len,
+                            out.as_mut_ptr().add(i * n + j0),
+                            n,
+                        );
+                    } else {
+                        let w = n - j0;
+                        Self::panel_row_scalar(
+                            w,
+                            &a[i * k..(i + 1) * k],
+                            panel,
+                            &mut out[i * n + j0..i * n + j0 + w],
+                        );
+                    }
+                }
+                i += 1;
+            }
+        }
+    }
+
+    /// The const-generic AVX-512 micro-kernel: `R` rows × `P` adjacent
+    /// full panels (`R·P` zmm accumulators, one per 8-wide output group).
+    /// Each broadcast of `A` feeds `P` vectors, so load-port µops per
+    /// output update shrink as the tile widens; the main tile is 8×3
+    /// (24 accumulators + 3 panel registers + 1 broadcast). Every
+    /// accumulator is one output group's ascending-
+    /// `k` chain, loaded and stored exactly once, so any `(R, P)` choice
+    /// produces identical bits.
+    ///
+    /// # Safety
+    /// Requires AVX-512F; `a` holds `R` rows of length `k` addressed as
+    /// `a[p·astep + r·arow]` (`astep = 1, arow = lda` for plain row-major,
+    /// `astep = R, arow = 1` for the k-major packed octet), `panels` `P`
+    /// consecutive `k×SPW` packed panels (`panel_len` apart), `out` `R`
+    /// rows of stride `ldo` with `8·P` valid columns.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx512f")]
+    #[allow(clippy::too_many_arguments)]
+    #[allow(clippy::needless_range_loop)]
+    unsafe fn mk_avx512<const R: usize, const P: usize>(
+        k: usize,
+        a: *const f64,
+        astep: usize,
+        arow: usize,
+        panels: *const f64,
+        panel_len: usize,
+        out: *mut f64,
+        ldo: usize,
+    ) {
+        use std::arch::x86_64::*;
+        let mut acc = [[_mm512_setzero_pd(); P]; R];
+        for r in 0..R {
+            for c in 0..P {
+                acc[r][c] = _mm512_loadu_pd(out.add(r * ldo + c * SPW));
+            }
+        }
+        // Two reduction steps per iteration (halved loop overhead); per
+        // output element the adds still land in ascending `k` order, so
+        // the unroll is invisible to the bit-identity contract.
+        let mut p = 0;
+        while p + 2 <= k {
+            for step in [p, p + 1] {
+                let mut b = [_mm512_setzero_pd(); P];
+                for c in 0..P {
+                    b[c] = _mm512_loadu_pd(panels.add(c * panel_len + step * SPW));
+                }
+                for r in 0..R {
+                    let av = _mm512_set1_pd(*a.add(step * astep + r * arow));
+                    for c in 0..P {
+                        acc[r][c] = _mm512_add_pd(acc[r][c], _mm512_mul_pd(av, b[c]));
+                    }
+                }
+            }
+            p += 2;
+        }
+        if p < k {
+            let mut b = [_mm512_setzero_pd(); P];
+            for c in 0..P {
+                b[c] = _mm512_loadu_pd(panels.add(c * panel_len + p * SPW));
+            }
+            for r in 0..R {
+                let av = _mm512_set1_pd(*a.add(p * astep + r * arow));
+                for c in 0..P {
+                    acc[r][c] = _mm512_add_pd(acc[r][c], _mm512_mul_pd(av, b[c]));
+                }
+            }
+        }
+        for r in 0..R {
+            for c in 0..P {
+                _mm512_storeu_pd(out.add(r * ldo + c * SPW), acc[r][c]);
+            }
+        }
+    }
+
+    /// `gemm_tn` restricted to `A` columns `c0..c1` (= output rows
+    /// `c0..c1`): the unit [`ShardedKernel`] fans out over worker threads.
+    /// `out` holds only the `c1 - c0` rows being computed.
+    ///
+    /// Per output element the reduction runs in ascending sample blocks
+    /// and ascending rows within each block — the naive ascending-`i`
+    /// chain — so any column split produces identical bits.
+    #[allow(clippy::too_many_arguments)]
+    fn gemm_tn_cols(
+        m: usize,
+        k: usize,
+        n: usize,
+        c0: usize,
+        c1: usize,
+        a: &[f64],
+        b: &[f64],
+        out: &mut [f64],
+    ) {
+        let kw = c1 - c0;
+        debug_assert_eq!(out.len(), kw * n);
+        if m == 0 || kw == 0 || n == 0 {
+            return;
+        }
+        let mut at_block = vec![0.0; kw * IB.min(m)];
+        for ib in (0..m).step_by(IB) {
+            let h = IB.min(m - ib);
+            // at_block[(p - c0)·h + r] = a[ib + r][p]: the block of Aᵀ
+            // restricted to the requested columns. The full-width case
+            // takes the tiled transpose (TLB-friendly); a column slice
+            // falls back to the strided gather.
+            if kw == k {
+                BlockedKernel.transpose(h, k, &a[ib * k..(ib + h) * k], &mut at_block[..k * h]);
+            } else {
+                for r in 0..h {
+                    let row = &a[(ib + r) * k + c0..(ib + r) * k + c1];
+                    for (dp, &x) in row.iter().enumerate() {
+                        at_block[dp * h + r] = x;
+                    }
+                }
+            }
+            let packed = Self::pack_panels8(h, n, &b[ib * n..(ib + h) * n]);
+            Self::packed_gemm(kw, h, n, &at_block[..kw * h], &packed, out);
+        }
+    }
+}
+
+impl GemmBackend for SimdKernel {
+    fn name(&self) -> &'static str {
+        "simd"
+    }
+
+    fn gemm(&self, m: usize, k: usize, n: usize, a: &[f64], b: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(a.len(), m * k);
+        debug_assert_eq!(b.len(), k * n);
+        debug_assert_eq!(out.len(), m * n);
+        if m == 0 || k == 0 || n == 0 {
+            return;
+        }
+        if m < PACK_MIN_ROWS {
+            // Packing never amortizes on a handful of rows; the blocked
+            // axpy fallback is bit-identical (ascending-k everywhere).
+            BlockedKernel::axpy_gemm(m, k, n, a, b, out);
+            return;
+        }
+        let packed = Self::pack_panels8(k, n, b);
+        Self::packed_gemm(m, k, n, a, &packed, out);
+    }
+
+    fn gemm_nt(&self, m: usize, k: usize, n: usize, a: &[f64], bt: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(a.len(), m * k);
+        debug_assert_eq!(bt.len(), n * k);
+        debug_assert_eq!(out.len(), m * n);
+        if m == 0 || k == 0 || n == 0 {
+            return;
+        }
+        let packed = Self::pack_panels8_t(k, n, bt);
+        Self::packed_gemm(m, k, n, a, &packed, out);
+    }
+
+    fn gemm_tn(&self, m: usize, k: usize, n: usize, a: &[f64], b: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(a.len(), m * k);
+        debug_assert_eq!(b.len(), m * n);
+        debug_assert_eq!(out.len(), k * n);
+        Self::gemm_tn_cols(m, k, n, 0, k, a, b, out);
+    }
+
+    fn matvec(&self, rows: usize, cols: usize, a: &[f64], v: &[f64], out: &mut [f64]) {
+        // A dot product vectorized across `k` would need partial-sum lanes
+        // (a reassociation); the paired-row scalar walk is the fastest
+        // schedule that keeps the naive chain. Shared with `blocked`.
+        BlockedKernel.matvec(rows, cols, a, v, out);
+    }
+
+    fn matvec_t(&self, rows: usize, cols: usize, a: &[f64], v: &[f64], out: &mut [f64]) {
+        BlockedKernel.matvec_t(rows, cols, a, v, out);
+    }
+
+    fn transpose(&self, rows: usize, cols: usize, a: &[f64], out: &mut [f64]) {
+        BlockedKernel.transpose(rows, cols, a, out);
+    }
+}
+
+/// Worker threads the sharded backend may use (see [`set_kernel_threads`]).
+/// `0` means "not set explicitly": resolve `ST_KERNEL_THREADS`, falling
+/// back to the detected core count.
+static KERNEL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Fixes the worker-thread budget of the [`ShardedKernel`] (0 resets to
+/// automatic: `ST_KERNEL_THREADS`, else all cores).
+///
+/// Unlike the kernel *kind*, the thread budget may change at any time —
+/// sharding partitions output rows, so every thread count produces
+/// identical bits. The trial executor uses this to hand its surplus
+/// workers to the kernel instead of oversubscribing (see
+/// `slice_tuner::plan_thread_budget`).
+/// Returns the previous override (`0` = automatic) so scoped callers —
+/// like the trial executor — can restore it afterwards instead of leaking
+/// their share to the rest of the process.
+pub fn set_kernel_threads(threads: usize) -> usize {
+    KERNEL_THREADS.swap(threads, Ordering::Relaxed)
+}
+
+/// The active worker-thread budget of the [`ShardedKernel`].
+pub fn kernel_threads() -> usize {
+    let explicit = KERNEL_THREADS.load(Ordering::Relaxed);
+    if explicit > 0 {
+        return explicit;
+    }
+    static AUTO: OnceLock<usize> = OnceLock::new();
+    *AUTO.get_or_init(|| {
+        std::env::var("ST_KERNEL_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+    })
+}
+
+/// Splits `total` items into at most `workers` contiguous, near-equal,
+/// non-empty ranges.
+fn shard_ranges(total: usize, workers: usize) -> Vec<(usize, usize)> {
+    let workers = workers.max(1).min(total.max(1));
+    let base = total / workers;
+    let rem = total % workers;
+    let mut ranges = Vec::with_capacity(workers);
+    let mut start = 0;
+    for w in 0..workers {
+        let len = base + usize::from(w < rem);
+        if len == 0 {
+            break;
+        }
+        ranges.push((start, start + len));
+        start += len;
+    }
+    ranges
+}
+
+/// The multi-core backend: partitions output rows across a scoped worker
+/// pool and runs the [`SimdKernel`] packed core on each shard.
+///
+/// Every output element is computed by exactly one worker with exactly the
+/// ascending-`k` chain of [`NaiveKernel`], so results are bit-identical at
+/// **any** thread count — sharding changes who computes an element, never
+/// how. Small products (under [`SHARD_MIN_WORK`] multiplies) run inline on
+/// the calling thread; the worker count comes from [`kernel_threads`]
+/// unless pinned per-instance via [`ShardedKernel::with_threads`].
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ShardedKernel {
+    threads: Option<usize>,
+}
+
+impl ShardedKernel {
+    /// Backend following the process-wide thread budget
+    /// ([`kernel_threads`]).
+    pub const fn new() -> Self {
+        ShardedKernel { threads: None }
+    }
+
+    /// Backend pinned to exactly `threads` workers (used by the
+    /// equivalence tests; `0` falls back to the process budget).
+    pub fn with_threads(threads: usize) -> Self {
+        ShardedKernel {
+            threads: (threads > 0).then_some(threads),
+        }
+    }
+
+    fn threads(&self) -> usize {
+        self.threads.unwrap_or_else(kernel_threads)
+    }
+
+    /// True when the product is too small (or the budget too narrow) to
+    /// pay a fan-out; such calls run inline via [`SimdKernel`].
+    fn run_inline(&self, rows: usize, work: usize) -> bool {
+        self.threads() <= 1 || rows < 2 || work < SHARD_MIN_WORK
+    }
+}
+
+impl GemmBackend for ShardedKernel {
+    fn name(&self) -> &'static str {
+        "sharded"
+    }
+
+    fn gemm(&self, m: usize, k: usize, n: usize, a: &[f64], b: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(a.len(), m * k);
+        debug_assert_eq!(b.len(), k * n);
+        debug_assert_eq!(out.len(), m * n);
+        if m == 0 || k == 0 || n == 0 {
+            return;
+        }
+        if self.run_inline(m, m * k * n) || m < PACK_MIN_ROWS {
+            SimdKernel.gemm(m, k, n, a, b, out);
+            return;
+        }
+        // Pack once, then fan output-row shards over the pool; each worker
+        // owns a disjoint slice of `out`.
+        let packed = SimdKernel::pack_panels8(k, n, b);
+        let packed = &packed;
+        crossbeam::scope(|scope| {
+            let mut rest = out;
+            for (s, e) in shard_ranges(m, self.threads()) {
+                let (chunk, tail) = rest.split_at_mut((e - s) * n);
+                rest = tail;
+                let a_rows = &a[s * k..e * k];
+                scope.spawn(move |_| SimdKernel::packed_gemm(e - s, k, n, a_rows, packed, chunk));
+            }
+        })
+        .expect("sharded gemm worker panicked");
+    }
+
+    fn gemm_nt(&self, m: usize, k: usize, n: usize, a: &[f64], bt: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(a.len(), m * k);
+        debug_assert_eq!(bt.len(), n * k);
+        debug_assert_eq!(out.len(), m * n);
+        if m == 0 || k == 0 || n == 0 {
+            return;
+        }
+        if self.run_inline(m, m * k * n) {
+            SimdKernel.gemm_nt(m, k, n, a, bt, out);
+            return;
+        }
+        let packed = SimdKernel::pack_panels8_t(k, n, bt);
+        let packed = &packed;
+        crossbeam::scope(|scope| {
+            let mut rest = out;
+            for (s, e) in shard_ranges(m, self.threads()) {
+                let (chunk, tail) = rest.split_at_mut((e - s) * n);
+                rest = tail;
+                let a_rows = &a[s * k..e * k];
+                scope.spawn(move |_| SimdKernel::packed_gemm(e - s, k, n, a_rows, packed, chunk));
+            }
+        })
+        .expect("sharded gemm_nt worker panicked");
+    }
+
+    fn gemm_tn(&self, m: usize, k: usize, n: usize, a: &[f64], b: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(a.len(), m * k);
+        debug_assert_eq!(b.len(), m * n);
+        debug_assert_eq!(out.len(), k * n);
+        if m == 0 || k == 0 || n == 0 {
+            return;
+        }
+        if self.run_inline(k, m * k * n) {
+            SimdKernel.gemm_tn(m, k, n, a, b, out);
+            return;
+        }
+        // Shard the *output* rows (= columns of A): each worker runs the
+        // full ascending-sample-block reduction for its row range, so the
+        // per-element chain is the sequential one regardless of the split.
+        // Workers re-pack the shared B blocks redundantly — O(m·n) per
+        // worker against the O(m·k·n/threads) product each performs.
+        crossbeam::scope(|scope| {
+            let mut rest = out;
+            for (s, e) in shard_ranges(k, self.threads()) {
+                let (chunk, tail) = rest.split_at_mut((e - s) * n);
+                rest = tail;
+                scope.spawn(move |_| SimdKernel::gemm_tn_cols(m, k, n, s, e, a, b, chunk));
+            }
+        })
+        .expect("sharded gemm_tn worker panicked");
+    }
+
+    fn matvec(&self, rows: usize, cols: usize, a: &[f64], v: &[f64], out: &mut [f64]) {
+        // Memory-bound; a fan-out buys nothing. Inline simd schedule.
+        SimdKernel.matvec(rows, cols, a, v, out);
+    }
+
+    fn matvec_t(&self, rows: usize, cols: usize, a: &[f64], v: &[f64], out: &mut [f64]) {
+        SimdKernel.matvec_t(rows, cols, a, v, out);
+    }
+
+    fn transpose(&self, rows: usize, cols: usize, a: &[f64], out: &mut [f64]) {
+        SimdKernel.transpose(rows, cols, a, out);
+    }
+}
+
+/// The opt-in reassociating backend: FMA contraction and reassociated
+/// reductions for callers that **waive the bit-determinism contract**.
+///
+/// `fast` is never selected by default, and the deterministic trial path
+/// refuses to run under it unless explicitly allowed
+/// (`--allow-nondeterministic-kernel`). Results are correct to normal
+/// floating-point accuracy — typically *more* accurate than the plain
+/// kernels thanks to fused rounding — but not reproducible bit-for-bit
+/// against the other backends.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FastKernel;
+
+impl FastKernel {
+    /// `out += a · B` on packed panels with FMA where available. Falls back
+    /// to the strict SIMD core on targets without FMA (the waiver permits
+    /// reassociation, it does not require it).
+    fn packed_gemm_fast(m: usize, k: usize, n: usize, a: &[f64], packed: &[f64], out: &mut [f64]) {
+        #[cfg(target_arch = "x86_64")]
+        if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+        {
+            // SAFETY: avx2 and fma were just detected at runtime.
+            unsafe { Self::packed_gemm_fma(m, k, n, a, packed, out) };
+            return;
+        }
+        SimdKernel::packed_gemm(m, k, n, a, packed, out);
+    }
+
+    /// FMA instantiation of the packed core: the same blocking driver as
+    /// [`SimdKernel::packed_gemm_avx2`] — the two must stay in lockstep
+    /// (same tiles, same [`SIMD_PANEL_BLOCK_BYTES`] L2 budget); only the
+    /// micro-kernels differ, with every multiply/add pair contracted to
+    /// one fused op.
+    ///
+    /// # Safety
+    /// The caller must ensure the CPU supports AVX2 and FMA.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn packed_gemm_fma(
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f64],
+        packed: &[f64],
+        out: &mut [f64],
+    ) {
+        let panels = n.div_ceil(SPW);
+        let panel_len = k * SPW;
+        let block = (SIMD_PANEL_BLOCK_BYTES / (panel_len * 8).max(1)).max(1);
+        for qb in (0..panels).step_by(block) {
+            let qe = (qb + block).min(panels);
+            let mut i = 0;
+            while i + 4 <= m {
+                for q in qb..qe {
+                    let j0 = q * SPW;
+                    let panel = &packed[q * panel_len..(q + 1) * panel_len];
+                    if n - j0 >= SPW {
+                        Self::mk4x8_fma(
+                            k,
+                            a.as_ptr().add(i * k),
+                            k,
+                            panel.as_ptr(),
+                            out.as_mut_ptr().add(i * n + j0),
+                            n,
+                        );
+                    } else {
+                        for r in i..i + 4 {
+                            let w = n - j0;
+                            SimdKernel::panel_row_scalar(
+                                w,
+                                &a[r * k..(r + 1) * k],
+                                panel,
+                                &mut out[r * n + j0..r * n + j0 + w],
+                            );
+                        }
+                    }
+                }
+                i += 4;
+            }
+            while i < m {
+                for q in qb..qe {
+                    let j0 = q * SPW;
+                    let panel = &packed[q * panel_len..(q + 1) * panel_len];
+                    if n - j0 >= SPW {
+                        Self::mk1x8_fma(
+                            k,
+                            a.as_ptr().add(i * k),
+                            panel.as_ptr(),
+                            out.as_mut_ptr().add(i * n + j0),
+                        );
+                    } else {
+                        let w = n - j0;
+                        SimdKernel::panel_row_scalar(
+                            w,
+                            &a[i * k..(i + 1) * k],
+                            panel,
+                            &mut out[i * n + j0..i * n + j0 + w],
+                        );
+                    }
+                }
+                i += 1;
+            }
+        }
+    }
+
+    /// 4-row × 8-column FMA micro-kernel (contracted twin of
+    /// [`SimdKernel::mk4x8_avx2`]).
+    ///
+    /// # Safety
+    /// Requires AVX2+FMA; same layout contract as
+    /// [`SimdKernel::mk4x8_avx2`].
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn mk4x8_fma(
+        k: usize,
+        a: *const f64,
+        lda: usize,
+        panel: *const f64,
+        out: *mut f64,
+        ldo: usize,
+    ) {
+        use std::arch::x86_64::*;
+        let mut acc00 = _mm256_loadu_pd(out);
+        let mut acc01 = _mm256_loadu_pd(out.add(4));
+        let mut acc10 = _mm256_loadu_pd(out.add(ldo));
+        let mut acc11 = _mm256_loadu_pd(out.add(ldo + 4));
+        let mut acc20 = _mm256_loadu_pd(out.add(2 * ldo));
+        let mut acc21 = _mm256_loadu_pd(out.add(2 * ldo + 4));
+        let mut acc30 = _mm256_loadu_pd(out.add(3 * ldo));
+        let mut acc31 = _mm256_loadu_pd(out.add(3 * ldo + 4));
+        for p in 0..k {
+            let b0 = _mm256_loadu_pd(panel.add(p * SPW));
+            let b1 = _mm256_loadu_pd(panel.add(p * SPW + 4));
+            let a0 = _mm256_set1_pd(*a.add(p));
+            acc00 = _mm256_fmadd_pd(a0, b0, acc00);
+            acc01 = _mm256_fmadd_pd(a0, b1, acc01);
+            let a1 = _mm256_set1_pd(*a.add(lda + p));
+            acc10 = _mm256_fmadd_pd(a1, b0, acc10);
+            acc11 = _mm256_fmadd_pd(a1, b1, acc11);
+            let a2 = _mm256_set1_pd(*a.add(2 * lda + p));
+            acc20 = _mm256_fmadd_pd(a2, b0, acc20);
+            acc21 = _mm256_fmadd_pd(a2, b1, acc21);
+            let a3 = _mm256_set1_pd(*a.add(3 * lda + p));
+            acc30 = _mm256_fmadd_pd(a3, b0, acc30);
+            acc31 = _mm256_fmadd_pd(a3, b1, acc31);
+        }
+        _mm256_storeu_pd(out, acc00);
+        _mm256_storeu_pd(out.add(4), acc01);
+        _mm256_storeu_pd(out.add(ldo), acc10);
+        _mm256_storeu_pd(out.add(ldo + 4), acc11);
+        _mm256_storeu_pd(out.add(2 * ldo), acc20);
+        _mm256_storeu_pd(out.add(2 * ldo + 4), acc21);
+        _mm256_storeu_pd(out.add(3 * ldo), acc30);
+        _mm256_storeu_pd(out.add(3 * ldo + 4), acc31);
+    }
+
+    /// Single-row FMA micro-kernel.
+    ///
+    /// # Safety
+    /// Requires AVX2+FMA; same layout contract as
+    /// [`SimdKernel::mk1x8_avx2`].
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn mk1x8_fma(k: usize, a: *const f64, panel: *const f64, out: *mut f64) {
+        use std::arch::x86_64::*;
+        let mut acc0 = _mm256_loadu_pd(out);
+        let mut acc1 = _mm256_loadu_pd(out.add(4));
+        for p in 0..k {
+            let av = _mm256_set1_pd(*a.add(p));
+            acc0 = _mm256_fmadd_pd(av, _mm256_loadu_pd(panel.add(p * SPW)), acc0);
+            acc1 = _mm256_fmadd_pd(av, _mm256_loadu_pd(panel.add(p * SPW + 4)), acc1);
+        }
+        _mm256_storeu_pd(out, acc0);
+        _mm256_storeu_pd(out.add(4), acc1);
+    }
+
+    /// Reassociated row dot: four independent FMA lanes over `k`, reduced
+    /// horizontally at the end (the partial-sum tree the strict kernels
+    /// must not use).
+    ///
+    /// # Safety
+    /// The caller must ensure the CPU supports AVX2 and FMA.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn matvec_fma(rows: usize, cols: usize, a: &[f64], v: &[f64], out: &mut [f64]) {
+        use std::arch::x86_64::*;
+        debug_assert_eq!(a.len(), rows * cols);
+        for (r, o) in out.iter_mut().enumerate() {
+            let row = a.as_ptr().add(r * cols);
+            let mut acc0 = _mm256_setzero_pd();
+            let mut acc1 = _mm256_setzero_pd();
+            let mut p = 0;
+            while p + 8 <= cols {
+                acc0 = _mm256_fmadd_pd(
+                    _mm256_loadu_pd(row.add(p)),
+                    _mm256_loadu_pd(v.as_ptr().add(p)),
+                    acc0,
+                );
+                acc1 = _mm256_fmadd_pd(
+                    _mm256_loadu_pd(row.add(p + 4)),
+                    _mm256_loadu_pd(v.as_ptr().add(p + 4)),
+                    acc1,
+                );
+                p += 8;
+            }
+            let sum = _mm256_add_pd(acc0, acc1);
+            let mut lanes = [0.0; 4];
+            _mm256_storeu_pd(lanes.as_mut_ptr(), sum);
+            let mut acc = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+            while p < cols {
+                acc = (*row.add(p)).mul_add(v[p], acc);
+                p += 1;
+            }
+            *o = acc;
+        }
+    }
+}
+
+impl GemmBackend for FastKernel {
+    fn name(&self) -> &'static str {
+        "fast"
+    }
+
+    fn gemm(&self, m: usize, k: usize, n: usize, a: &[f64], b: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(a.len(), m * k);
+        debug_assert_eq!(b.len(), k * n);
+        debug_assert_eq!(out.len(), m * n);
+        if m == 0 || k == 0 || n == 0 {
+            return;
+        }
+        if m < PACK_MIN_ROWS {
+            BlockedKernel::axpy_gemm(m, k, n, a, b, out);
+            return;
+        }
+        let packed = SimdKernel::pack_panels8(k, n, b);
+        Self::packed_gemm_fast(m, k, n, a, &packed, out);
+    }
+
+    fn gemm_nt(&self, m: usize, k: usize, n: usize, a: &[f64], bt: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(a.len(), m * k);
+        debug_assert_eq!(bt.len(), n * k);
+        debug_assert_eq!(out.len(), m * n);
+        if m == 0 || k == 0 || n == 0 {
+            return;
+        }
+        let packed = SimdKernel::pack_panels8_t(k, n, bt);
+        Self::packed_gemm_fast(m, k, n, a, &packed, out);
+    }
+
+    fn gemm_tn(&self, m: usize, k: usize, n: usize, a: &[f64], b: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(a.len(), m * k);
+        debug_assert_eq!(b.len(), m * n);
+        debug_assert_eq!(out.len(), k * n);
+        if m == 0 || k == 0 || n == 0 {
+            return;
+        }
+        let mut at_block = vec![0.0; k * IB.min(m)];
+        for ib in (0..m).step_by(IB) {
+            let h = IB.min(m - ib);
+            BlockedKernel.transpose(h, k, &a[ib * k..(ib + h) * k], &mut at_block[..k * h]);
+            let packed = SimdKernel::pack_panels8(h, n, &b[ib * n..(ib + h) * n]);
+            Self::packed_gemm_fast(k, h, n, &at_block[..k * h], &packed, out);
+        }
+    }
+
+    fn matvec(&self, rows: usize, cols: usize, a: &[f64], v: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(a.len(), rows * cols);
+        debug_assert_eq!(v.len(), cols);
+        debug_assert_eq!(out.len(), rows);
+        #[cfg(target_arch = "x86_64")]
+        if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+        {
+            // SAFETY: avx2 and fma were just detected at runtime.
+            unsafe { Self::matvec_fma(rows, cols, a, v, out) };
+            return;
+        }
+        BlockedKernel.matvec(rows, cols, a, v, out);
+    }
+
+    fn matvec_t(&self, rows: usize, cols: usize, a: &[f64], v: &[f64], out: &mut [f64]) {
+        BlockedKernel.matvec_t(rows, cols, a, v, out);
+    }
+
+    fn transpose(&self, rows: usize, cols: usize, a: &[f64], out: &mut [f64]) {
+        BlockedKernel.transpose(rows, cols, a, out);
+    }
+}
+
 /// Which [`GemmBackend`] a process uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum KernelKind {
@@ -616,16 +1711,30 @@ pub enum KernelKind {
     Naive,
     /// The cache-blocked kernel (default).
     Blocked,
+    /// Explicit AVX2/AVX-512 intrinsics, bit-identical to naive.
+    Simd,
+    /// Multi-core row sharding over the SIMD core, bit-identical at any
+    /// thread count.
+    Sharded,
+    /// Opt-in reassociating FMA kernel — **waives** the bit-determinism
+    /// contract; the deterministic trial path refuses it.
+    Fast,
 }
 
 impl KernelKind {
+    /// Every selectable backend, in the order help strings list them.
+    pub const ALL: [KernelKind; 5] = [
+        KernelKind::Naive,
+        KernelKind::Blocked,
+        KernelKind::Simd,
+        KernelKind::Sharded,
+        KernelKind::Fast,
+    ];
+
     /// Parses a kernel name as accepted by `ST_KERNEL` and `--kernel`.
     pub fn from_name(name: &str) -> Option<KernelKind> {
-        match name.trim().to_ascii_lowercase().as_str() {
-            "naive" => Some(KernelKind::Naive),
-            "blocked" => Some(KernelKind::Blocked),
-            _ => None,
-        }
+        let name = name.trim().to_ascii_lowercase();
+        KernelKind::ALL.into_iter().find(|k| k.name() == name)
     }
 
     /// The canonical name.
@@ -633,16 +1742,37 @@ impl KernelKind {
         match self {
             KernelKind::Naive => "naive",
             KernelKind::Blocked => "blocked",
+            KernelKind::Simd => "simd",
+            KernelKind::Sharded => "sharded",
+            KernelKind::Fast => "fast",
         }
     }
 
     /// A static reference to the backend of this kind.
     pub fn backend(self) -> &'static dyn GemmBackend {
+        static SHARDED: ShardedKernel = ShardedKernel::new();
         match self {
             KernelKind::Naive => &NaiveKernel,
             KernelKind::Blocked => &BlockedKernel,
+            KernelKind::Simd => &SimdKernel,
+            KernelKind::Sharded => &SHARDED,
+            KernelKind::Fast => &FastKernel,
         }
     }
+
+    /// Whether this backend honors the bit-identity contract (every
+    /// output bit equal to [`NaiveKernel`]'s). Only [`KernelKind::Fast`]
+    /// waives it; determinism-sensitive paths (the trial runner) refuse
+    /// non-deterministic kinds unless the caller explicitly opts in.
+    pub fn bit_deterministic(self) -> bool {
+        !matches!(self, KernelKind::Fast)
+    }
+}
+
+/// The comma-separated list of valid kernel names, for error messages and
+/// usage strings (`"naive | blocked | simd | sharded | fast"`).
+pub fn kernel_names() -> String {
+    KernelKind::ALL.map(KernelKind::name).join(" | ")
 }
 
 static ACTIVE_KERNEL: OnceLock<KernelKind> = OnceLock::new();
@@ -650,7 +1780,10 @@ static ACTIVE_KERNEL: OnceLock<KernelKind> = OnceLock::new();
 fn kind_from_env() -> KernelKind {
     match std::env::var("ST_KERNEL") {
         Ok(v) => KernelKind::from_name(&v).unwrap_or_else(|| {
-            eprintln!("warning: unknown ST_KERNEL '{v}', using blocked (naive | blocked)");
+            eprintln!(
+                "warning: unknown ST_KERNEL '{v}', using blocked (valid kernels: {})",
+                kernel_names()
+            );
             KernelKind::Blocked
         }),
         Err(_) => KernelKind::Blocked,
@@ -811,14 +1944,23 @@ mod tests {
 
     #[test]
     fn kind_parsing_round_trips() {
-        assert_eq!(KernelKind::from_name("naive"), Some(KernelKind::Naive));
+        for kind in KernelKind::ALL {
+            assert_eq!(KernelKind::from_name(kind.name()), Some(kind));
+            assert_eq!(kind.backend().name(), kind.name());
+        }
         assert_eq!(
             KernelKind::from_name(" Blocked "),
             Some(KernelKind::Blocked)
         );
-        assert_eq!(KernelKind::from_name("simd"), None);
-        assert_eq!(KernelKind::Blocked.name(), "blocked");
-        assert_eq!(KernelKind::Naive.backend().name(), "naive");
+        assert_eq!(KernelKind::from_name("mkl"), None);
+        assert!(kernel_names().contains("sharded"));
+    }
+
+    #[test]
+    fn only_fast_waives_bit_determinism() {
+        for kind in KernelKind::ALL {
+            assert_eq!(kind.bit_deterministic(), kind != KernelKind::Fast);
+        }
     }
 
     #[test]
@@ -827,8 +1969,136 @@ mod tests {
         assert!(set_kernel(active).is_ok(), "re-selecting active is a no-op");
         let other = match active {
             KernelKind::Naive => KernelKind::Blocked,
-            KernelKind::Blocked => KernelKind::Naive,
+            _ => KernelKind::Naive,
         };
         assert_eq!(set_kernel(other), Err(active));
+    }
+
+    #[test]
+    fn simd_gemm_matches_naive_bitwise() {
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (2, 3, 4),
+            (7, 5, 3),
+            (17, 13, 11),
+            (64, 64, 64),
+            (65, 67, 66),
+            (130, 70, 150),
+        ] {
+            let a = fill(m * k, 21 + m as u64);
+            let b = fill(k * n, 22 + n as u64);
+            let mut on = vec![0.0; m * n];
+            let mut os = vec![0.0; m * n];
+            NaiveKernel.gemm(m, k, n, &a, &b, &mut on);
+            SimdKernel.gemm(m, k, n, &a, &b, &mut os);
+            assert_bits_eq(&on, &os);
+        }
+    }
+
+    #[test]
+    fn simd_nt_tn_match_naive_bitwise() {
+        let (m, k, n) = (19, 23, 17);
+        let a = fill(m * k, 31);
+        let bt = fill(n * k, 32);
+        let b = fill(m * n, 33);
+        let mut x = vec![0.0; m * n];
+        let mut y = vec![0.0; m * n];
+        NaiveKernel.gemm_nt(m, k, n, &a, &bt, &mut x);
+        SimdKernel.gemm_nt(m, k, n, &a, &bt, &mut y);
+        assert_bits_eq(&x, &y);
+        let mut u = vec![0.0; k * n];
+        let mut v = vec![0.0; k * n];
+        NaiveKernel.gemm_tn(m, k, n, &a, &b, &mut u);
+        SimdKernel.gemm_tn(m, k, n, &a, &b, &mut v);
+        assert_bits_eq(&u, &v);
+    }
+
+    #[test]
+    fn sharded_matches_naive_at_every_thread_count() {
+        let (m, k, n) = (33, 29, 37);
+        let a = fill(m * k, 41);
+        let b = fill(k * n, 42);
+        let bt = fill(n * k, 43);
+        let c = fill(m * n, 44);
+        let mut want_g = vec![0.0; m * n];
+        let mut want_nt = vec![0.0; m * n];
+        let mut want_tn = vec![0.0; k * n];
+        NaiveKernel.gemm(m, k, n, &a, &b, &mut want_g);
+        NaiveKernel.gemm_nt(m, k, n, &a, &bt, &mut want_nt);
+        NaiveKernel.gemm_tn(m, k, n, &a, &c, &mut want_tn);
+        for threads in [1, 2, 3, 8, 64] {
+            let kernel = ShardedKernel::with_threads(threads);
+            let mut g = vec![0.0; m * n];
+            let mut nt = vec![0.0; m * n];
+            let mut tn = vec![0.0; k * n];
+            kernel.gemm(m, k, n, &a, &b, &mut g);
+            kernel.gemm_nt(m, k, n, &a, &bt, &mut nt);
+            kernel.gemm_tn(m, k, n, &a, &c, &mut tn);
+            assert_bits_eq(&want_g, &g);
+            assert_bits_eq(&want_nt, &nt);
+            assert_bits_eq(&want_tn, &tn);
+        }
+    }
+
+    #[test]
+    fn sharded_fans_out_above_the_work_threshold() {
+        // 128^3 > SHARD_MIN_WORK, so this exercises the actual spawn path
+        // (with_threads(3) bypasses the process budget on 1-core hosts).
+        let (m, k, n) = (128, 128, 128);
+        let a = fill(m * k, 51);
+        let b = fill(k * n, 52);
+        let mut want = vec![0.0; m * n];
+        NaiveKernel.gemm(m, k, n, &a, &b, &mut want);
+        let mut got = vec![0.0; m * n];
+        ShardedKernel::with_threads(3).gemm(m, k, n, &a, &b, &mut got);
+        assert_bits_eq(&want, &got);
+    }
+
+    #[test]
+    fn shard_ranges_cover_exactly_once() {
+        for (total, workers) in [(10, 3), (1, 8), (0, 4), (7, 7), (64, 5), (3, 1)] {
+            let ranges = shard_ranges(total, workers);
+            let mut next = 0;
+            for &(s, e) in &ranges {
+                assert_eq!(s, next, "contiguous");
+                assert!(e > s, "non-empty");
+                next = e;
+            }
+            assert_eq!(next, total, "covers all of {total} with {workers}");
+            assert!(ranges.len() <= workers.max(1));
+        }
+    }
+
+    #[test]
+    fn fast_kernel_is_accurate_if_not_bit_identical() {
+        let (m, k, n) = (24, 31, 18);
+        let a = fill(m * k, 61);
+        let b = fill(k * n, 62);
+        let mut want = vec![0.0; m * n];
+        NaiveKernel.gemm(m, k, n, &a, &b, &mut want);
+        let mut got = vec![0.0; m * n];
+        FastKernel.gemm(m, k, n, &a, &b, &mut got);
+        for (w, g) in want.iter().zip(&got) {
+            assert!((w - g).abs() <= 1e-9 * (1.0 + w.abs()), "{w} vs {g}");
+        }
+        let mut mv_want = vec![0.0; m];
+        let mut mv_got = vec![0.0; m];
+        let v = fill(k, 63);
+        NaiveKernel.matvec(m, k, &a, &v, &mut mv_want);
+        FastKernel.matvec(m, k, &a, &v, &mut mv_got);
+        for (w, g) in mv_want.iter().zip(&mv_got) {
+            assert!((w - g).abs() <= 1e-9 * (1.0 + w.abs()), "{w} vs {g}");
+        }
+    }
+
+    #[test]
+    fn kernel_thread_budget_overrides_and_resets() {
+        // Not run in parallel with anything that reads the budget: the
+        // other kernel tests pin thread counts per-instance.
+        let before = kernel_threads();
+        set_kernel_threads(5);
+        assert_eq!(kernel_threads(), 5);
+        set_kernel_threads(0);
+        assert_eq!(kernel_threads(), before, "0 resets to automatic");
     }
 }

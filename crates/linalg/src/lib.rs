@@ -27,7 +27,8 @@ pub mod stats;
 pub mod vector;
 
 pub use kernel::{
-    kernel, kernel_kind, set_kernel, BlockedKernel, GemmBackend, KernelKind, NaiveKernel,
+    kernel, kernel_kind, kernel_names, kernel_threads, set_kernel, set_kernel_threads,
+    BlockedKernel, FastKernel, GemmBackend, KernelKind, NaiveKernel, ShardedKernel, SimdKernel,
 };
 pub use matrix::Matrix;
 pub use qr::{least_squares, QrFactorization};

@@ -115,17 +115,40 @@ impl Matrix {
         out
     }
 
+    /// Reshapes `self` to an all-zero `rows × cols` matrix, reusing the
+    /// existing allocation when it is large enough. The workhorse of the
+    /// `*_into` methods: a cleared scratch matrix costs a memset, not a
+    /// round-trip through the allocator.
+    pub fn reset_to_zeros(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
     /// Matrix product `self * rhs`.
     ///
     /// # Panics
     /// Panics if `self.cols() != rhs.rows()`.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// [`matmul`](Self::matmul) into a reusable output matrix (resized and
+    /// zeroed, allocation reused) — same kernel call, identical bits, no
+    /// per-call allocation in steady state.
+    ///
+    /// # Panics
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, rhs.rows,
             "matmul shape mismatch: {}x{} * {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        out.reset_to_zeros(self.rows, rhs.cols);
         kernel().gemm(
             self.rows,
             self.cols,
@@ -134,7 +157,6 @@ impl Matrix {
             &rhs.data,
             &mut out.data,
         );
-        out
     }
 
     /// Matrix product `self * rhsᵀ` without materializing the transpose.
@@ -145,12 +167,22 @@ impl Matrix {
     /// # Panics
     /// Panics if `self.cols() != rhs.cols()`.
     pub fn matmul_nt(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_nt_into(rhs, &mut out);
+        out
+    }
+
+    /// [`matmul_nt`](Self::matmul_nt) into a reusable output matrix.
+    ///
+    /// # Panics
+    /// Panics if `self.cols() != rhs.cols()`.
+    pub fn matmul_nt_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, rhs.cols,
             "matmul_nt shape mismatch: {}x{} * ({}x{})ᵀ",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        out.reset_to_zeros(self.rows, rhs.rows);
         kernel().gemm_nt(
             self.rows,
             self.cols,
@@ -159,7 +191,6 @@ impl Matrix {
             &rhs.data,
             &mut out.data,
         );
-        out
     }
 
     /// Matrix product `selfᵀ * rhs` without materializing the transpose.
@@ -170,12 +201,22 @@ impl Matrix {
     /// # Panics
     /// Panics if `self.rows() != rhs.rows()`.
     pub fn matmul_tn(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_tn_into(rhs, &mut out);
+        out
+    }
+
+    /// [`matmul_tn`](Self::matmul_tn) into a reusable output matrix.
+    ///
+    /// # Panics
+    /// Panics if `self.rows() != rhs.rows()`.
+    pub fn matmul_tn_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.rows, rhs.rows,
             "matmul_tn shape mismatch: ({}x{})ᵀ * {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Matrix::zeros(self.cols, rhs.cols);
+        out.reset_to_zeros(self.cols, rhs.cols);
         kernel().gemm_tn(
             self.rows,
             self.cols,
@@ -184,7 +225,6 @@ impl Matrix {
             &rhs.data,
             &mut out.data,
         );
-        out
     }
 
     /// Sparse-aware matrix product: skips zero entries of `self`.
@@ -248,13 +288,21 @@ impl Matrix {
     /// `matvec_t` against a ones vector, without allocating one in the
     /// per-minibatch gradient hot path.
     pub fn col_sums(&self) -> Vec<f64> {
-        let mut out = vec![0.0; self.cols];
+        let mut out = Vec::new();
+        self.col_sums_into(&mut out);
+        out
+    }
+
+    /// [`col_sums`](Self::col_sums) into a reusable vector (cleared and
+    /// refilled, allocation reused).
+    pub fn col_sums_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.resize(self.cols, 0.0);
         for row in self.data.chunks_exact(self.cols.max(1)) {
             for (o, &x) in out.iter_mut().zip(row) {
                 *o += x;
             }
         }
-        out
     }
 
     /// Copies the listed rows into a new matrix (minibatch gathering).
@@ -262,12 +310,26 @@ impl Matrix {
     /// # Panics
     /// Panics if any index is out of range.
     pub fn gather_rows(&self, indices: &[usize]) -> Matrix {
-        let mut data = Vec::with_capacity(indices.len() * self.cols);
+        let mut out = Matrix::zeros(0, 0);
+        self.gather_rows_into(indices, &mut out);
+        out
+    }
+
+    /// [`gather_rows`](Self::gather_rows) into a reusable matrix: the
+    /// training loop gathers a fresh minibatch hundreds of times per
+    /// epoch, and this keeps it allocation-free in steady state.
+    ///
+    /// # Panics
+    /// Panics if any index is out of range.
+    pub fn gather_rows_into(&self, indices: &[usize], out: &mut Matrix) {
+        out.rows = indices.len();
+        out.cols = self.cols;
+        out.data.clear();
+        out.data.reserve(indices.len() * self.cols);
         for &i in indices {
             assert!(i < self.rows, "gather_rows: row {i} out of {}", self.rows);
-            data.extend_from_slice(self.row(i));
+            out.data.extend_from_slice(self.row(i));
         }
-        Matrix::from_vec(indices.len(), self.cols, data)
     }
 
     /// Adds `bias` to every row (the broadcast `+ b` of an affine layer).
@@ -333,6 +395,13 @@ impl Matrix {
     /// True if any entry is NaN or infinite.
     pub fn has_non_finite(&self) -> bool {
         self.data.iter().any(|x| !x.is_finite())
+    }
+}
+
+impl Default for Matrix {
+    /// An empty `0 × 0` matrix (the natural seed for `*_into` scratch).
+    fn default() -> Self {
+        Matrix::zeros(0, 0)
     }
 }
 
@@ -498,6 +567,39 @@ mod tests {
     fn col_extracts_column() {
         let m = Matrix::from_vec(3, 2, vec![1., 2., 3., 4., 5., 6.]);
         assert_eq!(m.col(1), vec![2., 4., 6.]);
+    }
+
+    #[test]
+    fn into_variants_match_and_reuse_allocations() {
+        let a = Matrix::from_vec(3, 4, (0..12).map(|i| i as f64 * 0.7 - 4.0).collect());
+        let b = Matrix::from_vec(4, 2, (0..8).map(|i| (i as f64).cos()).collect());
+        let bt = Matrix::from_vec(5, 4, (0..20).map(|i| (i as f64).sin()).collect());
+        let c = Matrix::from_vec(3, 5, (0..15).map(|i| i as f64 - 7.0).collect());
+
+        // Seed the scratch with a larger shape so reuse paths run.
+        let mut out = Matrix::zeros(9, 9);
+        let cap = out.data.capacity();
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a.matmul(&b));
+        a.matmul_nt_into(&bt, &mut out);
+        assert_eq!(out, a.matmul_nt(&bt));
+        a.matmul_tn_into(&c, &mut out);
+        assert_eq!(out, a.matmul_tn(&c));
+        a.gather_rows_into(&[2, 0], &mut out);
+        assert_eq!(out, a.gather_rows(&[2, 0]));
+        assert_eq!(out.data.capacity(), cap, "allocation reused");
+
+        let mut sums = vec![1.0; 7];
+        a.col_sums_into(&mut sums);
+        assert_eq!(sums, a.col_sums());
+    }
+
+    #[test]
+    fn reset_to_zeros_reshapes_and_clears() {
+        let mut m = Matrix::from_vec(2, 3, vec![1.; 6]);
+        m.reset_to_zeros(3, 2);
+        assert_eq!((m.rows(), m.cols()), (3, 2));
+        assert!(m.as_slice().iter().all(|&x| x == 0.0));
     }
 
     #[test]

@@ -4,6 +4,7 @@ use proptest::prelude::*;
 use st_linalg::{
     cholesky_solve, dot, gaussian_solve, l2_norm, log_sum_exp, mean, quantile, sigmoid,
     softmax_in_place, sub, variance, BlockedKernel, GemmBackend, Matrix, NaiveKernel,
+    ShardedKernel, SimdKernel,
 };
 
 fn finite_vec(len: usize) -> impl Strategy<Value = Vec<f64>> {
@@ -219,7 +220,8 @@ fn assert_bits_equal(op: &str, a: &[f64], b: &[f64]) {
 }
 
 /// Runs every backend op on one `(m, k, n)` shape and asserts bitwise
-/// equality between the naive and blocked kernels.
+/// equality of every deterministic backend — blocked, simd, and sharded
+/// at 1, 2, and N worker threads — against the naive reference.
 fn check_kernel_equivalence(m: usize, k: usize, n: usize, seed: u64) {
     let a = kernel_data(m * k, seed);
     let b = kernel_data(k * n, seed.wrapping_add(1));
@@ -228,41 +230,56 @@ fn check_kernel_equivalence(m: usize, k: usize, n: usize, seed: u64) {
     let v = kernel_data(k, seed.wrapping_add(4));
     let w = kernel_data(m, seed.wrapping_add(5));
 
+    let sharded1 = ShardedKernel::with_threads(1);
+    let sharded2 = ShardedKernel::with_threads(2);
+    let sharded_n = ShardedKernel::with_threads(7);
+    let backends: [&dyn GemmBackend; 5] = [
+        &BlockedKernel,
+        &SimdKernel,
+        &sharded1,
+        &sharded2,
+        &sharded_n,
+    ];
+
     let mut x = vec![0.0; m * n];
-    let mut y = vec![0.0; m * n];
     NaiveKernel.gemm(m, k, n, &a, &b, &mut x);
-    BlockedKernel.gemm(m, k, n, &a, &b, &mut y);
-    assert_bits_equal("gemm", &x, &y);
-
-    x.fill(0.0);
-    y.fill(0.0);
-    NaiveKernel.gemm_nt(m, k, n, &a, &bt, &mut x);
-    BlockedKernel.gemm_nt(m, k, n, &a, &bt, &mut y);
-    assert_bits_equal("gemm_nt", &x, &y);
-
     let mut u = vec![0.0; k * n];
-    let mut z = vec![0.0; k * n];
     NaiveKernel.gemm_tn(m, k, n, &a, &c, &mut u);
-    BlockedKernel.gemm_tn(m, k, n, &a, &c, &mut z);
-    assert_bits_equal("gemm_tn", &u, &z);
-
+    let mut nt = vec![0.0; m * n];
+    NaiveKernel.gemm_nt(m, k, n, &a, &bt, &mut nt);
     let mut mv_n = vec![0.0; m];
-    let mut mv_b = vec![0.0; m];
     NaiveKernel.matvec(m, k, &a, &v, &mut mv_n);
-    BlockedKernel.matvec(m, k, &a, &v, &mut mv_b);
-    assert_bits_equal("matvec", &mv_n, &mv_b);
-
     let mut mt_n = vec![0.0; k];
-    let mut mt_b = vec![0.0; k];
     NaiveKernel.matvec_t(m, k, &a, &w, &mut mt_n);
-    BlockedKernel.matvec_t(m, k, &a, &w, &mut mt_b);
-    assert_bits_equal("matvec_t", &mt_n, &mt_b);
-
     let mut t_n = vec![0.0; m * k];
-    let mut t_b = vec![0.0; m * k];
     NaiveKernel.transpose(m, k, &a, &mut t_n);
-    BlockedKernel.transpose(m, k, &a, &mut t_b);
-    assert_bits_equal("transpose", &t_n, &t_b);
+
+    for backend in backends {
+        let name = backend.name();
+        let mut y = vec![0.0; m * n];
+        backend.gemm(m, k, n, &a, &b, &mut y);
+        assert_bits_equal(&format!("{name} gemm"), &x, &y);
+
+        y.fill(0.0);
+        backend.gemm_nt(m, k, n, &a, &bt, &mut y);
+        assert_bits_equal(&format!("{name} gemm_nt"), &nt, &y);
+
+        let mut z = vec![0.0; k * n];
+        backend.gemm_tn(m, k, n, &a, &c, &mut z);
+        assert_bits_equal(&format!("{name} gemm_tn"), &u, &z);
+
+        let mut mv = vec![0.0; m];
+        backend.matvec(m, k, &a, &v, &mut mv);
+        assert_bits_equal(&format!("{name} matvec"), &mv_n, &mv);
+
+        let mut mt = vec![0.0; k];
+        backend.matvec_t(m, k, &a, &w, &mut mt);
+        assert_bits_equal(&format!("{name} matvec_t"), &mt_n, &mt);
+
+        let mut t = vec![0.0; m * k];
+        backend.transpose(m, k, &a, &mut t);
+        assert_bits_equal(&format!("{name} transpose"), &t_n, &t);
+    }
 }
 
 /// The fixed shape gallery the ISSUE calls out: degenerate (empty, 1×1),

@@ -43,6 +43,13 @@ impl Layer {
         out.add_bias_rows(&self.b);
         out
     }
+
+    /// [`forward`](Self::forward) into a reusable output matrix (same
+    /// ops, identical bits, no allocation in steady state).
+    pub fn forward_into(&self, x: &Matrix, out: &mut Matrix) {
+        x.matmul_into(&self.w, out);
+        out.add_bias_rows(&self.b);
+    }
 }
 
 /// A ReLU multi-layer perceptron with a softmax output head.

@@ -164,15 +164,17 @@ pub fn train_validated(
     let mut best: Option<(f64, Mlp)> = None;
     let mut since_best = 0usize;
     let mut epochs_run = 0usize;
+    let mut scratch = TrainScratch::for_net(&net);
 
     for epoch in 0..config.epochs {
         let lr = config.schedule.lr_at(config.lr, epoch);
         order.shuffle(&mut rng);
         for chunk in order.chunks(config.batch_size.max(1)) {
-            let bx = x.gather_rows(chunk);
-            let by: Vec<usize> = chunk.iter().map(|&i| y[i]).collect();
+            x.gather_rows_into(chunk, &mut scratch.bx);
+            scratch.by.clear();
+            scratch.by.extend(chunk.iter().map(|&i| y[i]));
             opt.next_step();
-            descent_step(&mut net, &bx, &by, lr, config, &mut opt, &mut rng);
+            descent_step(&mut net, &mut scratch, lr, config, &mut opt, &mut rng);
         }
         epochs_run = epoch + 1;
 
@@ -216,73 +218,112 @@ pub fn train_validated(
     }
 }
 
-/// Forward pass with inverted dropout on hidden activations.
+/// Reusable buffers for the minibatch loop.
 ///
-/// Returns `(activations, logits, masks)`: `activations[0]` is the input and
-/// `activations[i]` (i ≥ 1) the *post-dropout* hidden activation feeding
-/// layer `i`; `masks[i-1]` holds the multiplicative dropout factors (0 or
-/// `1/keep`) for that activation, empty when dropout is off.
-fn forward_train(
-    net: &Mlp,
-    x: &Matrix,
-    dropout: f64,
-    rng: &mut StdRng,
-) -> (Vec<Matrix>, Matrix, Vec<Vec<f64>>) {
-    let mut activations = Vec::with_capacity(net.layers.len());
-    let mut masks = Vec::new();
-    activations.push(x.clone());
-    let mut cur = x.clone();
-    for (i, layer) in net.layers.iter().enumerate() {
-        let mut z = layer.forward(&cur);
-        let is_last = i + 1 == net.layers.len();
-        if !is_last {
-            for v in z.as_mut_slice() {
-                if *v < 0.0 {
-                    *v = 0.0;
-                }
-            }
-            if dropout > 0.0 {
-                let keep = 1.0 - dropout;
-                let mut mask = Vec::with_capacity(z.as_slice().len());
-                for v in z.as_mut_slice() {
-                    let factor = if rng.gen::<f64>() < keep {
-                        1.0 / keep
-                    } else {
-                        0.0
-                    };
-                    *v *= factor;
-                    mask.push(factor);
-                }
-                masks.push(mask);
-            } else {
-                masks.push(Vec::new());
-            }
-            activations.push(z.clone());
-        }
-        cur = z;
-    }
-    (activations, cur, masks)
+/// The training loop runs hundreds of minibatches per epoch; gathering,
+/// forward activations, gradients, and dropout masks all used to allocate
+/// fresh `Vec`s/`Matrix`es per batch. Threading one scratch through the
+/// loop keeps the steady state allocation-free without changing a single
+/// arithmetic operation (all `_into` methods are bit-identical twins of
+/// their allocating versions).
+#[derive(Debug, Default)]
+struct TrainScratch {
+    /// Gathered minibatch features.
+    bx: Matrix,
+    /// Gathered minibatch labels.
+    by: Vec<usize>,
+    /// Post-ReLU (and post-dropout) activation of hidden layer `i`,
+    /// feeding layer `i + 1`.
+    acts: Vec<Matrix>,
+    /// Output-layer logits of the forward pass.
+    logits: Matrix,
+    /// Multiplicative dropout factors (0 or `1/keep`) per hidden
+    /// activation; empty vectors when dropout is off.
+    masks: Vec<Vec<f64>>,
+    /// Gradient flowing backward (`dZ`), and its ping-pong partner.
+    dz: Matrix,
+    da: Matrix,
+    /// Per-layer weight gradient (consumed before the next layer).
+    grad_w: Matrix,
+    /// Per-layer bias gradient.
+    grad_b: Vec<f64>,
 }
 
-/// One optimizer step on a minibatch (backprop + per-tensor update).
+impl TrainScratch {
+    fn for_net(net: &Mlp) -> Self {
+        let hidden = net.layers.len() - 1;
+        TrainScratch {
+            acts: (0..hidden).map(|_| Matrix::zeros(0, 0)).collect(),
+            masks: vec![Vec::new(); hidden],
+            ..Default::default()
+        }
+    }
+}
+
+/// Forward pass with inverted dropout on hidden activations, into the
+/// scratch: `scratch.acts[i]` receives the *post-dropout* activation of
+/// hidden layer `i` (feeding layer `i + 1`), `scratch.logits` the output
+/// logits, and `scratch.masks[i]` the dropout factors (empty when dropout
+/// is off). Identical operations — and RNG draws — to the allocating
+/// version this replaced, so training bits are unchanged.
+fn forward_train(net: &Mlp, dropout: f64, rng: &mut StdRng, scratch: &mut TrainScratch) {
+    let last = net.layers.len() - 1;
+    for (i, layer) in net.layers.iter().enumerate() {
+        // Split so the input activation (or `bx`) can be read while this
+        // layer's output is written.
+        let (done, rest) = scratch.acts.split_at_mut(i);
+        let input = if i == 0 { &scratch.bx } else { &done[i - 1] };
+        let z = if i == last {
+            &mut scratch.logits
+        } else {
+            &mut rest[0]
+        };
+        layer.forward_into(input, z);
+        if i == last {
+            break;
+        }
+        for v in z.as_mut_slice() {
+            if *v < 0.0 {
+                *v = 0.0;
+            }
+        }
+        let mask = &mut scratch.masks[i];
+        mask.clear();
+        if dropout > 0.0 {
+            let keep = 1.0 - dropout;
+            for v in z.as_mut_slice() {
+                let factor = if rng.gen::<f64>() < keep {
+                    1.0 / keep
+                } else {
+                    0.0
+                };
+                *v *= factor;
+                mask.push(factor);
+            }
+        }
+    }
+}
+
+/// One optimizer step on the gathered minibatch (backprop + per-tensor
+/// update), entirely in scratch space.
 fn descent_step(
     net: &mut Mlp,
-    bx: &Matrix,
-    by: &[usize],
+    scratch: &mut TrainScratch,
     lr: f64,
     config: &TrainConfig,
     opt: &mut OptimizerState,
     rng: &mut StdRng,
 ) {
-    let m = bx.rows();
-    let (activations, logits, masks) = forward_train(net, bx, config.dropout, rng);
+    let m = scratch.bx.rows();
+    forward_train(net, config.dropout, rng, scratch);
 
-    // Softmax cross-entropy gradient on logits: (p - onehot) / m.
-    let mut dz = logits;
+    // Softmax cross-entropy gradient on logits: (p - onehot) / m. The
+    // logits buffer *becomes* dZ (a pointer swap, not a copy).
+    std::mem::swap(&mut scratch.dz, &mut scratch.logits);
     for r in 0..m {
-        let row = dz.row_mut(r);
+        let row = scratch.dz.row_mut(r);
         softmax_in_place(row);
-        row[by[r]] -= 1.0;
+        row[scratch.by[r]] -= 1.0;
         for v in row.iter_mut() {
             *v /= m as f64;
         }
@@ -292,38 +333,50 @@ fn descent_step(
     // transpose-free GEMM shapes (`Xᵀ·dZ`, `dZ·Wᵀ`) so the whole batch
     // goes through the compute kernel without materializing transposes.
     for li in (0..net.layers.len()).rev() {
-        let a_in = &activations[li];
+        let a_in = if li == 0 {
+            &scratch.bx
+        } else {
+            &scratch.acts[li - 1]
+        };
         // grad_w = a_inᵀ · dz ; grad_b = column sums of dz.
-        let grad_w = a_in.matmul_tn(&dz);
-        let grad_b = dz.col_sums();
+        a_in.matmul_tn_into(&scratch.dz, &mut scratch.grad_w);
+        scratch.dz.col_sums_into(&mut scratch.grad_b);
 
         // Propagate before mutating this layer's weights.
         if li > 0 {
-            let mut da = dz.matmul_nt(&net.layers[li].w);
+            scratch
+                .dz
+                .matmul_nt_into(&net.layers[li].w, &mut scratch.da);
             // ReLU mask from the stored post-activation (dropped units have
             // zero activation, so the same test covers both), plus the
             // inverted-dropout scale factors.
-            let act = &activations[li];
-            let mask = &masks[li - 1];
-            for (idx, (v, &a)) in da.as_mut_slice().iter_mut().zip(act.as_slice()).enumerate() {
+            let act = &scratch.acts[li - 1];
+            let mask = &scratch.masks[li - 1];
+            for (idx, (v, &a)) in scratch
+                .da
+                .as_mut_slice()
+                .iter_mut()
+                .zip(act.as_slice())
+                .enumerate()
+            {
                 if a <= 0.0 {
                     *v = 0.0;
                 } else if !mask.is_empty() {
                     *v *= mask[idx];
                 }
             }
-            dz = da;
+            std::mem::swap(&mut scratch.dz, &mut scratch.da);
         }
 
         let layer = &mut net.layers[li];
         opt.update(
             2 * li,
             layer.w.as_mut_slice(),
-            grad_w.as_slice(),
+            scratch.grad_w.as_slice(),
             lr,
             config.l2,
         );
-        opt.update(2 * li + 1, &mut layer.b, &grad_b, lr, 0.0);
+        opt.update(2 * li + 1, &mut layer.b, &scratch.grad_b, lr, 0.0);
     }
 }
 
