@@ -19,27 +19,10 @@
 //!   every gated shape, and faster than `simd` on multi-core hosts (the
 //!   speed half is skipped, with a note, on single-core containers).
 
-use st_bench::rule;
+use st_bench::{assert_bits_identical, bench_fill as fill, best_secs, rule};
 use st_linalg::{
     kernel_threads, BlockedKernel, FastKernel, GemmBackend, NaiveKernel, ShardedKernel, SimdKernel,
 };
-use std::time::Instant;
-
-/// Deterministic dense test data (SplitMix64 stream).
-fn fill(len: usize, seed: u64) -> Vec<f64> {
-    let mut rng = st_linalg::SplitMix64::new(seed);
-    (0..len).map(|_| rng.next_f64() * 2.0 - 1.0).collect()
-}
-
-fn assert_bits_identical(op: &str, a: &[f64], b: &[f64]) {
-    assert_eq!(a.len(), b.len(), "{op}: length mismatch");
-    for (i, (x, y)) in a.iter().zip(b).enumerate() {
-        assert!(
-            x.to_bits() == y.to_bits(),
-            "{op}: outputs differ at {i}: {x} vs {y}"
-        );
-    }
-}
 
 /// `fast` waives bit-identity; it still has to be *numerically* right.
 fn assert_close(op: &str, a: &[f64], b: &[f64]) {
@@ -50,18 +33,6 @@ fn assert_close(op: &str, a: &[f64], b: &[f64]) {
             "{op}: outputs diverge at {i}: {x} vs {y}"
         );
     }
-}
-
-/// Times `body` over `reps` runs and returns the best wall-clock seconds
-/// (best-of is robust to scheduler noise on shared runners).
-fn best_secs(reps: usize, mut body: impl FnMut()) -> f64 {
-    let mut best = f64::INFINITY;
-    for _ in 0..reps {
-        let start = Instant::now();
-        body();
-        best = best.min(start.elapsed().as_secs_f64());
-    }
-    best
 }
 
 /// One timed operation on one shape across all backends.

@@ -1,0 +1,295 @@
+//! End-to-end pipeline profiler: times one full estimator → fit → optimize
+//! trial with a per-phase breakdown (data generation, subset trainings,
+//! curve fitting, convex solver), gates the prepacked operand API against
+//! per-call packing on the estimator's repeated-GEMM shape, and emits
+//! machine-readable `BENCH_pipeline.json` (schema in `docs/profiling.md`).
+//!
+//! ```text
+//! cargo run --release -p st_bench --bin pipeline
+//! ```
+//!
+//! Knobs:
+//!
+//! - `ST_QUICK=1` — small dataset/budget and fewer timing reps;
+//! - `ST_PIPELINE_NO_GATE=1` — emit timings and JSON but skip the ≥1.2×
+//!   prepacked *speed* gate (CI's schema smoke uses this; the bit-identity
+//!   cross-checks always run);
+//! - `ST_BENCH_JSON` — output path (default `BENCH_pipeline.json`);
+//! - `ST_KERNEL` — overrides the bench default (`sharded` on multi-core
+//!   hosts, `simd` on single-core).
+
+use slice_tuner::{PoolSource, SliceTuner, Strategy};
+use st_bench::{assert_bits_identical, bench_fill as fill, best_secs, rule, FamilySetup};
+use st_curve::fit_power_law;
+use st_data::SlicedDataset;
+use st_linalg::{GemmBackend, SimdKernel};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One named phase timing for the report and the JSON emission.
+struct Phase {
+    name: &'static str,
+    ms: f64,
+    /// Optional count annotation (model trainings behind the phase).
+    trainings: Option<usize>,
+}
+
+fn main() {
+    let kernel = st_bench::init_bench_kernel();
+    let quick = st_bench::quick();
+    let no_gate = std::env::var("ST_PIPELINE_NO_GATE")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+
+    println!("Pipeline profiler — one estimator → fit → optimize trial, per phase");
+    println!(
+        "kernel: {} | quick: {quick} | gate: {}\n",
+        kernel.name(),
+        if no_gate {
+            "reporting only"
+        } else {
+            "enforced"
+        }
+    );
+
+    // ---- Trial phases ----------------------------------------------------
+    //
+    // The workload is one real Slice Tuner cell: generate a sliced dataset,
+    // estimate per-slice learning curves (the repeated-small-training hot
+    // path that dominates wall-clock), fit the measured points, and solve
+    // the one-shot allocation. AdultCensus in quick mode keeps the CI smoke
+    // cheap; the Fashion-MNIST analog (784-dim features) exercises the
+    // kernel layer for real otherwise.
+    let setup = if quick {
+        FamilySetup::census()
+    } else {
+        FamilySetup::fashion()
+    };
+    let budget = setup.scaled_budget();
+    let sizes = setup.equal_sizes();
+
+    let start = Instant::now();
+    let ds = SlicedDataset::generate(&setup.family, &sizes, setup.validation, 11);
+    let data_gen_s = start.elapsed().as_secs_f64();
+
+    // The shared cache lets the post-fit phases reuse the estimation below
+    // without retraining (hits are bit-identical to recomputation).
+    let cfg = setup.config(11).with_cache(st_bench::shared_cache());
+    let mut source = PoolSource::new(setup.family.clone(), 0x9157);
+    let tuner = SliceTuner::new(ds, &mut source, cfg);
+
+    // Phase: training — every subset training the estimator schedules.
+    // This is where the training GEMMs (forward + backward minibatch
+    // products, prepacked per-slice evaluations) spend their time.
+    let start = Instant::now();
+    let detailed = tuner.estimate_curves_detailed(0);
+    let training_s = start.elapsed().as_secs_f64();
+    let trainings = tuner.trainings();
+
+    // Phase: curve fit — refit the measured points exactly as the
+    // estimator does after its trainings, repeated for a stable reading.
+    let fit_reps = if quick { 20 } else { 50 };
+    let mut fits_ok = 0usize;
+    let start = Instant::now();
+    for _ in 0..fit_reps {
+        for e in &detailed {
+            if fit_power_law(&e.points).is_ok() {
+                fits_ok += 1;
+            }
+        }
+    }
+    let curve_fit_s = start.elapsed().as_secs_f64() / fit_reps as f64;
+
+    // Phase: solver — the convex allocation on the fitted curves (the
+    // curves come from the cache; no retraining happens here).
+    let curves = tuner.estimate_curves(0);
+    let solver_reps = if quick { 20 } else { 50 };
+    let mut allocation = Vec::new();
+    let start = Instant::now();
+    for _ in 0..solver_reps {
+        allocation = tuner.one_shot_allocation(&curves, budget);
+    }
+    let solver_s = start.elapsed().as_secs_f64() / solver_reps as f64;
+
+    // Phase: full trial — a fresh end-to-end One-shot run (fresh seed, so
+    // nothing is answered from the cache) including the before/after
+    // evaluation trainings.
+    let ds2 = SlicedDataset::generate(&setup.family, &sizes, setup.validation, 12);
+    let cfg2 = setup.config(12).with_cache(st_bench::shared_cache());
+    let mut source2 = PoolSource::new(setup.family.clone(), 0x9158);
+    let mut tuner2 = SliceTuner::new(ds2, &mut source2, cfg2);
+    let start = Instant::now();
+    let result = tuner2.run(Strategy::OneShot, budget);
+    let full_trial_s = start.elapsed().as_secs_f64();
+
+    let phases = [
+        Phase {
+            name: "data_gen",
+            ms: data_gen_s * 1e3,
+            trainings: None,
+        },
+        Phase {
+            name: "training",
+            ms: training_s * 1e3,
+            trainings: Some(trainings),
+        },
+        Phase {
+            name: "curve_fit",
+            ms: curve_fit_s * 1e3,
+            trainings: None,
+        },
+        Phase {
+            name: "solver",
+            ms: solver_s * 1e3,
+            trainings: None,
+        },
+        Phase {
+            name: "full_trial",
+            ms: full_trial_s * 1e3,
+            trainings: Some(result.trainings),
+        },
+    ];
+    let total_ms: f64 = data_gen_s * 1e3 + training_s * 1e3 + curve_fit_s * 1e3 + solver_s * 1e3;
+
+    println!("{} (B = {budget}, {} slices)", setup.label, sizes.len());
+    println!("{:<12} {:>12}  note", "phase", "ms");
+    rule(56);
+    for p in &phases {
+        let note = match p.trainings {
+            Some(t) => format!("{t} model trainings"),
+            None => String::new(),
+        };
+        println!("{:<12} {:>12.3}  {note}", p.name, p.ms);
+    }
+    rule(56);
+    println!(
+        "{:<12} {:>12.3}  (estimate + fit + solve; {} fits, {} alloc slots)\n",
+        "total",
+        total_ms,
+        fits_ok,
+        allocation.len()
+    );
+
+    // ---- Prepacked vs per-call packing gate ------------------------------
+    //
+    // The estimator's GEMM profile: one fixed operand (weights) multiplied
+    // by a stream of small activation batches. Shape 512×784×64 (the
+    // kernels bench's "fwd" shape) consumed in 16-row minibatches — the
+    // minibatch regime where per-call re-packing of the 784×64 operand is
+    // a measurable fraction of each call. Measured on the single-threaded
+    // simd core so the reading is host-core-count independent; bits must
+    // match exactly either way.
+    let (rows, k, n, mb) = (512usize, 784usize, 64usize, 16usize);
+    let reps = if quick { 5 } else { 9 };
+    let rounds = if quick { 3 } else { 5 };
+    let a = fill(rows * k, 0xA11CE);
+    let b = fill(k * n, 0xB0B);
+    let simd = SimdKernel;
+
+    let run_per_call = |out: &mut [f64]| {
+        out.fill(0.0);
+        for r0 in (0..rows).step_by(mb) {
+            let h = mb.min(rows - r0);
+            simd.gemm(
+                h,
+                k,
+                n,
+                &a[r0 * k..(r0 + h) * k],
+                &b,
+                &mut out[r0 * n..(r0 + h) * n],
+            );
+        }
+    };
+    let run_prepacked = |out: &mut [f64]| {
+        out.fill(0.0);
+        // The single pack is part of the timed body: the speedup below is
+        // end-to-end, not pack-cost-hidden.
+        let pb = simd.pack_b(k, n, &b);
+        for r0 in (0..rows).step_by(mb) {
+            let h = mb.min(rows - r0);
+            simd.gemm_prepacked(
+                h,
+                k,
+                n,
+                &a[r0 * k..(r0 + h) * k],
+                &pb,
+                &mut out[r0 * n..(r0 + h) * n],
+            );
+        }
+    };
+
+    let mut per_call_out = vec![0.0; rows * n];
+    let mut prepacked_out = vec![0.0; rows * n];
+    run_per_call(&mut per_call_out);
+    run_prepacked(&mut prepacked_out);
+    assert_bits_identical("prepacked 512x784x64", &per_call_out, &prepacked_out);
+
+    // Interleaved rounds so scheduler noise cannot land on one contender.
+    let (mut t_call, mut t_pack) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..rounds {
+        t_call = t_call.min(best_secs(reps, || run_per_call(&mut per_call_out)));
+        t_pack = t_pack.min(best_secs(reps, || run_prepacked(&mut prepacked_out)));
+    }
+    let speedup = t_call / t_pack;
+    println!("prepacked gate: {rows}x{k}x{n} in {mb}-row minibatches (simd core, bit-identical)");
+    println!(
+        "  per-call packing: {:.3} ms | prepacked: {:.3} ms | speedup {speedup:.2}x (target >= 1.2x{})",
+        t_call * 1e3,
+        t_pack * 1e3,
+        if no_gate { ", not enforced" } else { "" }
+    );
+
+    // ---- JSON emission ---------------------------------------------------
+    let path = std::env::var("ST_BENCH_JSON").unwrap_or_else(|_| "BENCH_pipeline.json".to_string());
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"pipeline\",");
+    let _ = writeln!(json, "  \"schema_version\": 1,");
+    let _ = writeln!(json, "  \"kernel\": \"{}\",", kernel.name());
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"family\": \"{}\",", setup.label);
+    let _ = writeln!(json, "  \"budget\": {budget},");
+    let _ = writeln!(json, "  \"phases\": [");
+    for (i, p) in phases.iter().enumerate() {
+        let comma = if i + 1 < phases.len() { "," } else { "" };
+        match p.trainings {
+            Some(t) => {
+                let _ = writeln!(
+                    json,
+                    "    {{\"name\": \"{}\", \"ms\": {:.6}, \"trainings\": {t}}}{comma}",
+                    p.name, p.ms
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    json,
+                    "    {{\"name\": \"{}\", \"ms\": {:.6}}}{comma}",
+                    p.name, p.ms
+                );
+            }
+        }
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"total_ms\": {total_ms:.6},");
+    let _ = writeln!(json, "  \"prepacked\": {{");
+    let _ = writeln!(json, "    \"shape\": \"{rows}x{k}x{n}\",");
+    let _ = writeln!(json, "    \"minibatch\": {mb},");
+    let _ = writeln!(json, "    \"per_call_ms\": {:.6},", t_call * 1e3);
+    let _ = writeln!(json, "    \"prepacked_ms\": {:.6},", t_pack * 1e3);
+    let _ = writeln!(json, "    \"speedup\": {speedup:.4},");
+    let _ = writeln!(json, "    \"target\": 1.2,");
+    let _ = writeln!(json, "    \"gate_enforced\": {}", !no_gate);
+    let _ = writeln!(json, "  }}");
+    let _ = writeln!(json, "}}");
+    std::fs::write(&path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!("\nwrote {path}");
+
+    if !no_gate {
+        assert!(
+            speedup >= 1.2,
+            "prepacked must be >= 1.2x over per-call packing on {rows}x{k}x{n} \
+             ({mb}-row minibatches), got {speedup:.2}x"
+        );
+        println!("gate passed: prepacked >= 1.2x with bit-identical outputs");
+    }
+}

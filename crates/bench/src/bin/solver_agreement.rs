@@ -24,6 +24,9 @@ fn random_problem(rng: &mut SplitMix64, n: usize, lambda: f64) -> AcquisitionPro
 }
 
 fn main() {
+    // Bench-wide kernel default: `sharded` on multi-core hosts, `simd`
+    // on single-core containers; `ST_KERNEL` overrides (see docs/kernels.md).
+    st_bench::init_bench_kernel();
     let instances = 50;
     println!("Solver agreement over {instances} random instances per cell\n");
     println!(

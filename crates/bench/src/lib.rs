@@ -126,6 +126,32 @@ impl FamilySetup {
     }
 }
 
+/// Fixes the bench-wide default compute kernel before the first dense
+/// operation: `sharded` on multi-core hosts (the full kernel roster's
+/// fastest deterministic backend there), `simd` on single-core containers
+/// where a worker fan-out only adds spawn overhead. An explicit
+/// `ST_KERNEL` — or any kernel already active in the process — always
+/// wins. Returns the kind actually in effect so binaries can report it.
+///
+/// Every experiment binary (tables, figures, comparison bins) calls this
+/// at the top of `main`; the `kernels` microbench and `jobs_scaling` do
+/// not, because they time or budget explicit backends themselves.
+pub fn init_bench_kernel() -> st_linalg::KernelKind {
+    if std::env::var_os("ST_KERNEL").is_none() {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let want = if cores >= 2 {
+            st_linalg::KernelKind::Sharded
+        } else {
+            st_linalg::KernelKind::Simd
+        };
+        // An Err only means a kernel was fixed earlier; keep it.
+        let _ = st_linalg::set_kernel(want);
+    }
+    st_linalg::kernel_kind()
+}
+
 /// Trials per experiment cell (`ST_TRIALS`, default 3; paper uses 10).
 pub fn trials() -> usize {
     std::env::var("ST_TRIALS")
@@ -188,6 +214,39 @@ pub fn quick() -> bool {
     std::env::var("ST_QUICK").map(|v| v == "1").unwrap_or(false)
 }
 
+/// Deterministic dense test data for the kernel-layer microbenches
+/// (SplitMix64 stream in `[-1, 1)`), shared by the `kernels` and
+/// `pipeline` bins so their inputs — and therefore their bit
+/// cross-checks — stay in lockstep.
+pub fn bench_fill(len: usize, seed: u64) -> Vec<f64> {
+    let mut rng = st_linalg::SplitMix64::new(seed);
+    (0..len).map(|_| rng.next_f64() * 2.0 - 1.0).collect()
+}
+
+/// Asserts two buffers are `to_bits`-identical (the kernel layer's
+/// bit-determinism contract), panicking with the offending index.
+pub fn assert_bits_identical(op: &str, a: &[f64], b: &[f64]) {
+    assert_eq!(a.len(), b.len(), "{op}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert!(
+            x.to_bits() == y.to_bits(),
+            "{op}: outputs differ at {i}: {x} vs {y}"
+        );
+    }
+}
+
+/// Times `body` over `reps` runs and returns the best wall-clock seconds
+/// (best-of is robust to scheduler noise on shared runners).
+pub fn best_secs(reps: usize, mut body: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = std::time::Instant::now();
+        body();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
 /// Prints a horizontal rule sized to the table width.
 pub fn rule(width: usize) {
     println!("{}", "-".repeat(width));
@@ -236,5 +295,16 @@ mod tests {
     #[test]
     fn fmt_counts_aligns() {
         assert_eq!(fmt_counts(&[1.0, 20.0]), "    1    20");
+    }
+
+    #[test]
+    fn bench_kernel_default_is_deterministic_and_sticky() {
+        let first = init_bench_kernel();
+        // Whatever won (env override, earlier selection, or the
+        // core-count default), it must be the active process kernel, a
+        // bit-deterministic backend, and stable across calls.
+        assert_eq!(first, st_linalg::kernel_kind());
+        assert!(first.bit_deterministic());
+        assert_eq!(init_bench_kernel(), first);
     }
 }

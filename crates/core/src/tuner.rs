@@ -10,7 +10,7 @@ use st_curve::{
 };
 use st_data::dataset::imbalance_ratio_of;
 use st_data::{seeded_rng, split_seed, SliceId, SlicedDataset};
-use st_models::{log_loss, train_on_examples, Mlp, ModelSpec, TrainConfig};
+use st_models::{train_on_examples, Mlp, ModelSpec, TrainConfig};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Everything configurable about a Slice Tuner run.
@@ -264,6 +264,11 @@ impl<'a, S: AcquisitionSource> SliceTuner<'a, S> {
             );
             counter.fetch_add(1, Ordering::Relaxed);
 
+            // One trained model scores every slice: pack the weights once
+            // and reuse them for all per-slice forwards (bit-identical to
+            // per-call packing — this is the estimator's repeated-GEMM
+            // hot path the prepacked API exists for).
+            let packed = model.packed();
             let eval_slice = |s: usize| -> SliceLossMeasurement {
                 let n_in_subset = subset.iter().filter(|e| e.slice.index() == s).count();
                 let val = &ds.slices[s].validation;
@@ -272,7 +277,7 @@ impl<'a, S: AcquisitionSource> SliceTuner<'a, S> {
                 SliceLossMeasurement {
                     slice: s,
                     n: n_in_subset,
-                    loss: log_loss(&model, &x, &y),
+                    loss: st_models::log_loss_packed(&packed, &x, &y),
                 }
             };
             match req.target_slice {

@@ -18,10 +18,18 @@
 //! runs the whole workspace under both `ST_KERNEL` values.
 //!
 //! **Selection.** The active kernel is process-global and fixed on first
-//! use: `ST_KERNEL=naive|blocked` in the environment, or
+//! use: `ST_KERNEL=naive|blocked|simd|sharded|fast` in the environment, or
 //! [`set_kernel`] before any dense operation (the CLI's `--kernel` flag).
-//! A future SIMD or sharded backend plugs in by implementing
-//! [`GemmBackend`] and extending [`KernelKind`]; see `docs/kernels.md`.
+//! A new backend plugs in by implementing [`GemmBackend`] and extending
+//! [`KernelKind`]; see `docs/kernels.md`.
+//!
+//! **Prepacked operands.** Workloads that multiply a stream of activation
+//! batches against one fixed weight matrix pack that operand **once**
+//! ([`PackedB`] / [`PackedA`]) and reuse it across
+//! `gemm_prepacked`/`gemm_nt_prepacked`/`gemm_tn_prepacked` calls — the
+//! packing backends skip their per-call pack, the naive reference falls
+//! back to pack-on-call, and all results stay bit-identical. Handles are
+//! snapshots: re-pack (buffer-reusing `*_into`) when the operand mutates.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
@@ -59,6 +67,103 @@ const IB: usize = 128;
 /// off once the product itself is at least that expensive.
 const SHARD_MIN_WORK: usize = 1 << 20;
 
+/// Internal layout tag of a [`PackedB`] handle.
+///
+/// The layout decides which packed compute core consumes the handle; all
+/// three cores keep every output element's ascending-`k` accumulation
+/// chain, so the layout affects throughput only, never bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PackLayout {
+    /// Verbatim row-major copy of `B` (`k×n`) — the pack-on-call fallback:
+    /// every prepacked call runs the backend's ordinary `gemm` on it.
+    Raw,
+    /// [`PW`]-wide interleaved column panels ([`BlockedKernel`] layout).
+    Panels4,
+    /// [`SPW`]-wide interleaved column panels ([`SimdKernel`] layout,
+    /// shared by the sharded backend's per-worker core).
+    Panels8,
+}
+
+/// A `B` operand packed **once** into a backend's panel layout and reused
+/// across many [`GemmBackend::gemm_prepacked`] /
+/// [`GemmBackend::gemm_nt_prepacked`] calls.
+///
+/// The estimator hot path multiplies thousands of different activation
+/// batches against the *same* weight matrix; packing per call re-shuffles
+/// the identical `k×n` bytes every time. A `PackedB` hoists that shuffle
+/// out of the loop.
+///
+/// **Lifetime / invalidation contract.** The handle is a snapshot: it
+/// captures the operand's bytes at pack time and never observes later
+/// mutations. Callers that mutate the source (an optimizer step updating
+/// weights) must re-pack — [`GemmBackend::pack_b_into`] reuses the
+/// handle's allocation, so re-packing is a copy, not an allocation.
+///
+/// **Bit identity.** Packing is pure data movement; the packed cores run
+/// the same ascending-`k` per-element chains as the pack-on-call paths, so
+/// a prepacked product is bit-identical to its pack-on-call twin on every
+/// deterministic backend (proptested).
+#[derive(Debug, Clone)]
+pub struct PackedB {
+    layout: PackLayout,
+    k: usize,
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl PackedB {
+    /// Reduction dimension (`B` rows) the handle was packed for.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Output columns (`B` columns) the handle was packed for.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+}
+
+impl Default for PackedB {
+    /// An empty handle (the natural seed for `pack_b_into` scratch slots).
+    fn default() -> Self {
+        PackedB {
+            layout: PackLayout::Raw,
+            k: 0,
+            n: 0,
+            data: Vec::new(),
+        }
+    }
+}
+
+/// An `A` operand of the [`GemmBackend::gemm_tn`] shape (`out += Aᵀ·B`)
+/// with the transpose materialized **once** for reuse across
+/// [`GemmBackend::gemm_tn_prepacked`] calls.
+///
+/// `gemm_tn` pays a block transpose of `A` on every call; when `A` is the
+/// stable operand the handle hoists it. Same lifetime/invalidation and
+/// bit-identity contract as [`PackedB`] (the stored `Aᵀ` is an exact
+/// copy, and `gemm(k, m, n, Aᵀ, B)` reduces every output element in the
+/// same ascending-sample order as `gemm_tn(m, k, n, A, B)`).
+#[derive(Debug, Clone, Default)]
+pub struct PackedA {
+    m: usize,
+    k: usize,
+    /// `Aᵀ`, row-major `k×m`.
+    data: Vec<f64>,
+}
+
+impl PackedA {
+    /// Sample rows (`A` rows) the handle was packed for.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Output rows (`A` columns) the handle was packed for.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
 /// The dense compute primitives every backend must provide.
 ///
 /// All matrices are row-major `f64` slices with explicit dimensions; `out`
@@ -95,6 +200,157 @@ pub trait GemmBackend: Send + Sync {
 
     /// `out = aᵀ` with `a: rows×cols`, `out: cols×rows`.
     fn transpose(&self, rows: usize, cols: usize, a: &[f64], out: &mut [f64]);
+
+    // ---- The prepacked operand API ------------------------------------
+    //
+    // Pack once, multiply many times. The default implementations are the
+    // pack-on-call fallback: the handle stores the operand verbatim and
+    // every prepacked call runs the backend's ordinary entry point — this
+    // is what `naive` (and the reassociating `fast` backend) use. The
+    // packing backends (`blocked`, `simd`, `sharded`) override the pack
+    // methods to emit their native panel layouts; `gemm_prepacked` then
+    // feeds the matching packed core directly, skipping the per-call pack.
+    // Every combination is bit-identical to the pack-on-call twin.
+
+    /// Packs the `B` operand of [`gemm`](Self::gemm) (`b: k×n` row-major)
+    /// into `dst`, reusing `dst`'s allocation.
+    fn pack_b_into(&self, k: usize, n: usize, b: &[f64], dst: &mut PackedB) {
+        debug_assert_eq!(b.len(), k * n);
+        dst.layout = PackLayout::Raw;
+        dst.k = k;
+        dst.n = n;
+        dst.data.clear();
+        dst.data.extend_from_slice(b);
+    }
+
+    /// Packs the `B` operand of [`gemm_nt`](Self::gemm_nt) given its
+    /// transposed storage (`bt: n×k` row-major — row `j` of `bt` is column
+    /// `j` of the logical `B`), reusing `dst`'s allocation. The transpose
+    /// is resolved at pack time, so the handle feeds
+    /// [`gemm_nt_prepacked`](Self::gemm_nt_prepacked) with no per-call
+    /// transpose work.
+    fn pack_b_t_into(&self, k: usize, n: usize, bt: &[f64], dst: &mut PackedB) {
+        debug_assert_eq!(bt.len(), n * k);
+        dst.layout = PackLayout::Raw;
+        dst.k = k;
+        dst.n = n;
+        dst.data.clear();
+        dst.data.resize(k * n, 0.0);
+        if k > 0 && n > 0 {
+            // An exact copy: `gemm` on the materialized `B` accumulates
+            // the same ascending-`k` chains `gemm_nt` runs on `bt`.
+            self.transpose(n, k, bt, &mut dst.data);
+        }
+    }
+
+    /// Packs the `A` operand of [`gemm_tn`](Self::gemm_tn) (`a: m×k`
+    /// row-major), materializing `Aᵀ` once, reusing `dst`'s allocation.
+    fn pack_a_into(&self, m: usize, k: usize, a: &[f64], dst: &mut PackedA) {
+        debug_assert_eq!(a.len(), m * k);
+        dst.m = m;
+        dst.k = k;
+        dst.data.clear();
+        dst.data.resize(m * k, 0.0);
+        if m > 0 && k > 0 {
+            self.transpose(m, k, a, &mut dst.data);
+        }
+    }
+
+    /// Allocating convenience for [`pack_b_into`](Self::pack_b_into).
+    fn pack_b(&self, k: usize, n: usize, b: &[f64]) -> PackedB {
+        let mut dst = PackedB::default();
+        self.pack_b_into(k, n, b, &mut dst);
+        dst
+    }
+
+    /// Allocating convenience for [`pack_b_t_into`](Self::pack_b_t_into).
+    fn pack_b_t(&self, k: usize, n: usize, bt: &[f64]) -> PackedB {
+        let mut dst = PackedB::default();
+        self.pack_b_t_into(k, n, bt, &mut dst);
+        dst
+    }
+
+    /// Allocating convenience for [`pack_a_into`](Self::pack_a_into).
+    fn pack_a(&self, m: usize, k: usize, a: &[f64]) -> PackedA {
+        let mut dst = PackedA::default();
+        self.pack_a_into(m, k, a, &mut dst);
+        dst
+    }
+
+    /// [`gemm`](Self::gemm) with `B` prepacked: `out += a · B`.
+    ///
+    /// Bit-identical to `gemm(m, k, n, a, b, out)` for the `b` the handle
+    /// was packed from, on every deterministic backend.
+    ///
+    /// # Panics
+    /// Panics when the handle's shape does not match `(k, n)`.
+    fn gemm_prepacked(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f64],
+        pb: &PackedB,
+        out: &mut [f64],
+    ) {
+        assert_eq!((pb.k, pb.n), (k, n), "prepacked B shape mismatch");
+        debug_assert_eq!(a.len(), m * k);
+        debug_assert_eq!(out.len(), m * n);
+        if m == 0 || k == 0 || n == 0 {
+            return;
+        }
+        match pb.layout {
+            PackLayout::Raw => self.gemm(m, k, n, a, &pb.data, out),
+            PackLayout::Panels4 => BlockedKernel::packed_gemm(m, k, n, a, &pb.data, out),
+            PackLayout::Panels8 => SimdKernel::packed_gemm(m, k, n, a, &pb.data, out),
+        }
+    }
+
+    /// [`gemm_nt`](Self::gemm_nt) with `Bᵀ` prepacked: `out += a · bᵀ`
+    /// where the handle came from [`pack_b_t`](Self::pack_b_t). The
+    /// transpose was resolved at pack time, so this is the same packed
+    /// walk as [`gemm_prepacked`](Self::gemm_prepacked) — and bit-identical
+    /// to the pack-on-call `gemm_nt`.
+    ///
+    /// # Panics
+    /// Panics when the handle's shape does not match `(k, n)`.
+    fn gemm_nt_prepacked(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f64],
+        pb: &PackedB,
+        out: &mut [f64],
+    ) {
+        self.gemm_prepacked(m, k, n, a, pb, out);
+    }
+
+    /// [`gemm_tn`](Self::gemm_tn) with `Aᵀ` prepacked: `out += Aᵀ · b`.
+    ///
+    /// Runs `gemm(k, m, n, Aᵀ, b)` on the materialized transpose — every
+    /// output element reduces over the samples in the same ascending order
+    /// as `gemm_tn`, so bits match the pack-on-call twin.
+    ///
+    /// # Panics
+    /// Panics when the handle's shape does not match `(m, k)`.
+    fn gemm_tn_prepacked(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        pa: &PackedA,
+        b: &[f64],
+        out: &mut [f64],
+    ) {
+        assert_eq!((pa.m, pa.k), (m, k), "prepacked A shape mismatch");
+        debug_assert_eq!(b.len(), m * n);
+        debug_assert_eq!(out.len(), k * n);
+        if m == 0 || k == 0 || n == 0 {
+            return;
+        }
+        self.gemm(k, m, n, &pa.data, b, out);
+    }
 }
 
 /// The straight-line reference backend: textbook `ikj` loops, no blocking,
@@ -214,8 +470,17 @@ impl BlockedKernel {
     /// may be narrower than `PW`; every panel occupies `k·PW` slots so
     /// panel addressing stays uniform.
     fn pack_panels(k: usize, n: usize, b: &[f64]) -> Vec<f64> {
+        let mut packed = Vec::new();
+        Self::pack_panels_into(k, n, b, &mut packed);
+        packed
+    }
+
+    /// [`Self::pack_panels`] into a reusable buffer (cleared, zero-filled,
+    /// allocation reused) — same fill order, identical contents.
+    fn pack_panels_into(k: usize, n: usize, b: &[f64], packed: &mut Vec<f64>) {
         let panels = n.div_ceil(PW);
-        let mut packed = vec![0.0; panels * k * PW];
+        packed.clear();
+        packed.resize(panels * k * PW, 0.0);
         for q in 0..panels {
             let j0 = q * PW;
             let w = PW.min(n - j0);
@@ -225,14 +490,21 @@ impl BlockedKernel {
                 dst[step * PW..step * PW + w].copy_from_slice(src);
             }
         }
-        packed
     }
 
     /// Packs `Bᵀ` given `bt` (`n×k` row-major, i.e. row `j` of `bt` is
     /// column `j` of the logical `B`). Same layout as [`Self::pack_panels`].
     fn pack_panels_t(k: usize, n: usize, bt: &[f64]) -> Vec<f64> {
+        let mut packed = Vec::new();
+        Self::pack_panels_t_into(k, n, bt, &mut packed);
+        packed
+    }
+
+    /// [`Self::pack_panels_t`] into a reusable buffer.
+    fn pack_panels_t_into(k: usize, n: usize, bt: &[f64], packed: &mut Vec<f64>) {
         let panels = n.div_ceil(PW);
-        let mut packed = vec![0.0; panels * k * PW];
+        packed.clear();
+        packed.resize(panels * k * PW, 0.0);
         for q in 0..panels {
             let j0 = q * PW;
             let w = PW.min(n - j0);
@@ -244,7 +516,6 @@ impl BlockedKernel {
                 }
             }
         }
-        packed
     }
 
     /// The packed dot core: `out += a · B` with `B` pre-packed into
@@ -603,6 +874,22 @@ impl GemmBackend for BlockedKernel {
         }
     }
 
+    fn pack_b_into(&self, k: usize, n: usize, b: &[f64], dst: &mut PackedB) {
+        debug_assert_eq!(b.len(), k * n);
+        dst.layout = PackLayout::Panels4;
+        dst.k = k;
+        dst.n = n;
+        Self::pack_panels_into(k, n, b, &mut dst.data);
+    }
+
+    fn pack_b_t_into(&self, k: usize, n: usize, bt: &[f64], dst: &mut PackedB) {
+        debug_assert_eq!(bt.len(), n * k);
+        dst.layout = PackLayout::Panels4;
+        dst.k = k;
+        dst.n = n;
+        Self::pack_panels_t_into(k, n, bt, &mut dst.data);
+    }
+
     fn transpose(&self, rows: usize, cols: usize, a: &[f64], out: &mut [f64]) {
         debug_assert_eq!(a.len(), rows * cols);
         debug_assert_eq!(out.len(), rows * cols);
@@ -635,8 +922,12 @@ fn simd_width_cap() -> u32 {
         Ok("scalar") => 0,
         Ok(other) => {
             // A silent typo here would let CI green-light a path it never
-            // ran; warn like unknown ST_KERNEL values do.
-            eprintln!("warning: unknown ST_SIMD_FORCE '{other}', using full width (avx2 | scalar)");
+            // ran; warn like unknown ST_KERNEL values do, listing the
+            // accepted values from the same source the docs use.
+            eprintln!(
+                "warning: unknown ST_SIMD_FORCE '{other}', using full width (valid values: {})",
+                simd_force_names()
+            );
             u32::MAX
         }
         Err(_) => u32::MAX,
@@ -662,8 +953,18 @@ impl SimdKernel {
     /// layout as [`BlockedKernel::pack_panels`] at double the width so one
     /// reduction step feeds a full 512-bit vector (or two 256-bit ones).
     fn pack_panels8(k: usize, n: usize, b: &[f64]) -> Vec<f64> {
+        let mut packed = Vec::new();
+        Self::pack_panels8_into(k, n, b, &mut packed);
+        packed
+    }
+
+    /// [`Self::pack_panels8`] into a reusable buffer (cleared,
+    /// zero-filled, allocation reused) — same fill order, identical
+    /// contents.
+    fn pack_panels8_into(k: usize, n: usize, b: &[f64], packed: &mut Vec<f64>) {
         let panels = n.div_ceil(SPW);
-        let mut packed = vec![0.0; panels * k * SPW];
+        packed.clear();
+        packed.resize(panels * k * SPW, 0.0);
         for q in 0..panels {
             let j0 = q * SPW;
             let w = SPW.min(n - j0);
@@ -684,14 +985,21 @@ impl SimdKernel {
                 }
             }
         }
-        packed
     }
 
     /// Packs `Bᵀ` given `bt` (`n×k` row-major); layout of
     /// [`Self::pack_panels8`].
     fn pack_panels8_t(k: usize, n: usize, bt: &[f64]) -> Vec<f64> {
+        let mut packed = Vec::new();
+        Self::pack_panels8_t_into(k, n, bt, &mut packed);
+        packed
+    }
+
+    /// [`Self::pack_panels8_t`] into a reusable buffer.
+    fn pack_panels8_t_into(k: usize, n: usize, bt: &[f64], packed: &mut Vec<f64>) {
         let panels = n.div_ceil(SPW);
-        let mut packed = vec![0.0; panels * k * SPW];
+        packed.clear();
+        packed.resize(panels * k * SPW, 0.0);
         for q in 0..panels {
             let j0 = q * SPW;
             let w = SPW.min(n - j0);
@@ -703,7 +1011,6 @@ impl SimdKernel {
                 }
             }
         }
-        packed
     }
 
     /// `out += a · B` with `B` pre-packed into [`SPW`]-wide panels.
@@ -1204,6 +1511,22 @@ impl GemmBackend for SimdKernel {
         Self::gemm_tn_cols(m, k, n, 0, k, a, b, out);
     }
 
+    fn pack_b_into(&self, k: usize, n: usize, b: &[f64], dst: &mut PackedB) {
+        debug_assert_eq!(b.len(), k * n);
+        dst.layout = PackLayout::Panels8;
+        dst.k = k;
+        dst.n = n;
+        Self::pack_panels8_into(k, n, b, &mut dst.data);
+    }
+
+    fn pack_b_t_into(&self, k: usize, n: usize, bt: &[f64], dst: &mut PackedB) {
+        debug_assert_eq!(bt.len(), n * k);
+        dst.layout = PackLayout::Panels8;
+        dst.k = k;
+        dst.n = n;
+        Self::pack_panels8_t_into(k, n, bt, &mut dst.data);
+    }
+
     fn matvec(&self, rows: usize, cols: usize, a: &[f64], v: &[f64], out: &mut [f64]) {
         // A dot product vectorized across `k` would need partial-sum lanes
         // (a reassociation); the paired-row scalar walk is the fastest
@@ -1401,6 +1724,63 @@ impl GemmBackend for ShardedKernel {
             }
         })
         .expect("sharded gemm_tn worker panicked");
+    }
+
+    fn pack_b_into(&self, k: usize, n: usize, b: &[f64], dst: &mut PackedB) {
+        // The per-worker core is the simd packed core, so the sharded
+        // backend shares its panel layout.
+        SimdKernel.pack_b_into(k, n, b, dst);
+    }
+
+    fn pack_b_t_into(&self, k: usize, n: usize, bt: &[f64], dst: &mut PackedB) {
+        SimdKernel.pack_b_t_into(k, n, bt, dst);
+    }
+
+    fn gemm_prepacked(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f64],
+        pb: &PackedB,
+        out: &mut [f64],
+    ) {
+        assert_eq!((pb.k, pb.n), (k, n), "prepacked B shape mismatch");
+        debug_assert_eq!(a.len(), m * k);
+        debug_assert_eq!(out.len(), m * n);
+        if m == 0 || k == 0 || n == 0 {
+            return;
+        }
+        match pb.layout {
+            // Pack-on-call handle: the ordinary sharded gemm packs and
+            // fans out itself.
+            PackLayout::Raw => self.gemm(m, k, n, a, &pb.data, out),
+            // Foreign panel width (only reachable by mixing backends by
+            // hand — the process kernel is fixed): run the matching core
+            // inline; bits are identical either way.
+            PackLayout::Panels4 => BlockedKernel::packed_gemm(m, k, n, a, &pb.data, out),
+            PackLayout::Panels8 => {
+                if self.run_inline(m, m * k * n) {
+                    SimdKernel::packed_gemm(m, k, n, a, &pb.data, out);
+                    return;
+                }
+                // The pack already happened — fan the output-row shards
+                // straight over the pool.
+                let packed = &pb.data;
+                crossbeam::scope(|scope| {
+                    let mut rest = out;
+                    for (s, e) in shard_ranges(m, self.threads()) {
+                        let (chunk, tail) = rest.split_at_mut((e - s) * n);
+                        rest = tail;
+                        let a_rows = &a[s * k..e * k];
+                        scope.spawn(move |_| {
+                            SimdKernel::packed_gemm(e - s, k, n, a_rows, packed, chunk)
+                        });
+                    }
+                })
+                .expect("sharded gemm_prepacked worker panicked");
+            }
+        }
     }
 
     fn matvec(&self, rows: usize, cols: usize, a: &[f64], v: &[f64], out: &mut [f64]) {
@@ -1775,6 +2155,21 @@ pub fn kernel_names() -> String {
     KernelKind::ALL.map(KernelKind::name).join(" | ")
 }
 
+/// The list of valid `ST_SIMD_FORCE` values, for the unknown-value warning
+/// and usage strings — the `kernel_names()` of the SIMD width cap.
+pub fn simd_force_names() -> &'static str {
+    "avx2 | scalar"
+}
+
+/// True when `ST_PREPACK=1`: the model stack routes even its single-use
+/// forward products through the prepacked API (pack-on-call), so one CI
+/// run exercises every prepacked code path across the whole suite.
+/// Bit-identical by the prepacked contract; read once per process.
+pub fn prepack_forced() -> bool {
+    static FORCED: OnceLock<bool> = OnceLock::new();
+    *FORCED.get_or_init(|| std::env::var("ST_PREPACK").as_deref() == Ok("1"))
+}
+
 static ACTIVE_KERNEL: OnceLock<KernelKind> = OnceLock::new();
 
 fn kind_from_env() -> KernelKind {
@@ -2089,6 +2484,154 @@ mod tests {
         for (w, g) in mv_want.iter().zip(&mv_got) {
             assert!((w - g).abs() <= 1e-9 * (1.0 + w.abs()), "{w} vs {g}");
         }
+    }
+
+    #[test]
+    fn prepacked_matches_pack_on_call_bitwise() {
+        // Every backend, every prepacked entry point, across degenerate,
+        // small-m (axpy fallback boundary), and general shapes: the
+        // prepacked product must equal its pack-on-call twin bit-for-bit.
+        let sharded = ShardedKernel::with_threads(3);
+        let backends: [&dyn GemmBackend; 5] = [
+            &NaiveKernel,
+            &BlockedKernel,
+            &SimdKernel,
+            &sharded,
+            &FastKernel,
+        ];
+        for &(m, k, n) in &[(1, 1, 1), (3, 9, 8), (7, 5, 3), (17, 13, 11), (33, 29, 37)] {
+            let a = fill(m * k, 71 + m as u64);
+            let b = fill(k * n, 72 + n as u64);
+            let bt = fill(n * k, 73 + k as u64);
+            let c = fill(m * n, 74 + m as u64);
+            for backend in backends {
+                let name = backend.name();
+
+                let mut plain = vec![0.0; m * n];
+                backend.gemm(m, k, n, &a, &b, &mut plain);
+                let pb = backend.pack_b(k, n, &b);
+                assert_eq!((pb.k(), pb.n()), (k, n));
+                let mut packed = vec![0.0; m * n];
+                backend.gemm_prepacked(m, k, n, &a, &pb, &mut packed);
+                assert_bits_eq(&plain, &packed);
+
+                let mut plain_nt = vec![0.0; m * n];
+                backend.gemm_nt(m, k, n, &a, &bt, &mut plain_nt);
+                let pbt = backend.pack_b_t(k, n, &bt);
+                let mut packed_nt = vec![0.0; m * n];
+                backend.gemm_nt_prepacked(m, k, n, &a, &pbt, &mut packed_nt);
+                // `fast` reassociates, so its nt twin is only guaranteed
+                // close; every deterministic backend must match bitwise.
+                if name != "fast" {
+                    assert_bits_eq(&plain_nt, &packed_nt);
+                } else {
+                    for (x, y) in plain_nt.iter().zip(&packed_nt) {
+                        assert!((x - y).abs() <= 1e-9 * (1.0 + x.abs()), "{x} vs {y}");
+                    }
+                }
+
+                let mut plain_tn = vec![0.0; k * n];
+                backend.gemm_tn(m, k, n, &a, &c, &mut plain_tn);
+                let pa = backend.pack_a(m, k, &a);
+                assert_eq!((pa.m(), pa.k()), (m, k));
+                let mut packed_tn = vec![0.0; k * n];
+                backend.gemm_tn_prepacked(m, k, n, &pa, &c, &mut packed_tn);
+                if name != "fast" {
+                    assert_bits_eq(&plain_tn, &packed_tn);
+                } else {
+                    for (x, y) in plain_tn.iter().zip(&packed_tn) {
+                        assert!((x - y).abs() <= 1e-9 * (1.0 + x.abs()), "{x} vs {y}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prepacked_handle_reused_across_calls() {
+        // The point of the API: pack once, multiply many different
+        // left-hand sides — each call must match its pack-on-call twin.
+        let (k, n) = (23, 17);
+        let b = fill(k * n, 81);
+        for backend in [
+            &BlockedKernel as &dyn GemmBackend,
+            &SimdKernel,
+            &ShardedKernel::with_threads(2),
+        ] {
+            let pb = backend.pack_b(k, n, &b);
+            for (round, &m) in [1usize, 6, 13].iter().enumerate() {
+                let a = fill(m * k, 82 + round as u64);
+                let mut plain = vec![0.0; m * n];
+                backend.gemm(m, k, n, &a, &b, &mut plain);
+                let mut packed = vec![0.0; m * n];
+                backend.gemm_prepacked(m, k, n, &a, &pb, &mut packed);
+                assert_bits_eq(&plain, &packed);
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_prepacked_fans_out_above_the_work_threshold() {
+        // 128^3 > SHARD_MIN_WORK: exercises the prepacked spawn path.
+        let (m, k, n) = (128, 128, 128);
+        let a = fill(m * k, 83);
+        let b = fill(k * n, 84);
+        let mut want = vec![0.0; m * n];
+        NaiveKernel.gemm(m, k, n, &a, &b, &mut want);
+        let backend = ShardedKernel::with_threads(3);
+        let pb = backend.pack_b(k, n, &b);
+        let mut got = vec![0.0; m * n];
+        backend.gemm_prepacked(m, k, n, &a, &pb, &mut got);
+        assert_bits_eq(&want, &got);
+    }
+
+    #[test]
+    fn pack_b_into_reuses_allocation_and_repacks() {
+        let (k, n) = (31, 24);
+        let b1 = fill(k * n, 85);
+        let b2 = fill(k * n, 86);
+        let mut pb = PackedB::default();
+        SimdKernel.pack_b_into(k, n, &b1, &mut pb);
+        let cap = pb.data.capacity();
+        let a = fill(9 * k, 87);
+        let mut first = vec![0.0; 9 * n];
+        SimdKernel.gemm_prepacked(9, k, n, &a, &pb, &mut first);
+        // Re-pack (the optimizer-update invalidation path) into the same
+        // allocation; results must track the new operand.
+        SimdKernel.pack_b_into(k, n, &b2, &mut pb);
+        assert_eq!(pb.data.capacity(), cap, "allocation reused");
+        let mut second = vec![0.0; 9 * n];
+        SimdKernel.gemm_prepacked(9, k, n, &a, &pb, &mut second);
+        let mut want = vec![0.0; 9 * n];
+        SimdKernel.gemm(9, k, n, &a, &b2, &mut want);
+        assert_bits_eq(&want, &second);
+    }
+
+    #[test]
+    fn prepacked_empty_shapes_are_noops() {
+        let pb = BlockedKernel.pack_b(0, 4, &[]);
+        let mut out = vec![1.0; 0];
+        BlockedKernel.gemm_prepacked(0, 0, 4, &[], &pb, &mut out);
+        let pb2 = SimdKernel.pack_b(3, 0, &[]);
+        let mut out2: Vec<f64> = Vec::new();
+        SimdKernel.gemm_prepacked(2, 3, 0, &fill(6, 1), &pb2, &mut out2);
+        let pa = NaiveKernel.pack_a(0, 2, &[]);
+        let mut out3 = vec![0.0; 2 * 3];
+        NaiveKernel.gemm_tn_prepacked(0, 2, 3, &pa, &[], &mut out3);
+        assert!(out3.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "prepacked B shape mismatch")]
+    fn prepacked_shape_mismatch_is_rejected() {
+        let pb = BlockedKernel.pack_b(4, 4, &fill(16, 1));
+        let mut out = vec![0.0; 3 * 5];
+        BlockedKernel.gemm_prepacked(3, 4, 5, &fill(12, 2), &pb, &mut out);
+    }
+
+    #[test]
+    fn simd_force_names_lists_both_values() {
+        assert_eq!(simd_force_names(), "avx2 | scalar");
     }
 
     #[test]

@@ -27,8 +27,9 @@ pub mod stats;
 pub mod vector;
 
 pub use kernel::{
-    kernel, kernel_kind, kernel_names, kernel_threads, set_kernel, set_kernel_threads,
-    BlockedKernel, FastKernel, GemmBackend, KernelKind, NaiveKernel, ShardedKernel, SimdKernel,
+    kernel, kernel_kind, kernel_names, kernel_threads, prepack_forced, set_kernel,
+    set_kernel_threads, simd_force_names, BlockedKernel, FastKernel, GemmBackend, KernelKind,
+    NaiveKernel, PackedA, PackedB, ShardedKernel, SimdKernel,
 };
 pub use matrix::Matrix;
 pub use qr::{least_squares, QrFactorization};

@@ -5,7 +5,7 @@
 //! execution schedule of all downstream math without changing a single
 //! output bit.
 
-use crate::kernel::kernel;
+use crate::kernel::{kernel, PackedB};
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
@@ -223,6 +223,84 @@ impl Matrix {
             rhs.cols,
             &self.data,
             &rhs.data,
+            &mut out.data,
+        );
+    }
+
+    /// Packs `self` once as the right-hand side of [`matmul`](Self::matmul)
+    /// (`X · self` products) for reuse across calls; see
+    /// [`crate::kernel::PackedB`] for the lifetime/invalidation contract.
+    pub fn pack_as_rhs(&self) -> PackedB {
+        kernel().pack_b(self.rows, self.cols, &self.data)
+    }
+
+    /// [`pack_as_rhs`](Self::pack_as_rhs) into a reusable handle
+    /// (allocation reused — re-packing after a weight update is a copy).
+    pub fn pack_as_rhs_into(&self, dst: &mut PackedB) {
+        kernel().pack_b_into(self.rows, self.cols, &self.data, dst);
+    }
+
+    /// Packs `self` once as the (transposed) right-hand side of
+    /// [`matmul_nt`](Self::matmul_nt) (`X · selfᵀ` products); the
+    /// transpose is resolved at pack time.
+    pub fn pack_as_rhs_t(&self) -> PackedB {
+        kernel().pack_b_t(self.cols, self.rows, &self.data)
+    }
+
+    /// [`pack_as_rhs_t`](Self::pack_as_rhs_t) into a reusable handle.
+    pub fn pack_as_rhs_t_into(&self, dst: &mut PackedB) {
+        kernel().pack_b_t_into(self.cols, self.rows, &self.data, dst);
+    }
+
+    /// [`matmul_into`](Self::matmul_into) against a prepacked right-hand
+    /// side ([`pack_as_rhs`](Self::pack_as_rhs)): same kernel arithmetic,
+    /// identical bits, no per-call packing.
+    ///
+    /// # Panics
+    /// Panics if `self.cols() != pack.k()`.
+    pub fn matmul_prepacked_into(&self, pack: &PackedB, out: &mut Matrix) {
+        assert_eq!(
+            self.cols,
+            pack.k(),
+            "matmul_prepacked shape mismatch: {}x{} * packed {}x{}",
+            self.rows,
+            self.cols,
+            pack.k(),
+            pack.n()
+        );
+        out.reset_to_zeros(self.rows, pack.n());
+        kernel().gemm_prepacked(
+            self.rows,
+            self.cols,
+            pack.n(),
+            &self.data,
+            pack,
+            &mut out.data,
+        );
+    }
+
+    /// [`matmul_nt_into`](Self::matmul_nt_into) against a prepacked
+    /// right-hand side ([`pack_as_rhs_t`](Self::pack_as_rhs_t)).
+    ///
+    /// # Panics
+    /// Panics if `self.cols() != pack.k()`.
+    pub fn matmul_nt_prepacked_into(&self, pack: &PackedB, out: &mut Matrix) {
+        assert_eq!(
+            self.cols,
+            pack.k(),
+            "matmul_nt_prepacked shape mismatch: {}x{} * packed ({}x{})ᵀ",
+            self.rows,
+            self.cols,
+            pack.n(),
+            pack.k()
+        );
+        out.reset_to_zeros(self.rows, pack.n());
+        kernel().gemm_nt_prepacked(
+            self.rows,
+            self.cols,
+            pack.n(),
+            &self.data,
+            pack,
             &mut out.data,
         );
     }
@@ -592,6 +670,30 @@ mod tests {
         let mut sums = vec![1.0; 7];
         a.col_sums_into(&mut sums);
         assert_eq!(sums, a.col_sums());
+    }
+
+    #[test]
+    fn prepacked_matmuls_match_plain() {
+        let a = Matrix::from_vec(3, 4, (0..12).map(|i| i as f64 * 0.7 - 4.0).collect());
+        let b = Matrix::from_vec(4, 2, (0..8).map(|i| (i as f64).cos()).collect());
+        let bt = Matrix::from_vec(5, 4, (0..20).map(|i| (i as f64).sin()).collect());
+
+        let pb = b.pack_as_rhs();
+        let mut out = Matrix::zeros(0, 0);
+        a.matmul_prepacked_into(&pb, &mut out);
+        assert_eq!(out, a.matmul(&b));
+
+        let pbt = bt.pack_as_rhs_t();
+        a.matmul_nt_prepacked_into(&pbt, &mut out);
+        assert_eq!(out, a.matmul_nt(&bt));
+
+        // Re-pack into the same handles after mutating the operands.
+        let mut b2 = b.clone();
+        b2.scale(1.5);
+        let mut pb2 = pb;
+        b2.pack_as_rhs_into(&mut pb2);
+        a.matmul_prepacked_into(&pb2, &mut out);
+        assert_eq!(out, a.matmul(&b2));
     }
 
     #[test]

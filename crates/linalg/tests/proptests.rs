@@ -282,6 +282,54 @@ fn check_kernel_equivalence(m: usize, k: usize, n: usize, seed: u64) {
     }
 }
 
+/// Asserts the prepacked entry points are `to_bits`-identical to their
+/// pack-on-call twins for every deterministic backend — naive (raw
+/// fallback handle), blocked, simd, and sharded at 1, 2, and N worker
+/// threads — on one `(m, k, n)` shape.
+fn check_prepacked_equivalence(m: usize, k: usize, n: usize, seed: u64) {
+    let a = kernel_data(m * k, seed.wrapping_add(11));
+    let b = kernel_data(k * n, seed.wrapping_add(12));
+    let bt = kernel_data(n * k, seed.wrapping_add(13));
+    let c = kernel_data(m * n, seed.wrapping_add(14));
+
+    let sharded1 = ShardedKernel::with_threads(1);
+    let sharded2 = ShardedKernel::with_threads(2);
+    let sharded_n = ShardedKernel::with_threads(7);
+    let backends: [&dyn GemmBackend; 6] = [
+        &NaiveKernel,
+        &BlockedKernel,
+        &SimdKernel,
+        &sharded1,
+        &sharded2,
+        &sharded_n,
+    ];
+
+    for backend in backends {
+        let name = backend.name();
+
+        let mut plain = vec![0.0; m * n];
+        backend.gemm(m, k, n, &a, &b, &mut plain);
+        let pb = backend.pack_b(k, n, &b);
+        let mut packed = vec![0.0; m * n];
+        backend.gemm_prepacked(m, k, n, &a, &pb, &mut packed);
+        assert_bits_equal(&format!("{name} gemm_prepacked"), &plain, &packed);
+
+        let mut plain_nt = vec![0.0; m * n];
+        backend.gemm_nt(m, k, n, &a, &bt, &mut plain_nt);
+        let pbt = backend.pack_b_t(k, n, &bt);
+        let mut packed_nt = vec![0.0; m * n];
+        backend.gemm_nt_prepacked(m, k, n, &a, &pbt, &mut packed_nt);
+        assert_bits_equal(&format!("{name} gemm_nt_prepacked"), &plain_nt, &packed_nt);
+
+        let mut plain_tn = vec![0.0; k * n];
+        backend.gemm_tn(m, k, n, &a, &c, &mut plain_tn);
+        let pa = backend.pack_a(m, k, &a);
+        let mut packed_tn = vec![0.0; k * n];
+        backend.gemm_tn_prepacked(m, k, n, &pa, &c, &mut packed_tn);
+        assert_bits_equal(&format!("{name} gemm_tn_prepacked"), &plain_tn, &packed_tn);
+    }
+}
+
 /// The fixed shape gallery the ISSUE calls out: degenerate (empty, 1×1),
 /// prime, and just-past-blocking-boundary dimensions.
 #[test]
@@ -303,6 +351,7 @@ fn kernels_bit_identical_on_degenerate_and_prime_shapes() {
         (65, 2, 3),
     ] {
         check_kernel_equivalence(m, k, n, 7 + (m * 131 + k * 17 + n) as u64);
+        check_prepacked_equivalence(m, k, n, 7 + (m * 131 + k * 17 + n) as u64);
     }
 }
 
@@ -319,6 +368,19 @@ proptest! {
         seed in 0u64..100_000,
     ) {
         check_kernel_equivalence(m, k, n, seed);
+    }
+
+    /// Prepacked gemm/gemm_nt/gemm_tn vs their pack-on-call twins on
+    /// random rectangular shapes (empty dimensions included), across
+    /// every deterministic backend.
+    #[test]
+    fn prepacked_bit_identical_on_random_shapes(
+        m in 0usize..24,
+        k in 0usize..24,
+        n in 0usize..24,
+        seed in 0u64..100_000,
+    ) {
+        check_prepacked_equivalence(m, k, n, seed);
     }
 
     /// The Matrix layer dispatches every product through the process-wide

@@ -39,6 +39,20 @@ impl Classifier for crate::Mlp {
     }
 }
 
+impl Classifier for crate::PackedMlp<'_> {
+    fn predict_proba(&self, x: &Matrix) -> Matrix {
+        crate::PackedMlp::predict_proba(self, x)
+    }
+
+    fn num_classes(&self) -> usize {
+        self.network().num_classes()
+    }
+
+    fn input_dim(&self) -> usize {
+        self.network().input_dim()
+    }
+}
+
 /// Mean negative log-likelihood for any [`Classifier`] (clamped like
 /// [`crate::log_loss`]). Returns `NaN` for an empty batch.
 ///

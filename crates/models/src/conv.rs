@@ -19,7 +19,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use st_data::rng::normal;
 use st_data::seeded_rng;
-use st_linalg::{softmax_in_place, Matrix};
+use st_linalg::{softmax_in_place, Matrix, PackedB};
 
 /// Shape of one input image.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -115,18 +115,62 @@ impl Default for ConvTrainConfig {
     }
 }
 
-/// Intermediate tensors of one forward pass (per batch).
-struct Trace {
+/// Reusable buffers for the conv minibatch loop.
+///
+/// The dominant per-batch allocation used to be the im2col patch matrix —
+/// `(n · ch · cw) × (in_ch · k · k)` values rebuilt for every minibatch of
+/// every epoch. One scratch threaded through the loop keeps it (and every
+/// other intermediate) allocation-free in steady state without changing a
+/// single arithmetic operation. The scratch also keeps the prepacked
+/// convolution kernel bank and head weights alive across forwards;
+/// `packs_dirty` invalidates them exactly when the optimizer updates the
+/// weights (the [`PackedB`] snapshot contract), and re-packing reuses the
+/// handles' buffers.
+#[derive(Debug, Default)]
+struct ConvScratch {
     /// The im2col patch matrix, `(n · ch · cw) × (in_ch · k · k)`: one row
     /// per output position, reused by the backward pass as the GEMM
     /// operand for kernel gradients.
     cols: Matrix,
+    /// Bias-seeded conv GEMM output, position-major.
+    conv_out: Matrix,
     /// Post-ReLU conv activations, `n × (out_ch · ch · cw)`.
     relu: Matrix,
     /// Pooled features, `n × (out_ch · ph · pw)`.
     pooled: Matrix,
     /// Flat index (into the relu row) of each pooled maximum.
     argmax: Vec<usize>,
+    /// Head logits of the forward pass (becomes `dZ` via pointer swap).
+    logits: Matrix,
+    /// Softmax cross-entropy gradient on the logits.
+    dz: Matrix,
+    /// Conv-space gradients routed back through pool + ReLU.
+    dconv: Matrix,
+    /// Position-major regrouping of `dconv` (the im2col-matching layout).
+    d: Matrix,
+    /// Head weight/bias gradients.
+    grad_head_w: Matrix,
+    grad_head_b: Vec<f64>,
+    /// Gradient w.r.t. the pooled features.
+    dpooled: Matrix,
+    /// Kernel-bank weight/bias gradients.
+    gw: Matrix,
+    gb: Vec<f64>,
+    /// Prepacked kernel bank (`cols · Wᵀ` operand, packed transposed).
+    w_pack: PackedB,
+    /// Prepacked dense-head weights.
+    head_pack: PackedB,
+    /// True when the weights changed since the packs were built.
+    packs_dirty: bool,
+}
+
+impl ConvScratch {
+    fn fresh() -> Self {
+        ConvScratch {
+            packs_dirty: true,
+            ..Default::default()
+        }
+    }
 }
 
 impl ConvNet {
@@ -180,13 +224,13 @@ impl ConvNet {
     /// row per output position `(ex, y, x)` holding the receptive field in
     /// `(in_ch, ky, kx)` order — exactly the layout of one kernel row in
     /// [`ConvKernels::w`], so convolution becomes `cols · Wᵀ`.
-    fn im2col(&self, x: &Matrix) -> Matrix {
+    fn im2col_into(&self, x: &Matrix, cols: &mut Matrix) {
         let n = x.rows();
         let (ch, cw) = self.conv_dims();
         let s = &self.shape;
         let k = self.conv.k;
         let patch = self.conv.in_ch * k * k;
-        let mut cols = Matrix::zeros(n * ch * cw, patch);
+        cols.reset_to_zeros(n * ch * cw, patch);
         for ex in 0..n {
             let img = x.row(ex);
             for y in 0..ch {
@@ -204,53 +248,65 @@ impl ConvNet {
                 }
             }
         }
-        cols
     }
 
-    /// Forward pass keeping the intermediates backprop needs.
+    /// Forward pass into the scratch, keeping the intermediates backprop
+    /// needs (`cols`, `relu`, `pooled`, `argmax`, `logits`).
     ///
     /// The convolution itself is one batched GEMM over the im2col matrix:
     /// the output accumulator is seeded with the bias and then reduced in
     /// `(in_ch, ky, kx)` order, matching the nested-loop formulation
-    /// bit-for-bit.
-    fn forward_trace(&self, x: &Matrix) -> (Trace, Matrix) {
+    /// bit-for-bit. The kernel bank and head weights come from the
+    /// scratch's prepacked handles, re-packed only when `packs_dirty` says
+    /// an optimizer step invalidated them.
+    fn forward_scratch(&self, x: &Matrix, s: &mut ConvScratch) {
         let n = x.rows();
         let (ch, cw) = self.conv_dims();
         let (ph, pw) = self.pool_dims();
         let k = self.conv.k;
         let patch = self.conv.in_ch * k * k;
         let positions = n * ch * cw;
-        let cols = self.im2col(x);
+
+        if s.packs_dirty {
+            // `conv.w` rows are kernel banks = columns of the logical B,
+            // exactly the transposed-storage shape `pack_b_t` consumes.
+            st_linalg::kernel().pack_b_t_into(patch, self.conv.out_ch, &self.conv.w, &mut s.w_pack);
+            self.head.pack_weights_into(&mut s.head_pack);
+            s.packs_dirty = false;
+        }
+
+        self.im2col_into(x, &mut s.cols);
 
         // conv_out[pos][o] = b[o] + cols.row(pos) · w.row(o).
-        let mut conv_out = Matrix::zeros(positions, self.conv.out_ch);
-        conv_out.add_bias_rows(&self.conv.b);
-        st_linalg::kernel().gemm_nt(
+        s.conv_out.reset_to_zeros(positions, self.conv.out_ch);
+        s.conv_out.add_bias_rows(&self.conv.b);
+        st_linalg::kernel().gemm_nt_prepacked(
             positions,
             patch,
             self.conv.out_ch,
-            cols.as_slice(),
-            &self.conv.w,
-            conv_out.as_mut_slice(),
+            s.cols.as_slice(),
+            &s.w_pack,
+            s.conv_out.as_mut_slice(),
         );
 
         // Scatter position-major GEMM output into the per-example
         // `(o, y, x)` activation layout, applying the ReLU.
-        let mut relu = Matrix::zeros(n, self.conv.out_ch * ch * cw);
-        let mut pooled = Matrix::zeros(n, self.conv.out_ch * ph * pw);
-        let mut argmax = vec![0usize; n * self.conv.out_ch * ph * pw];
+        s.relu.reset_to_zeros(n, self.conv.out_ch * ch * cw);
+        s.pooled.reset_to_zeros(n, self.conv.out_ch * ph * pw);
+        s.argmax.clear();
+        s.argmax.resize(n * self.conv.out_ch * ph * pw, 0);
         for ex in 0..n {
-            let relu_row = relu.row_mut(ex);
+            let relu_row = s.relu.row_mut(ex);
             for y in 0..ch {
                 for xx in 0..cw {
-                    let src = conv_out.row((ex * ch + y) * cw + xx);
+                    let src = s.conv_out.row((ex * ch + y) * cw + xx);
                     for (o, &v) in src.iter().enumerate() {
                         relu_row[(o * ch + y) * cw + xx] = v.max(0.0);
                     }
                 }
             }
             // 2×2 max pool with argmax bookkeeping.
-            let pooled_row = pooled.row_mut(ex);
+            let pooled_row = s.pooled.row_mut(ex);
             for o in 0..self.conv.out_ch {
                 for py in 0..ph {
                     for px in 0..pw {
@@ -267,26 +323,20 @@ impl ConvNet {
                         }
                         let p_idx = (o * ph + py) * pw + px;
                         pooled_row[p_idx] = best;
-                        argmax[ex * self.conv.out_ch * ph * pw + p_idx] = best_idx;
+                        s.argmax[ex * self.conv.out_ch * ph * pw + p_idx] = best_idx;
                     }
                 }
             }
         }
-        let logits = self.head.forward(&pooled);
-        (
-            Trace {
-                cols,
-                relu,
-                pooled,
-                argmax,
-            },
-            logits,
-        )
+        self.head
+            .forward_prepacked_into(&s.head_pack, &s.pooled, &mut s.logits);
     }
 
     /// Batch logits.
     pub fn logits(&self, x: &Matrix) -> Matrix {
-        self.forward_trace(x).1
+        let mut s = ConvScratch::fresh();
+        self.forward_scratch(x, &mut s);
+        s.logits
     }
 
     /// Trains a `ConvNet` on flattened-image rows. Deterministic in
@@ -323,30 +373,42 @@ impl ConvNet {
         ];
         let mut opt = OptimizerState::new(config.optimizer, &lens);
         let mut order: Vec<usize> = (0..n).collect();
+        let mut scratch = ConvScratch::fresh();
+        let mut bx = Matrix::zeros(0, 0);
+        let mut by: Vec<usize> = Vec::new();
 
         for _epoch in 0..config.epochs {
             order.shuffle(&mut rng);
             for chunk in order.chunks(config.batch_size.max(1)) {
-                let bx = x.gather_rows(chunk);
-                let by: Vec<usize> = chunk.iter().map(|&i| y[i]).collect();
+                x.gather_rows_into(chunk, &mut bx);
+                by.clear();
+                by.extend(chunk.iter().map(|&i| y[i]));
                 opt.next_step();
-                net.step(&bx, &by, config.lr, &mut opt);
+                net.step(&bx, &by, config.lr, &mut opt, &mut scratch);
             }
         }
         net
     }
 
-    /// One optimizer step on a minibatch.
-    fn step(&mut self, bx: &Matrix, by: &[usize], lr: f64, opt: &mut OptimizerState) {
+    /// One optimizer step on a minibatch, entirely in scratch space.
+    fn step(
+        &mut self,
+        bx: &Matrix,
+        by: &[usize],
+        lr: f64,
+        opt: &mut OptimizerState,
+        s: &mut ConvScratch,
+    ) {
         let m = bx.rows();
-        let (trace, logits) = self.forward_trace(bx);
+        self.forward_scratch(bx, s);
         let (ch, cw) = self.conv_dims();
         let (ph, pw) = self.pool_dims();
 
-        // Softmax cross-entropy gradient.
-        let mut dz = logits;
+        // Softmax cross-entropy gradient. The logits buffer *becomes* dZ
+        // (a pointer swap, not a copy).
+        std::mem::swap(&mut s.dz, &mut s.logits);
         for r in 0..m {
-            let row = dz.row_mut(r);
+            let row = s.dz.row_mut(r);
             softmax_in_place(row);
             row[by[r]] -= 1.0;
             for v in row.iter_mut() {
@@ -355,21 +417,21 @@ impl ConvNet {
         }
 
         // Dense head gradients, via the transpose-free GEMM shapes.
-        let grad_w = trace.pooled.matmul_tn(&dz);
-        let grad_b = dz.col_sums();
+        s.pooled.matmul_tn_into(&s.dz, &mut s.grad_head_w);
+        s.dz.col_sums_into(&mut s.grad_head_b);
         // Gradient wrt pooled features, before updating the head.
-        let dpooled = dz.matmul_nt(&self.head.w);
+        s.dz.matmul_nt_into(&self.head.w, &mut s.dpooled);
 
         // Route through the max pool and the ReLU into conv-space gradients.
-        let mut dconv = Matrix::zeros(m, self.conv.out_ch * ch * cw);
+        s.dconv.reset_to_zeros(m, self.conv.out_ch * ch * cw);
         for ex in 0..m {
-            let drow = dpooled.row(ex);
-            let dconv_row = dconv.row_mut(ex);
+            let drow = s.dpooled.row(ex);
+            let dconv_row = s.dconv.row_mut(ex);
             for p_idx in 0..self.conv.out_ch * ph * pw {
-                let src = trace.argmax[ex * self.conv.out_ch * ph * pw + p_idx];
+                let src = s.argmax[ex * self.conv.out_ch * ph * pw + p_idx];
                 // ReLU: the stored activation is post-ReLU; zero activations
                 // pass no gradient.
-                if trace.relu[(ex, src)] > 0.0 {
+                if s.relu[(ex, src)] > 0.0 {
                     dconv_row[src] += drow[p_idx];
                 }
             }
@@ -382,24 +444,32 @@ impl ConvNet {
         // column sum of `D` — both reduce positions in ascending order,
         // exactly like the nested-loop formulation.
         let positions = m * ch * cw;
-        let mut d = Matrix::zeros(positions, self.conv.out_ch);
+        s.d.reset_to_zeros(positions, self.conv.out_ch);
         for ex in 0..m {
-            let drow = dconv.row(ex);
+            let drow = s.dconv.row(ex);
             for o in 0..self.conv.out_ch {
                 for y in 0..ch {
                     for xx in 0..cw {
-                        d[((ex * ch + y) * cw + xx, o)] = drow[(o * ch + y) * cw + xx];
+                        s.d[((ex * ch + y) * cw + xx, o)] = drow[(o * ch + y) * cw + xx];
                     }
                 }
             }
         }
-        let gw = d.matmul_tn(&trace.cols);
-        let gb = d.col_sums();
+        s.d.matmul_tn_into(&s.cols, &mut s.gw);
+        s.d.col_sums_into(&mut s.gb);
 
-        opt.update(0, &mut self.conv.w, gw.as_slice(), lr, 0.0);
-        opt.update(1, &mut self.conv.b, &gb, lr, 0.0);
-        opt.update(2, self.head.w.as_mut_slice(), grad_w.as_slice(), lr, 0.0);
-        opt.update(3, &mut self.head.b, &grad_b, lr, 0.0);
+        opt.update(0, &mut self.conv.w, s.gw.as_slice(), lr, 0.0);
+        opt.update(1, &mut self.conv.b, &s.gb, lr, 0.0);
+        opt.update(
+            2,
+            self.head.w.as_mut_slice(),
+            s.grad_head_w.as_slice(),
+            lr,
+            0.0,
+        );
+        opt.update(3, &mut self.head.b, &s.grad_head_b, lr, 0.0);
+        // Every weight tensor just changed; invalidate the packs.
+        s.packs_dirty = true;
     }
 }
 

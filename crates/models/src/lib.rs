@@ -37,8 +37,11 @@ pub use batch::{examples_to_matrix, labels_of};
 pub use classifier::{accuracy_of, log_loss_of, Classifier};
 pub use conv::{ConvNet, ConvTrainConfig, ImageShape};
 pub use io::{read_mlp, write_mlp, ModelIoError};
-pub use loss::{accuracy, log_loss, overall_validation_loss, per_slice_validation_losses};
-pub use network::{Layer, Mlp};
+pub use loss::{
+    accuracy, log_loss, log_loss_packed, log_loss_packed_on, overall_validation_loss,
+    per_slice_validation_losses,
+};
+pub use network::{Layer, Mlp, PackedMlp};
 pub use optimizer::{LrSchedule, OptimizerKind, OptimizerState};
 pub use residual::{ResidualBlock, ResidualMlp, ResidualTrainConfig};
 pub use spec::ModelSpec;

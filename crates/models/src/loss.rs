@@ -5,9 +5,21 @@
 //! and optimizer consume.
 
 use crate::batch::{examples_to_matrix, labels_of};
-use crate::network::Mlp;
+use crate::network::{Mlp, PackedMlp};
 use st_data::{Example, SlicedDataset};
 use st_linalg::{Matrix, EPS_PROB};
+
+/// The clamped negative log-likelihood reduction shared by every loss
+/// entry point (Keras-style `[EPS_PROB, 1-EPS_PROB]` clamp so a single
+/// confident mistake cannot produce an infinite loss).
+fn nll_of_proba(p: &Matrix, y: &[usize]) -> f64 {
+    let mut total = 0.0;
+    for (r, &label) in y.iter().enumerate() {
+        let prob = p[(r, label)].clamp(EPS_PROB, 1.0 - EPS_PROB);
+        total -= prob.ln();
+    }
+    total / y.len() as f64
+}
 
 /// Mean negative log-likelihood of the true labels under the model.
 ///
@@ -19,18 +31,28 @@ pub fn log_loss(model: &Mlp, x: &Matrix, y: &[usize]) -> f64 {
     if y.is_empty() {
         return f64::NAN;
     }
-    let p = model.predict_proba(x);
-    let mut total = 0.0;
-    for (r, &label) in y.iter().enumerate() {
-        let prob = p[(r, label)].clamp(EPS_PROB, 1.0 - EPS_PROB);
-        total -= prob.ln();
+    nll_of_proba(&model.predict_proba(x), y)
+}
+
+/// [`log_loss`] against a prepacked evaluation view ([`Mlp::packed`]):
+/// bit-identical, but the weights are packed once for the view instead of
+/// once per call — the win when one model scores many slices.
+pub fn log_loss_packed(model: &PackedMlp<'_>, x: &Matrix, y: &[usize]) -> f64 {
+    assert_eq!(x.rows(), y.len(), "feature/label count mismatch");
+    if y.is_empty() {
+        return f64::NAN;
     }
-    total / y.len() as f64
+    nll_of_proba(&model.predict_proba(x), y)
 }
 
 /// [`log_loss`] over a list of examples.
 pub fn log_loss_on(model: &Mlp, examples: &[Example]) -> f64 {
     log_loss(model, &examples_to_matrix(examples), &labels_of(examples))
+}
+
+/// [`log_loss_packed`] over a list of examples.
+pub fn log_loss_packed_on(model: &PackedMlp<'_>, examples: &[Example]) -> f64 {
+    log_loss_packed(model, &examples_to_matrix(examples), &labels_of(examples))
 }
 
 /// Fraction of correct argmax predictions. Returns `NaN` for an empty batch.
@@ -45,25 +67,32 @@ pub fn accuracy(model: &Mlp, x: &Matrix, y: &[usize]) -> f64 {
 }
 
 /// Per-slice validation losses `ψ(s_i, M)`, in slice-id order.
+///
+/// One model scores every slice, so the weights are packed **once** and
+/// reused for all per-slice forward passes (bit-identical to per-call
+/// packing; the prepacked contract).
 pub fn per_slice_validation_losses(model: &Mlp, ds: &SlicedDataset) -> Vec<f64> {
+    let packed = model.packed();
     ds.slices
         .iter()
-        .map(|s| log_loss_on(model, &s.validation))
+        .map(|s| log_loss_packed_on(&packed, &s.validation))
         .collect()
 }
 
 /// Loss on the pooled validation set: the paper's `ψ(D, M)`.
 ///
 /// Computed as the size-weighted mean of per-slice losses, which equals the
-/// loss on the concatenated validation data.
+/// loss on the concatenated validation data. Packs the weights once like
+/// [`per_slice_validation_losses`].
 pub fn overall_validation_loss(model: &Mlp, ds: &SlicedDataset) -> f64 {
+    let packed = model.packed();
     let mut total = 0.0;
     let mut count = 0usize;
     for s in &ds.slices {
         if s.validation.is_empty() {
             continue;
         }
-        total += log_loss_on(model, &s.validation) * s.validation.len() as f64;
+        total += log_loss_packed_on(&packed, &s.validation) * s.validation.len() as f64;
         count += s.validation.len();
     }
     if count == 0 {

@@ -2,7 +2,7 @@
 
 use rand::rngs::StdRng;
 use st_data::rng::normal;
-use st_linalg::{softmax_in_place, Matrix};
+use st_linalg::{softmax_in_place, Matrix, PackedB};
 
 /// One fully-connected layer: `out = in · W + b`.
 ///
@@ -39,15 +39,42 @@ impl Layer {
 
     /// Affine forward pass for a batch: `X·W + b`.
     pub fn forward(&self, x: &Matrix) -> Matrix {
-        let mut out = x.matmul(&self.w);
-        out.add_bias_rows(&self.b);
+        let mut out = Matrix::zeros(0, 0);
+        self.forward_into(x, &mut out);
         out
     }
 
     /// [`forward`](Self::forward) into a reusable output matrix (same
     /// ops, identical bits, no allocation in steady state).
     pub fn forward_into(&self, x: &Matrix, out: &mut Matrix) {
+        if st_linalg::prepack_forced() {
+            // ST_PREPACK=1: route even single-use forwards through the
+            // prepacked API (pack-on-call) so CI exercises it everywhere.
+            let pack = self.pack_weights();
+            self.forward_prepacked_into(&pack, x, out);
+            return;
+        }
         x.matmul_into(&self.w, out);
+        out.add_bias_rows(&self.b);
+    }
+
+    /// Packs `w` once for reuse across forward calls (the `X·W` shape).
+    ///
+    /// The handle is a snapshot: re-pack after any weight update (see the
+    /// lifetime contract on [`PackedB`]).
+    pub fn pack_weights(&self) -> PackedB {
+        self.w.pack_as_rhs()
+    }
+
+    /// [`pack_weights`](Self::pack_weights) into a reusable handle.
+    pub fn pack_weights_into(&self, dst: &mut PackedB) {
+        self.w.pack_as_rhs_into(dst);
+    }
+
+    /// [`forward_into`](Self::forward_into) against a prepacked weight
+    /// handle — bit-identical, no per-call packing.
+    pub fn forward_prepacked_into(&self, pack: &PackedB, x: &Matrix, out: &mut Matrix) {
+        x.matmul_prepacked_into(pack, out);
         out.add_bias_rows(&self.b);
     }
 }
@@ -146,6 +173,75 @@ impl Mlp {
             .map(|r| st_linalg::argmax(logits.row(r)))
             .collect()
     }
+
+    /// An evaluation view with every layer's weights packed **once** for
+    /// reuse across many forward passes.
+    ///
+    /// The estimator and the per-slice evaluators run the same trained
+    /// model over every slice's validation set; packing per `matmul` call
+    /// re-shuffles identical weight bytes each time. The view borrows the
+    /// network immutably, so the packs cannot go stale while it lives —
+    /// the invalidation contract is enforced by the borrow checker.
+    /// Outputs are bit-identical to the unpacked paths.
+    pub fn packed(&self) -> PackedMlp<'_> {
+        PackedMlp {
+            net: self,
+            packs: self.layers.iter().map(Layer::pack_weights).collect(),
+        }
+    }
+}
+
+/// A read-only [`Mlp`] evaluation view with prepacked weights (see
+/// [`Mlp::packed`]).
+#[derive(Debug)]
+pub struct PackedMlp<'a> {
+    net: &'a Mlp,
+    packs: Vec<PackedB>,
+}
+
+impl PackedMlp<'_> {
+    /// The underlying network.
+    pub fn network(&self) -> &Mlp {
+        self.net
+    }
+
+    /// Batch logits — the op-for-op mirror of [`Mlp::logits`] (same ReLU,
+    /// same GEMM chains), so the bits match exactly.
+    pub fn logits(&self, x: &Matrix) -> Matrix {
+        let last = self.net.layers.len() - 1;
+        let mut cur = Matrix::zeros(0, 0);
+        let mut next = Matrix::zeros(0, 0);
+        for (i, (layer, pack)) in self.net.layers.iter().zip(&self.packs).enumerate() {
+            let input = if i == 0 { x } else { &cur };
+            layer.forward_prepacked_into(pack, input, &mut next);
+            if i != last {
+                for v in next.as_mut_slice() {
+                    if *v < 0.0 {
+                        *v = 0.0;
+                    }
+                }
+            }
+            std::mem::swap(&mut cur, &mut next);
+        }
+        cur
+    }
+
+    /// Batch class probabilities: each row of the result sums to one.
+    pub fn predict_proba(&self, x: &Matrix) -> Matrix {
+        let mut logits = self.logits(x);
+        for r in 0..logits.rows() {
+            softmax_in_place(logits.row_mut(r));
+        }
+        logits
+    }
+
+    /// Class predictions (argmax of probabilities).
+    pub fn predict(&self, x: &Matrix) -> Vec<usize> {
+        let logits = self.logits(x);
+        (0..logits.rows())
+            .map(|r| st_linalg::argmax(logits.row(r)))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -202,6 +298,25 @@ mod tests {
         assert_eq!(a, b);
         let c = Mlp::new(4, &[5], 3, &mut seeded_rng(8));
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn packed_view_is_bit_identical_to_plain_forward() {
+        let mut rng = seeded_rng(21);
+        for hidden in [&[] as &[usize], &[7], &[9, 6]] {
+            let net = Mlp::new(5, hidden, 3, &mut rng);
+            let packed = net.packed();
+            for rows in [1usize, 4, 33] {
+                let x = Matrix::from_fn(rows, 5, |r, c| ((r * 5 + c) as f64 * 0.37).sin());
+                let want = net.logits(&x);
+                let got = packed.logits(&x);
+                assert_eq!(want.as_slice().len(), got.as_slice().len());
+                for (w, g) in want.as_slice().iter().zip(got.as_slice()) {
+                    assert_eq!(w.to_bits(), g.to_bits(), "{w} vs {g}");
+                }
+                assert_eq!(net.predict(&x), packed.predict(&x));
+            }
+        }
     }
 
     #[test]

@@ -14,7 +14,7 @@ use crate::optimizer::{OptimizerKind, OptimizerState};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use st_data::seeded_rng;
-use st_linalg::{softmax_in_place, Matrix};
+use st_linalg::{softmax_in_place, Matrix, PackedB};
 
 /// One residual block: two width-preserving dense layers with an identity
 /// skip, post-activation (`out = ReLU(x + W₂·ReLU(W₁·x + b₁) + b₂)`).
@@ -102,6 +102,52 @@ fn relu_in_place(m: &mut Matrix) {
     }
 }
 
+/// Prepacked forward weights of every layer, kept alive across minibatches
+/// by the training loop. Packs are snapshots: the loop re-packs (buffer
+/// reuse, no allocation) after each optimizer step, exactly when the
+/// weights change — the [`PackedB`] invalidation contract.
+#[derive(Debug, Default)]
+struct ResidualPacks {
+    stem: PackedB,
+    /// `(l1, l2)` per residual block.
+    blocks: Vec<(PackedB, PackedB)>,
+    head: PackedB,
+}
+
+impl ResidualPacks {
+    fn for_net(net: &ResidualMlp) -> Self {
+        let mut packs = ResidualPacks {
+            blocks: net.blocks.iter().map(|_| Default::default()).collect(),
+            ..Default::default()
+        };
+        packs.refresh(net);
+        packs
+    }
+
+    /// Re-packs every layer from the current weights.
+    fn refresh(&mut self, net: &ResidualMlp) {
+        net.stem.pack_weights_into(&mut self.stem);
+        for (block, (p1, p2)) in net.blocks.iter().zip(&mut self.blocks) {
+            block.l1.pack_weights_into(p1);
+            block.l2.pack_weights_into(p2);
+        }
+        net.head.pack_weights_into(&mut self.head);
+    }
+}
+
+/// Forward of one layer through its pack when available (bit-identical to
+/// the plain forward either way).
+fn layer_forward(layer: &Layer, pack: Option<&PackedB>, x: &Matrix) -> Matrix {
+    match pack {
+        Some(p) => {
+            let mut out = Matrix::zeros(0, 0);
+            layer.forward_prepacked_into(p, x, &mut out);
+            out
+        }
+        None => layer.forward(x),
+    }
+}
+
 impl ResidualMlp {
     /// Builds a seeded, He-initialized network.
     ///
@@ -141,14 +187,25 @@ impl ResidualMlp {
 
     /// Forward pass keeping per-block intermediates.
     fn forward_trace(&self, x: &Matrix) -> (Matrix, Vec<BlockTrace>, Matrix) {
-        let mut cur = self.stem.forward(x);
+        self.forward_trace_with(x, None)
+    }
+
+    /// [`forward_trace`](Self::forward_trace) through prepacked weights
+    /// when the training loop supplies them — identical operations, so
+    /// training bits are unchanged.
+    fn forward_trace_with(
+        &self,
+        x: &Matrix,
+        packs: Option<&ResidualPacks>,
+    ) -> (Matrix, Vec<BlockTrace>, Matrix) {
+        let mut cur = layer_forward(&self.stem, packs.map(|p| &p.stem), x);
         relu_in_place(&mut cur);
         let stem_out = cur.clone();
         let mut traces = Vec::with_capacity(self.blocks.len());
-        for block in &self.blocks {
-            let mut hidden = block.l1.forward(&cur);
+        for (bi, block) in self.blocks.iter().enumerate() {
+            let mut hidden = layer_forward(&block.l1, packs.map(|p| &p.blocks[bi].0), &cur);
             relu_in_place(&mut hidden);
-            let mut out = block.l2.forward(&hidden);
+            let mut out = layer_forward(&block.l2, packs.map(|p| &p.blocks[bi].1), &hidden);
             out.add_assign(&cur);
             relu_in_place(&mut out);
             traces.push(BlockTrace {
@@ -158,7 +215,7 @@ impl ResidualMlp {
             });
             cur = out;
         }
-        let logits = self.head.forward(&cur);
+        let logits = layer_forward(&self.head, packs.map(|p| &p.head), &cur);
         (stem_out, traces, logits)
     }
 
@@ -199,23 +256,38 @@ impl ResidualMlp {
         lens.extend(layer_lens(&net.head));
         let mut opt = OptimizerState::new(config.optimizer, &lens);
 
+        // Forward weights are packed once here and kept alive across
+        // minibatches; each step invalidates them (the optimizer updates
+        // every layer), so `refresh` re-packs into the same buffers.
+        let mut packs = ResidualPacks::for_net(&net);
         let mut order: Vec<usize> = (0..n).collect();
+        let mut bx = Matrix::zeros(0, 0);
+        let mut by: Vec<usize> = Vec::new();
         for _epoch in 0..config.epochs {
             order.shuffle(&mut rng);
             for chunk in order.chunks(config.batch_size.max(1)) {
-                let bx = x.gather_rows(chunk);
-                let by: Vec<usize> = chunk.iter().map(|&i| y[i]).collect();
+                x.gather_rows_into(chunk, &mut bx);
+                by.clear();
+                by.extend(chunk.iter().map(|&i| y[i]));
                 opt.next_step();
-                net.step(&bx, &by, config.lr, &mut opt);
+                net.step(&bx, &by, config.lr, &mut opt, &packs);
+                packs.refresh(&net);
             }
         }
         net
     }
 
     /// One optimizer step on a minibatch.
-    fn step(&mut self, bx: &Matrix, by: &[usize], lr: f64, opt: &mut OptimizerState) {
+    fn step(
+        &mut self,
+        bx: &Matrix,
+        by: &[usize],
+        lr: f64,
+        opt: &mut OptimizerState,
+        packs: &ResidualPacks,
+    ) {
         let m = bx.rows();
-        let (stem_out, traces, logits) = self.forward_trace(bx);
+        let (stem_out, traces, logits) = self.forward_trace_with(bx, Some(packs));
 
         // Softmax cross-entropy gradient.
         let mut dz = logits;

@@ -14,7 +14,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::Rng;
 use st_data::{seeded_rng, Example};
-use st_linalg::{softmax_in_place, Matrix};
+use st_linalg::{softmax_in_place, Matrix, PackedB};
 
 /// Hyperparameters for one training run.
 #[derive(Debug, Clone, PartialEq)]
@@ -247,6 +247,15 @@ struct TrainScratch {
     grad_w: Matrix,
     /// Per-layer bias gradient.
     grad_b: Vec<f64>,
+    /// Per-layer prepacked forward weights (`X·W` layout), kept alive
+    /// across minibatches. A pack is a snapshot of the weights, so it is
+    /// invalidated — [`Self::packs_dirty`] — exactly when the optimizer
+    /// updates that layer; re-packing reuses the buffer (a copy, not an
+    /// allocation). Forward/eval passes never mutate weights, so between
+    /// updates every minibatch reuses the same pack.
+    packs: Vec<PackedB>,
+    /// Which layers' packs are stale (weights updated since last pack).
+    packs_dirty: Vec<bool>,
 }
 
 impl TrainScratch {
@@ -255,6 +264,8 @@ impl TrainScratch {
         TrainScratch {
             acts: (0..hidden).map(|_| Matrix::zeros(0, 0)).collect(),
             masks: vec![Vec::new(); hidden],
+            packs: net.layers.iter().map(|_| PackedB::default()).collect(),
+            packs_dirty: vec![true; net.layers.len()],
             ..Default::default()
         }
     }
@@ -269,6 +280,12 @@ impl TrainScratch {
 fn forward_train(net: &Mlp, dropout: f64, rng: &mut StdRng, scratch: &mut TrainScratch) {
     let last = net.layers.len() - 1;
     for (i, layer) in net.layers.iter().enumerate() {
+        // Re-pack only layers whose weights the optimizer touched since
+        // the last forward (every layer after a step, none during eval).
+        if scratch.packs_dirty[i] {
+            layer.pack_weights_into(&mut scratch.packs[i]);
+            scratch.packs_dirty[i] = false;
+        }
         // Split so the input activation (or `bx`) can be read while this
         // layer's output is written.
         let (done, rest) = scratch.acts.split_at_mut(i);
@@ -278,7 +295,7 @@ fn forward_train(net: &Mlp, dropout: f64, rng: &mut StdRng, scratch: &mut TrainS
         } else {
             &mut rest[0]
         };
-        layer.forward_into(input, z);
+        layer.forward_prepacked_into(&scratch.packs[i], input, z);
         if i == last {
             break;
         }
@@ -377,6 +394,8 @@ fn descent_step(
             config.l2,
         );
         opt.update(2 * li + 1, &mut layer.b, &scratch.grad_b, lr, 0.0);
+        // The weights just changed; the prepacked snapshot is stale.
+        scratch.packs_dirty[li] = true;
     }
 }
 
@@ -462,6 +481,55 @@ mod tests {
             linear_loss > 0.6,
             "linear loss {linear_loss} should stay near ln 2"
         );
+    }
+
+    #[test]
+    fn packed_weight_reuse_is_bit_stable_across_optimizer_steps() {
+        // The pack-cache contract: forwards through the cached packs must
+        // be bit-identical to the plain (pack-on-call) forward — before
+        // any update, after a reuse without an update, and after an
+        // optimizer step forces a re-pack.
+        let (x, y) = blobs(12, &[(-1.0, 0.5), (1.0, -0.5)], 31);
+        let config = TrainConfig::default();
+        let mut rng = seeded_rng(config.seed);
+        let mut net = Mlp::new(2, &[6], 2, &mut rng);
+        let mut scratch = TrainScratch::for_net(&net);
+        let all: Vec<usize> = (0..x.rows()).collect();
+        x.gather_rows_into(&all, &mut scratch.bx);
+        scratch.by = y.clone();
+
+        let assert_logits_match = |net: &Mlp, scratch: &TrainScratch| {
+            let want = net.logits(&scratch.bx);
+            for (w, g) in want.as_slice().iter().zip(scratch.logits.as_slice()) {
+                assert_eq!(w.to_bits(), g.to_bits(), "{w} vs {g}");
+            }
+        };
+
+        // First forward packs every layer.
+        forward_train(&net, 0.0, &mut rng, &mut scratch);
+        assert!(scratch.packs_dirty.iter().all(|&d| !d));
+        assert_logits_match(&net, &scratch);
+
+        // Second forward without an update: packs are reused, bits equal.
+        forward_train(&net, 0.0, &mut rng, &mut scratch);
+        assert!(scratch.packs_dirty.iter().all(|&d| !d));
+        assert_logits_match(&net, &scratch);
+
+        // A real optimizer step invalidates every updated layer's pack …
+        let lens: Vec<usize> = net
+            .layers
+            .iter()
+            .flat_map(|l| [l.w.rows() * l.w.cols(), l.b.len()])
+            .collect();
+        let mut opt = OptimizerState::new(config.optimizer, &lens);
+        opt.next_step();
+        descent_step(&mut net, &mut scratch, 0.1, &config, &mut opt, &mut rng);
+        assert!(scratch.packs_dirty.iter().all(|&d| d), "update marks stale");
+
+        // … and the next forward re-packs the new weights: bits must
+        // match the plain forward of the *updated* network.
+        forward_train(&net, 0.0, &mut rng, &mut scratch);
+        assert_logits_match(&net, &scratch);
     }
 
     #[test]
