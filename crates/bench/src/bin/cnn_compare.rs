@@ -38,9 +38,16 @@ fn main() {
     let val_per_slice = 120;
     let mut rng = seeded_rng(5);
 
-    // Fixed validation sets per slice.
+    // Fixed validation sets per slice — gathered into dense matrices
+    // **once** here instead of once per (size × repeat × slice) loop
+    // iteration below (the bench-side analog of the estimator's cached
+    // validation matrices).
     let validation: Vec<Vec<Example>> = (0..fam.num_slices())
         .map(|s| fam.sample_slice(SliceId(s), val_per_slice, &mut rng))
+        .collect();
+    let val_mats: Vec<(st_linalg::Matrix, Vec<usize>)> = validation
+        .iter()
+        .map(|v| (examples_to_matrix(v), labels_of(v)))
         .collect();
 
     // Measured (n, loss) points per slice for both model families.
@@ -83,11 +90,9 @@ fn main() {
             };
             let cnn = ConvNet::train(&x, &y, SHAPE, fam.num_classes, &conv_cfg);
 
-            for (s, val) in validation.iter().enumerate() {
-                let vx = examples_to_matrix(val);
-                let vy = labels_of(val);
-                mlp_loss[s] += log_loss_of(&mlp, &vx, &vy) / repeats as f64;
-                cnn_loss[s] += log_loss_of(&cnn, &vx, &vy) / repeats as f64;
+            for (s, (vx, vy)) in val_mats.iter().enumerate() {
+                mlp_loss[s] += log_loss_of(&mlp, vx, vy) / repeats as f64;
+                cnn_loss[s] += log_loss_of(&cnn, vx, vy) / repeats as f64;
             }
         }
         for s in 0..fam.num_slices() {

@@ -322,6 +322,7 @@ fn main() {
     }
     println!("  sharded bit-identical to naive at 1/2/4 threads on 512x512 gemm + gemm_tn");
 
+    let mut shard_speedup = None;
     if cores >= 2 {
         // Interleaved rounds like gates 1–2, and a gate band below the
         // >1x target: on 2-"core" hosts whose vCPUs are hyperthread
@@ -341,16 +342,17 @@ fn main() {
                 shard_all.gemm(gm, gk, gn, &ga, &gb, &mut gout);
             }));
         }
-        let shard_speedup = t_simd_big / t_shard_big;
+        let speedup = t_simd_big / t_shard_big;
+        shard_speedup = Some(speedup);
         let floor = if cores >= 4 { 1.2 } else { 0.9 };
         println!(
-            "  sharded({cores}) vs simd on 512x512: {shard_speedup:.2}x (target > 1x on \
+            "  sharded({cores}) vs simd on 512x512: {speedup:.2}x (target > 1x on \
              multi-core hosts; gate >= {floor}x for {cores} cores)"
         );
         assert!(
-            shard_speedup >= floor,
+            speedup >= floor,
             "sharded must reach {floor}x over simd on a {cores}-core host, \
-             got {shard_speedup:.2}x"
+             got {speedup:.2}x"
         );
     } else {
         println!(
@@ -358,6 +360,32 @@ fn main() {
              enforced; the fan-out shows up on multi-core machines)"
         );
     }
+
+    // Machine-readable gate readings for the trend reporter
+    // (`st_bench --bin trend`; schema in docs/profiling.md). `ST_KERNELS_JSON`
+    // overrides the path.
+    let path =
+        std::env::var("ST_KERNELS_JSON").unwrap_or_else(|_| "BENCH_kernels.json".to_string());
+    let mut json = String::new();
+    use std::fmt::Write as _;
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"kernels\",");
+    let _ = writeln!(json, "  \"schema_version\": 1,");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"cores\": {cores},");
+    let _ = writeln!(json, "  \"blocked_speedup\": {blocked_speedup:.4},");
+    let _ = writeln!(json, "  \"simd_speedup\": {simd_speedup:.4},");
+    match shard_speedup {
+        Some(s) => {
+            let _ = writeln!(json, "  \"sharded_speedup\": {s:.4}");
+        }
+        None => {
+            let _ = writeln!(json, "  \"sharded_speedup\": null");
+        }
+    }
+    let _ = writeln!(json, "}}");
+    std::fs::write(&path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!("\nwrote {path}");
 
     println!("\nall gates passed; deterministic backends bit-identical on every timed shape");
 }

@@ -14,10 +14,7 @@
 use st_bench::{rule, FamilySetup};
 use st_data::SlicedDataset;
 use st_linalg::spearman;
-use st_models::{
-    examples_to_matrix, labels_of, log_loss_of, train_on_examples, ModelSpec, ResidualMlp,
-    ResidualTrainConfig, TrainConfig,
-};
+use st_models::{log_loss_of, ModelSpec, ResidualMlp, ResidualTrainConfig, TrainConfig};
 
 fn main() {
     // Bench-wide kernel default: `sharded` on multi-core hosts, `simd`
@@ -97,12 +94,21 @@ fn per_slice_mlp(ds: &SlicedDataset, spec: &ModelSpec, seed: u64) -> Vec<f64> {
         seed,
         ..TrainConfig::default()
     };
-    let model = train_on_examples(&ds.all_train(), ds.feature_dim, ds.num_classes, spec, &cfg);
+    // The dataset's cached dense snapshot holds all_train() pre-stacked;
+    // training on it is bit-identical to the cloning path.
+    let dense = ds.matrices();
+    let model = st_models::train(
+        &dense.train_x,
+        &dense.train_y,
+        ds.feature_dim,
+        ds.num_classes,
+        spec,
+        &cfg,
+    );
     st_models::per_slice_validation_losses(&model, ds)
 }
 
 fn per_slice_residual(ds: &SlicedDataset, seed: u64) -> Vec<f64> {
-    let all = ds.all_train();
     let cfg = ResidualTrainConfig {
         width: 48,
         depth: 6,
@@ -111,22 +117,18 @@ fn per_slice_residual(ds: &SlicedDataset, seed: u64) -> Vec<f64> {
         seed,
         ..Default::default()
     };
+    // Train and evaluate from the cached dense snapshot instead of
+    // re-gathering the train set and every slice's validation matrix.
+    let dense = ds.matrices();
     let model = ResidualMlp::train(
-        &examples_to_matrix(&all),
-        &labels_of(&all),
+        &dense.train_x,
+        &dense.train_y,
         ds.feature_dim,
         ds.num_classes,
         &cfg,
     );
-    ds.slices
-        .iter()
-        .map(|s| {
-            log_loss_of(
-                &model,
-                &examples_to_matrix(&s.validation),
-                &labels_of(&s.validation),
-            )
-        })
+    (0..ds.num_slices())
+        .map(|s| log_loss_of(&model, &dense.val_x[s], &dense.val_y[s]))
         .collect()
 }
 

@@ -37,32 +37,36 @@ fn main() {
 
         // estimate_curves fits internally; we want the points, so re-measure
         // with the public measurement API: train on X% of all slices, eval
-        // per slice (amortized schedule).
+        // per slice (amortized schedule). The loop rides the dataset's
+        // cached dense snapshot — validation matrices gathered once, subsets
+        // sampled as row ids, per-slice counts from the sampling pass —
+        // instead of re-gathering per iteration.
         let n_slices = setup.family.num_slices();
         let mut points: Vec<Vec<CurvePoint>> = vec![Vec::new(); n_slices];
+        let dense = tuner.dataset().matrices();
+        let mut scratch = st_models::EvalScratch::default();
         for (k, &frac) in cfg.fractions.iter().enumerate() {
             for r in 0..cfg.repeats {
                 let ds = tuner.dataset();
-                let subset = ds.joint_train_subset_seeded(frac, (k * 31 + r) as u64 + 1, 0);
-                let model = st_models::train_on_examples(
-                    &subset,
+                let subset = ds.joint_train_subset_rows_seeded(frac, (k * 31 + r) as u64 + 1, 0);
+                let model = st_models::train_on_rows(
+                    &dense.train_x,
+                    &dense.train_y,
+                    &subset.rows,
                     ds.feature_dim,
                     ds.num_classes,
                     &cfg.spec,
                     &cfg.train.with_seed((k * 7 + r) as u64),
                 );
+                let packed = model.packed();
                 for s in 0..n_slices {
-                    let n_in = subset.iter().filter(|e| e.slice.index() == s).count();
-                    let loss = st_models::log_loss_of(
-                        &model,
-                        &st_models::examples_to_matrix(&ds.slices[s].validation),
-                        &ds.slices[s]
-                            .validation
-                            .iter()
-                            .map(|e| e.label)
-                            .collect::<Vec<_>>(),
+                    let loss = st_models::log_loss_packed_scratch(
+                        &packed,
+                        &dense.val_x[s],
+                        &dense.val_y[s],
+                        &mut scratch,
                     );
-                    points[s].push(CurvePoint::size_weighted(n_in as f64, loss));
+                    points[s].push(CurvePoint::size_weighted(subset.per_slice[s] as f64, loss));
                 }
             }
         }

@@ -1,7 +1,7 @@
 //! Accuracy and fairness measures (Section 2.1, Definition 1).
 
 use st_data::SlicedDataset;
-use st_models::{overall_validation_loss, per_slice_validation_losses, Mlp};
+use st_models::{log_loss_packed_on, per_slice_validation_losses, Mlp};
 
 /// Evaluation of one trained model against a sliced dataset.
 #[derive(Debug, Clone, PartialEq)]
@@ -17,10 +17,66 @@ pub struct EvalReport {
 }
 
 impl EvalReport {
-    /// Evaluates `model` on the dataset's validation slices.
+    /// Evaluates `model` on the dataset's validation slices (via the
+    /// cached dense snapshot, `SlicedDataset::matrices`).
+    ///
+    /// The overall loss is the size-weighted mean of the per-slice losses
+    /// (what `overall_validation_loss` computes), derived from the
+    /// per-slice vector instead of re-running every slice's forward pass
+    /// a second time — identical bits, half the evaluation GEMMs.
     pub fn evaluate(model: &Mlp, ds: &SlicedDataset) -> Self {
         let per_slice_losses = per_slice_validation_losses(model, ds);
-        let overall_loss = overall_validation_loss(model, ds);
+        let m = ds.matrices();
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for (loss, y) in per_slice_losses.iter().zip(m.val_y.iter()) {
+            if y.is_empty() {
+                continue;
+            }
+            total += loss * y.len() as f64;
+            count += y.len();
+        }
+        let overall_loss = if count == 0 {
+            f64::NAN
+        } else {
+            total / count as f64
+        };
+        let avg_eer = avg_eer(&per_slice_losses, overall_loss);
+        let max_eer = max_eer(&per_slice_losses, overall_loss);
+        EvalReport {
+            per_slice_losses,
+            overall_loss,
+            avg_eer,
+            max_eer,
+        }
+    }
+
+    /// [`Self::evaluate`] built from per-call gathers of each slice's
+    /// validation examples — the PR-4 baseline the pipeline bench's
+    /// data-plane gate times against. Bit-identical to
+    /// [`Self::evaluate`]: the gathered matrices hold the same bytes the
+    /// snapshot caches.
+    pub fn evaluate_per_call(model: &Mlp, ds: &SlicedDataset) -> Self {
+        let packed = model.packed();
+        let per_slice_losses: Vec<f64> = ds
+            .slices
+            .iter()
+            .map(|s| log_loss_packed_on(&packed, &s.validation))
+            .collect();
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for (loss, s) in per_slice_losses.iter().zip(&ds.slices) {
+            if s.validation.is_empty() {
+                continue;
+            }
+            total += loss * s.validation.len() as f64;
+            count += s.validation.len();
+        }
+        let overall_loss = if count == 0 {
+            f64::NAN
+        } else {
+            total / count as f64
+        };
         let avg_eer = avg_eer(&per_slice_losses, overall_loss);
         let max_eer = max_eer(&per_slice_losses, overall_loss);
         EvalReport {

@@ -50,6 +50,13 @@ pub struct TunerConfig {
     /// reproducible bits for speed, and every determinism regression gate
     /// in the workspace assumes bit-identical kernels.
     pub allow_nondeterministic_kernel: bool,
+    /// Forces the estimator back onto the per-call gather path: clone the
+    /// subset examples and rebuild every slice's validation matrix on
+    /// every `measure` call, instead of riding the dataset's cached dense
+    /// snapshot and row-id subsets. Bit-identical either way (the data
+    /// plane contract); exists as the baseline for the `pipeline` bench's
+    /// data-plane gate and regression tests. Off by default.
+    pub per_call_gather: bool,
 }
 
 impl TunerConfig {
@@ -69,6 +76,7 @@ impl TunerConfig {
             threads: 0,
             cache: None,
             allow_nondeterministic_kernel: false,
+            per_call_gather: false,
         }
     }
 
@@ -106,6 +114,13 @@ impl TunerConfig {
     /// Opts this run into non-deterministic compute kernels (`fast`).
     pub fn allowing_nondeterministic_kernel(mut self) -> Self {
         self.allow_nondeterministic_kernel = true;
+        self
+    }
+
+    /// Forces the estimator onto the legacy per-call gather path (see
+    /// [`TunerConfig::per_call_gather`]).
+    pub fn with_per_call_gather(mut self) -> Self {
+        self.per_call_gather = true;
         self
     }
 }
@@ -175,13 +190,38 @@ impl<'a, S: AcquisitionSource> SliceTuner<'a, S> {
     }
 
     /// Trains the shared model on all current training data and evaluates it.
+    ///
+    /// Rides the dataset's dense snapshot: the stacked training matrix is
+    /// reused instead of cloning every example into a fresh buffer, and
+    /// the evaluation reuses the cached per-slice validation matrices.
+    /// Bit-identical to the per-call gather baseline
+    /// ([`TunerConfig::per_call_gather`]), which clones and re-gathers
+    /// like PR 4 did.
     pub fn train_and_eval(&self, stream: u64) -> (Mlp, EvalReport) {
         let cfg = self
             .config
             .train
             .with_seed(split_seed(self.config.seed, 0xE0A1 ^ stream));
-        let model = train_on_examples(
-            &self.ds.all_train(),
+        if self.config.per_call_gather {
+            let model = train_on_examples(
+                &self.ds.all_train(),
+                self.ds.feature_dim,
+                self.ds.num_classes,
+                &self.config.spec,
+                &cfg,
+            );
+            self.trainings.fetch_add(1, Ordering::Relaxed);
+            let report = EvalReport::evaluate_per_call(&model, &self.ds);
+            return (model, report);
+        }
+        let dense = self.ds.matrices();
+        // The stacked matrix holds all_train()'s rows in the same order,
+        // so training on it is bit-identical to the cloning path (an
+        // empty dataset falls through `train`'s n == 0 early return with
+        // the same freshly-initialized network).
+        let model = st_models::train(
+            &dense.train_x,
+            &dense.train_y,
             self.ds.feature_dim,
             self.ds.num_classes,
             &self.config.spec,
@@ -238,7 +278,83 @@ impl<'a, S: AcquisitionSource> SliceTuner<'a, S> {
     }
 
     /// Executes one full (uncached) estimation with the given schedule.
+    ///
+    /// The hot path is matrix-native: the dataset's dense snapshot
+    /// ([`SlicedDataset::matrices`]) is fetched **once** per estimation —
+    /// per-slice validation matrices, label vectors, and the stacked
+    /// training matrix are built at most once per acquisition step instead
+    /// of once per `measure` call — subsets are sampled as row ids (no
+    /// `Example` clones), training gathers minibatches straight from the
+    /// stacked matrix ([`st_models::train_on_rows`]), and the per-slice
+    /// subset counts fall out of the sampling pass instead of an
+    /// O(slices × subset) re-scan. Bit-identical to the per-call gather
+    /// baseline ([`TunerConfig::per_call_gather`]), which the pipeline
+    /// bench gates.
     fn run_estimator(&self, estimator: &CurveEstimator) -> Vec<st_curve::SliceEstimate> {
+        if self.config.per_call_gather {
+            return self.run_estimator_per_call(estimator);
+        }
+        let n = self.ds.num_slices();
+        let ds = &self.ds;
+        let dense = self.ds.matrices();
+        let spec = &self.config.spec;
+        let train_cfg = &self.config.train;
+        let counter = &self.trainings;
+
+        let measure = move |req: &MeasureRequest| -> Vec<SliceLossMeasurement> {
+            let subset = match req.target_slice {
+                None => ds.joint_train_subset_rows_seeded(req.frac, req.seed, 0),
+                Some(s) => {
+                    let len = ds.slices[s].train.len();
+                    let k = ((len as f64 * req.frac).round() as usize).clamp(1, len.max(1));
+                    let mut rng = seeded_rng(split_seed(req.seed, 1));
+                    ds.exhaustive_train_subset_rows(SliceId(s), k, &mut rng)
+                }
+            };
+            let model = st_models::train_on_rows(
+                &dense.train_x,
+                &dense.train_y,
+                &subset.rows,
+                ds.feature_dim,
+                ds.num_classes,
+                spec,
+                &train_cfg.with_seed(split_seed(req.seed, 2)),
+            );
+            counter.fetch_add(1, Ordering::Relaxed);
+
+            // One trained model scores every slice: pack the weights once
+            // and reuse them for all per-slice forwards; the validation
+            // matrices come from the shared snapshot instead of per-call
+            // gathers, and one activation scratch serves every slice.
+            // All three reuses are bit-identical to their per-call twins.
+            let packed = model.packed();
+            let mut scratch = st_models::EvalScratch::default();
+            let mut eval_slice = |s: usize| -> SliceLossMeasurement {
+                SliceLossMeasurement {
+                    slice: s,
+                    n: subset.per_slice[s],
+                    loss: st_models::log_loss_packed_scratch(
+                        &packed,
+                        &dense.val_x[s],
+                        &dense.val_y[s],
+                        &mut scratch,
+                    ),
+                }
+            };
+            match req.target_slice {
+                None => (0..n).map(&mut eval_slice).collect(),
+                Some(s) => vec![eval_slice(s)],
+            }
+        };
+
+        estimator.estimate_detailed(n, &measure)
+    }
+
+    /// The PR-4 estimation data plane, kept as the bit-identity baseline:
+    /// every `measure` call clones its subset examples, re-builds each
+    /// slice's validation matrix, and re-scans the subset per slice for
+    /// `n_in_subset` (see [`TunerConfig::per_call_gather`]).
+    fn run_estimator_per_call(&self, estimator: &CurveEstimator) -> Vec<st_curve::SliceEstimate> {
         let n = self.ds.num_slices();
         let ds = &self.ds;
         let spec = &self.config.spec;
@@ -264,10 +380,6 @@ impl<'a, S: AcquisitionSource> SliceTuner<'a, S> {
             );
             counter.fetch_add(1, Ordering::Relaxed);
 
-            // One trained model scores every slice: pack the weights once
-            // and reuse them for all per-slice forwards (bit-identical to
-            // per-call packing — this is the estimator's repeated-GEMM
-            // hot path the prepacked API exists for).
             let packed = model.packed();
             let eval_slice = |s: usize| -> SliceLossMeasurement {
                 let n_in_subset = subset.iter().filter(|e| e.slice.index() == s).count();
@@ -557,6 +669,37 @@ mod tests {
         }
         // Amortized: K·R trainings.
         assert_eq!(tuner.trainings(), 3);
+    }
+
+    #[test]
+    fn estimation_data_plane_matches_per_call_gather() {
+        // The matrix-native data plane (cached matrices, row-id subsets,
+        // train_on_rows, one-pass subset counts) must reproduce the
+        // per-call gather baseline bit for bit, in both schedules.
+        let fam = census();
+        let run = |per_call: bool, mode: EstimationMode| {
+            let ds = SlicedDataset::generate(&fam, &[80, 40, 60, 20], 50, 17);
+            let mut src = PoolSource::new(fam.clone(), 171);
+            let mut cfg = quick_config().with_seed(9).with_mode(mode);
+            cfg.per_call_gather = per_call;
+            let tuner = SliceTuner::new(ds, &mut src, cfg);
+            tuner.estimate_curves_detailed(3)
+        };
+        for mode in [EstimationMode::Amortized, EstimationMode::Exhaustive] {
+            let dense = run(false, mode);
+            let legacy = run(true, mode);
+            assert_eq!(dense.len(), legacy.len());
+            for (d, l) in dense.iter().zip(&legacy) {
+                assert_eq!(d.points.len(), l.points.len(), "{mode:?}");
+                for (dp, lp) in d.points.iter().zip(&l.points) {
+                    assert_eq!(dp.n.to_bits(), lp.n.to_bits(), "{mode:?} subset count");
+                    assert_eq!(dp.loss.to_bits(), lp.loss.to_bits(), "{mode:?} loss");
+                }
+                let (df, lf) = (d.fit.as_ref().unwrap(), l.fit.as_ref().unwrap());
+                assert_eq!(df.a.to_bits(), lf.a.to_bits(), "{mode:?} fit a");
+                assert_eq!(df.b.to_bits(), lf.b.to_bits(), "{mode:?} fit b");
+            }
+        }
     }
 
     #[test]

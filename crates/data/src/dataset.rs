@@ -5,6 +5,10 @@ use crate::generator::DatasetFamily;
 use crate::rng::{seeded_rng, split_seed};
 use rand::seq::SliceRandom;
 use rand::Rng;
+use st_linalg::Matrix;
+use std::fmt;
+use std::ops::Range;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Train and validation examples for one slice.
 #[derive(Debug, Clone, Default)]
@@ -31,8 +35,10 @@ impl SliceData {
 /// This is the object Slice Tuner operates on: strategies inspect
 /// [`SlicedDataset::train_sizes`], training consumes
 /// [`SlicedDataset::all_train`], and evaluation uses the fixed per-slice
-/// validation sets.
-#[derive(Debug, Clone)]
+/// validation sets. The matrix-native hot paths (the estimator's repeated
+/// per-slice evaluations, `train_on_rows`) go through
+/// [`SlicedDataset::matrices`], a lazily-built dense snapshot that is
+/// rebuilt only when the data changes.
 pub struct SlicedDataset {
     /// Feature dimensionality.
     pub feature_dim: usize,
@@ -40,6 +46,96 @@ pub struct SlicedDataset {
     pub num_classes: usize,
     /// Per-slice data, indexed by [`SliceId`].
     pub slices: Vec<SliceData>,
+    /// The cached dense snapshot (see [`Self::matrices`]); `None` until
+    /// first use and after [`Self::invalidate_matrices`].
+    matrices: Mutex<Option<Arc<DatasetMatrices>>>,
+}
+
+impl Clone for SlicedDataset {
+    /// Clones the data; the dense-snapshot cache starts cold (the clone
+    /// will rebuild it on first use).
+    fn clone(&self) -> Self {
+        SlicedDataset {
+            feature_dim: self.feature_dim,
+            num_classes: self.num_classes,
+            slices: self.slices.clone(),
+            matrices: Mutex::new(None),
+        }
+    }
+}
+
+impl fmt::Debug for SlicedDataset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SlicedDataset")
+            .field("feature_dim", &self.feature_dim)
+            .field("num_classes", &self.num_classes)
+            .field("slices", &self.slices)
+            .finish()
+    }
+}
+
+/// The dense, matrix-native snapshot of a [`SlicedDataset`] — the
+/// estimation data plane.
+///
+/// One `measure` call of the curve estimator trains a model on a training
+/// subset and scores **every** slice's validation set; doing that from the
+/// example lists re-gathers each slice's validation matrix and clones the
+/// subset examples on every call. This snapshot materializes everything
+/// once per dataset state:
+///
+/// - [`train_x`](Self::train_x)/[`train_y`](Self::train_y): every training
+///   example stacked in slice order (the exact layout of
+///   [`SlicedDataset::all_train`]), with [`slice_rows`](Self::slice_rows)
+///   mapping each slice to its row range. Subset *row ids*
+///   ([`SlicedDataset::joint_train_subset_rows`]) index into this matrix,
+///   so sampling never clones an [`Example`].
+/// - [`val_x`](Self::val_x)/[`val_y`](Self::val_y): each slice's
+///   validation features/labels, byte-identical to what
+///   `examples_to_matrix`/`labels_of` build from the example lists (an
+///   empty slice mirrors the `0×0` matrix the per-call gather produces).
+#[derive(Debug, Clone)]
+pub struct DatasetMatrices {
+    /// Signature of the training data this snapshot was built from.
+    sig_train: u64,
+    /// Signature of the validation data this snapshot was built from.
+    sig_val: u64,
+    /// All training examples stacked row-major in slice order.
+    pub train_x: Matrix,
+    /// Labels of `train_x`'s rows.
+    pub train_y: Vec<usize>,
+    /// Per-slice row ranges of `train_x` (slice `i` owns rows
+    /// `slice_rows[i]`).
+    pub slice_rows: Vec<Range<usize>>,
+    /// Per-slice validation feature matrices. `Arc`-shared across
+    /// snapshots: acquisition touches only training data, so a rebuild
+    /// triggered by [`SlicedDataset::absorb`] re-stacks the train matrix
+    /// but *reuses* the validation matrices untouched.
+    pub val_x: Arc<Vec<Matrix>>,
+    /// Per-slice validation labels (shared like [`Self::val_x`]).
+    pub val_y: Arc<Vec<Vec<usize>>>,
+}
+
+/// A training subset sampled as row ids into
+/// [`DatasetMatrices::train_x`] — the allocation-light replacement for the
+/// cloned `Vec<Example>` subsets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubsetRows {
+    /// Sampled row ids, in slice-major order (the order the example-based
+    /// subsets list their clones).
+    pub rows: Vec<usize>,
+    /// How many rows of each slice the subset contains — the estimator's
+    /// per-slice `n`, computed during sampling instead of by re-scanning
+    /// the subset once per slice.
+    pub per_slice: Vec<usize>,
+}
+
+/// True when `ST_NO_MATRIX_CACHE=1`: [`SlicedDataset::matrices`] rebuilds
+/// the dense snapshot on every call instead of reusing the cached one.
+/// Rebuilds are bit-identical to cache hits by construction; CI runs the
+/// proptest suites under this to guard the contract. Read once per process.
+pub fn matrix_cache_disabled() -> bool {
+    static DISABLED: OnceLock<bool> = OnceLock::new();
+    *DISABLED.get_or_init(|| std::env::var("ST_NO_MATRIX_CACHE").as_deref() == Ok("1"))
 }
 
 impl SlicedDataset {
@@ -83,6 +179,7 @@ impl SlicedDataset {
             feature_dim: family.feature_dim,
             num_classes: family.num_classes,
             slices,
+            matrices: Mutex::new(None),
         }
     }
 
@@ -114,6 +211,7 @@ impl SlicedDataset {
             feature_dim,
             num_classes,
             slices,
+            matrices: Mutex::new(None),
         }
     }
 
@@ -257,6 +355,235 @@ impl SlicedDataset {
         let mut rng = seeded_rng(split_seed(seed, stream));
         self.joint_train_subset(frac, &mut rng)
     }
+
+    // ---- The matrix-native data plane ----------------------------------
+
+    /// Cheap change signatures of the dense snapshot, one for the
+    /// training data and one for the validation data: shape (per-slice
+    /// lengths) plus content probes of each list's first and last example.
+    /// Every mutation this workspace performs — acquisition appends
+    /// ([`Self::absorb`]), truncations, wholesale replacement of a split —
+    /// moves the affected signature. They deliberately do **not** hash
+    /// every example (that is [`Self::fingerprint`], too expensive per
+    /// evaluation); callers that mutate example *content* in place without
+    /// changing either endpoint must call [`Self::invalidate_matrices`].
+    fn matrices_sigs(&self) -> (u64, u64) {
+        const OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01B3;
+        fn mix(h: &mut u64, word: u64) {
+            for byte in word.to_le_bytes() {
+                *h = (*h ^ byte as u64).wrapping_mul(PRIME);
+            }
+        }
+        fn probe(h: &mut u64, e: &Example) {
+            mix(h, e.label as u64);
+            mix(h, e.slice.0 as u64);
+            if let Some(&f) = e.features.first() {
+                mix(h, f.to_bits());
+            }
+            if let Some(&f) = e.features.last() {
+                mix(h, f.to_bits());
+            }
+        }
+        let mut sigs = [OFFSET, OFFSET];
+        for h in &mut sigs {
+            mix(h, self.feature_dim as u64);
+            mix(h, self.num_classes as u64);
+            mix(h, self.slices.len() as u64);
+        }
+        for slice in &self.slices {
+            for (h, list) in sigs.iter_mut().zip([&slice.train, &slice.validation]) {
+                mix(h, list.len() as u64);
+                if let Some(e) = list.first() {
+                    probe(h, e);
+                }
+                if let Some(e) = list.last() {
+                    probe(h, e);
+                }
+            }
+        }
+        (sigs[0], sigs[1])
+    }
+
+    /// The dense snapshot of the current dataset state, built lazily and
+    /// cached until the data changes. The train and validation halves are
+    /// invalidated independently: an acquisition ([`Self::absorb`]) moves
+    /// only the train signature, so the rebuild re-stacks the training
+    /// matrix but reuses the (fixed) validation matrices via their `Arc`s.
+    /// A full cache hit returns the same [`Arc`] — callers grab it once
+    /// per estimation and index it freely across threads.
+    ///
+    /// **Staleness contract.** Change detection uses the cheap signatures
+    /// of [`Self::matrices_sigs`]: per-slice list lengths plus content
+    /// probes of each list's first and last example. Every mutation this
+    /// workspace performs moves a signature, but `slices` is a public
+    /// field — code that edits example *content* in place (through
+    /// `slices`) without changing a list's length or its endpoint
+    /// examples must call [`Self::invalidate_matrices`] before the next
+    /// read, or it will be served the cached snapshot of the old data.
+    ///
+    /// `ST_NO_MATRIX_CACHE=1` disables all reuse ([`matrix_cache_disabled`]);
+    /// rebuilds are bit-identical, so this only trades speed for a
+    /// stronger CI shakeout.
+    pub fn matrices(&self) -> Arc<DatasetMatrices> {
+        let (sig_train, sig_val) = self.matrices_sigs();
+        let mut reuse_val = None;
+        if !matrix_cache_disabled() {
+            if let Some(cached) = self.matrices.lock().expect("matrix cache lock").as_ref() {
+                if cached.sig_train == sig_train && cached.sig_val == sig_val {
+                    return Arc::clone(cached);
+                }
+                if cached.sig_val == sig_val {
+                    reuse_val = Some((Arc::clone(&cached.val_x), Arc::clone(&cached.val_y)));
+                }
+            }
+        }
+        let built = Arc::new(self.build_with(sig_train, sig_val, reuse_val));
+        *self.matrices.lock().expect("matrix cache lock") = Some(Arc::clone(&built));
+        built
+    }
+
+    /// Builds a fresh dense snapshot, bypassing the cache entirely (the
+    /// reference the cache-identity tests compare against).
+    pub fn build_matrices(&self) -> DatasetMatrices {
+        let (sig_train, sig_val) = self.matrices_sigs();
+        self.build_with(sig_train, sig_val, None)
+    }
+
+    /// Drops the cached snapshot so the next [`Self::matrices`] rebuilds
+    /// both halves. Needed only after in-place *content* mutation that
+    /// keeps every list's length and endpoints (see
+    /// [`Self::matrices_sigs`]).
+    pub fn invalidate_matrices(&self) {
+        *self.matrices.lock().expect("matrix cache lock") = None;
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn build_with(
+        &self,
+        sig_train: u64,
+        sig_val: u64,
+        reuse_val: Option<(Arc<Vec<Matrix>>, Arc<Vec<Vec<usize>>>)>,
+    ) -> DatasetMatrices {
+        let stack = |lists: &mut dyn Iterator<Item = &Vec<Example>>| -> (Matrix, Vec<usize>) {
+            let mut data = Vec::new();
+            let mut labels = Vec::new();
+            for list in lists {
+                for e in list {
+                    assert_eq!(
+                        e.features.len(),
+                        self.feature_dim,
+                        "example feature dim {} does not match dataset dim {}",
+                        e.features.len(),
+                        self.feature_dim
+                    );
+                    data.extend_from_slice(&e.features);
+                    labels.push(e.label);
+                }
+            }
+            // An empty stack mirrors `examples_to_matrix(&[])`'s 0×0 so
+            // the snapshot is byte-identical to the per-call gather.
+            let x = if labels.is_empty() {
+                Matrix::zeros(0, 0)
+            } else {
+                Matrix::from_vec(labels.len(), self.feature_dim, data)
+            };
+            (x, labels)
+        };
+
+        let (train_x, train_y) = stack(&mut self.slices.iter().map(|s| &s.train));
+        let mut slice_rows = Vec::with_capacity(self.slices.len());
+        let mut start = 0;
+        for s in &self.slices {
+            slice_rows.push(start..start + s.train.len());
+            start += s.train.len();
+        }
+        let (val_x, val_y) = match reuse_val {
+            Some(pair) => pair,
+            None => {
+                let mut val_x = Vec::with_capacity(self.slices.len());
+                let mut val_y = Vec::with_capacity(self.slices.len());
+                for s in &self.slices {
+                    let (x, y) = stack(&mut std::iter::once(&s.validation));
+                    val_x.push(x);
+                    val_y.push(y);
+                }
+                (Arc::new(val_x), Arc::new(val_y))
+            }
+        };
+        DatasetMatrices {
+            sig_train,
+            sig_val,
+            train_x,
+            train_y,
+            slice_rows,
+            val_x,
+            val_y,
+        }
+    }
+
+    /// [`Self::joint_train_subset`] as row ids into the dense snapshot's
+    /// train matrix: same RNG draws, same per-slice picks, same slice-major
+    /// order — training on the gathered rows is bit-identical to training
+    /// on the cloned subset — but no `Example` is cloned, and the
+    /// per-slice counts come out of the sampling pass for free.
+    pub fn joint_train_subset_rows<R: Rng + ?Sized>(&self, frac: f64, rng: &mut R) -> SubsetRows {
+        assert!((0.0..=1.0).contains(&frac), "frac must be in [0,1]");
+        let mut rows = Vec::new();
+        let mut per_slice = Vec::with_capacity(self.slices.len());
+        let mut start = 0;
+        for s in &self.slices {
+            let n = s.train.len();
+            if n == 0 {
+                per_slice.push(0);
+                continue;
+            }
+            let take = ((n as f64 * frac).round() as usize).clamp(1, n);
+            let mut idx: Vec<usize> = (0..n).collect();
+            idx.shuffle(rng);
+            rows.extend(idx[..take].iter().map(|&i| start + i));
+            per_slice.push(take);
+            start += n;
+        }
+        SubsetRows { rows, per_slice }
+    }
+
+    /// [`Self::exhaustive_train_subset`] as row ids into the dense
+    /// snapshot's train matrix (same RNG draws and ordering; see
+    /// [`Self::joint_train_subset_rows`]).
+    pub fn exhaustive_train_subset_rows<R: Rng + ?Sized>(
+        &self,
+        slice: SliceId,
+        k: usize,
+        rng: &mut R,
+    ) -> SubsetRows {
+        let mut rows = Vec::new();
+        let mut per_slice = Vec::with_capacity(self.slices.len());
+        let mut start = 0;
+        for (i, s) in self.slices.iter().enumerate() {
+            let n = s.train.len();
+            if i == slice.index() {
+                let take = k.min(n);
+                let mut idx: Vec<usize> = (0..n).collect();
+                idx.shuffle(rng);
+                rows.extend(idx[..take].iter().map(|&j| start + j));
+                per_slice.push(take);
+            } else {
+                rows.extend(start..start + n);
+                per_slice.push(n);
+            }
+            start += n;
+        }
+        SubsetRows { rows, per_slice }
+    }
+
+    /// Deterministic helper: seeded [`Self::joint_train_subset_rows`]
+    /// (stream-split exactly like [`Self::joint_train_subset_seeded`], so
+    /// the two sample the same subset).
+    pub fn joint_train_subset_rows_seeded(&self, frac: f64, seed: u64, stream: u64) -> SubsetRows {
+        let mut rng = seeded_rng(split_seed(seed, stream));
+        self.joint_train_subset_rows(frac, &mut rng)
+    }
 }
 
 /// Imbalance ratio of a size vector: `max / min`.
@@ -397,6 +724,110 @@ mod tests {
             c.fingerprint(),
             "content must be hashed, not shape"
         );
+    }
+
+    #[test]
+    fn matrices_match_example_lists() {
+        let ds = SlicedDataset::generate(&family(), &[10, 0, 30], 5, 7);
+        let m = ds.matrices();
+        // Train stack mirrors all_train() exactly.
+        let all = ds.all_train();
+        assert_eq!(m.train_x.rows(), all.len());
+        assert_eq!(m.train_x.cols(), 2);
+        for (r, e) in all.iter().enumerate() {
+            assert_eq!(m.train_x.row(r), &e.features[..]);
+            assert_eq!(m.train_y[r], e.label);
+        }
+        // Row ranges partition the stack in slice order.
+        assert_eq!(m.slice_rows, vec![0..10, 10..10, 10..40]);
+        // Per-slice validation matrices mirror the validation lists.
+        for (s, slice) in ds.slices.iter().enumerate() {
+            assert_eq!(m.val_x[s].rows(), slice.validation.len());
+            for (r, e) in slice.validation.iter().enumerate() {
+                assert_eq!(m.val_x[s].row(r), &e.features[..]);
+                assert_eq!(m.val_y[s][r], e.label);
+            }
+        }
+    }
+
+    #[test]
+    fn matrices_cache_hits_until_data_changes() {
+        let fam = family();
+        let mut ds = SlicedDataset::generate(&fam, &[8, 8, 8], 4, 9);
+        let a = ds.matrices();
+        let b = ds.matrices();
+        if !matrix_cache_disabled() {
+            assert!(Arc::ptr_eq(&a, &b), "unchanged data must hit the cache");
+        }
+        // Acquisition moves the signature: the snapshot is rebuilt …
+        ds.absorb(fam.sample_slice_seeded(SliceId(1), 3, 9, 42));
+        let c = ds.matrices();
+        assert!(!Arc::ptr_eq(&a, &c), "absorb must invalidate the snapshot");
+        assert_eq!(c.train_x.rows(), 27);
+        assert_eq!(c.slice_rows[1], 8..19);
+        if !matrix_cache_disabled() {
+            // Acquisition touches only training data: the validation
+            // matrices are carried over by Arc, not re-stacked.
+            assert!(
+                Arc::ptr_eq(&a.val_x, &c.val_x) && Arc::ptr_eq(&a.val_y, &c.val_y),
+                "absorb must not rebuild the validation matrices"
+            );
+        }
+        // … and matches a from-scratch build bit for bit.
+        let fresh = ds.build_matrices();
+        assert_eq!(c.train_x.as_slice(), fresh.train_x.as_slice());
+        assert_eq!(c.train_y, fresh.train_y);
+        for s in 0..3 {
+            assert_eq!(c.val_x[s].as_slice(), fresh.val_x[s].as_slice());
+            assert_eq!(c.val_y[s], fresh.val_y[s]);
+        }
+        // Explicit invalidation also forces a rebuild.
+        ds.invalidate_matrices();
+        let d = ds.matrices();
+        assert!(!Arc::ptr_eq(&c, &d));
+        assert_eq!(c.train_x.as_slice(), d.train_x.as_slice());
+    }
+
+    #[test]
+    fn empty_dataset_matrices_mirror_per_call_gather() {
+        let ds = SlicedDataset::empty(&["a", "b"], &[1.0, 2.0], 3, 2);
+        let m = ds.matrices();
+        // examples_to_matrix(&[]) is 0×0; the snapshot mirrors that.
+        assert_eq!((m.train_x.rows(), m.train_x.cols()), (0, 0));
+        assert_eq!((m.val_x[0].rows(), m.val_x[0].cols()), (0, 0));
+        assert_eq!(m.slice_rows, vec![0..0, 0..0]);
+    }
+
+    #[test]
+    fn subset_rows_mirror_example_subsets() {
+        let ds = SlicedDataset::generate(&family(), &[40, 0, 25], 2, 5);
+        let m = ds.matrices();
+        // Joint: same RNG stream ⇒ the row ids name exactly the examples
+        // the cloning subset picks, in the same order.
+        let sub = ds.joint_train_subset_seeded(0.5, 3, 0);
+        let rows = ds.joint_train_subset_rows_seeded(0.5, 3, 0);
+        assert_eq!(rows.rows.len(), sub.len());
+        for (&r, e) in rows.rows.iter().zip(&sub) {
+            assert_eq!(m.train_x.row(r), &e.features[..]);
+            assert_eq!(m.train_y[r], e.label);
+        }
+        // Per-slice counts equal the old per-slice re-scan.
+        for s in 0..3 {
+            let scan = sub.iter().filter(|e| e.slice == SliceId(s)).count();
+            assert_eq!(rows.per_slice[s], scan, "slice {s}");
+        }
+        assert_eq!(rows.per_slice.iter().sum::<usize>(), rows.rows.len());
+
+        // Exhaustive: same contract.
+        let mut rng1 = seeded_rng(11);
+        let sub = ds.exhaustive_train_subset(SliceId(2), 10, &mut rng1);
+        let mut rng2 = seeded_rng(11);
+        let rows = ds.exhaustive_train_subset_rows(SliceId(2), 10, &mut rng2);
+        assert_eq!(rows.rows.len(), sub.len());
+        for (&r, e) in rows.rows.iter().zip(&sub) {
+            assert_eq!(m.train_x.row(r), &e.features[..]);
+        }
+        assert_eq!(rows.per_slice, vec![40, 0, 10]);
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub mod slicing;
 pub mod splits;
 
 pub use augment::AugmentConfig;
-pub use dataset::{SliceData, SlicedDataset};
+pub use dataset::{matrix_cache_disabled, DatasetMatrices, SliceData, SlicedDataset, SubsetRows};
 pub use example::{Example, SliceId};
 pub use generator::{DatasetFamily, GaussianSliceModel, LabelCluster, SliceSpec};
 pub use image::{image_fashion, ImageFamily, ImageSliceSpec, Pattern};

@@ -153,6 +153,88 @@ proptest! {
         prop_assert_eq!(ids, expect);
     }
 
+    /// The dense-snapshot cache contract: a cached `matrices()` read must
+    /// be bit-identical to a from-scratch `build_matrices()` at every
+    /// point of a mutate/read sequence — before any acquisition, after an
+    /// acquisition step invalidates the (train half of the) cache, and
+    /// after an explicit invalidation. Under `ST_NO_MATRIX_CACHE=1` the
+    /// same assertions run with reuse disabled, guarding the
+    /// rebuild-equals-hit half of the contract.
+    #[test]
+    fn cached_matrices_bit_identical_to_fresh_gather(
+        fam in arb_family(),
+        size_a in 1usize..20,
+        size_b in 0usize..15,
+        val in 1usize..10,
+        grow in 1usize..12,
+        seed in 0u64..1000,
+    ) {
+        let n = fam.num_slices();
+        let mut sizes = vec![size_a; n];
+        sizes[n - 1] = size_b;
+        let mut ds = SlicedDataset::generate(&fam, &sizes, val, seed);
+
+        let check = |ds: &SlicedDataset| {
+            let cached = ds.matrices();
+            let fresh = ds.build_matrices();
+            assert_eq!(cached.train_x.as_slice(), fresh.train_x.as_slice());
+            assert_eq!(cached.train_y, fresh.train_y);
+            assert_eq!(cached.slice_rows, fresh.slice_rows);
+            for s in 0..n {
+                assert_eq!(cached.val_x[s].as_slice(), fresh.val_x[s].as_slice());
+                assert_eq!(cached.val_y[s], fresh.val_y[s]);
+            }
+        };
+
+        check(&ds);
+        // Acquisition invalidates: the rebuilt snapshot must track it.
+        ds.absorb(fam.sample_slice_seeded(st_data::SliceId(seed as usize % n), grow, seed, 7));
+        check(&ds);
+        // A second read is a cache hit (or a rebuild under
+        // ST_NO_MATRIX_CACHE=1) — same bits either way.
+        check(&ds);
+        ds.invalidate_matrices();
+        check(&ds);
+    }
+
+    /// Row-id subsets must name exactly the examples the cloning subsets
+    /// pick (same RNG stream), and the per-slice counts must equal the
+    /// per-slice re-scan they replace.
+    #[test]
+    fn subset_rows_match_cloned_subsets(
+        fam in arb_family(),
+        size in 1usize..25,
+        frac in 0.01f64..1.0,
+        seed in 0u64..1000,
+    ) {
+        let n = fam.num_slices();
+        let ds = SlicedDataset::generate(&fam, &vec![size; n], 2, seed);
+        let m = ds.matrices();
+
+        let sub = ds.joint_train_subset_seeded(frac, seed, 0);
+        let rows = ds.joint_train_subset_rows_seeded(frac, seed, 0);
+        prop_assert_eq!(rows.rows.len(), sub.len());
+        for (&r, e) in rows.rows.iter().zip(&sub) {
+            prop_assert_eq!(m.train_x.row(r), &e.features[..]);
+            prop_assert_eq!(m.train_y[r], e.label);
+        }
+        for s in 0..n {
+            let scan = sub.iter().filter(|e| e.slice == st_data::SliceId(s)).count();
+            prop_assert_eq!(rows.per_slice[s], scan);
+        }
+
+        let k = (size as f64 * frac).ceil() as usize;
+        let mut rng1 = st_data::seeded_rng(seed ^ 5);
+        let ex_sub = ds.exhaustive_train_subset(st_data::SliceId(0), k, &mut rng1);
+        let mut rng2 = st_data::seeded_rng(seed ^ 5);
+        let ex_rows = ds.exhaustive_train_subset_rows(st_data::SliceId(0), k, &mut rng2);
+        prop_assert_eq!(ex_rows.rows.len(), ex_sub.len());
+        for (&r, e) in ex_rows.rows.iter().zip(&ex_sub) {
+            prop_assert_eq!(m.train_x.row(r), &e.features[..]);
+        }
+        prop_assert_eq!(ex_rows.per_slice[0], k.min(size));
+    }
+
     #[test]
     fn k_fold_held_out_sets_partition(
         n in 6usize..40,

@@ -164,6 +164,36 @@ impl PackedA {
     }
 }
 
+/// Adds `bias` to every row of the row-major `… × n` buffer `out`: the
+/// shared unfused epilogue of the `Raw`-layout and `k == 0` fused-bias
+/// paths, and the op-for-op twin of `Matrix::add_bias_rows`.
+fn bias_rows(n: usize, bias: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(bias.len(), n);
+    if n == 0 {
+        return;
+    }
+    for row in out.chunks_exact_mut(n) {
+        for (o, &b) in row.iter_mut().zip(bias) {
+            *o += b;
+        }
+    }
+}
+
+/// Pointer to `bias[j0]` for the vector micro-kernels, or null when no
+/// bias epilogue is requested (the micro-kernels branch on null once per
+/// tile, not per element).
+///
+/// # Safety
+/// When `bias` is `Some`, `j0` must be in bounds.
+#[cfg(target_arch = "x86_64")]
+#[inline(always)]
+unsafe fn bias_ptr(bias: Option<&[f64]>, j0: usize) -> *const f64 {
+    match bias {
+        Some(b) => b.as_ptr().add(j0),
+        None => std::ptr::null(),
+    }
+}
+
 /// The dense compute primitives every backend must provide.
 ///
 /// All matrices are row-major `f64` slices with explicit dimensions; `out`
@@ -324,6 +354,58 @@ pub trait GemmBackend: Send + Sync {
         out: &mut [f64],
     ) {
         self.gemm_prepacked(m, k, n, a, pb, out);
+    }
+
+    /// [`gemm_prepacked`](Self::gemm_prepacked) with a **fused bias
+    /// epilogue**: `out += a · B`, then `bias[j]` added to every row's
+    /// column `j` — the affine forward `X·W + b` in one pass.
+    ///
+    /// **Bit identity.** The packed cores accumulate each output element
+    /// in a single ascending-`k` register chain and store it exactly once;
+    /// the epilogue appends `+ bias[j]` to the end of that chain at the
+    /// write-back, which is precisely where a separate
+    /// `add_bias_rows` pass would add it. The fused product is therefore
+    /// `to_bits`-identical to `gemm_prepacked` followed by the separate
+    /// bias pass on every deterministic backend (proptested). Paths whose
+    /// cores store elements more than once (the `Raw` pack-on-call
+    /// fallback) run the product first and an unfused bias pass after —
+    /// same contract, no fusion.
+    ///
+    /// # Panics
+    /// Panics when the handle's shape does not match `(k, n)` or
+    /// `bias.len() != n`.
+    #[allow(clippy::too_many_arguments)]
+    fn gemm_prepacked_bias(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f64],
+        pb: &PackedB,
+        bias: &[f64],
+        out: &mut [f64],
+    ) {
+        assert_eq!((pb.k, pb.n), (k, n), "prepacked B shape mismatch");
+        assert_eq!(bias.len(), n, "bias length mismatch");
+        debug_assert_eq!(a.len(), m * k);
+        debug_assert_eq!(out.len(), m * n);
+        if m == 0 || n == 0 {
+            return;
+        }
+        if k == 0 {
+            // Zero-length reduction: the product contributes nothing, but
+            // the separate pass would still broadcast the bias.
+            bias_rows(n, bias, out);
+            return;
+        }
+        match pb.layout {
+            PackLayout::Raw => {
+                self.gemm(m, k, n, a, &pb.data, out);
+                bias_rows(n, bias, out);
+            }
+            PackLayout::Panels4 => BlockedKernel::packed_gemm_bias(m, k, n, a, &pb.data, bias, out),
+            PackLayout::Panels8 => SimdKernel::packed_gemm_bias(m, k, n, a, &pb.data, bias, out),
+        }
     }
 
     /// [`gemm_tn`](Self::gemm_tn) with `Aᵀ` prepacked: `out += Aᵀ · b`.
@@ -529,13 +611,40 @@ impl BlockedKernel {
     /// Rust never contracts mul+add into FMA), so both copies are
     /// bit-identical; only throughput changes.
     fn packed_gemm(m: usize, k: usize, n: usize, a: &[f64], packed: &[f64], out: &mut [f64]) {
+        Self::packed_gemm_opt(m, k, n, a, packed, None, out);
+    }
+
+    /// [`Self::packed_gemm`] with the fused bias epilogue: `bias[j]` is
+    /// appended to each output element's accumulation chain at its single
+    /// write-back — the bits of a separate `add_bias_rows` pass.
+    fn packed_gemm_bias(
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f64],
+        packed: &[f64],
+        bias: &[f64],
+        out: &mut [f64],
+    ) {
+        Self::packed_gemm_opt(m, k, n, a, packed, Some(bias), out);
+    }
+
+    fn packed_gemm_opt(
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f64],
+        packed: &[f64],
+        bias: Option<&[f64]>,
+        out: &mut [f64],
+    ) {
         #[cfg(target_arch = "x86_64")]
         if std::arch::is_x86_feature_detected!("avx") {
             // SAFETY: the `avx` target feature was just detected at runtime.
-            unsafe { Self::packed_gemm_avx(m, k, n, a, packed, out) };
+            unsafe { Self::packed_gemm_avx(m, k, n, a, packed, bias, out) };
             return;
         }
-        Self::packed_gemm_body(m, k, n, a, packed, out);
+        Self::packed_gemm_body(m, k, n, a, packed, bias, out);
     }
 
     /// AVX-compiled instantiation of [`Self::packed_gemm_body`].
@@ -550,13 +659,22 @@ impl BlockedKernel {
         n: usize,
         a: &[f64],
         packed: &[f64],
+        bias: Option<&[f64]>,
         out: &mut [f64],
     ) {
-        Self::packed_gemm_body(m, k, n, a, packed, out);
+        Self::packed_gemm_body(m, k, n, a, packed, bias, out);
     }
 
     #[inline(always)]
-    fn packed_gemm_body(m: usize, k: usize, n: usize, a: &[f64], packed: &[f64], out: &mut [f64]) {
+    fn packed_gemm_body(
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f64],
+        packed: &[f64],
+        bias: Option<&[f64]>,
+        out: &mut [f64],
+    ) {
         let panels = n.div_ceil(PW);
         let panel_len = k * PW;
         let block = (PANEL_BLOCK_BYTES / (panel_len * 8)).max(1);
@@ -576,6 +694,7 @@ impl BlockedKernel {
                     &a[i * k..(i + 1) * k],
                     &a[(i + 1) * k..(i + 2) * k],
                     packed,
+                    bias,
                     &mut head[i * n..],
                     &mut tail[..n],
                 );
@@ -589,6 +708,7 @@ impl BlockedKernel {
                     qe,
                     &a[i * k..(i + 1) * k],
                     packed,
+                    bias,
                     &mut out[i * n..(i + 1) * n],
                 );
             }
@@ -596,6 +716,9 @@ impl BlockedKernel {
     }
 
     /// One output row over the panel block `qb..qe` (single-row kernel).
+    /// When `bias` is set, `bias[j]` is added after the reduction, right
+    /// before each lane's single store.
+    #[allow(clippy::too_many_arguments)]
     #[inline(always)]
     fn row_block(
         k: usize,
@@ -604,6 +727,7 @@ impl BlockedKernel {
         qe: usize,
         a_row: &[f64],
         packed: &[f64],
+        bias: Option<&[f64]>,
         out_row: &mut [f64],
     ) {
         let panel_len = k * PW;
@@ -629,6 +753,14 @@ impl BlockedKernel {
                     acc1[l] += x * g1[l];
                 }
             }
+            if let Some(b) = bias {
+                for l in 0..PW {
+                    acc0[l] += b[q * PW + l];
+                }
+                for l in 0..PW {
+                    acc1[l] += b[(q + 1) * PW + l];
+                }
+            }
             o[..PW].copy_from_slice(&acc0);
             o[PW..].copy_from_slice(&acc1);
             q += 2;
@@ -643,6 +775,11 @@ impl BlockedKernel {
                     acc[l] += x * g[l];
                 }
             }
+            if let Some(b) = bias {
+                for l in 0..PW {
+                    acc[l] += b[q * PW + l];
+                }
+            }
             o.copy_from_slice(&acc);
             q += 1;
         }
@@ -655,6 +792,9 @@ impl BlockedKernel {
                 let mut acc = *ov;
                 for (step, &x) in a_row.iter().enumerate() {
                     acc += x * p0[step * PW + lane];
+                }
+                if let Some(b) = bias {
+                    acc += b[q * PW + lane];
                 }
                 *ov = acc;
             }
@@ -675,6 +815,7 @@ impl BlockedKernel {
         a0: &[f64],
         a1: &[f64],
         packed: &[f64],
+        bias: Option<&[f64]>,
         out0: &mut [f64],
         out1: &mut [f64],
     ) {
@@ -708,6 +849,20 @@ impl BlockedKernel {
                     r1p1[l] += x1 * g1[l];
                 }
             }
+            if let Some(b) = bias {
+                for l in 0..PW {
+                    r0p0[l] += b[q * PW + l];
+                }
+                for l in 0..PW {
+                    r0p1[l] += b[(q + 1) * PW + l];
+                }
+                for l in 0..PW {
+                    r1p0[l] += b[q * PW + l];
+                }
+                for l in 0..PW {
+                    r1p1[l] += b[(q + 1) * PW + l];
+                }
+            }
             o0[..PW].copy_from_slice(&r0p0);
             o0[PW..].copy_from_slice(&r0p1);
             o1[..PW].copy_from_slice(&r1p0);
@@ -715,8 +870,8 @@ impl BlockedKernel {
             q += 2;
         }
         if q < qe {
-            Self::row_block(k, n, q, qe, a0, packed, out0);
-            Self::row_block(k, n, q, qe, a1, packed, out1);
+            Self::row_block(k, n, q, qe, a0, packed, bias, out0);
+            Self::row_block(k, n, q, qe, a1, packed, bias, out1);
         }
     }
 
@@ -1022,21 +1177,48 @@ impl SimdKernel {
     /// width (never above it) so the narrower instantiations can be
     /// exercised — and their bit-identity CI-tested — on a wider host.
     fn packed_gemm(m: usize, k: usize, n: usize, a: &[f64], packed: &[f64], out: &mut [f64]) {
+        Self::packed_gemm_opt(m, k, n, a, packed, None, out);
+    }
+
+    /// [`Self::packed_gemm`] with the fused bias epilogue: `bias[j]` is
+    /// appended to each output element's accumulation chain at its single
+    /// write-back — the bits of a separate `add_bias_rows` pass.
+    fn packed_gemm_bias(
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f64],
+        packed: &[f64],
+        bias: &[f64],
+        out: &mut [f64],
+    ) {
+        Self::packed_gemm_opt(m, k, n, a, packed, Some(bias), out);
+    }
+
+    fn packed_gemm_opt(
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f64],
+        packed: &[f64],
+        bias: Option<&[f64]>,
+        out: &mut [f64],
+    ) {
         #[cfg(target_arch = "x86_64")]
         {
             let cap = simd_width_cap();
             if cap >= 512 && std::arch::is_x86_feature_detected!("avx512f") {
                 // SAFETY: avx512f was just detected at runtime.
-                unsafe { Self::packed_gemm_avx512(m, k, n, a, packed, out) };
+                unsafe { Self::packed_gemm_avx512(m, k, n, a, packed, bias, out) };
                 return;
             }
             if cap >= 256 && std::arch::is_x86_feature_detected!("avx2") {
                 // SAFETY: avx2 was just detected at runtime.
-                unsafe { Self::packed_gemm_avx2(m, k, n, a, packed, out) };
+                unsafe { Self::packed_gemm_avx2(m, k, n, a, packed, bias, out) };
                 return;
             }
         }
-        Self::packed_gemm_scalar(m, k, n, a, packed, out);
+        Self::packed_gemm_scalar(m, k, n, a, packed, bias, out);
     }
 
     /// Scalar mirror of the vector paths: same panel walk, same per-element
@@ -1047,6 +1229,7 @@ impl SimdKernel {
         n: usize,
         a: &[f64],
         packed: &[f64],
+        bias: Option<&[f64]>,
         out: &mut [f64],
     ) {
         let panels = n.div_ceil(SPW);
@@ -1060,7 +1243,13 @@ impl SimdKernel {
                     let j0 = q * SPW;
                     let w = SPW.min(n - j0);
                     let panel = &packed[q * panel_len..(q + 1) * panel_len];
-                    Self::panel_row_scalar(w, a_row, panel, &mut out[i * n + j0..i * n + j0 + w]);
+                    Self::panel_row_scalar(
+                        w,
+                        a_row,
+                        panel,
+                        bias.map(|b| &b[j0..j0 + w]),
+                        &mut out[i * n + j0..i * n + j0 + w],
+                    );
                 }
             }
         }
@@ -1068,15 +1257,27 @@ impl SimdKernel {
 
     /// One output row × one panel, scalar: the shared tail/fallback body.
     /// `w` live lanes, each accumulated across the whole reduction in
-    /// ascending `k` order and stored once.
+    /// ascending `k` order and stored once; `bias` (already sliced to this
+    /// panel's columns) is appended just before the store.
     #[inline(always)]
-    fn panel_row_scalar(w: usize, a_row: &[f64], panel: &[f64], out_seg: &mut [f64]) {
+    fn panel_row_scalar(
+        w: usize,
+        a_row: &[f64],
+        panel: &[f64],
+        bias: Option<&[f64]>,
+        out_seg: &mut [f64],
+    ) {
         let mut acc = [0.0; SPW];
         acc[..w].copy_from_slice(out_seg);
         for (p, &x) in a_row.iter().enumerate() {
             let g = &panel[p * SPW..p * SPW + SPW];
             for l in 0..w {
                 acc[l] += x * g[l];
+            }
+        }
+        if let Some(b) = bias {
+            for l in 0..w {
+                acc[l] += b[l];
             }
         }
         out_seg.copy_from_slice(&acc[..w]);
@@ -1096,6 +1297,7 @@ impl SimdKernel {
         n: usize,
         a: &[f64],
         packed: &[f64],
+        bias: Option<&[f64]>,
         out: &mut [f64],
     ) {
         let panels = n.div_ceil(SPW);
@@ -1114,6 +1316,7 @@ impl SimdKernel {
                             a.as_ptr().add(i * k),
                             k,
                             panel.as_ptr(),
+                            bias_ptr(bias, j0),
                             out.as_mut_ptr().add(i * n + j0),
                             n,
                         );
@@ -1124,6 +1327,7 @@ impl SimdKernel {
                                 w,
                                 &a[r * k..(r + 1) * k],
                                 panel,
+                                bias.map(|b| &b[j0..j0 + w]),
                                 &mut out[r * n + j0..r * n + j0 + w],
                             );
                         }
@@ -1140,6 +1344,7 @@ impl SimdKernel {
                             k,
                             a.as_ptr().add(i * k),
                             panel.as_ptr(),
+                            bias_ptr(bias, j0),
                             out.as_mut_ptr().add(i * n + j0),
                         );
                     } else {
@@ -1148,6 +1353,7 @@ impl SimdKernel {
                             w,
                             &a[i * k..(i + 1) * k],
                             panel,
+                            bias.map(|b| &b[j0..j0 + w]),
                             &mut out[i * n + j0..i * n + j0 + w],
                         );
                     }
@@ -1164,7 +1370,8 @@ impl SimdKernel {
     /// # Safety
     /// Requires AVX2; `a` must have 4 rows of stride `lda` and length `k`,
     /// `panel` `k×SPW` packed values, `out` 4 rows of stride `ldo` with 8
-    /// valid columns.
+    /// valid columns, and `bias` either null or pointing at 8 valid bias
+    /// values for this panel's columns.
     #[cfg(target_arch = "x86_64")]
     #[target_feature(enable = "avx2")]
     unsafe fn mk4x8_avx2(
@@ -1172,6 +1379,7 @@ impl SimdKernel {
         a: *const f64,
         lda: usize,
         panel: *const f64,
+        bias: *const f64,
         out: *mut f64,
         ldo: usize,
     ) {
@@ -1200,6 +1408,20 @@ impl SimdKernel {
             acc30 = _mm256_add_pd(acc30, _mm256_mul_pd(a3, b0));
             acc31 = _mm256_add_pd(acc31, _mm256_mul_pd(a3, b1));
         }
+        if !bias.is_null() {
+            // Fused epilogue: append the bias to the end of each lane's
+            // accumulation chain — exactly where the separate pass adds it.
+            let bv0 = _mm256_loadu_pd(bias);
+            let bv1 = _mm256_loadu_pd(bias.add(4));
+            acc00 = _mm256_add_pd(acc00, bv0);
+            acc01 = _mm256_add_pd(acc01, bv1);
+            acc10 = _mm256_add_pd(acc10, bv0);
+            acc11 = _mm256_add_pd(acc11, bv1);
+            acc20 = _mm256_add_pd(acc20, bv0);
+            acc21 = _mm256_add_pd(acc21, bv1);
+            acc30 = _mm256_add_pd(acc30, bv0);
+            acc31 = _mm256_add_pd(acc31, bv1);
+        }
         _mm256_storeu_pd(out, acc00);
         _mm256_storeu_pd(out.add(4), acc01);
         _mm256_storeu_pd(out.add(ldo), acc10);
@@ -1214,10 +1436,16 @@ impl SimdKernel {
     ///
     /// # Safety
     /// Requires AVX2; `a` length `k`, `panel` `k×SPW`, `out` 8 valid
-    /// columns.
+    /// columns, `bias` null or 8 valid values for this panel's columns.
     #[cfg(target_arch = "x86_64")]
     #[target_feature(enable = "avx2")]
-    unsafe fn mk1x8_avx2(k: usize, a: *const f64, panel: *const f64, out: *mut f64) {
+    unsafe fn mk1x8_avx2(
+        k: usize,
+        a: *const f64,
+        panel: *const f64,
+        bias: *const f64,
+        out: *mut f64,
+    ) {
         use std::arch::x86_64::*;
         let mut acc0 = _mm256_loadu_pd(out);
         let mut acc1 = _mm256_loadu_pd(out.add(4));
@@ -1227,6 +1455,10 @@ impl SimdKernel {
             let b1 = _mm256_loadu_pd(panel.add(p * SPW + 4));
             acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(av, b0));
             acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(av, b1));
+        }
+        if !bias.is_null() {
+            acc0 = _mm256_add_pd(acc0, _mm256_loadu_pd(bias));
+            acc1 = _mm256_add_pd(acc1, _mm256_loadu_pd(bias.add(4)));
         }
         _mm256_storeu_pd(out, acc0);
         _mm256_storeu_pd(out.add(4), acc1);
@@ -1246,6 +1478,7 @@ impl SimdKernel {
         n: usize,
         a: &[f64],
         packed: &[f64],
+        bias: Option<&[f64]>,
         out: &mut [f64],
     ) {
         let panels = n.div_ceil(SPW);
@@ -1274,6 +1507,7 @@ impl SimdKernel {
                         k,
                         packed.as_ptr().add(q * panel_len),
                         panel_len,
+                        bias_ptr(bias, q * SPW),
                         out.as_mut_ptr().add(i * n + q * SPW),
                         n,
                     );
@@ -1287,6 +1521,7 @@ impl SimdKernel {
                         k,
                         packed.as_ptr().add(q * panel_len),
                         panel_len,
+                        bias_ptr(bias, q * SPW),
                         out.as_mut_ptr().add(i * n + q * SPW),
                         n,
                     );
@@ -1303,6 +1538,7 @@ impl SimdKernel {
                             k,
                             panel.as_ptr(),
                             panel_len,
+                            bias_ptr(bias, j0),
                             out.as_mut_ptr().add(i * n + j0),
                             n,
                         );
@@ -1313,6 +1549,7 @@ impl SimdKernel {
                                 w,
                                 &a[r * k..(r + 1) * k],
                                 panel,
+                                bias.map(|b| &b[j0..j0 + w]),
                                 &mut out[r * n + j0..r * n + j0 + w],
                             );
                         }
@@ -1333,6 +1570,7 @@ impl SimdKernel {
                             k,
                             panel.as_ptr(),
                             panel_len,
+                            bias_ptr(bias, j0),
                             out.as_mut_ptr().add(i * n + j0),
                             n,
                         );
@@ -1342,6 +1580,7 @@ impl SimdKernel {
                             w,
                             &a[i * k..(i + 1) * k],
                             panel,
+                            bias.map(|b| &b[j0..j0 + w]),
                             &mut out[i * n + j0..i * n + j0 + w],
                         );
                     }
@@ -1365,7 +1604,8 @@ impl SimdKernel {
     /// `a[p·astep + r·arow]` (`astep = 1, arow = lda` for plain row-major,
     /// `astep = R, arow = 1` for the k-major packed octet), `panels` `P`
     /// consecutive `k×SPW` packed panels (`panel_len` apart), `out` `R`
-    /// rows of stride `ldo` with `8·P` valid columns.
+    /// rows of stride `ldo` with `8·P` valid columns, and `bias` null or
+    /// `8·P` valid bias values starting at the first panel's first column.
     #[cfg(target_arch = "x86_64")]
     #[target_feature(enable = "avx512f")]
     #[allow(clippy::too_many_arguments)]
@@ -1377,6 +1617,7 @@ impl SimdKernel {
         arow: usize,
         panels: *const f64,
         panel_len: usize,
+        bias: *const f64,
         out: *mut f64,
         ldo: usize,
     ) {
@@ -1415,6 +1656,19 @@ impl SimdKernel {
                 let av = _mm512_set1_pd(*a.add(p * astep + r * arow));
                 for c in 0..P {
                     acc[r][c] = _mm512_add_pd(acc[r][c], _mm512_mul_pd(av, b[c]));
+                }
+            }
+        }
+        if !bias.is_null() {
+            // Fused epilogue: one bias vector per panel, appended to the
+            // end of every row's accumulation chain before the store.
+            let mut bv = [_mm512_setzero_pd(); P];
+            for c in 0..P {
+                bv[c] = _mm512_loadu_pd(bias.add(c * SPW));
+            }
+            for r in 0..R {
+                for c in 0..P {
+                    acc[r][c] = _mm512_add_pd(acc[r][c], bv[c]);
                 }
             }
         }
@@ -1783,6 +2037,58 @@ impl GemmBackend for ShardedKernel {
         }
     }
 
+    fn gemm_prepacked_bias(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f64],
+        pb: &PackedB,
+        bias: &[f64],
+        out: &mut [f64],
+    ) {
+        assert_eq!((pb.k, pb.n), (k, n), "prepacked B shape mismatch");
+        assert_eq!(bias.len(), n, "bias length mismatch");
+        debug_assert_eq!(a.len(), m * k);
+        debug_assert_eq!(out.len(), m * n);
+        if m == 0 || n == 0 {
+            return;
+        }
+        if k == 0 {
+            bias_rows(n, bias, out);
+            return;
+        }
+        match pb.layout {
+            PackLayout::Raw => {
+                self.gemm(m, k, n, a, &pb.data, out);
+                bias_rows(n, bias, out);
+            }
+            PackLayout::Panels4 => BlockedKernel::packed_gemm_bias(m, k, n, a, &pb.data, bias, out),
+            PackLayout::Panels8 => {
+                if self.run_inline(m, m * k * n) {
+                    SimdKernel::packed_gemm_bias(m, k, n, a, &pb.data, bias, out);
+                    return;
+                }
+                // Row shards own disjoint output rows; each worker runs
+                // the fused core with the full bias slice (the epilogue is
+                // per-row, so the split is invisible to the bits).
+                let packed = &pb.data;
+                crossbeam::scope(|scope| {
+                    let mut rest = out;
+                    for (s, e) in shard_ranges(m, self.threads()) {
+                        let (chunk, tail) = rest.split_at_mut((e - s) * n);
+                        rest = tail;
+                        let a_rows = &a[s * k..e * k];
+                        scope.spawn(move |_| {
+                            SimdKernel::packed_gemm_bias(e - s, k, n, a_rows, packed, bias, chunk)
+                        });
+                    }
+                })
+                .expect("sharded gemm_prepacked_bias worker panicked");
+            }
+        }
+    }
+
     fn matvec(&self, rows: usize, cols: usize, a: &[f64], v: &[f64], out: &mut [f64]) {
         // Memory-bound; a fan-out buys nothing. Inline simd schedule.
         SimdKernel.matvec(rows, cols, a, v, out);
@@ -1868,6 +2174,7 @@ impl FastKernel {
                                 w,
                                 &a[r * k..(r + 1) * k],
                                 panel,
+                                None,
                                 &mut out[r * n + j0..r * n + j0 + w],
                             );
                         }
@@ -1892,6 +2199,7 @@ impl FastKernel {
                             w,
                             &a[i * k..(i + 1) * k],
                             panel,
+                            None,
                             &mut out[i * n + j0..i * n + j0 + w],
                         );
                     }
@@ -2545,6 +2853,79 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn fused_bias_matches_separate_pass_bitwise() {
+        // The fused-bias contract: `gemm_prepacked_bias` must equal
+        // `gemm_prepacked` followed by a separate bias pass, bit for bit,
+        // on the same backend — including the k == 0 edge (bias only),
+        // narrow tails, and the raw fallback handles.
+        let sharded = ShardedKernel::with_threads(3);
+        let backends: [&dyn GemmBackend; 5] = [
+            &NaiveKernel,
+            &BlockedKernel,
+            &SimdKernel,
+            &sharded,
+            &FastKernel,
+        ];
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 9, 8),
+            (7, 5, 3),
+            (17, 13, 11),
+            (33, 29, 37),
+            (4, 0, 6),
+            (0, 3, 5),
+            (5, 4, 0),
+            (2, 8, 30),
+        ] {
+            let a = fill(m * k, 91 + m as u64);
+            let b = fill(k * n, 92 + n as u64);
+            let bias = fill(n, 93 + k as u64);
+            for backend in backends {
+                let pb = backend.pack_b(k, n, &b);
+                let mut want = vec![0.0; m * n];
+                backend.gemm_prepacked(m, k, n, &a, &pb, &mut want);
+                for row in want.chunks_exact_mut(n.max(1)) {
+                    for (o, &bv) in row.iter_mut().zip(&bias) {
+                        *o += bv;
+                    }
+                }
+                let mut got = vec![0.0; m * n];
+                backend.gemm_prepacked_bias(m, k, n, &a, &pb, &bias, &mut got);
+                assert_bits_eq(&want, &got);
+            }
+        }
+    }
+
+    #[test]
+    fn fused_bias_fans_out_above_the_work_threshold() {
+        // 128^3 > SHARD_MIN_WORK: exercises the fused sharded spawn path.
+        let (m, k, n) = (128, 128, 128);
+        let a = fill(m * k, 94);
+        let b = fill(k * n, 95);
+        let bias = fill(n, 96);
+        let backend = ShardedKernel::with_threads(3);
+        let pb = backend.pack_b(k, n, &b);
+        let mut want = vec![0.0; m * n];
+        backend.gemm_prepacked(m, k, n, &a, &pb, &mut want);
+        for row in want.chunks_exact_mut(n) {
+            for (o, &bv) in row.iter_mut().zip(&bias) {
+                *o += bv;
+            }
+        }
+        let mut got = vec![0.0; m * n];
+        backend.gemm_prepacked_bias(m, k, n, &a, &pb, &bias, &mut got);
+        assert_bits_eq(&want, &got);
+    }
+
+    #[test]
+    #[should_panic(expected = "bias length mismatch")]
+    fn fused_bias_rejects_wrong_bias_length() {
+        let pb = SimdKernel.pack_b(4, 4, &fill(16, 97));
+        let mut out = vec![0.0; 3 * 4];
+        SimdKernel.gemm_prepacked_bias(3, 4, 4, &fill(12, 98), &pb, &fill(3, 99), &mut out);
     }
 
     #[test]

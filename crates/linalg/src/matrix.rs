@@ -279,6 +279,38 @@ impl Matrix {
         );
     }
 
+    /// The affine forward `self · W + b` in one kernel pass:
+    /// [`matmul_prepacked_into`](Self::matmul_prepacked_into) with the
+    /// bias broadcast fused into the packed cores' write-back instead of a
+    /// second full sweep over `out` ([`add_bias_rows`](Self::add_bias_rows)).
+    /// Bit-identical to the two-step sequence on every deterministic
+    /// backend (the fused-bias contract, proptested).
+    ///
+    /// # Panics
+    /// Panics if `self.cols() != pack.k()` or `bias.len() != pack.n()`.
+    pub fn matmul_prepacked_bias_into(&self, pack: &PackedB, bias: &[f64], out: &mut Matrix) {
+        assert_eq!(
+            self.cols,
+            pack.k(),
+            "matmul_prepacked shape mismatch: {}x{} * packed {}x{}",
+            self.rows,
+            self.cols,
+            pack.k(),
+            pack.n()
+        );
+        assert_eq!(bias.len(), pack.n(), "bias length mismatch");
+        out.reset_to_zeros(self.rows, pack.n());
+        kernel().gemm_prepacked_bias(
+            self.rows,
+            self.cols,
+            pack.n(),
+            &self.data,
+            pack,
+            bias,
+            &mut out.data,
+        );
+    }
+
     /// [`matmul_nt_into`](Self::matmul_nt_into) against a prepacked
     /// right-hand side ([`pack_as_rhs_t`](Self::pack_as_rhs_t)).
     ///
@@ -686,6 +718,16 @@ mod tests {
         let pbt = bt.pack_as_rhs_t();
         a.matmul_nt_prepacked_into(&pbt, &mut out);
         assert_eq!(out, a.matmul_nt(&bt));
+
+        // Fused bias == matmul_prepacked_into + add_bias_rows, bitwise.
+        let bias = vec![0.25, -1.5];
+        let mut want = Matrix::zeros(0, 0);
+        a.matmul_prepacked_into(&pb, &mut want);
+        want.add_bias_rows(&bias);
+        a.matmul_prepacked_bias_into(&pb, &bias, &mut out);
+        for (w, g) in want.as_slice().iter().zip(out.as_slice()) {
+            assert_eq!(w.to_bits(), g.to_bits());
+        }
 
         // Re-pack into the same handles after mutating the operands.
         let mut b2 = b.clone();

@@ -330,6 +330,46 @@ fn check_prepacked_equivalence(m: usize, k: usize, n: usize, seed: u64) {
     }
 }
 
+/// Asserts the fused-bias epilogue (`gemm_prepacked_bias`) is
+/// `to_bits`-identical to `gemm_prepacked` followed by a separate
+/// element-wise bias pass, for every deterministic backend — naive (raw
+/// fallback handle), blocked, simd, and sharded at 1, 2, and N worker
+/// threads — on one `(m, k, n)` shape.
+fn check_fused_bias_equivalence(m: usize, k: usize, n: usize, seed: u64) {
+    let a = kernel_data(m * k, seed.wrapping_add(21));
+    let b = kernel_data(k * n, seed.wrapping_add(22));
+    let bias = kernel_data(n, seed.wrapping_add(23));
+
+    let sharded1 = ShardedKernel::with_threads(1);
+    let sharded2 = ShardedKernel::with_threads(2);
+    let sharded_n = ShardedKernel::with_threads(7);
+    let backends: [&dyn GemmBackend; 6] = [
+        &NaiveKernel,
+        &BlockedKernel,
+        &SimdKernel,
+        &sharded1,
+        &sharded2,
+        &sharded_n,
+    ];
+
+    for backend in backends {
+        let name = backend.name();
+        let pb = backend.pack_b(k, n, &b);
+        let mut want = vec![0.0; m * n];
+        backend.gemm_prepacked(m, k, n, &a, &pb, &mut want);
+        if n > 0 {
+            for row in want.chunks_exact_mut(n) {
+                for (o, &bv) in row.iter_mut().zip(&bias) {
+                    *o += bv;
+                }
+            }
+        }
+        let mut fused = vec![0.0; m * n];
+        backend.gemm_prepacked_bias(m, k, n, &a, &pb, &bias, &mut fused);
+        assert_bits_equal(&format!("{name} gemm_prepacked_bias"), &want, &fused);
+    }
+}
+
 /// The fixed shape gallery the ISSUE calls out: degenerate (empty, 1×1),
 /// prime, and just-past-blocking-boundary dimensions.
 #[test]
@@ -352,6 +392,7 @@ fn kernels_bit_identical_on_degenerate_and_prime_shapes() {
     ] {
         check_kernel_equivalence(m, k, n, 7 + (m * 131 + k * 17 + n) as u64);
         check_prepacked_equivalence(m, k, n, 7 + (m * 131 + k * 17 + n) as u64);
+        check_fused_bias_equivalence(m, k, n, 7 + (m * 131 + k * 17 + n) as u64);
     }
 }
 
@@ -381,6 +422,20 @@ proptest! {
         seed in 0u64..100_000,
     ) {
         check_prepacked_equivalence(m, k, n, seed);
+    }
+
+    /// The fused-bias forward vs the unfused `gemm_prepacked` +
+    /// bias-rows sequence on random rectangular shapes (empty dimensions
+    /// included — a `k == 0` product must still broadcast the bias),
+    /// across every deterministic backend.
+    #[test]
+    fn fused_bias_bit_identical_on_random_shapes(
+        m in 0usize..24,
+        k in 0usize..24,
+        n in 0usize..24,
+        seed in 0u64..100_000,
+    ) {
+        check_fused_bias_equivalence(m, k, n, seed);
     }
 
     /// The Matrix layer dispatches every product through the process-wide

@@ -38,11 +38,13 @@ pub use classifier::{accuracy_of, log_loss_of, Classifier};
 pub use conv::{ConvNet, ConvTrainConfig, ImageShape};
 pub use io::{read_mlp, write_mlp, ModelIoError};
 pub use loss::{
-    accuracy, log_loss, log_loss_packed, log_loss_packed_on, overall_validation_loss,
-    per_slice_validation_losses,
+    accuracy, log_loss, log_loss_packed, log_loss_packed_on, log_loss_packed_scratch,
+    overall_validation_loss, per_slice_validation_losses, EvalScratch,
 };
 pub use network::{Layer, Mlp, PackedMlp};
 pub use optimizer::{LrSchedule, OptimizerKind, OptimizerState};
 pub use residual::{ResidualBlock, ResidualMlp, ResidualTrainConfig};
 pub use spec::ModelSpec;
-pub use trainer::{train, train_on_examples, train_validated, TrainConfig, TrainOutcome};
+pub use trainer::{
+    train, train_on_examples, train_on_rows, train_validated, TrainConfig, TrainOutcome,
+};

@@ -38,11 +38,39 @@ pub fn log_loss(model: &Mlp, x: &Matrix, y: &[usize]) -> f64 {
 /// bit-identical, but the weights are packed once for the view instead of
 /// once per call — the win when one model scores many slices.
 pub fn log_loss_packed(model: &PackedMlp<'_>, x: &Matrix, y: &[usize]) -> f64 {
+    log_loss_packed_scratch(model, x, y, &mut EvalScratch::default())
+}
+
+/// Reusable activation buffers for the packed evaluation loop
+/// ([`log_loss_packed_scratch`]): one scratch serves any number of
+/// batches/models, keeping repeated evaluation allocation-free in steady
+/// state.
+#[derive(Debug, Default)]
+pub struct EvalScratch {
+    cur: Matrix,
+    next: Matrix,
+}
+
+/// [`log_loss_packed`] with caller-owned scratch: identical bits, but the
+/// forward activations reuse `scratch`'s buffers instead of allocating per
+/// call — the estimator scores every slice against every trained subset
+/// model, and these buffers were its last per-call allocations.
+pub fn log_loss_packed_scratch(
+    model: &PackedMlp<'_>,
+    x: &Matrix,
+    y: &[usize],
+    scratch: &mut EvalScratch,
+) -> f64 {
     assert_eq!(x.rows(), y.len(), "feature/label count mismatch");
     if y.is_empty() {
         return f64::NAN;
     }
-    nll_of_proba(&model.predict_proba(x), y)
+    model.logits_into(x, &mut scratch.cur, &mut scratch.next);
+    let p = &mut scratch.cur;
+    for r in 0..p.rows() {
+        st_linalg::softmax_in_place(p.row_mut(r));
+    }
+    nll_of_proba(p, y)
 }
 
 /// [`log_loss`] over a list of examples.
@@ -70,30 +98,39 @@ pub fn accuracy(model: &Mlp, x: &Matrix, y: &[usize]) -> f64 {
 ///
 /// One model scores every slice, so the weights are packed **once** and
 /// reused for all per-slice forward passes (bit-identical to per-call
-/// packing; the prepacked contract).
+/// packing; the prepacked contract), and the per-slice validation
+/// matrices come from the dataset's cached dense snapshot
+/// ([`SlicedDataset::matrices`]) instead of being re-gathered from the
+/// example lists on every evaluation — byte-identical inputs, identical
+/// loss bits.
 pub fn per_slice_validation_losses(model: &Mlp, ds: &SlicedDataset) -> Vec<f64> {
     let packed = model.packed();
-    ds.slices
-        .iter()
-        .map(|s| log_loss_packed_on(&packed, &s.validation))
+    let m = ds.matrices();
+    let mut scratch = EvalScratch::default();
+    (0..ds.num_slices())
+        .map(|s| log_loss_packed_scratch(&packed, &m.val_x[s], &m.val_y[s], &mut scratch))
         .collect()
 }
 
 /// Loss on the pooled validation set: the paper's `ψ(D, M)`.
 ///
 /// Computed as the size-weighted mean of per-slice losses, which equals the
-/// loss on the concatenated validation data. Packs the weights once like
+/// loss on the concatenated validation data. Packs the weights once and
+/// rides the cached validation matrices like
 /// [`per_slice_validation_losses`].
 pub fn overall_validation_loss(model: &Mlp, ds: &SlicedDataset) -> f64 {
     let packed = model.packed();
+    let m = ds.matrices();
+    let mut scratch = EvalScratch::default();
     let mut total = 0.0;
     let mut count = 0usize;
-    for s in &ds.slices {
-        if s.validation.is_empty() {
+    for s in 0..ds.num_slices() {
+        if m.val_y[s].is_empty() {
             continue;
         }
-        total += log_loss_packed_on(&packed, &s.validation) * s.validation.len() as f64;
-        count += s.validation.len();
+        total += log_loss_packed_scratch(&packed, &m.val_x[s], &m.val_y[s], &mut scratch)
+            * m.val_y[s].len() as f64;
+        count += m.val_y[s].len();
     }
     if count == 0 {
         f64::NAN

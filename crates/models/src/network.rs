@@ -72,10 +72,12 @@ impl Layer {
     }
 
     /// [`forward_into`](Self::forward_into) against a prepacked weight
-    /// handle — bit-identical, no per-call packing.
+    /// handle — bit-identical, no per-call packing. The bias broadcast is
+    /// fused into the packed cores' write-back
+    /// ([`Matrix::matmul_prepacked_bias_into`]), so the affine forward is
+    /// one pass over the output instead of two.
     pub fn forward_prepacked_into(&self, pack: &PackedB, x: &Matrix, out: &mut Matrix) {
-        x.matmul_prepacked_into(pack, out);
-        out.add_bias_rows(&self.b);
+        x.matmul_prepacked_bias_into(pack, &self.b, out);
     }
 }
 
@@ -208,12 +210,22 @@ impl PackedMlp<'_> {
     /// Batch logits — the op-for-op mirror of [`Mlp::logits`] (same ReLU,
     /// same GEMM chains), so the bits match exactly.
     pub fn logits(&self, x: &Matrix) -> Matrix {
-        let last = self.net.layers.len() - 1;
         let mut cur = Matrix::zeros(0, 0);
         let mut next = Matrix::zeros(0, 0);
+        self.logits_into(x, &mut cur, &mut next);
+        cur
+    }
+
+    /// [`Self::logits`] into caller-owned ping-pong buffers, reused across
+    /// calls: the per-slice evaluation loop scores hundreds of batches
+    /// against one packed model, and the activation buffers are the last
+    /// per-call allocation on that path. The logits land in `cur`; `next`
+    /// is scratch. Identical ops and bits to [`Self::logits`].
+    pub fn logits_into(&self, x: &Matrix, cur: &mut Matrix, next: &mut Matrix) {
+        let last = self.net.layers.len() - 1;
         for (i, (layer, pack)) in self.net.layers.iter().zip(&self.packs).enumerate() {
-            let input = if i == 0 { x } else { &cur };
-            layer.forward_prepacked_into(pack, input, &mut next);
+            let input = if i == 0 { x } else { &*cur };
+            layer.forward_prepacked_into(pack, input, next);
             if i != last {
                 for v in next.as_mut_slice() {
                     if *v < 0.0 {
@@ -221,9 +233,8 @@ impl PackedMlp<'_> {
                     }
                 }
             }
-            std::mem::swap(&mut cur, &mut next);
+            std::mem::swap(cur, next);
         }
-        cur
     }
 
     /// Batch class probabilities: each row of the result sums to one.

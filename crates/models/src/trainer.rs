@@ -138,12 +138,99 @@ pub fn train_validated(
     config: &TrainConfig,
     patience: Option<usize>,
 ) -> TrainOutcome {
+    train_core(
+        x,
+        y,
+        None,
+        validation,
+        input_dim,
+        num_classes,
+        spec,
+        config,
+        patience,
+    )
+}
+
+/// Trains on the subset of `x`'s rows named by `rows` (with `y` labelling
+/// **all** of `x`'s rows) without materializing the sub-matrix.
+///
+/// This is the estimator's gather-free entry point: the dataset keeps one
+/// stacked training matrix (`SlicedDataset::matrices`), subset sampling
+/// yields row ids, and every minibatch gathers its rows straight from the
+/// stacked matrix. The run is bit-identical to extracting the sub-matrix
+/// first and calling [`train`] on it — same RNG draws (init, shuffles,
+/// dropout), same gathered bytes, same op order — just without the
+/// intermediate copy.
+///
+/// Returns the freshly-initialized network when `rows` is empty (mirroring
+/// [`train_on_examples`] on an empty list).
+///
+/// # Panics
+/// Panics on shape mismatches, out-of-range row ids, or out-of-range
+/// labels among the sampled rows.
+pub fn train_on_rows(
+    x: &Matrix,
+    y: &[usize],
+    rows: &[usize],
+    input_dim: usize,
+    num_classes: usize,
+    spec: &ModelSpec,
+    config: &TrainConfig,
+) -> Mlp {
+    if rows.is_empty() {
+        let mut rng = seeded_rng(config.seed);
+        return Mlp::new(input_dim, &spec.hidden, num_classes, &mut rng);
+    }
+    train_core(
+        x,
+        y,
+        Some(rows),
+        None,
+        input_dim,
+        num_classes,
+        spec,
+        config,
+        None,
+    )
+    .model
+}
+
+/// The shared minibatch loop behind [`train_validated`] and
+/// [`train_on_rows`]. `rows = Some(ids)` restricts training to those rows
+/// of `x` (an index indirection resolved at minibatch-gather time);
+/// `None` trains on all rows. Both paths run the identical op and RNG
+/// sequence for the same effective training set.
+#[allow(clippy::too_many_arguments)]
+fn train_core(
+    x: &Matrix,
+    y: &[usize],
+    rows: Option<&[usize]>,
+    validation: Option<(&Matrix, &[usize])>,
+    input_dim: usize,
+    num_classes: usize,
+    spec: &ModelSpec,
+    config: &TrainConfig,
+    patience: Option<usize>,
+) -> TrainOutcome {
     assert_eq!(x.rows(), y.len(), "feature/label count mismatch");
-    assert!(y.iter().all(|&l| l < num_classes), "label out of range");
+    match rows {
+        None => assert!(y.iter().all(|&l| l < num_classes), "label out of range"),
+        Some(ids) => {
+            assert!(
+                ids.iter().all(|&i| i < x.rows()),
+                "row id out of range: {} rows",
+                x.rows()
+            );
+            assert!(
+                ids.iter().all(|&i| y[i] < num_classes),
+                "label out of range"
+            );
+        }
+    }
 
     let mut rng = seeded_rng(config.seed);
     let mut net = Mlp::new(input_dim, &spec.hidden, num_classes, &mut rng);
-    let n = x.rows();
+    let n = rows.map_or(x.rows(), <[usize]>::len);
     if n == 0 {
         return TrainOutcome {
             model: net,
@@ -170,9 +257,21 @@ pub fn train_validated(
         let lr = config.schedule.lr_at(config.lr, epoch);
         order.shuffle(&mut rng);
         for chunk in order.chunks(config.batch_size.max(1)) {
-            x.gather_rows_into(chunk, &mut scratch.bx);
+            // With a row map the chunk's positions resolve to rows of the
+            // backing matrix first; the gathered bytes — and therefore the
+            // training bits — match gathering from the extracted
+            // sub-matrix exactly.
+            let gather: &[usize] = match rows {
+                None => chunk,
+                Some(ids) => {
+                    scratch.map.clear();
+                    scratch.map.extend(chunk.iter().map(|&i| ids[i]));
+                    &scratch.map
+                }
+            };
+            x.gather_rows_into(gather, &mut scratch.bx);
             scratch.by.clear();
-            scratch.by.extend(chunk.iter().map(|&i| y[i]));
+            scratch.by.extend(gather.iter().map(|&i| y[i]));
             opt.next_step();
             descent_step(&mut net, &mut scratch, lr, config, &mut opt, &mut rng);
         }
@@ -232,6 +331,9 @@ struct TrainScratch {
     bx: Matrix,
     /// Gathered minibatch labels.
     by: Vec<usize>,
+    /// Chunk positions resolved through the caller's row map
+    /// ([`train_on_rows`]); unused when training on all rows.
+    map: Vec<usize>,
     /// Post-ReLU (and post-dropout) activation of hidden layer `i`,
     /// feeding layer `i + 1`.
     acts: Vec<Matrix>,
@@ -530,6 +632,43 @@ mod tests {
         // match the plain forward of the *updated* network.
         forward_train(&net, 0.0, &mut rng, &mut scratch);
         assert_logits_match(&net, &scratch);
+    }
+
+    #[test]
+    fn train_on_rows_is_bit_identical_to_submatrix_training() {
+        let (x, y) = blobs(40, &[(-1.5, 0.5), (1.5, -0.5), (0.0, 2.0)], 23);
+        // A scrambled, repeat-free subset of the rows.
+        let rows: Vec<usize> = (0..x.rows()).step_by(3).chain([1, 4, 7]).collect();
+        let sub_x = x.gather_rows(&rows);
+        let sub_y: Vec<usize> = rows.iter().map(|&i| y[i]).collect();
+        for cfg in [
+            TrainConfig::default().with_seed(5),
+            TrainConfig::default().with_dropout(0.2).with_seed(5),
+        ] {
+            let direct = train(&sub_x, &sub_y, 2, 3, &ModelSpec::small(), &cfg);
+            let via_rows = train_on_rows(&x, &y, &rows, 2, 3, &ModelSpec::small(), &cfg);
+            assert_eq!(direct, via_rows, "row-mapped training must match bits");
+        }
+        // Empty rows mirror train_on_examples on an empty list.
+        let cfg = TrainConfig::default();
+        let empty = train_on_rows(&x, &y, &[], 2, 3, &ModelSpec::small(), &cfg);
+        let init = train_on_examples(&[], 2, 3, &ModelSpec::small(), &cfg);
+        assert_eq!(empty, init);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn train_on_rows_rejects_bad_sampled_labels() {
+        let x = Matrix::zeros(3, 2);
+        let _ = train_on_rows(
+            &x,
+            &[0, 9, 0],
+            &[1],
+            2,
+            2,
+            &ModelSpec::softmax(),
+            &TrainConfig::default(),
+        );
     }
 
     #[test]
