@@ -19,9 +19,9 @@
 //! - `ST_KERNEL` — overrides the bench default (`sharded` on multi-core
 //!   hosts, `simd` on single-core).
 
-use slice_tuner::{PoolSource, RunResult, SliceTuner, Strategy};
+use slice_tuner::{PoolSource, RunResult, SliceTuner, Strategy, TSchedule};
 use st_bench::{assert_bits_identical, bench_fill as fill, best_secs, rule, FamilySetup};
-use st_curve::{fit_power_law, PowerLaw, SliceEstimate};
+use st_curve::{fit_power_law, EstimationMode, PowerLaw, SliceEstimate};
 use st_data::SlicedDataset;
 use st_linalg::{GemmBackend, SimdKernel};
 use std::fmt::Write as _;
@@ -97,6 +97,41 @@ fn assert_estimates_identical(a: &[SliceEstimate], b: &[SliceEstimate]) {
             _ => panic!("slice {s}: one data plane fitted, the other failed"),
         }
     }
+}
+
+/// The incremental-estimation gate cell: the census analog with uneven
+/// starting slices (so the iterative allocation concentrates on a few
+/// slices and leaves the rest clean between rounds), the exhaustive
+/// schedule (the one dirty-slice tracking can skip within), and a budget
+/// that the Conservative T schedule spreads over several acquisition rounds.
+/// Identical in quick and full mode — quick shrinks the timing reps only
+/// — so the gate reading is comparable everywhere.
+const INC_SIZES: [usize; 4] = [150, 60, 110, 80];
+const INC_BUDGET: f64 = 600.0;
+
+fn incremental_config(setup: &FamilySetup, refit_all: bool) -> slice_tuner::TunerConfig {
+    let mut cfg = setup.config(13);
+    cfg.train.epochs = 4;
+    cfg.fractions = vec![0.2, 0.4, 0.6, 0.8, 1.0];
+    cfg.repeats = 2;
+    cfg.mode = EstimationMode::Exhaustive;
+    cfg.incremental = true;
+    cfg.incremental_refit_all = refit_all;
+    cfg.max_iterations = 6;
+    cfg
+}
+
+/// One iterative trial on the incremental gate cell: dirty-slice tracking
+/// when `refit_all` is false, the forced full-refit baseline (identical
+/// incremental semantics, none of the skipping) when true. Returns
+/// wall-clock seconds, the trial result, and the training count.
+fn run_incremental_trial(setup: &FamilySetup, refit_all: bool) -> (f64, RunResult, usize) {
+    let ds = SlicedDataset::generate(&setup.family, &INC_SIZES, GATE_VALIDATION, 13);
+    let mut source = PoolSource::new(setup.family.clone(), 0x915A);
+    let mut tuner = SliceTuner::new(ds, &mut source, incremental_config(setup, refit_all));
+    let start = Instant::now();
+    let result = tuner.run(Strategy::Iterative(TSchedule::conservative()), INC_BUDGET);
+    (start.elapsed().as_secs_f64(), result, tuner.trainings())
 }
 
 /// Asserts two trials produced identical results, bit for bit.
@@ -225,6 +260,31 @@ fn main() {
     }
     let solver_s = start.elapsed().as_secs_f64() / solver_reps as f64;
 
+    // ---- Incremental re-estimation gate ----------------------------------
+    //
+    // Algorithm 1 re-estimates every slice's curve each round; incremental
+    // mode re-measures only the slices the last acquisition touched. The
+    // baseline (`incremental_refit_all`) keeps every incremental semantic
+    // — pinned estimator seed, accumulator-seeded fits, append-only
+    // snapshots — but refits everything, so the ratio isolates the skipping.
+    // Dirty-tracking runs are also checked bit-reproducible run to run.
+    let (_, inc_trial, inc_trainings) = run_incremental_trial(&setup, false);
+    let (_, _full_trial, refit_trainings) = run_incremental_trial(&setup, true);
+    let (_, inc_again, again_trainings) = run_incremental_trial(&setup, false);
+    assert_eq!(
+        inc_trainings, again_trainings,
+        "incremental trial training counts must reproduce"
+    );
+    assert_trials_identical(&inc_trial, &inc_again);
+    let trainings_ratio = refit_trainings as f64 / inc_trainings as f64;
+    let inc_rounds = if quick { 2 } else { 3 };
+    let (mut inc_s, mut refit_s) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..inc_rounds {
+        refit_s = refit_s.min(run_incremental_trial(&setup, true).0);
+        inc_s = inc_s.min(run_incremental_trial(&setup, false).0);
+    }
+    let inc_speedup = refit_s / inc_s;
+
     let phases = [
         Phase {
             name: "data_gen",
@@ -250,6 +310,11 @@ fn main() {
             name: "full_trial",
             ms: trial_dense_s * 1e3,
             trainings: Some(trial.trainings),
+        },
+        Phase {
+            name: "incremental",
+            ms: inc_s * 1e3,
+            trainings: Some(inc_trainings),
         },
     ];
     let total_ms: f64 = data_gen_s * 1e3 + est_dense_s * 1e3 + curve_fit_s * 1e3 + solver_s * 1e3;
@@ -395,12 +460,28 @@ fn main() {
         if no_gate { ", not enforced" } else { "" }
     );
 
+    println!(
+        "\nincremental gate: dirty-slice re-estimation vs full refit (exhaustive, {} rounds)",
+        inc_trial.iterations
+    );
+    println!(
+        "  refit-all: {:.3} ms ({refit_trainings} trainings) | incremental: {:.3} ms \
+         ({inc_trainings} trainings)",
+        refit_s * 1e3,
+        inc_s * 1e3,
+    );
+    println!(
+        "  speedup {inc_speedup:.2}x, trainings ratio {trainings_ratio:.2}x (target >= 1.5x{}); \
+         bit-reproducible run to run",
+        if no_gate { ", time not enforced" } else { "" }
+    );
+
     // ---- JSON emission ---------------------------------------------------
     let path = std::env::var("ST_BENCH_JSON").unwrap_or_else(|_| "BENCH_pipeline.json".to_string());
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"bench\": \"pipeline\",");
-    let _ = writeln!(json, "  \"schema_version\": 2,");
+    let _ = writeln!(json, "  \"schema_version\": 3,");
     let _ = writeln!(json, "  \"kernel\": \"{}\",", kernel.name());
     let _ = writeln!(json, "  \"quick\": {quick},");
     let _ = writeln!(json, "  \"family\": \"{}\",", setup.label);
@@ -457,11 +538,30 @@ fn main() {
     let _ = writeln!(json, "    \"speedup\": {speedup:.4},");
     let _ = writeln!(json, "    \"target\": 1.2,");
     let _ = writeln!(json, "    \"gate_enforced\": {}", !no_gate);
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"incremental\": {{");
+    let _ = writeln!(json, "    \"refit_all_ms\": {:.6},", refit_s * 1e3);
+    let _ = writeln!(json, "    \"incremental_ms\": {:.6},", inc_s * 1e3);
+    let _ = writeln!(json, "    \"speedup\": {inc_speedup:.4},");
+    let _ = writeln!(json, "    \"refit_all_trainings\": {refit_trainings},");
+    let _ = writeln!(json, "    \"incremental_trainings\": {inc_trainings},");
+    let _ = writeln!(json, "    \"trainings_ratio\": {trainings_ratio:.4},");
+    let _ = writeln!(json, "    \"target\": 1.5,");
+    let _ = writeln!(json, "    \"gate_enforced\": {}", !no_gate);
     let _ = writeln!(json, "  }}");
     let _ = writeln!(json, "}}");
     std::fs::write(&path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
     println!("\nwrote {path}");
 
+    // The trainings ratio is deterministic (it counts skipped model
+    // trainings, not wall-clock), so it is enforced even under
+    // ST_PIPELINE_NO_GATE — shared-runner noise cannot move it.
+    assert!(
+        trainings_ratio >= 1.5,
+        "incremental re-estimation must train >= 1.5x less than the full-refit \
+         baseline on the gate cell, got {trainings_ratio:.2}x \
+         ({inc_trainings} vs {refit_trainings} trainings)"
+    );
     if !no_gate {
         assert!(
             est_speedup >= 1.15 && trial_speedup >= 1.15,
@@ -473,6 +573,14 @@ fn main() {
             "prepacked must be >= 1.2x over per-call packing on {rows}x{k}x{n} \
              ({mb}-row minibatches), got {speedup:.2}x"
         );
-        println!("gates passed: data plane >= 1.15x, prepacked >= 1.2x, bit-identical outputs");
+        assert!(
+            inc_speedup >= 1.5,
+            "incremental trials must run >= 1.5x faster than the full-refit \
+             baseline on the gate cell, got {inc_speedup:.2}x"
+        );
+        println!(
+            "gates passed: data plane >= 1.15x, prepacked >= 1.2x, incremental >= 1.5x, \
+             bit-identical outputs"
+        );
     }
 }

@@ -104,7 +104,16 @@ fn main() {
     let quick = pipeline.contains("\"quick\": true");
 
     let phase = |name: &str| num_after(&pipeline, &format!("\"name\": \"{name}\", \"ms\": "));
-    let phase_names = ["data_gen", "training", "curve_fit", "solver", "full_trial"];
+    // `incremental` appears from pipeline schema 3 on; older artifacts
+    // fold in with a null for it.
+    let phase_names = [
+        "data_gen",
+        "training",
+        "curve_fit",
+        "solver",
+        "full_trial",
+        "incremental",
+    ];
 
     let mut entry = String::new();
     let _ = writeln!(entry, "    {{");
@@ -161,6 +170,20 @@ fn main() {
             .and_then(|at| num_after(&pipeline[at..], "\"speedup\": ")),
         ",",
     );
+    // Incremental re-estimation gate readings (pipeline schema 3+).
+    let inc_section = pipeline.find("\"incremental\": {");
+    write_num(
+        &mut entry,
+        "incremental_speedup",
+        inc_section.and_then(|at| num_after(&pipeline[at..], "\"speedup\": ")),
+        ",",
+    );
+    write_num(
+        &mut entry,
+        "incremental_trainings_ratio",
+        inc_section.and_then(|at| num_after(&pipeline[at..], "\"trainings_ratio\": ")),
+        ",",
+    );
     match &kernels {
         Some(k) => {
             write_num(
@@ -215,19 +238,20 @@ fn main() {
     let entries = trend.matches("\"commit\": ").count();
     println!("appended commit {commit} to {trend_path} ({entries} entries)");
     println!(
-        "{:<12} {:>10} {:>10} {:>10} {:>10}",
-        "commit", "total_ms", "train_dp", "trial_dp", "prepacked"
+        "{:<12} {:>10} {:>10} {:>10} {:>10} {:>11}",
+        "commit", "total_ms", "train_dp", "trial_dp", "prepacked", "incremental"
     );
     for chunk in trend.split("    {").skip(1) {
         let c = str_after(chunk, "\"commit\": \"").unwrap_or_else(|| "?".into());
         let fmt = |v: Option<f64>| v.map_or("-".into(), |x| format!("{x:.2}"));
         println!(
-            "{:<12} {:>10} {:>10} {:>10} {:>10}",
+            "{:<12} {:>10} {:>10} {:>10} {:>10} {:>11}",
             c,
             fmt(num_after(chunk, "\"total_ms\": ")),
             fmt(num_after(chunk, "\"data_plane_training_speedup\": ")),
             fmt(num_after(chunk, "\"data_plane_full_trial_speedup\": ")),
             fmt(num_after(chunk, "\"prepacked_speedup\": ")),
+            fmt(num_after(chunk, "\"incremental_speedup\": ")),
         );
     }
 }

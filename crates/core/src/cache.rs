@@ -22,6 +22,18 @@
 //! many tuners, strategies, and threads as useful. Trials with distinct
 //! seeds have disjoint keys, so sharing one cache across a whole
 //! experiment is always sound.
+//!
+//! **Incremental estimations bypass this cache.** Under
+//! [`TunerConfig::incremental`](crate::TunerConfig), an exhaustive-mode
+//! estimation's result is a merge of fresh measurements (dirty slices)
+//! and the previous round's carried-over estimates (clean slices) — a
+//! function of the whole acquisition history, not of the current dataset
+//! content alone. No [`CurveKey`] can name that history, so inserting such
+//! a result would poison lookups from non-incremental tuners that share
+//! the cache; the tuner's exhaustive incremental path therefore never
+//! consults or fills the cache. (Amortized incremental runs delegate to
+//! the plain full schedule, whose results are content-keyed as usual and
+//! stay cache-safe.)
 
 use parking_lot::Mutex;
 use st_curve::{EstimationMode, SliceEstimate};

@@ -50,6 +50,7 @@
 pub mod acquire;
 pub mod cache;
 pub mod config;
+pub mod incremental;
 pub mod influence;
 pub mod metrics;
 pub mod report;
@@ -65,6 +66,7 @@ pub use acquire::{
 };
 pub use cache::{CurveCache, CurveKey};
 pub use config::{strategy_from_name, strategy_to_name, ExperimentSpec, SpecError};
+pub use incremental::{IncrementalState, WarmKey};
 pub use influence::{influence_sweep, InfluencePoint, InfluenceSweep};
 pub use metrics::{avg_eer, max_eer, EvalReport};
 pub use report::{acquisition_markdown, methods_csv, methods_markdown, series_markdown};

@@ -6,7 +6,7 @@
 //! the requests (exhaustively or amortized), runs them in parallel, and fits
 //! averaged power-law curves.
 
-use crate::fit::{fit_power_law, FitError};
+use crate::fit::{fit_power_law, FitError, IncrementalFit};
 use crate::model::PowerLaw;
 use crate::points::CurvePoint;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -36,6 +36,11 @@ pub struct MeasureRequest {
     pub frac: f64,
     /// Seed for subset selection and model training.
     pub seed: u64,
+    /// Which repeat (averaged curve) this request contributes to. Stable
+    /// across full and partial schedules, so `(target_slice, frac, rep)`
+    /// identifies the same measurement from round to round — the key the
+    /// tuner's warm-start store uses.
+    pub rep: usize,
 }
 
 /// The measurement callback: train on the requested subset, evaluate, and
@@ -154,49 +159,99 @@ impl CurveEstimator {
 
         let requests = self.build_requests(num_slices);
         let results = run_parallel(&requests, measure, self.effective_threads());
+        let points = self.group_points(num_slices, &requests, &results);
 
-        // points[slice][repeat] -> Vec<CurvePoint>
+        points
+            .into_iter()
+            .map(|per_rep| fold_estimate(per_rep, &fit_power_law))
+            .collect()
+    }
+
+    /// Partial re-estimation: re-measures only the slices flagged in
+    /// `targets`, returning `None` for the rest (the tuner reuses their
+    /// previous round's estimates). This is the dirty-slice path of
+    /// incremental mode.
+    ///
+    /// The **full** schedule is built first and then filtered: per-request
+    /// seeds come from a sequential stream counter, so assigning before
+    /// filtering keeps every surviving request's seed identical to a full
+    /// estimation's — a flagged slice's measurements reproduce the
+    /// from-scratch bits (when the measurement function itself is
+    /// deterministic). Fits are seeded from an [`IncrementalFit`] absorbing
+    /// the round's points one at a time, which agrees with the batch fit to
+    /// refinement tolerance.
+    ///
+    /// # Panics
+    /// Panics if `fractions` is empty, `repeats == 0`, `targets.len()`
+    /// differs from `num_slices`, or the mode is
+    /// [`EstimationMode::Amortized`] — an amortized training measures every
+    /// slice at once, so there is nothing to skip and callers should run
+    /// [`estimate_detailed`](Self::estimate_detailed) instead.
+    pub fn estimate_detailed_for(
+        &self,
+        num_slices: usize,
+        targets: &[bool],
+        measure: &TrainEvalFn<'_>,
+    ) -> Vec<Option<SliceEstimate>> {
+        assert!(
+            !self.fractions.is_empty(),
+            "need at least one subset fraction"
+        );
+        assert!(self.repeats > 0, "need at least one repeat");
+        assert_eq!(targets.len(), num_slices, "one target flag per slice");
+        assert_eq!(
+            self.mode,
+            EstimationMode::Exhaustive,
+            "partial re-estimation requires the exhaustive schedule"
+        );
+
+        let requests: Vec<MeasureRequest> = self
+            .build_requests(num_slices)
+            .into_iter()
+            .filter(|r| r.target_slice.is_some_and(|s| targets[s]))
+            .collect();
+        let results = run_parallel(&requests, measure, self.effective_threads());
+        let points = self.group_points(num_slices, &requests, &results);
+
+        points
+            .into_iter()
+            .enumerate()
+            .map(|(s, per_rep)| {
+                if !targets[s] {
+                    return None;
+                }
+                Some(fold_estimate(per_rep, &|pts| {
+                    let mut inc = IncrementalFit::new();
+                    inc.absorb_all(pts);
+                    inc.fit()
+                }))
+            })
+            .collect()
+    }
+
+    /// Groups measurement results as `points[slice][repeat]`.
+    fn group_points(
+        &self,
+        num_slices: usize,
+        requests: &[MeasureRequest],
+        results: &[Vec<SliceLossMeasurement>],
+    ) -> Vec<Vec<Vec<CurvePoint>>> {
         let mut points: Vec<Vec<Vec<CurvePoint>>> =
             vec![vec![Vec::new(); self.repeats]; num_slices];
-        for (req, measurements) in requests.iter().zip(&results) {
-            let rep = req.rep;
+        for (req, measurements) in requests.iter().zip(results) {
             for m in measurements {
                 if m.slice >= num_slices {
                     continue;
                 }
-                if let Some(target) = req.request.target_slice {
+                if let Some(target) = req.target_slice {
                     if m.slice != target {
                         continue; // exhaustive: only the subsampled slice moved
                     }
                 }
-                points[m.slice][rep].push(CurvePoint::size_weighted(m.n as f64, m.loss));
+                points[m.slice][req.rep].push(CurvePoint::size_weighted(m.n as f64, m.loss));
             }
         }
-
         points
-            .into_iter()
-            .map(|per_rep| {
-                let repeat_fits: Vec<PowerLaw> = per_rep
-                    .iter()
-                    .filter_map(|pts| fit_power_law(pts).ok())
-                    .collect();
-                let fit = if repeat_fits.is_empty() {
-                    // Surface the most informative error from the first repeat.
-                    Err(per_rep
-                        .first()
-                        .map(|pts| fit_power_law(pts).unwrap_err())
-                        .unwrap_or(FitError::NotEnoughPoints))
-                } else {
-                    Ok(PowerLaw::log_mean(&repeat_fits))
-                };
-                let pooled: Vec<CurvePoint> = per_rep.into_iter().flatten().collect();
-                SliceEstimate {
-                    fit,
-                    repeat_fits,
-                    points: pooled,
-                }
-            })
-            .collect()
     }
 
     fn effective_threads(&self) -> usize {
@@ -209,32 +264,28 @@ impl CurveEstimator {
         }
     }
 
-    fn build_requests(&self, num_slices: usize) -> Vec<TaggedRequest> {
+    fn build_requests(&self, num_slices: usize) -> Vec<MeasureRequest> {
         let mut out = Vec::new();
         let mut stream = 0u64;
         for rep in 0..self.repeats {
             for &frac in &self.fractions {
                 match self.mode {
                     EstimationMode::Amortized => {
-                        out.push(TaggedRequest {
+                        out.push(MeasureRequest {
+                            target_slice: None,
+                            frac,
+                            seed: child_seed(self.seed, stream),
                             rep,
-                            request: MeasureRequest {
-                                target_slice: None,
-                                frac,
-                                seed: child_seed(self.seed, stream),
-                            },
                         });
                         stream += 1;
                     }
                     EstimationMode::Exhaustive => {
                         for s in 0..num_slices {
-                            out.push(TaggedRequest {
+                            out.push(MeasureRequest {
+                                target_slice: Some(s),
+                                frac,
+                                seed: child_seed(self.seed, stream),
                                 rep,
-                                request: MeasureRequest {
-                                    target_slice: Some(s),
-                                    frac,
-                                    seed: child_seed(self.seed, stream),
-                                },
                             });
                             stream += 1;
                         }
@@ -243,6 +294,30 @@ impl CurveEstimator {
             }
         }
         out
+    }
+}
+
+/// Folds one slice's per-repeat points into a [`SliceEstimate`] with the
+/// given per-repeat fitter.
+fn fold_estimate(
+    per_rep: Vec<Vec<CurvePoint>>,
+    fit_fn: &dyn Fn(&[CurvePoint]) -> Result<PowerLaw, FitError>,
+) -> SliceEstimate {
+    let repeat_fits: Vec<PowerLaw> = per_rep.iter().filter_map(|pts| fit_fn(pts).ok()).collect();
+    let fit = if repeat_fits.is_empty() {
+        // Surface the most informative error from the first repeat.
+        Err(per_rep
+            .first()
+            .map(|pts| fit_fn(pts).unwrap_err())
+            .unwrap_or(FitError::NotEnoughPoints))
+    } else {
+        Ok(PowerLaw::log_mean(&repeat_fits))
+    };
+    let pooled: Vec<CurvePoint> = per_rep.into_iter().flatten().collect();
+    SliceEstimate {
+        fit,
+        repeat_fits,
+        points: pooled,
     }
 }
 
@@ -271,12 +346,6 @@ impl SliceEstimate {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
-struct TaggedRequest {
-    rep: usize,
-    request: MeasureRequest,
-}
-
 /// SplitMix64 finalizer (kept local so the crate stays decoupled from
 /// `st-data`).
 fn child_seed(seed: u64, stream: u64) -> u64 {
@@ -289,7 +358,7 @@ fn child_seed(seed: u64, stream: u64) -> u64 {
 /// Runs every request through `measure` on a scoped thread pool, preserving
 /// request order in the result vector.
 fn run_parallel(
-    requests: &[TaggedRequest],
+    requests: &[MeasureRequest],
     measure: &TrainEvalFn<'_>,
     threads: usize,
 ) -> Vec<Vec<SliceLossMeasurement>> {
@@ -305,7 +374,7 @@ fn run_parallel(
                 if i >= n {
                     break;
                 }
-                let out = measure(&requests[i].request);
+                let out = measure(&requests[i]);
                 results.lock().expect("poisoned results lock")[i] = Some(out);
             });
         }
@@ -448,6 +517,52 @@ mod tests {
         let bands = e.bands(100, 0.9, 3).unwrap();
         assert!(bands.a_interval().lo <= bands.a_interval().hi);
         assert!(bands.relative_width(300.0) >= 0.0);
+    }
+
+    #[test]
+    fn partial_estimate_matches_full_on_flagged_slices() {
+        let curves = vec![
+            PowerLaw::new(2.0, 0.3),
+            PowerLaw::new(3.5, 0.31),
+            PowerLaw::new(1.2, 0.5),
+        ];
+        let measure = synthetic_measure(vec![200, 400, 300], curves, 0.2);
+        let est = CurveEstimator::fast(9).with_mode(EstimationMode::Exhaustive);
+        let full = est.estimate_detailed(3, &measure);
+        let partial = est.estimate_detailed_for(3, &[true, false, true], &measure);
+        assert!(partial[1].is_none(), "unflagged slice is skipped");
+        for s in [0, 2] {
+            let p = partial[s].as_ref().unwrap();
+            // Seeds are assigned before filtering, so the flagged slices'
+            // measured points are bit-identical to the full schedule's.
+            assert_eq!(p.points, full[s].points, "slice {s} points");
+            // Fits agree to refinement tolerance (the incremental seed
+            // differs from the batch init by streaming round-off only).
+            let (pf, ff) = (p.fit.as_ref().unwrap(), full[s].fit.as_ref().unwrap());
+            assert!((pf.b - ff.b).abs() < 1e-6 * ff.b, "{} {}", pf.b, ff.b);
+            assert!((pf.a - ff.a).abs() < 1e-6, "{} {}", pf.a, ff.a);
+        }
+    }
+
+    #[test]
+    fn partial_estimate_with_nothing_flagged_measures_nothing() {
+        let calls = AtomicUsize::new(0);
+        let measure = |_req: &MeasureRequest| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            Vec::new()
+        };
+        let est = CurveEstimator::fast(1).with_mode(EstimationMode::Exhaustive);
+        let out = est.estimate_detailed_for(2, &[false, false], &measure);
+        assert!(out.iter().all(|o| o.is_none()));
+        assert_eq!(calls.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exhaustive schedule")]
+    fn partial_estimate_rejects_amortized_mode() {
+        let measure = |_req: &MeasureRequest| Vec::new();
+        let est = CurveEstimator::fast(1);
+        let _ = est.estimate_detailed_for(2, &[true, false], &measure);
     }
 
     #[test]

@@ -39,6 +39,16 @@ pub enum CsvError {
         /// Dimensionality found on this row.
         found: usize,
     },
+    /// A slice id names a slice the target dataset does not have
+    /// (bounds-checked readers only).
+    SliceOutOfRange {
+        /// 1-based line number.
+        line: usize,
+        /// The out-of-range slice id.
+        slice: usize,
+        /// Number of slices in the target dataset.
+        num_slices: usize,
+    },
 }
 
 impl std::fmt::Display for CsvError {
@@ -59,6 +69,16 @@ impl std::fmt::Display for CsvError {
                 found,
             } => {
                 write!(f, "line {line}: {found} features, expected {expected}")
+            }
+            CsvError::SliceOutOfRange {
+                line,
+                slice,
+                num_slices,
+            } => {
+                write!(
+                    f,
+                    "line {line}: slice {slice} out of range (dataset has {num_slices} slices)"
+                )
             }
         }
     }
@@ -128,6 +148,36 @@ pub fn read_examples(text: &str) -> Result<Vec<Example>, CsvError> {
     Ok(out)
 }
 
+/// [`read_examples`] with slice ids bounds-checked against `num_slices` —
+/// the ingestion boundary for examples headed into a dataset
+/// ([`SlicedDataset::absorb`](crate::SlicedDataset::absorb) would otherwise
+/// panic on an out-of-range id that came from user-supplied CSV).
+///
+/// # Errors
+/// Returns the first [`CsvError`] encountered, including
+/// [`CsvError::SliceOutOfRange`] with the offending line.
+pub fn read_examples_bounded(text: &str, num_slices: usize) -> Result<Vec<Example>, CsvError> {
+    let examples = read_examples(text)?;
+    // Line numbers are recoverable because read_examples preserves input
+    // order and skips only blank lines.
+    let mut line = 0;
+    let mut nonblank = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty());
+    for e in &examples {
+        line = nonblank.next().map(|(i, _)| i + 1).unwrap_or(line + 1);
+        if e.slice.index() >= num_slices {
+            return Err(CsvError::SliceOutOfRange {
+                line,
+                slice: e.slice.index(),
+                num_slices,
+            });
+        }
+    }
+    Ok(examples)
+}
+
 /// Writes examples to a file.
 ///
 /// # Errors
@@ -144,6 +194,21 @@ pub fn save_examples(path: &std::path::Path, examples: &[Example]) -> std::io::R
 pub fn load_examples(path: &std::path::Path) -> std::io::Result<Vec<Example>> {
     let text = std::fs::read_to_string(path)?;
     read_examples(&text)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+}
+
+/// [`load_examples`] with slice ids bounds-checked against `num_slices`
+/// (see [`read_examples_bounded`]).
+///
+/// # Errors
+/// Propagates I/O errors; parse and bounds failures surface as
+/// [`std::io::ErrorKind::InvalidData`].
+pub fn load_examples_bounded(
+    path: &std::path::Path,
+    num_slices: usize,
+) -> std::io::Result<Vec<Example>> {
+    let text = std::fs::read_to_string(path)?;
+    read_examples_bounded(&text, num_slices)
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
 }
 
@@ -224,6 +289,28 @@ mod tests {
         save_examples(&path, &ex).unwrap();
         assert_eq!(load_examples(&path).unwrap(), ex);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bounded_reader_accepts_in_range_slices() {
+        let ex = sample();
+        let back = read_examples_bounded(&write_examples(&ex), 3).unwrap();
+        assert_eq!(back, ex);
+    }
+
+    #[test]
+    fn bounded_reader_rejects_out_of_range_slice_with_line() {
+        // sample()'s second example names slice 2; a 2-slice dataset must
+        // reject it at parse time instead of panicking later in absorb.
+        let text = format!("\n{}", write_examples(&sample()));
+        assert_eq!(
+            read_examples_bounded(&text, 2),
+            Err(CsvError::SliceOutOfRange {
+                line: 3,
+                slice: 2,
+                num_slices: 2
+            })
+        );
     }
 
     #[test]

@@ -35,11 +35,16 @@ pub mod slicing;
 pub mod splits;
 
 pub use augment::AugmentConfig;
-pub use dataset::{matrix_cache_disabled, DatasetMatrices, SliceData, SlicedDataset, SubsetRows};
+pub use dataset::{
+    matrix_cache_disabled, AbsorbError, DatasetMatrices, SliceData, SlicedDataset, SubsetRows,
+};
 pub use example::{Example, SliceId};
 pub use generator::{DatasetFamily, GaussianSliceModel, LabelCluster, SliceSpec};
 pub use image::{image_fashion, ImageFamily, ImageSliceSpec, Pattern};
-pub use io::{load_examples, read_examples, save_examples, write_examples, CsvError};
+pub use io::{
+    load_examples, load_examples_bounded, read_examples, read_examples_bounded, save_examples,
+    write_examples, CsvError,
+};
 pub use rng::{normal, seeded_rng, split_seed};
 pub use sizes::{decaying_sizes, equal_sizes};
 pub use slicing::{auto_slice, SlicingConfig, SlicingResult, SplitNode};

@@ -442,6 +442,32 @@ impl Matrix {
         }
     }
 
+    /// Appends rows from a row-major buffer, growing the matrix in place.
+    ///
+    /// An empty (`0 × 0`) matrix adopts `cols` from the first append. This
+    /// is the grow operation behind the incremental dataset snapshot:
+    /// acquired rows land below the existing stack without re-stacking it.
+    ///
+    /// # Panics
+    /// Panics if `cols == 0`, if `data.len()` is not a multiple of `cols`,
+    /// or if a non-empty matrix has a different column count.
+    pub fn append_rows(&mut self, cols: usize, data: &[f64]) {
+        assert!(cols > 0, "append_rows needs a positive column count");
+        assert_eq!(
+            data.len() % cols,
+            0,
+            "append_rows: buffer length {} is not a multiple of {cols}",
+            data.len()
+        );
+        if self.rows == 0 {
+            self.cols = cols;
+            self.data.clear();
+        }
+        assert_eq!(self.cols, cols, "append_rows: column count mismatch");
+        self.data.extend_from_slice(data);
+        self.rows += data.len() / cols;
+    }
+
     /// Adds `bias` to every row (the broadcast `+ b` of an affine layer).
     ///
     /// # Panics
@@ -571,6 +597,25 @@ mod tests {
     #[should_panic(expected = "buffer length")]
     fn from_vec_rejects_bad_length() {
         let _ = Matrix::from_vec(2, 2, vec![1.0; 5]);
+    }
+
+    #[test]
+    fn append_rows_grows_in_place() {
+        let mut m = Matrix::zeros(0, 0);
+        m.append_rows(3, &[1., 2., 3., 4., 5., 6.]);
+        assert_eq!(m, Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]));
+        m.append_rows(3, &[7., 8., 9.]);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.row(2), &[7., 8., 9.]);
+        m.append_rows(3, &[]);
+        assert_eq!(m.rows(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn append_rows_rejects_width_change() {
+        let mut m = Matrix::from_vec(1, 2, vec![1., 2.]);
+        m.append_rows(3, &[1., 2., 3.]);
     }
 
     #[test]

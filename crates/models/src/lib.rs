@@ -46,5 +46,6 @@ pub use optimizer::{LrSchedule, OptimizerKind, OptimizerState};
 pub use residual::{ResidualBlock, ResidualMlp, ResidualTrainConfig};
 pub use spec::ModelSpec;
 pub use trainer::{
-    train, train_on_examples, train_on_rows, train_validated, TrainConfig, TrainOutcome,
+    train, train_on_examples, train_on_rows, train_on_rows_warm, train_validated, TrainConfig,
+    TrainOutcome,
 };

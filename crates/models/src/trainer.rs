@@ -142,6 +142,7 @@ pub fn train_validated(
         x,
         y,
         None,
+        None,
         validation,
         input_dim,
         num_classes,
@@ -186,6 +187,52 @@ pub fn train_on_rows(
         y,
         Some(rows),
         None,
+        None,
+        input_dim,
+        num_classes,
+        spec,
+        config,
+        None,
+    )
+    .model
+}
+
+/// [`train_on_rows`] warm-started from an existing network instead of a
+/// fresh He initialization.
+///
+/// The RNG stream is still seeded from `config.seed`, but the
+/// initialization draws are skipped, so every subsequent shuffle and
+/// dropout mask differs from a cold run: warm-started results are
+/// tolerance-comparable to cold ones, never bit-comparable. That is why
+/// the tuner's warm-start flag is opt-in and gated by tolerance, while
+/// from-scratch training stays the bit-identity baseline.
+///
+/// Returns `init.clone()` untouched when `rows` is empty.
+///
+/// # Panics
+/// Panics on shape mismatches (including `init` not matching
+/// `(input_dim, spec, num_classes)`), out-of-range row ids, or
+/// out-of-range labels among the sampled rows.
+#[allow(clippy::too_many_arguments)]
+pub fn train_on_rows_warm(
+    init: &Mlp,
+    x: &Matrix,
+    y: &[usize],
+    rows: &[usize],
+    input_dim: usize,
+    num_classes: usize,
+    spec: &ModelSpec,
+    config: &TrainConfig,
+) -> Mlp {
+    if rows.is_empty() {
+        return init.clone();
+    }
+    train_core(
+        x,
+        y,
+        Some(rows),
+        Some(init),
+        None,
         input_dim,
         num_classes,
         spec,
@@ -200,11 +247,17 @@ pub fn train_on_rows(
 /// of `x` (an index indirection resolved at minibatch-gather time);
 /// `None` trains on all rows. Both paths run the identical op and RNG
 /// sequence for the same effective training set.
+///
+/// `init = Some(net)` starts from a clone of `net` instead of a fresh He
+/// initialization. The RNG is still seeded from `config.seed`, but the
+/// skipped init draws shift the stream, so warm runs are not bit-
+/// comparable to cold ones (see [`train_on_rows_warm`]).
 #[allow(clippy::too_many_arguments)]
 fn train_core(
     x: &Matrix,
     y: &[usize],
     rows: Option<&[usize]>,
+    init: Option<&Mlp>,
     validation: Option<(&Matrix, &[usize])>,
     input_dim: usize,
     num_classes: usize,
@@ -229,7 +282,27 @@ fn train_core(
     }
 
     let mut rng = seeded_rng(config.seed);
-    let mut net = Mlp::new(input_dim, &spec.hidden, num_classes, &mut rng);
+    let mut net = match init {
+        Some(m) => {
+            assert_eq!(
+                m.layers.len(),
+                spec.hidden.len() + 1,
+                "warm-start layer count mismatch"
+            );
+            assert_eq!(
+                m.layers[0].w.rows(),
+                input_dim,
+                "warm-start input dim mismatch"
+            );
+            assert_eq!(
+                m.layers.last().expect("non-empty net").b.len(),
+                num_classes,
+                "warm-start class count mismatch"
+            );
+            m.clone()
+        }
+        None => Mlp::new(input_dim, &spec.hidden, num_classes, &mut rng),
+    };
     let n = rows.map_or(x.rows(), <[usize]>::len);
     if n == 0 {
         return TrainOutcome {
@@ -787,5 +860,73 @@ mod tests {
     #[should_panic(expected = "dropout must be in [0, 1)")]
     fn rejects_dropout_of_one() {
         let _ = TrainConfig::default().with_dropout(1.0);
+    }
+
+    #[test]
+    fn warm_start_with_zero_epochs_returns_init_unchanged() {
+        let (x, y) = blobs(10, &[(-2.0, 0.0), (2.0, 0.0)], 11);
+        let mut rng = seeded_rng(77);
+        let init = Mlp::new(2, &[], 2, &mut rng);
+        let cfg = TrainConfig {
+            epochs: 0,
+            ..TrainConfig::default()
+        };
+        let rows: Vec<usize> = (0..x.rows()).collect();
+        let out = train_on_rows_warm(&init, &x, &y, &rows, 2, 2, &ModelSpec::softmax(), &cfg);
+        assert_eq!(out, init);
+    }
+
+    #[test]
+    fn warm_start_on_empty_rows_returns_init_clone() {
+        let (x, y) = blobs(5, &[(-2.0, 0.0), (2.0, 0.0)], 12);
+        let mut rng = seeded_rng(78);
+        let init = Mlp::new(2, &[], 2, &mut rng);
+        let out = train_on_rows_warm(
+            &init,
+            &x,
+            &y,
+            &[],
+            2,
+            2,
+            &ModelSpec::softmax(),
+            &TrainConfig::default(),
+        );
+        assert_eq!(out, init);
+    }
+
+    #[test]
+    fn warm_start_differs_from_cold_but_both_converge() {
+        let (x, y) = blobs(60, &[(-2.0, 0.0), (2.0, 0.0)], 13);
+        let rows: Vec<usize> = (0..x.rows()).collect();
+        let cfg = TrainConfig::default();
+        let cold = train_on_rows(&x, &y, &rows, 2, 2, &ModelSpec::softmax(), &cfg);
+        // Warm-start from the cold result: the skipped He-init draws shift
+        // the RNG stream, so the bits differ even though training data and
+        // seed are identical.
+        let warm = train_on_rows_warm(&cold, &x, &y, &rows, 2, 2, &ModelSpec::softmax(), &cfg);
+        assert_ne!(warm, cold);
+        let cold_loss = log_loss(&cold, &x, &y);
+        let warm_loss = log_loss(&warm, &x, &y);
+        assert!(cold_loss < 0.1, "cold loss {cold_loss}");
+        assert!(warm_loss < 0.1, "warm loss {warm_loss}");
+    }
+
+    #[test]
+    #[should_panic(expected = "warm-start input dim mismatch")]
+    fn warm_start_rejects_incompatible_init() {
+        let (x, y) = blobs(5, &[(-2.0, 0.0), (2.0, 0.0)], 14);
+        let mut rng = seeded_rng(79);
+        let init = Mlp::new(3, &[], 2, &mut rng);
+        let rows: Vec<usize> = (0..x.rows()).collect();
+        let _ = train_on_rows_warm(
+            &init,
+            &x,
+            &y,
+            &rows,
+            2,
+            2,
+            &ModelSpec::softmax(),
+            &TrainConfig::default(),
+        );
     }
 }

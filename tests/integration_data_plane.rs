@@ -127,7 +127,14 @@ fn snapshot_tracks_acquisitions_within_a_run() {
     let grown: usize = result.acquired.iter().sum();
     assert_eq!(after.train_x.rows(), before_rows + grown);
     assert_eq!(after.train_y.len(), before_rows + grown);
-    // And the snapshot still mirrors the example lists exactly.
+    // And the snapshot still mirrors the example lists exactly — gathered
+    // through the canonical row order, so the check also holds for the
+    // append layout incremental mode uses (ST_INCREMENTAL=1).
     let fresh = tuner.dataset().build_matrices();
-    assert_eq!(after.train_x.as_slice(), fresh.train_x.as_slice());
+    let order = after.canonical_row_order();
+    assert_eq!(order.len(), fresh.train_x.rows());
+    for (logical, &phys) in order.iter().enumerate() {
+        assert_eq!(after.train_x.row(phys), fresh.train_x.row(logical));
+        assert_eq!(after.train_y[phys], fresh.train_y[logical]);
+    }
 }
