@@ -15,8 +15,8 @@ use st_curve::{fit_power_law, CurvePoint};
 use st_data::{image_fashion, seeded_rng, Example, SliceId};
 use st_linalg::spearman;
 use st_models::{
-    examples_to_matrix, labels_of, log_loss_of, train, ConvNet, ConvTrainConfig, ImageShape,
-    ModelSpec, TrainConfig,
+    examples_to_matrix, labels_of, log_loss_of, log_loss_packed_scratch, train, ConvEvalScratch,
+    ConvNet, ConvTrainConfig, EvalScratch, ImageShape, ModelSpec, TrainConfig,
 };
 
 const SHAPE: ImageShape = ImageShape {
@@ -58,6 +58,11 @@ fn main() {
     // size — the same variance-reduction move as the paper's "draw multiple
     // curves and average them" (Section 4.1).
     let repeats = if st_bench::quick() { 2 } else { 4 };
+    // Pack each trained model once and reuse one scratch per family across
+    // every (size × repeat × slice) evaluation — the snapshot-native eval
+    // path the estimator uses (docs/kernels.md "Prepacked operands").
+    let mut mlp_scratch = EvalScratch::default();
+    let mut cnn_scratch = ConvEvalScratch::default();
     for &n in &sizes {
         let mut mlp_loss = vec![0.0; fam.num_slices()];
         let mut cnn_loss = vec![0.0; fam.num_slices()];
@@ -90,9 +95,13 @@ fn main() {
             };
             let cnn = ConvNet::train(&x, &y, SHAPE, fam.num_classes, &conv_cfg);
 
+            let mlp_packed = mlp.packed();
+            let cnn_packed = cnn.packed();
             for (s, (vx, vy)) in val_mats.iter().enumerate() {
-                mlp_loss[s] += log_loss_of(&mlp, vx, vy) / repeats as f64;
-                cnn_loss[s] += log_loss_of(&cnn, vx, vy) / repeats as f64;
+                mlp_loss[s] +=
+                    log_loss_packed_scratch(&mlp_packed, vx, vy, &mut mlp_scratch) / repeats as f64;
+                cnn_loss[s] +=
+                    cnn_packed.log_loss_scratch(vx, vy, &mut cnn_scratch) / repeats as f64;
             }
         }
         for s in 0..fam.num_slices() {

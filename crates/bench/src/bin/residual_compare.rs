@@ -14,7 +14,7 @@
 use st_bench::{rule, FamilySetup};
 use st_data::SlicedDataset;
 use st_linalg::spearman;
-use st_models::{log_loss_of, ModelSpec, ResidualMlp, ResidualTrainConfig, TrainConfig};
+use st_models::{ModelSpec, ResidualEvalScratch, ResidualMlp, ResidualTrainConfig, TrainConfig};
 
 fn main() {
     // Bench-wide kernel default: `sharded` on multi-core hosts, `simd`
@@ -127,8 +127,12 @@ fn per_slice_residual(ds: &SlicedDataset, seed: u64) -> Vec<f64> {
         ds.num_classes,
         &cfg,
     );
+    // Pack the trained trunk once and evaluate every slice through the
+    // snapshot-native view with a single reused scratch.
+    let packed = model.packed();
+    let mut scratch = ResidualEvalScratch::default();
     (0..ds.num_slices())
-        .map(|s| log_loss_of(&model, &dense.val_x[s], &dense.val_y[s]))
+        .map(|s| packed.log_loss_scratch(&dense.val_x[s], &dense.val_y[s], &mut scratch))
         .collect()
 }
 

@@ -1,7 +1,8 @@
 //! Perf-trend reporter: folds the machine-readable bench artifacts of the
 //! current build — `BENCH_pipeline.json` (per-phase timings + data-plane /
-//! prepacked gate readings) and, when present, `BENCH_kernels.json`
-//! (kernel-gate speedups) — into an append-only `BENCH_trend.json` keyed
+//! batched / prepacked / incremental gate readings) and, when present,
+//! `BENCH_kernels.json` (kernel-gate speedups + the batched-vs-looped
+//! small-shape group) — into an append-only `BENCH_trend.json` keyed
 //! by commit, so the perf trajectory across commits lives in one artifact
 //! (schema in `docs/profiling.md`).
 //!
@@ -104,11 +105,12 @@ fn main() {
     let quick = pipeline.contains("\"quick\": true");
 
     let phase = |name: &str| num_after(&pipeline, &format!("\"name\": \"{name}\", \"ms\": "));
-    // `incremental` appears from pipeline schema 3 on; older artifacts
-    // fold in with a null for it.
+    // `incremental` appears from pipeline schema 3 on and `batched` from
+    // schema 4; older artifacts fold in with nulls for them.
     let phase_names = [
         "data_gen",
         "training",
+        "batched",
         "curve_fit",
         "solver",
         "full_trial",
@@ -150,6 +152,13 @@ fn main() {
         num_after(&pipeline, "\"total_ms\": "),
         ",",
     );
+    // Gated-but-overlapping phase total (pipeline schema 4+).
+    write_num(
+        &mut entry,
+        "gated_phases_ms",
+        num_after(&pipeline, "\"gated_phases_ms\": "),
+        ",",
+    );
     write_num(
         &mut entry,
         "data_plane_training_speedup",
@@ -167,6 +176,17 @@ fn main() {
         "prepacked_speedup",
         pipeline
             .find("\"prepacked\": {")
+            .and_then(|at| num_after(&pipeline[at..], "\"speedup\": ")),
+        ",",
+    );
+    // Batched-plane gate reading (pipeline schema 4+). The `"batched": {`
+    // needle skips past the phase entry (`"name": "batched", "ms": …`)
+    // because only the gate block opens an object under that key.
+    write_num(
+        &mut entry,
+        "batched_speedup",
+        pipeline
+            .find("\"batched\": {")
             .and_then(|at| num_after(&pipeline[at..], "\"speedup\": ")),
         ",",
     );
@@ -202,8 +222,23 @@ fn main() {
                 &mut entry,
                 "kernels_sharded_speedup",
                 num_after(k, "\"sharded_speedup\": "),
-                "",
+                ",",
             );
+            // Batched-vs-looped small-shape group (kernels schema 2+):
+            // per-backend one-call-over-loop ratios.
+            let group = k.find("\"batched_group\": {");
+            for (i, backend) in ["naive", "blocked", "simd", "sharded", "fast"]
+                .iter()
+                .enumerate()
+            {
+                let comma = if i + 1 < 5 { "," } else { "" };
+                write_num(
+                    &mut entry,
+                    &format!("kernels_batched_{backend}_speedup"),
+                    group.and_then(|at| num_after(&k[at..], &format!("\"{backend}\": "))),
+                    comma,
+                );
+            }
         }
         None => {
             let _ = writeln!(entry, "      \"kernels\": null");
@@ -238,18 +273,19 @@ fn main() {
     let entries = trend.matches("\"commit\": ").count();
     println!("appended commit {commit} to {trend_path} ({entries} entries)");
     println!(
-        "{:<12} {:>10} {:>10} {:>10} {:>10} {:>11}",
-        "commit", "total_ms", "train_dp", "trial_dp", "prepacked", "incremental"
+        "{:<12} {:>10} {:>10} {:>10} {:>9} {:>10} {:>11}",
+        "commit", "total_ms", "train_dp", "trial_dp", "batched", "prepacked", "incremental"
     );
     for chunk in trend.split("    {").skip(1) {
         let c = str_after(chunk, "\"commit\": \"").unwrap_or_else(|| "?".into());
         let fmt = |v: Option<f64>| v.map_or("-".into(), |x| format!("{x:.2}"));
         println!(
-            "{:<12} {:>10} {:>10} {:>10} {:>10} {:>11}",
+            "{:<12} {:>10} {:>10} {:>10} {:>9} {:>10} {:>11}",
             c,
             fmt(num_after(chunk, "\"total_ms\": ")),
             fmt(num_after(chunk, "\"data_plane_training_speedup\": ")),
             fmt(num_after(chunk, "\"data_plane_full_trial_speedup\": ")),
+            fmt(num_after(chunk, "\"batched_speedup\": ")),
             fmt(num_after(chunk, "\"prepacked_speedup\": ")),
             fmt(num_after(chunk, "\"incremental_speedup\": ")),
         );

@@ -79,4 +79,4 @@ pub use strategy::{
 pub use trials::{
     ensure_deterministic_kernel, plan_thread_budget, run_trials_parallel, ThreadBudget,
 };
-pub use tuner::{RunResult, SliceTuner, TunerConfig};
+pub use tuner::{batch_plane_names, RunResult, SliceTuner, TunerConfig};

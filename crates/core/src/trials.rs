@@ -204,6 +204,7 @@ mod tests {
     use crate::cache::CurveCache;
     use crate::runner::run_trials;
     use crate::tuner::TunerConfig;
+    use st_curve::EstimationMode;
     use st_data::families::census;
     use st_models::ModelSpec;
 
@@ -267,6 +268,36 @@ mod tests {
             )
         };
         assert_bit_identical(&run(1), &run(8));
+    }
+
+    /// The batched estimation plane must leave trial aggregates untouched:
+    /// batched and sequential planes aggregate bit-identically in both
+    /// estimation modes and at any `--jobs` count.
+    #[test]
+    fn batched_plane_aggregates_match_sequential_at_any_jobs() {
+        let fam = census();
+        let run = |batched: bool, mode: EstimationMode, jobs: usize| {
+            let mut cfg = quick_config().with_mode(mode);
+            cfg.repeats = 2; // groups of ≥ 2 engage lockstep training
+            cfg.batched_plane = batched;
+            run_trials_parallel(
+                &fam,
+                &[40; 4],
+                50,
+                120.0,
+                Strategy::Iterative(crate::strategy::TSchedule::moderate()),
+                &cfg,
+                3,
+                jobs,
+            )
+        };
+        for mode in [EstimationMode::Amortized, EstimationMode::Exhaustive] {
+            let batched = run(true, mode, 1);
+            for jobs in [1usize, 2] {
+                assert_bit_identical(&batched, &run(false, mode, jobs));
+                assert_bit_identical(&batched, &run(true, mode, jobs));
+            }
+        }
     }
 
     /// A shared curve cache must not perturb results: cached and uncached

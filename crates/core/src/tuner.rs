@@ -86,6 +86,20 @@ pub struct TunerConfig {
     /// `pipeline` bench's incremental gate compares against: identical
     /// math, none of the skipping. Off by default.
     pub incremental_refit_all: bool,
+    /// Batched estimation plane: one estimation round's same-shape subset
+    /// trainings are grouped ([`st_curve::BatchedTrainPlan`]) and run in
+    /// lockstep through the batched GEMM family
+    /// (`st_models::train_on_rows_batched`), and the trained group is
+    /// evaluated through one stacked-weight product per validation matrix
+    /// (`st_models::MultiEval`) instead of one narrow product per model.
+    /// Bit-identical per request to the sequential plane — batching is an
+    /// execution strategy, not a different schedule — which the `pipeline`
+    /// bench's `batched` gate asserts. Engaged only on the dense data
+    /// plane's full schedule (the per-call gather baseline, partial
+    /// incremental re-estimation, and warm-started rounds keep the
+    /// sequential path). Defaults to on; `ST_BATCH=0` in the environment
+    /// opts default-constructed configs out (the CI baseline leg).
+    pub batched_plane: bool,
 }
 
 /// `ST_INCREMENTAL=1` opts every default-constructed [`TunerConfig`] into
@@ -93,6 +107,35 @@ pub struct TunerConfig {
 fn incremental_env_default() -> bool {
     static FLAG: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
     *FLAG.get_or_init(|| std::env::var("ST_INCREMENTAL").is_ok_and(|v| v == "1"))
+}
+
+/// The list of valid `ST_BATCH` values, for the unknown-value warning and
+/// usage strings — the `st_linalg::kernel_names()` of the batched-plane
+/// toggle.
+pub fn batch_plane_names() -> &'static str {
+    "0 | 1"
+}
+
+/// `ST_BATCH=0` opts every default-constructed [`TunerConfig`] out of the
+/// batched estimation plane, pinning the sequential bit-identity baseline
+/// (the CI matrix's `ST_BATCH=0` leg). `ST_BATCH=1` and an unset variable
+/// keep the default. A silent typo here would let CI green-light a plane it
+/// never ran, so unknown values warn like unknown `ST_KERNEL` /
+/// `ST_SIMD_FORCE` values do, listing the accepted settings.
+fn batched_env_default() -> bool {
+    static FLAG: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *FLAG.get_or_init(|| match std::env::var("ST_BATCH") {
+        Ok(v) if v == "0" => false,
+        Ok(v) if v == "1" => true,
+        Ok(other) => {
+            eprintln!(
+                "warning: unknown ST_BATCH '{other}', using the batched plane (valid values: {})",
+                batch_plane_names()
+            );
+            true
+        }
+        Err(_) => true,
+    })
 }
 
 impl TunerConfig {
@@ -116,6 +159,7 @@ impl TunerConfig {
             incremental: incremental_env_default(),
             warm_start: false,
             incremental_refit_all: false,
+            batched_plane: batched_env_default(),
         }
     }
 
@@ -182,6 +226,14 @@ impl TunerConfig {
     /// [`TunerConfig::incremental_refit_all`]).
     pub fn with_incremental_refit_all(mut self) -> Self {
         self.incremental_refit_all = true;
+        self
+    }
+
+    /// Forces the estimator onto the sequential (one training per
+    /// `measure` call) plane, the bit-identity baseline the batched plane
+    /// is gated against (see [`TunerConfig::batched_plane`]).
+    pub fn with_sequential_plane(mut self) -> Self {
+        self.batched_plane = false;
         self
     }
 }
@@ -477,6 +529,17 @@ impl<'a, S: AcquisitionSource> SliceTuner<'a, S> {
         if self.config.per_call_gather {
             return self.run_estimator_per_call(estimator, targets);
         }
+        // The batched plane covers the dense data plane's *full* schedule:
+        // a partial (incremental) round re-measures sparse request subsets
+        // whose grouping rarely pays, and warm starts give each model a
+        // different initial network, which breaks the lockstep precondition.
+        if self.config.batched_plane && targets.is_none() && warm.is_none() {
+            return self
+                .run_estimator_batched(estimator)
+                .into_iter()
+                .map(Some)
+                .collect();
+        }
         let n = self.ds.num_slices();
         let ds = &self.ds;
         let dense = self.ds.matrices();
@@ -570,6 +633,116 @@ impl<'a, S: AcquisitionSource> SliceTuner<'a, S> {
         };
 
         schedule(estimator, n, targets, &measure)
+    }
+
+    /// The batched estimation plane ([`TunerConfig::batched_plane`]): the
+    /// round's requests are grouped into same-shape batches by an RNG-free
+    /// shape key (the exact `take` formulas of the dense snapshot's subset
+    /// samplers, so every request in a group trains on the same subset
+    /// length), each group's models train in lockstep through the batched
+    /// GEMM family, and the whole group is evaluated with one
+    /// stacked-weight product per validation matrix. Subset sampling, seed
+    /// derivation, and loss arithmetic are identical to the sequential
+    /// `measure` closure — per request the returned measurements match the
+    /// sequential plane bit for bit (`train_on_rows_batched` and
+    /// `MultiEval` each carry their own bit-identity contract and tests).
+    fn run_estimator_batched(&self, estimator: &CurveEstimator) -> Vec<st_curve::SliceEstimate> {
+        let n = self.ds.num_slices();
+        let ds = &self.ds;
+        let dense = self.ds.matrices();
+        let spec = &self.config.spec;
+        let train_cfg = &self.config.train;
+        let counter = &self.trainings;
+
+        let slice_lens: Vec<usize> = (0..n).map(|s| dense.slice_len(s)).collect();
+        let total_rows: usize = slice_lens.iter().sum();
+        let key = move |req: &MeasureRequest| -> u64 {
+            match req.target_slice {
+                // Joint subsets: total predicted length, per slice
+                // `round(n·frac).clamp(1, n)` for non-empty slices (a zero
+                // fraction samples nothing at all).
+                None => {
+                    if req.frac == 0.0 {
+                        return 0;
+                    }
+                    slice_lens
+                        .iter()
+                        .filter(|&&l| l > 0)
+                        .map(|&l| ((l as f64 * req.frac).round() as usize).clamp(1, l) as u64)
+                        .sum()
+                }
+                // Exhaustive subsets: every other slice rides whole, so the
+                // length is determined by (target, take); tag the target in
+                // the high bits to keep distinct val-set groups apart.
+                Some(s) => {
+                    let len = slice_lens[s];
+                    let k = ((len as f64 * req.frac).round() as usize).clamp(1, len.max(1));
+                    let take = (k.min(len) + total_rows - len) as u64;
+                    ((s as u64 + 1) << 40) | take
+                }
+            }
+        };
+
+        let measure = move |group: &[MeasureRequest]| -> Vec<Vec<SliceLossMeasurement>> {
+            // Per-request subset sampling with the sequential plane's exact
+            // seed streams — grouping must not perturb a single RNG draw.
+            let subsets: Vec<st_data::SubsetRows> = group
+                .iter()
+                .map(|req| match req.target_slice {
+                    None => {
+                        dense.joint_subset_rows(req.frac, &mut seeded_rng(split_seed(req.seed, 0)))
+                    }
+                    Some(s) => {
+                        let len = dense.slice_len(s);
+                        let k = ((len as f64 * req.frac).round() as usize).clamp(1, len.max(1));
+                        let mut rng = seeded_rng(split_seed(req.seed, 1));
+                        dense.exhaustive_subset_rows(SliceId(s), k, &mut rng)
+                    }
+                })
+                .collect();
+            let configs: Vec<TrainConfig> = group
+                .iter()
+                .map(|req| train_cfg.with_seed(split_seed(req.seed, 2)))
+                .collect();
+            let row_sets: Vec<&[usize]> = subsets.iter().map(|s| s.rows.as_slice()).collect();
+            let models = st_models::train_on_rows_batched(
+                &dense.train_x,
+                &dense.train_y,
+                &row_sets,
+                ds.feature_dim,
+                ds.num_classes,
+                spec,
+                &configs,
+            );
+            counter.fetch_add(group.len(), Ordering::Relaxed);
+
+            // Stacked evaluation: every model in the group scores a slice's
+            // validation matrix through one wide product instead of one
+            // narrow product each.
+            let multi = st_models::MultiEval::new(&models);
+            let mut scratch = st_models::MultiEvalScratch::default();
+            let mut out: Vec<Vec<SliceLossMeasurement>> = vec![Vec::new(); group.len()];
+            let mut eval_slice = |s: usize, out: &mut Vec<Vec<SliceLossMeasurement>>| {
+                let losses = multi.losses(&dense.val_x[s], &dense.val_y[s], &mut scratch);
+                for (r, &loss) in losses.iter().enumerate() {
+                    out[r].push(SliceLossMeasurement {
+                        slice: s,
+                        n: subsets[r].per_slice[s],
+                        loss,
+                    });
+                }
+            };
+            match group[0].target_slice {
+                // Amortized: each training informs every slice's curve,
+                // slices ascending like the sequential closure.
+                None => (0..n).for_each(|s| eval_slice(s, &mut out)),
+                // Exhaustive: the shape key pins one target per group.
+                Some(s) => eval_slice(s, &mut out),
+            }
+            out
+        };
+
+        estimator.estimate_detailed_batched(n, &key, &measure)
     }
 
     /// The PR-4 estimation data plane, kept as the bit-identity baseline:
@@ -962,6 +1135,67 @@ mod tests {
                 let (df, lf) = (d.fit.as_ref().unwrap(), l.fit.as_ref().unwrap());
                 assert_eq!(df.a.to_bits(), lf.a.to_bits(), "{mode:?} fit a");
                 assert_eq!(df.b.to_bits(), lf.b.to_bits(), "{mode:?} fit b");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_plane_matches_sequential_bitwise() {
+        // The batched plane is an execution strategy: lockstep-trained
+        // groups and stacked evaluation must reproduce the sequential
+        // plane's measurements and fits bit for bit, in both schedules and
+        // regardless of the sequential plane's estimator thread count.
+        let fam = census();
+        let run = |batched: bool, mode: EstimationMode, threads: usize| {
+            let ds = SlicedDataset::generate(&fam, &[80, 40, 60, 20], 50, 18);
+            let mut src = PoolSource::new(fam.clone(), 172);
+            let mut cfg = quick_config().with_seed(11).with_mode(mode);
+            cfg.repeats = 2; // groups of ≥ 2 engage lockstep training
+            cfg.batched_plane = batched;
+            cfg.threads = threads;
+            let tuner = SliceTuner::new(ds, &mut src, cfg);
+            let est = tuner.estimate_curves_detailed(4);
+            (est, tuner.trainings())
+        };
+        for mode in [EstimationMode::Amortized, EstimationMode::Exhaustive] {
+            let (batched, tb) = run(true, mode, 1);
+            for threads in [1usize, 2] {
+                let (seq, ts) = run(false, mode, threads);
+                assert_eq!(tb, ts, "{mode:?} training counts");
+                assert_eq!(batched.len(), seq.len());
+                for (s, (b, q)) in batched.iter().zip(&seq).enumerate() {
+                    assert_eq!(b.points.len(), q.points.len(), "{mode:?} slice {s}");
+                    for (bp, qp) in b.points.iter().zip(&q.points) {
+                        assert_eq!(bp.n.to_bits(), qp.n.to_bits(), "{mode:?} subset count");
+                        assert_eq!(bp.loss.to_bits(), qp.loss.to_bits(), "{mode:?} loss");
+                    }
+                    let (bf, qf) = (b.fit.as_ref().unwrap(), q.fit.as_ref().unwrap());
+                    assert_eq!(bf.a.to_bits(), qf.a.to_bits(), "{mode:?} fit a");
+                    assert_eq!(bf.b.to_bits(), qf.b.to_bits(), "{mode:?} fit b");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_plane_matches_sequential_on_deep_models() {
+        // Deep group members route MultiEval through the per-model
+        // fallback (no stacked head); the contract is the same.
+        let fam = census();
+        let run = |batched: bool| {
+            let ds = SlicedDataset::generate(&fam, &[60, 30, 45, 25], 40, 19);
+            let mut src = PoolSource::new(fam.clone(), 173);
+            let mut cfg = quick_config().with_seed(13);
+            cfg.spec = ModelSpec::small();
+            cfg.repeats = 2;
+            cfg.batched_plane = batched;
+            let tuner = SliceTuner::new(ds, &mut src, cfg);
+            tuner.estimate_curves_detailed(2)
+        };
+        for (b, q) in run(true).iter().zip(&run(false)) {
+            assert_eq!(b.points.len(), q.points.len());
+            for (bp, qp) in b.points.iter().zip(&q.points) {
+                assert_eq!(bp.loss.to_bits(), qp.loss.to_bits());
             }
         }
     }

@@ -51,6 +51,59 @@ pub struct MeasureRequest {
 /// target slice's measurement — any extras are ignored.
 pub type TrainEvalFn<'a> = dyn Fn(&MeasureRequest) -> Vec<SliceLossMeasurement> + Sync + 'a;
 
+/// The batched measurement callback: train one same-shape group of requests
+/// together (lockstep batched training, stacked evaluation) and return one
+/// measurement vector per request, **in the group's request order**. Each
+/// element must equal what the sequential [`TrainEvalFn`] would have
+/// returned for that request — the batched plane is an execution strategy,
+/// not a different schedule.
+pub type TrainEvalBatchFn<'a> =
+    dyn Fn(&[MeasureRequest]) -> Vec<Vec<SliceLossMeasurement>> + Sync + 'a;
+
+/// One estimation round's requests grouped into same-shape training batches.
+///
+/// Batched training (`st_models::train_on_rows_batched`) runs models in
+/// lockstep only when every model sees the same subset length and a config
+/// identical up to the seed, so the plan groups requests by a caller-supplied
+/// *shape key*. The key must be RNG-free — derived from the request fields
+/// (fraction, target slice) plus static dataset counts only — so planning
+/// costs nothing and cannot perturb the seed stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchedTrainPlan {
+    groups: Vec<Vec<usize>>,
+}
+
+impl BatchedTrainPlan {
+    /// Builds the plan: request indices grouped by equal `key`, groups in
+    /// first-occurrence order, indices ascending within each group. Every
+    /// request lands in exactly one group.
+    pub fn build(requests: &[MeasureRequest], key: &dyn Fn(&MeasureRequest) -> u64) -> Self {
+        let mut order: Vec<u64> = Vec::new();
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        for (i, req) in requests.iter().enumerate() {
+            let k = key(req);
+            match order.iter().position(|&o| o == k) {
+                Some(g) => groups[g].push(i),
+                None => {
+                    order.push(k);
+                    groups.push(vec![i]);
+                }
+            }
+        }
+        BatchedTrainPlan { groups }
+    }
+
+    /// The request-index groups, in first-occurrence order.
+    pub fn groups(&self) -> &[Vec<usize>] {
+        &self.groups
+    }
+
+    /// Total number of requests covered.
+    pub fn num_requests(&self) -> usize {
+        self.groups.iter().map(Vec::len).sum()
+    }
+}
+
 /// Scheduling mode for curve estimation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EstimationMode {
@@ -159,6 +212,61 @@ impl CurveEstimator {
 
         let requests = self.build_requests(num_slices);
         let results = run_parallel(&requests, measure, self.effective_threads());
+        let points = self.group_points(num_slices, &requests, &results);
+
+        points
+            .into_iter()
+            .map(|per_rep| fold_estimate(per_rep, &fit_power_law))
+            .collect()
+    }
+
+    /// [`estimate_detailed`](Self::estimate_detailed) through a *batched*
+    /// measurement function.
+    ///
+    /// The full request schedule is built exactly as in the sequential path
+    /// (same stream-counter seeds), grouped into same-shape batches via
+    /// [`BatchedTrainPlan::build`] with the caller's shape `key`, and each
+    /// group is handed to `measure` whole. Results are scattered back into
+    /// request order before the (unchanged) point grouping and fitting, so
+    /// a batched measurement function whose per-request results match the
+    /// sequential [`TrainEvalFn`] bit-for-bit yields bit-identical
+    /// estimates. Groups run one after another: the batched kernels inside
+    /// the measurement function are the parallelism.
+    ///
+    /// # Panics
+    /// Panics if `fractions` is empty, `repeats == 0`, or `measure` returns
+    /// a result count different from its group size.
+    pub fn estimate_detailed_batched(
+        &self,
+        num_slices: usize,
+        key: &dyn Fn(&MeasureRequest) -> u64,
+        measure: &TrainEvalBatchFn<'_>,
+    ) -> Vec<SliceEstimate> {
+        assert!(
+            !self.fractions.is_empty(),
+            "need at least one subset fraction"
+        );
+        assert!(self.repeats > 0, "need at least one repeat");
+
+        let requests = self.build_requests(num_slices);
+        let plan = BatchedTrainPlan::build(&requests, key);
+        let mut slots: Vec<Option<Vec<SliceLossMeasurement>>> = vec![None; requests.len()];
+        for group in plan.groups() {
+            let batch: Vec<MeasureRequest> = group.iter().map(|&i| requests[i]).collect();
+            let out = measure(&batch);
+            assert_eq!(
+                out.len(),
+                batch.len(),
+                "batched measure must return one result per request"
+            );
+            for (&i, r) in group.iter().zip(out) {
+                slots[i] = Some(r);
+            }
+        }
+        let results: Vec<Vec<SliceLossMeasurement>> = slots
+            .into_iter()
+            .map(|r| r.expect("every request measured"))
+            .collect();
         let points = self.group_points(num_slices, &requests, &results);
 
         points
@@ -563,6 +671,68 @@ mod tests {
         let measure = |_req: &MeasureRequest| Vec::new();
         let est = CurveEstimator::fast(1);
         let _ = est.estimate_detailed_for(2, &[true, false], &measure);
+    }
+
+    #[test]
+    fn batched_plan_partitions_requests_in_first_occurrence_order() {
+        let est = CurveEstimator::fast(3).with_mode(EstimationMode::Exhaustive);
+        let requests = est.build_requests(2);
+        // Key on (target slice, fraction bucket) — an RNG-free shape proxy.
+        let key = |r: &MeasureRequest| {
+            (r.target_slice.unwrap() as u64) << 32 | (r.frac * 10.0).round() as u64
+        };
+        let plan = BatchedTrainPlan::build(&requests, &key);
+        assert_eq!(plan.num_requests(), requests.len());
+        // Every index appears exactly once.
+        let mut seen = vec![false; requests.len()];
+        for g in plan.groups() {
+            assert!(!g.is_empty());
+            for w in g.windows(2) {
+                assert!(w[0] < w[1], "indices ascend within a group");
+            }
+            for &i in g {
+                assert!(!seen[i], "request {i} grouped twice");
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+        // fast() = 5 fractions × 2 slices distinct keys; repeats collapse in.
+        assert_eq!(plan.groups().len(), 10);
+        assert!(plan.groups().iter().all(|g| g.len() == est.repeats));
+        // Groups appear in the order their key first occurs in the schedule.
+        let firsts: Vec<usize> = plan.groups().iter().map(|g| g[0]).collect();
+        assert!(firsts.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn batched_estimate_matches_sequential_bitwise() {
+        let curves = vec![PowerLaw::new(2.0, 0.3), PowerLaw::new(3.5, 0.31)];
+        for mode in [EstimationMode::Amortized, EstimationMode::Exhaustive] {
+            let measure = synthetic_measure(vec![200, 400], curves.clone(), 0.2);
+            let est = CurveEstimator::fast(9).with_mode(mode);
+            let seq = est.estimate_detailed(2, &measure);
+            // Batched twin delegating per request — exercises the plan,
+            // scatter, and fold plumbing around the same measurements.
+            let key = |r: &MeasureRequest| {
+                let s = r.target_slice.map_or(u64::MAX, |s| s as u64);
+                s << 8 | (r.frac * 10.0).round() as u64
+            };
+            let batched = est
+                .estimate_detailed_batched(2, &key, &|group| group.iter().map(&measure).collect());
+            for (s, (a, b)) in seq.iter().zip(&batched).enumerate() {
+                assert_eq!(a.points, b.points, "mode {mode:?} slice {s} points");
+                let (af, bf) = (a.fit.as_ref().unwrap(), b.fit.as_ref().unwrap());
+                assert_eq!(af.b.to_bits(), bf.b.to_bits());
+                assert_eq!(af.a.to_bits(), bf.a.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one result per request")]
+    fn batched_estimate_rejects_short_group_results() {
+        let est = CurveEstimator::fast(1);
+        let _ = est.estimate_detailed_batched(1, &|_| 0, &|_group| Vec::new());
     }
 
     #[test]

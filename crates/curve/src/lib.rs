@@ -30,8 +30,8 @@ pub mod zoo;
 
 pub use bands::{bootstrap_curve, CurveBands};
 pub use estimator::{
-    CurveEstimator, EstimationMode, MeasureRequest, SliceEstimate, SliceLossMeasurement,
-    TrainEvalFn,
+    BatchedTrainPlan, CurveEstimator, EstimationMode, MeasureRequest, SliceEstimate,
+    SliceLossMeasurement, TrainEvalBatchFn, TrainEvalFn,
 };
 pub use fit::{
     fit_power_law, fit_power_law_seeded, fit_power_law_with_floor, log_space_seed, FitError,

@@ -54,6 +54,13 @@ const TB: usize = 32;
 /// Panel width of the SIMD kernels: eight output columns per packed group
 /// (one 512-bit vector, or two 256-bit vectors).
 const SPW: usize = 8;
+/// Widest output-column panel any backend packs (the SIMD kernels' [`SPW`]).
+/// Batched-GEMM callers can consult this to predict whether a product's
+/// columns will fill a panel: products narrower than this under-fill every
+/// panel no matter how many are batched per call (batching preserves the
+/// per-product packing to stay bit-identical), so batching them saves only
+/// dispatch overhead — see `st_models::train_on_rows_batched`.
+pub const MAX_PANEL_WIDTH: usize = SPW;
 /// Panel-block byte budget of the SIMD kernels. Larger than
 /// [`PANEL_BLOCK_BYTES`]: the explicit micro-kernels stream `A` once per
 /// block, so on the bigger L2 of AVX-512-era cores a wider resident set
@@ -179,6 +186,20 @@ fn bias_rows(n: usize, bias: &[f64], out: &mut [f64]) {
     }
 }
 
+/// Clamps every element of `out` at zero from below, exactly like the
+/// model stack's separate ReLU pass (`if v < 0.0 { 0.0 }` — `-0.0` and
+/// `NaN` pass through untouched): the shared unfused epilogue of the
+/// `Raw`-layout and `k == 0` fused-ReLU paths. The vector micro-kernels
+/// mirror this comparison with a `< 0` blend, **not** a `max`, so the
+/// fused and separate passes agree on every bit pattern.
+fn relu_rows(out: &mut [f64]) {
+    for v in out {
+        if *v < 0.0 {
+            *v = 0.0;
+        }
+    }
+}
+
 /// Pointer to `bias[j0]` for the vector micro-kernels, or null when no
 /// bias epilogue is requested (the micro-kernels branch on null once per
 /// tile, not per element).
@@ -192,6 +213,25 @@ unsafe fn bias_ptr(bias: Option<&[f64]>, j0: usize) -> *const f64 {
         Some(b) => b.as_ptr().add(j0),
         None => std::ptr::null(),
     }
+}
+
+/// Selects product `i`'s operand from a batched operand list: a length-1
+/// list is broadcast (the shared operand every product reuses), any other
+/// length is indexed per product.
+fn batched_operand<'a, T: ?Sized>(xs: &[&'a T], i: usize) -> &'a T {
+    xs[if xs.len() == 1 { 0 } else { i }]
+}
+
+/// Validates a batched operand list length: `1` (shared/broadcast) or
+/// exactly `batch` (per-product).
+///
+/// # Panics
+/// Panics on any other length.
+fn check_batched_len(what: &str, len: usize, batch: usize) {
+    assert!(
+        len == 1 || len == batch,
+        "batched {what} operand count mismatch: {len} operands for batch {batch}"
+    );
 }
 
 /// The dense compute primitives every backend must provide.
@@ -408,6 +448,215 @@ pub trait GemmBackend: Send + Sync {
         }
     }
 
+    /// [`gemm_prepacked_bias`](Self::gemm_prepacked_bias) with a **fused
+    /// ReLU epilogue** appended after the bias: `out = relu(out + a·B +
+    /// bias)` — the hidden-layer forward `relu(X·W + b)` in one pass.
+    ///
+    /// **Bit identity.** The packed cores store each output element
+    /// exactly once, so clamping at the write-back reads the same value a
+    /// separate ReLU pass would read; the clamp itself is the separate
+    /// pass's `< 0` comparison (see [`relu_rows`] — `-0.0` and `NaN`
+    /// survive untouched, a vector `max` would flip them). The fused call
+    /// is therefore `to_bits`-identical to `gemm_prepacked_bias` followed
+    /// by `relu_rows` on every deterministic backend (proptested).
+    /// Multi-store paths (`Raw` pack-on-call, `k == 0`) run the unfused
+    /// passes in that exact order instead.
+    ///
+    /// # Panics
+    /// Panics when the handle's shape does not match `(k, n)` or
+    /// `bias.len() != n`.
+    #[allow(clippy::too_many_arguments)]
+    fn gemm_prepacked_bias_relu(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f64],
+        pb: &PackedB,
+        bias: &[f64],
+        out: &mut [f64],
+    ) {
+        assert_eq!((pb.k, pb.n), (k, n), "prepacked B shape mismatch");
+        assert_eq!(bias.len(), n, "bias length mismatch");
+        debug_assert_eq!(a.len(), m * k);
+        debug_assert_eq!(out.len(), m * n);
+        if m == 0 || n == 0 {
+            return;
+        }
+        if k == 0 {
+            bias_rows(n, bias, out);
+            relu_rows(out);
+            return;
+        }
+        match pb.layout {
+            PackLayout::Raw => {
+                self.gemm(m, k, n, a, &pb.data, out);
+                bias_rows(n, bias, out);
+                relu_rows(out);
+            }
+            PackLayout::Panels4 => {
+                BlockedKernel::packed_gemm_bias_relu(m, k, n, a, &pb.data, bias, out)
+            }
+            PackLayout::Panels8 => {
+                SimdKernel::packed_gemm_bias_relu(m, k, n, a, &pb.data, bias, out)
+            }
+        }
+    }
+
+    // ---- The batched product API --------------------------------------
+    //
+    // One call, many independent same-shape products. Operand lists are
+    // broadcast-or-per-product: a length-1 list is the shared operand
+    // every product reuses (the shared-A / shared-B cases), a
+    // length-`batch` list gives each product its own operand (the
+    // block-diagonal case). `outs.len()` fixes the batch. Every product
+    // keeps its own per-element ascending-`k` accumulation chains, so a
+    // batched call is bit-identical to the `batch` sequential single
+    // calls it replaces on every deterministic backend (proptested) —
+    // batching only changes which product's elements interleave and how
+    // often operands are re-packed, never any summation chain. The
+    // default implementations are exactly that sequential loop (what
+    // `naive`/`blocked`/`fast` use); the packing backends override the
+    // hot entries to hoist shared packs out of the loop, reuse one panel
+    // allocation across the whole batch, and (`sharded`) fan products —
+    // not rows — over the worker pool.
+
+    /// Batched [`gemm`](Self::gemm): `outs[i] += a⟨i⟩ · b⟨i⟩` for every
+    /// product `i`, where `⟨i⟩` broadcasts length-1 operand lists.
+    fn gemm_batched(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[&[f64]],
+        b: &[&[f64]],
+        outs: &mut [&mut [f64]],
+    ) {
+        let batch = outs.len();
+        check_batched_len("A", a.len(), batch);
+        check_batched_len("B", b.len(), batch);
+        for (i, out) in outs.iter_mut().enumerate() {
+            self.gemm(m, k, n, batched_operand(a, i), batched_operand(b, i), out);
+        }
+    }
+
+    /// Batched [`gemm_nt`](Self::gemm_nt): `outs[i] += a⟨i⟩ · bt⟨i⟩ᵀ`.
+    fn gemm_batched_nt(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[&[f64]],
+        bt: &[&[f64]],
+        outs: &mut [&mut [f64]],
+    ) {
+        let batch = outs.len();
+        check_batched_len("A", a.len(), batch);
+        check_batched_len("Bᵀ", bt.len(), batch);
+        for (i, out) in outs.iter_mut().enumerate() {
+            self.gemm_nt(m, k, n, batched_operand(a, i), batched_operand(bt, i), out);
+        }
+    }
+
+    /// Batched [`gemm_tn`](Self::gemm_tn): `outs[i] += a⟨i⟩ᵀ · b⟨i⟩`
+    /// (each `outs[i]` is `k×n`).
+    fn gemm_batched_tn(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[&[f64]],
+        b: &[&[f64]],
+        outs: &mut [&mut [f64]],
+    ) {
+        let batch = outs.len();
+        check_batched_len("A", a.len(), batch);
+        check_batched_len("B", b.len(), batch);
+        for (i, out) in outs.iter_mut().enumerate() {
+            self.gemm_tn(m, k, n, batched_operand(a, i), batched_operand(b, i), out);
+        }
+    }
+
+    /// Batched [`gemm_prepacked`](Self::gemm_prepacked): every product's
+    /// `B` is already packed (the estimator packs each model's weights
+    /// once per optimizer step), so the batch walk adds no pack work at
+    /// all — it amortizes the per-call dispatch and keeps a shared `a`
+    /// hot across products.
+    fn gemm_batched_prepacked(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[&[f64]],
+        pbs: &[&PackedB],
+        outs: &mut [&mut [f64]],
+    ) {
+        let batch = outs.len();
+        check_batched_len("A", a.len(), batch);
+        check_batched_len("packed B", pbs.len(), batch);
+        for (i, out) in outs.iter_mut().enumerate() {
+            self.gemm_prepacked(m, k, n, batched_operand(a, i), batched_operand(pbs, i), out);
+        }
+    }
+
+    /// Batched [`gemm_prepacked_bias`](Self::gemm_prepacked_bias).
+    #[allow(clippy::too_many_arguments)]
+    fn gemm_batched_prepacked_bias(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[&[f64]],
+        pbs: &[&PackedB],
+        biases: &[&[f64]],
+        outs: &mut [&mut [f64]],
+    ) {
+        let batch = outs.len();
+        check_batched_len("A", a.len(), batch);
+        check_batched_len("packed B", pbs.len(), batch);
+        check_batched_len("bias", biases.len(), batch);
+        for (i, out) in outs.iter_mut().enumerate() {
+            self.gemm_prepacked_bias(
+                m,
+                k,
+                n,
+                batched_operand(a, i),
+                batched_operand(pbs, i),
+                batched_operand(biases, i),
+                out,
+            );
+        }
+    }
+
+    /// Batched [`gemm_prepacked_bias_relu`](Self::gemm_prepacked_bias_relu).
+    #[allow(clippy::too_many_arguments)]
+    fn gemm_batched_prepacked_bias_relu(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[&[f64]],
+        pbs: &[&PackedB],
+        biases: &[&[f64]],
+        outs: &mut [&mut [f64]],
+    ) {
+        let batch = outs.len();
+        check_batched_len("A", a.len(), batch);
+        check_batched_len("packed B", pbs.len(), batch);
+        check_batched_len("bias", biases.len(), batch);
+        for (i, out) in outs.iter_mut().enumerate() {
+            self.gemm_prepacked_bias_relu(
+                m,
+                k,
+                n,
+                batched_operand(a, i),
+                batched_operand(pbs, i),
+                batched_operand(biases, i),
+                out,
+            );
+        }
+    }
+
     /// [`gemm_tn`](Self::gemm_tn) with `Aᵀ` prepacked: `out += Aᵀ · b`.
     ///
     /// Runs `gemm(k, m, n, Aᵀ, b)` on the materialized transpose — every
@@ -611,7 +860,7 @@ impl BlockedKernel {
     /// Rust never contracts mul+add into FMA), so both copies are
     /// bit-identical; only throughput changes.
     fn packed_gemm(m: usize, k: usize, n: usize, a: &[f64], packed: &[f64], out: &mut [f64]) {
-        Self::packed_gemm_opt(m, k, n, a, packed, None, out);
+        Self::packed_gemm_opt(m, k, n, a, packed, None, false, out);
     }
 
     /// [`Self::packed_gemm`] with the fused bias epilogue: `bias[j]` is
@@ -626,9 +875,26 @@ impl BlockedKernel {
         bias: &[f64],
         out: &mut [f64],
     ) {
-        Self::packed_gemm_opt(m, k, n, a, packed, Some(bias), out);
+        Self::packed_gemm_opt(m, k, n, a, packed, Some(bias), false, out);
     }
 
+    /// [`Self::packed_gemm_bias`] with the fused ReLU epilogue appended
+    /// after the bias: each element is clamped at zero (`< 0` compare,
+    /// [`relu_rows`] semantics) at its single write-back — the bits of a
+    /// separate ReLU pass.
+    fn packed_gemm_bias_relu(
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f64],
+        packed: &[f64],
+        bias: &[f64],
+        out: &mut [f64],
+    ) {
+        Self::packed_gemm_opt(m, k, n, a, packed, Some(bias), true, out);
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn packed_gemm_opt(
         m: usize,
         k: usize,
@@ -636,15 +902,16 @@ impl BlockedKernel {
         a: &[f64],
         packed: &[f64],
         bias: Option<&[f64]>,
+        relu: bool,
         out: &mut [f64],
     ) {
         #[cfg(target_arch = "x86_64")]
         if std::arch::is_x86_feature_detected!("avx") {
             // SAFETY: the `avx` target feature was just detected at runtime.
-            unsafe { Self::packed_gemm_avx(m, k, n, a, packed, bias, out) };
+            unsafe { Self::packed_gemm_avx(m, k, n, a, packed, bias, relu, out) };
             return;
         }
-        Self::packed_gemm_body(m, k, n, a, packed, bias, out);
+        Self::packed_gemm_body(m, k, n, a, packed, bias, relu, out);
     }
 
     /// AVX-compiled instantiation of [`Self::packed_gemm_body`].
@@ -653,6 +920,7 @@ impl BlockedKernel {
     /// The caller must ensure the CPU supports AVX.
     #[cfg(target_arch = "x86_64")]
     #[target_feature(enable = "avx")]
+    #[allow(clippy::too_many_arguments)]
     unsafe fn packed_gemm_avx(
         m: usize,
         k: usize,
@@ -660,12 +928,14 @@ impl BlockedKernel {
         a: &[f64],
         packed: &[f64],
         bias: Option<&[f64]>,
+        relu: bool,
         out: &mut [f64],
     ) {
-        Self::packed_gemm_body(m, k, n, a, packed, bias, out);
+        Self::packed_gemm_body(m, k, n, a, packed, bias, relu, out);
     }
 
     #[inline(always)]
+    #[allow(clippy::too_many_arguments)]
     fn packed_gemm_body(
         m: usize,
         k: usize,
@@ -673,6 +943,7 @@ impl BlockedKernel {
         a: &[f64],
         packed: &[f64],
         bias: Option<&[f64]>,
+        relu: bool,
         out: &mut [f64],
     ) {
         let panels = n.div_ceil(PW);
@@ -695,6 +966,7 @@ impl BlockedKernel {
                     &a[(i + 1) * k..(i + 2) * k],
                     packed,
                     bias,
+                    relu,
                     &mut head[i * n..],
                     &mut tail[..n],
                 );
@@ -709,6 +981,7 @@ impl BlockedKernel {
                     &a[i * k..(i + 1) * k],
                     packed,
                     bias,
+                    relu,
                     &mut out[i * n..(i + 1) * n],
                 );
             }
@@ -717,7 +990,8 @@ impl BlockedKernel {
 
     /// One output row over the panel block `qb..qe` (single-row kernel).
     /// When `bias` is set, `bias[j]` is added after the reduction, right
-    /// before each lane's single store.
+    /// before each lane's single store; `relu` then clamps the lane with
+    /// the [`relu_rows`] comparison at the same write-back.
     #[allow(clippy::too_many_arguments)]
     #[inline(always)]
     fn row_block(
@@ -728,6 +1002,7 @@ impl BlockedKernel {
         a_row: &[f64],
         packed: &[f64],
         bias: Option<&[f64]>,
+        relu: bool,
         out_row: &mut [f64],
     ) {
         let panel_len = k * PW;
@@ -761,6 +1036,16 @@ impl BlockedKernel {
                     acc1[l] += b[(q + 1) * PW + l];
                 }
             }
+            if relu {
+                for l in 0..PW {
+                    if acc0[l] < 0.0 {
+                        acc0[l] = 0.0;
+                    }
+                    if acc1[l] < 0.0 {
+                        acc1[l] = 0.0;
+                    }
+                }
+            }
             o[..PW].copy_from_slice(&acc0);
             o[PW..].copy_from_slice(&acc1);
             q += 2;
@@ -780,6 +1065,13 @@ impl BlockedKernel {
                     acc[l] += b[q * PW + l];
                 }
             }
+            if relu {
+                for l in 0..PW {
+                    if acc[l] < 0.0 {
+                        acc[l] = 0.0;
+                    }
+                }
+            }
             o.copy_from_slice(&acc);
             q += 1;
         }
@@ -795,6 +1087,9 @@ impl BlockedKernel {
                 }
                 if let Some(b) = bias {
                     acc += b[q * PW + lane];
+                }
+                if relu && acc < 0.0 {
+                    acc = 0.0;
                 }
                 *ov = acc;
             }
@@ -816,6 +1111,7 @@ impl BlockedKernel {
         a1: &[f64],
         packed: &[f64],
         bias: Option<&[f64]>,
+        relu: bool,
         out0: &mut [f64],
         out1: &mut [f64],
     ) {
@@ -863,6 +1159,22 @@ impl BlockedKernel {
                     r1p1[l] += b[(q + 1) * PW + l];
                 }
             }
+            if relu {
+                for l in 0..PW {
+                    if r0p0[l] < 0.0 {
+                        r0p0[l] = 0.0;
+                    }
+                    if r0p1[l] < 0.0 {
+                        r0p1[l] = 0.0;
+                    }
+                    if r1p0[l] < 0.0 {
+                        r1p0[l] = 0.0;
+                    }
+                    if r1p1[l] < 0.0 {
+                        r1p1[l] = 0.0;
+                    }
+                }
+            }
             o0[..PW].copy_from_slice(&r0p0);
             o0[PW..].copy_from_slice(&r0p1);
             o1[..PW].copy_from_slice(&r1p0);
@@ -870,8 +1182,8 @@ impl BlockedKernel {
             q += 2;
         }
         if q < qe {
-            Self::row_block(k, n, q, qe, a0, packed, bias, out0);
-            Self::row_block(k, n, q, qe, a1, packed, bias, out1);
+            Self::row_block(k, n, q, qe, a0, packed, bias, relu, out0);
+            Self::row_block(k, n, q, qe, a1, packed, bias, relu, out1);
         }
     }
 
@@ -1177,7 +1489,7 @@ impl SimdKernel {
     /// width (never above it) so the narrower instantiations can be
     /// exercised — and their bit-identity CI-tested — on a wider host.
     fn packed_gemm(m: usize, k: usize, n: usize, a: &[f64], packed: &[f64], out: &mut [f64]) {
-        Self::packed_gemm_opt(m, k, n, a, packed, None, out);
+        Self::packed_gemm_opt(m, k, n, a, packed, None, false, out);
     }
 
     /// [`Self::packed_gemm`] with the fused bias epilogue: `bias[j]` is
@@ -1192,9 +1504,26 @@ impl SimdKernel {
         bias: &[f64],
         out: &mut [f64],
     ) {
-        Self::packed_gemm_opt(m, k, n, a, packed, Some(bias), out);
+        Self::packed_gemm_opt(m, k, n, a, packed, Some(bias), false, out);
     }
 
+    /// [`Self::packed_gemm_bias`] with the fused ReLU epilogue appended
+    /// after the bias: each element is clamped at zero with the
+    /// [`relu_rows`] comparison (`< 0` blend, not a `max`) at its single
+    /// write-back — the bits of a separate ReLU pass.
+    fn packed_gemm_bias_relu(
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f64],
+        packed: &[f64],
+        bias: &[f64],
+        out: &mut [f64],
+    ) {
+        Self::packed_gemm_opt(m, k, n, a, packed, Some(bias), true, out);
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn packed_gemm_opt(
         m: usize,
         k: usize,
@@ -1202,6 +1531,7 @@ impl SimdKernel {
         a: &[f64],
         packed: &[f64],
         bias: Option<&[f64]>,
+        relu: bool,
         out: &mut [f64],
     ) {
         #[cfg(target_arch = "x86_64")]
@@ -1209,20 +1539,21 @@ impl SimdKernel {
             let cap = simd_width_cap();
             if cap >= 512 && std::arch::is_x86_feature_detected!("avx512f") {
                 // SAFETY: avx512f was just detected at runtime.
-                unsafe { Self::packed_gemm_avx512(m, k, n, a, packed, bias, out) };
+                unsafe { Self::packed_gemm_avx512(m, k, n, a, packed, bias, relu, out) };
                 return;
             }
             if cap >= 256 && std::arch::is_x86_feature_detected!("avx2") {
                 // SAFETY: avx2 was just detected at runtime.
-                unsafe { Self::packed_gemm_avx2(m, k, n, a, packed, bias, out) };
+                unsafe { Self::packed_gemm_avx2(m, k, n, a, packed, bias, relu, out) };
                 return;
             }
         }
-        Self::packed_gemm_scalar(m, k, n, a, packed, bias, out);
+        Self::packed_gemm_scalar(m, k, n, a, packed, bias, relu, out);
     }
 
     /// Scalar mirror of the vector paths: same panel walk, same per-element
     /// ascending-`k` chains, lane loops written out by hand.
+    #[allow(clippy::too_many_arguments)]
     fn packed_gemm_scalar(
         m: usize,
         k: usize,
@@ -1230,6 +1561,7 @@ impl SimdKernel {
         a: &[f64],
         packed: &[f64],
         bias: Option<&[f64]>,
+        relu: bool,
         out: &mut [f64],
     ) {
         let panels = n.div_ceil(SPW);
@@ -1248,6 +1580,7 @@ impl SimdKernel {
                         a_row,
                         panel,
                         bias.map(|b| &b[j0..j0 + w]),
+                        relu,
                         &mut out[i * n + j0..i * n + j0 + w],
                     );
                 }
@@ -1258,13 +1591,15 @@ impl SimdKernel {
     /// One output row × one panel, scalar: the shared tail/fallback body.
     /// `w` live lanes, each accumulated across the whole reduction in
     /// ascending `k` order and stored once; `bias` (already sliced to this
-    /// panel's columns) is appended just before the store.
+    /// panel's columns) is appended just before the store, and `relu`
+    /// clamps each lane with the [`relu_rows`] comparison right after.
     #[inline(always)]
     fn panel_row_scalar(
         w: usize,
         a_row: &[f64],
         panel: &[f64],
         bias: Option<&[f64]>,
+        relu: bool,
         out_seg: &mut [f64],
     ) {
         let mut acc = [0.0; SPW];
@@ -1280,6 +1615,13 @@ impl SimdKernel {
                 acc[l] += b[l];
             }
         }
+        if relu {
+            for l in 0..w {
+                if acc[l] < 0.0 {
+                    acc[l] = 0.0;
+                }
+            }
+        }
         out_seg.copy_from_slice(&acc[..w]);
     }
 
@@ -1291,6 +1633,7 @@ impl SimdKernel {
     /// The caller must ensure the CPU supports AVX2.
     #[cfg(target_arch = "x86_64")]
     #[target_feature(enable = "avx2")]
+    #[allow(clippy::too_many_arguments)]
     unsafe fn packed_gemm_avx2(
         m: usize,
         k: usize,
@@ -1298,6 +1641,7 @@ impl SimdKernel {
         a: &[f64],
         packed: &[f64],
         bias: Option<&[f64]>,
+        relu: bool,
         out: &mut [f64],
     ) {
         let panels = n.div_ceil(SPW);
@@ -1317,6 +1661,7 @@ impl SimdKernel {
                             k,
                             panel.as_ptr(),
                             bias_ptr(bias, j0),
+                            relu,
                             out.as_mut_ptr().add(i * n + j0),
                             n,
                         );
@@ -1328,6 +1673,7 @@ impl SimdKernel {
                                 &a[r * k..(r + 1) * k],
                                 panel,
                                 bias.map(|b| &b[j0..j0 + w]),
+                                relu,
                                 &mut out[r * n + j0..r * n + j0 + w],
                             );
                         }
@@ -1345,6 +1691,7 @@ impl SimdKernel {
                             a.as_ptr().add(i * k),
                             panel.as_ptr(),
                             bias_ptr(bias, j0),
+                            relu,
                             out.as_mut_ptr().add(i * n + j0),
                         );
                     } else {
@@ -1354,6 +1701,7 @@ impl SimdKernel {
                             &a[i * k..(i + 1) * k],
                             panel,
                             bias.map(|b| &b[j0..j0 + w]),
+                            relu,
                             &mut out[i * n + j0..i * n + j0 + w],
                         );
                     }
@@ -1374,12 +1722,14 @@ impl SimdKernel {
     /// values for this panel's columns.
     #[cfg(target_arch = "x86_64")]
     #[target_feature(enable = "avx2")]
+    #[allow(clippy::too_many_arguments)]
     unsafe fn mk4x8_avx2(
         k: usize,
         a: *const f64,
         lda: usize,
         panel: *const f64,
         bias: *const f64,
+        relu: bool,
         out: *mut f64,
         ldo: usize,
     ) {
@@ -1422,6 +1772,20 @@ impl SimdKernel {
             acc30 = _mm256_add_pd(acc30, bv0);
             acc31 = _mm256_add_pd(acc31, bv1);
         }
+        if relu {
+            // Fused ReLU epilogue: a `< 0` blend against zero — the exact
+            // comparison the scalar pass uses, so `-0.0`/`NaN` lanes keep
+            // their bits (a `max` would not).
+            let z = _mm256_setzero_pd();
+            acc00 = _mm256_blendv_pd(acc00, z, _mm256_cmp_pd(acc00, z, _CMP_LT_OQ));
+            acc01 = _mm256_blendv_pd(acc01, z, _mm256_cmp_pd(acc01, z, _CMP_LT_OQ));
+            acc10 = _mm256_blendv_pd(acc10, z, _mm256_cmp_pd(acc10, z, _CMP_LT_OQ));
+            acc11 = _mm256_blendv_pd(acc11, z, _mm256_cmp_pd(acc11, z, _CMP_LT_OQ));
+            acc20 = _mm256_blendv_pd(acc20, z, _mm256_cmp_pd(acc20, z, _CMP_LT_OQ));
+            acc21 = _mm256_blendv_pd(acc21, z, _mm256_cmp_pd(acc21, z, _CMP_LT_OQ));
+            acc30 = _mm256_blendv_pd(acc30, z, _mm256_cmp_pd(acc30, z, _CMP_LT_OQ));
+            acc31 = _mm256_blendv_pd(acc31, z, _mm256_cmp_pd(acc31, z, _CMP_LT_OQ));
+        }
         _mm256_storeu_pd(out, acc00);
         _mm256_storeu_pd(out.add(4), acc01);
         _mm256_storeu_pd(out.add(ldo), acc10);
@@ -1444,6 +1808,7 @@ impl SimdKernel {
         a: *const f64,
         panel: *const f64,
         bias: *const f64,
+        relu: bool,
         out: *mut f64,
     ) {
         use std::arch::x86_64::*;
@@ -1460,6 +1825,11 @@ impl SimdKernel {
             acc0 = _mm256_add_pd(acc0, _mm256_loadu_pd(bias));
             acc1 = _mm256_add_pd(acc1, _mm256_loadu_pd(bias.add(4)));
         }
+        if relu {
+            let z = _mm256_setzero_pd();
+            acc0 = _mm256_blendv_pd(acc0, z, _mm256_cmp_pd(acc0, z, _CMP_LT_OQ));
+            acc1 = _mm256_blendv_pd(acc1, z, _mm256_cmp_pd(acc1, z, _CMP_LT_OQ));
+        }
         _mm256_storeu_pd(out, acc0);
         _mm256_storeu_pd(out.add(4), acc1);
     }
@@ -1472,6 +1842,7 @@ impl SimdKernel {
     /// The caller must ensure the CPU supports AVX-512F.
     #[cfg(target_arch = "x86_64")]
     #[target_feature(enable = "avx512f")]
+    #[allow(clippy::too_many_arguments)]
     unsafe fn packed_gemm_avx512(
         m: usize,
         k: usize,
@@ -1479,6 +1850,7 @@ impl SimdKernel {
         a: &[f64],
         packed: &[f64],
         bias: Option<&[f64]>,
+        relu: bool,
         out: &mut [f64],
     ) {
         let panels = n.div_ceil(SPW);
@@ -1508,6 +1880,7 @@ impl SimdKernel {
                         packed.as_ptr().add(q * panel_len),
                         panel_len,
                         bias_ptr(bias, q * SPW),
+                        relu,
                         out.as_mut_ptr().add(i * n + q * SPW),
                         n,
                     );
@@ -1522,6 +1895,7 @@ impl SimdKernel {
                         packed.as_ptr().add(q * panel_len),
                         panel_len,
                         bias_ptr(bias, q * SPW),
+                        relu,
                         out.as_mut_ptr().add(i * n + q * SPW),
                         n,
                     );
@@ -1539,6 +1913,7 @@ impl SimdKernel {
                             panel.as_ptr(),
                             panel_len,
                             bias_ptr(bias, j0),
+                            relu,
                             out.as_mut_ptr().add(i * n + j0),
                             n,
                         );
@@ -1550,6 +1925,7 @@ impl SimdKernel {
                                 &a[r * k..(r + 1) * k],
                                 panel,
                                 bias.map(|b| &b[j0..j0 + w]),
+                                relu,
                                 &mut out[r * n + j0..r * n + j0 + w],
                             );
                         }
@@ -1571,6 +1947,7 @@ impl SimdKernel {
                             panel.as_ptr(),
                             panel_len,
                             bias_ptr(bias, j0),
+                            relu,
                             out.as_mut_ptr().add(i * n + j0),
                             n,
                         );
@@ -1581,6 +1958,7 @@ impl SimdKernel {
                             &a[i * k..(i + 1) * k],
                             panel,
                             bias.map(|b| &b[j0..j0 + w]),
+                            relu,
                             &mut out[i * n + j0..i * n + j0 + w],
                         );
                     }
@@ -1618,6 +1996,7 @@ impl SimdKernel {
         panels: *const f64,
         panel_len: usize,
         bias: *const f64,
+        relu: bool,
         out: *mut f64,
         ldo: usize,
     ) {
@@ -1669,6 +2048,18 @@ impl SimdKernel {
             for r in 0..R {
                 for c in 0..P {
                     acc[r][c] = _mm512_add_pd(acc[r][c], bv[c]);
+                }
+            }
+        }
+        if relu {
+            // Fused ReLU epilogue: a `< 0` masked move against zero — the
+            // exact comparison of the scalar pass (`-0.0`/`NaN` lanes keep
+            // their bits; a `max` would not).
+            let z = _mm512_setzero_pd();
+            for r in 0..R {
+                for c in 0..P {
+                    let neg = _mm512_cmp_pd_mask(acc[r][c], z, _CMP_LT_OQ);
+                    acc[r][c] = _mm512_mask_mov_pd(acc[r][c], neg, z);
                 }
             }
         }
@@ -1763,6 +2154,71 @@ impl GemmBackend for SimdKernel {
         debug_assert_eq!(b.len(), m * n);
         debug_assert_eq!(out.len(), k * n);
         Self::gemm_tn_cols(m, k, n, 0, k, a, b, out);
+    }
+
+    fn gemm_batched(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[&[f64]],
+        b: &[&[f64]],
+        outs: &mut [&mut [f64]],
+    ) {
+        let batch = outs.len();
+        check_batched_len("A", a.len(), batch);
+        check_batched_len("B", b.len(), batch);
+        if batch == 0 || m == 0 || k == 0 || n == 0 {
+            return;
+        }
+        // One panel buffer serves the whole batch: packed once when `B`
+        // is shared, re-packed in place (allocation reused, no per-call
+        // `Vec`) when each product brings its own. The packed core is
+        // bit-identical to the small-`m` axpy fallback the single-call
+        // `gemm` would take, so routing every product through it keeps
+        // the sequential-loop bits while letting tiny products share the
+        // pack that a lone call could not amortize.
+        let mut packed = Vec::new();
+        if b.len() == 1 {
+            Self::pack_panels8_into(k, n, b[0], &mut packed);
+            for (i, out) in outs.iter_mut().enumerate() {
+                Self::packed_gemm(m, k, n, batched_operand(a, i), &packed, out);
+            }
+        } else {
+            for (i, out) in outs.iter_mut().enumerate() {
+                Self::pack_panels8_into(k, n, b[i], &mut packed);
+                Self::packed_gemm(m, k, n, batched_operand(a, i), &packed, out);
+            }
+        }
+    }
+
+    fn gemm_batched_nt(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[&[f64]],
+        bt: &[&[f64]],
+        outs: &mut [&mut [f64]],
+    ) {
+        let batch = outs.len();
+        check_batched_len("A", a.len(), batch);
+        check_batched_len("Bᵀ", bt.len(), batch);
+        if batch == 0 || m == 0 || k == 0 || n == 0 {
+            return;
+        }
+        let mut packed = Vec::new();
+        if bt.len() == 1 {
+            Self::pack_panels8_t_into(k, n, bt[0], &mut packed);
+            for (i, out) in outs.iter_mut().enumerate() {
+                Self::packed_gemm(m, k, n, batched_operand(a, i), &packed, out);
+            }
+        } else {
+            for (i, out) in outs.iter_mut().enumerate() {
+                Self::pack_panels8_t_into(k, n, bt[i], &mut packed);
+                Self::packed_gemm(m, k, n, batched_operand(a, i), &packed, out);
+            }
+        }
     }
 
     fn pack_b_into(&self, k: usize, n: usize, b: &[f64], dst: &mut PackedB) {
@@ -2089,6 +2545,247 @@ impl GemmBackend for ShardedKernel {
         }
     }
 
+    fn gemm_prepacked_bias_relu(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f64],
+        pb: &PackedB,
+        bias: &[f64],
+        out: &mut [f64],
+    ) {
+        assert_eq!((pb.k, pb.n), (k, n), "prepacked B shape mismatch");
+        assert_eq!(bias.len(), n, "bias length mismatch");
+        debug_assert_eq!(a.len(), m * k);
+        debug_assert_eq!(out.len(), m * n);
+        if m == 0 || n == 0 {
+            return;
+        }
+        if k == 0 {
+            bias_rows(n, bias, out);
+            relu_rows(out);
+            return;
+        }
+        match pb.layout {
+            PackLayout::Raw => {
+                self.gemm(m, k, n, a, &pb.data, out);
+                bias_rows(n, bias, out);
+                relu_rows(out);
+            }
+            PackLayout::Panels4 => {
+                BlockedKernel::packed_gemm_bias_relu(m, k, n, a, &pb.data, bias, out)
+            }
+            PackLayout::Panels8 => {
+                if self.run_inline(m, m * k * n) {
+                    SimdKernel::packed_gemm_bias_relu(m, k, n, a, &pb.data, bias, out);
+                    return;
+                }
+                // Both epilogues are per-element and the row shards own
+                // disjoint output rows, so the fused clamp is invisible
+                // to the split exactly like the bias is.
+                let packed = &pb.data;
+                crossbeam::scope(|scope| {
+                    let mut rest = out;
+                    for (s, e) in shard_ranges(m, self.threads()) {
+                        let (chunk, tail) = rest.split_at_mut((e - s) * n);
+                        rest = tail;
+                        let a_rows = &a[s * k..e * k];
+                        scope.spawn(move |_| {
+                            SimdKernel::packed_gemm_bias_relu(
+                                e - s,
+                                k,
+                                n,
+                                a_rows,
+                                packed,
+                                bias,
+                                chunk,
+                            )
+                        });
+                    }
+                })
+                .expect("sharded gemm_prepacked_bias_relu worker panicked");
+            }
+        }
+    }
+
+    fn gemm_batched(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[&[f64]],
+        b: &[&[f64]],
+        outs: &mut [&mut [f64]],
+    ) {
+        let batch = outs.len();
+        check_batched_len("A", a.len(), batch);
+        check_batched_len("B", b.len(), batch);
+        if batch == 0 || m == 0 || k == 0 || n == 0 {
+            return;
+        }
+        // Fan whole *products* over the pool — each worker owns a
+        // contiguous run of items and runs their complete ascending-`k`
+        // chains, so any worker count produces the sequential-loop bits.
+        // Batches too small to pay the spawn cost take the simd batched
+        // walk inline (one reused pack buffer).
+        if self.threads() <= 1 || batch < 2 || batch * m * k * n < SHARD_MIN_WORK {
+            SimdKernel.gemm_batched(m, k, n, a, b, outs);
+            return;
+        }
+        let shared_pack = (b.len() == 1).then(|| SimdKernel::pack_panels8(k, n, b[0]));
+        let shared_pack = shared_pack.as_deref();
+        crossbeam::scope(|scope| {
+            let mut rest = outs;
+            for (s, e) in shard_ranges(batch, self.threads()) {
+                let (chunk, tail) = rest.split_at_mut(e - s);
+                rest = tail;
+                scope.spawn(move |_| {
+                    let mut local = Vec::new();
+                    for (off, out) in chunk.iter_mut().enumerate() {
+                        let i = s + off;
+                        match shared_pack {
+                            Some(p) => {
+                                SimdKernel::packed_gemm(m, k, n, batched_operand(a, i), p, out)
+                            }
+                            None => {
+                                SimdKernel::pack_panels8_into(k, n, b[i], &mut local);
+                                SimdKernel::packed_gemm(
+                                    m,
+                                    k,
+                                    n,
+                                    batched_operand(a, i),
+                                    &local,
+                                    out,
+                                );
+                            }
+                        }
+                    }
+                });
+            }
+        })
+        .expect("sharded gemm_batched worker panicked");
+    }
+
+    fn gemm_batched_prepacked_bias(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[&[f64]],
+        pbs: &[&PackedB],
+        biases: &[&[f64]],
+        outs: &mut [&mut [f64]],
+    ) {
+        let batch = outs.len();
+        check_batched_len("A", a.len(), batch);
+        check_batched_len("packed B", pbs.len(), batch);
+        check_batched_len("bias", biases.len(), batch);
+        let all_panels8 = pbs.iter().all(|pb| pb.layout == PackLayout::Panels8);
+        if !all_panels8
+            || self.threads() <= 1
+            || batch < 2
+            || k == 0
+            || batch * m * k * n < SHARD_MIN_WORK
+        {
+            // Foreign layouts and small batches: the per-product loop
+            // (which re-dispatches per handle) is the bit-identity
+            // baseline anyway.
+            for (i, out) in outs.iter_mut().enumerate() {
+                SimdKernel.gemm_prepacked_bias(
+                    m,
+                    k,
+                    n,
+                    batched_operand(a, i),
+                    batched_operand(pbs, i),
+                    batched_operand(biases, i),
+                    out,
+                );
+            }
+            return;
+        }
+        crossbeam::scope(|scope| {
+            let mut rest = outs;
+            for (s, e) in shard_ranges(batch, self.threads()) {
+                let (chunk, tail) = rest.split_at_mut(e - s);
+                rest = tail;
+                scope.spawn(move |_| {
+                    for (off, out) in chunk.iter_mut().enumerate() {
+                        let i = s + off;
+                        SimdKernel::packed_gemm_bias(
+                            m,
+                            k,
+                            n,
+                            batched_operand(a, i),
+                            &batched_operand(pbs, i).data,
+                            batched_operand(biases, i),
+                            out,
+                        );
+                    }
+                });
+            }
+        })
+        .expect("sharded gemm_batched_prepacked_bias worker panicked");
+    }
+
+    fn gemm_batched_prepacked_bias_relu(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[&[f64]],
+        pbs: &[&PackedB],
+        biases: &[&[f64]],
+        outs: &mut [&mut [f64]],
+    ) {
+        let batch = outs.len();
+        check_batched_len("A", a.len(), batch);
+        check_batched_len("packed B", pbs.len(), batch);
+        check_batched_len("bias", biases.len(), batch);
+        let all_panels8 = pbs.iter().all(|pb| pb.layout == PackLayout::Panels8);
+        if !all_panels8
+            || self.threads() <= 1
+            || batch < 2
+            || k == 0
+            || batch * m * k * n < SHARD_MIN_WORK
+        {
+            for (i, out) in outs.iter_mut().enumerate() {
+                SimdKernel.gemm_prepacked_bias_relu(
+                    m,
+                    k,
+                    n,
+                    batched_operand(a, i),
+                    batched_operand(pbs, i),
+                    batched_operand(biases, i),
+                    out,
+                );
+            }
+            return;
+        }
+        crossbeam::scope(|scope| {
+            let mut rest = outs;
+            for (s, e) in shard_ranges(batch, self.threads()) {
+                let (chunk, tail) = rest.split_at_mut(e - s);
+                rest = tail;
+                scope.spawn(move |_| {
+                    for (off, out) in chunk.iter_mut().enumerate() {
+                        let i = s + off;
+                        SimdKernel::packed_gemm_bias_relu(
+                            m,
+                            k,
+                            n,
+                            batched_operand(a, i),
+                            &batched_operand(pbs, i).data,
+                            batched_operand(biases, i),
+                            out,
+                        );
+                    }
+                });
+            }
+        })
+        .expect("sharded gemm_batched_prepacked_bias_relu worker panicked");
+    }
+
     fn matvec(&self, rows: usize, cols: usize, a: &[f64], v: &[f64], out: &mut [f64]) {
         // Memory-bound; a fan-out buys nothing. Inline simd schedule.
         SimdKernel.matvec(rows, cols, a, v, out);
@@ -2175,6 +2872,7 @@ impl FastKernel {
                                 &a[r * k..(r + 1) * k],
                                 panel,
                                 None,
+                                false,
                                 &mut out[r * n + j0..r * n + j0 + w],
                             );
                         }
@@ -2200,6 +2898,7 @@ impl FastKernel {
                             &a[i * k..(i + 1) * k],
                             panel,
                             None,
+                            false,
                             &mut out[i * n + j0..i * n + j0 + w],
                         );
                     }
@@ -2926,6 +3625,290 @@ mod tests {
         let pb = SimdKernel.pack_b(4, 4, &fill(16, 97));
         let mut out = vec![0.0; 3 * 4];
         SimdKernel.gemm_prepacked_bias(3, 4, 4, &fill(12, 98), &pb, &fill(3, 99), &mut out);
+    }
+
+    fn relu_reference(out: &mut [f64]) {
+        // Mirror of the model stack's epilogue: keeps -0.0 and NaN.
+        for v in out {
+            if *v < 0.0 {
+                *v = 0.0;
+            }
+        }
+    }
+
+    #[test]
+    fn fused_relu_matches_separate_pass_bitwise() {
+        // `gemm_prepacked_bias_relu` must equal `gemm_prepacked_bias`
+        // followed by the model stack's scalar clamp, bit for bit, on the
+        // same backend — the clamp happens at each element's single
+        // write-back, never inside a summation chain.
+        let sharded = ShardedKernel::with_threads(3);
+        let backends: [&dyn GemmBackend; 5] = [
+            &NaiveKernel,
+            &BlockedKernel,
+            &SimdKernel,
+            &sharded,
+            &FastKernel,
+        ];
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 9, 8),
+            (7, 5, 3),
+            (17, 13, 11),
+            (33, 29, 37),
+            (4, 0, 6),
+            (0, 3, 5),
+            (5, 4, 0),
+            (2, 8, 30),
+        ] {
+            let a = fill(m * k, 141 + m as u64);
+            let b = fill(k * n, 142 + n as u64);
+            let bias = fill(n, 143 + k as u64);
+            for backend in backends {
+                let pb = backend.pack_b(k, n, &b);
+                let mut want = vec![0.0; m * n];
+                backend.gemm_prepacked_bias(m, k, n, &a, &pb, &bias, &mut want);
+                relu_reference(&mut want);
+                let mut got = vec![0.0; m * n];
+                backend.gemm_prepacked_bias_relu(m, k, n, &a, &pb, &bias, &mut got);
+                assert_bits_eq(&want, &got);
+            }
+        }
+    }
+
+    #[test]
+    fn fused_relu_keeps_negative_zero_and_fans_out() {
+        // The clamp is `< 0.0`, not `max`: -0.0 and NaN pass through
+        // unchanged, exactly like the model stack's scalar epilogue.
+        let mut v = [-0.0, f64::NAN, -3.0, 2.0, 0.0];
+        relu_rows(&mut v);
+        assert_eq!(v[0].to_bits(), (-0.0f64).to_bits());
+        assert!(v[1].is_nan());
+        assert_eq!(v[2].to_bits(), 0.0f64.to_bits());
+        assert_eq!(v[3].to_bits(), 2.0f64.to_bits());
+        assert_eq!(v[4].to_bits(), 0.0f64.to_bits());
+        // k == 0 broadcasts the bias into a caller-zeroed out, then clamps.
+        let bias = [-1.0, 1.5, -2.0, 0.25];
+        for backend in [
+            &NaiveKernel as &dyn GemmBackend,
+            &BlockedKernel,
+            &SimdKernel,
+            &ShardedKernel::with_threads(2),
+        ] {
+            let pb = backend.pack_b(0, 4, &[]);
+            let mut out = vec![0.0; 2 * 4];
+            backend.gemm_prepacked_bias_relu(2, 0, 4, &[], &pb, &bias, &mut out);
+            for row in out.chunks_exact(4) {
+                assert_eq!(row[0].to_bits(), 0.0f64.to_bits());
+                assert_eq!(row[1].to_bits(), 1.5f64.to_bits());
+                assert_eq!(row[2].to_bits(), 0.0f64.to_bits());
+                assert_eq!(row[3].to_bits(), 0.25f64.to_bits());
+            }
+        }
+        // 128^3 > SHARD_MIN_WORK: exercises the fused-relu sharded spawn.
+        let (m, k, n) = (128, 128, 128);
+        let a = fill(m * k, 144);
+        let b = fill(k * n, 145);
+        let bias = fill(n, 146);
+        let backend = ShardedKernel::with_threads(3);
+        let pb = backend.pack_b(k, n, &b);
+        let mut want = vec![0.0; m * n];
+        backend.gemm_prepacked_bias(m, k, n, &a, &pb, &bias, &mut want);
+        relu_reference(&mut want);
+        let mut got = vec![0.0; m * n];
+        backend.gemm_prepacked_bias_relu(m, k, n, &a, &pb, &bias, &mut got);
+        assert_bits_eq(&want, &got);
+    }
+
+    #[test]
+    fn batched_gemm_matches_sequential_bitwise() {
+        // All three operand modes (block-diagonal, shared-A, shared-B)
+        // must reproduce the N-sequential-`gemm` bits on every backend.
+        let sharded = ShardedKernel::with_threads(3);
+        let backends: [&dyn GemmBackend; 5] = [
+            &NaiveKernel,
+            &BlockedKernel,
+            &SimdKernel,
+            &sharded,
+            &FastKernel,
+        ];
+        let batch = 5usize;
+        for &(m, k, n) in &[(1, 1, 1), (3, 9, 8), (7, 5, 3), (17, 13, 11), (2, 8, 30)] {
+            let avs: Vec<Vec<f64>> = (0..batch)
+                .map(|i| fill(m * k, 151 + (i * 7 + m) as u64))
+                .collect();
+            let bvs: Vec<Vec<f64>> = (0..batch)
+                .map(|i| fill(k * n, 152 + (i * 11 + n) as u64))
+                .collect();
+            for backend in backends {
+                for (shared_a, shared_b) in [(false, false), (true, false), (false, true)] {
+                    let a: Vec<&[f64]> = if shared_a {
+                        vec![avs[0].as_slice()]
+                    } else {
+                        avs.iter().map(|v| v.as_slice()).collect()
+                    };
+                    let b: Vec<&[f64]> = if shared_b {
+                        vec![bvs[0].as_slice()]
+                    } else {
+                        bvs.iter().map(|v| v.as_slice()).collect()
+                    };
+                    let mut want = vec![vec![0.0; m * n]; batch];
+                    for (i, w) in want.iter_mut().enumerate() {
+                        let ai = if shared_a { 0 } else { i };
+                        let bi = if shared_b { 0 } else { i };
+                        backend.gemm(m, k, n, &avs[ai], &bvs[bi], w);
+                    }
+                    let mut store = vec![vec![0.0; m * n]; batch];
+                    let mut outs: Vec<&mut [f64]> =
+                        store.iter_mut().map(|v| v.as_mut_slice()).collect();
+                    backend.gemm_batched(m, k, n, &a, &b, &mut outs);
+                    for (w, g) in want.iter().zip(&store) {
+                        assert_bits_eq(w, g);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_nt_tn_match_sequential_bitwise() {
+        let (m, k, n) = (9, 7, 6);
+        let batch = 4usize;
+        let avs: Vec<Vec<f64>> = (0..batch).map(|i| fill(m * k, 161 + i as u64)).collect();
+        let btvs: Vec<Vec<f64>> = (0..batch).map(|i| fill(n * k, 162 + i as u64)).collect();
+        let bvs: Vec<Vec<f64>> = (0..batch).map(|i| fill(m * n, 163 + i as u64)).collect();
+        let sharded = ShardedKernel::with_threads(2);
+        for backend in [
+            &NaiveKernel as &dyn GemmBackend,
+            &BlockedKernel,
+            &SimdKernel,
+            &sharded,
+        ] {
+            let a: Vec<&[f64]> = avs.iter().map(|v| v.as_slice()).collect();
+            let bt: Vec<&[f64]> = btvs.iter().map(|v| v.as_slice()).collect();
+            let mut want = vec![vec![0.0; m * n]; batch];
+            for (i, w) in want.iter_mut().enumerate() {
+                backend.gemm_nt(m, k, n, &avs[i], &btvs[i], w);
+            }
+            let mut store = vec![vec![0.0; m * n]; batch];
+            let mut outs: Vec<&mut [f64]> = store.iter_mut().map(|v| v.as_mut_slice()).collect();
+            backend.gemm_batched_nt(m, k, n, &a, &bt, &mut outs);
+            for (w, g) in want.iter().zip(&store) {
+                assert_bits_eq(w, g);
+            }
+
+            let b: Vec<&[f64]> = bvs.iter().map(|v| v.as_slice()).collect();
+            let mut want_tn = vec![vec![0.0; k * n]; batch];
+            for (i, w) in want_tn.iter_mut().enumerate() {
+                backend.gemm_tn(m, k, n, &avs[i], &bvs[i], w);
+            }
+            let mut store_tn = vec![vec![0.0; k * n]; batch];
+            let mut outs_tn: Vec<&mut [f64]> =
+                store_tn.iter_mut().map(|v| v.as_mut_slice()).collect();
+            backend.gemm_batched_tn(m, k, n, &a, &b, &mut outs_tn);
+            for (w, g) in want_tn.iter().zip(&store_tn) {
+                assert_bits_eq(w, g);
+            }
+        }
+    }
+
+    #[test]
+    fn batched_prepacked_variants_match_sequential_bitwise() {
+        let (m, k, n) = (6, 11, 9);
+        let batch = 4usize;
+        let avs: Vec<Vec<f64>> = (0..batch).map(|i| fill(m * k, 171 + i as u64)).collect();
+        let bvs: Vec<Vec<f64>> = (0..batch).map(|i| fill(k * n, 172 + i as u64)).collect();
+        let biasvs: Vec<Vec<f64>> = (0..batch).map(|i| fill(n, 173 + i as u64)).collect();
+        let sharded = ShardedKernel::with_threads(2);
+        for backend in [
+            &NaiveKernel as &dyn GemmBackend,
+            &BlockedKernel,
+            &SimdKernel,
+            &sharded,
+        ] {
+            let packs: Vec<PackedB> = bvs.iter().map(|b| backend.pack_b(k, n, b)).collect();
+            let a: Vec<&[f64]> = avs.iter().map(|v| v.as_slice()).collect();
+            let pbs: Vec<&PackedB> = packs.iter().collect();
+            let biases: Vec<&[f64]> = biasvs.iter().map(|v| v.as_slice()).collect();
+
+            let mut want = vec![vec![0.0; m * n]; batch];
+            for (i, w) in want.iter_mut().enumerate() {
+                backend.gemm_prepacked(m, k, n, &avs[i], &packs[i], w);
+            }
+            let mut store = vec![vec![0.0; m * n]; batch];
+            let mut outs: Vec<&mut [f64]> = store.iter_mut().map(|v| v.as_mut_slice()).collect();
+            backend.gemm_batched_prepacked(m, k, n, &a, &pbs, &mut outs);
+            for (w, g) in want.iter().zip(&store) {
+                assert_bits_eq(w, g);
+            }
+
+            let mut want_b = vec![vec![0.0; m * n]; batch];
+            for (i, w) in want_b.iter_mut().enumerate() {
+                backend.gemm_prepacked_bias(m, k, n, &avs[i], &packs[i], &biasvs[i], w);
+            }
+            let mut store_b = vec![vec![0.0; m * n]; batch];
+            let mut outs_b: Vec<&mut [f64]> =
+                store_b.iter_mut().map(|v| v.as_mut_slice()).collect();
+            backend.gemm_batched_prepacked_bias(m, k, n, &a, &pbs, &biases, &mut outs_b);
+            for (w, g) in want_b.iter().zip(&store_b) {
+                assert_bits_eq(w, g);
+            }
+
+            let mut want_r = vec![vec![0.0; m * n]; batch];
+            for (i, w) in want_r.iter_mut().enumerate() {
+                backend.gemm_prepacked_bias_relu(m, k, n, &avs[i], &packs[i], &biasvs[i], w);
+            }
+            let mut store_r = vec![vec![0.0; m * n]; batch];
+            let mut outs_r: Vec<&mut [f64]> =
+                store_r.iter_mut().map(|v| v.as_mut_slice()).collect();
+            backend.gemm_batched_prepacked_bias_relu(m, k, n, &a, &pbs, &biases, &mut outs_r);
+            for (w, g) in want_r.iter().zip(&store_r) {
+                assert_bits_eq(w, g);
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_batched_fans_products_above_the_work_threshold() {
+        // 8 × 64^3 = 2 MiB of MACs > SHARD_MIN_WORK: exercises the
+        // product-level fan-out, shared-B hoisted pack included.
+        let (m, k, n) = (64, 64, 64);
+        let batch = 8usize;
+        let avs: Vec<Vec<f64>> = (0..batch).map(|i| fill(m * k, 181 + i as u64)).collect();
+        let bvs: Vec<Vec<f64>> = (0..batch).map(|i| fill(k * n, 182 + i as u64)).collect();
+        let backend = ShardedKernel::with_threads(3);
+        for shared_b in [false, true] {
+            let a: Vec<&[f64]> = avs.iter().map(|v| v.as_slice()).collect();
+            let b: Vec<&[f64]> = if shared_b {
+                vec![bvs[0].as_slice()]
+            } else {
+                bvs.iter().map(|v| v.as_slice()).collect()
+            };
+            let mut want = vec![vec![0.0; m * n]; batch];
+            for (i, w) in want.iter_mut().enumerate() {
+                let bi = if shared_b { 0 } else { i };
+                NaiveKernel.gemm(m, k, n, &avs[i], &bvs[bi], w);
+            }
+            let mut store = vec![vec![0.0; m * n]; batch];
+            let mut outs: Vec<&mut [f64]> = store.iter_mut().map(|v| v.as_mut_slice()).collect();
+            backend.gemm_batched(m, k, n, &a, &b, &mut outs);
+            for (w, g) in want.iter().zip(&store) {
+                assert_bits_eq(w, g);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "batched A operand count mismatch")]
+    fn batched_rejects_operand_count_mismatch() {
+        let a1 = fill(6, 191);
+        let a2 = fill(6, 192);
+        let b1 = fill(6, 193);
+        let mut o1 = vec![0.0; 4];
+        let mut o2 = vec![0.0; 4];
+        let mut o3 = vec![0.0; 4];
+        let mut outs: Vec<&mut [f64]> = vec![&mut o1, &mut o2, &mut o3];
+        SimdKernel.gemm_batched(2, 3, 2, &[&a1, &a2], &[&b1], &mut outs);
     }
 
     #[test]

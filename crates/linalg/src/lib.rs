@@ -29,13 +29,16 @@ pub mod vector;
 pub use kernel::{
     kernel, kernel_kind, kernel_names, kernel_threads, prepack_forced, set_kernel,
     set_kernel_threads, simd_force_names, BlockedKernel, FastKernel, GemmBackend, KernelKind,
-    NaiveKernel, PackedA, PackedB, ShardedKernel, SimdKernel,
+    NaiveKernel, PackedA, PackedB, ShardedKernel, SimdKernel, MAX_PANEL_WIDTH,
 };
-pub use matrix::Matrix;
+pub use matrix::{
+    matmul_batched_nt_into, matmul_batched_prepacked_bias_into,
+    matmul_batched_prepacked_bias_relu_into, matmul_batched_tn_into, Matrix,
+};
 pub use qr::{least_squares, QrFactorization};
 pub use resample::{bootstrap_ci, pearson, spearman, ConfidenceInterval, SplitMix64};
 pub use running::RunningStats;
 pub use solve::{cholesky_solve, gaussian_solve, SolveError};
-pub use special::{log_sum_exp, sigmoid, softmax_in_place, EPS_PROB};
+pub use special::{log_sum_exp, sigmoid, softmax_in_place, softmax_prob, EPS_PROB};
 pub use stats::{mean, quantile, std_dev, variance, weighted_mean};
 pub use vector::{argmax, axpy, dot, l2_norm, linf_norm, scale_in_place, sub};

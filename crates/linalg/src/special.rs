@@ -32,6 +32,37 @@ pub fn softmax_in_place(logits: &mut [f64]) {
     }
 }
 
+/// One softmax probability without materializing the distribution:
+/// bit-identical to `softmax_in_place` followed by reading `logits[index]`,
+/// with one division instead of `len` and no mutation.
+///
+/// The bit-identity argument: the max fold and the exponential/sum
+/// accumulation sweep run in the same ascending-index order over the same
+/// values as [`softmax_in_place`], so `sum` carries identical bits, and the
+/// final `exp(logits[index] - m) / sum` divides the identical operand pair
+/// the in-place version divides at `index`. Negative-log-likelihood
+/// epilogues only read the label's probability, so this is their exact
+/// drop-in — the batched estimation plane's stacked evaluation leans on it
+/// to skip the per-row segment copy and the unread divisions.
+///
+/// # Panics
+/// Panics if `index` is out of bounds.
+pub fn softmax_prob(logits: &[f64], index: usize) -> f64 {
+    assert!(index < logits.len(), "softmax index out of bounds");
+    let m = logits.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+    let mut sum = 0.0;
+    let mut picked = 0.0;
+    for (i, &x) in logits.iter().enumerate() {
+        let e = (x - m).exp();
+        sum += e;
+        if i == index {
+            picked = e;
+        }
+    }
+    debug_assert!(sum > 0.0);
+    picked / sum
+}
+
 /// Logistic sigmoid, stable for large-magnitude inputs.
 pub fn sigmoid(x: f64) -> f64 {
     if x >= 0.0 {
@@ -79,6 +110,33 @@ mod tests {
         softmax_in_place(&mut v);
         assert!(v.iter().all(|p| p.is_finite()));
         assert!((v.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn softmax_prob_bits_match_in_place_softmax() {
+        let cases: [&[f64]; 4] = [
+            &[1.0, 3.0, 2.0],
+            &[1e6, 1e6 - 1.0],
+            &[-4.25, 0.0, 17.5, 3.125, -0.5],
+            &[0.7],
+        ];
+        for logits in cases {
+            let mut dist = logits.to_vec();
+            softmax_in_place(&mut dist);
+            for (i, &p) in dist.iter().enumerate() {
+                assert_eq!(
+                    softmax_prob(logits, i).to_bits(),
+                    p.to_bits(),
+                    "lane {i} of {logits:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "softmax index out of bounds")]
+    fn softmax_prob_rejects_out_of_bounds_index() {
+        let _ = softmax_prob(&[0.0, 1.0], 2);
     }
 
     #[test]

@@ -370,6 +370,212 @@ fn check_fused_bias_equivalence(m: usize, k: usize, n: usize, seed: u64) {
     }
 }
 
+/// Asserts the fused-ReLU epilogue (`gemm_prepacked_bias_relu`) is
+/// `to_bits`-identical to `gemm_prepacked_bias` followed by a separate
+/// clamp-at-zero pass, for every deterministic backend — naive (raw
+/// fallback handle), blocked, simd, and sharded at 1, 2, and N worker
+/// threads — on one `(m, k, n)` shape.
+fn check_fused_relu_equivalence(m: usize, k: usize, n: usize, seed: u64) {
+    let a = kernel_data(m * k, seed.wrapping_add(26));
+    let b = kernel_data(k * n, seed.wrapping_add(27));
+    let bias = kernel_data(n, seed.wrapping_add(28));
+
+    let sharded1 = ShardedKernel::with_threads(1);
+    let sharded2 = ShardedKernel::with_threads(2);
+    let sharded_n = ShardedKernel::with_threads(7);
+    let backends: [&dyn GemmBackend; 6] = [
+        &NaiveKernel,
+        &BlockedKernel,
+        &SimdKernel,
+        &sharded1,
+        &sharded2,
+        &sharded_n,
+    ];
+
+    for backend in backends {
+        let name = backend.name();
+        let pb = backend.pack_b(k, n, &b);
+        let mut want = vec![0.0; m * n];
+        backend.gemm_prepacked_bias(m, k, n, &a, &pb, &bias, &mut want);
+        for v in want.iter_mut() {
+            if *v < 0.0 {
+                *v = 0.0;
+            }
+        }
+        let mut fused = vec![0.0; m * n];
+        backend.gemm_prepacked_bias_relu(m, k, n, &a, &pb, &bias, &mut fused);
+        assert_bits_equal(&format!("{name} gemm_prepacked_bias_relu"), &want, &fused);
+    }
+}
+
+/// Asserts every batched entry point is `to_bits`-identical to the same
+/// backend's sequential per-product loop — the batched-GEMM contract — on
+/// one `(m, k, n)` shape with `batch` products, for every deterministic
+/// backend including sharded at 1, 2, and N worker threads. Covers both
+/// the per-product-operand form and the length-1 broadcast form (shared
+/// `B` for `gemm_batched`, shared `A` for the prepacked entries).
+fn check_batched_equivalence(m: usize, k: usize, n: usize, batch: usize, seed: u64) {
+    let salt = |tag: u64, i: usize| seed.wrapping_add(tag.wrapping_mul(97) + i as u64);
+    let avs: Vec<Vec<f64>> = (0..batch)
+        .map(|i| kernel_data(m * k, salt(31, i)))
+        .collect();
+    let bvs: Vec<Vec<f64>> = (0..batch)
+        .map(|i| kernel_data(k * n, salt(32, i)))
+        .collect();
+    let btvs: Vec<Vec<f64>> = (0..batch)
+        .map(|i| kernel_data(n * k, salt(33, i)))
+        .collect();
+    let cvs: Vec<Vec<f64>> = (0..batch)
+        .map(|i| kernel_data(m * n, salt(34, i)))
+        .collect();
+    let biasvs: Vec<Vec<f64>> = (0..batch).map(|i| kernel_data(n, salt(35, i))).collect();
+    let a_refs: Vec<&[f64]> = avs.iter().map(Vec::as_slice).collect();
+    let b_refs: Vec<&[f64]> = bvs.iter().map(Vec::as_slice).collect();
+    let bt_refs: Vec<&[f64]> = btvs.iter().map(Vec::as_slice).collect();
+    let c_refs: Vec<&[f64]> = cvs.iter().map(Vec::as_slice).collect();
+    let bias_refs: Vec<&[f64]> = biasvs.iter().map(Vec::as_slice).collect();
+
+    let sharded1 = ShardedKernel::with_threads(1);
+    let sharded2 = ShardedKernel::with_threads(2);
+    let sharded_n = ShardedKernel::with_threads(7);
+    let backends: [&dyn GemmBackend; 6] = [
+        &NaiveKernel,
+        &BlockedKernel,
+        &SimdKernel,
+        &sharded1,
+        &sharded2,
+        &sharded_n,
+    ];
+
+    // Runs `run_batched` and asserts each product matches `run_single(i)`.
+    let check = |name: &str,
+                 op: &str,
+                 out_len: usize,
+                 run_single: &dyn Fn(usize, &mut [f64]),
+                 run_batched: &dyn Fn(&mut [&mut [f64]])| {
+        let mut want = vec![vec![0.0; out_len]; batch];
+        for (i, w) in want.iter_mut().enumerate() {
+            run_single(i, w);
+        }
+        let mut got = vec![vec![0.0; out_len]; batch];
+        {
+            let mut outs: Vec<&mut [f64]> = got.iter_mut().map(Vec::as_mut_slice).collect();
+            run_batched(&mut outs);
+        }
+        for (i, (w, g)) in want.iter().zip(&got).enumerate() {
+            assert_bits_equal(&format!("{name} {op} product {i}"), w, g);
+        }
+    };
+
+    for backend in backends {
+        let name = backend.name();
+        check(
+            name,
+            "gemm_batched",
+            m * n,
+            &|i, out| backend.gemm(m, k, n, a_refs[i], b_refs[i], out),
+            &|outs| backend.gemm_batched(m, k, n, &a_refs, &b_refs, outs),
+        );
+        check(
+            name,
+            "gemm_batched shared-B",
+            m * n,
+            &|i, out| backend.gemm(m, k, n, a_refs[i], b_refs[0], out),
+            &|outs| backend.gemm_batched(m, k, n, &a_refs, &b_refs[..1], outs),
+        );
+        check(
+            name,
+            "gemm_batched_nt",
+            m * n,
+            &|i, out| backend.gemm_nt(m, k, n, a_refs[i], bt_refs[i], out),
+            &|outs| backend.gemm_batched_nt(m, k, n, &a_refs, &bt_refs, outs),
+        );
+        check(
+            name,
+            "gemm_batched_tn",
+            k * n,
+            &|i, out| backend.gemm_tn(m, k, n, a_refs[i], c_refs[i], out),
+            &|outs| backend.gemm_batched_tn(m, k, n, &a_refs, &c_refs, outs),
+        );
+
+        let packs: Vec<_> = bvs.iter().map(|b| backend.pack_b(k, n, b)).collect();
+        let pack_refs: Vec<&st_linalg::PackedB> = packs.iter().collect();
+        check(
+            name,
+            "gemm_batched_prepacked",
+            m * n,
+            &|i, out| backend.gemm_prepacked(m, k, n, a_refs[i], pack_refs[i], out),
+            &|outs| backend.gemm_batched_prepacked(m, k, n, &a_refs, &pack_refs, outs),
+        );
+        check(
+            name,
+            "gemm_batched_prepacked shared-A",
+            m * n,
+            &|i, out| backend.gemm_prepacked(m, k, n, a_refs[0], pack_refs[i], out),
+            &|outs| backend.gemm_batched_prepacked(m, k, n, &a_refs[..1], &pack_refs, outs),
+        );
+        check(
+            name,
+            "gemm_batched_prepacked_bias",
+            m * n,
+            &|i, out| {
+                backend.gemm_prepacked_bias(m, k, n, a_refs[i], pack_refs[i], bias_refs[i], out)
+            },
+            &|outs| {
+                backend.gemm_batched_prepacked_bias(m, k, n, &a_refs, &pack_refs, &bias_refs, outs)
+            },
+        );
+        check(
+            name,
+            "gemm_batched_prepacked_bias_relu",
+            m * n,
+            &|i, out| {
+                backend.gemm_prepacked_bias_relu(
+                    m,
+                    k,
+                    n,
+                    a_refs[i],
+                    pack_refs[i],
+                    bias_refs[i],
+                    out,
+                )
+            },
+            &|outs| {
+                backend.gemm_batched_prepacked_bias_relu(
+                    m, k, n, &a_refs, &pack_refs, &bias_refs, outs,
+                )
+            },
+        );
+        check(
+            name,
+            "gemm_batched_prepacked_bias_relu shared-A",
+            m * n,
+            &|i, out| {
+                backend.gemm_prepacked_bias_relu(
+                    m,
+                    k,
+                    n,
+                    a_refs[0],
+                    pack_refs[i],
+                    bias_refs[i],
+                    out,
+                )
+            },
+            &|outs| {
+                backend.gemm_batched_prepacked_bias_relu(
+                    m,
+                    k,
+                    n,
+                    &a_refs[..1],
+                    &pack_refs,
+                    &bias_refs,
+                    outs,
+                )
+            },
+        );
+    }
+}
+
 /// The fixed shape gallery the ISSUE calls out: degenerate (empty, 1×1),
 /// prime, and just-past-blocking-boundary dimensions.
 #[test]
@@ -393,6 +599,12 @@ fn kernels_bit_identical_on_degenerate_and_prime_shapes() {
         check_kernel_equivalence(m, k, n, 7 + (m * 131 + k * 17 + n) as u64);
         check_prepacked_equivalence(m, k, n, 7 + (m * 131 + k * 17 + n) as u64);
         check_fused_bias_equivalence(m, k, n, 7 + (m * 131 + k * 17 + n) as u64);
+        check_fused_relu_equivalence(m, k, n, 7 + (m * 131 + k * 17 + n) as u64);
+        // Batch 3 walks the shared/broadcast and per-product arms with a
+        // non-trivial remainder under any worker split; batch 1 pins the
+        // single-product edge of every batched entry point.
+        check_batched_equivalence(m, k, n, 3, 7 + (m * 131 + k * 17 + n) as u64);
+        check_batched_equivalence(m, k, n, 1, 19 + (m * 131 + k * 17 + n) as u64);
     }
 }
 
@@ -436,6 +648,34 @@ proptest! {
         seed in 0u64..100_000,
     ) {
         check_fused_bias_equivalence(m, k, n, seed);
+    }
+
+    /// The fused-ReLU forward vs the fused-bias call plus a separate
+    /// clamp-at-zero pass on random rectangular shapes (empty dimensions
+    /// included), across every deterministic backend.
+    #[test]
+    fn fused_relu_bit_identical_on_random_shapes(
+        m in 0usize..24,
+        k in 0usize..24,
+        n in 0usize..24,
+        seed in 0u64..100_000,
+    ) {
+        check_fused_relu_equivalence(m, k, n, seed);
+    }
+
+    /// Every batched entry point vs the same backend's sequential
+    /// per-product loop on random rectangular shapes and batch sizes
+    /// (empty dimensions included), across every deterministic backend —
+    /// the batched-GEMM contract.
+    #[test]
+    fn batched_bit_identical_on_random_shapes(
+        m in 0usize..16,
+        k in 0usize..16,
+        n in 0usize..16,
+        batch in 1usize..5,
+        seed in 0u64..100_000,
+    ) {
+        check_batched_equivalence(m, k, n, batch, seed);
     }
 
     /// The Matrix layer dispatches every product through the process-wide

@@ -260,13 +260,8 @@ impl ConvNet {
     /// scratch's prepacked handles, re-packed only when `packs_dirty` says
     /// an optimizer step invalidated them.
     fn forward_scratch(&self, x: &Matrix, s: &mut ConvScratch) {
-        let n = x.rows();
-        let (ch, cw) = self.conv_dims();
-        let (ph, pw) = self.pool_dims();
         let k = self.conv.k;
         let patch = self.conv.in_ch * k * k;
-        let positions = n * ch * cw;
-
         if s.packs_dirty {
             // `conv.w` rows are kernel banks = columns of the logical B,
             // exactly the transposed-storage shape `pack_b_t` consumes.
@@ -274,39 +269,78 @@ impl ConvNet {
             self.head.pack_weights_into(&mut s.head_pack);
             s.packs_dirty = false;
         }
+        let ConvScratch {
+            cols,
+            conv_out,
+            relu,
+            pooled,
+            argmax,
+            logits,
+            w_pack,
+            head_pack,
+            ..
+        } = s;
+        self.forward_core(
+            x, w_pack, head_pack, cols, conv_out, relu, pooled, argmax, logits,
+        );
+    }
 
-        self.im2col_into(x, &mut s.cols);
+    /// The pack-agnostic forward body shared by the training path
+    /// ([`Self::forward_scratch`], packs cached in the train scratch) and
+    /// the evaluation view ([`PackedConvNet`], packs owned by the view) —
+    /// identical ops either way, so the two paths are bit-identical.
+    #[allow(clippy::too_many_arguments)]
+    fn forward_core(
+        &self,
+        x: &Matrix,
+        w_pack: &PackedB,
+        head_pack: &PackedB,
+        cols: &mut Matrix,
+        conv_out: &mut Matrix,
+        relu: &mut Matrix,
+        pooled: &mut Matrix,
+        argmax: &mut Vec<usize>,
+        logits: &mut Matrix,
+    ) {
+        let n = x.rows();
+        let (ch, cw) = self.conv_dims();
+        let (ph, pw) = self.pool_dims();
+        let k = self.conv.k;
+        let patch = self.conv.in_ch * k * k;
+        let positions = n * ch * cw;
+
+        self.im2col_into(x, cols);
 
         // conv_out[pos][o] = b[o] + cols.row(pos) · w.row(o).
-        s.conv_out.reset_to_zeros(positions, self.conv.out_ch);
-        s.conv_out.add_bias_rows(&self.conv.b);
+        conv_out.reset_to_zeros(positions, self.conv.out_ch);
+        conv_out.add_bias_rows(&self.conv.b);
         st_linalg::kernel().gemm_nt_prepacked(
             positions,
             patch,
             self.conv.out_ch,
-            s.cols.as_slice(),
-            &s.w_pack,
-            s.conv_out.as_mut_slice(),
+            cols.as_slice(),
+            w_pack,
+            conv_out.as_mut_slice(),
         );
 
         // Scatter position-major GEMM output into the per-example
         // `(o, y, x)` activation layout, applying the ReLU.
-        s.relu.reset_to_zeros(n, self.conv.out_ch * ch * cw);
-        s.pooled.reset_to_zeros(n, self.conv.out_ch * ph * pw);
-        s.argmax.clear();
-        s.argmax.resize(n * self.conv.out_ch * ph * pw, 0);
+        relu.reset_to_zeros(n, self.conv.out_ch * ch * cw);
+        pooled.reset_to_zeros(n, self.conv.out_ch * ph * pw);
+        argmax.clear();
+        argmax.resize(n * self.conv.out_ch * ph * pw, 0);
         for ex in 0..n {
-            let relu_row = s.relu.row_mut(ex);
+            let relu_row = relu.row_mut(ex);
             for y in 0..ch {
                 for xx in 0..cw {
-                    let src = s.conv_out.row((ex * ch + y) * cw + xx);
+                    let src = conv_out.row((ex * ch + y) * cw + xx);
                     for (o, &v) in src.iter().enumerate() {
                         relu_row[(o * ch + y) * cw + xx] = v.max(0.0);
                     }
                 }
             }
             // 2×2 max pool with argmax bookkeeping.
-            let pooled_row = s.pooled.row_mut(ex);
+            let pooled_row = pooled.row_mut(ex);
             for o in 0..self.conv.out_ch {
                 for py in 0..ph {
                     for px in 0..pw {
@@ -323,20 +357,38 @@ impl ConvNet {
                         }
                         let p_idx = (o * ph + py) * pw + px;
                         pooled_row[p_idx] = best;
-                        s.argmax[ex * self.conv.out_ch * ph * pw + p_idx] = best_idx;
+                        argmax[ex * self.conv.out_ch * ph * pw + p_idx] = best_idx;
                     }
                 }
             }
         }
-        self.head
-            .forward_prepacked_into(&s.head_pack, &s.pooled, &mut s.logits);
+        self.head.forward_prepacked_into(head_pack, pooled, logits);
     }
 
     /// Batch logits.
     pub fn logits(&self, x: &Matrix) -> Matrix {
-        let mut s = ConvScratch::fresh();
-        self.forward_scratch(x, &mut s);
+        let mut s = ConvEvalScratch::default();
+        self.packed().logits_into(x, &mut s);
         s.logits
+    }
+
+    /// An evaluation view with the kernel bank and head weights packed
+    /// **once** for reuse across many forward passes — the conv analog of
+    /// [`crate::Mlp::packed`]. The view borrows the network immutably, so
+    /// the packs cannot go stale while it lives; outputs are bit-identical
+    /// to [`Self::logits`] (identical ops through
+    /// [`Self::forward_core`], identical packed bytes).
+    pub fn packed(&self) -> PackedConvNet<'_> {
+        let patch = self.conv.in_ch * self.conv.k * self.conv.k;
+        let mut w_pack = PackedB::default();
+        st_linalg::kernel().pack_b_t_into(patch, self.conv.out_ch, &self.conv.w, &mut w_pack);
+        let mut head_pack = PackedB::default();
+        self.head.pack_weights_into(&mut head_pack);
+        PackedConvNet {
+            net: self,
+            w_pack,
+            head_pack,
+        }
     }
 
     /// Trains a `ConvNet` on flattened-image rows. Deterministic in
@@ -473,6 +525,73 @@ impl ConvNet {
     }
 }
 
+/// A read-only [`ConvNet`] evaluation view with prepacked weights (see
+/// [`ConvNet::packed`]): the per-slice evaluation loops score one trained
+/// model against every slice's cached validation matrix, and re-packing
+/// identical weight bytes per call was the conv path's last avoidable
+/// per-evaluation cost.
+#[derive(Debug)]
+pub struct PackedConvNet<'a> {
+    net: &'a ConvNet,
+    w_pack: PackedB,
+    head_pack: PackedB,
+}
+
+/// Reusable forward buffers for [`PackedConvNet`] — the conv analog of
+/// [`crate::EvalScratch`]: one scratch serves any number of batches and
+/// models, keeping repeated evaluation allocation-free in steady state.
+#[derive(Debug, Default)]
+pub struct ConvEvalScratch {
+    cols: Matrix,
+    conv_out: Matrix,
+    relu: Matrix,
+    pooled: Matrix,
+    argmax: Vec<usize>,
+    logits: Matrix,
+}
+
+impl PackedConvNet<'_> {
+    /// The underlying network.
+    pub fn network(&self) -> &ConvNet {
+        self.net
+    }
+
+    /// Batch logits into the scratch's `logits` buffer — bit-identical to
+    /// [`ConvNet::logits`].
+    pub fn logits_into(&self, x: &Matrix, s: &mut ConvEvalScratch) {
+        self.net.forward_core(
+            x,
+            &self.w_pack,
+            &self.head_pack,
+            &mut s.cols,
+            &mut s.conv_out,
+            &mut s.relu,
+            &mut s.pooled,
+            &mut s.argmax,
+            &mut s.logits,
+        );
+    }
+
+    /// Mean clamped negative log-likelihood on one validation batch —
+    /// bit-identical to [`crate::log_loss_of`] on the unpacked network
+    /// (same logits bits, same softmax/clamp arithmetic). Returns `NaN`
+    /// for an empty batch.
+    ///
+    /// # Panics
+    /// Panics when `x.rows() != y.len()`.
+    pub fn log_loss_scratch(&self, x: &Matrix, y: &[usize], s: &mut ConvEvalScratch) -> f64 {
+        assert_eq!(x.rows(), y.len(), "feature/label count mismatch");
+        if y.is_empty() {
+            return f64::NAN;
+        }
+        self.logits_into(x, s);
+        for r in 0..s.logits.rows() {
+            softmax_in_place(s.logits.row_mut(r));
+        }
+        crate::loss::nll_of_proba(&s.logits, y)
+    }
+}
+
 impl Classifier for ConvNet {
     fn predict_proba(&self, x: &Matrix) -> Matrix {
         let mut logits = self.logits(x);
@@ -593,6 +712,48 @@ mod tests {
         let mut rng = seeded_rng(cfg.seed);
         let init = ConvNet::new(SHAPE, cfg.filters, cfg.kernel, 2, &mut rng);
         assert!(log_loss_of(&trained, &x, &y) < 0.5 * log_loss_of(&init, &x, &y));
+    }
+
+    #[test]
+    fn packed_view_is_bit_identical_and_scratch_is_shareable() {
+        let (x, y) = bars(12, 9);
+        let cfg = ConvTrainConfig {
+            epochs: 2,
+            ..Default::default()
+        };
+        let a = ConvNet::train(&x, &y, SHAPE, 2, &cfg);
+        let b = ConvNet::train(
+            &x,
+            &y,
+            SHAPE,
+            2,
+            &ConvTrainConfig {
+                seed: 7,
+                ..cfg.clone()
+            },
+        );
+        // One scratch across two different models and two batch sizes: the
+        // packs live in the views, so scratch reuse cannot go stale.
+        let mut s = ConvEvalScratch::default();
+        for net in [&a, &b] {
+            let packed = net.packed();
+            for rows in [1usize, 5] {
+                let xs = x.gather_rows(&(0..rows).collect::<Vec<_>>());
+                let want = net.logits(&xs);
+                packed.logits_into(&xs, &mut s);
+                for (w, g) in want.as_slice().iter().zip(s.logits.as_slice()) {
+                    assert_eq!(w.to_bits(), g.to_bits());
+                }
+            }
+            let want = log_loss_of(net, &x, &y);
+            let got = packed.log_loss_scratch(&x, &y, &mut s);
+            assert_eq!(want.to_bits(), got.to_bits());
+        }
+        // Empty batch keeps the NaN convention.
+        assert!(a
+            .packed()
+            .log_loss_scratch(&Matrix::zeros(0, SHAPE.flat_len()), &[], &mut s)
+            .is_nan());
     }
 
     #[test]

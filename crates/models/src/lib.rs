@@ -35,17 +35,19 @@ pub mod trainer;
 
 pub use batch::{examples_to_matrix, labels_of};
 pub use classifier::{accuracy_of, log_loss_of, Classifier};
-pub use conv::{ConvNet, ConvTrainConfig, ImageShape};
+pub use conv::{ConvEvalScratch, ConvNet, ConvTrainConfig, ImageShape, PackedConvNet};
 pub use io::{read_mlp, write_mlp, ModelIoError};
 pub use loss::{
     accuracy, log_loss, log_loss_packed, log_loss_packed_on, log_loss_packed_scratch,
-    overall_validation_loss, per_slice_validation_losses, EvalScratch,
+    overall_validation_loss, per_slice_validation_losses, EvalScratch, MultiEval, MultiEvalScratch,
 };
 pub use network::{Layer, Mlp, PackedMlp};
 pub use optimizer::{LrSchedule, OptimizerKind, OptimizerState};
-pub use residual::{ResidualBlock, ResidualMlp, ResidualTrainConfig};
+pub use residual::{
+    PackedResidualMlp, ResidualBlock, ResidualEvalScratch, ResidualMlp, ResidualTrainConfig,
+};
 pub use spec::ModelSpec;
 pub use trainer::{
-    train, train_on_examples, train_on_rows, train_on_rows_warm, train_validated, TrainConfig,
-    TrainOutcome,
+    train, train_on_examples, train_on_rows, train_on_rows_batched, train_on_rows_warm,
+    train_validated, TrainConfig, TrainOutcome,
 };

@@ -7,12 +7,12 @@
 use crate::batch::{examples_to_matrix, labels_of};
 use crate::network::{Mlp, PackedMlp};
 use st_data::{Example, SlicedDataset};
-use st_linalg::{Matrix, EPS_PROB};
+use st_linalg::{Matrix, PackedB, EPS_PROB};
 
 /// The clamped negative log-likelihood reduction shared by every loss
 /// entry point (Keras-style `[EPS_PROB, 1-EPS_PROB]` clamp so a single
 /// confident mistake cannot produce an infinite loss).
-fn nll_of_proba(p: &Matrix, y: &[usize]) -> f64 {
+pub(crate) fn nll_of_proba(p: &Matrix, y: &[usize]) -> f64 {
     let mut total = 0.0;
     for (r, &label) in y.iter().enumerate() {
         let prob = p[(r, label)].clamp(EPS_PROB, 1.0 - EPS_PROB);
@@ -92,6 +92,121 @@ pub fn accuracy(model: &Mlp, x: &Matrix, y: &[usize]) -> f64 {
     let pred = model.predict(x);
     let hits = pred.iter().zip(y).filter(|(p, t)| p == t).count();
     hits as f64 / y.len() as f64
+}
+
+/// A multi-model evaluation view for the batched estimation plane.
+///
+/// All models' weights are packed once for any number of validation
+/// batches. When every model is a single affine layer — the
+/// softmax-regression shape of the estimator's hottest cell — the weight
+/// matrices are column-stacked into one `d × (R·c)` operand
+/// `[W_1 | … | W_R]` so a single packed GEMM scores every model per batch,
+/// filling the simd panels that a 2-column per-model product leaves idle.
+/// Deeper models fall back to per-model packed views sharing one scratch.
+///
+/// Per-model losses are bit-identical to [`log_loss_packed_scratch`]
+/// against each model's own packed view: an output element's ascending-k
+/// accumulation chain depends only on its A row and its B column, which
+/// column-stacking preserves (the batched-GEMM contract), and the per-row
+/// softmax/NLL reads exactly the model's own `c` logits.
+pub struct MultiEval<'a> {
+    packed: Vec<PackedMlp<'a>>,
+    stacked: Option<StackedHead>,
+    classes: usize,
+    batch: usize,
+}
+
+/// The column-stacked single-layer head: `[b_1 | … | b_R]` plus the packed
+/// `[W_1 | … | W_R]` operand.
+struct StackedHead {
+    bias: Vec<f64>,
+    pack: PackedB,
+}
+
+/// Reusable buffers for [`MultiEval::losses`]: the stacked logits and the
+/// fallback path's [`EvalScratch`].
+#[derive(Debug, Default)]
+pub struct MultiEvalScratch {
+    cur: Matrix,
+    eval: EvalScratch,
+}
+
+impl<'a> MultiEval<'a> {
+    /// Builds the view, packing every model's weights exactly once.
+    ///
+    /// # Panics
+    /// Panics if `models` is empty.
+    pub fn new(models: &'a [Mlp]) -> Self {
+        assert!(!models.is_empty(), "MultiEval needs at least one model");
+        let classes = models[0].num_classes();
+        let d = models[0].input_dim();
+        let single = models
+            .iter()
+            .all(|m| m.layers.len() == 1 && m.input_dim() == d && m.num_classes() == classes);
+        if single {
+            let cols = classes * models.len();
+            let mut wcat = Matrix::zeros(d, cols);
+            let mut bias = vec![0.0; cols];
+            for (r, m) in models.iter().enumerate() {
+                let layer = &m.layers[0];
+                for i in 0..d {
+                    wcat.row_mut(i)[r * classes..(r + 1) * classes].copy_from_slice(layer.w.row(i));
+                }
+                bias[r * classes..(r + 1) * classes].copy_from_slice(&layer.b);
+            }
+            let pack = wcat.pack_as_rhs();
+            MultiEval {
+                packed: Vec::new(),
+                stacked: Some(StackedHead { bias, pack }),
+                classes,
+                batch: models.len(),
+            }
+        } else {
+            MultiEval {
+                packed: models.iter().map(Mlp::packed).collect(),
+                stacked: None,
+                classes,
+                batch: models.len(),
+            }
+        }
+    }
+
+    /// Per-model losses on one validation batch: `result[r]` is
+    /// bit-identical to `log_loss_packed_scratch(&models[r].packed(), x, y,
+    /// ..)`. Returns all-`NaN` for an empty batch (the [`log_loss`]
+    /// convention).
+    pub fn losses(&self, x: &Matrix, y: &[usize], scratch: &mut MultiEvalScratch) -> Vec<f64> {
+        assert_eq!(x.rows(), y.len(), "feature/label count mismatch");
+        let mut out = vec![f64::NAN; self.batch];
+        if y.is_empty() {
+            return out;
+        }
+        match &self.stacked {
+            Some(head) => {
+                x.matmul_prepacked_bias_into(&head.pack, &head.bias, &mut scratch.cur);
+                let c = self.classes;
+                for (r, slot) in out.iter_mut().enumerate() {
+                    let mut total = 0.0;
+                    for (i, &label) in y.iter().enumerate() {
+                        // NLL reads one probability, so the segment is
+                        // scored in place: `softmax_prob` is bit-identical
+                        // to softmaxing the copied segment and indexing it,
+                        // minus the copy and the unread divisions.
+                        let seg = &scratch.cur.row(i)[r * c..(r + 1) * c];
+                        let p = st_linalg::softmax_prob(seg, label);
+                        total -= p.clamp(EPS_PROB, 1.0 - EPS_PROB).ln();
+                    }
+                    *slot = total / y.len() as f64;
+                }
+            }
+            None => {
+                for (r, m) in self.packed.iter().enumerate() {
+                    out[r] = log_loss_packed_scratch(m, x, y, &mut scratch.eval);
+                }
+            }
+        }
+        out
+    }
 }
 
 /// Per-slice validation losses `ψ(s_i, M)`, in slice-id order.
@@ -241,6 +356,51 @@ mod tests {
         let weighted: f64 =
             per.iter().zip(sizes).map(|(l, s)| l * s).sum::<f64>() / sizes.iter().sum::<f64>();
         assert!((overall_validation_loss(&model, &ds) - weighted).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multi_eval_matches_per_model_losses_bitwise() {
+        let fam = st_data::families::census();
+        let ds = SlicedDataset::generate(&fam, &[40; 4], 30, 13);
+        let m = ds.matrices();
+        // Both head shapes: the stacked single-layer fast path and the
+        // per-model fallback for hidden layers.
+        for hidden in [&[] as &[usize], &[6]] {
+            let models: Vec<Mlp> = (0..5)
+                .map(|i| {
+                    let mut rng = seeded_rng(100 + i);
+                    Mlp::new(fam.feature_dim, hidden, fam.num_classes, &mut rng)
+                })
+                .collect();
+            let eval = MultiEval::new(&models);
+            let mut scratch = MultiEvalScratch::default();
+            for s in 0..ds.num_slices() {
+                let got = eval.losses(&m.val_x[s], &m.val_y[s], &mut scratch);
+                for (r, model) in models.iter().enumerate() {
+                    let want = log_loss_packed_scratch(
+                        &model.packed(),
+                        &m.val_x[s],
+                        &m.val_y[s],
+                        &mut EvalScratch::default(),
+                    );
+                    assert_eq!(
+                        want.to_bits(),
+                        got[r].to_bits(),
+                        "hidden {hidden:?} s {s} r {r}"
+                    );
+                }
+            }
+        }
+        // Empty batch keeps the NaN convention per model.
+        let models = vec![Mlp::new(
+            fam.feature_dim,
+            &[],
+            fam.num_classes,
+            &mut seeded_rng(1),
+        )];
+        let eval = MultiEval::new(&models);
+        let got = eval.losses(&Matrix::zeros(0, 0), &[], &mut MultiEvalScratch::default());
+        assert!(got.iter().all(|l| l.is_nan()));
     }
 
     #[test]

@@ -79,6 +79,15 @@ impl Layer {
     pub fn forward_prepacked_into(&self, pack: &PackedB, x: &Matrix, out: &mut Matrix) {
         x.matmul_prepacked_bias_into(pack, &self.b, out);
     }
+
+    /// Hidden-layer forward: [`forward_prepacked_into`]
+    /// (Self::forward_prepacked_into) with the ReLU clamp also fused into
+    /// the packed write-back ([`Matrix::matmul_prepacked_bias_relu_into`]).
+    /// One pass over the output instead of three (gemm, bias, clamp);
+    /// bit-identical to the affine forward followed by the scalar clamp.
+    pub fn forward_prepacked_relu_into(&self, pack: &PackedB, x: &Matrix, out: &mut Matrix) {
+        x.matmul_prepacked_bias_relu_into(pack, &self.b, out);
+    }
 }
 
 /// A ReLU multi-layer perceptron with a softmax output head.
@@ -225,13 +234,13 @@ impl PackedMlp<'_> {
         let last = self.net.layers.len() - 1;
         for (i, (layer, pack)) in self.net.layers.iter().zip(&self.packs).enumerate() {
             let input = if i == 0 { x } else { &*cur };
-            layer.forward_prepacked_into(pack, input, next);
             if i != last {
-                for v in next.as_mut_slice() {
-                    if *v < 0.0 {
-                        *v = 0.0;
-                    }
-                }
+                // Hidden layer: the ReLU clamp rides the packed cores'
+                // single write-back instead of a second sweep. Same clamp
+                // (`< 0.0`), same bits as the two-pass sequence.
+                layer.forward_prepacked_relu_into(pack, input, next);
+            } else {
+                layer.forward_prepacked_into(pack, input, next);
             }
             std::mem::swap(cur, next);
         }

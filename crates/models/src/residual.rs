@@ -224,6 +224,20 @@ impl ResidualMlp {
         self.forward_trace(x).2
     }
 
+    /// An evaluation view with every layer's weights packed **once** for
+    /// reuse across many forward passes — the residual analog of
+    /// [`crate::Mlp::packed`]. Outputs are bit-identical to
+    /// [`Self::logits`]: every dense product goes through the prepacked
+    /// fused-bias path, which is bit-identical to the plain forward (the
+    /// fused-bias contract), and the block arithmetic (ReLU, identity
+    /// skip) is op-for-op the traced forward's.
+    pub fn packed(&self) -> PackedResidualMlp<'_> {
+        PackedResidualMlp {
+            net: self,
+            packs: ResidualPacks::for_net(self),
+        }
+    }
+
     /// Trains a residual classifier. Deterministic in `(x, y, config)`.
     ///
     /// # Panics
@@ -363,6 +377,72 @@ impl ResidualMlp {
     }
 }
 
+/// A read-only [`ResidualMlp`] evaluation view with prepacked weights (see
+/// [`ResidualMlp::packed`]).
+#[derive(Debug)]
+pub struct PackedResidualMlp<'a> {
+    net: &'a ResidualMlp,
+    packs: ResidualPacks,
+}
+
+/// Reusable forward buffers for [`PackedResidualMlp`] — the residual analog
+/// of [`crate::EvalScratch`]: ping-pong trunk activations plus the inner
+/// block activation, reused across batches and models.
+#[derive(Debug, Default)]
+pub struct ResidualEvalScratch {
+    cur: Matrix,
+    next: Matrix,
+    hidden: Matrix,
+}
+
+impl PackedResidualMlp<'_> {
+    /// The underlying network.
+    pub fn network(&self) -> &ResidualMlp {
+        self.net
+    }
+
+    /// Batch logits into the scratch's `cur` buffer — bit-identical to
+    /// [`ResidualMlp::logits`] (the traced forward keeps intermediates;
+    /// this one reuses two trunk buffers, same ops and bits). The
+    /// stem/inner ReLUs ride the packed cores' fused write-back; the block
+    /// output ReLU follows the skip add, so it stays a separate sweep.
+    pub fn logits_into(&self, x: &Matrix, s: &mut ResidualEvalScratch) {
+        let net = self.net;
+        net.stem
+            .forward_prepacked_relu_into(&self.packs.stem, x, &mut s.cur);
+        for (block, (p1, p2)) in net.blocks.iter().zip(&self.packs.blocks) {
+            block
+                .l1
+                .forward_prepacked_relu_into(p1, &s.cur, &mut s.hidden);
+            block.l2.forward_prepacked_into(p2, &s.hidden, &mut s.next);
+            s.next.add_assign(&s.cur);
+            relu_in_place(&mut s.next);
+            std::mem::swap(&mut s.cur, &mut s.next);
+        }
+        net.head
+            .forward_prepacked_into(&self.packs.head, &s.cur, &mut s.next);
+        std::mem::swap(&mut s.cur, &mut s.next);
+    }
+
+    /// Mean clamped negative log-likelihood on one validation batch —
+    /// bit-identical to [`crate::log_loss_of`] on the unpacked network.
+    /// Returns `NaN` for an empty batch.
+    ///
+    /// # Panics
+    /// Panics when `x.rows() != y.len()`.
+    pub fn log_loss_scratch(&self, x: &Matrix, y: &[usize], s: &mut ResidualEvalScratch) -> f64 {
+        assert_eq!(x.rows(), y.len(), "feature/label count mismatch");
+        if y.is_empty() {
+            return f64::NAN;
+        }
+        self.logits_into(x, s);
+        for r in 0..s.cur.rows() {
+            softmax_in_place(s.cur.row_mut(r));
+        }
+        crate::loss::nll_of_proba(&s.cur, y)
+    }
+}
+
 impl Classifier for ResidualMlp {
     fn predict_proba(&self, x: &Matrix) -> Matrix {
         let mut logits = self.logits(x);
@@ -434,6 +514,40 @@ mod tests {
         let net = ResidualMlp::train(&x, &y, 2, 3, &cfg);
         let acc = accuracy_of(&net, &x, &y);
         assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn packed_view_is_bit_identical_and_scratch_is_shareable() {
+        let (x, y) = blobs(40, &[(-2.0, 0.0), (2.0, 0.0), (0.0, 2.0)], 9);
+        let cfg = ResidualTrainConfig {
+            width: 6,
+            depth: 2,
+            epochs: 3,
+            ..Default::default()
+        };
+        let a = ResidualMlp::train(&x, &y, 2, 3, &cfg);
+        let b = ResidualMlp::train(&x, &y, 2, 3, &ResidualTrainConfig { seed: 5, ..cfg });
+        // One scratch across two models and two batch sizes: the packs live
+        // in the views, so scratch reuse cannot go stale.
+        let mut s = ResidualEvalScratch::default();
+        for net in [&a, &b] {
+            let packed = net.packed();
+            for rows in [1usize, 7] {
+                let xs = x.gather_rows(&(0..rows).collect::<Vec<_>>());
+                let want = net.logits(&xs);
+                packed.logits_into(&xs, &mut s);
+                for (w, g) in want.as_slice().iter().zip(s.cur.as_slice()) {
+                    assert_eq!(w.to_bits(), g.to_bits());
+                }
+            }
+            let want = log_loss_of(net, &x, &y);
+            let got = packed.log_loss_scratch(&x, &y, &mut s);
+            assert_eq!(want.to_bits(), got.to_bits());
+        }
+        assert!(a
+            .packed()
+            .log_loss_scratch(&Matrix::zeros(0, 2), &[], &mut s)
+            .is_nan());
     }
 
     #[test]
