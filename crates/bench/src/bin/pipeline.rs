@@ -4,7 +4,8 @@
 //! plane against the per-call gather baseline, the batched estimation
 //! plane (lockstep group training + stacked eval; pinned per run, so the
 //! reading is independent of `ST_BATCH`) against the sequential plane, and
-//! the prepacked operand API against per-call packing, and emits
+//! the prepacked operand API against per-call packing, gates the
+//! fault-tolerance guards' overhead on the fault-free hot path, and emits
 //! machine-readable `BENCH_pipeline.json` (schema in `docs/profiling.md`).
 //!
 //! ```text
@@ -344,6 +345,43 @@ fn main() {
     // — pinned estimator seed, accumulator-seeded fits, append-only
     // snapshots — but refits everything, so the ratio isolates the skipping.
     // Dirty-tracking runs are also checked bit-reproducible run to run.
+    // ---- Numeric-guards overhead gate ------------------------------------
+    //
+    // The robustness layer's fault-free cost: panic isolation around each
+    // estimation measurement, the trainer's non-finite minibatch-loss scan,
+    // and the fitter's point validation. `TunerConfig::without_guards()`
+    // strips all three, so the guarded/unguarded ratio on the estimation
+    // hot path is exactly the layer's overhead. Guards must not change a
+    // single bit of the estimates, and the overhead is gated at <= 1.02x.
+    let run_guards_cell = |unguarded: bool| {
+        let ds = SlicedDataset::generate(&setup.family, &setup.equal_sizes(), setup.validation, 11);
+        let mut source = PoolSource::new(setup.family.clone(), 0x9157);
+        let mut cfg = gate_config(&setup, 11, Plane::Sequential);
+        if unguarded {
+            cfg = cfg.without_guards();
+        }
+        let tuner = SliceTuner::new(ds, &mut source, cfg);
+        let start = Instant::now();
+        let detailed = tuner.estimate_curves_detailed(0);
+        (start.elapsed().as_secs_f64(), detailed)
+    };
+    let (mut guarded_s, mut unguarded_s) = (f64::INFINITY, f64::INFINITY);
+    let (secs, guarded_est) = run_guards_cell(false);
+    guarded_s = guarded_s.min(secs);
+    let (secs, unguarded_est) = run_guards_cell(true);
+    unguarded_s = unguarded_s.min(secs);
+    assert_estimates_identical(&guarded_est, &unguarded_est);
+    // Far more interleaved rounds than the other gates: a 2% threshold
+    // needs both contenders' best-of floors an order of magnitude tighter
+    // than the >=15% gates tolerate, and each round is only one cheap
+    // estimation on the quick-scaled cell.
+    let guard_rounds = if quick { 12 } else { 20 };
+    for _ in 0..guard_rounds {
+        unguarded_s = unguarded_s.min(run_guards_cell(true).0);
+        guarded_s = guarded_s.min(run_guards_cell(false).0);
+    }
+    let guards_overhead = guarded_s / unguarded_s;
+
     let (_, inc_trial, inc_trainings) = run_incremental_trial(&setup, false);
     let (_, _full_trial, refit_trainings) = run_incremental_trial(&setup, true);
     let (_, inc_again, again_trainings) = run_incremental_trial(&setup, false);
@@ -580,12 +618,20 @@ fn main() {
         if no_gate { ", time not enforced" } else { "" }
     );
 
+    println!("\nguards gate: fault-tolerance layer on vs off (estimation hot path, bit-identical)");
+    println!(
+        "  guarded: {:.3} ms | unguarded: {:.3} ms | overhead {guards_overhead:.3}x (target <= 1.02x{})",
+        guarded_s * 1e3,
+        unguarded_s * 1e3,
+        if no_gate { ", not enforced" } else { "" }
+    );
+
     // ---- JSON emission ---------------------------------------------------
     let path = std::env::var("ST_BENCH_JSON").unwrap_or_else(|_| "BENCH_pipeline.json".to_string());
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"bench\": \"pipeline\",");
-    let _ = writeln!(json, "  \"schema_version\": 4,");
+    let _ = writeln!(json, "  \"schema_version\": 5,");
     let _ = writeln!(json, "  \"kernel\": \"{}\",", kernel.name());
     let _ = writeln!(json, "  \"quick\": {quick},");
     let _ = writeln!(json, "  \"family\": \"{}\",", setup.label);
@@ -666,6 +712,13 @@ fn main() {
     let _ = writeln!(json, "    \"trainings_ratio\": {trainings_ratio:.4},");
     let _ = writeln!(json, "    \"target\": 1.5,");
     let _ = writeln!(json, "    \"gate_enforced\": {}", !no_gate);
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"guards\": {{");
+    let _ = writeln!(json, "    \"guarded_ms\": {:.6},", guarded_s * 1e3);
+    let _ = writeln!(json, "    \"unguarded_ms\": {:.6},", unguarded_s * 1e3);
+    let _ = writeln!(json, "    \"overhead\": {guards_overhead:.4},");
+    let _ = writeln!(json, "    \"target\": 1.02,");
+    let _ = writeln!(json, "    \"gate_enforced\": {}", !no_gate);
     let _ = writeln!(json, "  }}");
     let _ = writeln!(json, "}}");
     std::fs::write(&path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
@@ -701,9 +754,14 @@ fn main() {
             "the batched estimation plane must be >= 1.3x over the sequential \
              plane on the training phase, got {batched_speedup:.2}x"
         );
+        assert!(
+            guards_overhead <= 1.02,
+            "the fault-tolerance guards must cost <= 1.02x on the fault-free \
+             estimation hot path, got {guards_overhead:.3}x"
+        );
         println!(
             "gates passed: data plane >= 1.15x, batched >= 1.3x, prepacked >= 1.2x, \
-             incremental >= 1.5x, bit-identical outputs"
+             incremental >= 1.5x, guards <= 1.02x, bit-identical outputs"
         );
     }
 }

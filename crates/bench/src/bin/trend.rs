@@ -204,6 +204,16 @@ fn main() {
         inc_section.and_then(|at| num_after(&pipeline[at..], "\"trainings_ratio\": ")),
         ",",
     );
+    // Fault-tolerance guards overhead (pipeline schema 5+); the scoped
+    // find keeps the needle off the phase list and other gate blocks.
+    write_num(
+        &mut entry,
+        "guards_overhead",
+        pipeline
+            .find("\"guards\": {")
+            .and_then(|at| num_after(&pipeline[at..], "\"overhead\": ")),
+        ",",
+    );
     match &kernels {
         Some(k) => {
             write_num(
@@ -273,14 +283,21 @@ fn main() {
     let entries = trend.matches("\"commit\": ").count();
     println!("appended commit {commit} to {trend_path} ({entries} entries)");
     println!(
-        "{:<12} {:>10} {:>10} {:>10} {:>9} {:>10} {:>11}",
-        "commit", "total_ms", "train_dp", "trial_dp", "batched", "prepacked", "incremental"
+        "{:<12} {:>10} {:>10} {:>10} {:>9} {:>10} {:>11} {:>7}",
+        "commit",
+        "total_ms",
+        "train_dp",
+        "trial_dp",
+        "batched",
+        "prepacked",
+        "incremental",
+        "guards"
     );
     for chunk in trend.split("    {").skip(1) {
         let c = str_after(chunk, "\"commit\": \"").unwrap_or_else(|| "?".into());
         let fmt = |v: Option<f64>| v.map_or("-".into(), |x| format!("{x:.2}"));
         println!(
-            "{:<12} {:>10} {:>10} {:>10} {:>9} {:>10} {:>11}",
+            "{:<12} {:>10} {:>10} {:>10} {:>9} {:>10} {:>11} {:>7}",
             c,
             fmt(num_after(chunk, "\"total_ms\": ")),
             fmt(num_after(chunk, "\"data_plane_training_speedup\": ")),
@@ -288,6 +305,7 @@ fn main() {
             fmt(num_after(chunk, "\"batched_speedup\": ")),
             fmt(num_after(chunk, "\"prepacked_speedup\": ")),
             fmt(num_after(chunk, "\"incremental_speedup\": ")),
+            fmt(num_after(chunk, "\"guards_overhead\": ")),
         );
     }
 }

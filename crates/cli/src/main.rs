@@ -81,17 +81,22 @@ fn usage() {
     eprintln!(
         "usage:\n  slice-tuner-cli tune      --family <name> [--strategy moderate] [--budget 500]\n\
          \x20                           [--sizes 40,80,...] [--lambda 1] [--seed 42]\n\
+         \x20                           [--retries 2] [--checkpoint path [--resume true]]\n\
+         \x20                           [--halt-after K] [--mode amortized|exhaustive]\n\
          \x20 slice-tuner-cli curves    --family <name> [--size 300] [--seed 42]\n\
          \x20 slice-tuner-cli autoslice --family <name> [--examples 1200] [--max-depth 4]\n\
          \x20 slice-tuner-cli sensitivity --family <name> [--budget 500] [--size 300]\n\
          \x20 slice-tuner-cli experiment --family <name> [--strategies uniform,waterfilling,moderate]\n\
          \x20                           [--budget 500] [--trials 3] [--jobs N] [--cache true|false]\n\
-         \x20                           [--format markdown|csv]\n\
+         \x20                           [--retries 2] [--format markdown|csv]\n\
          \x20 slice-tuner-cli families\n\
          families: fashion | mixed | faces | census\n\
          global: --kernel naive|blocked|simd|sharded|fast (compute backend; default blocked,\n\
          \x20        also ST_KERNEL; 'fast' additionally needs --allow-nondeterministic-kernel\n\
-         \x20        true because it waives bit-reproducibility)"
+         \x20        true because it waives bit-reproducibility)\n\
+         \x20       ST_FAULT=<spec>[,<spec>...] injects deterministic faults for chaos testing;\n\
+         \x20        specs: trial_panic@<trial> | nan_loss@slice<S>:round<R> | fit_diverge@<p>\n\
+         \x20        (see docs/robustness.md)"
     );
 }
 
@@ -168,6 +173,11 @@ fn cmd_tune(args: &Args) -> Result<(), String> {
         "seed",
         "validation",
         "epochs",
+        "mode",
+        "retries",
+        "checkpoint",
+        "resume",
+        "halt-after",
         "kernel",
         "allow-nondeterministic-kernel",
     ];
@@ -178,6 +188,31 @@ fn cmd_tune(args: &Args) -> Result<(), String> {
     let lambda: f64 = args.get_or("lambda", 1.0)?;
     let seed: u64 = args.get_or("seed", 42)?;
     let validation: usize = args.get_or("validation", 300)?;
+    let retries: usize = args.get_or("retries", 2)?;
+    let resume: bool = args.get_or("resume", false)?;
+    let mode = match args.get("mode").unwrap_or("amortized") {
+        "amortized" => slice_tuner::EstimationMode::Amortized,
+        "exhaustive" => slice_tuner::EstimationMode::Exhaustive,
+        other => {
+            return Err(format!(
+                "unknown estimation mode '{other}' (amortized | exhaustive)"
+            ))
+        }
+    };
+    let halt_after: Option<usize> = match args.get("halt-after") {
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| format!("--halt-after needs a round count, got '{v}'"))?,
+        ),
+        None => None,
+    };
+    validate_budget(budget)?;
+    validate_lambda(lambda)?;
+    validate_validation(validation)?;
+    validate_retries(retries)?;
+    if resume && args.get("checkpoint").is_none() {
+        return Err("--resume needs --checkpoint <path> to resume from".into());
+    }
     let sizes = args
         .get_list("sizes")?
         .unwrap_or_else(|| vec![150; family.num_slices()]);
@@ -193,11 +228,22 @@ fn cmd_tune(args: &Args) -> Result<(), String> {
     let mut pool = PoolSource::new(family.clone(), seed);
     let mut config = TunerConfig::new(spec_for(&family))
         .with_seed(seed)
-        .with_lambda(lambda);
+        .with_lambda(lambda)
+        .with_mode(mode)
+        .with_max_retries(retries);
+    if let Some(path) = args.get("checkpoint") {
+        config = config.with_checkpoint(path);
+    }
+    if resume {
+        config = config.with_resume();
+    }
+    if let Some(rounds) = halt_after {
+        config = config.with_halt_after_rounds(rounds);
+    }
     config.allow_nondeterministic_kernel = args.get_or("allow-nondeterministic-kernel", false)?;
     config.train.epochs = args.get_or("epochs", config.train.epochs)?;
     let mut tuner = SliceTuner::new(ds, &mut pool, config);
-    let result = tuner.run(strategy, budget);
+    let result = tuner.try_run(strategy, budget).map_err(|e| e.to_string())?;
 
     println!("strategy {:<14} budget {budget}", strategy.name());
     println!(
@@ -225,6 +271,57 @@ fn cmd_tune(args: &Args) -> Result<(), String> {
         "spent {:.1} in {} iterations using {} model trainings",
         result.spent, result.iterations, result.trainings
     );
+    // Surface degradations the run survived (quarantined slices etc.) —
+    // the run completed, but the report should say what it ran without.
+    for w in &result.warnings {
+        eprintln!("warning: {w}");
+    }
+    Ok(())
+}
+
+/// Parse-time range checks for the numeric flags: a bad value fails here
+/// with the flag's name instead of corrupting a solve rounds later.
+fn validate_budget(budget: f64) -> Result<(), String> {
+    if !budget.is_finite() || budget <= 0.0 {
+        return Err(format!(
+            "--budget must be a positive finite number, got {budget}"
+        ));
+    }
+    Ok(())
+}
+
+fn validate_lambda(lambda: f64) -> Result<(), String> {
+    if !lambda.is_finite() || lambda < 0.0 {
+        return Err(format!(
+            "--lambda must be a non-negative finite number, got {lambda}"
+        ));
+    }
+    Ok(())
+}
+
+fn validate_validation(validation: usize) -> Result<(), String> {
+    if validation == 0 {
+        return Err("--validation must be at least 1 (losses are measured on it)".into());
+    }
+    Ok(())
+}
+
+fn validate_retries(retries: usize) -> Result<(), String> {
+    if retries > 1000 {
+        return Err(format!(
+            "--retries {retries} is out of range (0..=1000); retries re-execute full \
+             measurements, so large values only multiply the cost of a persistent fault"
+        ));
+    }
+    Ok(())
+}
+
+fn validate_jobs(jobs: usize) -> Result<(), String> {
+    if jobs > 4096 {
+        return Err(format!(
+            "--jobs {jobs} is out of range (0..=4096, 0 = all cores)"
+        ));
+    }
     Ok(())
 }
 
@@ -417,6 +514,7 @@ fn cmd_experiment(args: &Args) -> Result<(), String> {
         "seed",
         "validation",
         "epochs",
+        "retries",
         "format",
         "jobs",
         "threads",
@@ -454,14 +552,21 @@ fn cmd_experiment(args: &Args) -> Result<(), String> {
     let lambda: f64 = args.get_or("lambda", base.lambda)?;
     let seed: u64 = args.get_or("seed", base.seed)?;
     let validation: usize = args.get_or("validation", base.validation_size)?;
+    let retries: usize = args.get_or("retries", 2)?;
     // `--jobs N` is the canonical worker-count flag (0 = all cores);
     // `--threads` is kept as an alias for older invocations.
     let jobs: usize = args.get_or("jobs", args.get_or("threads", 0)?)?;
     let format = args.get("format").unwrap_or("markdown");
+    validate_budget(budget)?;
+    validate_lambda(lambda)?;
+    validate_validation(validation)?;
+    validate_retries(retries)?;
+    validate_jobs(jobs)?;
 
     let mut config = TunerConfig::new(spec_for(&family))
         .with_seed(seed)
-        .with_lambda(lambda);
+        .with_lambda(lambda)
+        .with_max_retries(retries);
     config.allow_nondeterministic_kernel = args.get_or("allow-nondeterministic-kernel", false)?;
     let default_epochs = if base.epochs > 0 {
         base.epochs

@@ -1,0 +1,638 @@
+//! Checkpoint/resume for iterative tuning runs.
+//!
+//! Algorithm 1 can spend a large budget over many acquisition rounds; a
+//! crash mid-run used to throw all of it away. This module serializes the
+//! round-level state of [`SliceTuner::run`](crate::SliceTuner) after every
+//! completed acquisition round (`TunerConfig::checkpoint`), and restores it
+//! on `--resume` so the continued run is **bit-identical** to an
+//! uninterrupted one.
+//!
+//! ## Why replay instead of snapshotting the dataset
+//!
+//! Every measurement, fit, and allocation in the workspace is a pure
+//! function of `(inputs, seed)`; the only *stateful* mutations a round
+//! performs are `source.acquire` (which advances the acquisition source's
+//! RNG) and `ds.absorb`. The checkpoint therefore records the **integer
+//! acquisition counts** of each completed round, and resume replays them
+//! through the live source and dataset: the replayed `acquire` calls
+//! consume the identical RNG stream, so the rebuilt dataset and source
+//! state match the crashed run bit for bit — without serializing a single
+//! training example. Estimation is skipped during replay (it is stateless),
+//! which also makes resume fast.
+//!
+//! The loop scalars (remaining budget, spent, the `T` threshold) are stored
+//! as exact f64 bit patterns; incremental re-estimation state (dirty flags
+//! and the previous round's estimates) is stored the same way. The
+//! warm-start model store is deliberately **not** checkpointed: warm-started
+//! runs are tolerance-comparable, never bit-identical, so there are no bits
+//! to preserve (see `TunerConfig::warm_start`).
+//!
+//! ## Format
+//!
+//! Versioned JSON (`vendor/serde`'s `json` module): a `magic` string, a
+//! `version` number, and a fingerprint (master seed, budget bits, slice
+//! count) that [`RoundCheckpoint::check_compatible`] verifies on load —
+//! a checkpoint from a different run, or written by a newer schema, is
+//! refused with a typed error instead of silently corrupting the resume.
+//! Floats are 16-hex-digit bit patterns, so `save` ∘ `load` is exact.
+
+use serde::json::{self, Value};
+use std::fmt;
+
+/// Current checkpoint schema version. Bump on any layout change; loads of
+/// newer versions are refused (old binaries must not misread new files).
+pub const CHECKPOINT_VERSION: u64 = 1;
+
+const MAGIC: &str = "slice_tuner_checkpoint";
+
+/// Why a checkpoint could not be loaded or applied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// Filesystem failure reading or writing the checkpoint.
+    Io {
+        /// The checkpoint path.
+        path: String,
+        /// The OS error message.
+        cause: String,
+    },
+    /// The file is not a well-formed checkpoint document.
+    Parse {
+        /// The checkpoint path.
+        path: String,
+        /// What was malformed.
+        cause: String,
+    },
+    /// The file was written by an unknown (newer) schema version.
+    Version {
+        /// The version found in the file.
+        found: u64,
+    },
+    /// The checkpoint belongs to a different run (seed, budget, or slice
+    /// count mismatch).
+    Foreign {
+        /// Which fingerprint field disagreed.
+        field: &'static str,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io { path, cause } => {
+                write!(f, "checkpoint io failure at {path}: {cause}")
+            }
+            CheckpointError::Parse { path, cause } => {
+                write!(f, "checkpoint at {path} is not readable: {cause}")
+            }
+            CheckpointError::Version { found } => write!(
+                f,
+                "checkpoint schema version {found} is newer than this binary's \
+                 {CHECKPOINT_VERSION}; refusing to resume from it"
+            ),
+            CheckpointError::Foreign { field } => write!(
+                f,
+                "checkpoint belongs to a different run ({field} mismatch); \
+                 refusing to resume from it"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// One slice's serialized estimate: the pooled fit, per-repeat fits, and
+/// measured points, all as exact bit patterns (fit failures keep a stable
+/// error code instead).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EstimateSnapshot {
+    /// `Ok((b_bits, a_bits))` or a [`FitError`](st_curve::FitError) code.
+    pub fit: Result<(u64, u64), String>,
+    /// Per-repeat `(b_bits, a_bits)`.
+    pub repeat_fits: Vec<(u64, u64)>,
+    /// Pooled `(n_bits, loss_bits, weight_bits)` points.
+    pub points: Vec<(u64, u64, u64)>,
+}
+
+/// Serialized incremental re-estimation state
+/// ([`IncrementalState`](crate::IncrementalState) minus the warm store).
+#[derive(Debug, Clone, PartialEq)]
+pub struct IncSnapshot {
+    /// Per-slice dirty flags.
+    pub dirty: Vec<bool>,
+    /// The previous round's estimates, when one exists.
+    pub prev: Option<Vec<EstimateSnapshot>>,
+}
+
+/// Everything needed to resume an iterative run after round `iterations`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundCheckpoint {
+    /// Master seed of the run (fingerprint).
+    pub seed: u64,
+    /// Budget bits of the run (fingerprint).
+    pub budget_bits: u64,
+    /// Slice count of the run (fingerprint).
+    pub num_slices: u64,
+    /// Acquisition counts of the minimum-size pre-pass (empty = none ran).
+    pub pre_pass: Vec<usize>,
+    /// Per completed round: examples acquired per slice.
+    pub rounds: Vec<Vec<usize>>,
+    /// Remaining budget after the last completed round (f64 bits).
+    pub remaining_bits: u64,
+    /// Budget spent so far (f64 bits).
+    pub total_spent_bits: u64,
+    /// Algorithm 1's imbalance-change threshold `T` (f64 bits).
+    pub t_bits: u64,
+    /// Completed iterative rounds.
+    pub iterations: u64,
+    /// Incremental re-estimation state, when that mode is on.
+    pub inc: Option<IncSnapshot>,
+}
+
+impl RoundCheckpoint {
+    /// Refuses checkpoints that belong to a different run.
+    ///
+    /// # Errors
+    /// [`CheckpointError::Foreign`] naming the first mismatched field.
+    pub fn check_compatible(
+        &self,
+        seed: u64,
+        budget: f64,
+        num_slices: usize,
+    ) -> Result<(), CheckpointError> {
+        if self.seed != seed {
+            return Err(CheckpointError::Foreign { field: "seed" });
+        }
+        if self.budget_bits != budget.to_bits() {
+            return Err(CheckpointError::Foreign { field: "budget" });
+        }
+        if self.num_slices != num_slices as u64 {
+            return Err(CheckpointError::Foreign {
+                field: "num_slices",
+            });
+        }
+        Ok(())
+    }
+
+    /// Serializes to the versioned JSON document.
+    pub fn to_json(&self) -> String {
+        let counts =
+            |c: &[usize]| Value::Arr(c.iter().map(|&n| Value::from_u64(n as u64)).collect());
+        let mut members = vec![
+            ("magic".to_string(), Value::Str(MAGIC.to_string())),
+            ("version".to_string(), Value::from_u64(CHECKPOINT_VERSION)),
+            ("seed".to_string(), Value::from_u64(self.seed)),
+            ("budget".to_string(), bits(self.budget_bits)),
+            ("num_slices".to_string(), Value::from_u64(self.num_slices)),
+            ("pre_pass".to_string(), counts(&self.pre_pass)),
+            (
+                "rounds".to_string(),
+                Value::Arr(self.rounds.iter().map(|r| counts(r)).collect()),
+            ),
+            ("remaining".to_string(), bits(self.remaining_bits)),
+            ("total_spent".to_string(), bits(self.total_spent_bits)),
+            ("t".to_string(), bits(self.t_bits)),
+            ("iterations".to_string(), Value::from_u64(self.iterations)),
+        ];
+        if let Some(inc) = &self.inc {
+            members.push(("inc".to_string(), inc_to_value(inc)));
+        }
+        Value::Obj(members).to_json()
+    }
+
+    /// Parses a checkpoint document, verifying magic and version.
+    ///
+    /// # Errors
+    /// [`CheckpointError::Parse`] on malformed documents,
+    /// [`CheckpointError::Version`] on newer schema versions.
+    pub fn parse(text: &str, path: &str) -> Result<Self, CheckpointError> {
+        let bad = |cause: String| CheckpointError::Parse {
+            path: path.to_string(),
+            cause,
+        };
+        let doc = json::parse(text).map_err(|e| bad(e.to_string()))?;
+        match doc.get("magic").and_then(Value::as_str) {
+            Some(m) if m == MAGIC => {}
+            _ => return Err(bad(format!("missing magic string {MAGIC:?}"))),
+        }
+        let version = doc
+            .get("version")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| bad("missing version".to_string()))?;
+        if version > CHECKPOINT_VERSION {
+            return Err(CheckpointError::Version { found: version });
+        }
+        let u64_field = |key: &str| {
+            doc.get(key)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| bad(format!("missing integer field {key:?}")))
+        };
+        let bits_field = |key: &str| {
+            doc.get(key)
+                .and_then(Value::as_str)
+                .and_then(parse_bits)
+                .ok_or_else(|| bad(format!("missing bit-pattern field {key:?}")))
+        };
+        let counts_of = |v: &Value, key: &str| -> Result<Vec<usize>, CheckpointError> {
+            v.as_arr()
+                .ok_or_else(|| bad(format!("{key:?} is not an array")))?
+                .iter()
+                .map(|n| {
+                    n.as_u64()
+                        .map(|n| n as usize)
+                        .ok_or_else(|| bad(format!("non-integer count in {key:?}")))
+                })
+                .collect()
+        };
+        let pre_pass = counts_of(
+            doc.get("pre_pass")
+                .ok_or_else(|| bad("missing pre_pass".to_string()))?,
+            "pre_pass",
+        )?;
+        let rounds = doc
+            .get("rounds")
+            .and_then(Value::as_arr)
+            .ok_or_else(|| bad("missing rounds".to_string()))?
+            .iter()
+            .map(|r| counts_of(r, "rounds"))
+            .collect::<Result<Vec<_>, _>>()?;
+        let inc = match doc.get("inc") {
+            None => None,
+            Some(v) => Some(inc_from_value(v).map_err(bad)?),
+        };
+        Ok(RoundCheckpoint {
+            seed: u64_field("seed")?,
+            budget_bits: bits_field("budget")?,
+            num_slices: u64_field("num_slices")?,
+            pre_pass,
+            rounds,
+            remaining_bits: bits_field("remaining")?,
+            total_spent_bits: bits_field("total_spent")?,
+            t_bits: bits_field("t")?,
+            iterations: u64_field("iterations")?,
+            inc,
+        })
+    }
+}
+
+/// An f64 bit pattern as a 16-hex-digit JSON string — exact round-trip,
+/// unlike decimal.
+fn bits(b: u64) -> Value {
+    Value::Str(format!("{b:016x}"))
+}
+
+fn parse_bits(s: &str) -> Option<u64> {
+    (s.len() == 16).then(|| u64::from_str_radix(s, 16).ok())?
+}
+
+fn fit_to_value(fit: &Result<(u64, u64), String>) -> Value {
+    match fit {
+        Ok((b, a)) => Value::Obj(vec![
+            ("b".to_string(), bits(*b)),
+            ("a".to_string(), bits(*a)),
+        ]),
+        Err(code) => Value::Obj(vec![("err".to_string(), Value::Str(code.clone()))]),
+    }
+}
+
+fn fit_from_value(v: &Value) -> Result<Result<(u64, u64), String>, String> {
+    if let Some(code) = v.get("err").and_then(Value::as_str) {
+        return Ok(Err(code.to_string()));
+    }
+    let b = v
+        .get("b")
+        .and_then(Value::as_str)
+        .and_then(parse_bits)
+        .ok_or("fit missing b bits")?;
+    let a = v
+        .get("a")
+        .and_then(Value::as_str)
+        .and_then(parse_bits)
+        .ok_or("fit missing a bits")?;
+    Ok(Ok((b, a)))
+}
+
+fn inc_to_value(inc: &IncSnapshot) -> Value {
+    let mut members = vec![(
+        "dirty".to_string(),
+        Value::Arr(inc.dirty.iter().map(|&d| Value::Bool(d)).collect()),
+    )];
+    if let Some(prev) = &inc.prev {
+        let estimates = prev
+            .iter()
+            .map(|e| {
+                Value::Obj(vec![
+                    ("fit".to_string(), fit_to_value(&e.fit)),
+                    (
+                        "repeat_fits".to_string(),
+                        Value::Arr(
+                            e.repeat_fits
+                                .iter()
+                                .map(|&(b, a)| fit_to_value(&Ok((b, a))))
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "points".to_string(),
+                        Value::Arr(
+                            e.points
+                                .iter()
+                                .map(|&(n, l, w)| Value::Arr(vec![bits(n), bits(l), bits(w)]))
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        members.push(("prev".to_string(), Value::Arr(estimates)));
+    }
+    Value::Obj(members)
+}
+
+fn inc_from_value(v: &Value) -> Result<IncSnapshot, String> {
+    let dirty = v
+        .get("dirty")
+        .and_then(Value::as_arr)
+        .ok_or("inc missing dirty flags")?
+        .iter()
+        .map(|d| d.as_bool().ok_or("non-bool dirty flag"))
+        .collect::<Result<Vec<_>, _>>()?;
+    let prev = match v.get("prev").and_then(Value::as_arr) {
+        None => None,
+        Some(estimates) => Some(
+            estimates
+                .iter()
+                .map(|e| {
+                    let fit = fit_from_value(e.get("fit").ok_or("estimate missing fit")?)?;
+                    let repeat_fits = e
+                        .get("repeat_fits")
+                        .and_then(Value::as_arr)
+                        .ok_or("estimate missing repeat_fits")?
+                        .iter()
+                        .map(|r| match fit_from_value(r)? {
+                            Ok(pair) => Ok(pair),
+                            Err(_) => Err("repeat fit cannot be an error".to_string()),
+                        })
+                        .collect::<Result<Vec<_>, String>>()?;
+                    let points = e
+                        .get("points")
+                        .and_then(Value::as_arr)
+                        .ok_or("estimate missing points")?
+                        .iter()
+                        .map(|p| {
+                            let triple = p.as_arr().filter(|a| a.len() == 3).ok_or("bad point")?;
+                            let bit = |i: usize| {
+                                triple[i]
+                                    .as_str()
+                                    .and_then(parse_bits)
+                                    .ok_or("bad point bits")
+                            };
+                            Ok::<_, &str>((bit(0)?, bit(1)?, bit(2)?))
+                        })
+                        .collect::<Result<Vec<_>, _>>()?;
+                    Ok::<_, String>(EstimateSnapshot {
+                        fit,
+                        repeat_fits,
+                        points,
+                    })
+                })
+                .collect::<Result<Vec<_>, String>>()?,
+        ),
+    };
+    Ok(IncSnapshot { dirty, prev })
+}
+
+/// Stable code of a [`FitError`](st_curve::FitError) for serialization.
+pub(crate) fn fit_error_code(e: &st_curve::FitError) -> &'static str {
+    match e {
+        st_curve::FitError::NotEnoughPoints => "not_enough_points",
+        st_curve::FitError::DegenerateLosses => "degenerate_losses",
+        st_curve::FitError::NonFinitePoint => "non_finite_point",
+        st_curve::FitError::Diverged => "diverged",
+    }
+}
+
+/// Inverse of [`fit_error_code`]; unknown codes fall back to
+/// `NotEnoughPoints` (the mildest failure: fallback-curve resolution treats
+/// every variant identically).
+pub(crate) fn fit_error_from_code(code: &str) -> st_curve::FitError {
+    match code {
+        "degenerate_losses" => st_curve::FitError::DegenerateLosses,
+        "non_finite_point" => st_curve::FitError::NonFinitePoint,
+        "diverged" => st_curve::FitError::Diverged,
+        _ => st_curve::FitError::NotEnoughPoints,
+    }
+}
+
+/// Converts live estimates to their serialized form.
+pub(crate) fn snapshot_estimates(estimates: &[st_curve::SliceEstimate]) -> Vec<EstimateSnapshot> {
+    estimates
+        .iter()
+        .map(|e| EstimateSnapshot {
+            fit: match &e.fit {
+                Ok(p) => Ok((p.b.to_bits(), p.a.to_bits())),
+                Err(err) => Err(fit_error_code(err).to_string()),
+            },
+            repeat_fits: e
+                .repeat_fits
+                .iter()
+                .map(|p| (p.b.to_bits(), p.a.to_bits()))
+                .collect(),
+            points: e
+                .points
+                .iter()
+                .map(|p| (p.n.to_bits(), p.loss.to_bits(), p.weight.to_bits()))
+                .collect(),
+        })
+        .collect()
+}
+
+/// Inverse of [`snapshot_estimates`]: exact bit-pattern restoration.
+pub(crate) fn restore_estimates(snaps: &[EstimateSnapshot]) -> Vec<st_curve::SliceEstimate> {
+    let law = |(b, a): (u64, u64)| st_curve::PowerLaw {
+        b: f64::from_bits(b),
+        a: f64::from_bits(a),
+    };
+    snaps
+        .iter()
+        .map(|s| st_curve::SliceEstimate {
+            fit: match &s.fit {
+                Ok(pair) => Ok(law(*pair)),
+                Err(code) => Err(fit_error_from_code(code)),
+            },
+            repeat_fits: s.repeat_fits.iter().map(|&p| law(p)).collect(),
+            points: s
+                .points
+                .iter()
+                .map(|&(n, l, w)| st_curve::CurvePoint {
+                    n: f64::from_bits(n),
+                    loss: f64::from_bits(l),
+                    weight: f64::from_bits(w),
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// Writes the checkpoint atomically: a temp file in the same directory is
+/// renamed over the target, so a crash mid-write leaves the previous round's
+/// checkpoint intact instead of a truncated document.
+///
+/// # Errors
+/// [`CheckpointError::Io`] with the OS cause.
+pub fn save(path: &str, cp: &RoundCheckpoint) -> Result<(), CheckpointError> {
+    let io = |cause: std::io::Error| CheckpointError::Io {
+        path: path.to_string(),
+        cause: cause.to_string(),
+    };
+    let tmp = format!("{path}.tmp");
+    std::fs::write(&tmp, cp.to_json()).map_err(io)?;
+    std::fs::rename(&tmp, path).map_err(io)
+}
+
+/// Loads a checkpoint; `Ok(None)` when the file does not exist (a resume
+/// request with no checkpoint yet is simply a fresh run).
+///
+/// # Errors
+/// [`CheckpointError::Io`] / [`CheckpointError::Parse`] /
+/// [`CheckpointError::Version`].
+pub fn load(path: &str) -> Result<Option<RoundCheckpoint>, CheckpointError> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => {
+            return Err(CheckpointError::Io {
+                path: path.to_string(),
+                cause: e.to_string(),
+            })
+        }
+    };
+    RoundCheckpoint::parse(&text, path).map(Some)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RoundCheckpoint {
+        RoundCheckpoint {
+            seed: 42,
+            budget_bits: 300.0_f64.to_bits(),
+            num_slices: 4,
+            pre_pass: vec![3, 0, 0, 1],
+            rounds: vec![vec![10, 0, 2, 5], vec![0, 7, 0, 0]],
+            remaining_bits: 123.456_f64.to_bits(),
+            total_spent_bits: 176.544_f64.to_bits(),
+            t_bits: 4.0_f64.to_bits(),
+            iterations: 2,
+            inc: Some(IncSnapshot {
+                dirty: vec![false, true, false, false],
+                prev: Some(vec![EstimateSnapshot {
+                    fit: Ok((2.0_f64.to_bits(), 0.3_f64.to_bits())),
+                    repeat_fits: vec![(2.1_f64.to_bits(), 0.31_f64.to_bits())],
+                    points: vec![(10.0_f64.to_bits(), 0.5_f64.to_bits(), 10.0_f64.to_bits())],
+                }]),
+            }),
+        }
+    }
+
+    #[test]
+    fn round_trips_exactly() {
+        let cp = sample();
+        let parsed = RoundCheckpoint::parse(&cp.to_json(), "test").unwrap();
+        assert_eq!(parsed, cp);
+        // Serialize → parse → serialize is a fixpoint (byte-stable format).
+        assert_eq!(parsed.to_json(), cp.to_json());
+    }
+
+    #[test]
+    fn fit_errors_round_trip_as_codes() {
+        let mut cp = sample();
+        cp.inc = Some(IncSnapshot {
+            dirty: vec![true],
+            prev: Some(vec![EstimateSnapshot {
+                fit: Err("diverged".to_string()),
+                repeat_fits: vec![],
+                points: vec![],
+            }]),
+        });
+        let parsed = RoundCheckpoint::parse(&cp.to_json(), "test").unwrap();
+        assert_eq!(parsed, cp);
+        let live = restore_estimates(parsed.inc.unwrap().prev.unwrap().as_slice());
+        assert_eq!(live[0].fit, Err(st_curve::FitError::Diverged));
+    }
+
+    #[test]
+    fn refuses_newer_versions() {
+        let doc = sample()
+            .to_json()
+            .replace("\"version\":1", "\"version\":99");
+        assert_eq!(
+            RoundCheckpoint::parse(&doc, "test").unwrap_err(),
+            CheckpointError::Version { found: 99 }
+        );
+    }
+
+    #[test]
+    fn refuses_foreign_checkpoints() {
+        let cp = sample();
+        assert!(cp.check_compatible(42, 300.0, 4).is_ok());
+        assert_eq!(
+            cp.check_compatible(43, 300.0, 4).unwrap_err(),
+            CheckpointError::Foreign { field: "seed" }
+        );
+        assert_eq!(
+            cp.check_compatible(42, 301.0, 4).unwrap_err(),
+            CheckpointError::Foreign { field: "budget" }
+        );
+        assert_eq!(
+            cp.check_compatible(42, 300.0, 5).unwrap_err(),
+            CheckpointError::Foreign {
+                field: "num_slices"
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_garbage_with_typed_errors() {
+        for garbage in ["", "{}", "not json", "{\"magic\":\"something_else\"}"] {
+            assert!(matches!(
+                RoundCheckpoint::parse(garbage, "test"),
+                Err(CheckpointError::Parse { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn estimate_snapshots_restore_bit_identically() {
+        let live = vec![st_curve::SliceEstimate {
+            fit: Ok(st_curve::PowerLaw::new(2.5, 0.25)),
+            repeat_fits: vec![st_curve::PowerLaw::new(2.4, 0.26)],
+            points: vec![st_curve::CurvePoint {
+                n: 17.0,
+                loss: 0.123_456_789,
+                weight: 17.0,
+            }],
+        }];
+        let back = restore_estimates(&snapshot_estimates(&live));
+        let (a, b) = (live[0].fit.as_ref().unwrap(), back[0].fit.as_ref().unwrap());
+        assert_eq!(a.b.to_bits(), b.b.to_bits());
+        assert_eq!(a.a.to_bits(), b.a.to_bits());
+        assert_eq!(
+            live[0].points[0].loss.to_bits(),
+            back[0].points[0].loss.to_bits()
+        );
+    }
+
+    #[test]
+    fn save_and_load_round_trip_on_disk() {
+        let dir = std::env::temp_dir().join("st_checkpoint_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cp.json");
+        let path = path.to_str().unwrap();
+        let cp = sample();
+        save(path, &cp).unwrap();
+        assert_eq!(load(path).unwrap(), Some(cp));
+        std::fs::remove_file(path).unwrap();
+        assert_eq!(load(path).unwrap(), None, "missing file is a fresh run");
+    }
+}

@@ -171,11 +171,39 @@ impl ExperimentSpec {
                         .map(|s| strategy_from_name(s.trim()).ok_or_else(bad))
                         .collect::<Result<_, _>>()?;
                 }
-                "budget" => spec.budget = value.parse().map_err(|_| bad())?,
-                "trials" => spec.trials = value.parse().map_err(|_| bad())?,
-                "initial_size" => spec.initial_size = value.parse().map_err(|_| bad())?,
-                "validation_size" => spec.validation_size = value.parse().map_err(|_| bad())?,
-                "lambda" => spec.lambda = value.parse().map_err(|_| bad())?,
+                // Numeric keys are range-checked at parse time: a negative
+                // budget or NaN λ would not fail here but would corrupt the
+                // allocation solve rounds later, far from the typo.
+                "budget" => {
+                    spec.budget = value.parse().map_err(|_| bad())?;
+                    if !spec.budget.is_finite() || spec.budget <= 0.0 {
+                        return Err(bad());
+                    }
+                }
+                "trials" => {
+                    spec.trials = value.parse().map_err(|_| bad())?;
+                    if spec.trials == 0 {
+                        return Err(bad());
+                    }
+                }
+                "initial_size" => {
+                    spec.initial_size = value.parse().map_err(|_| bad())?;
+                    if spec.initial_size == 0 {
+                        return Err(bad());
+                    }
+                }
+                "validation_size" => {
+                    spec.validation_size = value.parse().map_err(|_| bad())?;
+                    if spec.validation_size == 0 {
+                        return Err(bad());
+                    }
+                }
+                "lambda" => {
+                    spec.lambda = value.parse().map_err(|_| bad())?;
+                    if !spec.lambda.is_finite() || spec.lambda < 0.0 {
+                        return Err(bad());
+                    }
+                }
                 "seed" => spec.seed = value.parse().map_err(|_| bad())?,
                 "epochs" => spec.epochs = value.parse().map_err(|_| bad())?,
                 other => {
@@ -290,6 +318,32 @@ mod tests {
             ExperimentSpec::parse("strategies = sideways").unwrap_err(),
             SpecError::BadValue { line: 1, .. }
         ));
+    }
+
+    #[test]
+    fn out_of_range_numerics_are_rejected_at_parse_time() {
+        for text in [
+            "budget = 0",
+            "budget = -5",
+            "budget = inf",
+            "budget = NaN",
+            "trials = 0",
+            "initial_size = 0",
+            "validation_size = 0",
+            "lambda = -0.5",
+            "lambda = NaN",
+        ] {
+            assert!(
+                matches!(
+                    ExperimentSpec::parse(text).unwrap_err(),
+                    SpecError::BadValue { line: 1, .. }
+                ),
+                "{text:?} must be rejected"
+            );
+        }
+        // Valid boundary values stay accepted.
+        assert!(ExperimentSpec::parse("lambda = 0").is_ok());
+        assert!(ExperimentSpec::parse("budget = 0.5").is_ok());
     }
 
     #[test]

@@ -76,6 +76,36 @@ impl IncrementalState {
     pub fn has_estimates(&self) -> bool {
         self.prev.is_some()
     }
+
+    /// Serializable view for the round checkpoint. The warm-start store is
+    /// deliberately not captured: warm starts are a tolerance-mode feature
+    /// (they already change bits round to round), and re-deriving the
+    /// models on resume costs one extra cold training per key at worst.
+    pub(crate) fn snapshot(&self) -> crate::checkpoint::IncSnapshot {
+        crate::checkpoint::IncSnapshot {
+            dirty: self.dirty.clone(),
+            prev: self
+                .prev
+                .as_ref()
+                .map(|p| crate::checkpoint::snapshot_estimates(p)),
+        }
+    }
+
+    /// Restores a [`snapshot`](Self::snapshot) taken by a compatible run
+    /// (the checkpoint's fingerprint check precedes this, so the widths
+    /// always line up).
+    pub(crate) fn restore(&mut self, snap: &crate::checkpoint::IncSnapshot) {
+        assert_eq!(
+            snap.dirty.len(),
+            self.dirty.len(),
+            "checkpoint sized for a different dataset"
+        );
+        self.dirty = snap.dirty.clone();
+        self.prev = snap
+            .prev
+            .as_ref()
+            .map(|p| crate::checkpoint::restore_estimates(p));
+    }
 }
 
 #[cfg(test)]

@@ -49,7 +49,9 @@
 
 pub mod acquire;
 pub mod cache;
+pub mod checkpoint;
 pub mod config;
+pub mod error;
 pub mod incremental;
 pub mod influence;
 pub mod metrics;
@@ -65,7 +67,9 @@ pub use acquire::{
     FaultConfig, FaultySource, PoolSource,
 };
 pub use cache::{CurveCache, CurveKey};
+pub use checkpoint::{CheckpointError, RoundCheckpoint};
 pub use config::{strategy_from_name, strategy_to_name, ExperimentSpec, SpecError};
+pub use error::Error;
 pub use incremental::{IncrementalState, WarmKey};
 pub use influence::{influence_sweep, InfluencePoint, InfluenceSweep};
 pub use metrics::{avg_eer, max_eer, EvalReport};
@@ -77,6 +81,11 @@ pub use strategy::{
     TSchedule,
 };
 pub use trials::{
-    ensure_deterministic_kernel, plan_thread_budget, run_trials_parallel, ThreadBudget,
+    ensure_deterministic_kernel, plan_thread_budget, run_trials_parallel, try_run_trials_parallel,
+    ThreadBudget, TrialError,
 };
-pub use tuner::{batch_plane_names, RunResult, SliceTuner, TunerConfig};
+pub use tuner::{batch_plane_names, RunResult, SliceTuner, TunerConfig, TuningWarning};
+
+// Re-exported so downstream callers (the CLI's `--mode` flag, integration
+// tests) can pick an estimation schedule without a direct st_curve edge.
+pub use st_curve::EstimationMode;

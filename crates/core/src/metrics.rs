@@ -86,6 +86,25 @@ impl EvalReport {
             max_eer,
         }
     }
+
+    /// Per-slice health flags: `true` where the slice's validation loss is
+    /// finite. A `false` entry means that slice's evaluation degenerated
+    /// (empty validation set, or a numeric fault the guards let through in
+    /// unguarded mode) — reports surface these instead of averaging NaNs
+    /// away silently.
+    pub fn slice_health(&self) -> Vec<bool> {
+        self.per_slice_losses
+            .iter()
+            .map(|l| l.is_finite())
+            .collect()
+    }
+
+    /// True when every slice is healthy (see
+    /// [`slice_health`](Self::slice_health)) and the overall loss is
+    /// finite.
+    pub fn is_healthy(&self) -> bool {
+        self.overall_loss.is_finite() && self.per_slice_losses.iter().all(|l| l.is_finite())
+    }
 }
 
 /// Definition 1: the average absolute difference between each slice's loss

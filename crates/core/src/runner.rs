@@ -199,7 +199,13 @@ pub(crate) fn run_single_trial(
     let trial_seed = split_seed(config.seed, 0x7121A1 + t as u64);
     let ds = SlicedDataset::generate(family, initial_sizes, validation_size, trial_seed);
     let mut source = PoolSource::new(family.clone(), split_seed(trial_seed, 2));
-    let mut tuner = SliceTuner::new(ds, &mut source, config.clone().with_seed(trial_seed));
+    let mut config = config.clone().with_seed(trial_seed);
+    if let Some(path) = config.checkpoint.take() {
+        // Each trial checkpoints (and resumes) its own file; a shared path
+        // would have concurrent trials clobbering each other's state.
+        config.checkpoint = Some(format!("{path}.trial{t}"));
+    }
+    let mut tuner = SliceTuner::new(ds, &mut source, config);
     tuner.run(strategy, budget)
 }
 
@@ -227,7 +233,9 @@ pub fn run_trials(
     }
     let results: Vec<RunResult> = (0..trials)
         .map(|t| {
-            run_single_trial(
+            // Same isolation/retry envelope as the parallel executor, so
+            // the two runners stay bit-identical fault handling included.
+            match crate::trials::run_trial_caught(
                 family,
                 initial_sizes,
                 validation_size,
@@ -235,7 +243,10 @@ pub fn run_trials(
                 strategy,
                 config,
                 t,
-            )
+            ) {
+                Ok(result) => result,
+                Err(e) => panic!("{e}"),
+            }
         })
         .collect();
     aggregate(strategy, results)

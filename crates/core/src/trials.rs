@@ -95,12 +95,110 @@ pub fn ensure_deterministic_kernel(kind: KernelKind, allow: bool) -> Result<(), 
     }
 }
 
+/// A trial worker that panicked on every allowed attempt (see
+/// [`TunerConfig::max_retries`](crate::tuner::TunerConfig::max_retries)).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrialError {
+    /// The failing trial index.
+    pub trial: usize,
+    /// Attempts spent (the retry budget plus the first attempt).
+    pub attempts: usize,
+    /// The captured panic message.
+    pub cause: String,
+}
+
+impl std::fmt::Display for TrialError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "trial {} failed after {} attempt(s): {}",
+            self.trial, self.attempts, self.cause
+        )
+    }
+}
+
+impl std::error::Error for TrialError {}
+
+/// Best-effort text of a caught panic payload (`panic!` carries `&str` or
+/// `String`; anything else is opaque).
+fn payload_str(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// Runs one trial under panic isolation with deterministic retries: every
+/// attempt re-executes [`run_single_trial`], whose result is a pure
+/// function of `(inputs, t)` — so an attempt that survives is bit-identical
+/// no matter how many panics preceded it. With
+/// [`TunerConfig::unguarded`](crate::tuner::TunerConfig::unguarded) the
+/// call is direct (the bench's zero-isolation baseline).
+pub(crate) fn run_trial_caught(
+    family: &DatasetFamily,
+    initial_sizes: &[usize],
+    validation_size: usize,
+    budget: f64,
+    strategy: Strategy,
+    config: &TunerConfig,
+    t: usize,
+) -> Result<RunResult, TrialError> {
+    if config.unguarded {
+        return Ok(run_single_trial(
+            family,
+            initial_sizes,
+            validation_size,
+            budget,
+            strategy,
+            config,
+            t,
+        ));
+    }
+    let mut attempt = 0usize;
+    loop {
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // ST_FAULT trial_panic injection point (first attempts only:
+            // the plan models a transient fault the retry must absorb).
+            if st_linalg::fault::trial_panics(t, attempt) {
+                panic!("ST_FAULT: injected panic in trial {t}");
+            }
+            run_single_trial(
+                family,
+                initial_sizes,
+                validation_size,
+                budget,
+                strategy,
+                config,
+                t,
+            )
+        }));
+        match outcome {
+            Ok(result) => return Ok(result),
+            Err(p) => {
+                if attempt >= config.max_retries {
+                    return Err(TrialError {
+                        trial: t,
+                        attempts: attempt + 1,
+                        cause: payload_str(p.as_ref()),
+                    });
+                }
+                attempt += 1;
+            }
+        }
+    }
+}
+
 /// Parallel version of [`run_trials`](crate::runner::run_trials): runs
 /// `trials` independent seeds across `jobs` workers (0 = all cores) and
 /// aggregates bit-identically to the sequential runner.
 ///
 /// # Panics
-/// Panics when `trials == 0`.
+/// Panics when `trials == 0`, or — with the [`TrialError`]'s one-line
+/// message — when a trial exhausts its retries; see
+/// [`try_run_trials_parallel`] for the non-panicking form.
 #[allow(clippy::too_many_arguments)]
 pub fn run_trials_parallel(
     family: &DatasetFamily,
@@ -112,6 +210,42 @@ pub fn run_trials_parallel(
     trials: usize,
     jobs: usize,
 ) -> AggregateResult {
+    match try_run_trials_parallel(
+        family,
+        initial_sizes,
+        validation_size,
+        budget,
+        strategy,
+        config,
+        trials,
+        jobs,
+    ) {
+        Ok(agg) => agg,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// [`run_trials_parallel`] with typed failure: a trial worker that panics
+/// through every retry surfaces as a [`TrialError`] (the lowest failing
+/// trial index when several fail) instead of unwinding through the
+/// executor.
+///
+/// # Errors
+/// Returns the first failing trial's [`TrialError`].
+///
+/// # Panics
+/// Panics when `trials == 0`.
+#[allow(clippy::too_many_arguments)]
+pub fn try_run_trials_parallel(
+    family: &DatasetFamily,
+    initial_sizes: &[usize],
+    validation_size: usize,
+    budget: f64,
+    strategy: Strategy,
+    config: &TunerConfig,
+    trials: usize,
+    jobs: usize,
+) -> Result<AggregateResult, TrialError> {
     assert!(trials > 0, "need at least one trial");
     let kernel = st_linalg::kernel_kind();
     if let Err(e) = ensure_deterministic_kernel(kernel, config.allow_nondeterministic_kernel) {
@@ -150,9 +284,12 @@ pub fn run_trials_parallel(
         config
     };
 
-    let slots: Mutex<Vec<Option<RunResult>>> = Mutex::new(vec![None; trials]);
+    let slots: Mutex<Vec<Option<Result<RunResult, TrialError>>>> = Mutex::new(vec![None; trials]);
     let next: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
 
+    // Workers never unwind: run_trial_caught isolates trial panics (typed,
+    // retried), so the scope's own panic propagation is reached only with
+    // guards disabled — and then a panic is a deliberate baseline crash.
     crossbeam::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|_| loop {
@@ -160,7 +297,7 @@ pub fn run_trials_parallel(
                 if t >= trials {
                     break;
                 }
-                let result = run_single_trial(
+                let result = run_trial_caught(
                     family,
                     initial_sizes,
                     validation_size,
@@ -179,12 +316,14 @@ pub fn run_trials_parallel(
         st_linalg::set_kernel_threads(previous);
     }
 
-    let results: Vec<RunResult> = slots
-        .into_inner()
-        .into_iter()
-        .map(|r| r.expect("all trials ran"))
-        .collect();
-    aggregate(strategy, results)
+    let mut results: Vec<RunResult> = Vec::with_capacity(trials);
+    for slot in slots.into_inner() {
+        match slot.expect("all trials ran") {
+            Ok(result) => results.push(result),
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(aggregate(strategy, results))
 }
 
 /// Estimator threads each trial receives when `workers` total workers

@@ -100,6 +100,34 @@ pub struct TunerConfig {
     /// sequential path). Defaults to on; `ST_BATCH=0` in the environment
     /// opts default-constructed configs out (the CI baseline leg).
     pub batched_plane: bool,
+    /// Panic-isolation retries for estimation measurements and trial
+    /// workers (CLI `--retries`, default 2). Retries are **bit-identical**
+    /// re-executions — every measurement is a pure function of its
+    /// seed-pinned request — so a transient fault recovers exactly; a
+    /// persistent one exhausts the retries and the affected slice is
+    /// quarantined (see [`TuningWarning`]) instead of aborting the run.
+    pub max_retries: usize,
+    /// Checkpoint path: iterative runs serialize their round state here
+    /// after every acquisition round (see [`crate::checkpoint`]). `None`
+    /// disables checkpointing. Multi-trial runs suffix the path with
+    /// `.trial<t>` so trials never clobber each other's files.
+    pub checkpoint: Option<String>,
+    /// Resume from [`TunerConfig::checkpoint`] when that file exists (a
+    /// missing file is simply a fresh run). The resumed run replays the
+    /// recorded acquisition rounds — consuming the identical source RNG
+    /// stream — and continues bit-identically to an uninterrupted run.
+    pub resume: bool,
+    /// Stops the iterative loop once this many rounds have completed: the
+    /// test harness's "kill at round k" crash simulation. The checkpoint
+    /// for the completed rounds is on disk; a resumed run continues from
+    /// it exactly where the "crash" happened.
+    pub halt_after_rounds: Option<usize>,
+    /// Disables the fault-tolerance layer's guards (the trainer's finite
+    /// scans, the estimator's and executor's `catch_unwind` isolation) —
+    /// the fault-free cost baseline the pipeline bench's `guards_overhead`
+    /// gate compares against. Guards only *read*, so guarded and unguarded
+    /// runs are bit-identical; this knob exists to price them.
+    pub unguarded: bool,
 }
 
 /// `ST_INCREMENTAL=1` opts every default-constructed [`TunerConfig`] into
@@ -160,6 +188,11 @@ impl TunerConfig {
             warm_start: false,
             incremental_refit_all: false,
             batched_plane: batched_env_default(),
+            max_retries: 2,
+            checkpoint: None,
+            resume: false,
+            halt_after_rounds: None,
+            unguarded: false,
         }
     }
 
@@ -236,6 +269,87 @@ impl TunerConfig {
         self.batched_plane = false;
         self
     }
+
+    /// Sets the panic-isolation retry budget (see
+    /// [`TunerConfig::max_retries`]).
+    pub fn with_max_retries(mut self, retries: usize) -> Self {
+        self.max_retries = retries;
+        self
+    }
+
+    /// Enables round checkpointing to `path` (see
+    /// [`TunerConfig::checkpoint`]).
+    pub fn with_checkpoint(mut self, path: impl Into<String>) -> Self {
+        self.checkpoint = Some(path.into());
+        self
+    }
+
+    /// Resumes from the checkpoint when it exists (see
+    /// [`TunerConfig::resume`]).
+    pub fn with_resume(mut self) -> Self {
+        self.resume = true;
+        self
+    }
+
+    /// Halts the iterative loop after `rounds` completed rounds — the
+    /// crash simulation (see [`TunerConfig::halt_after_rounds`]).
+    pub fn with_halt_after_rounds(mut self, rounds: usize) -> Self {
+        self.halt_after_rounds = Some(rounds);
+        self
+    }
+
+    /// Disables numeric guards and panic isolation — the bench's
+    /// fault-free cost baseline (see [`TunerConfig::unguarded`]).
+    pub fn without_guards(mut self) -> Self {
+        self.unguarded = true;
+        self
+    }
+}
+
+/// A structured, non-fatal problem a run survived; surfaced in
+/// [`RunResult::warnings`] so reports can show *what degraded* instead of
+/// the run aborting.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TuningWarning {
+    /// An estimation measurement exhausted its retries. The affected
+    /// slice's curve fell back to its last good fit (incremental mode) or
+    /// to the cross-slice fallback of [`resolve_fallbacks`] — allocation
+    /// continued without this round's evidence for that slice.
+    EstimationQuarantined {
+        /// The targeted slice (`None` = a joint amortized measurement).
+        slice: Option<usize>,
+        /// The estimation round (the tuner's stream number; round `r`
+        /// matches `ST_FAULT=nan_loss@slice<S>:round<r>`).
+        round: u64,
+        /// Attempts spent before quarantining.
+        attempts: usize,
+        /// The captured panic message.
+        cause: String,
+    },
+}
+
+impl std::fmt::Display for TuningWarning {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TuningWarning::EstimationQuarantined {
+                slice,
+                round,
+                attempts,
+                cause,
+            } => match slice {
+                Some(s) => write!(
+                    f,
+                    "slice {s} quarantined in estimation round {round} after {attempts} \
+                     attempt(s): {cause}"
+                ),
+                None => write!(
+                    f,
+                    "joint measurement dropped in estimation round {round} after {attempts} \
+                     attempt(s): {cause}"
+                ),
+            },
+        }
+    }
 }
 
 /// Outcome of one strategy run.
@@ -253,6 +367,13 @@ pub struct RunResult {
     pub spent: f64,
     /// Model trainings performed (estimation + evaluation), for Table 8.
     pub trainings: usize,
+    /// Non-fatal problems the run survived (quarantined slices, dropped
+    /// measurements). Empty on a healthy run. Excluded — like `trainings`
+    /// — from [`AggregateResult::bits_identical_to`]'s result-bit
+    /// comparison: warnings describe the execution, not the outcome.
+    ///
+    /// [`AggregateResult::bits_identical_to`]: crate::runner::AggregateResult::bits_identical_to
+    pub warnings: Vec<TuningWarning>,
 }
 
 /// The Slice Tuner engine bound to a working dataset and a source.
@@ -261,6 +382,7 @@ pub struct SliceTuner<'a, S: AcquisitionSource> {
     source: &'a mut S,
     config: TunerConfig,
     trainings: AtomicUsize,
+    warnings: parking_lot::Mutex<Vec<TuningWarning>>,
 }
 
 impl<'a, S: AcquisitionSource> SliceTuner<'a, S> {
@@ -284,11 +406,17 @@ impl<'a, S: AcquisitionSource> SliceTuner<'a, S> {
             // of forcing a full snapshot re-stack each round.
             ds.enable_incremental_snapshot();
         }
+        if config.unguarded {
+            // The bench's fault-free baseline drops the trainer's finite
+            // scans along with the estimator's catch_unwind isolation.
+            config.train.guards = false;
+        }
         SliceTuner {
             ds,
             source,
             config,
             trainings: AtomicUsize::new(0),
+            warnings: parking_lot::Mutex::new(Vec::new()),
         }
     }
 
@@ -393,10 +521,14 @@ impl<'a, S: AcquisitionSource> SliceTuner<'a, S> {
             mode: self.config.mode,
             seed: split_seed(self.config.seed, 0xC04E ^ stream),
             threads: self.config.threads,
+            retries: self.config.max_retries,
+            guards: !self.config.unguarded,
         };
         match &self.config.cache {
-            None => self.run_estimator(&estimator),
-            Some(cache) => {
+            // An active fault plan makes results round-dependent (the plan
+            // targets specific rounds), so memoizing them under standard
+            // keys would leak injected faults across rounds and runs.
+            Some(cache) if !st_linalg::fault::active() => {
                 let key = CurveKey::new(
                     self.ds.fingerprint(),
                     crate::cache::model_fingerprint(&self.config.spec, &self.config.train),
@@ -405,9 +537,10 @@ impl<'a, S: AcquisitionSource> SliceTuner<'a, S> {
                     estimator.repeats,
                     estimator.mode,
                 );
-                let cached = cache.get_or_compute(key, || self.run_estimator(&estimator));
+                let cached = cache.get_or_compute(key, || self.run_estimator(&estimator, stream));
                 cached.as_ref().clone()
             }
+            _ => self.run_estimator(&estimator, stream),
         }
     }
 
@@ -464,6 +597,8 @@ impl<'a, S: AcquisitionSource> SliceTuner<'a, S> {
             // Round-to-round decorrelation comes from the data changing.
             seed: split_seed(self.config.seed, 0xC04E ^ 1),
             threads: self.config.threads,
+            retries: self.config.max_retries,
+            guards: !self.config.unguarded,
         };
         let warm = self.config.warm_start.then_some(&state.warm);
         let estimates: Vec<st_curve::SliceEstimate> = match &state.prev {
@@ -473,18 +608,35 @@ impl<'a, S: AcquisitionSource> SliceTuner<'a, S> {
                 } else {
                     state.dirty.clone()
                 };
-                let partial = self.run_estimator_with(&estimator, Some(&targets), warm);
+                let (partial, errors) =
+                    self.run_estimator_with(&estimator, Some(&targets), warm, stream);
+                // A quarantined slice (retries exhausted) keeps its last
+                // good fit: the previous round's estimate is stale but
+                // finite evidence, strictly better than no curve. Slices
+                // whose fit merely failed numerically (no panic) keep the
+                // normal resolve_fallbacks treatment downstream.
+                let quarantined: std::collections::HashSet<usize> =
+                    errors.iter().filter_map(|e| e.target_slice).collect();
+                self.record_quarantines(errors, stream);
                 partial
                     .into_iter()
                     .zip(prev.iter())
-                    .map(|(new, old)| new.unwrap_or_else(|| old.clone()))
+                    .enumerate()
+                    .map(|(s, (new, old))| match new {
+                        Some(est) if quarantined.contains(&s) && est.fit.is_err() => old.clone(),
+                        Some(est) => est,
+                        None => old.clone(),
+                    })
                     .collect()
             }
-            None => self
-                .run_estimator_with(&estimator, Some(&vec![true; n]), warm)
-                .into_iter()
-                .map(|e| e.expect("all slices targeted"))
-                .collect(),
+            None => {
+                let (full, errors) =
+                    self.run_estimator_with(&estimator, Some(&vec![true; n]), warm, stream);
+                self.record_quarantines(errors, stream);
+                full.into_iter()
+                    .map(|e| e.expect("all slices targeted"))
+                    .collect()
+            }
         };
         state.prev = Some(estimates.clone());
         for d in &mut state.dirty {
@@ -506,11 +658,34 @@ impl<'a, S: AcquisitionSource> SliceTuner<'a, S> {
     /// O(slices × subset) re-scan. Bit-identical to the per-call gather
     /// baseline ([`TunerConfig::per_call_gather`]), which the pipeline
     /// bench gates.
-    fn run_estimator(&self, estimator: &CurveEstimator) -> Vec<st_curve::SliceEstimate> {
-        self.run_estimator_with(estimator, None, None)
+    fn run_estimator(
+        &self,
+        estimator: &CurveEstimator,
+        round: u64,
+    ) -> Vec<st_curve::SliceEstimate> {
+        let (estimates, errors) = self.run_estimator_with(estimator, None, None, round);
+        self.record_quarantines(errors, round);
+        estimates
             .into_iter()
             .map(|e| e.expect("full estimation yields every slice"))
             .collect()
+    }
+
+    /// Converts estimation-layer quarantine errors into the run's
+    /// structured warnings ([`RunResult::warnings`]).
+    fn record_quarantines(&self, errors: Vec<st_curve::EstimateError>, round: u64) {
+        if errors.is_empty() {
+            return;
+        }
+        let mut warnings = self.warnings.lock();
+        for e in errors {
+            warnings.push(TuningWarning::EstimationQuarantined {
+                slice: e.target_slice,
+                round,
+                attempts: e.attempts,
+                cause: e.cause,
+            });
+        }
     }
 
     /// [`run_estimator`](Self::run_estimator) generalized for incremental
@@ -525,20 +700,28 @@ impl<'a, S: AcquisitionSource> SliceTuner<'a, S> {
         estimator: &CurveEstimator,
         targets: Option<&[bool]>,
         warm: Option<&crate::incremental::WarmStore>,
-    ) -> Vec<Option<st_curve::SliceEstimate>> {
+        round: u64,
+    ) -> (
+        Vec<Option<st_curve::SliceEstimate>>,
+        Vec<st_curve::EstimateError>,
+    ) {
         if self.config.per_call_gather {
-            return self.run_estimator_per_call(estimator, targets);
+            return self.run_estimator_per_call(estimator, targets, round);
         }
         // The batched plane covers the dense data plane's *full* schedule:
         // a partial (incremental) round re-measures sparse request subsets
         // whose grouping rarely pays, and warm starts give each model a
         // different initial network, which breaks the lockstep precondition.
-        if self.config.batched_plane && targets.is_none() && warm.is_none() {
-            return self
-                .run_estimator_batched(estimator)
-                .into_iter()
-                .map(Some)
-                .collect();
+        // An active ST_FAULT plan also forces the sequential plane: its
+        // injection points are armed per request, which lockstep group
+        // training cannot honor.
+        if self.config.batched_plane
+            && targets.is_none()
+            && warm.is_none()
+            && !st_linalg::fault::active()
+        {
+            let (estimates, errors) = self.run_estimator_batched(estimator);
+            return (estimates.into_iter().map(Some).collect(), errors);
         }
         let n = self.ds.num_slices();
         let ds = &self.ds;
@@ -549,6 +732,10 @@ impl<'a, S: AcquisitionSource> SliceTuner<'a, S> {
         let warm_models = warm;
 
         let measure = move |req: &MeasureRequest| -> Vec<SliceLossMeasurement> {
+            // ST_FAULT nan_loss injection point: arms the trainer's loss
+            // corruption for this (slice, round) for the duration of the
+            // measurement. A no-op unless a matching plan entry exists.
+            let _nan_guard = st_linalg::fault::arm_nan_loss(req.target_slice, round);
             let subset = match req.target_slice {
                 None => dense.joint_subset_rows(req.frac, &mut seeded_rng(split_seed(req.seed, 0))),
                 Some(s) => {
@@ -646,7 +833,10 @@ impl<'a, S: AcquisitionSource> SliceTuner<'a, S> {
     /// `measure` closure — per request the returned measurements match the
     /// sequential plane bit for bit (`train_on_rows_batched` and
     /// `MultiEval` each carry their own bit-identity contract and tests).
-    fn run_estimator_batched(&self, estimator: &CurveEstimator) -> Vec<st_curve::SliceEstimate> {
+    fn run_estimator_batched(
+        &self,
+        estimator: &CurveEstimator,
+    ) -> (Vec<st_curve::SliceEstimate>, Vec<st_curve::EstimateError>) {
         let n = self.ds.num_slices();
         let ds = &self.ds;
         let dense = self.ds.matrices();
@@ -742,7 +932,7 @@ impl<'a, S: AcquisitionSource> SliceTuner<'a, S> {
             out
         };
 
-        estimator.estimate_detailed_batched(n, &key, &measure)
+        estimator.estimate_detailed_batched_checked(n, &key, &measure)
     }
 
     /// The PR-4 estimation data plane, kept as the bit-identity baseline:
@@ -754,7 +944,11 @@ impl<'a, S: AcquisitionSource> SliceTuner<'a, S> {
         &self,
         estimator: &CurveEstimator,
         targets: Option<&[bool]>,
-    ) -> Vec<Option<st_curve::SliceEstimate>> {
+        round: u64,
+    ) -> (
+        Vec<Option<st_curve::SliceEstimate>>,
+        Vec<st_curve::EstimateError>,
+    ) {
         let n = self.ds.num_slices();
         let ds = &self.ds;
         let spec = &self.config.spec;
@@ -762,6 +956,7 @@ impl<'a, S: AcquisitionSource> SliceTuner<'a, S> {
         let counter = &self.trainings;
 
         let measure = move |req: &MeasureRequest| -> Vec<SliceLossMeasurement> {
+            let _nan_guard = st_linalg::fault::arm_nan_loss(req.target_slice, round);
             let subset = match req.target_slice {
                 None => ds.joint_train_subset_seeded(req.frac, req.seed, 0),
                 Some(s) => {
@@ -828,7 +1023,25 @@ impl<'a, S: AcquisitionSource> SliceTuner<'a, S> {
 
     /// Runs a full strategy with the given budget and returns the outcome.
     /// The working dataset retains everything acquired.
+    ///
+    /// # Panics
+    /// Panics with a one-line diagnostic when checkpointing fails (see
+    /// [`try_run`](Self::try_run) for the non-panicking form).
     pub fn run(&mut self, strategy: Strategy, budget: f64) -> RunResult {
+        match self.try_run(strategy, budget) {
+            Ok(result) => result,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`run`](Self::run) returning checkpoint failures (unwritable paths,
+    /// foreign or newer checkpoint files) as typed errors instead of
+    /// panicking.
+    ///
+    /// # Errors
+    /// Returns [`crate::Error::Checkpoint`] when the configured checkpoint
+    /// cannot be written, read, or applied.
+    pub fn try_run(&mut self, strategy: Strategy, budget: f64) -> Result<RunResult, crate::Error> {
         self.refresh_costs();
         let (_, original) = self.train_and_eval(0);
         let before_sizes = self.ds.train_sizes();
@@ -853,7 +1066,7 @@ impl<'a, S: AcquisitionSource> SliceTuner<'a, S> {
                 let d = self.one_shot_allocation(&curves, budget);
                 (1, self.acquire_rounded(&d, budget))
             }
-            Strategy::Iterative(schedule) => self.run_iterative(schedule, budget),
+            Strategy::Iterative(schedule) => self.run_iterative(schedule, budget)?,
             Strategy::RottingBandit(params) => self.run_bandit(params, budget),
         };
 
@@ -865,50 +1078,129 @@ impl<'a, S: AcquisitionSource> SliceTuner<'a, S> {
             .zip(&before_sizes)
             .map(|(now, before)| now - before)
             .collect();
-        RunResult {
+        let warnings = std::mem::take(&mut *self.warnings.lock());
+        Ok(RunResult {
             original,
             report,
             acquired,
             iterations,
             spent,
             trainings: self.trainings(),
-        }
+            warnings,
+        })
     }
 
     /// Algorithm 1: the iterative loop with imbalance-ratio change limits.
-    fn run_iterative(&mut self, schedule: TSchedule, budget: f64) -> (usize, f64) {
+    ///
+    /// When [`TunerConfig::checkpoint`] is set, the loop's round state is
+    /// serialized after the pre-pass and after every completed round; with
+    /// [`TunerConfig::resume`] a saved state is **replayed** — the recorded
+    /// integer acquisitions are re-issued against the live source, which
+    /// consumes the identical RNG stream and rebuilds the identical dataset
+    /// bits — and the loop continues exactly where the saved run stopped.
+    /// Estimation is *not* replayed: measurements are pure functions of
+    /// their seed-pinned requests, so the resumed rounds re-derive them.
+    fn run_iterative(
+        &mut self,
+        schedule: TSchedule,
+        budget: f64,
+    ) -> Result<(usize, f64), crate::checkpoint::CheckpointError> {
+        use crate::checkpoint as cp;
+        let n = self.ds.num_slices();
+        let path = self.config.checkpoint.clone();
+
         let mut remaining = budget;
         let mut total_spent = 0.0;
         let mut t = 1.0;
+        let mut iterations = 0usize;
         // Incremental mode: track which slices each acquisition touches so
         // the next estimation re-measures only those (all-dirty initially).
         let mut inc = self
             .config
             .incremental
-            .then(|| crate::incremental::IncrementalState::new(self.ds.num_slices()));
+            .then(|| crate::incremental::IncrementalState::new(n));
+        let mut pre_pass_log: Vec<usize> = Vec::new();
+        let mut rounds_log: Vec<Vec<usize>> = Vec::new();
 
-        // Steps 3–6: ensure the minimum slice size L.
-        let l = self.config.min_slice_size;
-        let deficit: Vec<f64> = self
-            .ds
-            .train_sizes()
-            .iter()
-            .map(|&s| (l.saturating_sub(s)) as f64)
-            .collect();
-        if deficit.iter().any(|&d| d > 0.0) {
-            let spent = self.acquire_rounded(&deficit, remaining);
-            remaining -= spent;
-            total_spent += spent;
+        let saved = match (&path, self.config.resume) {
+            (Some(p), true) => cp::load(p)?,
+            _ => None,
+        };
+        if let Some(saved) = saved {
+            saved.check_compatible(self.config.seed, budget, n)?;
+            // Replay: re-issuing the recorded acquisition counts drives the
+            // source through the identical acquire sequence (same RNG
+            // draws, same absorbed rows), so dataset and source end up
+            // bit-identical to the moment the saved run wrote this file.
+            if !saved.pre_pass.is_empty() {
+                let _ = self.acquire_counts(&saved.pre_pass);
+            }
+            for counts in &saved.rounds {
+                self.refresh_costs();
+                let _ = self.acquire_counts(counts);
+            }
+            remaining = f64::from_bits(saved.remaining_bits);
+            total_spent = f64::from_bits(saved.total_spent_bits);
+            t = f64::from_bits(saved.t_bits);
+            iterations = saved.iterations as usize;
+            if let (Some(state), Some(snap)) = (inc.as_mut(), saved.inc.as_ref()) {
+                state.restore(snap);
+            }
+            pre_pass_log = saved.pre_pass;
+            rounds_log = saved.rounds;
+        } else {
+            // Steps 3–6: ensure the minimum slice size L.
+            let l = self.config.min_slice_size;
+            let deficit: Vec<f64> = self
+                .ds
+                .train_sizes()
+                .iter()
+                .map(|&s| (l.saturating_sub(s)) as f64)
+                .collect();
+            if deficit.iter().any(|&d| d > 0.0) {
+                let (spent, counts) = self.acquire_logged(&deficit, remaining);
+                remaining -= spent;
+                total_spent += spent;
+                pre_pass_log = counts;
+            }
         }
 
+        // Written after the pre-pass (or a replay, where it rewrites the
+        // same state) so a crash inside round 1 can already resume.
+        if let Some(p) = &path {
+            cp::save(
+                p,
+                &cp::RoundCheckpoint {
+                    seed: self.config.seed,
+                    budget_bits: budget.to_bits(),
+                    num_slices: n as u64,
+                    pre_pass: pre_pass_log.clone(),
+                    rounds: rounds_log.clone(),
+                    remaining_bits: remaining.to_bits(),
+                    total_spent_bits: total_spent.to_bits(),
+                    t_bits: t.to_bits(),
+                    iterations: iterations as u64,
+                    inc: inc.as_ref().map(|s| s.snapshot()),
+                },
+            )?;
+        }
+
+        // `ir` is always the live dataset's ratio at round start, so a
+        // resumed run recomputes it from the replayed dataset bit-exactly.
         let mut ir = self.ds.imbalance_ratio();
-        let mut iterations = 0;
 
         // Step 8: while there is budget to spend. The affordability check
         // re-reads costs every round because `C(s)` may have escalated since
         // the last batch (Section 2.1: costs grow as data becomes scarcer,
         // but are constant within a batch).
         loop {
+            // The crash simulation: stop after k completed rounds, leaving
+            // the checkpoint for those rounds on disk (tests resume it).
+            if let Some(k) = self.config.halt_after_rounds {
+                if iterations >= k {
+                    break;
+                }
+            }
             self.refresh_costs();
             let min_cost = self
                 .ds
@@ -945,7 +1237,7 @@ impl<'a, S: AcquisitionSource> SliceTuner<'a, S> {
 
             // Step 16: collect the data.
             let before = self.ds.train_sizes();
-            let spent = self.acquire_rounded(&d, remaining);
+            let (spent, counts) = self.acquire_logged(&d, remaining);
             if spent <= 0.0 {
                 break; // nothing affordable remained
             }
@@ -955,12 +1247,31 @@ impl<'a, S: AcquisitionSource> SliceTuner<'a, S> {
             remaining -= spent;
             total_spent += spent;
             iterations += 1;
+            rounds_log.push(counts);
 
             // Steps 19–20.
             t = schedule.increase(t);
             ir = self.ds.imbalance_ratio();
+
+            if let Some(p) = &path {
+                cp::save(
+                    p,
+                    &cp::RoundCheckpoint {
+                        seed: self.config.seed,
+                        budget_bits: budget.to_bits(),
+                        num_slices: n as u64,
+                        pre_pass: pre_pass_log.clone(),
+                        rounds: rounds_log.clone(),
+                        remaining_bits: remaining.to_bits(),
+                        total_spent_bits: total_spent.to_bits(),
+                        t_bits: t.to_bits(),
+                        iterations: iterations as u64,
+                        inc: inc.as_ref().map(|s| s.snapshot()),
+                    },
+                )?;
+            }
         }
-        (iterations.max(1), total_spent)
+        Ok((iterations.max(1), total_spent))
     }
 
     /// The ε-greedy rotting-bandit baseline: each round spends one batch on
@@ -1021,8 +1332,24 @@ impl<'a, S: AcquisitionSource> SliceTuner<'a, S> {
     /// from the source, absorbs the data, and returns the cost actually
     /// charged (sources may under-deliver).
     fn acquire_rounded(&mut self, d: &[f64], budget: f64) -> f64 {
+        self.acquire_logged(d, budget).0
+    }
+
+    /// [`acquire_rounded`](Self::acquire_rounded) also returning the
+    /// rounded integer counts — the exact replay unit the checkpoint
+    /// records.
+    fn acquire_logged(&mut self, d: &[f64], budget: f64) -> (f64, Vec<usize>) {
         let costs = self.ds.costs();
         let counts = st_optim::round_to_budget(d, &costs, budget);
+        let spent = self.acquire_counts(&counts);
+        (spent, counts)
+    }
+
+    /// Acquires exact per-slice counts: the checkpoint replay primitive,
+    /// issuing the same `acquire`/`absorb` sequence a live round does so a
+    /// replayed round consumes the identical source RNG stream.
+    fn acquire_counts(&mut self, counts: &[usize]) -> f64 {
+        let costs = self.ds.costs();
         let mut spent = 0.0;
         for (i, &n) in counts.iter().enumerate() {
             if n == 0 {
@@ -1050,14 +1377,16 @@ fn schedule(
     num_slices: usize,
     targets: Option<&[bool]>,
     measure: &st_curve::TrainEvalFn<'_>,
-) -> Vec<Option<st_curve::SliceEstimate>> {
+) -> (
+    Vec<Option<st_curve::SliceEstimate>>,
+    Vec<st_curve::EstimateError>,
+) {
     match targets {
-        None => estimator
-            .estimate_detailed(num_slices, measure)
-            .into_iter()
-            .map(Some)
-            .collect(),
-        Some(t) => estimator.estimate_detailed_for(num_slices, t, measure),
+        None => {
+            let (estimates, errors) = estimator.estimate_detailed_checked(num_slices, measure);
+            (estimates.into_iter().map(Some).collect(), errors)
+        }
+        Some(t) => estimator.estimate_detailed_for_checked(num_slices, t, measure),
     }
 }
 

@@ -82,3 +82,68 @@ proptest! {
         prop_assert!(avg_eer(&losses, overall) >= 0.0);
     }
 }
+
+// Checkpoint documents must be a serialization *fixpoint*: parsing a
+// written checkpoint and re-serializing it reproduces the original text
+// byte for byte, and the parsed value equals the source value exactly
+// (f64 scalars travel as bit patterns, so even NaN payloads survive).
+// This is what makes resume-of-a-resume identical to a single resume.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn checkpoint_serialization_is_a_fixpoint(
+        ids in (0u64..=u64::MAX, 0u64..=u64::MAX, 1u64..8),
+        pre_pass in prop::collection::vec(0usize..5000, 0..6),
+        rounds in prop::collection::vec(prop::collection::vec(0usize..5000, 1..6), 0..4),
+        scalars in (0u64..=u64::MAX, 0u64..=u64::MAX, 0u64..=u64::MAX),
+        iterations in 0u64..100,
+        inc_shape in (0usize..3, prop::collection::vec(0usize..2, 1..6), 0usize..5),
+    ) {
+        use slice_tuner::checkpoint::{EstimateSnapshot, IncSnapshot, RoundCheckpoint};
+
+        let (seed, budget_bits, num_slices) = ids;
+        let (remaining_bits, total_spent_bits, t_bits) = scalars;
+        let (inc_sel, dirty_bits, fit_sel) = inc_shape;
+
+        let fit = match fit_sel {
+            0 => Ok((remaining_bits, t_bits)),
+            1 => Err("not_enough_points".to_string()),
+            2 => Err("degenerate_losses".to_string()),
+            3 => Err("non_finite_point".to_string()),
+            _ => Err("diverged".to_string()),
+        };
+        let snapshot = EstimateSnapshot {
+            fit,
+            repeat_fits: vec![(total_spent_bits, t_bits)],
+            points: vec![(remaining_bits, total_spent_bits, t_bits)],
+        };
+        let dirty: Vec<bool> = dirty_bits.iter().map(|&b| b == 1).collect();
+        let inc = match inc_sel {
+            0 => None,
+            1 => Some(IncSnapshot { dirty, prev: None }),
+            _ => Some(IncSnapshot {
+                prev: Some(vec![snapshot; dirty.len()]),
+                dirty,
+            }),
+        };
+
+        let cp = RoundCheckpoint {
+            seed,
+            budget_bits,
+            num_slices,
+            pre_pass,
+            rounds,
+            remaining_bits,
+            total_spent_bits,
+            t_bits,
+            iterations,
+            inc,
+        };
+
+        let text = cp.to_json();
+        let parsed = RoundCheckpoint::parse(&text, "<prop>").expect("own output parses");
+        prop_assert_eq!(&parsed, &cp, "parse inverts to_json");
+        prop_assert_eq!(parsed.to_json(), text, "serialize-parse-serialize is a fixpoint");
+    }
+}

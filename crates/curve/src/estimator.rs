@@ -43,6 +43,46 @@ pub struct MeasureRequest {
     pub rep: usize,
 }
 
+/// A measurement that kept failing after every allowed retry.
+///
+/// Measurements are seed-pinned pure functions of their request, so a retry
+/// is a bit-identical re-execution: an error here means the failure is
+/// deterministic (or the worker is genuinely broken), and the tuner
+/// quarantines the affected slice instead of aborting the run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EstimateError {
+    /// The failed request's target slice (`None` = amortized/joint).
+    pub target_slice: Option<usize>,
+    /// The failed request's subset fraction.
+    pub frac: f64,
+    /// The failed request's repeat index.
+    pub rep: usize,
+    /// Attempts made (1 = no retries allowed or first attempt fatal).
+    pub attempts: usize,
+    /// The panic payload (or typed trainer error message) of the last
+    /// attempt.
+    pub cause: String,
+}
+
+impl std::fmt::Display for EstimateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.target_slice {
+            Some(s) => write!(
+                f,
+                "estimation measurement for slice {s} (frac {:.3}, rep {}) failed after {} attempt(s): {}",
+                self.frac, self.rep, self.attempts, self.cause
+            ),
+            None => write!(
+                f,
+                "joint estimation measurement (frac {:.3}, rep {}) failed after {} attempt(s): {}",
+                self.frac, self.rep, self.attempts, self.cause
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EstimateError {}
+
 /// The measurement callback: train on the requested subset, evaluate, and
 /// return one [`SliceLossMeasurement`] per slice of interest.
 ///
@@ -128,6 +168,15 @@ pub struct CurveEstimator {
     pub seed: u64,
     /// Worker threads for parallel measurement (0 = all available cores).
     pub threads: usize,
+    /// Retries per failed measurement before the request is given up and
+    /// reported as an [`EstimateError`] (a retry is a bit-identical
+    /// re-execution; see [`EstimateError`]).
+    pub retries: usize,
+    /// Panic isolation: wrap each measurement in `catch_unwind` and convert
+    /// failures into typed errors. Off, a panic aborts the estimation as it
+    /// did before the fault-tolerance layer existed — the bench baseline for
+    /// the `guards_overhead` gate.
+    pub guards: bool,
 }
 
 impl CurveEstimator {
@@ -140,6 +189,8 @@ impl CurveEstimator {
             mode: EstimationMode::Amortized,
             seed,
             threads: 0,
+            retries: 2,
+            guards: true,
         }
     }
 
@@ -151,6 +202,8 @@ impl CurveEstimator {
             mode: EstimationMode::Amortized,
             seed,
             threads: 0,
+            retries: 2,
+            guards: true,
         }
     }
 
@@ -204,6 +257,23 @@ impl CurveEstimator {
         num_slices: usize,
         measure: &TrainEvalFn<'_>,
     ) -> Vec<SliceEstimate> {
+        self.estimate_detailed_checked(num_slices, measure).0
+    }
+
+    /// [`estimate_detailed`](Self::estimate_detailed) also reporting the
+    /// requests whose measurement kept failing after every retry. A failed
+    /// request contributes no points, so a slice losing all of its
+    /// measurements reports a [`FitError`] in its estimate — the caller
+    /// decides whether to quarantine (the tuner does).
+    ///
+    /// # Panics
+    /// Panics if `fractions` is empty or `repeats == 0`; or, when
+    /// [`guards`](Self::guards) is off, whenever a measurement panics.
+    pub fn estimate_detailed_checked(
+        &self,
+        num_slices: usize,
+        measure: &TrainEvalFn<'_>,
+    ) -> (Vec<SliceEstimate>, Vec<EstimateError>) {
         assert!(
             !self.fractions.is_empty(),
             "need at least one subset fraction"
@@ -211,13 +281,22 @@ impl CurveEstimator {
         assert!(self.repeats > 0, "need at least one repeat");
 
         let requests = self.build_requests(num_slices);
-        let results = run_parallel(&requests, measure, self.effective_threads());
+        let (results, errors) = run_requests(
+            &requests,
+            measure,
+            self.effective_threads(),
+            self.retries,
+            self.guards,
+        );
         let points = self.group_points(num_slices, &requests, &results);
 
-        points
-            .into_iter()
-            .map(|per_rep| fold_estimate(per_rep, &fit_power_law))
-            .collect()
+        (
+            points
+                .into_iter()
+                .map(|per_rep| fold_estimate(per_rep, &fit_power_law))
+                .collect(),
+            errors,
+        )
     }
 
     /// [`estimate_detailed`](Self::estimate_detailed) through a *batched*
@@ -242,6 +321,25 @@ impl CurveEstimator {
         key: &dyn Fn(&MeasureRequest) -> u64,
         measure: &TrainEvalBatchFn<'_>,
     ) -> Vec<SliceEstimate> {
+        self.estimate_detailed_batched_checked(num_slices, key, measure)
+            .0
+    }
+
+    /// [`estimate_detailed_batched`](Self::estimate_detailed_batched) with
+    /// panic isolation and retry per *group* (lockstep models fail
+    /// together): a group exhausting its retries reports one
+    /// [`EstimateError`] per member request and contributes no points.
+    ///
+    /// # Panics
+    /// Panics if `fractions` is empty, `repeats == 0`, or `measure` returns
+    /// a result count different from its group size; or, when
+    /// [`guards`](Self::guards) is off, whenever a measurement panics.
+    pub fn estimate_detailed_batched_checked(
+        &self,
+        num_slices: usize,
+        key: &dyn Fn(&MeasureRequest) -> u64,
+        measure: &TrainEvalBatchFn<'_>,
+    ) -> (Vec<SliceEstimate>, Vec<EstimateError>) {
         assert!(
             !self.fractions.is_empty(),
             "need at least one subset fraction"
@@ -251,9 +349,36 @@ impl CurveEstimator {
         let requests = self.build_requests(num_slices);
         let plan = BatchedTrainPlan::build(&requests, key);
         let mut slots: Vec<Option<Vec<SliceLossMeasurement>>> = vec![None; requests.len()];
+        let mut errors: Vec<EstimateError> = Vec::new();
         for group in plan.groups() {
             let batch: Vec<MeasureRequest> = group.iter().map(|&i| requests[i]).collect();
-            let out = measure(&batch);
+            let out = if self.guards {
+                let mut attempt = 0usize;
+                loop {
+                    let caught =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| measure(&batch)));
+                    match caught {
+                        Ok(out) => break Some(out),
+                        Err(p) => {
+                            if attempt >= self.retries {
+                                let cause = payload_str(p.as_ref());
+                                errors.extend(batch.iter().map(|r| EstimateError {
+                                    target_slice: r.target_slice,
+                                    frac: r.frac,
+                                    rep: r.rep,
+                                    attempts: attempt + 1,
+                                    cause: cause.clone(),
+                                }));
+                                break None;
+                            }
+                            attempt += 1;
+                        }
+                    }
+                }
+            } else {
+                Some(measure(&batch))
+            };
+            let Some(out) = out else { continue };
             assert_eq!(
                 out.len(),
                 batch.len(),
@@ -263,16 +388,15 @@ impl CurveEstimator {
                 slots[i] = Some(r);
             }
         }
-        let results: Vec<Vec<SliceLossMeasurement>> = slots
-            .into_iter()
-            .map(|r| r.expect("every request measured"))
-            .collect();
-        let points = self.group_points(num_slices, &requests, &results);
+        let points = self.group_points(num_slices, &requests, &slots);
 
-        points
-            .into_iter()
-            .map(|per_rep| fold_estimate(per_rep, &fit_power_law))
-            .collect()
+        (
+            points
+                .into_iter()
+                .map(|per_rep| fold_estimate(per_rep, &fit_power_law))
+                .collect(),
+            errors,
+        )
     }
 
     /// Partial re-estimation: re-measures only the slices flagged in
@@ -301,6 +425,22 @@ impl CurveEstimator {
         targets: &[bool],
         measure: &TrainEvalFn<'_>,
     ) -> Vec<Option<SliceEstimate>> {
+        self.estimate_detailed_for_checked(num_slices, targets, measure)
+            .0
+    }
+
+    /// [`estimate_detailed_for`](Self::estimate_detailed_for) also reporting
+    /// the requests whose measurement kept failing after every retry (see
+    /// [`estimate_detailed_checked`](Self::estimate_detailed_checked)).
+    ///
+    /// # Panics
+    /// Same conditions as [`estimate_detailed_for`](Self::estimate_detailed_for).
+    pub fn estimate_detailed_for_checked(
+        &self,
+        num_slices: usize,
+        targets: &[bool],
+        measure: &TrainEvalFn<'_>,
+    ) -> (Vec<Option<SliceEstimate>>, Vec<EstimateError>) {
         assert!(
             !self.fractions.is_empty(),
             "need at least one subset fraction"
@@ -318,35 +458,49 @@ impl CurveEstimator {
             .into_iter()
             .filter(|r| r.target_slice.is_some_and(|s| targets[s]))
             .collect();
-        let results = run_parallel(&requests, measure, self.effective_threads());
+        let (results, errors) = run_requests(
+            &requests,
+            measure,
+            self.effective_threads(),
+            self.retries,
+            self.guards,
+        );
         let points = self.group_points(num_slices, &requests, &results);
 
-        points
-            .into_iter()
-            .enumerate()
-            .map(|(s, per_rep)| {
-                if !targets[s] {
-                    return None;
-                }
-                Some(fold_estimate(per_rep, &|pts| {
-                    let mut inc = IncrementalFit::new();
-                    inc.absorb_all(pts);
-                    inc.fit()
-                }))
-            })
-            .collect()
+        (
+            points
+                .into_iter()
+                .enumerate()
+                .map(|(s, per_rep)| {
+                    if !targets[s] {
+                        return None;
+                    }
+                    Some(fold_estimate(per_rep, &|pts| {
+                        let mut inc = IncrementalFit::new();
+                        inc.absorb_all(pts);
+                        inc.fit()
+                    }))
+                })
+                .collect(),
+            errors,
+        )
     }
 
-    /// Groups measurement results as `points[slice][repeat]`.
+    /// Groups measurement results as `points[slice][repeat]`. `None` slots
+    /// (requests whose measurement exhausted its retries) contribute
+    /// nothing.
     fn group_points(
         &self,
         num_slices: usize,
         requests: &[MeasureRequest],
-        results: &[Vec<SliceLossMeasurement>],
+        results: &[Option<Vec<SliceLossMeasurement>>],
     ) -> Vec<Vec<Vec<CurvePoint>>> {
         let mut points: Vec<Vec<Vec<CurvePoint>>> =
             vec![vec![Vec::new(); self.repeats]; num_slices];
         for (req, measurements) in requests.iter().zip(results) {
+            let Some(measurements) = measurements else {
+                continue;
+            };
             for m in measurements {
                 if m.slice >= num_slices {
                     continue;
@@ -463,15 +617,65 @@ fn child_seed(seed: u64, stream: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Extracts a human-readable message from a panic payload.
+fn payload_str(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// One measurement with panic isolation and deterministic retry. The
+/// measurement is a pure function of its seed-pinned request, so every
+/// retry re-executes the identical computation: a transient fault (an
+/// injected first-attempt panic) recovers bit-identically, a persistent one
+/// fails every attempt and becomes an [`EstimateError`].
+fn measure_caught(
+    req: &MeasureRequest,
+    measure: &TrainEvalFn<'_>,
+    retries: usize,
+    guards: bool,
+) -> Result<Vec<SliceLossMeasurement>, EstimateError> {
+    if !guards {
+        return Ok(measure(req));
+    }
+    let mut attempt = 0usize;
+    loop {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| measure(req))) {
+            Ok(out) => return Ok(out),
+            Err(p) => {
+                if attempt >= retries {
+                    return Err(EstimateError {
+                        target_slice: req.target_slice,
+                        frac: req.frac,
+                        rep: req.rep,
+                        attempts: attempt + 1,
+                        cause: payload_str(p.as_ref()),
+                    });
+                }
+                attempt += 1;
+            }
+        }
+    }
+}
+
 /// Runs every request through `measure` on a scoped thread pool, preserving
-/// request order in the result vector.
-fn run_parallel(
+/// request order in the result vector. A request whose measurement exhausts
+/// its retries leaves a `None` slot and an [`EstimateError`]; errors are
+/// returned in request order, independent of thread timing.
+fn run_requests(
     requests: &[MeasureRequest],
     measure: &TrainEvalFn<'_>,
     threads: usize,
-) -> Vec<Vec<SliceLossMeasurement>> {
+    retries: usize,
+    guards: bool,
+) -> (Vec<Option<Vec<SliceLossMeasurement>>>, Vec<EstimateError>) {
     let n = requests.len();
     let results: Mutex<Vec<Option<Vec<SliceLossMeasurement>>>> = Mutex::new(vec![None; n]);
+    let errors: Mutex<Vec<Option<EstimateError>>> = Mutex::new(vec![None; n]);
     let next = AtomicUsize::new(0);
     let workers = threads.max(1).min(n.max(1));
 
@@ -482,19 +686,24 @@ fn run_parallel(
                 if i >= n {
                     break;
                 }
-                let out = measure(&requests[i]);
-                results.lock().expect("poisoned results lock")[i] = Some(out);
+                match measure_caught(&requests[i], measure, retries, guards) {
+                    Ok(out) => results.lock().expect("poisoned results lock")[i] = Some(out),
+                    Err(e) => errors.lock().expect("poisoned errors lock")[i] = Some(e),
+                }
             });
         }
     })
     .expect("measurement worker panicked");
 
-    results
-        .into_inner()
-        .expect("poisoned results lock")
-        .into_iter()
-        .map(|r| r.expect("every request processed"))
-        .collect()
+    (
+        results.into_inner().expect("poisoned results lock"),
+        errors
+            .into_inner()
+            .expect("poisoned errors lock")
+            .into_iter()
+            .flatten()
+            .collect(),
+    )
 }
 
 #[cfg(test)]
@@ -748,6 +957,72 @@ mod tests {
         let est = CurveEstimator::fast(1);
         let fits = est.estimate(1, &measure);
         assert!(fits[0].is_err());
+    }
+
+    #[test]
+    fn first_attempt_panic_is_retried_bit_identically() {
+        let curves = vec![PowerLaw::new(2.0, 0.3), PowerLaw::new(3.5, 0.31)];
+        let clean_measure = synthetic_measure(vec![200, 400], curves.clone(), 0.2);
+        let est = CurveEstimator::fast(9).with_mode(EstimationMode::Exhaustive);
+        let clean = est.estimate_detailed(2, &clean_measure);
+
+        // The first measurement request targeting slice 0 panics exactly
+        // once; the retry re-runs the identical seed-pinned computation.
+        let fired = std::sync::atomic::AtomicBool::new(false);
+        let faulty = |req: &MeasureRequest| {
+            if req.target_slice == Some(0) && !fired.swap(true, Ordering::Relaxed) {
+                panic!("transient measurement fault");
+            }
+            clean_measure(req)
+        };
+        let (recovered, errors) = est.estimate_detailed_checked(2, &faulty);
+        assert!(fired.load(Ordering::Relaxed), "fault fired");
+        assert!(errors.is_empty(), "retry absorbed the transient fault");
+        for (s, (a, b)) in clean.iter().zip(&recovered).enumerate() {
+            assert_eq!(a.points, b.points, "slice {s} points");
+            let (af, bf) = (a.fit.as_ref().unwrap(), b.fit.as_ref().unwrap());
+            assert_eq!(af.b.to_bits(), bf.b.to_bits());
+            assert_eq!(af.a.to_bits(), bf.a.to_bits());
+        }
+    }
+
+    #[test]
+    fn exhausted_retries_quarantine_only_the_faulty_slice() {
+        let curves = vec![PowerLaw::new(2.0, 0.3), PowerLaw::new(3.5, 0.31)];
+        let clean_measure = synthetic_measure(vec![200, 400], curves, 0.2);
+        let faulty = |req: &MeasureRequest| {
+            if req.target_slice == Some(1) {
+                panic!("persistent measurement fault");
+            }
+            clean_measure(req)
+        };
+        let est = CurveEstimator::fast(9).with_mode(EstimationMode::Exhaustive);
+        let (detail, errors) = est.estimate_detailed_checked(2, &faulty);
+        assert!(!errors.is_empty());
+        for e in &errors {
+            assert_eq!(e.target_slice, Some(1));
+            assert_eq!(e.attempts, est.retries + 1, "every retry was spent");
+            assert!(e.cause.contains("persistent measurement fault"));
+            assert!(e.to_string().contains("slice 1"), "display names the slice");
+        }
+        // The faulty slice has no points, so its fit is a typed error; the
+        // healthy slice still fits.
+        assert!(detail[0].fit.is_ok());
+        assert!(detail[1].fit.is_err());
+        assert!(detail[1].points.is_empty());
+    }
+
+    #[test]
+    fn zero_retries_still_yields_typed_error_not_abort() {
+        let faulty = |_req: &MeasureRequest| -> Vec<SliceLossMeasurement> {
+            panic!("fault at every attempt");
+        };
+        let mut est = CurveEstimator::fast(9).with_mode(EstimationMode::Exhaustive);
+        est.retries = 0;
+        let (detail, errors) = est.estimate_detailed_checked(1, &faulty);
+        assert!(!errors.is_empty());
+        assert!(errors.iter().all(|e| e.attempts == 1));
+        assert!(detail[0].fit.is_err());
     }
 
     #[test]

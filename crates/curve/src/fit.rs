@@ -21,6 +21,15 @@ pub enum FitError {
     NotEnoughPoints,
     /// All measured losses were non-positive after clamping.
     DegenerateLosses,
+    /// A point carried a non-finite or negative subset size, or a non-finite
+    /// weight. Unlike a non-finite *loss* (a legitimate outcome of a
+    /// degenerate training run, silently filtered), these fields are
+    /// caller-constructed and a bad value is a bug upstream.
+    NonFinitePoint,
+    /// The optimizer diverged. Today this is only produced by the `ST_FAULT`
+    /// injection harness (`fit_diverge@p`); it exercises the same fallback
+    /// path a genuine divergence would take.
+    Diverged,
 }
 
 impl std::fmt::Display for FitError {
@@ -28,6 +37,10 @@ impl std::fmt::Display for FitError {
         match self {
             FitError::NotEnoughPoints => write!(f, "need >= 2 distinct subset sizes to fit"),
             FitError::DegenerateLosses => write!(f, "all losses non-positive; cannot fit"),
+            FitError::NonFinitePoint => {
+                write!(f, "curve point has non-finite or negative size/weight")
+            }
+            FitError::Diverged => write!(f, "power-law fit diverged"),
         }
     }
 }
@@ -50,11 +63,38 @@ const LM_ITERS: usize = 60;
 /// a small positive floor. See the module docs for the algorithm.
 pub fn fit_power_law(points: &[CurvePoint]) -> Result<PowerLaw, FitError> {
     let pts = clean(points)?;
+    inject_divergence(&pts)?;
 
     // --- Log-space weighted linear regression initialization. ---
     let (ln_b, a) = log_space_init(&pts)?;
 
     Ok(lm_refine(&pts, ln_b, a))
+}
+
+/// `ST_FAULT=fit_diverge@p` injection point: decides from an
+/// order-independent hash of the cleaned points, so the same measurements
+/// always diverge (or not) together — across runs, retries, and resumes.
+/// A no-op (one relaxed atomic load) when no fault plan is active.
+fn inject_divergence(pts: &[CurvePoint]) -> Result<(), FitError> {
+    if st_linalg::fault::active() && st_linalg::fault::fit_diverges(points_hash(pts)) {
+        return Err(FitError::Diverged);
+    }
+    Ok(())
+}
+
+fn points_hash(pts: &[CurvePoint]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325_u64;
+    for p in pts {
+        let mut x =
+            p.n.to_bits() ^ p.loss.to_bits().rotate_left(17) ^ p.weight.to_bits().rotate_left(31);
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^= x >> 31;
+        h ^= x; // XOR-fold: insensitive to point order
+    }
+    h
 }
 
 /// [`fit_power_law`] seeded from caller-supplied `(ln b, a)` instead of the
@@ -71,6 +111,7 @@ pub fn fit_power_law_seeded(
     a: f64,
 ) -> Result<PowerLaw, FitError> {
     let pts = clean(points)?;
+    inject_divergence(&pts)?;
     Ok(lm_refine(&pts, ln_b, a.clamp(A_MIN, A_MAX)))
 }
 
@@ -196,6 +237,15 @@ pub fn fit_power_law_with_floor(points: &[CurvePoint]) -> Result<PowerLawWithFlo
 }
 
 fn clean(points: &[CurvePoint]) -> Result<Vec<CurvePoint>, FitError> {
+    // Sizes and weights are caller-constructed; a non-finite or negative
+    // value is rejected up front rather than silently filtered like the
+    // measurement-derived loss field.
+    if points
+        .iter()
+        .any(|p| !p.n.is_finite() || !p.weight.is_finite() || p.n < 0.0)
+    {
+        return Err(FitError::NonFinitePoint);
+    }
     let pts: Vec<CurvePoint> = points
         .iter()
         .filter(|p| p.n >= 1.0 && p.weight > 0.0 && p.loss.is_finite())
@@ -508,6 +558,44 @@ mod tests {
         pts.push(CurvePoint::weighted(60.0, f64::NAN, 1.0)); // NaN loss
         let fit = fit_power_law(&pts).unwrap();
         assert!((fit.a - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rejects_non_finite_sizes_and_weights_up_front() {
+        for bad in [
+            CurvePoint::weighted(f64::NAN, 1.0, 1.0),
+            CurvePoint::weighted(f64::INFINITY, 1.0, 1.0),
+            CurvePoint::weighted(-5.0, 1.0, 1.0),
+            CurvePoint::weighted(50.0, 1.0, f64::NAN),
+        ] {
+            let mut pts = sample_curve(2.0, 0.25, &[10., 100., 300.]);
+            pts.push(bad);
+            assert_eq!(fit_power_law(&pts), Err(FitError::NonFinitePoint));
+            assert_eq!(
+                fit_power_law_with_floor(&pts),
+                Err(FitError::NonFinitePoint)
+            );
+        }
+    }
+
+    #[test]
+    fn injected_divergence_is_typed_and_deterministic() {
+        let _g = {
+            static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+            LOCK.lock().unwrap_or_else(|e| e.into_inner())
+        };
+        let pts = sample_curve(2.9, 0.21, &[10., 30., 60., 100.]);
+        st_linalg::fault::install(Some(
+            st_linalg::fault::parse_plan("fit_diverge@1.0").unwrap(),
+        ));
+        assert_eq!(fit_power_law(&pts), Err(FitError::Diverged));
+        assert_eq!(fit_power_law(&pts), Err(FitError::Diverged), "reproducible");
+        // Order-independent hash: shuffled points make the same decision.
+        let mut rev = pts.clone();
+        rev.reverse();
+        assert_eq!(fit_power_law(&rev), Err(FitError::Diverged));
+        st_linalg::fault::install(None);
+        assert!(fit_power_law(&pts).is_ok());
     }
 
     #[test]

@@ -30,7 +30,7 @@ pub mod zoo;
 
 pub use bands::{bootstrap_curve, CurveBands};
 pub use estimator::{
-    BatchedTrainPlan, CurveEstimator, EstimationMode, MeasureRequest, SliceEstimate,
+    BatchedTrainPlan, CurveEstimator, EstimateError, EstimationMode, MeasureRequest, SliceEstimate,
     SliceLossMeasurement, TrainEvalBatchFn, TrainEvalFn,
 };
 pub use fit::{

@@ -39,6 +39,15 @@ pub enum CsvError {
         /// Dimensionality found on this row.
         found: usize,
     },
+    /// A feature parsed but is not a finite number (NaN or ±Inf). Rejected
+    /// at ingestion: one non-finite feature would poison every dot product
+    /// downstream and surface as an inexplicable NaN loss rounds later.
+    NonFiniteFeature {
+        /// 1-based line number.
+        line: usize,
+        /// The offending token.
+        token: String,
+    },
     /// A slice id names a slice the target dataset does not have
     /// (bounds-checked readers only).
     SliceOutOfRange {
@@ -47,6 +56,15 @@ pub enum CsvError {
         /// The out-of-range slice id.
         slice: usize,
         /// Number of slices in the target dataset.
+        num_slices: usize,
+    },
+    /// A slice received no examples at all (covering readers only):
+    /// datasets built from such a batch would carry empty slices whose
+    /// evaluations degenerate to NaN.
+    EmptySlice {
+        /// The unpopulated slice id.
+        slice: usize,
+        /// Number of slices the batch was required to cover.
         num_slices: usize,
     },
 }
@@ -70,6 +88,9 @@ impl std::fmt::Display for CsvError {
             } => {
                 write!(f, "line {line}: {found} features, expected {expected}")
             }
+            CsvError::NonFiniteFeature { line, token } => {
+                write!(f, "line {line}: non-finite feature {token:?}")
+            }
             CsvError::SliceOutOfRange {
                 line,
                 slice,
@@ -78,6 +99,12 @@ impl std::fmt::Display for CsvError {
                 write!(
                     f,
                     "line {line}: slice {slice} out of range (dataset has {num_slices} slices)"
+                )
+            }
+            CsvError::EmptySlice { slice, num_slices } => {
+                write!(
+                    f,
+                    "slice {slice} has no examples (batch must cover all {num_slices} slices)"
                 )
             }
         }
@@ -125,10 +152,17 @@ pub fn read_examples(text: &str) -> Result<Vec<Example>, CsvError> {
         })?;
         let features: Result<Vec<f64>, CsvError> = parts
             .map(|t| {
-                t.trim().parse::<f64>().map_err(|_| CsvError::BadFloat {
+                let v = t.trim().parse::<f64>().map_err(|_| CsvError::BadFloat {
                     line,
                     token: t.to_string(),
-                })
+                })?;
+                if !v.is_finite() {
+                    return Err(CsvError::NonFiniteFeature {
+                        line,
+                        token: t.to_string(),
+                    });
+                }
+                Ok(v)
             })
             .collect();
         let features = features?;
@@ -174,6 +208,26 @@ pub fn read_examples_bounded(text: &str, num_slices: usize) -> Result<Vec<Exampl
                 num_slices,
             });
         }
+    }
+    Ok(examples)
+}
+
+/// [`read_examples_bounded`] additionally requiring every one of the
+/// `num_slices` slices to be populated — the ingestion boundary for a
+/// *whole dataset* (as opposed to an acquisition batch, which legitimately
+/// touches a subset of slices).
+///
+/// # Errors
+/// Returns the first [`CsvError`] encountered, including
+/// [`CsvError::EmptySlice`] for the lowest unpopulated slice id.
+pub fn read_examples_covering(text: &str, num_slices: usize) -> Result<Vec<Example>, CsvError> {
+    let examples = read_examples_bounded(text, num_slices)?;
+    let mut seen = vec![false; num_slices];
+    for e in &examples {
+        seen[e.slice.index()] = true;
+    }
+    if let Some(slice) = seen.iter().position(|&s| !s) {
+        return Err(CsvError::EmptySlice { slice, num_slices });
     }
     Ok(examples)
 }
@@ -317,5 +371,66 @@ mod tests {
     fn zero_feature_examples_round_trip() {
         let ex = vec![Example::new(vec![], 1, SliceId(3))];
         assert_eq!(read_examples(&write_examples(&ex)).unwrap(), ex);
+    }
+
+    #[test]
+    fn rejects_non_finite_features_with_line_and_token() {
+        for token in ["NaN", "inf", "-inf", "Infinity"] {
+            let text = format!("0,0,1.0\n1,1,{token}\n");
+            assert_eq!(
+                read_examples(&text),
+                Err(CsvError::NonFiniteFeature {
+                    line: 2,
+                    token: token.to_string()
+                }),
+                "token {token:?} must be rejected"
+            );
+        }
+        // Finite parses stay accepted, including exotic-but-finite forms.
+        assert!(read_examples("0,0,1e308\n").is_ok());
+    }
+
+    #[test]
+    fn truncated_rows_are_typed_errors_not_panics() {
+        // A row chopped mid-write (crash during save) in every position.
+        for truncated in ["0", "0,", "0,0,1.0\n1", "0,0,1.0\n1,1,2.0e"] {
+            let err = read_examples(truncated);
+            assert!(err.is_err(), "{truncated:?} must fail");
+        }
+        // "0," parses as slice token "" -> BadIndex, not TooFewColumns.
+        assert!(matches!(
+            read_examples("0,"),
+            Err(CsvError::BadIndex { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn covering_reader_rejects_empty_slices() {
+        let ex = sample(); // populates slices 0 and 2 only
+        let text = write_examples(&ex);
+        assert_eq!(
+            read_examples_covering(&text, 3),
+            Err(CsvError::EmptySlice {
+                slice: 1,
+                num_slices: 3
+            })
+        );
+        // Whole-file emptiness is the degenerate case of the same error.
+        assert_eq!(
+            read_examples_covering("", 2),
+            Err(CsvError::EmptySlice {
+                slice: 0,
+                num_slices: 2
+            })
+        );
+        // A batch covering every slice passes through unchanged.
+        let full = vec![
+            Example::new(vec![1.0], 0, SliceId(0)),
+            Example::new(vec![2.0], 1, SliceId(1)),
+        ];
+        assert_eq!(
+            read_examples_covering(&write_examples(&full), 2).unwrap(),
+            full
+        );
     }
 }

@@ -42,8 +42,8 @@ pub use example::{Example, SliceId};
 pub use generator::{DatasetFamily, GaussianSliceModel, LabelCluster, SliceSpec};
 pub use image::{image_fashion, ImageFamily, ImageSliceSpec, Pattern};
 pub use io::{
-    load_examples, load_examples_bounded, read_examples, read_examples_bounded, save_examples,
-    write_examples, CsvError,
+    load_examples, load_examples_bounded, read_examples, read_examples_bounded,
+    read_examples_covering, save_examples, write_examples, CsvError,
 };
 pub use rng::{normal, seeded_rng, split_seed};
 pub use sizes::{decaying_sizes, equal_sizes};

@@ -1,0 +1,332 @@
+//! Deterministic fault injection (`ST_FAULT`) for the chaos suite.
+//!
+//! The tuning loop's fault-tolerance layer (panic isolation, retry,
+//! quarantine, fit fallbacks) is only trustworthy if every recovery path is
+//! exercised, so this module compiles an env-driven *fault plan* into the
+//! workspace's injection points: the trial worker, the trainer's minibatch
+//! loop, and the power-law fitter. The plan is a function of the spec alone
+//! — no clocks, no RNG — so an injected failure reproduces exactly across
+//! runs and retries.
+//!
+//! Grammar (comma-separated specs, unknown ones warn and are skipped,
+//! mirroring the `ST_KERNEL` / `ST_BATCH` convention):
+//!
+//! ```text
+//! ST_FAULT=trial_panic@2,nan_loss@slice3:round1,fit_diverge@0.1
+//! ```
+//!
+//! - `trial_panic@<t>` — trial `t`'s worker panics on its **first** attempt
+//!   only; the deterministic retry succeeds (exercises retry).
+//! - `nan_loss@slice<s>:round<r>` — every estimation measurement targeting
+//!   slice `s` during round `r` poisons a minibatch with NaN, on **every**
+//!   attempt; retries exhaust and the slice is quarantined (exercises
+//!   quarantine).
+//! - `fit_diverge@<p>` — each power-law fit diverges with probability `p`,
+//!   decided by hashing the fit's input points (order-independent, so the
+//!   same points always make the same decision); failed fits take the
+//!   existing fallback-curve path (exercises fallbacks).
+//!
+//! When `ST_FAULT` is unset and no plan has been installed, every query is
+//! a relaxed atomic load and an early return — the harness costs nothing on
+//! the fault-free hot path (the pipeline bench's `guards_overhead` gate
+//! keeps that honest).
+//!
+//! Tests inject in-process via [`install`] instead of the environment: the
+//! env plan is cached once per process, so a test binary could only ever
+//! exercise one scenario through it.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// A compiled fault plan: which injection points fire, and when.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Trials whose worker panics on attempt 0.
+    pub trial_panics: Vec<u64>,
+    /// `(slice, round)` pairs whose estimation measurements poison a
+    /// minibatch with NaN on every attempt.
+    pub nan_losses: Vec<(u64, u64)>,
+    /// Probability that any given power-law fit diverges.
+    pub fit_diverge: Option<f64>,
+}
+
+impl FaultPlan {
+    fn is_empty(&self) -> bool {
+        self.trial_panics.is_empty() && self.nan_losses.is_empty() && self.fit_diverge.is_none()
+    }
+}
+
+/// The accepted `ST_FAULT` grammar, for warnings and usage strings.
+pub fn fault_grammar() -> &'static str {
+    "trial_panic@<trial> | nan_loss@slice<S>:round<R> | fit_diverge@<p in [0,1]>"
+}
+
+/// Parses one comma-separated `ST_FAULT` value into a plan.
+///
+/// # Errors
+/// Returns a message naming the first offending spec and the valid grammar.
+pub fn parse_plan(spec: &str) -> Result<FaultPlan, String> {
+    let mut plan = FaultPlan::default();
+    for part in spec.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let bad = || {
+            format!(
+                "unknown ST_FAULT spec '{part}' (valid specs: {})",
+                fault_grammar()
+            )
+        };
+        let (kind, arg) = part.split_once('@').ok_or_else(bad)?;
+        match kind {
+            "trial_panic" => {
+                let t: u64 = arg.parse().map_err(|_| bad())?;
+                plan.trial_panics.push(t);
+            }
+            "nan_loss" => {
+                let (s, r) = arg.split_once(':').ok_or_else(bad)?;
+                let s: u64 = s
+                    .strip_prefix("slice")
+                    .ok_or_else(bad)?
+                    .parse()
+                    .map_err(|_| bad())?;
+                let r: u64 = r
+                    .strip_prefix("round")
+                    .ok_or_else(bad)?
+                    .parse()
+                    .map_err(|_| bad())?;
+                plan.nan_losses.push((s, r));
+            }
+            "fit_diverge" => {
+                let p: f64 = arg.parse().map_err(|_| bad())?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(bad());
+                }
+                plan.fit_diverge = Some(p);
+            }
+            _ => return Err(bad()),
+        }
+    }
+    Ok(plan)
+}
+
+/// The plan compiled from `ST_FAULT` in the environment, once per process.
+/// Unknown specs warn (listing the grammar) and the rest of the value still
+/// applies — a typo must not silently disable the chaos leg's real faults.
+fn env_plan() -> Option<&'static FaultPlan> {
+    static PLAN: OnceLock<Option<FaultPlan>> = OnceLock::new();
+    PLAN.get_or_init(|| {
+        let spec = std::env::var("ST_FAULT").ok()?;
+        let mut plan = FaultPlan::default();
+        for part in spec.split(',') {
+            if part.trim().is_empty() {
+                continue;
+            }
+            match parse_plan(part) {
+                Ok(p) => {
+                    plan.trial_panics.extend(p.trial_panics);
+                    plan.nan_losses.extend(p.nan_losses);
+                    if p.fit_diverge.is_some() {
+                        plan.fit_diverge = p.fit_diverge;
+                    }
+                }
+                Err(e) => eprintln!("warning: {e}"),
+            }
+        }
+        (!plan.is_empty()).then_some(plan)
+    })
+    .as_ref()
+}
+
+static OVERRIDE_SET: AtomicBool = AtomicBool::new(false);
+
+fn override_plan() -> &'static Mutex<Option<FaultPlan>> {
+    static OVERRIDE: OnceLock<Mutex<Option<FaultPlan>>> = OnceLock::new();
+    OVERRIDE.get_or_init(|| Mutex::new(None))
+}
+
+/// Installs (or, with `None`, clears) an in-process fault plan, overriding
+/// the environment. Test-only by intent: the override is process-global, so
+/// chaos tests in one binary must serialize around it.
+pub fn install(plan: Option<FaultPlan>) {
+    let active = plan.is_some();
+    *override_plan().lock().expect("fault override poisoned") = plan;
+    OVERRIDE_SET.store(active, Ordering::SeqCst);
+}
+
+/// True when any fault plan (env or installed) is active. This is the
+/// zero-cost gate every injection point checks first.
+#[inline]
+pub fn active() -> bool {
+    OVERRIDE_SET.load(Ordering::Relaxed) || env_plan().is_some()
+}
+
+/// Looks up the active plan and applies `f` to it.
+fn with_plan<T>(f: impl FnOnce(&FaultPlan) -> T) -> Option<T> {
+    if OVERRIDE_SET.load(Ordering::Relaxed) {
+        return override_plan()
+            .lock()
+            .expect("fault override poisoned")
+            .as_ref()
+            .map(f);
+    }
+    env_plan().map(f)
+}
+
+/// Should trial `trial`'s worker panic on this `attempt`? Fires on attempt
+/// 0 only, so the deterministic retry observes a clean re-execution.
+#[inline]
+pub fn trial_panics(trial: usize, attempt: usize) -> bool {
+    if !active() || attempt != 0 {
+        return false;
+    }
+    with_plan(|p| p.trial_panics.contains(&(trial as u64))).unwrap_or(false)
+}
+
+thread_local! {
+    static NAN_ARMED: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// RAII guard arming NaN-loss injection for the current thread; dropped
+/// (including during unwinding) it disarms.
+pub struct NanLossScope {
+    armed: bool,
+}
+
+impl Drop for NanLossScope {
+    fn drop(&mut self) {
+        if self.armed {
+            NAN_ARMED.with(|c| c.set(false));
+        }
+    }
+}
+
+/// Arms NaN-loss injection for the current thread when the active plan
+/// lists `(slice, round)`. The estimation layer calls this around each
+/// measurement (it knows the slice and round); the trainer's minibatch loop
+/// consumes the flag via [`nan_loss_armed`]. Fires on **every** attempt:
+/// the injected fault is persistent, so retries exhaust and the slice is
+/// quarantined.
+pub fn arm_nan_loss(slice: Option<usize>, round: u64) -> NanLossScope {
+    let armed = active()
+        && slice.is_some_and(|s| {
+            with_plan(|p| p.nan_losses.contains(&(s as u64, round))).unwrap_or(false)
+        });
+    if armed {
+        NAN_ARMED.with(|c| c.set(true));
+    }
+    NanLossScope { armed }
+}
+
+/// Should the current thread's training poison a minibatch with NaN?
+#[inline]
+pub fn nan_loss_armed() -> bool {
+    if !active() {
+        return false;
+    }
+    NAN_ARMED.with(|c| c.get())
+}
+
+/// Should a power-law fit with this input hash diverge? The caller hashes
+/// the fit's input points (order-independently), so the decision is a pure
+/// function of the data and reproduces across runs, retries, and resumes.
+#[inline]
+pub fn fit_diverges(points_hash: u64) -> bool {
+    if !active() {
+        return false;
+    }
+    with_plan(|p| match p.fit_diverge {
+        Some(prob) => (points_hash as f64 / u64::MAX as f64) < prob,
+        None => false,
+    })
+    .unwrap_or(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The override is process-global; these tests run under one lock so
+    // they cannot observe each other's plans (the same discipline the
+    // workspace chaos suite uses).
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn parses_the_full_grammar() {
+        let p = parse_plan("trial_panic@2, nan_loss@slice3:round1, fit_diverge@0.1").unwrap();
+        assert_eq!(p.trial_panics, vec![2]);
+        assert_eq!(p.nan_losses, vec![(3, 1)]);
+        assert_eq!(p.fit_diverge, Some(0.1));
+    }
+
+    #[test]
+    fn rejects_unknown_specs_listing_the_grammar() {
+        for bad in ["bogus@1", "trial_panic", "nan_loss@3:1", "fit_diverge@1.5"] {
+            let err = parse_plan(bad).expect_err(bad);
+            assert!(err.contains(bad.split('@').next().unwrap()), "{err}");
+            assert!(err.contains("trial_panic@<trial>"), "{err}");
+        }
+    }
+
+    #[test]
+    fn trial_panic_fires_on_first_attempt_only() {
+        let _g = serial();
+        install(Some(parse_plan("trial_panic@1").unwrap()));
+        assert!(trial_panics(1, 0));
+        assert!(!trial_panics(1, 1), "retry must succeed");
+        assert!(!trial_panics(0, 0), "other trials untouched");
+        install(None);
+        assert!(!trial_panics(1, 0));
+    }
+
+    #[test]
+    fn nan_loss_scope_arms_and_disarms() {
+        let _g = serial();
+        install(Some(parse_plan("nan_loss@slice2:round1").unwrap()));
+        assert!(!nan_loss_armed());
+        {
+            let _scope = arm_nan_loss(Some(2), 1);
+            assert!(nan_loss_armed(), "matching (slice, round) arms");
+        }
+        assert!(!nan_loss_armed(), "scope drop disarms");
+        {
+            let _scope = arm_nan_loss(Some(2), 2);
+            assert!(!nan_loss_armed(), "wrong round stays cold");
+        }
+        {
+            let _scope = arm_nan_loss(None, 1);
+            assert!(!nan_loss_armed(), "joint measurements stay cold");
+        }
+        install(None);
+    }
+
+    #[test]
+    fn fit_diverge_is_a_pure_function_of_the_hash() {
+        let _g = serial();
+        install(Some(parse_plan("fit_diverge@1.0").unwrap()));
+        assert!(fit_diverges(123));
+        install(Some(parse_plan("fit_diverge@0.0").unwrap()));
+        assert!(!fit_diverges(123));
+        install(Some(parse_plan("fit_diverge@0.5").unwrap()));
+        let low = fit_diverges(u64::MAX / 4);
+        let high = fit_diverges(u64::MAX / 4 * 3);
+        assert!(low && !high, "threshold splits the hash space");
+        install(None);
+    }
+
+    #[test]
+    fn inactive_harness_answers_false_everywhere() {
+        let _g = serial();
+        install(None);
+        if std::env::var("ST_FAULT").is_err() {
+            assert!(!active());
+            assert!(!trial_panics(0, 0));
+            assert!(!nan_loss_armed());
+            assert!(!fit_diverges(0));
+        }
+    }
+}

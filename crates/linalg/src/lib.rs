@@ -16,6 +16,7 @@
 //! backend, and all backends are bit-identical by construction — see
 //! `docs/kernels.md`.
 
+pub mod fault;
 pub mod kernel;
 pub mod matrix;
 pub mod qr;
@@ -26,6 +27,7 @@ pub mod special;
 pub mod stats;
 pub mod vector;
 
+pub use fault::{fault_grammar, FaultPlan};
 pub use kernel::{
     kernel, kernel_kind, kernel_names, kernel_threads, prepack_forced, set_kernel,
     set_kernel_threads, simd_force_names, BlockedKernel, FastKernel, GemmBackend, KernelKind,

@@ -139,6 +139,16 @@ impl Mlp {
             .sum()
     }
 
+    /// True when every weight and bias is finite. A non-finite parameter
+    /// means some minibatch produced a non-finite loss or gradient and the
+    /// model is poisoned; the trainer's numeric guard checks this once per
+    /// epoch (O(params), negligible next to the epoch's GEMMs).
+    pub fn params_finite(&self) -> bool {
+        self.layers.iter().all(|l| {
+            l.w.as_slice().iter().all(|v| v.is_finite()) && l.b.iter().all(|v| v.is_finite())
+        })
+    }
+
     /// Forward pass retaining every post-activation (used by backprop).
     ///
     /// Returns `(activations, logits)`: `activations[0]` is the input, and

@@ -35,6 +35,12 @@ pub struct TrainConfig {
     pub dropout: f64,
     /// Seed for parameter init, minibatch shuffling, and dropout masks.
     pub seed: u64,
+    /// Numeric guards: scan the parameters for non-finite values once per
+    /// epoch and reject non-finite validation losses with a typed
+    /// [`TrainError`] instead of returning a poisoned model. The scan only
+    /// reads, so guarded and unguarded runs are bit-identical; the flag
+    /// exists so the pipeline bench can price the guard (`guards_overhead`).
+    pub guards: bool,
 }
 
 impl Default for TrainConfig {
@@ -48,6 +54,7 @@ impl Default for TrainConfig {
             schedule: LrSchedule::Exponential { gamma: 0.97 },
             dropout: 0.0,
             seed: 0,
+            guards: true,
         }
     }
 }
@@ -80,7 +87,47 @@ impl TrainConfig {
             ..self.clone()
         }
     }
+
+    /// Returns a copy with the numeric guards toggled (bench baseline).
+    pub fn with_guards(&self, guards: bool) -> Self {
+        TrainConfig {
+            guards,
+            ..self.clone()
+        }
+    }
 }
+
+/// A training run the numeric guards rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrainError {
+    /// A minibatch produced a non-finite loss or gradient: the epoch-end
+    /// parameter scan found NaN/Inf weights, so the model is poisoned.
+    NonFiniteLoss {
+        /// Epoch (0-based) whose parameter scan failed.
+        epoch: usize,
+    },
+    /// The validation loss became non-finite.
+    NonFiniteValidation {
+        /// Epoch (0-based) whose validation loss was non-finite.
+        epoch: usize,
+    },
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainError::NonFiniteLoss { epoch } => write!(
+                f,
+                "non-finite minibatch loss poisoned the model parameters at epoch {epoch}"
+            ),
+            TrainError::NonFiniteValidation { epoch } => {
+                write!(f, "validation loss became non-finite at epoch {epoch}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
 
 /// Outcome of [`train_validated`]: the chosen model plus stopping metadata.
 #[derive(Debug, Clone)]
@@ -126,7 +173,9 @@ const MIN_RELATIVE_IMPROVEMENT: f64 = 1e-3;
 /// only used to report `best_val_loss`.
 ///
 /// # Panics
-/// Panics on shape/label mismatches (see [`train`]).
+/// Panics on shape/label mismatches (see [`train`]), or when the numeric
+/// guards reject the run — use [`try_train_validated`] to handle a
+/// [`TrainError`] instead.
 #[allow(clippy::too_many_arguments)]
 pub fn train_validated(
     x: &Matrix,
@@ -138,6 +187,36 @@ pub fn train_validated(
     config: &TrainConfig,
     patience: Option<usize>,
 ) -> TrainOutcome {
+    try_train_validated(
+        x,
+        y,
+        validation,
+        input_dim,
+        num_classes,
+        spec,
+        config,
+        patience,
+    )
+    .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`train_validated`] with the numeric guards surfaced as a typed error
+/// instead of a panic.
+///
+/// # Errors
+/// Returns a [`TrainError`] when a minibatch poisons the parameters with
+/// non-finite values or the validation loss becomes non-finite.
+#[allow(clippy::too_many_arguments)]
+pub fn try_train_validated(
+    x: &Matrix,
+    y: &[usize],
+    validation: Option<(&Matrix, &[usize])>,
+    input_dim: usize,
+    num_classes: usize,
+    spec: &ModelSpec,
+    config: &TrainConfig,
+    patience: Option<usize>,
+) -> Result<TrainOutcome, TrainError> {
     train_core(
         x,
         y,
@@ -178,11 +257,31 @@ pub fn train_on_rows(
     spec: &ModelSpec,
     config: &TrainConfig,
 ) -> Mlp {
+    try_train_on_rows(x, y, rows, input_dim, num_classes, spec, config)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`train_on_rows`] with the numeric guards surfaced as a typed error
+/// instead of a panic. This is what the estimation layer's panic-isolation
+/// wrapper catches and converts into an `EstimateError`.
+///
+/// # Errors
+/// Returns a [`TrainError`] when a minibatch poisons the parameters with
+/// non-finite values.
+pub fn try_train_on_rows(
+    x: &Matrix,
+    y: &[usize],
+    rows: &[usize],
+    input_dim: usize,
+    num_classes: usize,
+    spec: &ModelSpec,
+    config: &TrainConfig,
+) -> Result<Mlp, TrainError> {
     if rows.is_empty() {
         let mut rng = seeded_rng(config.seed);
-        return Mlp::new(input_dim, &spec.hidden, num_classes, &mut rng);
+        return Ok(Mlp::new(input_dim, &spec.hidden, num_classes, &mut rng));
     }
-    train_core(
+    Ok(train_core(
         x,
         y,
         Some(rows),
@@ -193,8 +292,8 @@ pub fn train_on_rows(
         spec,
         config,
         None,
-    )
-    .model
+    )?
+    .model)
 }
 
 /// [`train_on_rows`] warm-started from an existing network instead of a
@@ -239,6 +338,7 @@ pub fn train_on_rows_warm(
         config,
         None,
     )
+    .unwrap_or_else(|e| panic!("{e}"))
     .model
 }
 
@@ -284,6 +384,24 @@ pub fn train_on_rows_batched(
     spec: &ModelSpec,
     configs: &[TrainConfig],
 ) -> Vec<Mlp> {
+    try_train_on_rows_batched(x, y, row_sets, input_dim, num_classes, spec, configs)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`train_on_rows_batched`] with the numeric guards surfaced as a typed
+/// error instead of a panic.
+///
+/// # Errors
+/// Returns the first [`TrainError`] any model of the group hits.
+pub fn try_train_on_rows_batched(
+    x: &Matrix,
+    y: &[usize],
+    row_sets: &[&[usize]],
+    input_dim: usize,
+    num_classes: usize,
+    spec: &ModelSpec,
+    configs: &[TrainConfig],
+) -> Result<Vec<Mlp>, TrainError> {
     assert_eq!(
         row_sets.len(),
         configs.len(),
@@ -306,7 +424,7 @@ pub fn train_on_rows_batched(
         return row_sets
             .iter()
             .zip(configs)
-            .map(|(rows, cfg)| train_on_rows(x, y, rows, input_dim, num_classes, spec, cfg))
+            .map(|(rows, cfg)| try_train_on_rows(x, y, rows, input_dim, num_classes, spec, cfg))
             .collect();
     }
     train_batched_core(x, y, row_sets, input_dim, num_classes, spec, configs)
@@ -323,7 +441,7 @@ fn train_batched_core(
     num_classes: usize,
     spec: &ModelSpec,
     configs: &[TrainConfig],
-) -> Vec<Mlp> {
+) -> Result<Vec<Mlp>, TrainError> {
     assert_eq!(x.rows(), y.len(), "feature/label count mismatch");
     for ids in row_sets {
         assert!(
@@ -375,13 +493,20 @@ fn train_batched_core(
                 x.gather_rows_into(&s.map, &mut s.bx);
                 s.by.clear();
                 s.by.extend(s.map.iter().map(|&i| y[i]));
+                // Input-side numeric guard; see train_core.
+                if shared.guards && !s.bx.as_slice().iter().all(|v| v.is_finite()) {
+                    return Err(TrainError::NonFiniteLoss { epoch });
+                }
                 opts[r].next_step();
             }
             descent_step_batched(&mut nets, &mut scratches, lr, shared, &mut opts, &mut rngs);
             start = end;
         }
+        if shared.guards && !nets.iter().all(Mlp::params_finite) {
+            return Err(TrainError::NonFiniteLoss { epoch });
+        }
     }
-    nets
+    Ok(nets)
 }
 
 /// One lockstep optimizer step across the model group: the batched mirror
@@ -585,7 +710,7 @@ fn train_core(
     spec: &ModelSpec,
     config: &TrainConfig,
     patience: Option<usize>,
-) -> TrainOutcome {
+) -> Result<TrainOutcome, TrainError> {
     assert_eq!(x.rows(), y.len(), "feature/label count mismatch");
     match rows {
         None => assert!(y.iter().all(|&l| l < num_classes), "label out of range"),
@@ -626,11 +751,11 @@ fn train_core(
     };
     let n = rows.map_or(x.rows(), <[usize]>::len);
     if n == 0 {
-        return TrainOutcome {
+        return Ok(TrainOutcome {
             model: net,
             epochs_run: 0,
             best_val_loss: f64::NAN,
-        };
+        });
     }
 
     // One optimizer slot per tensor: w then b per layer.
@@ -666,13 +791,38 @@ fn train_core(
             x.gather_rows_into(gather, &mut scratch.bx);
             scratch.by.clear();
             scratch.by.extend(gather.iter().map(|&i| y[i]));
+            // ST_FAULT nan_loss injection point: a poisoned feature turns
+            // this minibatch's loss non-finite, which the epoch-end
+            // parameter scan below converts into a typed error.
+            if st_linalg::fault::nan_loss_armed() {
+                if let Some(v) = scratch.bx.as_mut_slice().first_mut() {
+                    *v = f64::NAN;
+                }
+            }
+            // Numeric guard, input side: a non-finite feature would flow
+            // through softmax into every parameter; reject it as a typed
+            // error before the step runs. One read pass over a minibatch —
+            // cheap next to the step's three GEMMs (priced by the
+            // `guards_overhead` bench gate).
+            if config.guards && !scratch.bx.as_slice().iter().all(|v| v.is_finite()) {
+                return Err(TrainError::NonFiniteLoss { epoch });
+            }
             opt.next_step();
             descent_step(&mut net, &mut scratch, lr, config, &mut opt, &mut rng);
         }
         epochs_run = epoch + 1;
+        // Numeric guard: a single non-finite minibatch loss propagates into
+        // the weights through the update, so one O(params) scan per epoch
+        // catches it without touching the minibatch hot loop.
+        if config.guards && !net.params_finite() {
+            return Err(TrainError::NonFiniteLoss { epoch });
+        }
 
         if let Some((vx, vy)) = validation {
             let val = crate::loss::log_loss(&net, vx, vy);
+            if config.guards && !vy.is_empty() && !val.is_finite() {
+                return Err(TrainError::NonFiniteValidation { epoch });
+            }
             // An epoch only counts as an improvement when it beats the best
             // loss by a relative margin. Without the margin, smoothly
             // decaying learning rates produce ever-smaller but strictly
@@ -692,7 +842,7 @@ fn train_core(
         }
     }
 
-    match best {
+    Ok(match best {
         Some((loss, model)) if patience.is_some() => TrainOutcome {
             model,
             epochs_run,
@@ -708,7 +858,7 @@ fn train_core(
             epochs_run,
             best_val_loss: f64::NAN,
         },
-    }
+    })
 }
 
 /// Reusable buffers for the minibatch loop.
@@ -1128,6 +1278,94 @@ mod tests {
             &ModelSpec::softmax(),
             &TrainConfig::default(),
         );
+    }
+
+    #[test]
+    fn nan_features_yield_typed_train_error() {
+        let (x, y) = blobs(20, &[(-2.0, 0.0), (2.0, 0.0)], 9);
+        let mut poisoned = x.clone();
+        poisoned.as_mut_slice()[3] = f64::NAN;
+        let rows: Vec<usize> = (0..poisoned.rows()).collect();
+        let err = try_train_on_rows(
+            &poisoned,
+            &y,
+            &rows,
+            2,
+            2,
+            &ModelSpec::softmax(),
+            &TrainConfig::default(),
+        )
+        .expect_err("NaN features must poison the first epoch");
+        assert_eq!(err, TrainError::NonFiniteLoss { epoch: 0 });
+        // The panicking wrapper carries the typed message.
+        let caught = std::panic::catch_unwind(|| {
+            train_on_rows(
+                &poisoned,
+                &y,
+                &rows,
+                2,
+                2,
+                &ModelSpec::softmax(),
+                &TrainConfig::default(),
+            )
+        })
+        .expect_err("wrapper panics");
+        let msg = caught
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("string payload");
+        assert!(msg.contains("non-finite minibatch loss"), "{msg}");
+    }
+
+    #[test]
+    fn unguarded_training_is_bit_identical_to_guarded() {
+        // The guard only reads; toggling it must not move a single bit
+        // (this is what makes the guards_overhead bench an apples-to-apples
+        // comparison).
+        let (x, y) = blobs(30, &[(-1.0, 1.0), (1.0, -1.0)], 19);
+        let rows: Vec<usize> = (0..x.rows()).collect();
+        let guarded = TrainConfig::default().with_seed(3);
+        let unguarded = guarded.with_guards(false);
+        let a = train_on_rows(&x, &y, &rows, 2, 2, &ModelSpec::small(), &guarded);
+        let b = train_on_rows(&x, &y, &rows, 2, 2, &ModelSpec::small(), &unguarded);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn injected_nan_loss_fails_training_on_every_attempt() {
+        let (x, y) = blobs(20, &[(-2.0, 0.0), (2.0, 0.0)], 10);
+        let rows: Vec<usize> = (0..x.rows()).collect();
+        st_linalg::fault::install(Some(
+            st_linalg::fault::parse_plan("nan_loss@slice1:round2").unwrap(),
+        ));
+        {
+            let _armed = st_linalg::fault::arm_nan_loss(Some(1), 2);
+            for _attempt in 0..2 {
+                let err = try_train_on_rows(
+                    &x,
+                    &y,
+                    &rows,
+                    2,
+                    2,
+                    &ModelSpec::softmax(),
+                    &TrainConfig::default(),
+                )
+                .expect_err("armed injection must poison training");
+                assert!(matches!(err, TrainError::NonFiniteLoss { epoch: 0 }));
+            }
+        }
+        // Scope dropped: the same call trains clean.
+        assert!(try_train_on_rows(
+            &x,
+            &y,
+            &rows,
+            2,
+            2,
+            &ModelSpec::softmax(),
+            &TrainConfig::default(),
+        )
+        .is_ok());
+        st_linalg::fault::install(None);
     }
 
     #[test]

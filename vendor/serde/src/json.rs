@@ -1,0 +1,447 @@
+//! Minimal JSON value tree, writer, and parser.
+//!
+//! The checkpoint subsystem (`slice_tuner::checkpoint`) needs a real
+//! serialization format: versioned, human-inspectable, and byte-stable so
+//! that `to_string(parse(to_string(v))) == to_string(v)` holds exactly.
+//! This module provides just that — an order-preserving [`Value`] tree, a
+//! deterministic writer, and a recursive-descent parser with positioned
+//! errors. It lives in the vendored serde crate so a future swap to real
+//! serde/serde_json replaces one import path.
+//!
+//! Design choices:
+//! - Objects are `Vec<(String, Value)>`: insertion order is preserved and
+//!   round-trips byte-for-byte (no hash-map reordering).
+//! - Numbers are kept as the exact string that was written/parsed. Callers
+//!   that need exact `f64` round-trips (the checkpoint does) store floats
+//!   as 16-hex-digit bit patterns instead of decimal.
+
+use std::fmt;
+
+/// A parsed JSON document node. Object member order is preserved.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    /// The literal token text, e.g. `"42"` or `"-1.5e3"`. Kept verbatim so
+    /// writing a parsed document is byte-identical.
+    Num(String),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Convenience constructor for an unsigned integer member.
+    pub fn from_u64(v: u64) -> Value {
+        Value::Num(v.to_string())
+    }
+
+    /// Convenience constructor for a signed integer member.
+    pub fn from_i64(v: i64) -> Value {
+        Value::Num(v.to_string())
+    }
+
+    /// Looks up an object member by key (first match).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string node.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is an array node.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The members, if this is an object node.
+    pub fn as_obj(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Obj(members) => Some(members),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a bool node.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Parses the numeric token as `u64`.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// Parses the numeric token as `i64`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Num(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// Serializes the tree compactly (no whitespace), deterministically.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        write_value(self, &mut out);
+        out
+    }
+}
+
+fn write_value(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Num(s) => out.push_str(s),
+        Value::Str(s) => write_string(s, out),
+        Value::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(item, out);
+            }
+            out.push(']');
+        }
+        Value::Obj(members) => {
+            out.push('{');
+            for (i, (k, item)) in members.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(k, out);
+                out.push(':');
+                write_value(item, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A parse failure with the byte offset where it was detected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub pos: usize,
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid JSON at byte {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a complete JSON document (trailing whitespace allowed).
+pub fn parse(input: &str) -> Result<Value, ParseError> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(ParseError {
+            pos,
+            msg: "trailing characters after document".to_string(),
+        });
+    }
+    Ok(v)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn err(pos: usize, msg: &str) -> ParseError {
+    ParseError {
+        pos,
+        msg: msg.to_string(),
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, ParseError> {
+    match bytes.get(*pos) {
+        None => Err(err(*pos, "unexpected end of input")),
+        Some(b'n') => parse_literal(bytes, pos, "null", Value::Null),
+        Some(b't') => parse_literal(bytes, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Value::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Value::Str),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'-' | b'0'..=b'9') => parse_number(bytes, pos),
+        Some(&c) => Err(err(*pos, &format!("unexpected byte 0x{c:02x}"))),
+    }
+}
+
+fn parse_literal(
+    bytes: &[u8],
+    pos: &mut usize,
+    lit: &str,
+    value: Value,
+) -> Result<Value, ParseError> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(err(*pos, &format!("expected `{lit}`")))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, ParseError> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let digits_start = *pos;
+    while matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+        *pos += 1;
+    }
+    if *pos == digits_start {
+        return Err(err(*pos, "expected digit"));
+    }
+    if bytes.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        let frac_start = *pos;
+        while matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+            *pos += 1;
+        }
+        if *pos == frac_start {
+            return Err(err(*pos, "expected digit after decimal point"));
+        }
+    }
+    if matches!(bytes.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(bytes.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        let exp_start = *pos;
+        while matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+            *pos += 1;
+        }
+        if *pos == exp_start {
+            return Err(err(*pos, "expected digit in exponent"));
+        }
+    }
+    let token = std::str::from_utf8(&bytes[start..*pos]).expect("digits are ASCII");
+    Ok(Value::Num(token.to_string()))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, ParseError> {
+    debug_assert_eq!(bytes[*pos], b'"');
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(err(*pos, "unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| err(*pos, "truncated \\u escape"))?;
+                        let hex = std::str::from_utf8(hex)
+                            .map_err(|_| err(*pos, "non-ASCII in \\u escape"))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| err(*pos, "invalid hex in \\u escape"))?;
+                        // Surrogates are rejected rather than paired — the
+                        // writer never emits them (it only escapes control
+                        // characters, which are in the BMP).
+                        let c = char::from_u32(code)
+                            .ok_or_else(|| err(*pos, "\\u escape is not a scalar value"))?;
+                        out.push(c);
+                        *pos += 4;
+                    }
+                    _ => return Err(err(*pos, "invalid escape")),
+                }
+                *pos += 1;
+            }
+            Some(&c) if c < 0x20 => {
+                return Err(err(*pos, "unescaped control character in string"));
+            }
+            Some(_) => {
+                // Copy one UTF-8 scalar (input is a &str, so boundaries are valid).
+                let s = std::str::from_utf8(&bytes[*pos..]).expect("input was a str");
+                let c = s.chars().next().expect("non-empty remainder");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Value, ParseError> {
+    debug_assert_eq!(bytes[*pos], b'[');
+    *pos += 1;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Value::Arr(items));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            _ => return Err(err(*pos, "expected `,` or `]` in array")),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Value, ParseError> {
+    debug_assert_eq!(bytes[*pos], b'{');
+    *pos += 1;
+    let mut members = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Value::Obj(members));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(err(*pos, "expected string key in object"));
+        }
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(err(*pos, "expected `:` after object key"));
+        }
+        *pos += 1;
+        skip_ws(bytes, pos);
+        let value = parse_value(bytes, pos)?;
+        members.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Value::Obj(members));
+            }
+            _ => return Err(err(*pos, "expected `,` or `}` in object")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_scalars_and_containers() {
+        let doc = r#"{"a":1,"b":[true,false,null],"c":"x\ny","d":-2.5e3,"e":{}}"#;
+        let v = parse(doc).unwrap();
+        assert_eq!(v.to_json(), doc);
+        assert_eq!(v.get("a").and_then(Value::as_u64), Some(1));
+        assert_eq!(v.get("c").and_then(Value::as_str), Some("x\ny"));
+        assert_eq!(
+            v.get("b").and_then(Value::as_arr).map(<[Value]>::len),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn preserves_member_order() {
+        let doc = r#"{"z":1,"a":2,"m":3}"#;
+        assert_eq!(parse(doc).unwrap().to_json(), doc);
+    }
+
+    #[test]
+    fn write_parse_write_is_a_fixpoint() {
+        let v = Value::Obj(vec![
+            ("version".to_string(), Value::from_u64(1)),
+            (
+                "bits".to_string(),
+                Value::Str(format!("{:016x}", 1.5_f64.to_bits())),
+            ),
+            (
+                "rows".to_string(),
+                Value::Arr(vec![Value::from_i64(-3), Value::Null, Value::Bool(true)]),
+            ),
+        ]);
+        let once = v.to_json();
+        let twice = parse(&once).unwrap().to_json();
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn rejects_malformed_documents_with_position() {
+        for (doc, at) in [
+            ("{", 1),
+            ("[1,]", 3),
+            ("{\"a\" 1}", 5),
+            ("tru", 0),
+            ("\"abc", 4),
+            ("1 2", 2),
+        ] {
+            let e = parse(doc).unwrap_err();
+            assert_eq!(e.pos, at, "doc {doc:?}: {e}");
+        }
+    }
+
+    #[test]
+    fn escapes_control_characters() {
+        let v = Value::Str("a\u{0001}b\"c\\d".to_string());
+        let s = v.to_json();
+        assert_eq!(s, "\"a\\u0001b\\\"c\\\\d\"");
+        assert_eq!(parse(&s).unwrap(), v);
+    }
+}

@@ -8,6 +8,8 @@
 //! Swapping this for real serde is a one-line change in the workspace
 //! manifest and requires no source edits.
 
+pub mod json;
+
 pub use serde_derive::{Deserialize, Serialize};
 
 /// Marker counterpart of `serde::Serialize`.
