@@ -2,7 +2,8 @@
 //! current build — `BENCH_pipeline.json` (per-phase timings + data-plane /
 //! batched / prepacked / incremental gate readings) and, when present,
 //! `BENCH_kernels.json` (kernel-gate speedups + the batched-vs-looped
-//! small-shape group) — into an append-only `BENCH_trend.json` keyed
+//! small-shape group) and `BENCH_drift.json` (drift-robustness gate
+//! ratios) — into an append-only `BENCH_trend.json` keyed
 //! by commit, so the perf trajectory across commits lives in one artifact
 //! (schema in `docs/profiling.md`).
 //!
@@ -17,6 +18,8 @@
 //!   `BENCH_pipeline.json`);
 //! - `ST_KERNELS_JSON` — kernels artifact to read (default
 //!   `BENCH_kernels.json`; skipped silently when absent);
+//! - `ST_DRIFT_JSON` — drift-gate artifact to read (default
+//!   `BENCH_drift.json`; skipped silently when absent);
 //! - `ST_TREND_JSON` — trend artifact to append to (default
 //!   `BENCH_trend.json`);
 //! - `ST_COMMIT` — commit id to stamp (falls back to `GITHUB_SHA`, then
@@ -77,6 +80,8 @@ fn main() {
         std::env::var("ST_BENCH_JSON").unwrap_or_else(|_| "BENCH_pipeline.json".to_string());
     let kernels_path =
         std::env::var("ST_KERNELS_JSON").unwrap_or_else(|_| "BENCH_kernels.json".to_string());
+    let drift_path =
+        std::env::var("ST_DRIFT_JSON").unwrap_or_else(|_| "BENCH_drift.json".to_string());
     let trend_path =
         std::env::var("ST_TREND_JSON").unwrap_or_else(|_| "BENCH_trend.json".to_string());
 
@@ -94,6 +99,9 @@ fn main() {
          (re-run the pipeline bin from this build)"
     );
     let kernels = std::fs::read_to_string(&kernels_path).ok();
+    let drift = std::fs::read_to_string(&drift_path)
+        .ok()
+        .filter(|d| d.contains("\"bench\": \"drift\""));
 
     // ---- Build the entry -------------------------------------------------
     let commit = commit_id();
@@ -214,6 +222,23 @@ fn main() {
             .and_then(|at| num_after(&pipeline[at..], "\"overhead\": ")),
         ",",
     );
+    // Drift-robustness gate readings (from the drift bin's artifact).
+    write_num(
+        &mut entry,
+        "drift_slice_loss_ratio",
+        drift
+            .as_deref()
+            .and_then(|d| num_after(d, "\"slice_loss_ratio\": ")),
+        ",",
+    );
+    write_num(
+        &mut entry,
+        "drift_overall_loss_ratio",
+        drift
+            .as_deref()
+            .and_then(|d| num_after(d, "\"overall_loss_ratio\": ")),
+        ",",
+    );
     match &kernels {
         Some(k) => {
             write_num(
@@ -283,7 +308,7 @@ fn main() {
     let entries = trend.matches("\"commit\": ").count();
     println!("appended commit {commit} to {trend_path} ({entries} entries)");
     println!(
-        "{:<12} {:>10} {:>10} {:>10} {:>9} {:>10} {:>11} {:>7}",
+        "{:<12} {:>10} {:>10} {:>10} {:>9} {:>10} {:>11} {:>7} {:>7}",
         "commit",
         "total_ms",
         "train_dp",
@@ -291,13 +316,14 @@ fn main() {
         "batched",
         "prepacked",
         "incremental",
-        "guards"
+        "guards",
+        "drift"
     );
     for chunk in trend.split("    {").skip(1) {
         let c = str_after(chunk, "\"commit\": \"").unwrap_or_else(|| "?".into());
         let fmt = |v: Option<f64>| v.map_or("-".into(), |x| format!("{x:.2}"));
         println!(
-            "{:<12} {:>10} {:>10} {:>10} {:>9} {:>10} {:>11} {:>7}",
+            "{:<12} {:>10} {:>10} {:>10} {:>9} {:>10} {:>11} {:>7} {:>7}",
             c,
             fmt(num_after(chunk, "\"total_ms\": ")),
             fmt(num_after(chunk, "\"data_plane_training_speedup\": ")),
@@ -306,6 +332,7 @@ fn main() {
             fmt(num_after(chunk, "\"prepacked_speedup\": ")),
             fmt(num_after(chunk, "\"incremental_speedup\": ")),
             fmt(num_after(chunk, "\"guards_overhead\": ")),
+            fmt(num_after(chunk, "\"drift_slice_loss_ratio\": ")),
         );
     }
 }

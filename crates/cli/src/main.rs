@@ -83,6 +83,8 @@ fn usage() {
          \x20                           [--sizes 40,80,...] [--lambda 1] [--seed 42]\n\
          \x20                           [--retries 2] [--checkpoint path [--resume true]]\n\
          \x20                           [--halt-after K] [--mode amortized|exhaustive]\n\
+         \x20                           [--drift-detection true [--drift-threshold 0.6]]\n\
+         \x20                           [--max-staleness N] [--max-drift-resets 3]\n\
          \x20 slice-tuner-cli curves    --family <name> [--size 300] [--seed 42]\n\
          \x20 slice-tuner-cli autoslice --family <name> [--examples 1200] [--max-depth 4]\n\
          \x20 slice-tuner-cli sensitivity --family <name> [--budget 500] [--size 300]\n\
@@ -90,13 +92,16 @@ fn usage() {
          \x20                           [--budget 500] [--trials 3] [--jobs N] [--cache true|false]\n\
          \x20                           [--retries 2] [--format markdown|csv]\n\
          \x20 slice-tuner-cli families\n\
-         families: fashion | mixed | faces | census\n\
+         families: fashion | mixed | faces | census | driftbench\n\
          global: --kernel naive|blocked|simd|sharded|fast (compute backend; default blocked,\n\
          \x20        also ST_KERNEL; 'fast' additionally needs --allow-nondeterministic-kernel\n\
          \x20        true because it waives bit-reproducibility)\n\
          \x20       ST_FAULT=<spec>[,<spec>...] injects deterministic faults for chaos testing;\n\
          \x20        specs: trial_panic@<trial> | nan_loss@slice<S>:round<R> | fit_diverge@<p>\n\
-         \x20        (see docs/robustness.md)"
+         \x20        (see docs/robustness.md)\n\
+         \x20       ST_DRIFT=<spec>[,<spec>...] makes acquisition pools non-stationary;\n\
+         \x20        specs: shift@slice<S>:round<R>:mag<M> | label@... | scale@...\n\
+         \x20        (see docs/drift.md)"
     );
 }
 
@@ -135,8 +140,9 @@ fn family_by_name(name: &str) -> Result<DatasetFamily, String> {
         "mixed" => Ok(families::mixed_selected()),
         "faces" => Ok(families::faces()),
         "census" => Ok(families::census()),
+        "driftbench" => Ok(families::driftbench()),
         other => Err(format!(
-            "unknown family '{other}' (try: fashion, mixed, faces, census)"
+            "unknown family '{other}' (try: fashion, mixed, faces, census, driftbench)"
         )),
     }
 }
@@ -178,6 +184,10 @@ fn cmd_tune(args: &Args) -> Result<(), String> {
         "checkpoint",
         "resume",
         "halt-after",
+        "drift-detection",
+        "drift-threshold",
+        "max-staleness",
+        "max-drift-resets",
         "kernel",
         "allow-nondeterministic-kernel",
     ];
@@ -206,10 +216,24 @@ fn cmd_tune(args: &Args) -> Result<(), String> {
         ),
         None => None,
     };
+    let drift_detection: bool = args.get_or("drift-detection", false)?;
+    let drift_threshold: f64 = args.get_or("drift-threshold", 0.6)?;
+    let max_staleness: Option<usize> = match args.get("max-staleness") {
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| format!("--max-staleness needs a foreign-example bound, got '{v}'"))?,
+        ),
+        None => None,
+    };
+    let max_drift_resets: usize = args.get_or("max-drift-resets", 3)?;
     validate_budget(budget)?;
     validate_lambda(lambda)?;
     validate_validation(validation)?;
     validate_retries(retries)?;
+    validate_drift_threshold(drift_threshold)?;
+    if args.get("drift-threshold").is_some() && !drift_detection {
+        return Err("--drift-threshold needs --drift-detection true".into());
+    }
     if resume && args.get("checkpoint").is_none() {
         return Err("--resume needs --checkpoint <path> to resume from".into());
     }
@@ -240,6 +264,13 @@ fn cmd_tune(args: &Args) -> Result<(), String> {
     if let Some(rounds) = halt_after {
         config = config.with_halt_after_rounds(rounds);
     }
+    if drift_detection {
+        config = config.with_drift_detection(drift_threshold);
+    }
+    if let Some(bound) = max_staleness {
+        config = config.with_max_staleness(bound);
+    }
+    config = config.with_max_drift_resets(max_drift_resets);
     config.allow_nondeterministic_kernel = args.get_or("allow-nondeterministic-kernel", false)?;
     config.train.epochs = args.get_or("epochs", config.train.epochs)?;
     let mut tuner = SliceTuner::new(ds, &mut pool, config);
@@ -311,6 +342,15 @@ fn validate_retries(retries: usize) -> Result<(), String> {
         return Err(format!(
             "--retries {retries} is out of range (0..=1000); retries re-execute full \
              measurements, so large values only multiply the cost of a persistent fault"
+        ));
+    }
+    Ok(())
+}
+
+fn validate_drift_threshold(threshold: f64) -> Result<(), String> {
+    if !threshold.is_finite() || threshold <= 0.0 {
+        return Err(format!(
+            "--drift-threshold must be a positive finite CUSUM score, got {threshold}"
         ));
     }
     Ok(())
@@ -650,6 +690,7 @@ fn cmd_families() -> Result<(), String> {
         families::mixed(),
         families::faces(),
         families::census(),
+        families::driftbench(),
     ] {
         println!(
             "{:<10} {} slices, {} classes, dim {}",

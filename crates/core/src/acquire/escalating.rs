@@ -82,6 +82,10 @@ impl<S: AcquisitionSource> AcquisitionSource for EscalatingSource<S> {
     fn name(&self) -> &'static str {
         "escalating"
     }
+
+    fn note_round(&mut self, round: u64) {
+        self.inner.note_round(round);
+    }
 }
 
 #[cfg(test)]

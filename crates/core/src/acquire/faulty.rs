@@ -98,6 +98,10 @@ impl<S: AcquisitionSource> AcquisitionSource for FaultySource<S> {
     fn name(&self) -> &'static str {
         "faulty"
     }
+
+    fn note_round(&mut self, round: u64) {
+        self.inner.note_round(round);
+    }
 }
 
 #[cfg(test)]

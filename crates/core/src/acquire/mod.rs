@@ -38,6 +38,15 @@ pub trait AcquisitionSource {
         (0..num_slices).map(|i| self.cost(SliceId(i))).collect()
     }
 
+    /// Informs the source which acquisition round subsequent [`acquire`]
+    /// calls belong to (0 = the tuner's pre-pass, `r ≥ 1` = the `r`-th
+    /// iterative round). Sources with round-dependent behavior — e.g.
+    /// [`PoolSource`] under an `ST_DRIFT` plan — key their draws on it;
+    /// the default is a no-op, so stationary sources are unaffected.
+    ///
+    /// [`acquire`]: Self::acquire
+    fn note_round(&mut self, _round: u64) {}
+
     /// Human-readable source name for reports.
     fn name(&self) -> &'static str {
         "source"

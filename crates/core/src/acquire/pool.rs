@@ -1,7 +1,7 @@
 //! Pool-backed acquisition: the paper's simulated setting.
 
 use super::AcquisitionSource;
-use st_data::{DatasetFamily, Example, SliceId};
+use st_data::{drift, DatasetFamily, DriftPlan, Example, SliceId};
 
 /// Draws fresh examples straight from a dataset family's generative pool.
 ///
@@ -11,6 +11,12 @@ use st_data::{DatasetFamily, Example, SliceId};
 /// specs. Draw streams never collide with the streams `SlicedDataset::
 /// generate` uses (0 = initial train, 1 = validation), so acquired data is
 /// always fresh.
+///
+/// Under a drift plan — installed with [`with_drift`](Self::with_drift) or
+/// globally via `ST_DRIFT` / [`st_data::drift::install`] — draws for a slice
+/// whose scheduled round has passed come from the drifted model instead.
+/// The seed/stream bookkeeping is identical either way, so a plan that
+/// never fires leaves the draw sequence bit-identical to a stationary pool.
 #[derive(Debug, Clone)]
 pub struct PoolSource {
     family: DatasetFamily,
@@ -19,6 +25,12 @@ pub struct PoolSource {
     next_stream: Vec<u64>,
     /// Total examples drawn per slice, for reporting.
     drawn: Vec<usize>,
+    /// Current acquisition round, set by the tuner via `note_round`
+    /// (0 = pre-pass).
+    round: u64,
+    /// Source-local drift plan; when `None` the global (env/installed)
+    /// plan still applies.
+    plan: Option<DriftPlan>,
 }
 
 impl PoolSource {
@@ -30,12 +42,31 @@ impl PoolSource {
             seed,
             next_stream: vec![2; n],
             drawn: vec![0; n],
+            round: 0,
+            plan: None,
         }
+    }
+
+    /// Attaches a source-local drift plan (takes precedence over the
+    /// global `ST_DRIFT`/installed plan for this source only).
+    pub fn with_drift(mut self, plan: DriftPlan) -> Self {
+        self.plan = Some(plan);
+        self
     }
 
     /// Examples drawn so far per slice.
     pub fn drawn(&self) -> &[usize] {
         &self.drawn
+    }
+
+    /// The model `slice` draws from at the current round, or `None` while
+    /// it is still stationary.
+    fn drifted_model(&self, slice: SliceId) -> Option<st_data::GaussianSliceModel> {
+        let base = &self.family.slices[slice.index()].model;
+        match &self.plan {
+            Some(plan) => plan.drifted_model(base, slice.index(), self.round),
+            None => drift::active_model(base, slice.index(), self.round),
+        }
     }
 }
 
@@ -49,11 +80,20 @@ impl AcquisitionSource for PoolSource {
         let stream = self.next_stream[i];
         self.next_stream[i] += 1;
         self.drawn[i] += n;
-        self.family.sample_slice_seeded(slice, n, self.seed, stream)
+        match self.drifted_model(slice) {
+            Some(model) => self
+                .family
+                .sample_slice_seeded_as(&model, slice, n, self.seed, stream),
+            None => self.family.sample_slice_seeded(slice, n, self.seed, stream),
+        }
     }
 
     fn name(&self) -> &'static str {
         "pool"
+    }
+
+    fn note_round(&mut self, round: u64) {
+        self.round = round;
     }
 }
 
@@ -85,6 +125,50 @@ mod tests {
         let mut s1 = PoolSource::new(census(), 9);
         let mut s2 = PoolSource::new(census(), 9);
         assert_eq!(s1.acquire(SliceId(2), 5), s2.acquire(SliceId(2), 5));
+    }
+
+    #[test]
+    fn local_drift_plan_shifts_draws_from_its_round_only() {
+        let plan = st_data::drift::parse_plan("shift@slice0:round2:mag5.0").unwrap();
+        let mut plain = PoolSource::new(census(), 3);
+        let mut drifting = PoolSource::new(census(), 3).with_drift(plan);
+        for round in 0..2 {
+            plain.note_round(round);
+            drifting.note_round(round);
+            assert_eq!(
+                plain.acquire(SliceId(0), 8),
+                drifting.acquire(SliceId(0), 8),
+                "before the scheduled round the pool is stationary"
+            );
+        }
+        plain.note_round(2);
+        drifting.note_round(2);
+        let before = plain.acquire(SliceId(0), 8);
+        let after = drifting.acquire(SliceId(0), 8);
+        let mean = |ex: &[Example]| ex.iter().map(|e| e.features[0]).sum::<f64>() / ex.len() as f64;
+        assert!(
+            (mean(&after) - mean(&before) - 5.0).abs() < 1.0,
+            "drifted draws move by the shift magnitude: {} vs {}",
+            mean(&after),
+            mean(&before)
+        );
+        assert_eq!(
+            plain.acquire(SliceId(1), 8),
+            drifting.acquire(SliceId(1), 8),
+            "other slices stay stationary"
+        );
+    }
+
+    #[test]
+    fn drifting_draws_replay_bit_identically() {
+        let plan = || st_data::drift::parse_plan("label@slice1:round1:mag0.4").unwrap();
+        let mut a = PoolSource::new(census(), 9).with_drift(plan());
+        let mut b = PoolSource::new(census(), 9).with_drift(plan());
+        for round in 0..3 {
+            a.note_round(round);
+            b.note_round(round);
+            assert_eq!(a.acquire(SliceId(1), 12), b.acquire(SliceId(1), 12));
+        }
     }
 
     #[test]

@@ -41,7 +41,11 @@ use std::fmt;
 
 /// Current checkpoint schema version. Bump on any layout change; loads of
 /// newer versions are refused (old binaries must not misread new files).
-pub const CHECKPOINT_VERSION: u64 = 1;
+///
+/// v2 added the drift-detector snapshot and the incremental seed-bump
+/// vector; v1 documents (which predate both) still parse, with zeroed
+/// bumps and no drift state.
+pub const CHECKPOINT_VERSION: u64 = 2;
 
 const MAGIC: &str = "slice_tuner_checkpoint";
 
@@ -121,6 +125,27 @@ pub struct IncSnapshot {
     pub dirty: Vec<bool>,
     /// The previous round's estimates, when one exists.
     pub prev: Option<Vec<EstimateSnapshot>>,
+    /// Per-slice measurement-seed bumps from drift recovery (all zero when
+    /// drift never fired; absent in v1 documents, which defaults to zero).
+    pub seed_bumps: Vec<u64>,
+}
+
+/// Serialized drift-detector state
+/// ([`DriftDetector`](crate::drift::DriftDetector)), so a resume through a
+/// drift event replays detection, recovery, and quarantine bit-exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftSnapshot {
+    /// Per-slice CUSUM accumulators as `(cum_bits, last_bits, count)`.
+    pub cusum: Vec<(u64, u64, u64)>,
+    /// Per-slice neighbor-growth counters.
+    pub staleness: Vec<u64>,
+    /// Per-slice drift recoveries performed.
+    pub resets: Vec<u64>,
+    /// Per-slice drift quarantine flags.
+    pub quarantined: Vec<bool>,
+    /// Per-slice previous fitted curve and the largest subset size it
+    /// observed, as `(b_bits, a_bits, n_bits)`.
+    pub prev_fit: Vec<Option<(u64, u64, u64)>>,
 }
 
 /// Everything needed to resume an iterative run after round `iterations`.
@@ -146,6 +171,8 @@ pub struct RoundCheckpoint {
     pub iterations: u64,
     /// Incremental re-estimation state, when that mode is on.
     pub inc: Option<IncSnapshot>,
+    /// Drift-detector state, when detection or a staleness bound is on.
+    pub drift: Option<DriftSnapshot>,
 }
 
 impl RoundCheckpoint {
@@ -195,6 +222,9 @@ impl RoundCheckpoint {
         ];
         if let Some(inc) = &self.inc {
             members.push(("inc".to_string(), inc_to_value(inc)));
+        }
+        if let Some(drift) = &self.drift {
+            members.push(("drift".to_string(), drift_to_value(drift)));
         }
         Value::Obj(members).to_json()
     }
@@ -259,6 +289,10 @@ impl RoundCheckpoint {
             None => None,
             Some(v) => Some(inc_from_value(v).map_err(bad)?),
         };
+        let drift = match doc.get("drift") {
+            None => None,
+            Some(v) => Some(drift_from_value(v).map_err(bad)?),
+        };
         Ok(RoundCheckpoint {
             seed: u64_field("seed")?,
             budget_bits: bits_field("budget")?,
@@ -270,6 +304,7 @@ impl RoundCheckpoint {
             t_bits: bits_field("t")?,
             iterations: u64_field("iterations")?,
             inc,
+            drift,
         })
     }
 }
@@ -312,10 +347,16 @@ fn fit_from_value(v: &Value) -> Result<Result<(u64, u64), String>, String> {
 }
 
 fn inc_to_value(inc: &IncSnapshot) -> Value {
-    let mut members = vec![(
-        "dirty".to_string(),
-        Value::Arr(inc.dirty.iter().map(|&d| Value::Bool(d)).collect()),
-    )];
+    let mut members = vec![
+        (
+            "dirty".to_string(),
+            Value::Arr(inc.dirty.iter().map(|&d| Value::Bool(d)).collect()),
+        ),
+        (
+            "seed_bumps".to_string(),
+            Value::Arr(inc.seed_bumps.iter().map(|&b| Value::from_u64(b)).collect()),
+        ),
+    ];
     if let Some(prev) = &inc.prev {
         let estimates = prev
             .iter()
@@ -356,6 +397,15 @@ fn inc_from_value(v: &Value) -> Result<IncSnapshot, String> {
         .iter()
         .map(|d| d.as_bool().ok_or("non-bool dirty flag"))
         .collect::<Result<Vec<_>, _>>()?;
+    // Absent in v1 documents: no drift recovery ever fired, so every
+    // slice's bump is the zero default.
+    let seed_bumps = match v.get("seed_bumps").and_then(Value::as_arr) {
+        None => vec![0; dirty.len()],
+        Some(arr) => arr
+            .iter()
+            .map(|b| b.as_u64().ok_or("non-integer seed bump"))
+            .collect::<Result<Vec<_>, _>>()?,
+    };
     let prev = match v.get("prev").and_then(Value::as_arr) {
         None => None,
         Some(estimates) => Some(
@@ -398,7 +448,119 @@ fn inc_from_value(v: &Value) -> Result<IncSnapshot, String> {
                 .collect::<Result<Vec<_>, String>>()?,
         ),
     };
-    Ok(IncSnapshot { dirty, prev })
+    Ok(IncSnapshot {
+        dirty,
+        prev,
+        seed_bumps,
+    })
+}
+
+fn drift_to_value(drift: &DriftSnapshot) -> Value {
+    Value::Obj(vec![
+        (
+            "cusum".to_string(),
+            Value::Arr(
+                drift
+                    .cusum
+                    .iter()
+                    .map(|&(cum, last, count)| {
+                        Value::Arr(vec![bits(cum), bits(last), Value::from_u64(count)])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "staleness".to_string(),
+            Value::Arr(
+                drift
+                    .staleness
+                    .iter()
+                    .map(|&s| Value::from_u64(s))
+                    .collect(),
+            ),
+        ),
+        (
+            "resets".to_string(),
+            Value::Arr(drift.resets.iter().map(|&r| Value::from_u64(r)).collect()),
+        ),
+        (
+            "quarantined".to_string(),
+            Value::Arr(drift.quarantined.iter().map(|&q| Value::Bool(q)).collect()),
+        ),
+        (
+            "prev_fit".to_string(),
+            Value::Arr(
+                drift
+                    .prev_fit
+                    .iter()
+                    .map(|f| match f {
+                        None => Value::Null,
+                        Some((b, a, n)) => Value::Arr(vec![bits(*b), bits(*a), bits(*n)]),
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn drift_from_value(v: &Value) -> Result<DriftSnapshot, String> {
+    let arr_field = |key: &str| {
+        v.get(key)
+            .and_then(Value::as_arr)
+            .ok_or(format!("drift missing {key}"))
+    };
+    let cusum = arr_field("cusum")?
+        .iter()
+        .map(|c| {
+            let triple = c
+                .as_arr()
+                .filter(|a| a.len() == 3)
+                .ok_or("bad cusum entry")?;
+            let bit = |i: usize| {
+                triple[i]
+                    .as_str()
+                    .and_then(parse_bits)
+                    .ok_or("bad cusum bits")
+            };
+            let count = triple[2].as_u64().ok_or("bad cusum count")?;
+            Ok::<_, &str>((bit(0)?, bit(1)?, count))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let u64s = |key: &'static str| -> Result<Vec<u64>, String> {
+        arr_field(key)?
+            .iter()
+            .map(|n| n.as_u64().ok_or(format!("non-integer in drift {key}")))
+            .collect()
+    };
+    let staleness = u64s("staleness")?;
+    let resets = u64s("resets")?;
+    let quarantined = arr_field("quarantined")?
+        .iter()
+        .map(|q| q.as_bool().ok_or("non-bool quarantine flag"))
+        .collect::<Result<Vec<_>, _>>()?;
+    let prev_fit = arr_field("prev_fit")?
+        .iter()
+        .map(|f| match f {
+            Value::Null => Ok(None),
+            _ => {
+                let triple = f.as_arr().filter(|a| a.len() == 3).ok_or("bad prev_fit")?;
+                let bit = |i: usize| {
+                    triple[i]
+                        .as_str()
+                        .and_then(parse_bits)
+                        .ok_or("bad prev_fit bits")
+                };
+                Ok::<_, &str>(Some((bit(0)?, bit(1)?, bit(2)?)))
+            }
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(DriftSnapshot {
+        cusum,
+        staleness,
+        resets,
+        quarantined,
+        prev_fit,
+    })
 }
 
 /// Stable code of a [`FitError`](st_curve::FitError) for serialization.
@@ -531,6 +693,19 @@ mod tests {
                     repeat_fits: vec![(2.1_f64.to_bits(), 0.31_f64.to_bits())],
                     points: vec![(10.0_f64.to_bits(), 0.5_f64.to_bits(), 10.0_f64.to_bits())],
                 }]),
+                seed_bumps: vec![0, 2, 0, 0],
+            }),
+            drift: Some(DriftSnapshot {
+                cusum: vec![(0.7_f64.to_bits(), 0.1_f64.to_bits(), 3); 4],
+                staleness: vec![0, 120, 0, 55],
+                resets: vec![0, 2, 0, 0],
+                quarantined: vec![false, false, true, false],
+                prev_fit: vec![
+                    Some((2.0_f64.to_bits(), 0.3_f64.to_bits(), 240.0_f64.to_bits())),
+                    None,
+                    Some((1.5_f64.to_bits(), 0.2_f64.to_bits(), 96.0_f64.to_bits())),
+                    None,
+                ],
             }),
         }
     }
@@ -554,6 +729,7 @@ mod tests {
                 repeat_fits: vec![],
                 points: vec![],
             }]),
+            seed_bumps: vec![0],
         });
         let parsed = RoundCheckpoint::parse(&cp.to_json(), "test").unwrap();
         assert_eq!(parsed, cp);
@@ -565,11 +741,31 @@ mod tests {
     fn refuses_newer_versions() {
         let doc = sample()
             .to_json()
-            .replace("\"version\":1", "\"version\":99");
+            .replace("\"version\":2", "\"version\":99");
         assert_eq!(
             RoundCheckpoint::parse(&doc, "test").unwrap_err(),
             CheckpointError::Version { found: 99 }
         );
+    }
+
+    #[test]
+    fn parses_v1_documents_without_drift_fields() {
+        // A v1 document has no "drift" member and its "inc" carries no
+        // "seed_bumps"; both default to the pre-drift state.
+        let mut cp = sample();
+        cp.inc.as_mut().unwrap().seed_bumps = vec![0; 4];
+        cp.drift = None;
+        let doc = cp
+            .to_json()
+            .replace("\"version\":2", "\"version\":1")
+            .replace("\"seed_bumps\":[0,0,0,0],", "");
+        assert!(!doc.contains("seed_bumps") && !doc.contains("drift"));
+        let parsed = RoundCheckpoint::parse(&doc, "test").unwrap();
+        assert_eq!(parsed.inc.as_ref().unwrap().seed_bumps, vec![0; 4]);
+        assert_eq!(parsed.drift, None);
+        let v1_as_v2 = parsed.clone();
+        v1_as_v2.check_compatible(42, 300.0, 4).unwrap();
+        assert_eq!(v1_as_v2, cp, "v1 parses to the equivalent v2 state");
     }
 
     #[test]

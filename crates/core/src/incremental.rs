@@ -40,6 +40,11 @@ pub struct IncrementalState {
     /// Warm-start store, consulted only when
     /// [`TunerConfig::warm_start`](crate::TunerConfig) is set.
     pub(crate) warm: WarmStore,
+    /// Per-slice measurement-seed bump, raised by drift recovery so a
+    /// flagged slice's next re-measure draws from a fresh seed stream
+    /// instead of replaying the pinned pre-drift one. Zero (the default
+    /// everywhere drift never fires) leaves the pinned seed untouched.
+    pub(crate) seed_bumps: Vec<u64>,
 }
 
 impl IncrementalState {
@@ -49,7 +54,15 @@ impl IncrementalState {
             prev: None,
             dirty: vec![true; num_slices],
             warm: Mutex::new(HashMap::new()),
+            seed_bumps: vec![0; num_slices],
         }
+    }
+
+    /// Unconditionally invalidates one slice's memoized estimate — the
+    /// drift layer's hook for "this slice's evidence is no longer
+    /// trustworthy even though its training data did not change".
+    pub fn force_dirty(&mut self, slice: usize) {
+        self.dirty[slice] = true;
     }
 
     /// Flags every slice whose training size changed between two
@@ -88,6 +101,7 @@ impl IncrementalState {
                 .prev
                 .as_ref()
                 .map(|p| crate::checkpoint::snapshot_estimates(p)),
+            seed_bumps: self.seed_bumps.clone(),
         }
     }
 
@@ -105,6 +119,7 @@ impl IncrementalState {
             .prev
             .as_ref()
             .map(|p| crate::checkpoint::restore_estimates(p));
+        self.seed_bumps = snap.seed_bumps.clone();
     }
 }
 

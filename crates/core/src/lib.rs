@@ -51,6 +51,7 @@ pub mod acquire;
 pub mod cache;
 pub mod checkpoint;
 pub mod config;
+pub mod drift;
 pub mod error;
 pub mod incremental;
 pub mod influence;
@@ -69,6 +70,7 @@ pub use acquire::{
 pub use cache::{CurveCache, CurveKey};
 pub use checkpoint::{CheckpointError, RoundCheckpoint};
 pub use config::{strategy_from_name, strategy_to_name, ExperimentSpec, SpecError};
+pub use drift::{DriftDetector, DriftFlag};
 pub use error::Error;
 pub use incremental::{IncrementalState, WarmKey};
 pub use influence::{influence_sweep, InfluencePoint, InfluenceSweep};

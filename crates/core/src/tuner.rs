@@ -128,6 +128,34 @@ pub struct TunerConfig {
     /// gate compares against. Guards only *read*, so guarded and unguarded
     /// runs are bit-identical; this knob exists to price them.
     pub unguarded: bool,
+    /// Automated drift detection (see [`crate::drift`]): every iterative
+    /// round, each re-measured slice's observed full-size loss is scored
+    /// against the slice's previous fitted curve through a one-sided
+    /// log-residual CUSUM; crossing [`TunerConfig::drift_threshold`] flags
+    /// the slice ([`TuningWarning::DriftDetected`]) and starts targeted
+    /// recovery. Off by default — the stationary path is untouched, bit
+    /// for bit.
+    pub drift_detection: bool,
+    /// CUSUM score at which a slice is flagged as drifting. The score
+    /// accumulates log-loss residuals, so a threshold of `t` roughly means
+    /// "the slice's measured loss has run `e^t`× above its curve, net of
+    /// slack".
+    pub drift_threshold: f64,
+    /// Per-observation residual allowance subtracted inside the CUSUM —
+    /// ordinary measurement noise drains instead of accumulating.
+    pub drift_slack: f64,
+    /// Bounded staleness for incremental re-estimation: once the examples
+    /// acquired for *other* slices since a slice's last measurement exceed
+    /// this bound, the slice is force-re-measured even though its own data
+    /// never changed (its curve's allocation context has). `usize::MAX`
+    /// (the default) keeps the documented unbounded-staleness memo
+    /// semantics.
+    pub max_staleness: usize,
+    /// Drift recoveries (invalidate + fresh-seed re-measure) a slice may
+    /// consume before it is treated as persistently drifting and
+    /// quarantined: excluded from further acquisition and flagged via
+    /// [`TuningWarning::EstimationQuarantined`].
+    pub max_drift_resets: usize,
 }
 
 /// `ST_INCREMENTAL=1` opts every default-constructed [`TunerConfig`] into
@@ -193,6 +221,11 @@ impl TunerConfig {
             resume: false,
             halt_after_rounds: None,
             unguarded: false,
+            drift_detection: false,
+            drift_threshold: 0.6,
+            drift_slack: 0.1,
+            max_staleness: usize::MAX,
+            max_drift_resets: 3,
         }
     }
 
@@ -304,6 +337,28 @@ impl TunerConfig {
         self.unguarded = true;
         self
     }
+
+    /// Enables drift detection at the given CUSUM threshold (see
+    /// [`TunerConfig::drift_detection`]).
+    pub fn with_drift_detection(mut self, threshold: f64) -> Self {
+        self.drift_detection = true;
+        self.drift_threshold = threshold;
+        self
+    }
+
+    /// Bounds incremental staleness to `bound` foreign examples (see
+    /// [`TunerConfig::max_staleness`]).
+    pub fn with_max_staleness(mut self, bound: usize) -> Self {
+        self.max_staleness = bound;
+        self
+    }
+
+    /// Sets the drift-recovery budget before quarantine (see
+    /// [`TunerConfig::max_drift_resets`]).
+    pub fn with_max_drift_resets(mut self, resets: usize) -> Self {
+        self.max_drift_resets = resets;
+        self
+    }
 }
 
 /// A structured, non-fatal problem a run survived; surfaced in
@@ -325,6 +380,21 @@ pub enum TuningWarning {
         attempts: usize,
         /// The captured panic message.
         cause: String,
+    },
+    /// The drift detector's residual CUSUM for a slice crossed
+    /// [`TunerConfig::drift_threshold`]: the slice's measured losses have
+    /// run persistently above its previously fitted curve. The tuner
+    /// responded with a targeted recovery (invalidate + fresh-seed
+    /// re-measure); see [`crate::drift`].
+    DriftDetected {
+        /// The drifting slice.
+        slice: usize,
+        /// The iterative round whose measurement crossed the threshold
+        /// (same numbering as estimation rounds: `r` matches
+        /// `ST_DRIFT=...@slice<S>:round<r'>` events with `r' <= r`).
+        round: u64,
+        /// The CUSUM score at detection.
+        score: f64,
     },
 }
 
@@ -348,6 +418,14 @@ impl std::fmt::Display for TuningWarning {
                      attempt(s): {cause}"
                 ),
             },
+            TuningWarning::DriftDetected {
+                slice,
+                round,
+                score,
+            } => write!(
+                f,
+                "drift detected on slice {slice} in round {round} (score {score:.3})"
+            ),
         }
     }
 }
@@ -608,8 +686,13 @@ impl<'a, S: AcquisitionSource> SliceTuner<'a, S> {
                 } else {
                     state.dirty.clone()
                 };
-                let (partial, errors) =
-                    self.run_estimator_with(&estimator, Some(&targets), warm, stream);
+                let (partial, errors) = self.run_estimator_with(
+                    &estimator,
+                    Some(&targets),
+                    warm,
+                    Some(&state.seed_bumps),
+                    stream,
+                );
                 // A quarantined slice (retries exhausted) keeps its last
                 // good fit: the previous round's estimate is stale but
                 // finite evidence, strictly better than no curve. Slices
@@ -630,8 +713,13 @@ impl<'a, S: AcquisitionSource> SliceTuner<'a, S> {
                     .collect()
             }
             None => {
-                let (full, errors) =
-                    self.run_estimator_with(&estimator, Some(&vec![true; n]), warm, stream);
+                let (full, errors) = self.run_estimator_with(
+                    &estimator,
+                    Some(&vec![true; n]),
+                    warm,
+                    Some(&state.seed_bumps),
+                    stream,
+                );
                 self.record_quarantines(errors, stream);
                 full.into_iter()
                     .map(|e| e.expect("all slices targeted"))
@@ -663,7 +751,7 @@ impl<'a, S: AcquisitionSource> SliceTuner<'a, S> {
         estimator: &CurveEstimator,
         round: u64,
     ) -> Vec<st_curve::SliceEstimate> {
-        let (estimates, errors) = self.run_estimator_with(estimator, None, None, round);
+        let (estimates, errors) = self.run_estimator_with(estimator, None, None, None, round);
         self.record_quarantines(errors, round);
         estimates
             .into_iter()
@@ -695,18 +783,24 @@ impl<'a, S: AcquisitionSource> SliceTuner<'a, S> {
     /// `warm = Some(store)` warm-starts each measurement from the model
     /// its key trained last time (dense data plane only; the per-call
     /// gather baseline ignores it, staying the bit-identity reference).
+    /// `bumps = Some(per_slice)` applies drift-recovery seed bumps: a slice
+    /// with a non-zero bump derives its measurement seeds from a bumped
+    /// request seed, so its post-drift re-measurement draws fresh subsets
+    /// instead of replaying the pinned pre-drift ones. A zero bump leaves
+    /// the request seed untouched — the no-drift path is bit-identical.
     fn run_estimator_with(
         &self,
         estimator: &CurveEstimator,
         targets: Option<&[bool]>,
         warm: Option<&crate::incremental::WarmStore>,
+        bumps: Option<&[u64]>,
         round: u64,
     ) -> (
         Vec<Option<st_curve::SliceEstimate>>,
         Vec<st_curve::EstimateError>,
     ) {
         if self.config.per_call_gather {
-            return self.run_estimator_per_call(estimator, targets, round);
+            return self.run_estimator_per_call(estimator, targets, bumps, round);
         }
         // The batched plane covers the dense data plane's *full* schedule:
         // a partial (incremental) round re-measures sparse request subsets
@@ -736,16 +830,17 @@ impl<'a, S: AcquisitionSource> SliceTuner<'a, S> {
             // corruption for this (slice, round) for the duration of the
             // measurement. A no-op unless a matching plan entry exists.
             let _nan_guard = st_linalg::fault::arm_nan_loss(req.target_slice, round);
+            let seed = bumped_seed(req, bumps);
             let subset = match req.target_slice {
-                None => dense.joint_subset_rows(req.frac, &mut seeded_rng(split_seed(req.seed, 0))),
+                None => dense.joint_subset_rows(req.frac, &mut seeded_rng(split_seed(seed, 0))),
                 Some(s) => {
                     let len = dense.slice_len(s);
                     let k = ((len as f64 * req.frac).round() as usize).clamp(1, len.max(1));
-                    let mut rng = seeded_rng(split_seed(req.seed, 1));
+                    let mut rng = seeded_rng(split_seed(seed, 1));
                     dense.exhaustive_subset_rows(SliceId(s), k, &mut rng)
                 }
             };
-            let cfg = train_cfg.with_seed(split_seed(req.seed, 2));
+            let cfg = train_cfg.with_seed(split_seed(seed, 2));
             let model = match warm_models {
                 Some(store) => {
                     let key: crate::incremental::WarmKey =
@@ -944,6 +1039,7 @@ impl<'a, S: AcquisitionSource> SliceTuner<'a, S> {
         &self,
         estimator: &CurveEstimator,
         targets: Option<&[bool]>,
+        bumps: Option<&[u64]>,
         round: u64,
     ) -> (
         Vec<Option<st_curve::SliceEstimate>>,
@@ -957,12 +1053,13 @@ impl<'a, S: AcquisitionSource> SliceTuner<'a, S> {
 
         let measure = move |req: &MeasureRequest| -> Vec<SliceLossMeasurement> {
             let _nan_guard = st_linalg::fault::arm_nan_loss(req.target_slice, round);
+            let seed = bumped_seed(req, bumps);
             let subset = match req.target_slice {
-                None => ds.joint_train_subset_seeded(req.frac, req.seed, 0),
+                None => ds.joint_train_subset_seeded(req.frac, seed, 0),
                 Some(s) => {
                     let len = ds.slices[s].train.len();
                     let k = ((len as f64 * req.frac).round() as usize).clamp(1, len.max(1));
-                    let mut rng = seeded_rng(split_seed(req.seed, 1));
+                    let mut rng = seeded_rng(split_seed(seed, 1));
                     ds.exhaustive_train_subset(SliceId(s), k, &mut rng)
                 }
             };
@@ -971,7 +1068,7 @@ impl<'a, S: AcquisitionSource> SliceTuner<'a, S> {
                 ds.feature_dim,
                 ds.num_classes,
                 spec,
-                &train_cfg.with_seed(split_seed(req.seed, 2)),
+                &train_cfg.with_seed(split_seed(seed, 2)),
             );
             counter.fetch_add(1, Ordering::Relaxed);
 
@@ -1078,7 +1175,17 @@ impl<'a, S: AcquisitionSource> SliceTuner<'a, S> {
             .zip(&before_sizes)
             .map(|(now, before)| now - before)
             .collect();
-        let warnings = std::mem::take(&mut *self.warnings.lock());
+        let mut warnings = std::mem::take(&mut *self.warnings.lock());
+        // Parallel estimation records warnings in executor completion
+        // order; reports (and CI greps) need one canonical order, so sort
+        // by (round, slice) — the stable sort keeps a slice's drift
+        // warning ahead of its same-round quarantine escalation.
+        warnings.sort_by_key(|w| match w {
+            TuningWarning::DriftDetected { round, slice, .. } => (*round, *slice, 0),
+            TuningWarning::EstimationQuarantined { round, slice, .. } => {
+                (*round, slice.unwrap_or(usize::MAX), 1)
+            }
+        });
         Ok(RunResult {
             original,
             report,
@@ -1119,6 +1226,10 @@ impl<'a, S: AcquisitionSource> SliceTuner<'a, S> {
             .config
             .incremental
             .then(|| crate::incremental::IncrementalState::new(n));
+        // Drift detection and bounded staleness (see [`crate::drift`]).
+        // `None` on stationary configs — every hook below is skipped, so
+        // the loop's behavior (and bits) match the detector-free tuner.
+        let mut det = crate::drift::DriftDetector::from_config(&self.config, n);
         let mut pre_pass_log: Vec<usize> = Vec::new();
         let mut rounds_log: Vec<Vec<usize>> = Vec::new();
 
@@ -1133,10 +1244,15 @@ impl<'a, S: AcquisitionSource> SliceTuner<'a, S> {
             // draws, same absorbed rows), so dataset and source end up
             // bit-identical to the moment the saved run wrote this file.
             if !saved.pre_pass.is_empty() {
+                self.source.note_round(0);
                 let _ = self.acquire_counts(&saved.pre_pass);
             }
-            for counts in &saved.rounds {
+            for (i, counts) in saved.rounds.iter().enumerate() {
                 self.refresh_costs();
+                // Replayed draws must land on the same round numbers the
+                // original run acquired them at, or a drift plan would
+                // poison a different prefix of the rebuilt dataset.
+                self.source.note_round(i as u64 + 1);
                 let _ = self.acquire_counts(counts);
             }
             remaining = f64::from_bits(saved.remaining_bits);
@@ -1145,6 +1261,9 @@ impl<'a, S: AcquisitionSource> SliceTuner<'a, S> {
             iterations = saved.iterations as usize;
             if let (Some(state), Some(snap)) = (inc.as_mut(), saved.inc.as_ref()) {
                 state.restore(snap);
+            }
+            if let (Some(det), Some(snap)) = (det.as_mut(), saved.drift.as_ref()) {
+                det.restore(snap);
             }
             pre_pass_log = saved.pre_pass;
             rounds_log = saved.rounds;
@@ -1158,6 +1277,7 @@ impl<'a, S: AcquisitionSource> SliceTuner<'a, S> {
                 .map(|&s| (l.saturating_sub(s)) as f64)
                 .collect();
             if deficit.iter().any(|&d| d > 0.0) {
+                self.source.note_round(0);
                 let (spent, counts) = self.acquire_logged(&deficit, remaining);
                 remaining -= spent;
                 total_spent += spent;
@@ -1181,6 +1301,7 @@ impl<'a, S: AcquisitionSource> SliceTuner<'a, S> {
                     t_bits: t.to_bits(),
                     iterations: iterations as u64,
                     inc: inc.as_ref().map(|s| s.snapshot()),
+                    drift: det.as_ref().map(|d| d.snapshot()),
                 },
             )?;
         }
@@ -1212,16 +1333,84 @@ impl<'a, S: AcquisitionSource> SliceTuner<'a, S> {
                 break;
             }
             // Step 9: One-shot proposes spending the entire remaining budget.
-            let curves = match inc.as_mut() {
-                None => self.estimate_curves(iterations as u64 + 1),
-                Some(state) => resolve_fallbacks(
-                    self.estimate_curves_incremental(iterations as u64 + 1, state)
-                        .into_iter()
-                        .map(|e| e.fit)
-                        .collect(),
-                ),
+            // `measured` records which slices this round actually
+            // re-measured (the rest splice in memoized estimates), so the
+            // drift detector only scores fresh evidence.
+            let round = iterations as u64 + 1;
+            let (detailed, measured) = match inc.as_mut() {
+                None => (self.estimate_curves_detailed(round), vec![true; n]),
+                Some(state) => {
+                    let measured = if self.config.mode == EstimationMode::Amortized
+                        || self.config.incremental_refit_all
+                        || !state.has_estimates()
+                    {
+                        vec![true; n]
+                    } else {
+                        state.dirty().to_vec()
+                    };
+                    (self.estimate_curves_incremental(round, state), measured)
+                }
             };
-            let mut d = self.one_shot_allocation(&curves, remaining);
+            let curves = resolve_fallbacks(detailed.iter().map(|e| e.fit.clone()).collect());
+
+            if let Some(det) = det.as_mut() {
+                for flag in det.observe_round(&measured, &detailed) {
+                    let resets = det.begin_recovery(flag.slice);
+                    self.warnings.lock().push(TuningWarning::DriftDetected {
+                        slice: flag.slice,
+                        round,
+                        score: flag.score,
+                    });
+                    if resets > self.config.max_drift_resets {
+                        // Recovery ladder rung 3: the slice keeps drifting
+                        // through its recovery budget — stop buying its
+                        // poisoned data (allocation zeroing below) and say
+                        // so through the quarantine warning channel.
+                        det.quarantine(flag.slice);
+                        self.warnings
+                            .lock()
+                            .push(TuningWarning::EstimationQuarantined {
+                                slice: Some(flag.slice),
+                                round,
+                                attempts: resets,
+                                cause: "persistent drift: recovery budget exhausted".to_string(),
+                            });
+                    } else if let Some(state) = inc.as_mut() {
+                        // Rungs 1–2: invalidate the memoized estimate and
+                        // bump the slice's measurement seed so next round
+                        // refits from fresh post-drift draws.
+                        state.force_dirty(flag.slice);
+                        state.seed_bumps[flag.slice] = resets as u64;
+                    }
+                }
+            }
+
+            // A drift-quarantined slice's curve is replaced by a flat
+            // zero-benefit stand-in before allocation, so the solver routes
+            // its share to the clean slices instead of stranding it (zeroing
+            // the allocation after the fact would leave budget unspent).
+            let alloc_curves: Vec<PowerLaw> = match det.as_ref() {
+                None => curves.clone(),
+                Some(det) => curves
+                    .iter()
+                    .enumerate()
+                    .map(|(s, c)| {
+                        if det.is_quarantined(s) {
+                            PowerLaw::new(f64::MIN_POSITIVE, c.a)
+                        } else {
+                            *c
+                        }
+                    })
+                    .collect(),
+            };
+            let mut d = self.one_shot_allocation(&alloc_curves, remaining);
+            if let Some(det) = det.as_ref() {
+                for (s, x) in d.iter_mut().enumerate() {
+                    if det.is_quarantined(s) {
+                        *x = 0.0;
+                    }
+                }
+            }
 
             // Steps 10–15: cap the imbalance-ratio change at T.
             let sizes: Vec<f64> = self.ds.train_sizes().iter().map(|&s| s as f64).collect();
@@ -1237,12 +1426,24 @@ impl<'a, S: AcquisitionSource> SliceTuner<'a, S> {
 
             // Step 16: collect the data.
             let before = self.ds.train_sizes();
+            self.source.note_round(round);
             let (spent, counts) = self.acquire_logged(&d, remaining);
             if spent <= 0.0 {
                 break; // nothing affordable remained
             }
             if let Some(state) = inc.as_mut() {
                 state.mark_dirty(&before, &self.ds.train_sizes());
+            }
+            if let Some(det) = det.as_mut() {
+                // Bounded staleness: clean slices whose neighbors' growth
+                // crossed the bound are re-measured next round even though
+                // their own data never changed (pinned seed, no bump — a
+                // plain memo invalidation).
+                for s in det.note_growth(&before, &self.ds.train_sizes()) {
+                    if let Some(state) = inc.as_mut() {
+                        state.force_dirty(s);
+                    }
+                }
             }
             remaining -= spent;
             total_spent += spent;
@@ -1267,6 +1468,7 @@ impl<'a, S: AcquisitionSource> SliceTuner<'a, S> {
                         t_bits: t.to_bits(),
                         iterations: iterations as u64,
                         inc: inc.as_ref().map(|s| s.snapshot()),
+                        drift: det.as_ref().map(|d| d.snapshot()),
                     },
                 )?;
             }
@@ -1367,6 +1569,19 @@ impl<'a, S: AcquisitionSource> SliceTuner<'a, S> {
 fn imbalance_of(sizes: &[f64]) -> f64 {
     let rounded: Vec<usize> = sizes.iter().map(|&s| s.round().max(0.0) as usize).collect();
     imbalance_ratio_of(&rounded)
+}
+
+/// The effective measurement seed for a request under drift-recovery seed
+/// bumps: a targeted request whose slice carries a non-zero bump derives a
+/// fresh seed from `(request seed, bump)`, decorrelating the post-drift
+/// re-measurement from the pinned pre-drift draws. Everything else —
+/// no bumps, joint requests, zero bumps — keeps the request seed bit for
+/// bit.
+fn bumped_seed(req: &MeasureRequest, bumps: Option<&[u64]>) -> u64 {
+    match (bumps, req.target_slice) {
+        (Some(b), Some(s)) if b[s] != 0 => split_seed(req.seed, 0xD21F7 ^ b[s]),
+        _ => req.seed,
+    }
 }
 
 /// Routes a measure closure through the estimator's full schedule

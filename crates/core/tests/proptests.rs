@@ -96,15 +96,20 @@ proptest! {
         ids in (0u64..=u64::MAX, 0u64..=u64::MAX, 1u64..8),
         pre_pass in prop::collection::vec(0usize..5000, 0..6),
         rounds in prop::collection::vec(prop::collection::vec(0usize..5000, 1..6), 0..4),
-        scalars in (0u64..=u64::MAX, 0u64..=u64::MAX, 0u64..=u64::MAX),
-        iterations in 0u64..100,
-        inc_shape in (0usize..3, prop::collection::vec(0usize..2, 1..6), 0usize..5),
+        scalars in (0u64..=u64::MAX, 0u64..=u64::MAX, 0u64..=u64::MAX, 0u64..100),
+        shapes in (
+            0usize..3,
+            prop::collection::vec(0usize..2, 1..6),
+            0usize..5,
+            0usize..2,
+            prop::collection::vec((0u64..=u64::MAX, 0u64..=u64::MAX, 0u64..50, 0usize..3), 1..6),
+        ),
     ) {
-        use slice_tuner::checkpoint::{EstimateSnapshot, IncSnapshot, RoundCheckpoint};
+        use slice_tuner::checkpoint::{DriftSnapshot, EstimateSnapshot, IncSnapshot, RoundCheckpoint};
 
         let (seed, budget_bits, num_slices) = ids;
-        let (remaining_bits, total_spent_bits, t_bits) = scalars;
-        let (inc_sel, dirty_bits, fit_sel) = inc_shape;
+        let (remaining_bits, total_spent_bits, t_bits, iterations) = scalars;
+        let (inc_sel, dirty_bits, fit_sel, drift_sel, drift_rows) = shapes;
 
         let fit = match fit_sel {
             0 => Ok((remaining_bits, t_bits)),
@@ -121,10 +126,25 @@ proptest! {
         let dirty: Vec<bool> = dirty_bits.iter().map(|&b| b == 1).collect();
         let inc = match inc_sel {
             0 => None,
-            1 => Some(IncSnapshot { dirty, prev: None }),
+            1 => Some(IncSnapshot { seed_bumps: vec![0; dirty.len()], dirty, prev: None }),
             _ => Some(IncSnapshot {
                 prev: Some(vec![snapshot; dirty.len()]),
+                seed_bumps: (0..dirty.len() as u64).collect(),
                 dirty,
+            }),
+        };
+
+        let drift = match drift_sel {
+            0 => None,
+            _ => Some(DriftSnapshot {
+                cusum: drift_rows.iter().map(|&(a, b, c, _)| (a, b, c)).collect(),
+                staleness: drift_rows.iter().map(|&(_, _, c, _)| c * 7).collect(),
+                resets: drift_rows.iter().map(|&(_, _, c, _)| c % 3).collect(),
+                quarantined: drift_rows.iter().map(|&(_, _, _, q)| q == 1).collect(),
+                prev_fit: drift_rows
+                    .iter()
+                    .map(|&(a, b, c, q)| if q == 2 { None } else { Some((a, b, c)) })
+                    .collect(),
             }),
         };
 
@@ -139,6 +159,7 @@ proptest! {
             t_bits,
             iterations,
             inc,
+            drift,
         };
 
         let text = cp.to_json();

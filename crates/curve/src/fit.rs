@@ -408,6 +408,88 @@ impl LogLogAccumulator {
     }
 }
 
+/// One-sided CUSUM over log-scale learning-curve residuals, the drift
+/// detector's accumulator (the change-detection counterpart of
+/// [`LogLogAccumulator`]).
+///
+/// A stationary slice's measured losses scatter around its fitted curve, so
+/// the log residual `ln(measured) − ln(predicted)` is near zero and the
+/// cumulative sum — debited a per-observation `slack` and floored at zero —
+/// hovers near zero. When the slice's distribution shifts, measured losses
+/// sit persistently *above* the stale curve and the sum climbs until it
+/// crosses the caller's threshold. One-sided by design: losses falling
+/// below the curve (the slice got easier) never trigger — a tuner that
+/// over-serves an easy slice wastes budget but does not mis-allocate on
+/// stale evidence.
+///
+/// State is three floats and a count, snapshot/restored bit-exactly for the
+/// checkpoint layer.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ResidualCusum {
+    cum: f64,
+    last: f64,
+    count: usize,
+}
+
+impl ResidualCusum {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds in one residual between a curve's prediction and a fresh
+    /// measurement at the same subset size, debiting `slack` (the tolerated
+    /// per-round residual — measurement noise that must not accumulate).
+    /// Returns the updated score. Non-finite inputs are ignored: a poisoned
+    /// measurement is the fault layer's problem, not a drift signal.
+    pub fn observe(&mut self, predicted: f64, measured: f64, slack: f64) -> f64 {
+        if !predicted.is_finite() || !measured.is_finite() || !slack.is_finite() {
+            return self.cum;
+        }
+        let res = measured.max(LOSS_FLOOR).ln() - predicted.max(LOSS_FLOOR).ln();
+        self.last = res;
+        self.cum = (self.cum + res - slack).max(0.0);
+        self.count += 1;
+        self.cum
+    }
+
+    /// The current cumulative drift score (≥ 0).
+    pub fn score(&self) -> f64 {
+        self.cum
+    }
+
+    /// The most recent raw log residual.
+    pub fn last_residual(&self) -> f64 {
+        self.last
+    }
+
+    /// Number of residuals observed since the last reset.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Clears the accumulator (after a recovery re-measurement the slice's
+    /// curve is fresh again, so accumulated evidence no longer applies).
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+
+    /// Bit-exact state for the checkpoint layer: `(cum, last, count)` with
+    /// the floats as raw bit patterns.
+    pub fn snapshot(&self) -> (u64, u64, u64) {
+        (self.cum.to_bits(), self.last.to_bits(), self.count as u64)
+    }
+
+    /// Rebuilds an accumulator from [`snapshot`](Self::snapshot) output.
+    pub fn restore((cum, last, count): (u64, u64, u64)) -> Self {
+        ResidualCusum {
+            cum: f64::from_bits(cum),
+            last: f64::from_bits(last),
+            count: count as usize,
+        }
+    }
+}
+
 /// An updatable power-law fit: absorb [`CurvePoint`]s as they are measured,
 /// then [`fit`](Self::fit) seeds the LM refinement from the running
 /// [`LogLogAccumulator`] instead of re-initializing from the full batch.
@@ -810,5 +892,68 @@ mod tests {
         let fit = fit_power_law_seeded(&pts, ln_b + 0.05, a * 1.1).unwrap();
         assert!((fit.b - 2.9).abs() < 1e-6, "b {}", fit.b);
         assert!((fit.a - 0.21).abs() < 1e-6, "a {}", fit.a);
+    }
+
+    #[test]
+    fn cusum_stays_cold_on_curve_and_climbs_off_it() {
+        let mut on = ResidualCusum::new();
+        for _ in 0..10 {
+            // ±5% scatter around the prediction, inside the slack.
+            on.observe(1.0, 1.05, 0.1);
+            on.observe(1.0, 0.95, 0.1);
+        }
+        assert!(
+            on.score() < 1e-9,
+            "stationary residuals stay cold: {}",
+            on.score()
+        );
+
+        let mut off = ResidualCusum::new();
+        for _ in 0..4 {
+            off.observe(1.0, 2.0, 0.1); // measured 2× the stale prediction
+        }
+        assert!(
+            off.score() > 4.0 * (2.0f64.ln() - 0.1) - 1e-9,
+            "persistent excess accumulates: {}",
+            off.score()
+        );
+        assert_eq!(off.count(), 4);
+    }
+
+    #[test]
+    fn cusum_is_one_sided_and_resettable() {
+        let mut c = ResidualCusum::new();
+        for _ in 0..20 {
+            c.observe(1.0, 0.2, 0.0); // slice got easier
+        }
+        assert_eq!(c.score(), 0.0, "improvement never triggers");
+        c.observe(1.0, 3.0, 0.0);
+        assert!(c.score() > 1.0);
+        c.reset();
+        assert_eq!(c.score(), 0.0);
+        assert_eq!(c.count(), 0);
+    }
+
+    #[test]
+    fn cusum_ignores_poisoned_measurements() {
+        let mut c = ResidualCusum::new();
+        c.observe(1.0, f64::NAN, 0.1);
+        c.observe(f64::INFINITY, 2.0, 0.1);
+        assert_eq!(c.count(), 0);
+        assert_eq!(c.score(), 0.0);
+    }
+
+    #[test]
+    fn cusum_snapshot_round_trips_bit_exactly() {
+        let mut c = ResidualCusum::new();
+        c.observe(0.731, 1.214, 0.05);
+        c.observe(0.693, 1.512, 0.05);
+        let restored = ResidualCusum::restore(c.snapshot());
+        assert_eq!(restored, c);
+        assert_eq!(restored.score().to_bits(), c.score().to_bits());
+        assert_eq!(
+            restored.last_residual().to_bits(),
+            c.last_residual().to_bits()
+        );
     }
 }

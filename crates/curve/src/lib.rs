@@ -35,7 +35,7 @@ pub use estimator::{
 };
 pub use fit::{
     fit_power_law, fit_power_law_seeded, fit_power_law_with_floor, log_space_seed, FitError,
-    IncrementalFit, LogLogAccumulator,
+    IncrementalFit, LogLogAccumulator, ResidualCusum,
 };
 pub use model::{PowerLaw, PowerLawWithFloor};
 pub use points::CurvePoint;

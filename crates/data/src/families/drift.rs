@@ -1,0 +1,72 @@
+//! Drift-scenario family: two slices purpose-built for attributable drift.
+//!
+//! The drift gate (`st_bench --bin drift`), the drift integration suite,
+//! and the CLI's `--family driftbench` all share this cell, so the scenario
+//! the docs describe is the scenario every harness runs. Two slices live in
+//! orthogonal 2-D feature subspaces of a 4-D space:
+//!
+//! - **drifter** — tight clusters (sigma 0.45), easy, low base loss. A
+//!   drift plan that poisons its pool produces a large *relative* loss
+//!   residual, the quantity the detector's CUSUM accumulates.
+//! - **steady** — wide clusters (sigma 1.0), hard. Budget redirected away
+//!   from a quarantined drifter still buys real improvement here.
+//!
+//! The orthogonal subspaces keep drift *attributable*: poisoned examples in
+//! one slice cannot silently re-shape the other slice's decision boundary
+//! beyond shared-model contamination. Start it small-drifter / large-steady
+//! (e.g. sizes `100,500`) so the stale baseline funds the drifter — exactly
+//! the regime where trusting a pre-drift curve hurts.
+
+use crate::generator::{DatasetFamily, GaussianSliceModel, LabelCluster, SliceSpec};
+
+/// Feature dimensionality of the driftbench family.
+pub const DRIFTBENCH_DIM: usize = 4;
+
+/// Canonical drift-scenario family.
+pub fn driftbench() -> DatasetFamily {
+    let dim = DRIFTBENCH_DIM;
+    let mut slices = Vec::new();
+    for (i, (name, sigma)) in [("drifter", 0.45), ("steady", 1.0)].iter().enumerate() {
+        let mut c0 = vec![0.0; dim];
+        let mut c1 = vec![0.0; dim];
+        c0[2 * i] = -1.0;
+        c0[2 * i + 1] = -1.0;
+        c1[2 * i] = 1.0;
+        c1[2 * i + 1] = 1.0;
+        let neg = LabelCluster::new(0, 0.5, c0, *sigma);
+        let pos = LabelCluster::new(1, 0.5, c1, *sigma);
+        slices.push(SliceSpec::new(
+            *name,
+            1.0,
+            GaussianSliceModel::new(vec![neg, pos], 0.02),
+        ));
+    }
+    DatasetFamily::new("driftbench", dim, 2, slices)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slices_live_in_orthogonal_subspaces() {
+        let fam = driftbench();
+        assert_eq!(fam.num_slices(), 2);
+        assert_eq!(fam.num_classes, 2);
+        for (i, spec) in fam.slices.iter().enumerate() {
+            for c in &spec.model.clusters {
+                for (d, &x) in c.center.iter().enumerate() {
+                    if d / 2 == i {
+                        assert_ne!(x, 0.0, "slice {i} signals in its own plane");
+                    } else {
+                        assert_eq!(x, 0.0, "slice {i} is silent in plane {}", d / 2);
+                    }
+                }
+            }
+        }
+        assert!(
+            fam.slices[0].model.clusters[0].sigma < fam.slices[1].model.clusters[0].sigma,
+            "the drifter is the easy slice"
+        );
+    }
+}

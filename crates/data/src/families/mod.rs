@@ -6,17 +6,20 @@
 //! | Mixed-MNIST | [`mixed::mixed`] | 20 (two sources) | 20 | easy "digit" slices + hard "fashion" slices |
 //! | UTKFace | [`faces::faces`] | 8 (race × gender) | 4 (race) | same-race slices are content-similar; real costs from Table 1 |
 //! | AdultCensus | [`census::census`] | 4 (race × gender) | 2 | flat learning curves, high irreducible error |
+//! | — (drift scenario) | [`drift::driftbench`] | 2 (drifter + steady) | 2 | orthogonal subspaces; built for attributable drift (`docs/drift.md`) |
 //!
 //! Every family is deterministic: cluster centers come from a fixed internal
 //! seed so that `fashion()` always denotes the same distribution, while the
 //! `*_with_seed` variants let tests build independent universes.
 
 pub mod census;
+pub mod drift;
 pub mod faces;
 pub mod fashion;
 pub mod mixed;
 
 pub use census::census;
+pub use drift::driftbench;
 pub use faces::faces;
 pub use fashion::fashion;
 pub use mixed::{mixed, mixed_selected};

@@ -233,6 +233,26 @@ impl DatasetFamily {
         self.sample_slice(slice, n, &mut rng)
     }
 
+    /// Like [`sample_slice_seeded`](Self::sample_slice_seeded), but draws
+    /// from a caller-provided model (e.g. a drifted variant from
+    /// [`crate::drift::DriftPlan`]) instead of the slice's own. The seed
+    /// derivation is identical, so passing the slice's base model reproduces
+    /// `sample_slice_seeded` bit for bit.
+    pub fn sample_slice_seeded_as(
+        &self,
+        model: &GaussianSliceModel,
+        slice: SliceId,
+        n: usize,
+        seed: u64,
+        stream: u64,
+    ) -> Vec<Example> {
+        let child = split_seed(seed, (slice.index() as u64) << 32 | stream);
+        let mut rng: StdRng = seeded_rng(child);
+        (0..n)
+            .map(|_| model.sample(slice, self.num_classes, &mut rng))
+            .collect()
+    }
+
     /// Restricts the family to the given slice ids (used by Mixed-MNIST
     /// experiments that select 10 of 20 slices).
     ///

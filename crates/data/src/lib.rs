@@ -24,6 +24,7 @@
 
 pub mod augment;
 pub mod dataset;
+pub mod drift;
 pub mod example;
 pub mod families;
 pub mod generator;
@@ -38,6 +39,7 @@ pub use augment::AugmentConfig;
 pub use dataset::{
     matrix_cache_disabled, AbsorbError, DatasetMatrices, SliceData, SlicedDataset, SubsetRows,
 };
+pub use drift::{DriftEvent, DriftKind, DriftPlan};
 pub use example::{Example, SliceId};
 pub use generator::{DatasetFamily, GaussianSliceModel, LabelCluster, SliceSpec};
 pub use image::{image_fashion, ImageFamily, ImageSliceSpec, Pattern};

@@ -273,3 +273,78 @@ proptest! {
         }
     }
 }
+
+// Drift plans must be a parse/print fixpoint and a pure function of the
+// spec: the `ST_DRIFT` grammar round-trips through `Display` exactly
+// (Rust's shortest-round-trip f64 printing makes magnitudes survive), and
+// `drifted_model` is deterministic, applies an event only to its slice
+// from its round onward, and leaves everything else on the stationary
+// (allocation-free) path.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn drift_plan_specs_round_trip_through_display(
+        events in prop::collection::vec(
+            (0usize..3, 0u64..8, 0u64..10, -3.0f64..3.0),
+            1..6,
+        ),
+    ) {
+        use st_data::{DriftEvent, DriftKind, DriftPlan};
+        let plan = DriftPlan {
+            events: events
+                .iter()
+                .map(|&(k, slice, round, mag)| DriftEvent {
+                    kind: [DriftKind::Shift, DriftKind::Label, DriftKind::Scale][k],
+                    slice,
+                    round,
+                    mag,
+                })
+                .collect(),
+        };
+        let spec = plan
+            .events
+            .iter()
+            .map(|e| e.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        let reparsed = st_data::drift::parse_plan(&spec).expect("own output parses");
+        prop_assert_eq!(reparsed, plan);
+    }
+
+    #[test]
+    fn drifted_model_is_deterministic_and_scoped_to_its_event(
+        kind in 0usize..3,
+        slice in 0u64..4,
+        round in 0u64..6,
+        mag in 0.05f64..2.0,
+        query_round in 0u64..8,
+    ) {
+        use st_data::{DriftEvent, DriftKind, DriftPlan};
+        let base = GaussianSliceModel::new(
+            vec![LabelCluster::new(0, 1.0, vec![0.5, -0.5], 0.7)],
+            0.1,
+        );
+        let plan = DriftPlan {
+            events: vec![DriftEvent {
+                kind: [DriftKind::Shift, DriftKind::Label, DriftKind::Scale][kind],
+                slice,
+                round,
+                mag,
+            }],
+        };
+        let a = plan.drifted_model(&base, slice as usize, query_round);
+        let b = plan.drifted_model(&base, slice as usize, query_round);
+        prop_assert_eq!(&a, &b, "drifted_model must be pure");
+        if query_round >= round {
+            let drifted = a.expect("event round has passed; the model must drift");
+            prop_assert_ne!(&drifted, &base, "a nonzero magnitude must change the model");
+        } else {
+            prop_assert!(a.is_none(), "the event has not fired yet");
+        }
+        // Other slices never see this event.
+        prop_assert!(plan
+            .drifted_model(&base, slice as usize + 1, query_round)
+            .is_none());
+    }
+}

@@ -148,7 +148,9 @@ fn persistent_nan_loss_quarantines_the_slice_and_completes() {
         "slice 1 / round 1 must surface a quarantine warning, got: {:?}",
         trial.warnings
     );
-    let TuningWarning::EstimationQuarantined { attempts, .. } = quarantines[0];
+    let TuningWarning::EstimationQuarantined { attempts, .. } = quarantines[0] else {
+        unreachable!("the filter above keeps only quarantine warnings");
+    };
     assert!(
         *attempts >= 2,
         "retries must be exhausted before quarantine, got {attempts} attempt(s)"
