@@ -2,8 +2,9 @@
 //! current build — `BENCH_pipeline.json` (per-phase timings + data-plane /
 //! batched / prepacked / incremental gate readings) and, when present,
 //! `BENCH_kernels.json` (kernel-gate speedups + the batched-vs-looped
-//! small-shape group) and `BENCH_drift.json` (drift-robustness gate
-//! ratios) — into an append-only `BENCH_trend.json` keyed
+//! small-shape group), `BENCH_drift.json` (drift-robustness gate
+//! ratios), and `BENCH_service.json` (service-level chaos gate
+//! throughput/latency) — into an append-only `BENCH_trend.json` keyed
 //! by commit, so the perf trajectory across commits lives in one artifact
 //! (schema in `docs/profiling.md`).
 //!
@@ -20,6 +21,8 @@
 //!   `BENCH_kernels.json`; skipped silently when absent);
 //! - `ST_DRIFT_JSON` — drift-gate artifact to read (default
 //!   `BENCH_drift.json`; skipped silently when absent);
+//! - `ST_SERVICE_JSON` — service-gate artifact to read (default
+//!   `BENCH_service.json`; skipped silently when absent);
 //! - `ST_TREND_JSON` — trend artifact to append to (default
 //!   `BENCH_trend.json`);
 //! - `ST_COMMIT` — commit id to stamp (falls back to `GITHUB_SHA`, then
@@ -82,6 +85,8 @@ fn main() {
         std::env::var("ST_KERNELS_JSON").unwrap_or_else(|_| "BENCH_kernels.json".to_string());
     let drift_path =
         std::env::var("ST_DRIFT_JSON").unwrap_or_else(|_| "BENCH_drift.json".to_string());
+    let service_path =
+        std::env::var("ST_SERVICE_JSON").unwrap_or_else(|_| "BENCH_service.json".to_string());
     let trend_path =
         std::env::var("ST_TREND_JSON").unwrap_or_else(|_| "BENCH_trend.json".to_string());
 
@@ -102,6 +107,9 @@ fn main() {
     let drift = std::fs::read_to_string(&drift_path)
         .ok()
         .filter(|d| d.contains("\"bench\": \"drift\""));
+    let service = std::fs::read_to_string(&service_path)
+        .ok()
+        .filter(|s| s.contains("\"bench\": \"service\""));
 
     // ---- Build the entry -------------------------------------------------
     let commit = commit_id();
@@ -239,6 +247,31 @@ fn main() {
             .and_then(|d| num_after(d, "\"overall_loss_ratio\": ")),
         ",",
     );
+    // Service-level chaos gate readings (from the service bin's artifact).
+    write_num(
+        &mut entry,
+        "service_sessions_per_sec",
+        service
+            .as_deref()
+            .and_then(|s| num_after(s, "\"sessions_per_sec\": ")),
+        ",",
+    );
+    write_num(
+        &mut entry,
+        "service_p50_ms",
+        service
+            .as_deref()
+            .and_then(|s| num_after(s, "\"p50_ms\": ")),
+        ",",
+    );
+    write_num(
+        &mut entry,
+        "service_p99_ms",
+        service
+            .as_deref()
+            .and_then(|s| num_after(s, "\"p99_ms\": ")),
+        ",",
+    );
     match &kernels {
         Some(k) => {
             write_num(
@@ -308,7 +341,7 @@ fn main() {
     let entries = trend.matches("\"commit\": ").count();
     println!("appended commit {commit} to {trend_path} ({entries} entries)");
     println!(
-        "{:<12} {:>10} {:>10} {:>10} {:>9} {:>10} {:>11} {:>7} {:>7}",
+        "{:<12} {:>10} {:>10} {:>10} {:>9} {:>10} {:>11} {:>7} {:>7} {:>8}",
         "commit",
         "total_ms",
         "train_dp",
@@ -317,13 +350,14 @@ fn main() {
         "prepacked",
         "incremental",
         "guards",
-        "drift"
+        "drift",
+        "svc_p99"
     );
     for chunk in trend.split("    {").skip(1) {
         let c = str_after(chunk, "\"commit\": \"").unwrap_or_else(|| "?".into());
         let fmt = |v: Option<f64>| v.map_or("-".into(), |x| format!("{x:.2}"));
         println!(
-            "{:<12} {:>10} {:>10} {:>10} {:>9} {:>10} {:>11} {:>7} {:>7}",
+            "{:<12} {:>10} {:>10} {:>10} {:>9} {:>10} {:>11} {:>7} {:>7} {:>8}",
             c,
             fmt(num_after(chunk, "\"total_ms\": ")),
             fmt(num_after(chunk, "\"data_plane_training_speedup\": ")),
@@ -333,6 +367,7 @@ fn main() {
             fmt(num_after(chunk, "\"incremental_speedup\": ")),
             fmt(num_after(chunk, "\"guards_overhead\": ")),
             fmt(num_after(chunk, "\"drift_slice_loss_ratio\": ")),
+            fmt(num_after(chunk, "\"service_p99_ms\": ")),
         );
     }
 }

@@ -62,6 +62,8 @@ fn main() -> ExitCode {
         Some("autoslice") => cmd_autoslice(&parsed),
         Some("sensitivity") => cmd_sensitivity(&parsed),
         Some("experiment") => cmd_experiment(&parsed),
+        Some("serve") => cmd_serve(&parsed),
+        Some("call") => cmd_call(&parsed),
         Some("families") => cmd_families(),
         _ => {
             usage();
@@ -91,6 +93,10 @@ fn usage() {
          \x20 slice-tuner-cli experiment --family <name> [--strategies uniform,waterfilling,moderate]\n\
          \x20                           [--budget 500] [--trials 3] [--jobs N] [--cache true|false]\n\
          \x20                           [--retries 2] [--format markdown|csv]\n\
+         \x20 slice-tuner-cli serve     [--addr 127.0.0.1:7171] [--dir st_sessions]\n\
+         \x20                           [--deadline-ms 5000] [--max-sessions 64] [--queue-depth 32]\n\
+         \x20                           [--workers 0] [--session-budget-ms 0] (see docs/server.md)\n\
+         \x20 slice-tuner-cli call      --url <host:port/path> [--method GET|POST] [--body '<json|csv>']\n\
          \x20 slice-tuner-cli families\n\
          families: fashion | mixed | faces | census | driftbench\n\
          global: --kernel naive|blocked|simd|sharded|fast (compute backend; default blocked,\n\
@@ -98,7 +104,8 @@ fn usage() {
          \x20        true because it waives bit-reproducibility)\n\
          \x20       ST_FAULT=<spec>[,<spec>...] injects deterministic faults for chaos testing;\n\
          \x20        specs: trial_panic@<trial> | nan_loss@slice<S>:round<R> | fit_diverge@<p>\n\
-         \x20        (see docs/robustness.md)\n\
+         \x20        | conn_drop@<req> | slow_client@<req>:ms<M> | session_panic@<s>:round<R>\n\
+         \x20        (see docs/robustness.md and docs/server.md)\n\
          \x20       ST_DRIFT=<spec>[,<spec>...] makes acquisition pools non-stationary;\n\
          \x20        specs: shift@slice<S>:round<R>:mag<M> | label@... | scale@...\n\
          \x20        (see docs/drift.md)"
@@ -361,6 +368,118 @@ fn validate_jobs(jobs: usize) -> Result<(), String> {
         return Err(format!(
             "--jobs {jobs} is out of range (0..=4096, 0 = all cores)"
         ));
+    }
+    Ok(())
+}
+
+fn validate_deadline_ms(deadline_ms: u64) -> Result<(), String> {
+    if !(1..=3_600_000).contains(&deadline_ms) {
+        return Err(format!(
+            "--deadline-ms {deadline_ms} is out of range (1..=3600000); the deadline bounds \
+             every request read and queue wait, so 0 would shed all traffic"
+        ));
+    }
+    Ok(())
+}
+
+fn validate_max_sessions(max_sessions: usize) -> Result<(), String> {
+    if !(1..=100_000).contains(&max_sessions) {
+        return Err(format!(
+            "--max-sessions {max_sessions} is out of range (1..=100000); each session holds \
+             a checkpoint file, so the cap is an admission-control knob, not a suggestion"
+        ));
+    }
+    Ok(())
+}
+
+fn validate_queue_depth(queue_depth: usize) -> Result<(), String> {
+    if !(1..=65_536).contains(&queue_depth) {
+        return Err(format!(
+            "--queue-depth {queue_depth} is out of range (1..=65536); past the high-water \
+             mark the server answers 429, it never queues unboundedly"
+        ));
+    }
+    Ok(())
+}
+
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    reject_unknown(
+        args,
+        &[
+            "addr",
+            "dir",
+            "deadline-ms",
+            "max-sessions",
+            "queue-depth",
+            "workers",
+            "session-budget-ms",
+            "kernel",
+            "allow-nondeterministic-kernel",
+        ],
+    )?;
+    let mut cfg = st_server::ServerConfig::new(args.get("dir").unwrap_or("st_sessions"));
+    cfg.addr = args.get("addr").unwrap_or("127.0.0.1:7171").to_string();
+    cfg.deadline_ms = args.get_or("deadline-ms", 5_000u64)?;
+    validate_deadline_ms(cfg.deadline_ms)?;
+    cfg.max_sessions = args.get_or("max-sessions", 64usize)?;
+    validate_max_sessions(cfg.max_sessions)?;
+    cfg.queue_depth = args.get_or("queue-depth", 32usize)?;
+    validate_queue_depth(cfg.queue_depth)?;
+    cfg.workers = args.get_or("workers", 0usize)?;
+    validate_jobs(cfg.workers)?;
+    cfg.session_budget_ms = args.get_or("session-budget-ms", 0u64)?;
+
+    let handle = st_server::start(cfg.clone())?;
+    println!(
+        "st_server listening on {} (dir {}, deadline {} ms, {} sessions max, queue depth {})",
+        handle.addr(),
+        cfg.dir,
+        cfg.deadline_ms,
+        cfg.max_sessions,
+        cfg.queue_depth
+    );
+    println!("POST /shutdown to drain gracefully");
+    let report = handle.wait();
+    println!(
+        "drained: {} queued job(s) served, {} orphan temp(s) swept at start, {} at shutdown",
+        report.drained_jobs, report.swept_at_start, report.swept_at_shutdown
+    );
+    Ok(())
+}
+
+fn cmd_call(args: &Args) -> Result<(), String> {
+    reject_unknown(
+        args,
+        &[
+            "url",
+            "method",
+            "body",
+            "attempts",
+            "timeout-ms",
+            "kernel",
+            "allow-nondeterministic-kernel",
+        ],
+    )?;
+    let url = args
+        .get("url")
+        .ok_or("--url <host:port/path> is required")?;
+    let url = url.strip_prefix("http://").unwrap_or(url);
+    let (host, path) = match url.find('/') {
+        Some(i) => (&url[..i], &url[i..]),
+        None => (url, "/"),
+    };
+    let addr: std::net::SocketAddr = host
+        .parse()
+        .map_err(|e| format!("bad address '{host}': {e}"))?;
+    let method = args.get("method").unwrap_or("GET").to_uppercase();
+    let body = args.get("body").unwrap_or("");
+    let mut client = st_server::Client::new(addr);
+    client.attempts = args.get_or("attempts", 6u32)?.clamp(1, 100);
+    client.timeout = std::time::Duration::from_millis(args.get_or("timeout-ms", 120_000u64)?);
+    let resp = client.request(&method, path, body)?;
+    println!("{}", resp.body);
+    if resp.status >= 400 {
+        return Err(format!("{} {} -> {}", method, path, resp.status));
     }
     Ok(())
 }
@@ -712,5 +831,34 @@ fn reject_unknown(args: &Args, known: &[&str]) -> Result<(), String> {
         Ok(())
     } else {
         Err(format!("unknown flags: {}", unknown.join(", ")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_limits_are_range_checked_at_parse_time() {
+        assert!(validate_deadline_ms(1).is_ok());
+        assert!(validate_deadline_ms(3_600_000).is_ok());
+        assert!(validate_deadline_ms(0)
+            .unwrap_err()
+            .contains("--deadline-ms"));
+        assert!(validate_deadline_ms(3_600_001).is_err());
+
+        assert!(validate_max_sessions(1).is_ok());
+        assert!(validate_max_sessions(100_000).is_ok());
+        assert!(validate_max_sessions(0)
+            .unwrap_err()
+            .contains("--max-sessions"));
+        assert!(validate_max_sessions(100_001).is_err());
+
+        assert!(validate_queue_depth(1).is_ok());
+        assert!(validate_queue_depth(65_536).is_ok());
+        assert!(validate_queue_depth(0)
+            .unwrap_err()
+            .contains("--queue-depth"));
+        assert!(validate_queue_depth(65_537).is_err());
     }
 }

@@ -651,13 +651,53 @@ pub fn save(path: &str, cp: &RoundCheckpoint) -> Result<(), CheckpointError> {
     std::fs::rename(&tmp, path).map_err(io)
 }
 
+/// Removes the orphaned temp file a kill between `save`'s write and rename
+/// leaves behind. Called on every `load` (resume) so a crashed run's temp
+/// never lingers; missing temps are not an error.
+pub fn clean_orphan_temp(path: &str) {
+    let _ = std::fs::remove_file(format!("{path}.tmp"));
+}
+
+/// Sweeps `dir` for orphaned `*.tmp` checkpoint temps and removes them,
+/// returning how many were cleaned. Service startup and shutdown run this
+/// over the session checkpoint directory so a kill mid-`save` can never
+/// accumulate garbage.
+///
+/// # Errors
+/// [`CheckpointError::Io`] if the directory cannot be read (a missing
+/// directory is fine: nothing to clean).
+pub fn clean_orphan_temps(dir: &str) -> Result<usize, CheckpointError> {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
+        Err(e) => {
+            return Err(CheckpointError::Io {
+                path: dir.to_string(),
+                cause: e.to_string(),
+            })
+        }
+    };
+    let mut cleaned = 0;
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let is_temp = name.to_str().is_some_and(|n| n.ends_with(".tmp"));
+        if is_temp && std::fs::remove_file(entry.path()).is_ok() {
+            cleaned += 1;
+        }
+    }
+    Ok(cleaned)
+}
+
 /// Loads a checkpoint; `Ok(None)` when the file does not exist (a resume
-/// request with no checkpoint yet is simply a fresh run).
+/// request with no checkpoint yet is simply a fresh run). Any orphaned
+/// `{path}.tmp` from a crashed `save` is removed first — the rename never
+/// happened, so the temp holds no state the checkpoint itself lacks.
 ///
 /// # Errors
 /// [`CheckpointError::Io`] / [`CheckpointError::Parse`] /
 /// [`CheckpointError::Version`].
 pub fn load(path: &str) -> Result<Option<RoundCheckpoint>, CheckpointError> {
+    clean_orphan_temp(path);
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
@@ -817,6 +857,50 @@ mod tests {
             live[0].points[0].loss.to_bits(),
             back[0].points[0].loss.to_bits()
         );
+    }
+
+    #[test]
+    fn load_sweeps_the_orphaned_temp() {
+        let dir = std::env::temp_dir().join("st_checkpoint_orphan_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cp.json");
+        let path = path.to_str().unwrap();
+        let cp = sample();
+        save(path, &cp).unwrap();
+        // Simulate a kill between write and rename: a stale temp next to a
+        // good checkpoint.
+        std::fs::write(format!("{path}.tmp"), "half-written").unwrap();
+        assert_eq!(load(path).unwrap(), Some(cp));
+        assert!(
+            !std::path::Path::new(&format!("{path}.tmp")).exists(),
+            "resume must sweep the orphan"
+        );
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn directory_sweep_removes_only_temps() {
+        let dir = std::env::temp_dir().join("st_checkpoint_sweep_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let keep = dir.join("s1.json");
+        save(keep.to_str().unwrap(), &sample()).unwrap();
+        std::fs::write(dir.join("s1.json.tmp"), "orphan").unwrap();
+        std::fs::write(dir.join("s2.json.tmp"), "orphan").unwrap();
+        let cleaned = clean_orphan_temps(dir.to_str().unwrap()).unwrap();
+        assert_eq!(cleaned, 2);
+        assert!(keep.exists(), "real checkpoints survive the sweep");
+        assert!(!dir.join("s1.json.tmp").exists());
+        assert_eq!(
+            clean_orphan_temps(dir.to_str().unwrap()).unwrap(),
+            0,
+            "second sweep finds nothing"
+        );
+        assert_eq!(
+            clean_orphan_temps(dir.join("missing").to_str().unwrap()).unwrap(),
+            0,
+            "missing directory is nothing to clean"
+        );
+        std::fs::remove_file(keep).unwrap();
     }
 
     #[test]

@@ -68,7 +68,7 @@ pub use acquire::{
     FaultConfig, FaultySource, PoolSource,
 };
 pub use cache::{CurveCache, CurveKey};
-pub use checkpoint::{CheckpointError, RoundCheckpoint};
+pub use checkpoint::{clean_orphan_temp, clean_orphan_temps, CheckpointError, RoundCheckpoint};
 pub use config::{strategy_from_name, strategy_to_name, ExperimentSpec, SpecError};
 pub use drift::{DriftDetector, DriftFlag};
 pub use error::Error;

@@ -168,3 +168,79 @@ proptest! {
         prop_assert_eq!(parsed.to_json(), text, "serialize-parse-serialize is a fixpoint");
     }
 }
+
+// Crash-only serving reads checkpoints written by arbitrary interrupted
+// processes, so the loader must treat the file as hostile: any truncation,
+// byte flip, deletion, or insertion — at any offset, against v1 or v2
+// documents — must come back as a typed `CheckpointError`, never a panic.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn mutilated_checkpoints_error_typed_never_panic(
+        seed in 0u64..=u64::MAX,
+        iterations in 0u64..50,
+        version in 1usize..3,
+        mutations in prop::collection::vec((0usize..3000, 0usize..4, 0u8..=255), 1..4),
+    ) {
+        use slice_tuner::checkpoint::{DriftSnapshot, EstimateSnapshot, IncSnapshot, RoundCheckpoint};
+
+        let cp = RoundCheckpoint {
+            seed,
+            budget_bits: 400.0_f64.to_bits(),
+            num_slices: 4,
+            pre_pass: vec![3, 0, 1, 2],
+            rounds: vec![vec![10, 0, 2, 5], vec![0, 7, 0, 0]],
+            remaining_bits: 123.456_f64.to_bits(),
+            total_spent_bits: 276.544_f64.to_bits(),
+            t_bits: 4.0_f64.to_bits(),
+            iterations,
+            inc: Some(IncSnapshot {
+                dirty: vec![false, true, false, false],
+                prev: Some(vec![EstimateSnapshot {
+                    fit: Ok((2.0_f64.to_bits(), 0.3_f64.to_bits())),
+                    repeat_fits: vec![(2.1_f64.to_bits(), 0.31_f64.to_bits())],
+                    points: vec![(10.0_f64.to_bits(), 0.5_f64.to_bits(), 10.0_f64.to_bits())],
+                }; 4]),
+                seed_bumps: vec![0; 4],
+            }),
+            drift: (version == 2).then(|| DriftSnapshot {
+                cusum: vec![(0.7_f64.to_bits(), 0.1_f64.to_bits(), 3); 4],
+                staleness: vec![0, 120, 0, 55],
+                resets: vec![0, 2, 0, 0],
+                quarantined: vec![false, false, true, false],
+                prev_fit: vec![None; 4],
+            }),
+        };
+        // A v1 document predates seed_bumps and drift state.
+        let doc = if version == 1 {
+            cp.to_json()
+                .replace("\"version\":2", "\"version\":1")
+                .replace("\"seed_bumps\":[0,0,0,0],", "")
+        } else {
+            cp.to_json()
+        };
+        prop_assert!(RoundCheckpoint::parse(&doc, "<prop>").is_ok(), "pristine doc parses");
+
+        let mut bytes = doc.into_bytes();
+        for &(offset, kind, byte) in &mutations {
+            if bytes.is_empty() {
+                break;
+            }
+            let at = offset % bytes.len();
+            match kind {
+                0 => bytes.truncate(at),              // killed mid-write
+                1 => bytes[at] = byte,                // bit rot / overwrite
+                2 => { bytes.remove(at); }            // dropped byte
+                _ => bytes.insert(at, byte),          // injected byte
+            }
+        }
+        let mutated = String::from_utf8_lossy(&bytes);
+        // The only acceptable outcomes are a clean parse (the mutation was
+        // benign, e.g. whitespace) or a typed error. A panic fails the test.
+        match RoundCheckpoint::parse(&mutated, "<prop>") {
+            Ok(parsed) => { let _ = parsed.to_json(); }
+            Err(e) => prop_assert!(!e.to_string().is_empty()),
+        }
+    }
+}

@@ -26,6 +26,20 @@
 //!   same points always make the same decision); failed fits take the
 //!   existing fallback-curve path (exercises fallbacks).
 //!
+//! Service faults (consumed by `st_server` and the service bench; the
+//! request counter is the server's global accepted-request ordinal, so a
+//! dropped request's *retry* arrives under a fresh ordinal and succeeds):
+//!
+//! - `conn_drop@<req>` — the server aborts connection handling for global
+//!   request `req` before writing any response byte; the client sees EOF
+//!   and retries (exercises client retry + idempotent advance).
+//! - `slow_client@<req>:ms<M>` — the bench client trickles request `req`'s
+//!   bytes over `M` milliseconds (exercises the server's read deadline).
+//! - `session_panic@<s>:round<R>` — session `s`'s worker panics while
+//!   advancing into round `R`, on the **first** attempt only; the next
+//!   request resumes bit-identically from the checkpoint (exercises the
+//!   crash-only contract).
+//!
 //! When `ST_FAULT` is unset and no plan has been installed, every query is
 //! a relaxed atomic load and an early return — the harness costs nothing on
 //! the fault-free hot path (the pipeline bench's `guards_overhead` gate
@@ -48,17 +62,32 @@ pub struct FaultPlan {
     pub nan_losses: Vec<(u64, u64)>,
     /// Probability that any given power-law fit diverges.
     pub fit_diverge: Option<f64>,
+    /// Global request ordinals whose connection the server drops before
+    /// responding.
+    pub conn_drops: Vec<u64>,
+    /// `(request, milliseconds)` pairs: the client trickles that request's
+    /// bytes over the given duration.
+    pub slow_clients: Vec<(u64, u64)>,
+    /// `(session, round)` pairs whose session worker panics on attempt 0 of
+    /// advancing into that round.
+    pub session_panics: Vec<(u64, u64)>,
 }
 
 impl FaultPlan {
     fn is_empty(&self) -> bool {
-        self.trial_panics.is_empty() && self.nan_losses.is_empty() && self.fit_diverge.is_none()
+        self.trial_panics.is_empty()
+            && self.nan_losses.is_empty()
+            && self.fit_diverge.is_none()
+            && self.conn_drops.is_empty()
+            && self.slow_clients.is_empty()
+            && self.session_panics.is_empty()
     }
 }
 
 /// The accepted `ST_FAULT` grammar, for warnings and usage strings.
 pub fn fault_grammar() -> &'static str {
-    "trial_panic@<trial> | nan_loss@slice<S>:round<R> | fit_diverge@<p in [0,1]>"
+    "trial_panic@<trial> | nan_loss@slice<S>:round<R> | fit_diverge@<p in [0,1]> | \
+     conn_drop@<req> | slow_client@<req>:ms<M> | session_panic@<s>:round<R>"
 }
 
 /// Parses one comma-separated `ST_FAULT` value into a plan.
@@ -105,6 +134,30 @@ pub fn parse_plan(spec: &str) -> Result<FaultPlan, String> {
                 }
                 plan.fit_diverge = Some(p);
             }
+            "conn_drop" => {
+                let req: u64 = arg.parse().map_err(|_| bad())?;
+                plan.conn_drops.push(req);
+            }
+            "slow_client" => {
+                let (req, ms) = arg.split_once(':').ok_or_else(bad)?;
+                let req: u64 = req.parse().map_err(|_| bad())?;
+                let ms: u64 = ms
+                    .strip_prefix("ms")
+                    .ok_or_else(bad)?
+                    .parse()
+                    .map_err(|_| bad())?;
+                plan.slow_clients.push((req, ms));
+            }
+            "session_panic" => {
+                let (s, r) = arg.split_once(':').ok_or_else(bad)?;
+                let s: u64 = s.parse().map_err(|_| bad())?;
+                let r: u64 = r
+                    .strip_prefix("round")
+                    .ok_or_else(bad)?
+                    .parse()
+                    .map_err(|_| bad())?;
+                plan.session_panics.push((s, r));
+            }
             _ => return Err(bad()),
         }
     }
@@ -130,6 +183,9 @@ fn env_plan() -> Option<&'static FaultPlan> {
                     if p.fit_diverge.is_some() {
                         plan.fit_diverge = p.fit_diverge;
                     }
+                    plan.conn_drops.extend(p.conn_drops);
+                    plan.slow_clients.extend(p.slow_clients);
+                    plan.session_panics.extend(p.session_panics);
                 }
                 Err(e) => eprintln!("warning: {e}"),
             }
@@ -243,6 +299,43 @@ pub fn fit_diverges(points_hash: u64) -> bool {
     .unwrap_or(false)
 }
 
+/// Should the server drop the connection serving global request `req`
+/// before writing any response byte?
+#[inline]
+pub fn conn_drop(req: u64) -> bool {
+    if !active() {
+        return false;
+    }
+    with_plan(|p| p.conn_drops.contains(&req)).unwrap_or(false)
+}
+
+/// Milliseconds over which the bench client should trickle request `req`'s
+/// bytes, when the plan slows it down.
+#[inline]
+pub fn slow_client(req: u64) -> Option<u64> {
+    if !active() {
+        return None;
+    }
+    with_plan(|p| {
+        p.slow_clients
+            .iter()
+            .find(|(r, _)| *r == req)
+            .map(|&(_, ms)| ms)
+    })
+    .unwrap_or(None)
+}
+
+/// Should session `session`'s worker panic advancing into `round` on this
+/// `attempt`? Fires on attempt 0 only: the next request over the same
+/// session resumes from the checkpoint and must succeed.
+#[inline]
+pub fn session_panics(session: u64, round: u64, attempt: usize) -> bool {
+    if !active() || attempt != 0 {
+        return false;
+    }
+    with_plan(|p| p.session_panics.contains(&(session, round))).unwrap_or(false)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -265,11 +358,47 @@ mod tests {
 
     #[test]
     fn rejects_unknown_specs_listing_the_grammar() {
-        for bad in ["bogus@1", "trial_panic", "nan_loss@3:1", "fit_diverge@1.5"] {
+        for bad in [
+            "bogus@1",
+            "trial_panic",
+            "nan_loss@3:1",
+            "fit_diverge@1.5",
+            "conn_drop@x",
+            "slow_client@3:50",
+            "session_panic@1:2",
+        ] {
             let err = parse_plan(bad).expect_err(bad);
             assert!(err.contains(bad.split('@').next().unwrap()), "{err}");
             assert!(err.contains("trial_panic@<trial>"), "{err}");
         }
+    }
+
+    #[test]
+    fn parses_service_faults() {
+        let p = parse_plan("conn_drop@7, slow_client@3:ms250, session_panic@1:round2").unwrap();
+        assert_eq!(p.conn_drops, vec![7]);
+        assert_eq!(p.slow_clients, vec![(3, 250)]);
+        assert_eq!(p.session_panics, vec![(1, 2)]);
+    }
+
+    #[test]
+    fn service_fault_queries_match_their_specs() {
+        let _g = serial();
+        install(Some(
+            parse_plan("conn_drop@4,slow_client@2:ms100,session_panic@0:round3").unwrap(),
+        ));
+        assert!(conn_drop(4));
+        assert!(!conn_drop(5), "other requests untouched");
+        assert_eq!(slow_client(2), Some(100));
+        assert_eq!(slow_client(4), None);
+        assert!(session_panics(0, 3, 0));
+        assert!(!session_panics(0, 3, 1), "retry must succeed");
+        assert!(!session_panics(1, 3, 0), "other sessions untouched");
+        assert!(!session_panics(0, 2, 0), "other rounds untouched");
+        install(None);
+        assert!(!conn_drop(4));
+        assert_eq!(slow_client(2), None);
+        assert!(!session_panics(0, 3, 0));
     }
 
     #[test]

@@ -1,0 +1,180 @@
+//! A blocking HTTP client speaking the server's one-request-per-connection
+//! dialect, with the retry discipline the crash-only contract expects:
+//!
+//! * a dropped connection (EOF before any status line — what
+//!   `conn_drop` chaos produces) is retried after a short backoff;
+//! * `408`/`429`/`500`/`503` are retried, honouring the server's
+//!   `Retry-After` backoff hint (capped so chaos tests stay fast);
+//! * everything else is returned to the caller as-is.
+//!
+//! Because every mutating endpoint is idempotent (an advance that
+//! already happened serves the checkpointed state), blind retries are
+//! safe — that is the point of the crash-only design.
+//!
+//! The client is also where `slow_client@<req>:ms<M>` chaos lives: the
+//! `<req>`-th request *sent through a counter* (shared across a fleet of
+//! clients via [`Client::with_counter`]) is trickled onto the wire over
+//! `M` milliseconds, exercising the server's total read deadline.
+
+use st_linalg::fault;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The maximum sleep honoured from a `Retry-After` hint; real deployments
+/// would honour the full hint, chaos tests must not stall for 30 s.
+const MAX_BACKOFF: Duration = Duration::from_millis(500);
+
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    pub status: u16,
+    pub retry_after: Option<u64>,
+    pub body: String,
+}
+
+pub struct Client {
+    addr: SocketAddr,
+    /// Per-attempt socket timeout.
+    pub timeout: Duration,
+    /// Total attempts per request (first try included).
+    pub attempts: u32,
+    counter: Arc<AtomicU64>,
+}
+
+impl Client {
+    pub fn new(addr: SocketAddr) -> Client {
+        Client {
+            addr,
+            timeout: Duration::from_secs(120),
+            attempts: 6,
+            counter: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Shares a send-ordinal counter across a fleet of clients so
+    /// `slow_client@<req>` addresses the fleet's `<req>`-th request.
+    pub fn with_counter(mut self, counter: Arc<AtomicU64>) -> Client {
+        self.counter = counter;
+        self
+    }
+
+    /// One request with retries. Returns the last response (or transport
+    /// error) once attempts are exhausted or a non-retryable status
+    /// arrives.
+    pub fn request(&self, method: &str, path: &str, body: &str) -> Result<ClientResponse, String> {
+        let mut last_err = String::new();
+        for attempt in 0..self.attempts {
+            if attempt > 0 {
+                std::thread::sleep(Duration::from_millis(50 * u64::from(attempt)));
+            }
+            let ordinal = self.counter.fetch_add(1, Ordering::SeqCst) + 1;
+            let trickle = fault::slow_client(ordinal);
+            match self.once(method, path, body, trickle) {
+                Ok(resp) => {
+                    let retryable = matches!(resp.status, 408 | 429 | 500 | 503);
+                    if !retryable || attempt + 1 == self.attempts {
+                        return Ok(resp);
+                    }
+                    if let Some(secs) = resp.retry_after {
+                        std::thread::sleep(Duration::from_secs(secs).min(MAX_BACKOFF));
+                    }
+                    last_err = format!("status {}", resp.status);
+                }
+                Err(e) => last_err = e,
+            }
+        }
+        Err(format!(
+            "request {method} {path} failed after {} attempts: {last_err}",
+            self.attempts
+        ))
+    }
+
+    fn once(
+        &self,
+        method: &str,
+        path: &str,
+        body: &str,
+        trickle_ms: Option<u64>,
+    ) -> Result<ClientResponse, String> {
+        let mut stream = TcpStream::connect_timeout(&self.addr, self.timeout)
+            .map_err(|e| format!("connect: {e}"))?;
+        stream
+            .set_read_timeout(Some(self.timeout))
+            .map_err(|e| e.to_string())?;
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: st\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            body.len()
+        );
+        let wire = [head.as_bytes(), body.as_bytes()].concat();
+        match trickle_ms {
+            None => stream.write_all(&wire).map_err(|e| format!("write: {e}"))?,
+            Some(ms) => {
+                // Slow-loris chaos: pace the bytes over ~`ms` total.
+                let chunks = 8usize;
+                let pause = Duration::from_millis(ms / chunks as u64);
+                let step = wire.len().div_ceil(chunks).max(1);
+                for chunk in wire.chunks(step) {
+                    stream.write_all(chunk).map_err(|e| format!("write: {e}"))?;
+                    stream.flush().ok();
+                    std::thread::sleep(pause);
+                }
+            }
+        }
+        let mut raw = String::new();
+        stream
+            .read_to_string(&mut raw)
+            .map_err(|e| format!("read: {e}"))?;
+        if raw.is_empty() {
+            // conn_drop chaos (or a crashed worker): EOF with no bytes.
+            return Err("connection dropped before a response".to_string());
+        }
+        parse_response(&raw)
+    }
+}
+
+fn parse_response(raw: &str) -> Result<ClientResponse, String> {
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or("response has no header terminator")?;
+    let status_line = head.lines().next().unwrap_or("");
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("bad status line '{status_line}'"))?;
+    let retry_after = head.lines().find_map(|line| {
+        let (name, value) = line.split_once(':')?;
+        if name.trim().eq_ignore_ascii_case("retry-after") {
+            value.trim().parse().ok()
+        } else {
+            None
+        }
+    });
+    Ok(ClientResponse {
+        status,
+        retry_after,
+        body: body.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_status_retry_after_and_body() {
+        let raw = "HTTP/1.1 429 Too Many Requests\r\nContent-Length: 2\r\nRetry-After: 7\r\n\r\nhi";
+        let resp = parse_response(raw).expect("parse");
+        assert_eq!(resp.status, 429);
+        assert_eq!(resp.retry_after, Some(7));
+        assert_eq!(resp.body, "hi");
+    }
+
+    #[test]
+    fn rejects_garbage_responses() {
+        assert!(parse_response("no header end").is_err());
+        assert!(parse_response("NOPE\r\n\r\nbody").is_err());
+    }
+}

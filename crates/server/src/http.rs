@@ -1,0 +1,323 @@
+//! Minimal HTTP/1.1 framing over a blocking [`TcpStream`].
+//!
+//! The server speaks a deliberately tiny dialect: one request per
+//! connection, `Connection: close` on every response, bodies framed by
+//! `Content-Length` only (no chunked encoding, no keep-alive, no TLS).
+//! That dialect is exactly what the crash-only contract wants — a dropped
+//! connection is indistinguishable from a crashed worker, and the client
+//! recovers both the same way: reconnect and retry the idempotent request.
+//!
+//! Reads enforce a *total* deadline, not a per-`read(2)` timeout: the
+//! remaining budget shrinks as bytes trickle in, so a slow-loris client
+//! (or an `ST_FAULT slow_client` injection) is shed with 408 after
+//! `deadline` wall-clock time no matter how it paces its bytes.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Upper bound on the request head (request line + headers).
+const MAX_HEAD: usize = 16 * 1024;
+/// Upper bound on a request body (CSV uploads are the largest payload).
+const MAX_BODY: usize = 8 * 1024 * 1024;
+
+/// A parsed request. Bodies are text (JSON or CSV) in this dialect.
+#[derive(Debug, Clone)]
+pub struct Request {
+    pub method: String,
+    pub path: String,
+    pub body: String,
+}
+
+/// Why a request could not be read. Each variant maps to one status code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// The total read deadline elapsed before the request was complete.
+    Timeout,
+    /// The peer closed the connection mid-request.
+    Disconnected,
+    /// The bytes on the wire were not a well-formed request.
+    Malformed(String),
+    /// The head or body exceeded its size cap.
+    TooLarge,
+    /// A transport error other than timeout/EOF.
+    Io(String),
+}
+
+impl HttpError {
+    /// The status code this error is reported as.
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::Timeout => 408,
+            HttpError::TooLarge => 413,
+            HttpError::Malformed(_) => 400,
+            HttpError::Disconnected | HttpError::Io(_) => 400,
+        }
+    }
+
+    /// A short machine-readable code for the JSON error body.
+    pub fn code(&self) -> &'static str {
+        match self {
+            HttpError::Timeout => "deadline_exceeded",
+            HttpError::Disconnected => "disconnected",
+            HttpError::Malformed(_) => "malformed_request",
+            HttpError::TooLarge => "payload_too_large",
+            HttpError::Io(_) => "io_error",
+        }
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Timeout => write!(f, "read deadline exceeded"),
+            HttpError::Disconnected => write!(f, "peer disconnected mid-request"),
+            HttpError::Malformed(m) => write!(f, "malformed request: {m}"),
+            HttpError::TooLarge => write!(f, "request exceeds size cap"),
+            HttpError::Io(m) => write!(f, "transport error: {m}"),
+        }
+    }
+}
+
+/// Reads one full request, enforcing `deadline` as a total wall-clock
+/// budget across all reads (head and body alike).
+pub fn read_request(stream: &mut TcpStream, deadline: Duration) -> Result<Request, HttpError> {
+    let start = Instant::now();
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD {
+            return Err(HttpError::TooLarge);
+        }
+        read_some(stream, &mut buf, start, deadline)?;
+    };
+
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| HttpError::Malformed("non-UTF-8 request head".into()))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("empty request line".into()))?
+        .to_string();
+    let path = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("request line has no path".into()))?
+        .to_string();
+    let version = parts.next().unwrap_or("");
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!(
+            "unsupported protocol '{version}'"
+        )));
+    }
+
+    let mut content_length = 0usize;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse()
+                .map_err(|_| HttpError::Malformed("bad Content-Length".into()))?;
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(HttpError::TooLarge);
+    }
+
+    let body_start = head_end + 4;
+    while buf.len() < body_start + content_length {
+        read_some(stream, &mut buf, start, deadline)?;
+    }
+    let body = String::from_utf8_lossy(&buf[body_start..body_start + content_length]).into_owned();
+    Ok(Request { method, path, body })
+}
+
+/// One bounded read, with the socket timeout set to the *remaining*
+/// deadline so the total never exceeds it.
+fn read_some(
+    stream: &mut TcpStream,
+    buf: &mut Vec<u8>,
+    start: Instant,
+    deadline: Duration,
+) -> Result<(), HttpError> {
+    let remaining = deadline
+        .checked_sub(start.elapsed())
+        .filter(|d| !d.is_zero())
+        .ok_or(HttpError::Timeout)?;
+    stream
+        .set_read_timeout(Some(remaining))
+        .map_err(|e| HttpError::Io(e.to_string()))?;
+    let mut chunk = [0u8; 4096];
+    match stream.read(&mut chunk) {
+        Ok(0) => Err(HttpError::Disconnected),
+        Ok(n) => {
+            buf.extend_from_slice(&chunk[..n]);
+            Ok(())
+        }
+        Err(e)
+            if e.kind() == std::io::ErrorKind::WouldBlock
+                || e.kind() == std::io::ErrorKind::TimedOut =>
+        {
+            Err(HttpError::Timeout)
+        }
+        Err(e) => Err(HttpError::Io(e.to_string())),
+    }
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// A response about to be written. `retry_after`, when set, emits a
+/// `Retry-After: <secs>` header — the backoff hint clients honour.
+#[derive(Debug, Clone)]
+pub struct Response {
+    pub status: u16,
+    pub body: String,
+    pub retry_after: Option<u64>,
+}
+
+impl Response {
+    pub fn json(status: u16, body: String) -> Self {
+        Response {
+            status,
+            body,
+            retry_after: None,
+        }
+    }
+
+    /// A `{"error": code, "detail": ...}` body with the given status.
+    pub fn error(status: u16, code: &str, detail: &str) -> Self {
+        let body = format!(
+            "{{\"error\":{},\"detail\":{}}}",
+            serde::json::Value::Str(code.to_string()).to_json(),
+            serde::json::Value::Str(detail.to_string()).to_json(),
+        );
+        Response::json(status, body)
+    }
+
+    pub fn with_retry_after(mut self, secs: u64) -> Self {
+        self.retry_after = Some(secs);
+        self
+    }
+}
+
+/// The reason phrase for the handful of statuses this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        408 => "Request Timeout",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Response",
+    }
+}
+
+/// Writes `resp` and flushes. Errors are returned, not panicked on — a
+/// peer that vanished mid-write is routine under chaos.
+pub fn write_response(stream: &mut TcpStream, resp: &Response) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+        resp.status,
+        reason(resp.status),
+        resp.body.len(),
+    );
+    if let Some(secs) = resp.retry_after {
+        head.push_str(&format!("Retry-After: {secs}\r\n"));
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(resp.body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+    use std::thread;
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let client = thread::spawn(move || TcpStream::connect(addr).expect("connect"));
+        let (server, _) = listener.accept().expect("accept");
+        (server, client.join().expect("client thread"))
+    }
+
+    #[test]
+    fn parses_a_request_with_a_body() {
+        let (mut server, mut client) = pair();
+        client
+            .write_all(b"POST /sessions HTTP/1.1\r\nContent-Length: 11\r\n\r\nhello world")
+            .expect("write");
+        let req = read_request(&mut server, Duration::from_secs(2)).expect("parse");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/sessions");
+        assert_eq!(req.body, "hello world");
+    }
+
+    #[test]
+    fn times_out_on_a_stalled_client() {
+        let (mut server, client) = pair();
+        // Client writes nothing; hold it open so EOF is not the cause.
+        let err = read_request(&mut server, Duration::from_millis(80)).expect_err("must time out");
+        assert_eq!(err, HttpError::Timeout);
+        assert_eq!(err.status(), 408);
+        drop(client);
+    }
+
+    #[test]
+    fn eof_mid_request_is_disconnected() {
+        let (mut server, mut client) = pair();
+        client.write_all(b"GET /healthz HT").expect("write");
+        drop(client);
+        let err = read_request(&mut server, Duration::from_secs(2)).expect_err("truncated");
+        assert_eq!(err, HttpError::Disconnected);
+    }
+
+    #[test]
+    fn rejects_oversized_declared_bodies() {
+        let (mut server, mut client) = pair();
+        client
+            .write_all(b"POST /x HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n")
+            .expect("write");
+        let err = read_request(&mut server, Duration::from_secs(2)).expect_err("too large");
+        assert_eq!(err, HttpError::TooLarge);
+        assert_eq!(err.status(), 413);
+    }
+
+    #[test]
+    fn rejects_garbage_request_lines() {
+        let (mut server, mut client) = pair();
+        client.write_all(b"NONSENSE\r\n\r\n").expect("write");
+        let err = read_request(&mut server, Duration::from_secs(2)).expect_err("malformed");
+        assert!(matches!(err, HttpError::Malformed(_)));
+    }
+
+    #[test]
+    fn response_round_trips_with_retry_after() {
+        let (mut server, mut client) = pair();
+        let resp = Response::error(429, "backpressure", "queue full").with_retry_after(2);
+        write_response(&mut server, &resp).expect("write");
+        drop(server);
+        let mut text = String::new();
+        client.read_to_string(&mut text).expect("read");
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("Retry-After: 2\r\n"));
+        assert!(text.contains("\"error\":\"backpressure\""));
+    }
+}

@@ -1,0 +1,301 @@
+//! Integration: ST_FAULT × ST_DRIFT × checkpoint/resume composition.
+//!
+//! The chaos suite proves faults never abort a run, the drift suite proves
+//! non-stationarity is detected and recovered, and the checkpoint suite
+//! proves a killed run resumes bit-identically. This suite proves the
+//! three axes compose: with a fault plan **and** a drift plan installed at
+//! once, the parallel executor (`--jobs 4`) still aggregates bit-identical
+//! to the sequential runner, warnings still come out in one canonical
+//! order, and a run killed mid-flight still resumes bit-identically —
+//! the injected chaos replays, it does not compound.
+//!
+//! Both plans are process-global, so every test holds one serial lock for
+//! its whole body and clears both plans on drop (a failing test must not
+//! poison its neighbours).
+
+use slice_tuner::{
+    run_trials, run_trials_parallel, AggregateResult, PoolSource, RunResult, SliceTuner, Strategy,
+    TSchedule, TunerConfig, TuningWarning,
+};
+use st_curve::EstimationMode;
+use st_data::{drift, families, SlicedDataset};
+use st_linalg::fault;
+use st_models::ModelSpec;
+use std::sync::{Mutex, MutexGuard};
+
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Installs a fault plan and a drift plan together for a scope; clears
+/// both on drop. The drift plan goes through the process-global override
+/// (not [`PoolSource::with_drift`]) because `run_trials*` build their own
+/// pool sources internally — the global path is exactly what an `ST_DRIFT`
+/// environment plan would exercise.
+struct ComposeGuard {
+    _serial: MutexGuard<'static, ()>,
+}
+
+impl ComposeGuard {
+    fn install(fault_spec: &str, drift_spec: &str) -> Self {
+        let guard = ComposeGuard { _serial: serial() };
+        fault::install(Some(
+            fault::parse_plan(fault_spec).expect("valid fault plan"),
+        ));
+        drift::install(Some(
+            drift::parse_plan(drift_spec).expect("valid drift plan"),
+        ));
+        guard
+    }
+}
+
+impl Drop for ComposeGuard {
+    fn drop(&mut self) {
+        fault::install(None);
+        drift::install(None);
+    }
+}
+
+const SEED: u64 = 23;
+
+fn quick_config() -> TunerConfig {
+    let mut cfg = TunerConfig::new(ModelSpec::softmax()).with_seed(SEED);
+    cfg.train.epochs = 8;
+    cfg.fractions = vec![0.4, 0.7, 1.0];
+    cfg.repeats = 1;
+    cfg.threads = 1;
+    cfg.max_iterations = 3;
+    cfg.with_mode(EstimationMode::Exhaustive).with_incremental()
+}
+
+/// A fresh path under the system temp dir; removes stale files from
+/// previous runs of this test (per-trial suffixed files included).
+fn checkpoint_path(tag: &str) -> String {
+    let dir = std::env::temp_dir().join("st_compose_tests");
+    std::fs::create_dir_all(&dir).expect("create checkpoint dir");
+    let base = dir.join(format!("{tag}.json"));
+    for t in 0..8 {
+        std::fs::remove_file(format!("{}.trial{t}", base.display())).ok();
+    }
+    std::fs::remove_file(&base).ok();
+    base.display().to_string()
+}
+
+fn assert_bit_identical(a: &AggregateResult, b: &AggregateResult) {
+    assert!(
+        a.bits_identical_to(b),
+        "aggregates diverged:\n{a:?}\nvs\n{b:?}"
+    );
+}
+
+fn warning_key(w: &TuningWarning) -> (u64, usize, u8) {
+    match w {
+        TuningWarning::DriftDetected { round, slice, .. } => (*round, *slice, 0),
+        TuningWarning::EstimationQuarantined { round, slice, .. } => {
+            (*round, slice.unwrap_or(usize::MAX), 1)
+        }
+    }
+}
+
+fn assert_canonically_sorted(warnings: &[TuningWarning]) {
+    assert!(
+        warnings
+            .windows(2)
+            .all(|w| warning_key(&w[0]) <= warning_key(&w[1])),
+        "warnings must sort by (round, slice, kind): {warnings:?}"
+    );
+}
+
+/// The pinned two-slice drift scenario ([`families::driftbench`]) run
+/// against the **global** drift plan installed by the guard — the same
+/// plan `run_trials*` pool sources see.
+fn run_drifting(cfg: TunerConfig) -> RunResult {
+    let fam = families::driftbench();
+    let ds = SlicedDataset::generate(&fam, &[100, 500], 400, SEED);
+    let mut pool = PoolSource::new(fam, SEED);
+    let mut tuner = SliceTuner::new(ds, &mut pool, cfg);
+    tuner.run(Strategy::Iterative(TSchedule::conservative()), 300.0)
+}
+
+/// With a two-slice NaN fault plan **and** a label-drift plan installed at
+/// once, the parallel executor at `--jobs 4` must aggregate bit-identical
+/// to the sequential runner, and every trial's warnings must come out in
+/// the same canonical (round, slice, kind) order from both.
+#[test]
+fn composed_fault_and_drift_plans_are_executor_invariant() {
+    let _guard = ComposeGuard::install(
+        "nan_loss@slice2:round1,nan_loss@slice1:round1",
+        "label@slice0:round1:mag0.95",
+    );
+    let fam = families::census();
+    let strategy = Strategy::Iterative(TSchedule::moderate());
+    let cfg = quick_config().with_drift_detection(0.6);
+    let seq = run_trials(&fam, &[40; 4], 50, 150.0, strategy, &cfg, 2);
+    let par = run_trials_parallel(&fam, &[40; 4], 50, 150.0, strategy, &cfg, 2, 4);
+    assert_bit_identical(&seq, &par);
+    for (s, p) in seq.trials.iter().zip(&par.trials) {
+        assert_eq!(s.warnings, p.warnings, "executor changed warning order");
+        assert!(
+            s.warnings.iter().any(|w| matches!(
+                w,
+                TuningWarning::EstimationQuarantined { slice: Some(1), .. }
+            )) && s.warnings.iter().any(|w| matches!(
+                w,
+                TuningWarning::EstimationQuarantined { slice: Some(2), .. }
+            )),
+            "both faulted slices must quarantine under the composed plan, got {:?}",
+            s.warnings
+        );
+        assert_canonically_sorted(&s.warnings);
+    }
+}
+
+/// Killing a composed run (fault plan + drift plan active) after round 1
+/// under `--jobs 4` and resuming must be bit-identical to the
+/// uninterrupted run — under the parallel executor and, cross-runner, the
+/// sequential one. The replayed rounds re-derive the same injected
+/// faults and the same drift evidence; nothing fires twice.
+#[test]
+fn composed_kill_and_resume_is_bit_identical_jobs_four() {
+    let _guard = ComposeGuard::install(
+        "nan_loss@slice2:round1,nan_loss@slice1:round1",
+        "label@slice0:round1:mag0.95",
+    );
+    let path = checkpoint_path("compose_par");
+    let fam = families::census();
+    let strategy = Strategy::Iterative(TSchedule::moderate());
+    let cfg = quick_config().with_drift_detection(0.6);
+    let run = |c: &TunerConfig, jobs: Option<usize>| match jobs {
+        None => run_trials(&fam, &[40; 4], 50, 150.0, strategy, c, 2),
+        Some(j) => run_trials_parallel(&fam, &[40; 4], 50, 150.0, strategy, c, 2, j),
+    };
+
+    let clean = run(&cfg, Some(4));
+    assert!(
+        clean.trials.iter().all(|t| t.iterations >= 2),
+        "test cell too small for a meaningful kill: {:?}",
+        clean
+            .trials
+            .iter()
+            .map(|t| t.iterations)
+            .collect::<Vec<_>>()
+    );
+
+    let halted_cfg = cfg.clone().with_checkpoint(&path).with_halt_after_rounds(1);
+    let halted = run(&halted_cfg, Some(4));
+    assert!(
+        halted.trials.iter().all(|t| t.iterations == 1),
+        "the crash simulation must stop after round 1"
+    );
+
+    let resumed_cfg = cfg.clone().with_checkpoint(&path).with_resume();
+    let resumed = run(&resumed_cfg, Some(4));
+    assert_bit_identical(&clean, &resumed);
+
+    // Cross-runner: resume under the parallel executor equals the clean
+    // sequential run too.
+    let seq_clean = run(&cfg, None);
+    assert_bit_identical(&seq_clean, &resumed);
+}
+
+/// The pinned driftbench scenario with a NaN fault on the steady slice
+/// (round 1) on top of label drift on the drifter, killed after round 2
+/// and resumed. The halted run's own log carries the pre-halt quarantine
+/// (it executed round 1 live), the resumed run re-detects the drift at
+/// the same post-halt round as the clean run, and every surfaced number
+/// matches the uninterrupted run bit for bit — the checkpoint carries
+/// the CUSUM state and quarantine flags through the composed event.
+///
+/// Warnings describe the *execution*: replay skips estimation for the
+/// completed rounds, so the round-1 fault warning lives in the halted
+/// run's log while the resumed log holds exactly the post-halt warnings.
+#[test]
+fn pinned_compose_scenario_resumes_with_both_warning_kinds() {
+    let _guard = ComposeGuard::install("nan_loss@slice1:round1", "label@slice0:round1:mag0.95");
+    let aware = || {
+        let mut cfg = quick_config().with_drift_detection(0.15);
+        cfg.drift_slack = 0.05;
+        cfg.max_iterations = 12;
+        cfg
+    };
+    let clean = run_drifting(aware());
+    assert!(
+        clean.iterations >= 3,
+        "the kill must land before the composed events resolve, got {} rounds",
+        clean.iterations
+    );
+    assert!(
+        clean
+            .warnings
+            .iter()
+            .any(|w| matches!(w, TuningWarning::DriftDetected { slice: 0, .. })),
+        "the drift leg must fire, got {:?}",
+        clean.warnings
+    );
+    assert!(
+        clean.warnings.iter().any(|w| matches!(
+            w,
+            TuningWarning::EstimationQuarantined {
+                slice: Some(1),
+                round: 1,
+                ..
+            }
+        )),
+        "the fault leg must quarantine slice 1 in round 1, got {:?}",
+        clean.warnings
+    );
+    assert_canonically_sorted(&clean.warnings);
+
+    let path = checkpoint_path("compose_pinned");
+    let halted = run_drifting(aware().with_checkpoint(&path).with_halt_after_rounds(2));
+    assert_eq!(halted.iterations, 2, "crash simulation stops after round 2");
+    assert!(
+        halted.warnings.iter().any(|w| matches!(
+            w,
+            TuningWarning::EstimationQuarantined {
+                slice: Some(1),
+                round: 1,
+                ..
+            }
+        )),
+        "the halted run executed round 1 live, its log must carry the fault, got {:?}",
+        halted.warnings
+    );
+
+    let resumed = run_drifting(aware().with_checkpoint(&path).with_resume());
+    assert_eq!(resumed.acquired, clean.acquired);
+    assert_eq!(resumed.iterations, clean.iterations);
+    assert_eq!(resumed.spent.to_bits(), clean.spent.to_bits());
+    assert_eq!(
+        resumed.report.overall_loss.to_bits(),
+        clean.report.overall_loss.to_bits()
+    );
+    for (a, b) in resumed
+        .report
+        .per_slice_losses
+        .iter()
+        .zip(&clean.report.per_slice_losses)
+    {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+    // Post-halt execution: the resumed log equals the clean run's
+    // warnings from rounds after the kill point (the drift detection),
+    // in the same canonical order.
+    let post_halt: Vec<_> = clean
+        .warnings
+        .iter()
+        .filter(|w| warning_key(w).0 > 2)
+        .cloned()
+        .collect();
+    assert!(
+        !post_halt.is_empty(),
+        "detection must land post-halt or the replay proves nothing: {:?}",
+        clean.warnings
+    );
+    assert_eq!(
+        resumed.warnings, post_halt,
+        "the resumed run must re-derive exactly the post-halt warnings"
+    );
+    assert_canonically_sorted(&resumed.warnings);
+}
